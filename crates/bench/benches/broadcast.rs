@@ -1,0 +1,82 @@
+//! Broadcast pipeline throughput: schedule generation (Broadcast_2 /
+//! Broadcast_k / binomial baseline), validation, and the exact solver.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use shc_broadcast::schemes::hypercube::hypercube_broadcast;
+use shc_broadcast::schemes::sparse::broadcast_scheme;
+use shc_broadcast::schemes::tree::tree_line_broadcast;
+use shc_broadcast::solver::solve_min_time;
+use shc_broadcast::verify::verify_minimum_time;
+use shc_core::SparseHypercube;
+use shc_graph::builders::theorem1_tree;
+
+fn bench_scheme_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_scheme");
+    group.sample_size(20);
+    for n in [10u32, 12, 14] {
+        let g = SparseHypercube::construct_base(n, 3);
+        group.bench_with_input(BenchmarkId::new("base_n", n), &g, |b, g| {
+            b.iter(|| broadcast_scheme(g, black_box(0)));
+        });
+    }
+    let g3 = SparseHypercube::construct(&[2, 4, 12]);
+    group.bench_function("k3_n12", |b| {
+        b.iter(|| broadcast_scheme(&g3, black_box(0)));
+    });
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify");
+    group.sample_size(20);
+    for n in [10u32, 12, 14] {
+        let g = SparseHypercube::construct_base(n, 3);
+        let s = broadcast_scheme(&g, 0);
+        group.bench_with_input(BenchmarkId::new("minimum_time_n", n), &n, |b, _| {
+            b.iter(|| verify_minimum_time(&g, black_box(&s), 2).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hypercube_baseline(c: &mut Criterion) {
+    c.bench_function("binomial_broadcast_q14", |b| {
+        b.iter(|| hypercube_broadcast(black_box(14), black_box(0)));
+    });
+}
+
+fn bench_tree_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_line_broadcast");
+    group.sample_size(20);
+    for h in [4u32, 6, 8] {
+        let t = theorem1_tree(h);
+        group.bench_with_input(BenchmarkId::new("h", h), &t, |b, t| {
+            b.iter(|| tree_line_broadcast(t, black_box(1)).expect("schedulable"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_solver");
+    group.sample_size(10);
+    let t = theorem1_tree(1);
+    group.bench_function("thm1_tree_h1_k2", |b| {
+        b.iter(|| solve_min_time(&t, black_box(0), 2, 1_000_000));
+    });
+    let cyc = shc_graph::builders::cycle(8);
+    group.bench_function("cycle8_k2", |b| {
+        b.iter(|| solve_min_time(&cyc, black_box(0), 2, 1_000_000));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheme_generation,
+    bench_verification,
+    bench_hypercube_baseline,
+    bench_tree_scheduler,
+    bench_exact_solver
+);
+criterion_main!(benches);

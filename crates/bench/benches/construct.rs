@@ -1,0 +1,76 @@
+//! Construction throughput: building sparse hypercubes (rule structures),
+//! materializing them, and evaluating the closed-form degree/edge
+//! formulas.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use shc_core::params::{optimized_params, paper_params};
+use shc_core::SparseHypercube;
+
+fn bench_construct_base(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_base");
+    for n in [16u32, 32, 48, 60] {
+        let m = shc_core::bounds::thm5_m_star(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| SparseHypercube::construct_base(black_box(n), black_box(m)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_construct_recursive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_recursive");
+    for k in [3u32, 4, 5] {
+        let dims = shc_core::bounds::thm7_params(k, 48);
+        group.bench_with_input(BenchmarkId::new("k", k), &dims, |b, dims| {
+            b.iter(|| SparseHypercube::construct(black_box(dims)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_materialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("materialize");
+    group.sample_size(20);
+    for n in [12u32, 14, 16] {
+        let g = SparseHypercube::construct_base(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| g.to_graph());
+        });
+    }
+    group.finish();
+}
+
+fn bench_formulas(c: &mut Criterion) {
+    let g = SparseHypercube::construct(&[3, 9, 27, 48]);
+    c.bench_function("max_degree_formula_n48", |b| {
+        b.iter(|| black_box(&g).max_degree());
+    });
+    c.bench_function("num_edges_formula_n48", |b| {
+        b.iter(|| black_box(&g).num_edges());
+    });
+    c.bench_function("neighbors_n48", |b| {
+        b.iter(|| black_box(&g).neighbors(black_box(0xDEAD_BEEF)));
+    });
+}
+
+fn bench_param_search(c: &mut Criterion) {
+    c.bench_function("paper_params_k3_n60", |b| {
+        b.iter(|| paper_params(black_box(3), black_box(60)));
+    });
+    c.bench_function("optimized_params_k3_n60", |b| {
+        b.iter(|| optimized_params(black_box(3), black_box(60)));
+    });
+    c.bench_function("optimized_params_k5_n40", |b| {
+        b.iter(|| optimized_params(black_box(5), black_box(40)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_construct_base,
+    bench_construct_recursive,
+    bench_materialize,
+    bench_formulas,
+    bench_param_search
+);
+criterion_main!(benches);

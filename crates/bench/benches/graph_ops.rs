@@ -1,0 +1,59 @@
+//! Graph substrate throughput: builders, BFS, diameter (serial vs
+//! crossbeam-parallel), CSR freezing.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use shc_graph::builders::hypercube;
+use shc_graph::csr::CsrGraph;
+use shc_graph::metrics::diameter;
+use shc_graph::parallel::diameter_parallel;
+use shc_graph::traversal::bfs_distances;
+
+fn bench_builders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_hypercube");
+    group.sample_size(10);
+    for n in [12u32, 14, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| hypercube(black_box(n)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs");
+    group.sample_size(20);
+    for n in [14u32, 16, 18] {
+        let g = hypercube(n);
+        group.bench_with_input(BenchmarkId::new("q", n), &g, |b, g| {
+            b.iter(|| bfs_distances(g, black_box(0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_diameter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diameter_q10");
+    group.sample_size(10);
+    let g = hypercube(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| diameter(&g).expect("connected"));
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| diameter_parallel(&g, None).expect("connected"));
+    });
+    group.finish();
+}
+
+fn bench_csr(c: &mut Criterion) {
+    let g = hypercube(14);
+    c.bench_function("csr_freeze_q14", |b| {
+        b.iter(|| CsrGraph::from_adj(black_box(&g)));
+    });
+    let csr = CsrGraph::from_adj(&g);
+    c.bench_function("csr_bfs_q14", |b| {
+        b.iter(|| bfs_distances(&csr, black_box(0)));
+    });
+}
+
+criterion_group!(benches, bench_builders, bench_bfs, bench_diameter, bench_csr);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Labeling throughput: Condition-A constructions, verification, the
+//! Hamming-code kernels, and the exact domatic search.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use shc_coding::HammingCode;
+use shc_graph::builders::hypercube;
+use shc_graph::domination::domatic_partition;
+use shc_labeling::constructions::{best_labeling, tiling_labeling};
+use shc_labeling::verify::verify_condition_a;
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("labeling_construction");
+    for m in [7u32, 11, 15] {
+        group.bench_with_input(BenchmarkId::new("best", m), &m, |b, &m| {
+            b.iter(|| best_labeling(black_box(m)));
+        });
+    }
+    group.bench_function("tiling_m12", |b| {
+        b.iter(|| tiling_labeling(black_box(12)));
+    });
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("condition_a_verify");
+    for m in [7u32, 11, 15] {
+        let l = best_labeling(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &l, |b, l| {
+            b.iter(|| verify_condition_a(black_box(l)).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hamming(c: &mut Criterion) {
+    let h = HammingCode::new(4);
+    c.bench_function("hamming_syndrome_p4", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for w in 0..(1u64 << 15) {
+                acc ^= h.syndrome(black_box(w));
+            }
+            acc
+        });
+    });
+    c.bench_function("hamming_decode_p4", |b| {
+        b.iter(|| h.decode(black_box(0x5A5A)));
+    });
+}
+
+fn bench_domatic_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("domatic_search");
+    group.sample_size(10);
+    let q3 = hypercube(3);
+    group.bench_function("q3_parts4", |b| {
+        b.iter(|| domatic_partition(&q3, 4).expect("exists"));
+    });
+    let q4 = hypercube(4);
+    group.bench_function("q4_parts4", |b| {
+        b.iter(|| domatic_partition(&q4, 4).expect("exists"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_constructions,
+    bench_verification,
+    bench_hamming,
+    bench_domatic_search
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Circuit-switching simulator throughput: schedule replay, competing
+//! broadcasts, adaptive permutation routing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shc_broadcast::schemes::sparse::broadcast_scheme;
+use shc_core::SparseHypercube;
+use shc_graph::builders::hypercube;
+use shc_netsim::{random_permutation_round, replay_competing, replay_schedule, MaterializedNet};
+
+fn bench_replay(c: &mut Criterion) {
+    let g = SparseHypercube::construct_base(12, 3);
+    let s = broadcast_scheme(&g, 0);
+    c.bench_function("replay_single_n12", |b| {
+        b.iter(|| {
+            let stats = replay_schedule(&g, black_box(&s), 1);
+            assert_eq!(stats.blocked, 0);
+            stats
+        });
+    });
+}
+
+fn bench_competing(c: &mut Criterion) {
+    let g = SparseHypercube::construct_base(10, 3);
+    let schedules: Vec<_> = [0u64, 1, 512, 1023]
+        .iter()
+        .map(|&s| broadcast_scheme(&g, s))
+        .collect();
+    let mut group = c.benchmark_group("competing_4x_n10");
+    group.sample_size(30);
+    for dilation in [1u32, 4] {
+        group.bench_function(format!("dilation_{dilation}"), |b| {
+            b.iter(|| replay_competing(&g, black_box(&schedules), dilation));
+        });
+    }
+    group.finish();
+}
+
+fn bench_permutation(c: &mut Criterion) {
+    let net = MaterializedNet::new(hypercube(10));
+    c.bench_function("permutation_round_q10", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| random_permutation_round(&net, 512, 10, 1, &mut rng));
+    });
+}
+
+criterion_group!(benches, bench_replay, bench_competing, bench_permutation);
+criterion_main!(benches);

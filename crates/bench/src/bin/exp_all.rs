@@ -1,0 +1,97 @@
+//! Runs the full experiment suite (E1–E20) and prints each reproduction
+//! table; the output of `cargo run --release -p shc-bench --bin exp_all`
+//! is the source of EXPERIMENTS.md.
+//!
+//! Flags:
+//! * `--only E9,E12` — run a subset.
+//! * `--fast`        — reduced sweep sizes (debug-build friendly).
+//! * `--json PATH`   — also dump results as JSON.
+
+use shc_bench::{run_all, run_one, RunConfig};
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = RunConfig::default();
+    let mut only: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fast" => cfg = RunConfig::fast(),
+            "--only" => {
+                i += 1;
+                only = args
+                    .get(i)
+                    .map(|s| s.split(',').map(str::to_string).collect())
+                    .unwrap_or_default();
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned();
+            }
+            "--threads" => {
+                i += 1;
+                cfg.threads = args.get(i).and_then(|s| s.parse().ok());
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let started = std::time::Instant::now();
+    let results = if only.is_empty() {
+        run_all(&cfg)
+    } else {
+        only.iter()
+            .map(|id| {
+                run_one(id, &cfg).unwrap_or_else(|| {
+                    eprintln!("unknown experiment id {id}");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(
+        out,
+        "# Sparse Hypercube — paper reproduction experiments\n\n\
+         Fujita & Farley, IPPS/SPDP'99 (DAM 127, 2003). Each experiment \
+         reproduces one figure/example/theorem; PASS means the paper's \
+         claim held under machine verification.\n"
+    )
+    .unwrap();
+    let mut failures = 0usize;
+    for e in &results {
+        writeln!(out, "{}", e.render()).unwrap();
+        if !e.pass {
+            failures += 1;
+        }
+    }
+    writeln!(
+        out,
+        "---\n{} experiments, {} failed, {:.1}s",
+        results.len(),
+        failures,
+        started.elapsed().as_secs_f64()
+    )
+    .unwrap();
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&results).expect("serializable");
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        writeln!(out, "JSON results written to {path}").unwrap();
+    }
+
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

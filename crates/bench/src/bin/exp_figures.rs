@@ -1,0 +1,68 @@
+//! Emits DOT renderings of the paper's figures into `out/figures/`:
+//!
+//! * `fig1_tree.dot`        — the Theorem-1 tree at h = 3 (Fig. 1);
+//! * `fig2_g42_rule1.dot`   — G_{4,2} with Rule-1 edges highlighted (Fig. 2);
+//! * `fig3_g42.dot`         — the full G_{4,2} (Fig. 3);
+//! * `fig4_broadcast.dot`   — Fig. 4's first two broadcast rounds, calls
+//!   highlighted.
+//!
+//! Render with `dot -Tsvg out/figures/fig3_g42.dot -o fig3.svg`.
+
+use shc_bench::experiments::figures::g42_paper;
+use shc_broadcast::broadcast_scheme;
+use shc_graph::builders::theorem1_tree;
+use shc_graph::dot::{to_dot, DotOptions};
+use shc_graph::{GraphView, Node};
+
+fn main() {
+    let out_dir = std::path::Path::new("out/figures");
+    std::fs::create_dir_all(out_dir).expect("create out/figures");
+    let mut written = Vec::new();
+
+    // Fig. 1: the Theorem-1 tree for h = 3 (22 vertices, Δ = 3).
+    let tree = theorem1_tree(3);
+    let mut opts = DotOptions::named("fig1_theorem1_tree_h3");
+    opts.highlight_vertices.push(0); // the center
+    let path = out_dir.join("fig1_tree.dot");
+    std::fs::write(&path, to_dot(&tree, &opts)).expect("write fig1");
+    written.push(path);
+
+    // Figs. 2–3: G_{4,2} (paper labeling, S_1 = {3}, S_2 = {4}).
+    let g = g42_paper();
+    let mat = g.to_graph();
+    let rule1: Vec<(Node, Node)> = mat
+        .edge_iter()
+        .filter(|&(u, v)| ((u ^ v) as u64).trailing_zeros() < 2)
+        .collect();
+    let mut opts = DotOptions::named("fig2_g42_rule1").with_binary_labels(4, 16);
+    opts.highlight_edges = rule1;
+    let path = out_dir.join("fig2_g42_rule1.dot");
+    std::fs::write(&path, to_dot(&mat, &opts)).expect("write fig2");
+    written.push(path);
+
+    let opts = DotOptions::named("fig3_g42").with_binary_labels(4, 16);
+    let path = out_dir.join("fig3_g42.dot");
+    std::fs::write(&path, to_dot(&mat, &opts)).expect("write fig3");
+    written.push(path);
+
+    // Fig. 4: the first two rounds of Broadcast_2 from 0000.
+    let schedule = broadcast_scheme(&g, 0);
+    let mut opts = DotOptions::named("fig4_broadcast_rounds12").with_binary_labels(4, 16);
+    for round in schedule.rounds.iter().take(2) {
+        for call in &round.calls {
+            for w in call.path.windows(2) {
+                opts.highlight_edges.push((w[0] as Node, w[1] as Node));
+            }
+            opts.highlight_vertices.push(call.receiver() as Node);
+        }
+    }
+    opts.highlight_vertices.push(0);
+    let path = out_dir.join("fig4_broadcast.dot");
+    std::fs::write(&path, to_dot(&mat, &opts)).expect("write fig4");
+    written.push(path);
+
+    println!("wrote {} figure files:", written.len());
+    for p in written {
+        println!("  {}", p.display());
+    }
+}

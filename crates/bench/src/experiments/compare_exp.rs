@@ -1,0 +1,77 @@
+//! E16 — the headline comparison: sparse hypercube vs. full hypercube
+//! (degree, edges, diameter, footnote-1 diameter bound) across sizes.
+
+use crate::row;
+use crate::table::Experiment;
+use shc_core::params::{best_base_params, optimized_params};
+use shc_core::{ShcStats, SparseHypercube};
+use shc_graph::parallel::diameter_parallel;
+
+/// E16 — degree/edge/diameter reduction table for k = 2 and k = 3.
+#[must_use]
+pub fn e16_comparison(max_materialized_n: u32) -> Experiment {
+    let mut rows = Vec::new();
+    let mut pass = true;
+    for &n in &[8u32, 12, 16, 20, 24, 32, 48, 60] {
+        for k in [2u32, 3] {
+            if n <= k + 1 {
+                continue;
+            }
+            let choice = if k == 2 {
+                best_base_params(n)
+            } else {
+                optimized_params(k, n)
+            };
+            let g = SparseHypercube::construct(&choice.dims);
+            let stats = ShcStats::for_graph(&g);
+            pass &= stats.max_degree <= u64::from(n);
+            pass &= stats.num_edges < stats.hypercube_edges;
+            // Footnote 1: any k-mlbg has diameter <= k * log2 N; check on
+            // materializable instances.
+            let diam = if n <= max_materialized_n {
+                let mat = g.to_graph();
+                let d = diameter_parallel(&mat, None).expect("connected");
+                pass &= u64::from(d) <= u64::from(k) * u64::from(n);
+                d.to_string()
+            } else {
+                "-".to_string()
+            };
+            rows.push(row![
+                n,
+                k,
+                format!("{:?}", choice.dims),
+                stats.max_degree,
+                n,
+                format!("{:.1}%", 100.0 * stats.edge_ratio()),
+                diam,
+                u64::from(k) * u64::from(n),
+                format!("{:.2}x", stats.degree_reduction())
+            ]);
+        }
+    }
+    Experiment {
+        id: "E16",
+        paper_ref: "§3 headline claim + footnote 1",
+        title: "Sparse vs full hypercube: degree, edges, diameter".into(),
+        claim: "Sparse hypercubes cut Δ from n to O(n^(1/k)) while keeping \
+                minimum-time k-line broadcast; any k-mlbg has diameter \
+                <= k·log2 N (footnote 1)"
+            .into(),
+        headers: vec![
+            "n".into(),
+            "k".into(),
+            "dims".into(),
+            "Δ(G)".into(),
+            "Δ(Q_n)".into(),
+            "edges kept".into(),
+            "diam(G)".into(),
+            "k·n bound".into(),
+            "Δ reduction".into(),
+        ],
+        rows,
+        observed: "degree reduced at every size; edge count strictly below \
+                   the hypercube's; measured diameters respect footnote 1"
+            .into(),
+        pass,
+    }
+}

@@ -1,0 +1,130 @@
+//! The experiment registry: every figure/table/theorem reproduction,
+//! keyed E1–E20 as indexed in DESIGN.md (E19/E20 are extensions).
+
+pub mod bounds_exp;
+pub mod compare_exp;
+pub mod congestion_exp;
+pub mod figures;
+pub mod robustness_exp;
+pub mod schemes_exp;
+
+use crate::table::Experiment;
+
+/// Tuning knobs for the full run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Largest `h` for the Theorem-1 tree sweep (E1).
+    pub max_tree_h: u32,
+    /// Largest `n` for the Theorem-4 all-(n,m) sweep (E9).
+    pub max_sweep_n: u32,
+    /// Largest `n` materialized for diameter measurement (E16).
+    pub max_materialized_n: u32,
+    /// Congestion experiment cube size (E17).
+    pub congestion_n: u32,
+    /// Worker threads (None = available parallelism).
+    pub threads: Option<usize>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            max_tree_h: 7,
+            max_sweep_n: 12,
+            max_materialized_n: 18,
+            congestion_n: 10,
+            threads: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A reduced configuration for smoke tests and debug builds.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            max_tree_h: 4,
+            max_sweep_n: 8,
+            max_materialized_n: 12,
+            congestion_n: 8,
+            threads: None,
+        }
+    }
+}
+
+/// Runs every experiment, in id order.
+#[must_use]
+pub fn run_all(cfg: &RunConfig) -> Vec<Experiment> {
+    vec![
+        figures::e1_theorem1_tree(cfg.max_tree_h),
+        bounds_exp::e2_lower_bounds_small_k(),
+        bounds_exp::e3_lower_bounds_large_k(),
+        figures::e4_example1_labelings(),
+        bounds_exp::e5_lambda_table(),
+        figures::e6_g42(),
+        figures::e7_g153(),
+        figures::e8_broadcast_g42(),
+        schemes_exp::e9_theorem4_sweep(cfg.max_sweep_n, cfg.threads),
+        bounds_exp::e10_theorem5(),
+        figures::e11_construct_rec(),
+        schemes_exp::e12_theorem6_sweep(cfg.threads),
+        bounds_exp::e13_theorem7(),
+        bounds_exp::e14_corollary1(),
+        bounds_exp::e15_corollary2(),
+        compare_exp::e16_comparison(cfg.max_materialized_n),
+        congestion_exp::e17_congestion(cfg.congestion_n, 3, 0xC0FFEE),
+        schemes_exp::e18_monotonicity(),
+        robustness_exp::e19_fault_tolerance(cfg.congestion_n, 3, 0xC0FFEE),
+        robustness_exp::e20_ablation(),
+    ]
+}
+
+/// Runs a single experiment by id (`"E1"`, …, `"E20"`); `None` for an
+/// unknown id.
+#[must_use]
+pub fn run_one(id: &str, cfg: &RunConfig) -> Option<Experiment> {
+    let e = match id.to_ascii_uppercase().as_str() {
+        "E1" => figures::e1_theorem1_tree(cfg.max_tree_h),
+        "E2" => bounds_exp::e2_lower_bounds_small_k(),
+        "E3" => bounds_exp::e3_lower_bounds_large_k(),
+        "E4" => figures::e4_example1_labelings(),
+        "E5" => bounds_exp::e5_lambda_table(),
+        "E6" => figures::e6_g42(),
+        "E7" => figures::e7_g153(),
+        "E8" => figures::e8_broadcast_g42(),
+        "E9" => schemes_exp::e9_theorem4_sweep(cfg.max_sweep_n, cfg.threads),
+        "E10" => bounds_exp::e10_theorem5(),
+        "E11" => figures::e11_construct_rec(),
+        "E12" => schemes_exp::e12_theorem6_sweep(cfg.threads),
+        "E13" => bounds_exp::e13_theorem7(),
+        "E14" => bounds_exp::e14_corollary1(),
+        "E15" => bounds_exp::e15_corollary2(),
+        "E16" => compare_exp::e16_comparison(cfg.max_materialized_n),
+        "E17" => congestion_exp::e17_congestion(cfg.congestion_n, 3, 0xC0FFEE),
+        "E18" => schemes_exp::e18_monotonicity(),
+        "E19" => robustness_exp::e19_fault_tolerance(cfg.congestion_n, 3, 0xC0FFEE),
+        "E20" => robustness_exp::e20_ablation(),
+        _ => return None,
+    };
+    Some(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_config_all_experiments_pass() {
+        let cfg = RunConfig::fast();
+        for e in run_all(&cfg) {
+            assert!(e.pass, "{} failed:\n{}", e.id, e.render());
+        }
+    }
+
+    #[test]
+    fn run_one_resolves_ids() {
+        let cfg = RunConfig::fast();
+        assert!(run_one("e4", &cfg).is_some());
+        assert!(run_one("E18", &cfg).is_some());
+        assert!(run_one("E99", &cfg).is_none());
+    }
+}

@@ -1,0 +1,20 @@
+//! # shc-bench — experiment harness and benchmarks
+//!
+//! Regenerates every figure, worked example, and theorem-backed table of
+//! the paper, plus the robustness/ablation extensions (experiments E1–E20, indexed in DESIGN.md), and hosts the
+//! criterion benchmarks. Binaries:
+//!
+//! * `exp_all` — run all experiments (or `--only E10 …`), print tables,
+//!   exit nonzero on any FAIL; `--json PATH` dumps machine-readable
+//!   results.
+//! * `exp_figures` — emit DOT renderings of Figs. 1–4.
+//! * `exp_congestion` — the §5 congestion extension in detail.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{run_all, run_one, RunConfig};
+pub use table::Experiment;

@@ -1,0 +1,119 @@
+//! Minimal ASCII table renderer for the experiment harness output
+//! (EXPERIMENTS.md is generated from these tables).
+
+/// A rendered experiment: identity, claim, measured rows, verdict.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Experiment {
+    /// Experiment id from DESIGN.md (e.g. "E10").
+    pub id: &'static str,
+    /// Which part of the paper it reproduces.
+    pub paper_ref: &'static str,
+    /// One-line title.
+    pub title: String,
+    /// The paper's claim being checked.
+    pub claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Summary of what was measured.
+    pub observed: String,
+    /// Did the measurement confirm the claim?
+    pub pass: bool,
+}
+
+impl Experiment {
+    /// Renders the experiment as a markdown-ish block.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "## {} — {} ({})\n\nClaim: {}\n\n",
+            self.id, self.title, self.paper_ref, self.claim
+        ));
+        out.push_str(&render_table(&self.headers, &self.rows));
+        out.push_str(&format!(
+            "\nObserved: {}\nVerdict: {}\n",
+            self.observed,
+            if self.pass { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+}
+
+/// Renders rows as a fixed-width ASCII table.
+#[must_use]
+pub fn render_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            line.push_str(&format!(" {cell:>w$} |", w = w));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(headers, &widths));
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Shorthand for building a row of strings.
+#[macro_export]
+macro_rules! row {
+    ($($cell:expr),* $(,)?) => {
+        vec![$($cell.to_string()),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["n".to_string(), "value".to_string()],
+            &[row!["3", "x"], row!["10", "long"]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains(" n |"));
+        assert!(lines[2].contains("  3 |"));
+        // All lines the same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn experiment_render_contains_verdict() {
+        let e = Experiment {
+            id: "E0",
+            paper_ref: "none",
+            title: "smoke".into(),
+            claim: "c".into(),
+            headers: vec!["a".into()],
+            rows: vec![row!["1"]],
+            observed: "ok".into(),
+            pass: true,
+        };
+        let r = e.render();
+        assert!(r.contains("## E0"));
+        assert!(r.contains("Verdict: PASS"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # shc-broadcast — the k-line communication model, executable
+//!
+//! Definition 1 of Fujita & Farley's paper as machine-checked code:
+//! schedules are explicit routed calls, the [`verify`] module replays them
+//! against the model's rules (edge-disjoint, receiver-disjoint, length
+//! `<= k`, informed callers, `ceil(log2 N)` rounds), and the [`schemes`]
+//! module generates the paper's broadcast schemes plus baselines. An exact
+//! search ([`solver`]) cross-checks tiny instances independently of the
+//! constructions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod model;
+pub mod oracle;
+pub mod schemes;
+pub mod solver;
+pub mod verify;
+
+pub use model::{Call, Round, Schedule, Vertex};
+pub use oracle::{EdgeOracle, GraphOracle};
+pub use schemes::{broadcast_scheme, hypercube_broadcast, star_broadcast, tree_line_broadcast};
+pub use solver::{broadcast_time, solve_min_time, BroadcastTime, SolveOutcome};
+pub use verify::{verify_minimum_time, verify_schedule, StrictError, VerifyReport, Violation};

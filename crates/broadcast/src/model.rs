@@ -1,0 +1,216 @@
+//! The k-line communication model (paper, Definition 1): synchronous
+//! rounds; each vertex may place one call along a path of at most `k`
+//! edges; calls in the same round must be pairwise edge-disjoint and
+//! receiver-disjoint.
+//!
+//! Schedules are *explicit*: every call carries its full routed path, so
+//! the validator can check Definition 1 verbatim instead of trusting the
+//! scheme.
+
+use serde::{Deserialize, Serialize};
+
+/// Vertices are bit strings packed into `u64`, matching `shc-core`.
+pub type Vertex = u64;
+
+/// One call: a routed path from the caller `path[0]` to the receiver
+/// `path.last()`, occupying every edge along the way for the round.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Call {
+    /// The routed path, `len() >= 2`.
+    pub path: Vec<Vertex>,
+}
+
+impl Call {
+    /// Creates a call from a routed path.
+    ///
+    /// # Panics
+    /// Panics if the path has fewer than two vertices.
+    #[must_use]
+    pub fn new(path: Vec<Vertex>) -> Self {
+        assert!(path.len() >= 2, "a call needs a caller and a receiver");
+        Self { path }
+    }
+
+    /// The calling vertex.
+    #[must_use]
+    pub fn caller(&self) -> Vertex {
+        self.path[0]
+    }
+
+    /// The receiving vertex.
+    #[must_use]
+    pub fn receiver(&self) -> Vertex {
+        *self.path.last().expect("nonempty path")
+    }
+
+    /// Call length in edges (the paper's "length of a call").
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.path.len() - 1
+    }
+
+    /// Calls are never empty; provided for clippy symmetry with `len`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The undirected edges occupied by the call, normalized as
+    /// `(min, max)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
+        self.path.windows(2).map(|w| {
+            if w[0] < w[1] {
+                (w[0], w[1])
+            } else {
+                (w[1], w[0])
+            }
+        })
+    }
+}
+
+/// The calls placed in one time unit.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Round {
+    /// Calls placed simultaneously in this round.
+    pub calls: Vec<Call>,
+}
+
+impl Round {
+    /// Number of calls in the round.
+    #[must_use]
+    pub fn num_calls(&self) -> usize {
+        self.calls.len()
+    }
+}
+
+/// A complete broadcast schedule from `source`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Originating vertex.
+    pub source: Vertex,
+    /// Rounds in time order.
+    pub rounds: Vec<Round>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule for `source`.
+    #[must_use]
+    pub fn new(source: Vertex) -> Self {
+        Self {
+            source,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Number of time units used.
+    #[must_use]
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total number of calls across all rounds.
+    #[must_use]
+    pub fn num_calls(&self) -> usize {
+        self.rounds.iter().map(Round::num_calls).sum()
+    }
+
+    /// Longest call in the schedule (edges); 0 for an empty schedule.
+    #[must_use]
+    pub fn max_call_len(&self) -> usize {
+        self.rounds
+            .iter()
+            .flat_map(|r| r.calls.iter())
+            .map(Call::len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The set of vertices informed after replaying the schedule
+    /// (source plus every receiver), ignoring validity.
+    #[must_use]
+    pub fn informed_vertices(&self) -> std::collections::HashSet<Vertex> {
+        let mut informed = std::collections::HashSet::new();
+        informed.insert(self.source);
+        for round in &self.rounds {
+            for call in &round.calls {
+                informed.insert(call.receiver());
+            }
+        }
+        informed
+    }
+
+    /// Per-round call counts — for the doubling-pattern assertions
+    /// (`|U|` at most doubles per round; exactly doubles when `N = 2^n`).
+    #[must_use]
+    pub fn calls_per_round(&self) -> Vec<usize> {
+        self.rounds.iter().map(Round::num_calls).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_accessors() {
+        let c = Call::new(vec![1, 5, 7]);
+        assert_eq!(c.caller(), 1);
+        assert_eq!(c.receiver(), 7);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        let edges: Vec<_> = c.edges().collect();
+        assert_eq!(edges, vec![(1, 5), (5, 7)]);
+    }
+
+    #[test]
+    fn call_edges_normalized() {
+        let c = Call::new(vec![9, 2, 4]);
+        let edges: Vec<_> = c.edges().collect();
+        assert_eq!(edges, vec![(2, 9), (2, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "caller and a receiver")]
+    fn singleton_call_rejected() {
+        let _ = Call::new(vec![3]);
+    }
+
+    #[test]
+    fn schedule_counters() {
+        let mut s = Schedule::new(0);
+        s.rounds.push(Round {
+            calls: vec![Call::new(vec![0, 1])],
+        });
+        s.rounds.push(Round {
+            calls: vec![Call::new(vec![0, 2]), Call::new(vec![1, 0, 2, 3])],
+        });
+        assert_eq!(s.num_rounds(), 2);
+        assert_eq!(s.num_calls(), 3);
+        assert_eq!(s.max_call_len(), 3);
+        assert_eq!(s.calls_per_round(), vec![1, 2]);
+        let informed = s.informed_vertices();
+        assert_eq!(informed.len(), 4);
+        assert!(informed.contains(&3));
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::new(7);
+        assert_eq!(s.num_rounds(), 0);
+        assert_eq!(s.max_call_len(), 0);
+        assert_eq!(s.informed_vertices().len(), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Schedule {
+            source: 1,
+            rounds: vec![Round {
+                calls: vec![Call::new(vec![1, 2])],
+            }],
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

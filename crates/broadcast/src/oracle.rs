@@ -1,0 +1,78 @@
+//! [`EdgeOracle`]: the minimal graph interface the schedule validator
+//! needs. Implemented by rule-generated sparse hypercubes (no
+//! materialization, so `n` up to 60 works) and by any materialized
+//! [`shc_graph::GraphView`] graph.
+
+use crate::model::Vertex;
+use shc_core::SparseHypercube;
+use shc_graph::{GraphView, Node};
+
+/// Edge membership plus vertex count — all the validator needs.
+pub trait EdgeOracle {
+    /// Number of vertices (vertex ids are `0..num_vertices`).
+    fn num_vertices(&self) -> u64;
+
+    /// Undirected edge test.
+    fn has_edge(&self, u: Vertex, v: Vertex) -> bool;
+}
+
+impl EdgeOracle for SparseHypercube {
+    fn num_vertices(&self) -> u64 {
+        SparseHypercube::num_vertices(self)
+    }
+
+    fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        SparseHypercube::has_edge(self, u, v)
+    }
+}
+
+/// Adapter exposing a materialized graph as an [`EdgeOracle`].
+pub struct GraphOracle<'a, G: GraphView> {
+    graph: &'a G,
+}
+
+impl<'a, G: GraphView> GraphOracle<'a, G> {
+    /// Wraps a graph reference.
+    #[must_use]
+    pub fn new(graph: &'a G) -> Self {
+        Self { graph }
+    }
+}
+
+impl<G: GraphView> EdgeOracle for GraphOracle<'_, G> {
+    fn num_vertices(&self) -> u64 {
+        self.graph.num_vertices() as u64
+    }
+
+    fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        let n = self.graph.num_vertices() as u64;
+        if u >= n || v >= n {
+            return false;
+        }
+        self.graph.has_edge(u as Node, v as Node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shc_graph::builders::cycle;
+
+    #[test]
+    fn graph_oracle_delegates() {
+        let g = cycle(5);
+        let o = GraphOracle::new(&g);
+        assert_eq!(EdgeOracle::num_vertices(&o), 5);
+        assert!(o.has_edge(0, 1));
+        assert!(o.has_edge(4, 0));
+        assert!(!o.has_edge(0, 2));
+        assert!(!o.has_edge(0, 99), "out of range is not an edge");
+    }
+
+    #[test]
+    fn sparse_hypercube_oracle() {
+        let g = SparseHypercube::construct_base(4, 2);
+        assert_eq!(EdgeOracle::num_vertices(&g), 16);
+        assert!(EdgeOracle::has_edge(&g, 0, 1));
+    }
+}

@@ -1,0 +1,81 @@
+//! The classical binomial-tree broadcast on the full hypercube `Q_n` under
+//! 1-line (store-and-forward) communication — the baseline the sparse
+//! hypercube is measured against (paper §3: `Q_n` "is known to have a
+//! minimum-time broadcasting property under the 1-line model").
+
+use crate::model::{Call, Round, Schedule, Vertex};
+
+/// Minimum-time 1-line broadcast on `Q_n` from `source`: in round `t`
+/// (`t = 1..=n`), every informed vertex calls its neighbor across
+/// dimension `n − t + 1`. All calls of a round use distinct edges of one
+/// dimension class, so the schedule is conflict-free, and the informed set
+/// exactly doubles each round.
+///
+/// # Panics
+/// Panics if `n > 28` (schedule materialization) or `source >= 2^n`.
+#[must_use]
+pub fn hypercube_broadcast(n: u32, source: Vertex) -> Schedule {
+    assert!(n <= 28, "schedule materialization capped at n = 28");
+    assert!(source < (1u64 << n), "source out of range");
+    let mut schedule = Schedule::new(source);
+    let mut informed: Vec<Vertex> = Vec::with_capacity(1 << n);
+    informed.push(source);
+    for dim in (1..=n).rev() {
+        let flip = 1u64 << (dim - 1);
+        let mut round = Round::default();
+        round.calls.reserve(informed.len());
+        let prev = informed.len();
+        for idx in 0..prev {
+            let w = informed[idx];
+            let v = w ^ flip;
+            round.calls.push(Call::new(vec![w, v]));
+            informed.push(v);
+        }
+        schedule.rounds.push(round);
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GraphOracle;
+    use crate::verify::verify_minimum_time;
+    use shc_graph::builders::hypercube;
+
+    #[test]
+    fn broadcast_is_minimum_time_for_all_sources_q4() {
+        let q = hypercube(4);
+        let o = GraphOracle::new(&q);
+        for source in 0..16u64 {
+            let s = hypercube_broadcast(4, source);
+            let r = verify_minimum_time(&o, &s, 1).unwrap_or_else(|e| {
+                panic!("source {source}: {e}");
+            });
+            assert_eq!(r.rounds, 4);
+            assert_eq!(r.max_call_len, 1);
+            assert_eq!(r.total_calls, 15);
+        }
+    }
+
+    #[test]
+    fn informed_doubles_every_round() {
+        let s = hypercube_broadcast(5, 7);
+        let q = hypercube(5);
+        let o = GraphOracle::new(&q);
+        let r = verify_minimum_time(&o, &s, 1).unwrap();
+        assert_eq!(r.informed_after_round, vec![2, 4, 8, 16, 32]);
+    }
+
+    #[test]
+    fn n_zero_single_vertex() {
+        let s = hypercube_broadcast(0, 0);
+        assert_eq!(s.num_rounds(), 0);
+    }
+
+    #[test]
+    fn calls_per_round_binomial_pattern() {
+        let s = hypercube_broadcast(3, 0);
+        assert_eq!(s.calls_per_round(), vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Broadcast schemes: the paper's constructions and the baselines they are
+//! compared against.
+//!
+//! * [`sparse`] — Schemes `Broadcast_2` / `Broadcast_k` on sparse
+//!   hypercubes (Theorems 4 and 6).
+//! * [`hypercube`] — classical binomial 1-line broadcast on `Q_n`.
+//! * [`tree`] — minimum-time line broadcast on trees (Theorem 1).
+//! * [`star`] — the edge-minimal 2-mlbg schedule on stars (§2).
+//! * [`greedy`] — structure-free adaptive baseline; fault-tolerance probe.
+
+pub mod greedy;
+pub mod hypercube;
+pub mod sparse;
+pub mod star;
+pub mod tree;
+
+pub use greedy::{greedy_broadcast, greedy_rounds, GreedyOutcome};
+pub use hypercube::hypercube_broadcast;
+pub use sparse::broadcast_scheme;
+pub use star::star_broadcast;
+pub use tree::{tree_line_broadcast, TreeSchedError};

@@ -1,0 +1,204 @@
+//! Schemes `Broadcast_2` (paper §3) and `Broadcast_k` (paper §4) on sparse
+//! hypercubes, unified over the leveled construction.
+//!
+//! Processing order (for `Construct(k; n, n_{k−1}, …, n_1)`):
+//!
+//! * **Cross phases**, level `ℓ = k` down to `2`: for each dimension
+//!   `i = n_ℓ` down to `n_{ℓ−1} + 1`, every informed vertex `w` places one
+//!   call ending across dimension `i`: directly if `w` owns the cross edge,
+//!   otherwise relayed through at most `ℓ − 1` hops inside `w`'s copy
+//!   (`route_to_cross_dim`). Call length `<= ℓ <= k`.
+//! * **Base phase**: dimensions `n_1` down to `1`, direct calls inside the
+//!   complete inner subcubes.
+//!
+//! Total rounds: exactly `n = log2 N` — minimum time. For `k = 2` this is
+//! verbatim the paper's `Broadcast_2` (Phase 1 / Phase 2).
+
+use crate::model::{Call, Round, Schedule, Vertex};
+use shc_core::routing::route_to_cross_dim;
+use shc_core::SparseHypercube;
+
+/// Generates the `Broadcast_k` schedule for `g` from `source`.
+///
+/// # Panics
+/// Panics if `source` is out of range, if `n > 28` (the schedule would not
+/// fit memory), or — indicating a construction bug — if a Phase-1 relay
+/// cannot be found within `k − 1` hops (Theorem 6 guarantees one).
+#[must_use]
+pub fn broadcast_scheme(g: &SparseHypercube, source: Vertex) -> Schedule {
+    let n = g.n();
+    assert!(n <= 28, "schedule materialization capped at n = 28");
+    assert!(source < g.num_vertices(), "source out of range");
+    let dims = g.params();
+    let k = dims.len();
+    let mut schedule = Schedule::new(source);
+    let mut informed: Vec<Vertex> = Vec::with_capacity(1 << n);
+    informed.push(source);
+
+    // Cross phases, outermost level first.
+    for l in (2..=k).rev() {
+        let hi = dims[l - 1];
+        let lo = dims[l - 2];
+        let max_hops = (l - 1) as u32;
+        for dim in ((lo + 1)..=hi).rev() {
+            let mut round = Round::default();
+            round.calls.reserve(informed.len());
+            let prev = informed.len();
+            for idx in 0..prev {
+                let w = informed[idx];
+                let path = route_to_cross_dim(g, w, dim, lo, max_hops)
+                    .expect("Theorem 6: a relay exists within k-1 hops");
+                informed.push(*path.last().expect("nonempty path"));
+                round.calls.push(Call::new(path));
+            }
+            schedule.rounds.push(round);
+        }
+    }
+
+    // Base phase: complete subcube, direct calls.
+    for dim in (1..=dims[0]).rev() {
+        let flip = 1u64 << (dim - 1);
+        let mut round = Round::default();
+        round.calls.reserve(informed.len());
+        let prev = informed.len();
+        for idx in 0..prev {
+            let w = informed[idx];
+            let v = w ^ flip;
+            round.calls.push(Call::new(vec![w, v]));
+            informed.push(v);
+        }
+        schedule.rounds.push(round);
+    }
+
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_minimum_time, verify_schedule};
+    use shc_core::{DimPartition, SparseHypercube};
+    use shc_labeling::constructions::paper_example1_q2;
+
+    fn g42_paper() -> SparseHypercube {
+        SparseHypercube::construct_base_with(
+            4,
+            2,
+            paper_example1_q2(),
+            Some(DimPartition::from_subsets(2, 4, &[vec![3], vec![4]])),
+        )
+    }
+
+    #[test]
+    fn example4_broadcast_in_g42() {
+        // Example 4 / Fig. 4: broadcast from 0000 in G_{4,2} takes 4 time
+        // units; the first two rounds cross dimensions 4 then 3, the final
+        // two rounds broadcast within the 2-cubes.
+        let g = g42_paper();
+        let s = broadcast_scheme(&g, 0b0000);
+        let r = verify_minimum_time(&g, &s, 2).unwrap();
+        assert_eq!(r.rounds, 4);
+        assert_eq!(r.informed_after_round, vec![2, 4, 8, 16]);
+        assert_eq!(r.max_call_len, 2);
+        // Round 1: single call crossing dimension 4 via a relay.
+        assert_eq!(s.rounds[0].calls.len(), 1);
+        let first = &s.rounds[0].calls[0];
+        assert_eq!(first.caller(), 0b0000);
+        assert_eq!(first.len(), 2, "0000 lacks the dim-4 edge: length-2 call");
+        assert_eq!(
+            first.receiver() & 0b1000,
+            0b1000,
+            "receiver is in the upper half"
+        );
+    }
+
+    #[test]
+    fn theorem4_broadcast2_minimum_time_sweep() {
+        // Theorem 4: Broadcast_2 is minimum-time for every Construct_BASE
+        // graph; checked for all (n, m), several sources.
+        for n in 3..=9u32 {
+            for m in 1..n {
+                let g = SparseHypercube::construct_base(n, m);
+                for source in [0u64, 1, (1 << n) - 1, 1 << (n - 1), 5 % (1 << n)] {
+                    let s = broadcast_scheme(&g, source);
+                    let r = verify_minimum_time(&g, &s, 2).unwrap_or_else(|e| {
+                        panic!("G_{{{n},{m}}} from {source}: {e}")
+                    });
+                    assert_eq!(r.rounds, n as usize);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem6_broadcast_k_minimum_time_k3() {
+        for dims in [vec![1u32, 2, 5], vec![2, 4, 7], vec![2, 4, 9], vec![3, 5, 8]] {
+            let g = SparseHypercube::construct(&dims);
+            let n = g.n();
+            for source in [0u64, (1 << n) - 1, 0b101 % (1 << n)] {
+                let s = broadcast_scheme(&g, source);
+                let r = verify_minimum_time(&g, &s, 3).unwrap_or_else(|e| {
+                    panic!("{dims:?} from {source}: {e}")
+                });
+                assert_eq!(r.rounds, n as usize);
+                assert!(r.max_call_len <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn theorem6_broadcast_k_minimum_time_k4() {
+        for dims in [vec![1u32, 2, 3, 6], vec![1, 3, 5, 9], vec![2, 4, 6, 10]] {
+            let g = SparseHypercube::construct(&dims);
+            let n = g.n();
+            for source in [0u64, (1 << n) - 1] {
+                let s = broadcast_scheme(&g, source);
+                let r = verify_minimum_time(&g, &s, 4)
+                    .unwrap_or_else(|e| panic!("{dims:?} from {source}: {e}"));
+                assert_eq!(r.rounds, n as usize);
+                assert!(r.max_call_len <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn property1_schedule_valid_under_larger_k() {
+        // Paper Property 1: minimum-time k-line schemes remain valid for
+        // k + 1.
+        let g = SparseHypercube::construct_base(6, 2);
+        let s = broadcast_scheme(&g, 0);
+        for k in 2..=6usize {
+            assert!(verify_schedule(&g, &s, k).is_ok(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn informed_doubles_every_round() {
+        let g = SparseHypercube::construct_base(7, 3);
+        let s = broadcast_scheme(&g, 42);
+        let r = verify_minimum_time(&g, &s, 2).unwrap();
+        let expect: Vec<u64> = (1..=7).map(|t| 1u64 << t).collect();
+        assert_eq!(r.informed_after_round, expect);
+    }
+
+    #[test]
+    fn phase1_calls_stay_in_copy_until_cross() {
+        // Every Phase-1 call's intermediate hops stay inside the caller's
+        // copy (dims <= m), with exactly the final hop crossing.
+        let g = SparseHypercube::construct_base(6, 2);
+        let s = broadcast_scheme(&g, 0);
+        for round in &s.rounds[..4] {
+            for call in &round.calls {
+                let path = &call.path;
+                for w in path.windows(2).take(path.len() - 2) {
+                    assert!(
+                        (w[0] ^ w[1]).trailing_zeros() < 2,
+                        "relay hop must stay in the 2-cube"
+                    );
+                }
+                let last = path[path.len() - 1] ^ path[path.len() - 2];
+                assert!(last.trailing_zeros() >= 2, "final hop crosses");
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Minimum-time 2-line broadcast on the star `K_{1,N−1}` — the paper's §2
+//! observation that the star is the *edge-minimal* member of `G_k` for
+//! every `k >= 2`: informed leaves call uninformed leaves *through* the
+//! center (length-2 calls switching at the hub), so the informed set
+//! doubles even though the center has all the edges.
+
+use crate::model::{Call, Round, Schedule, Vertex};
+
+/// Builds the doubling schedule on a star with `n` vertices (center 0,
+/// leaves `1..n`) from any `source`.
+///
+/// # Panics
+/// Panics if `n == 0` or `source >= n`.
+#[must_use]
+pub fn star_broadcast(n: u64, source: Vertex) -> Schedule {
+    assert!(n >= 1, "empty star");
+    assert!(source < n, "source out of range");
+    let mut schedule = Schedule::new(source);
+    let mut informed: Vec<Vertex> = vec![source];
+    let mut uninformed: Vec<Vertex> = (0..n).filter(|&v| v != source).collect();
+    // Inform the center early if the source is a leaf: the center reaches
+    // leaves with length-1 calls, leaves need length 2.
+    uninformed.sort_unstable(); // center (0) first
+    while !uninformed.is_empty() {
+        let mut round = Round::default();
+        let mut next_uninformed = Vec::new();
+        let mut targets = uninformed.into_iter();
+        for &caller in &informed {
+            match targets.next() {
+                Some(t) => {
+                    let path = if caller == 0 || t == 0 {
+                        vec![caller, t] // direct spoke edge
+                    } else {
+                        vec![caller, 0, t] // switch through the center
+                    };
+                    round.calls.push(Call::new(path));
+                }
+                None => break,
+            }
+        }
+        next_uninformed.extend(targets);
+        for call in &round.calls {
+            informed.push(call.receiver());
+        }
+        schedule.rounds.push(round);
+        uninformed = next_uninformed;
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GraphOracle;
+    use crate::verify::verify_minimum_time;
+    use shc_graph::builders::star;
+
+    #[test]
+    fn star_is_2mlbg_from_every_source() {
+        for n in [2u64, 3, 5, 8, 16, 33] {
+            let g = star(n as usize);
+            let o = GraphOracle::new(&g);
+            for source in 0..n {
+                let s = star_broadcast(n, source);
+                let r = verify_minimum_time(&o, &s, 2).unwrap_or_else(|e| {
+                    panic!("star({n}) from {source}: {e}")
+                });
+                assert!(r.max_call_len <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn center_source_uses_short_calls_first() {
+        let s = star_broadcast(8, 0);
+        assert_eq!(s.rounds[0].calls[0].len(), 1);
+    }
+
+    #[test]
+    fn leaf_source_informs_center_first() {
+        let s = star_broadcast(8, 3);
+        let first = &s.rounds[0].calls[0];
+        assert_eq!(first.receiver(), 0, "center informed in round 1");
+        assert_eq!(first.len(), 1);
+    }
+
+    #[test]
+    fn single_vertex_star() {
+        let s = star_broadcast(1, 0);
+        assert_eq!(s.num_rounds(), 0);
+    }
+
+    #[test]
+    fn doubling_pattern() {
+        let s = star_broadcast(16, 0);
+        assert_eq!(s.calls_per_round(), vec![1, 2, 4, 8]);
+    }
+}

@@ -1,0 +1,457 @@
+//! Exact minimum-time k-line broadcast search for tiny graphs.
+//!
+//! A depth-first search over rounds: each round enumerates conflict-free
+//! sets of calls (edge-disjoint, receiver-disjoint, one per informed
+//! caller) and recurses; failed `(informed-set, round)` states are
+//! memoized. Exponential — intended for `|V| <= 12`-ish cross-checks of
+//! the constructive schemes and for small membership certificates
+//! (e.g. "C_8 ∈ G_2 but C_8 ∉ G_1").
+
+use crate::model::{Call, Round, Schedule, Vertex};
+use shc_core::bounds::ceil_log2;
+use shc_graph::{AdjGraph, GraphView, Node};
+use std::collections::HashSet;
+
+/// Result of the exact search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// A minimum-time schedule exists (and here it is).
+    Found(Schedule),
+    /// Exhaustively proven impossible within `ceil(log2 N)` rounds.
+    Infeasible,
+    /// The node budget ran out before the search concluded.
+    BudgetExceeded,
+}
+
+impl SolveOutcome {
+    /// `true` for [`SolveOutcome::Found`].
+    #[must_use]
+    pub fn is_found(&self) -> bool {
+        matches!(self, Self::Found(_))
+    }
+}
+
+/// Result of the iterative-deepening broadcast-time computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BroadcastTime {
+    /// `b_k(G, v)`: the exact minimum number of rounds, with a witness.
+    Exact(usize, Schedule),
+    /// Search exceeded the node budget before deciding.
+    Unknown,
+}
+
+/// Computes the exact k-line broadcast time `b_k(G, v)` for a small graph
+/// by iterative deepening from the information-theoretic minimum up to
+/// `max_rounds`. `BroadcastTime::Unknown` when the budget runs out or no
+/// schedule exists within `max_rounds` (e.g. disconnected graphs).
+///
+/// # Panics
+/// Panics under the same conditions as [`solve_min_time`].
+#[must_use]
+pub fn broadcast_time(
+    graph: &AdjGraph,
+    source: Node,
+    k: usize,
+    max_rounds: usize,
+    node_budget: usize,
+) -> BroadcastTime {
+    let n = graph.num_vertices();
+    assert!((1..=24).contains(&n), "exact solver capped at 24 vertices");
+    assert!(k >= 1);
+    let floor = ceil_log2(n as u64) as usize;
+    for rounds in floor..=max_rounds.max(floor) {
+        let mut s = Searcher {
+            graph,
+            k,
+            n,
+            total_rounds: rounds,
+            budget: node_budget,
+            nodes: 0,
+            failed: HashSet::new(),
+            exhausted: false,
+        };
+        let informed = 1u32 << source;
+        let mut sched_rounds: Vec<Round> = Vec::new();
+        if s.search(informed, 0, &mut sched_rounds) {
+            return BroadcastTime::Exact(
+                sched_rounds.len(),
+                Schedule {
+                    source: Vertex::from(source),
+                    rounds: sched_rounds,
+                },
+            );
+        }
+        if s.exhausted {
+            return BroadcastTime::Unknown;
+        }
+    }
+    BroadcastTime::Unknown
+}
+
+struct Searcher<'a> {
+    graph: &'a AdjGraph,
+    k: usize,
+    n: usize,
+    total_rounds: usize,
+    budget: usize,
+    nodes: usize,
+    failed: HashSet<(u32, u8)>,
+    exhausted: bool,
+}
+
+/// Searches for a minimum-time k-line broadcast on `graph` from `source`,
+/// spending at most `node_budget` search nodes.
+///
+/// # Panics
+/// Panics if the graph has more than 24 vertices or is empty.
+#[must_use]
+pub fn solve_min_time(
+    graph: &AdjGraph,
+    source: Node,
+    k: usize,
+    node_budget: usize,
+) -> SolveOutcome {
+    let n = graph.num_vertices();
+    assert!(n >= 1, "empty graph");
+    assert!(n <= 24, "exact solver capped at 24 vertices");
+    assert!(k >= 1);
+    let total_rounds = ceil_log2(n as u64) as usize;
+    let mut s = Searcher {
+        graph,
+        k,
+        n,
+        total_rounds,
+        budget: node_budget,
+        nodes: 0,
+        failed: HashSet::new(),
+        exhausted: false,
+    };
+    let informed = 1u32 << source;
+    let mut rounds: Vec<Round> = Vec::new();
+    if s.search(informed, 0, &mut rounds) {
+        return SolveOutcome::Found(Schedule {
+            source: Vertex::from(source),
+            rounds,
+        });
+    }
+    if s.exhausted {
+        SolveOutcome::BudgetExceeded
+    } else {
+        SolveOutcome::Infeasible
+    }
+}
+
+impl Searcher<'_> {
+    fn full_mask(&self) -> u32 {
+        if self.n == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.n) - 1
+        }
+    }
+
+    fn search(&mut self, informed: u32, round: usize, rounds: &mut Vec<Round>) -> bool {
+        if informed == self.full_mask() {
+            return true;
+        }
+        if round == self.total_rounds {
+            return false;
+        }
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            self.exhausted = true;
+            return false;
+        }
+        let key = (informed, round as u8);
+        if self.failed.contains(&key) {
+            return false;
+        }
+        // Doubling prune: even perfect doubling cannot finish in time.
+        let rounds_left = self.total_rounds - round;
+        let reachable = (u64::from(informed.count_ones())) << rounds_left;
+        if reachable < self.n as u64 {
+            self.failed.insert(key);
+            return false;
+        }
+
+        let callers: Vec<Node> = (0..self.n as Node)
+            .filter(|&v| informed >> v & 1 == 1)
+            .collect();
+        // Candidate calls per caller.
+        let candidates: Vec<Vec<Vec<Node>>> = callers
+            .iter()
+            .map(|&c| self.calls_from(c, informed))
+            .collect();
+
+        let mut chosen: Vec<Vec<Node>> = Vec::new();
+        let found = self.assign(
+            informed,
+            round,
+            &callers,
+            &candidates,
+            0,
+            &mut HashSet::new(),
+            &mut 0u32,
+            &mut chosen,
+            rounds,
+        );
+        if !found && !self.exhausted {
+            self.failed.insert(key);
+        }
+        found
+    }
+
+    /// Enumerates edge-distinct paths of length 1..=k from `caller` ending
+    /// at uninformed vertices.
+    fn calls_from(&self, caller: Node, informed: u32) -> Vec<Vec<Node>> {
+        let mut out = Vec::new();
+        let mut path = vec![caller];
+        let mut edges: HashSet<(Node, Node)> = HashSet::new();
+        self.extend_path(&mut path, &mut edges, informed, &mut out);
+        out
+    }
+
+    fn extend_path(
+        &self,
+        path: &mut Vec<Node>,
+        edges: &mut HashSet<(Node, Node)>,
+        informed: u32,
+        out: &mut Vec<Vec<Node>>,
+    ) {
+        if path.len() > self.k {
+            return;
+        }
+        let last = *path.last().expect("nonempty");
+        for &next in self.graph.neighbors(last) {
+            let e = if last < next { (last, next) } else { (next, last) };
+            if edges.contains(&e) {
+                continue;
+            }
+            edges.insert(e);
+            path.push(next);
+            if informed >> next & 1 == 0 {
+                out.push(path.clone());
+            }
+            self.extend_path(path, edges, informed, out);
+            path.pop();
+            edges.remove(&e);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assign(
+        &mut self,
+        informed: u32,
+        round: usize,
+        callers: &[Node],
+        candidates: &[Vec<Vec<Node>>],
+        idx: usize,
+        used_edges: &mut HashSet<(Node, Node)>,
+        receivers: &mut u32,
+        chosen: &mut Vec<Vec<Node>>,
+        rounds: &mut Vec<Round>,
+    ) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        if idx == callers.len() {
+            if chosen.is_empty() {
+                return false; // an idle round cannot help
+            }
+            let new_informed = informed | *receivers;
+            rounds.push(Round {
+                calls: chosen
+                    .iter()
+                    .map(|p| Call::new(p.iter().map(|&v| Vertex::from(v)).collect()))
+                    .collect(),
+            });
+            if self.search(new_informed, round + 1, rounds) {
+                return true;
+            }
+            rounds.pop();
+            return false;
+        }
+        // Try each candidate call of this caller, then the skip option.
+        for path in &candidates[idx] {
+            let receiver = *path.last().expect("nonempty");
+            if *receivers >> receiver & 1 == 1 {
+                continue;
+            }
+            let path_edges: Vec<(Node, Node)> = path
+                .windows(2)
+                .map(|w| if w[0] < w[1] { (w[0], w[1]) } else { (w[1], w[0]) })
+                .collect();
+            if path_edges.iter().any(|e| used_edges.contains(e)) {
+                continue;
+            }
+            for &e in &path_edges {
+                used_edges.insert(e);
+            }
+            *receivers |= 1 << receiver;
+            chosen.push(path.clone());
+
+            if self.assign(
+                informed, round, callers, candidates, idx + 1, used_edges, receivers, chosen,
+                rounds,
+            ) {
+                return true;
+            }
+
+            chosen.pop();
+            *receivers &= !(1 << receiver);
+            for e in &path_edges {
+                used_edges.remove(e);
+            }
+        }
+        // Skip this caller.
+        self.assign(
+            informed, round, callers, candidates, idx + 1, used_edges, receivers, chosen, rounds,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GraphOracle;
+    use crate::verify::verify_minimum_time;
+    use shc_graph::builders::{cycle, hypercube, path, star, theorem1_tree};
+
+    const BUDGET: usize = 2_000_000;
+
+    fn assert_found(g: &AdjGraph, source: Node, k: usize) {
+        match solve_min_time(g, source, k, BUDGET) {
+            SolveOutcome::Found(s) => {
+                let o = GraphOracle::new(g);
+                verify_minimum_time(&o, &s, k).expect("solver schedule must validate");
+            }
+            other => panic!("expected Found, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hypercube_q3_is_1mlbg() {
+        let g = hypercube(3);
+        for source in 0..8 {
+            assert_found(&g, source, 1);
+        }
+    }
+
+    #[test]
+    fn path4_not_1mlbg_but_2mlbg() {
+        let g = path(4);
+        assert_eq!(solve_min_time(&g, 0, 1, BUDGET), SolveOutcome::Infeasible);
+        assert_found(&g, 0, 2);
+    }
+
+    #[test]
+    fn cycle8_in_g2_not_g1() {
+        let g = cycle(8);
+        assert_eq!(solve_min_time(&g, 0, 1, BUDGET), SolveOutcome::Infeasible);
+        assert_found(&g, 0, 2);
+    }
+
+    #[test]
+    fn star_is_2mlbg() {
+        let g = star(8);
+        for source in [0 as Node, 1, 7] {
+            assert_found(&g, source, 2);
+        }
+    }
+
+    #[test]
+    fn star_leaf_not_1mlbg() {
+        // With k = 1 a star cannot double: the center is the only possible
+        // caller target hub.
+        let g = star(8);
+        assert_eq!(solve_min_time(&g, 1, 1, BUDGET), SolveOutcome::Infeasible);
+    }
+
+    #[test]
+    fn theorem1_tree_h1_is_2mlbg() {
+        // h = 1: 4 vertices, diameter 2; Theorem 1 says it is a 2-mlbg.
+        let g = theorem1_tree(1);
+        for source in 0..4 {
+            assert_found(&g, source, 2);
+        }
+    }
+
+    #[test]
+    fn theorem1_tree_h2_needs_k4_from_leaf() {
+        // h = 2: 10 vertices, diameter 4. From a deep leaf the exact search
+        // finds a schedule at k = 4 (Theorem 1's bound is k >= 2h = 4).
+        let g = theorem1_tree(2);
+        assert_found(&g, 3, 4);
+    }
+
+    #[test]
+    fn property2_monotone() {
+        // G_k ⊆ G_{k+1}: whatever is feasible at k stays feasible at k+1.
+        let g = cycle(8);
+        assert_found(&g, 0, 2);
+        assert_found(&g, 0, 3);
+    }
+
+    #[test]
+    fn tiny_budget_reports_exhaustion() {
+        let g = theorem1_tree(2);
+        assert_eq!(
+            solve_min_time(&g, 3, 2, 1),
+            SolveOutcome::BudgetExceeded
+        );
+    }
+
+    #[test]
+    fn single_vertex_trivially_found() {
+        let g = AdjGraph::with_vertices(1);
+        assert!(solve_min_time(&g, 0, 1, 10).is_found());
+    }
+
+    #[test]
+    fn broadcast_time_matches_min_time_when_feasible() {
+        // Q3 at k=1 is minimum-time: b_1(Q3, v) = 3.
+        let g = hypercube(3);
+        match broadcast_time(&g, 0, 1, 8, BUDGET) {
+            BroadcastTime::Exact(rounds, sched) => {
+                assert_eq!(rounds, 3);
+                let o = GraphOracle::new(&g);
+                crate::verify::verify_schedule(&o, &sched, 1).expect("valid");
+            }
+            BroadcastTime::Unknown => panic!("budget too small"),
+        }
+    }
+
+    #[test]
+    fn broadcast_time_beyond_minimum() {
+        // P4 from an end at k=1 needs 3 rounds (> log2 4 = 2) — the
+        // iterative deepening finds the true b_1.
+        let g = path(4);
+        match broadcast_time(&g, 0, 1, 8, BUDGET) {
+            BroadcastTime::Exact(rounds, sched) => {
+                assert_eq!(rounds, 3);
+                let o = GraphOracle::new(&g);
+                let r = crate::verify::verify_schedule(&o, &sched, 1).expect("valid");
+                assert!(!r.is_minimum_time());
+            }
+            BroadcastTime::Unknown => panic!("budget too small"),
+        }
+    }
+
+    #[test]
+    fn broadcast_time_on_cycle_k1() {
+        // b_1(C8, v): informed set grows by at most 2 per round after the
+        // first; known value ceil(8/2) = 4.
+        let g = cycle(8);
+        match broadcast_time(&g, 0, 1, 10, BUDGET) {
+            BroadcastTime::Exact(rounds, _) => assert_eq!(rounds, 4),
+            BroadcastTime::Unknown => panic!("budget too small"),
+        }
+    }
+
+    #[test]
+    fn broadcast_time_unknown_when_capped() {
+        // Disconnected graph: no finite broadcast time.
+        let g = AdjGraph::from_edges(4, [(0, 1)]);
+        assert_eq!(broadcast_time(&g, 0, 1, 6, BUDGET), BroadcastTime::Unknown);
+    }
+}

@@ -1,0 +1,571 @@
+//! The schedule validator: Definition 1 of the paper, checked verbatim.
+//!
+//! A schedule is a *valid k-line broadcast* from `source` iff, replaying
+//! round by round:
+//!
+//! 1. every call's path is a walk along existing edges with no repeated
+//!    edge, of length at most `k`;
+//! 2. every caller is already informed;
+//! 3. no vertex places more than one call per round;
+//! 4. no two calls in a round share an edge (edge-disjointness);
+//! 5. no two calls in a round share a receiver (single reception);
+//! 6. after the last round, every vertex is informed.
+//!
+//! It is *minimum time* iff additionally `rounds == ceil(log2 N)`
+//! (Definition 2). Calling an already-informed vertex is legal but useless;
+//! the report counts such calls so schemes can assert zero waste.
+
+use crate::model::{Schedule, Vertex};
+use crate::oracle::EdgeOracle;
+use serde::{Deserialize, Serialize};
+use shc_core::bounds::ceil_log2;
+use shc_graph::BitSet;
+use std::collections::{HashMap, HashSet};
+
+/// Why a schedule failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A path hop is not an edge of the graph.
+    NotAnEdge {
+        /// Round index (0-based).
+        round: usize,
+        /// The offending hop.
+        edge: (Vertex, Vertex),
+    },
+    /// A call repeats an edge inside its own path.
+    SelfOverlap {
+        /// Round index.
+        round: usize,
+        /// The repeated edge.
+        edge: (Vertex, Vertex),
+    },
+    /// A call exceeds the length bound `k`.
+    CallTooLong {
+        /// Round index.
+        round: usize,
+        /// Caller of the offending call.
+        caller: Vertex,
+        /// Actual length.
+        len: usize,
+        /// Permitted maximum.
+        k: usize,
+    },
+    /// A call was placed by an uninformed vertex.
+    UninformedCaller {
+        /// Round index.
+        round: usize,
+        /// The uninformed caller.
+        caller: Vertex,
+    },
+    /// A vertex placed two calls in one round.
+    MultipleCalls {
+        /// Round index.
+        round: usize,
+        /// The over-active caller.
+        caller: Vertex,
+    },
+    /// Two calls in a round share an edge.
+    EdgeConflict {
+        /// Round index.
+        round: usize,
+        /// The contended edge.
+        edge: (Vertex, Vertex),
+    },
+    /// Two calls in a round share a receiver.
+    ReceiverConflict {
+        /// Round index.
+        round: usize,
+        /// The doubly-called receiver.
+        receiver: Vertex,
+    },
+    /// The schedule ends with uninformed vertices.
+    Incomplete {
+        /// How many vertices never learned the message.
+        missing: u64,
+        /// One example.
+        example: Vertex,
+    },
+    /// A path endpoint exceeds the graph's vertex range.
+    VertexOutOfRange {
+        /// Round index.
+        round: usize,
+        /// The offending vertex id.
+        vertex: Vertex,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotAnEdge { round, edge } => {
+                write!(f, "round {round}: hop {edge:?} is not an edge")
+            }
+            Self::SelfOverlap { round, edge } => {
+                write!(f, "round {round}: call reuses edge {edge:?} within its path")
+            }
+            Self::CallTooLong {
+                round,
+                caller,
+                len,
+                k,
+            } => write!(f, "round {round}: call from {caller} has length {len} > k = {k}"),
+            Self::UninformedCaller { round, caller } => {
+                write!(f, "round {round}: caller {caller} is not informed")
+            }
+            Self::MultipleCalls { round, caller } => {
+                write!(f, "round {round}: vertex {caller} places two calls")
+            }
+            Self::EdgeConflict { round, edge } => {
+                write!(f, "round {round}: edge {edge:?} used by two calls")
+            }
+            Self::ReceiverConflict { round, receiver } => {
+                write!(f, "round {round}: receiver {receiver} called twice")
+            }
+            Self::Incomplete { missing, example } => {
+                write!(f, "{missing} vertices uninformed (e.g. {example})")
+            }
+            Self::VertexOutOfRange { round, vertex } => {
+                write!(f, "round {round}: vertex {vertex} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Statistics of a successfully validated schedule.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerifyReport {
+    /// Rounds used.
+    pub rounds: usize,
+    /// The minimum possible (`ceil(log2 N)`).
+    pub min_rounds: usize,
+    /// Total calls placed.
+    pub total_calls: usize,
+    /// Longest call (edges).
+    pub max_call_len: usize,
+    /// Calls whose receiver was already informed (legal but wasted).
+    pub redundant_calls: usize,
+    /// Number of informed vertices after each round.
+    pub informed_after_round: Vec<u64>,
+}
+
+impl VerifyReport {
+    /// `true` iff the schedule is a *minimum-time* broadcast
+    /// (Definition 2: exactly `ceil(log2 N)` rounds).
+    #[must_use]
+    pub fn is_minimum_time(&self) -> bool {
+        self.rounds == self.min_rounds
+    }
+}
+
+/// Validates `schedule` as a k-line broadcast on `graph` (see module docs).
+///
+/// # Errors
+/// Returns the first [`Violation`] encountered, scanning rounds in order.
+///
+/// # Panics
+/// Panics if the graph has more than `2^28` vertices (the informed set is
+/// materialized as a bitset).
+pub fn verify_schedule<G: EdgeOracle>(
+    graph: &G,
+    schedule: &Schedule,
+    k: usize,
+) -> Result<VerifyReport, Violation> {
+    let n_vertices = graph.num_vertices();
+    assert!(n_vertices <= 1 << 28, "validator capped at 2^28 vertices");
+    assert!(k >= 1, "k must be positive");
+    let mut informed = BitSet::new(n_vertices as usize);
+    informed.insert(schedule.source as usize);
+
+    let mut total_calls = 0usize;
+    let mut max_call_len = 0usize;
+    let mut redundant = 0usize;
+    let mut informed_after = Vec::with_capacity(schedule.rounds.len());
+
+    for (round_idx, round) in schedule.rounds.iter().enumerate() {
+        let mut round_edges: HashSet<(Vertex, Vertex)> = HashSet::new();
+        let mut receivers: HashSet<Vertex> = HashSet::new();
+        let mut callers: HashMap<Vertex, ()> = HashMap::new();
+        let mut newly: Vec<Vertex> = Vec::with_capacity(round.calls.len());
+
+        for call in &round.calls {
+            // Range checks.
+            for &v in &call.path {
+                if v >= n_vertices {
+                    return Err(Violation::VertexOutOfRange {
+                        round: round_idx,
+                        vertex: v,
+                    });
+                }
+            }
+            // (1) path validity and per-call edge uniqueness.
+            if call.len() > k {
+                return Err(Violation::CallTooLong {
+                    round: round_idx,
+                    caller: call.caller(),
+                    len: call.len(),
+                    k,
+                });
+            }
+            let mut own_edges: HashSet<(Vertex, Vertex)> = HashSet::new();
+            for (a, b) in call.edges() {
+                if !graph.has_edge(a, b) {
+                    return Err(Violation::NotAnEdge {
+                        round: round_idx,
+                        edge: (a, b),
+                    });
+                }
+                if !own_edges.insert((a, b)) {
+                    return Err(Violation::SelfOverlap {
+                        round: round_idx,
+                        edge: (a, b),
+                    });
+                }
+            }
+            // (2) informed caller.
+            if !informed.contains(call.caller() as usize) {
+                return Err(Violation::UninformedCaller {
+                    round: round_idx,
+                    caller: call.caller(),
+                });
+            }
+            // (3) one call per caller.
+            if callers.insert(call.caller(), ()).is_some() {
+                return Err(Violation::MultipleCalls {
+                    round: round_idx,
+                    caller: call.caller(),
+                });
+            }
+            // (4) edge-disjointness across calls.
+            for e in own_edges {
+                if !round_edges.insert(e) {
+                    return Err(Violation::EdgeConflict {
+                        round: round_idx,
+                        edge: e,
+                    });
+                }
+            }
+            // (5) receiver-disjointness.
+            if !receivers.insert(call.receiver()) {
+                return Err(Violation::ReceiverConflict {
+                    round: round_idx,
+                    receiver: call.receiver(),
+                });
+            }
+            if informed.contains(call.receiver() as usize) {
+                redundant += 1;
+            }
+            newly.push(call.receiver());
+            total_calls += 1;
+            max_call_len = max_call_len.max(call.len());
+        }
+        // Inform receivers only after the whole round (synchronous model).
+        for v in newly {
+            informed.insert(v as usize);
+        }
+        informed_after.push(informed.count() as u64);
+    }
+
+    // (6) completeness.
+    let informed_count = informed.count() as u64;
+    if informed_count != n_vertices {
+        let example = (0..n_vertices)
+            .find(|&v| !informed.contains(v as usize))
+            .unwrap_or(0);
+        return Err(Violation::Incomplete {
+            missing: n_vertices - informed_count,
+            example,
+        });
+    }
+
+    Ok(VerifyReport {
+        rounds: schedule.rounds.len(),
+        min_rounds: ceil_log2(n_vertices) as usize,
+        total_calls,
+        max_call_len,
+        redundant_calls: redundant,
+        informed_after_round: informed_after,
+    })
+}
+
+/// Convenience: validate and additionally require minimum time
+/// (Definition 2) and zero redundant calls.
+///
+/// # Errors
+/// Returns a violation, or a synthesized `Incomplete`-style error message
+/// via `Err(String)` is avoided — failures of the extra conditions are
+/// reported through [`StrictError`].
+pub fn verify_minimum_time<G: EdgeOracle>(
+    graph: &G,
+    schedule: &Schedule,
+    k: usize,
+) -> Result<VerifyReport, StrictError> {
+    let report = verify_schedule(graph, schedule, k).map_err(StrictError::Invalid)?;
+    if !report.is_minimum_time() {
+        return Err(StrictError::NotMinimumTime {
+            rounds: report.rounds,
+            min_rounds: report.min_rounds,
+        });
+    }
+    if report.redundant_calls > 0 {
+        return Err(StrictError::RedundantCalls {
+            count: report.redundant_calls,
+        });
+    }
+    Ok(report)
+}
+
+/// Failure modes of [`verify_minimum_time`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StrictError {
+    /// The schedule violates Definition 1.
+    Invalid(Violation),
+    /// Valid but slower than `ceil(log2 N)`.
+    NotMinimumTime {
+        /// Rounds used.
+        rounds: usize,
+        /// Minimum possible.
+        min_rounds: usize,
+    },
+    /// Valid but wastes calls on informed receivers.
+    RedundantCalls {
+        /// Number of wasted calls.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for StrictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Invalid(v) => write!(f, "invalid schedule: {v}"),
+            Self::NotMinimumTime { rounds, min_rounds } => {
+                write!(f, "used {rounds} rounds, minimum is {min_rounds}")
+            }
+            Self::RedundantCalls { count } => write!(f, "{count} redundant calls"),
+        }
+    }
+}
+
+impl std::error::Error for StrictError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Call, Round};
+    use crate::oracle::GraphOracle;
+    use shc_graph::builders::{cycle, path, star};
+
+    fn schedule(source: Vertex, rounds: Vec<Vec<Vec<Vertex>>>) -> Schedule {
+        Schedule {
+            source,
+            rounds: rounds
+                .into_iter()
+                .map(|calls| Round {
+                    calls: calls.into_iter().map(Call::new).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn valid_path_broadcast() {
+        // P4: 0-1-2-3, source 0, k = 2:
+        // round 1: 0 -> 2 (length 2); round 2: 0 -> 1, 2 -> 3.
+        let g = path(4);
+        let o = GraphOracle::new(&g);
+        let s = schedule(0, vec![vec![vec![0, 1, 2]], vec![vec![0, 1], vec![2, 3]]]);
+        let r = verify_schedule(&o, &s, 2).unwrap();
+        assert_eq!(r.rounds, 2);
+        assert_eq!(r.min_rounds, 2);
+        assert!(r.is_minimum_time());
+        assert_eq!(r.total_calls, 3);
+        assert_eq!(r.max_call_len, 2);
+        assert_eq!(r.redundant_calls, 0);
+        assert_eq!(r.informed_after_round, vec![2, 4]);
+        verify_minimum_time(&o, &s, 2).unwrap();
+    }
+
+    #[test]
+    fn rejects_non_edge() {
+        let g = path(4);
+        let o = GraphOracle::new(&g);
+        let s = schedule(0, vec![vec![vec![0, 2]]]);
+        assert!(matches!(
+            verify_schedule(&o, &s, 2),
+            Err(Violation::NotAnEdge { round: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_too_long_call() {
+        let g = path(4);
+        let o = GraphOracle::new(&g);
+        let s = schedule(0, vec![vec![vec![0, 1, 2, 3]]]);
+        assert!(matches!(
+            verify_schedule(&o, &s, 2),
+            Err(Violation::CallTooLong { len: 3, k: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_uninformed_caller() {
+        let g = path(4);
+        let o = GraphOracle::new(&g);
+        let s = schedule(0, vec![vec![vec![3, 2]]]);
+        assert!(matches!(
+            verify_schedule(&o, &s, 2),
+            Err(Violation::UninformedCaller { caller: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_edge_conflict() {
+        // Star: two calls switching through the center sharing a leaf edge.
+        let g = star(4);
+        let o = GraphOracle::new(&g);
+        let s = schedule(
+            1,
+            vec![
+                vec![vec![1, 0, 2]],
+                // 1 -> 3 via center uses edges {1,0},{0,3}; 2 -> 3 would
+                // conflict on receiver; craft an edge conflict instead:
+                // 1 -> 2's edge {0,2} reused by 2 -> 0? receiver informed..
+                vec![vec![1, 0, 3], vec![2, 0, 3]],
+            ],
+        );
+        let err = verify_schedule(&o, &s, 2).unwrap_err();
+        // Both calls end at 3: receiver conflict fires first (edge {0,3}
+        // also clashes, but the receiver check precedes edge bookkeeping
+        // for the second call only if the edge was recorded first — either
+        // violation is acceptable; assert it's one of the two).
+        assert!(
+            matches!(err, Violation::ReceiverConflict { receiver: 3, .. })
+                || matches!(err, Violation::EdgeConflict { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_pure_edge_conflict() {
+        let g = star(5);
+        let o = GraphOracle::new(&g);
+        // Round 2: 1 -> 3 via 0 and 2 -> 4 via 0 are edge-disjoint; but
+        // 1 -> 4 via 0 and 2 -> 4's edge {0,4} clash.
+        let s = schedule(
+            1,
+            vec![
+                vec![vec![1, 0, 2]],
+                vec![vec![1, 0, 4], vec![2, 0, 4, /*unused*/]],
+            ],
+        );
+        let err = verify_schedule(&o, &s, 2).unwrap_err();
+        assert!(
+            matches!(err, Violation::EdgeConflict { edge: (0, 4), .. })
+                || matches!(err, Violation::ReceiverConflict { receiver: 4, .. })
+        );
+    }
+
+    #[test]
+    fn rejects_multiple_calls_per_caller() {
+        let g = star(4);
+        let o = GraphOracle::new(&g);
+        let s = schedule(0, vec![vec![vec![0, 1], vec![0, 2]]]);
+        assert!(matches!(
+            verify_schedule(&o, &s, 1),
+            Err(Violation::MultipleCalls { caller: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_incomplete() {
+        let g = path(4);
+        let o = GraphOracle::new(&g);
+        let s = schedule(0, vec![vec![vec![0, 1]]]);
+        assert!(matches!(
+            verify_schedule(&o, &s, 2),
+            Err(Violation::Incomplete { missing: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let g = path(3);
+        let o = GraphOracle::new(&g);
+        let s = schedule(0, vec![vec![vec![0, 9]]]);
+        assert!(matches!(
+            verify_schedule(&o, &s, 2),
+            Err(Violation::VertexOutOfRange { vertex: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_self_overlap() {
+        let g = path(3);
+        let o = GraphOracle::new(&g);
+        let s = schedule(0, vec![vec![vec![0, 1, 0, 1, 2]]]);
+        assert!(matches!(
+            verify_schedule(&o, &s, 9),
+            Err(Violation::SelfOverlap { .. })
+        ));
+    }
+
+    #[test]
+    fn counts_redundant_calls() {
+        let g = cycle(4);
+        let o = GraphOracle::new(&g);
+        // Round 1: 0->1. Round 2: 0->3, 1->2. Round 3: 0->1 again (legal,
+        // wasted).
+        let s = schedule(
+            0,
+            vec![
+                vec![vec![0, 1]],
+                vec![vec![0, 3], vec![1, 2]],
+                vec![vec![0, 1]],
+            ],
+        );
+        let r = verify_schedule(&o, &s, 1).unwrap();
+        assert_eq!(r.redundant_calls, 1);
+        assert!(!r.is_minimum_time());
+        assert!(matches!(
+            verify_minimum_time(&o, &s, 1),
+            Err(StrictError::NotMinimumTime { rounds: 3, min_rounds: 2 })
+        ));
+    }
+
+    #[test]
+    fn same_round_informed_cannot_forward() {
+        // The receiver of a round-t call may not call in round t (it only
+        // becomes informed at the end of the round) — synchronous model.
+        let g = path(3);
+        let o = GraphOracle::new(&g);
+        let s = schedule(0, vec![vec![vec![0, 1], vec![1, 2]]]);
+        assert!(matches!(
+            verify_schedule(&o, &s, 1),
+            Err(Violation::UninformedCaller { caller: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn property_1_monotone_in_k() {
+        // Paper Property 1: a valid k-line schedule is a valid (k+1)-line
+        // schedule.
+        let g = path(4);
+        let o = GraphOracle::new(&g);
+        let s = schedule(0, vec![vec![vec![0, 1, 2]], vec![vec![0, 1], vec![2, 3]]]);
+        for k in 2..6 {
+            assert!(verify_schedule(&o, &s, k).is_ok(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn violation_displays() {
+        let v = Violation::EdgeConflict {
+            round: 3,
+            edge: (1, 2),
+        };
+        assert!(v.to_string().contains("round 3"));
+        let e = StrictError::RedundantCalls { count: 2 };
+        assert!(e.to_string().contains("redundant"));
+    }
+}

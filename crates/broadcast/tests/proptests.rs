@@ -1,0 +1,132 @@
+//! Property-based tests for the broadcast layer: verifier soundness
+//! (mutated schedules must be rejected), scheme correctness over random
+//! parameters, and solver/scheme agreement.
+
+use proptest::prelude::*;
+use shc_broadcast::schemes::greedy::greedy_broadcast;
+use shc_broadcast::schemes::sparse::broadcast_scheme;
+use shc_broadcast::{verify_minimum_time, verify_schedule, GraphOracle, Violation};
+use shc_core::SparseHypercube;
+use shc_graph::builders::prufer_to_tree;
+use shc_graph::{GraphView, Node};
+
+fn arb_base() -> impl Strategy<Value = (u32, u32)> {
+    (3u32..=10).prop_flat_map(|n| (Just(n), 1u32..n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scheme_valid_for_random_params_and_sources((n, m) in arb_base(), src_raw: u64) {
+        let g = SparseHypercube::construct_base(n, m);
+        let source = src_raw & ((1u64 << n) - 1);
+        let s = broadcast_scheme(&g, source);
+        let r = verify_minimum_time(&g, &s, 2)
+            .map_err(|e| TestCaseError::fail(format!("({n},{m}): {e}")))?;
+        prop_assert_eq!(r.rounds, n as usize);
+        prop_assert_eq!(r.redundant_calls, 0);
+    }
+
+    #[test]
+    fn verifier_rejects_dropped_call((n, m) in arb_base(), which: usize) {
+        // Soundness: removing any single call leaves someone uninformed.
+        let g = SparseHypercube::construct_base(n, m);
+        let mut s = broadcast_scheme(&g, 0);
+        let total: usize = s.num_calls();
+        let target = which % total;
+        let mut seen = 0usize;
+        for round in &mut s.rounds {
+            if target < seen + round.calls.len() {
+                round.calls.remove(target - seen);
+                break;
+            }
+            seen += round.calls.len();
+        }
+        let err = verify_schedule(&g, &s, 2);
+        prop_assert!(err.is_err(), "dropping a call must invalidate");
+        // The failure is either an uninformed caller downstream or an
+        // incomplete broadcast.
+        match err.unwrap_err() {
+            Violation::Incomplete { .. } | Violation::UninformedCaller { .. } => {}
+            other => prop_assert!(false, "unexpected violation {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verifier_rejects_duplicated_call((n, m) in arb_base(), which: usize) {
+        // Soundness: duplicating a call within its round must trip the
+        // edge- or receiver-disjointness check.
+        let g = SparseHypercube::construct_base(n, m);
+        let mut s = broadcast_scheme(&g, 0);
+        let round_idx = which % s.rounds.len();
+        let call = s.rounds[round_idx].calls[0].clone();
+        s.rounds[round_idx].calls.push(call);
+        let err = verify_schedule(&g, &s, 2).unwrap_err();
+        match err {
+            Violation::EdgeConflict { .. }
+            | Violation::ReceiverConflict { .. }
+            | Violation::MultipleCalls { .. } => {}
+            other => prop_assert!(false, "unexpected violation {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verifier_rejects_shortened_k((n, m) in arb_base()) {
+        // A Broadcast_2 schedule with a relayed call cannot pass at k = 1.
+        let g = SparseHypercube::construct_base(n, m);
+        let s = broadcast_scheme(&g, 0);
+        if s.max_call_len() == 2 {
+            let too_long = matches!(
+                verify_schedule(&g, &s, 1),
+                Err(Violation::CallTooLong { .. })
+            );
+            prop_assert!(too_long, "relayed call must fail at k = 1");
+        }
+    }
+
+    #[test]
+    fn greedy_completes_on_random_trees(seq in proptest::collection::vec(0usize..12, 10), src in 0u32..12) {
+        // Greedy with k = diameter always completes on connected graphs.
+        let tree = prufer_to_tree(12, &seq);
+        let out = greedy_broadcast(&tree, src % 12, 11, 64);
+        prop_assert!(out.complete);
+        let o = GraphOracle::new(&tree);
+        verify_schedule(&o, &out.schedule, 11)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+    }
+
+    #[test]
+    fn scheme_covers_every_vertex_exactly_once((n, m) in arb_base()) {
+        // Each vertex (except the source) is the receiver of exactly one
+        // call — the "exact doubling" structure of minimum-time broadcast
+        // on 2^n vertices.
+        let g = SparseHypercube::construct_base(n, m);
+        let s = broadcast_scheme(&g, 3 % (1 << n));
+        let mut received = vec![0u32; 1 << n];
+        for round in &s.rounds {
+            for call in &round.calls {
+                received[call.receiver() as usize] += 1;
+            }
+        }
+        for (v, &cnt) in received.iter().enumerate() {
+            let expected = u32::from(v as u64 != s.source);
+            prop_assert_eq!(cnt, expected, "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn tree_schedules_use_tree_edges_only(seq in proptest::collection::vec(0usize..10, 8), src in 0u32..10) {
+        use shc_broadcast::tree_line_broadcast;
+        let tree = prufer_to_tree(10, &seq);
+        if let Ok(s) = tree_line_broadcast(&tree, src % 10) {
+            for round in &s.rounds {
+                for call in &round.calls {
+                    for w in call.path.windows(2) {
+                        prop_assert!(tree.has_edge(w[0] as Node, w[1] as Node));
+                    }
+                }
+            }
+        }
+    }
+}

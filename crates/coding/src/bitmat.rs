@@ -1,0 +1,286 @@
+//! Dense matrices over GF(2), rows packed as `u64` words (≤ 63 columns).
+//! Provides the linear algebra the code constructions need: rank, row
+//! echelon form, kernel (null space) bases, and matrix–vector products.
+
+use crate::bitvec::Gf2Vec;
+use serde::{Deserialize, Serialize};
+
+/// A `rows × cols` matrix over GF(2); each row is a packed [`Gf2Vec`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitMatrix {
+    rows: Vec<u64>,
+    cols: u32,
+}
+
+impl BitMatrix {
+    /// Zero matrix of the given shape.
+    ///
+    /// # Panics
+    /// Panics if `cols > 63`.
+    #[must_use]
+    pub fn zero(rows: usize, cols: u32) -> Self {
+        assert!(cols <= 63, "BitMatrix supports cols <= 63, got {cols}");
+        Self {
+            rows: vec![0; rows],
+            cols,
+        }
+    }
+
+    /// Identity matrix of size `n × n`.
+    #[must_use]
+    pub fn identity(n: u32) -> Self {
+        let mut m = Self::zero(n as usize, n);
+        for i in 0..n as usize {
+            m.rows[i] = 1u64 << i;
+        }
+        m
+    }
+
+    /// Builds a matrix from rows given as packed bit patterns.
+    #[must_use]
+    pub fn from_rows(rows: Vec<u64>, cols: u32) -> Self {
+        assert!(cols <= 63, "BitMatrix supports cols <= 63, got {cols}");
+        let mask = (1u64 << cols) - 1;
+        Self {
+            rows: rows.into_iter().map(|r| r & mask).collect(),
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn num_cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Entry accessor.
+    #[must_use]
+    pub fn get(&self, r: usize, c: u32) -> bool {
+        debug_assert!(c < self.cols);
+        self.rows[r] >> c & 1 == 1
+    }
+
+    /// Sets an entry.
+    pub fn set(&mut self, r: usize, c: u32, value: bool) {
+        debug_assert!(c < self.cols);
+        if value {
+            self.rows[r] |= 1u64 << c;
+        } else {
+            self.rows[r] &= !(1u64 << c);
+        }
+    }
+
+    /// Row `r` as a vector.
+    #[must_use]
+    pub fn row(&self, r: usize) -> Gf2Vec {
+        Gf2Vec::new(self.rows[r], self.cols)
+    }
+
+    /// Matrix–vector product `M · x` (length `cols` in, `rows` out).
+    #[must_use]
+    pub fn mul_vec(&self, x: Gf2Vec) -> Gf2Vec {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut out = 0u64;
+        for (i, &row) in self.rows.iter().enumerate() {
+            let parity = (row & x.bits()).count_ones() as u64 & 1;
+            out |= parity << i;
+        }
+        Gf2Vec::new(out, self.rows.len() as u32)
+    }
+
+    /// Transpose.
+    #[must_use]
+    pub fn transpose(&self) -> BitMatrix {
+        let mut t = BitMatrix::zero(self.cols as usize, self.rows.len() as u32);
+        for (r, &row) in self.rows.iter().enumerate() {
+            let mut bits = row;
+            while bits != 0 {
+                let c = bits.trailing_zeros();
+                t.rows[c as usize] |= 1u64 << r;
+                bits &= bits - 1;
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · rhs`.
+    #[must_use]
+    pub fn mul(&self, rhs: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols as usize, rhs.num_rows(), "dimension mismatch");
+        let rhs_t = rhs.transpose();
+        let mut out = BitMatrix::zero(self.rows.len(), rhs.cols);
+        for (r, &row) in self.rows.iter().enumerate() {
+            let mut bits = 0u64;
+            for (c, &col) in rhs_t.rows.iter().enumerate() {
+                let parity = (row & col).count_ones() as u64 & 1;
+                bits |= parity << c;
+            }
+            out.rows[r] = bits;
+        }
+        out
+    }
+
+    /// Reduced row echelon form; returns `(rref, pivot_columns)`.
+    #[must_use]
+    pub fn rref(&self) -> (BitMatrix, Vec<u32>) {
+        let mut m = self.clone();
+        let mut pivots = Vec::new();
+        let mut rank = 0usize;
+        for col in 0..m.cols {
+            let Some(pivot_row) = (rank..m.rows.len()).find(|&r| m.get(r, col)) else {
+                continue;
+            };
+            m.rows.swap(rank, pivot_row);
+            let pivot = m.rows[rank];
+            for r in 0..m.rows.len() {
+                if r != rank && m.get(r, col) {
+                    m.rows[r] ^= pivot;
+                }
+            }
+            pivots.push(col);
+            rank += 1;
+            if rank == m.rows.len() {
+                break;
+            }
+        }
+        (m, pivots)
+    }
+
+    /// Rank over GF(2).
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rref().1.len()
+    }
+
+    /// A basis of the kernel `{x : M·x = 0}`.
+    #[must_use]
+    pub fn kernel_basis(&self) -> Vec<Gf2Vec> {
+        let (rref, pivots) = self.rref();
+        let pivot_set: std::collections::HashSet<u32> = pivots.iter().copied().collect();
+        let free: Vec<u32> = (0..self.cols).filter(|c| !pivot_set.contains(c)).collect();
+        let mut basis = Vec::with_capacity(free.len());
+        for &f in &free {
+            // Back-substitute: x_f = 1, other free vars 0.
+            let mut x = 1u64 << f;
+            for (r, &p) in pivots.iter().enumerate() {
+                if rref.get(r, f) {
+                    x |= 1u64 << p;
+                }
+            }
+            basis.push(Gf2Vec::new(x, self.cols));
+        }
+        basis
+    }
+
+    /// Solves `M·x = b`; returns one solution if the system is consistent.
+    #[must_use]
+    pub fn solve(&self, b: Gf2Vec) -> Option<Gf2Vec> {
+        assert_eq!(b.len() as usize, self.rows.len(), "dimension mismatch");
+        // Augment with b as an extra column (cols < 63 required).
+        assert!(self.cols < 63, "augmented solve needs cols < 63");
+        let mut aug = BitMatrix::zero(self.rows.len(), self.cols + 1);
+        for (r, &row) in self.rows.iter().enumerate() {
+            aug.rows[r] = row | (u64::from(b.get(r as u32)) << self.cols);
+        }
+        let (rref, pivots) = aug.rref();
+        // Inconsistent iff a pivot lands in the augmented column.
+        if pivots.contains(&self.cols) {
+            return None;
+        }
+        let mut x = 0u64;
+        for (r, &p) in pivots.iter().enumerate() {
+            if rref.get(r, self.cols) {
+                x |= 1u64 << p;
+            }
+        }
+        Some(Gf2Vec::new(x, self.cols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_acts_trivially() {
+        let id = BitMatrix::identity(5);
+        let x = Gf2Vec::new(0b10110, 5);
+        assert_eq!(id.mul_vec(x), x);
+        assert_eq!(id.rank(), 5);
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        // Row 3 = row 1 + row 2.
+        let m = BitMatrix::from_rows(vec![0b011, 0b101, 0b110], 3);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = BitMatrix::from_rows(vec![0b01, 0b11, 0b10], 2);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().num_rows(), 2);
+        assert_eq!(m.transpose().num_cols(), 3);
+    }
+
+    #[test]
+    fn mul_against_identity() {
+        let m = BitMatrix::from_rows(vec![0b011, 0b101], 3);
+        assert_eq!(m.mul(&BitMatrix::identity(3)), m);
+        assert_eq!(BitMatrix::identity(2).mul(&m), m);
+    }
+
+    #[test]
+    fn kernel_is_annihilated() {
+        let m = BitMatrix::from_rows(vec![0b0111, 0b1011], 4);
+        let basis = m.kernel_basis();
+        assert_eq!(basis.len(), 2, "rank 2, nullity 2");
+        for v in basis {
+            assert!(m.mul_vec(v).is_zero(), "kernel vector {v}");
+        }
+    }
+
+    #[test]
+    fn kernel_of_identity_is_trivial() {
+        assert!(BitMatrix::identity(6).kernel_basis().is_empty());
+    }
+
+    #[test]
+    fn solve_consistent() {
+        let m = BitMatrix::from_rows(vec![0b011, 0b110], 3);
+        let b = Gf2Vec::new(0b01, 2);
+        let x = m.solve(b).expect("consistent");
+        assert_eq!(m.mul_vec(x), b);
+    }
+
+    #[test]
+    fn solve_inconsistent() {
+        // Rows equal, different RHS bits.
+        let m = BitMatrix::from_rows(vec![0b011, 0b011], 3);
+        let b = Gf2Vec::new(0b01, 2);
+        assert!(m.solve(b).is_none());
+    }
+
+    #[test]
+    fn rref_pivots_ascending() {
+        let m = BitMatrix::from_rows(vec![0b110, 0b011, 0b101], 3);
+        let (_, pivots) = m.rref();
+        assert!(pivots.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn set_get() {
+        let mut m = BitMatrix::zero(2, 4);
+        m.set(1, 3, true);
+        assert!(m.get(1, 3));
+        m.set(1, 3, false);
+        assert!(!m.get(1, 3));
+    }
+}

@@ -1,0 +1,209 @@
+//! GF(2) vectors of length ≤ 63, packed into a `u64`.
+//!
+//! The labeling constructions only ever need vectors as long as the cube
+//! dimension `m < n <= 60`, so a single word suffices and keeps the hot
+//! syndrome computations branch-free.
+
+use serde::{Deserialize, Serialize};
+
+/// A vector over GF(2) with `len <= 63` coordinates packed into `bits`.
+/// Coordinate `i` (0-based) is bit `i`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Gf2Vec {
+    bits: u64,
+    len: u32,
+}
+
+impl Gf2Vec {
+    /// Creates a vector from packed bits, masking anything beyond `len`.
+    ///
+    /// # Panics
+    /// Panics if `len > 63`.
+    #[must_use]
+    pub fn new(bits: u64, len: u32) -> Self {
+        assert!(len <= 63, "Gf2Vec supports length <= 63, got {len}");
+        Self {
+            bits: bits & Self::mask(len),
+            len,
+        }
+    }
+
+    /// The all-zeros vector of the given length.
+    #[must_use]
+    pub fn zero(len: u32) -> Self {
+        Self::new(0, len)
+    }
+
+    fn mask(len: u32) -> u64 {
+        (1u64 << len) - 1
+    }
+
+    /// Packed representation.
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Vector length.
+    #[must_use]
+    pub fn len(self) -> u32 {
+        self.len
+    }
+
+    /// `true` iff every coordinate is zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Coordinate access.
+    #[must_use]
+    pub fn get(self, i: u32) -> bool {
+        debug_assert!(i < self.len);
+        self.bits >> i & 1 == 1
+    }
+
+    /// Returns the vector with coordinate `i` set to `value`.
+    #[must_use]
+    pub fn with(self, i: u32, value: bool) -> Self {
+        debug_assert!(i < self.len);
+        let bits = if value {
+            self.bits | (1u64 << i)
+        } else {
+            self.bits & !(1u64 << i)
+        };
+        Self { bits, len: self.len }
+    }
+
+    /// `true` for the degenerate zero-length vector.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// GF(2) addition (coordinatewise XOR).
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // domain verb; `+` on Copy bit vectors reads worse
+    pub fn add(self, other: Self) -> Self {
+        assert_eq!(self.len, other.len, "length mismatch");
+        Self {
+            bits: self.bits ^ other.bits,
+            len: self.len,
+        }
+    }
+
+    /// Inner product over GF(2) (parity of the AND).
+    #[must_use]
+    pub fn dot(self, other: Self) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch");
+        (self.bits & other.bits).count_ones() % 2 == 1
+    }
+
+    /// Hamming weight.
+    #[must_use]
+    pub fn weight(self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Hamming distance to `other`.
+    #[must_use]
+    pub fn distance(self, other: Self) -> u32 {
+        assert_eq!(self.len, other.len, "length mismatch");
+        (self.bits ^ other.bits).count_ones()
+    }
+
+    /// Iterates over all `2^len` vectors of a given length (ascending packed
+    /// order). Intended for small lengths in tests/search.
+    pub fn all(len: u32) -> impl Iterator<Item = Gf2Vec> {
+        assert!(len <= 24, "exhaustive vector iteration capped at 2^24");
+        (0..(1u64 << len)).map(move |b| Gf2Vec::new(b, len))
+    }
+}
+
+impl std::fmt::Display for Gf2Vec {
+    /// Displays most-significant coordinate first, matching the paper's
+    /// `u_n u_{n-1} … u_1` convention.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in (0..self.len).rev() {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_masks_extra_bits() {
+        let v = Gf2Vec::new(0b1111_0000, 4);
+        assert_eq!(v.bits(), 0);
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    fn get_with_roundtrip() {
+        let v = Gf2Vec::zero(5).with(0, true).with(3, true);
+        assert!(v.get(0));
+        assert!(!v.get(1));
+        assert!(v.get(3));
+        assert_eq!(v.bits(), 0b01001);
+        assert_eq!(v.with(3, false).bits(), 0b00001);
+    }
+
+    #[test]
+    fn add_is_xor() {
+        let a = Gf2Vec::new(0b1010, 4);
+        let b = Gf2Vec::new(0b0110, 4);
+        assert_eq!(a.add(b).bits(), 0b1100);
+        assert!(a.add(a).is_zero(), "characteristic 2");
+    }
+
+    #[test]
+    fn dot_parity() {
+        let a = Gf2Vec::new(0b111, 3);
+        let b = Gf2Vec::new(0b101, 3);
+        assert!(!a.dot(b), "two overlapping ones -> even parity");
+        let c = Gf2Vec::new(0b001, 3);
+        assert!(a.dot(c));
+    }
+
+    #[test]
+    fn weight_and_distance() {
+        let a = Gf2Vec::new(0b1011, 4);
+        assert_eq!(a.weight(), 3);
+        let b = Gf2Vec::new(0b0011, 4);
+        assert_eq!(a.distance(b), 1);
+        assert_eq!(a.distance(a), 0);
+    }
+
+    #[test]
+    fn display_msb_first() {
+        let v = Gf2Vec::new(0b0011, 4);
+        assert_eq!(v.to_string(), "0011");
+    }
+
+    #[test]
+    fn all_enumerates() {
+        let vs: Vec<_> = Gf2Vec::all(3).collect();
+        assert_eq!(vs.len(), 8);
+        assert!(vs[0].is_zero());
+        assert_eq!(vs[7].weight(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length <= 63")]
+    fn too_long_panics() {
+        let _ = Gf2Vec::new(0, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_add_panics() {
+        let _ = Gf2Vec::zero(3).add(Gf2Vec::zero(4));
+    }
+}

@@ -1,0 +1,125 @@
+//! Covering-code utilities: covering radius and sphere-covering bounds.
+//!
+//! A set `C ⊆ {0,1}^m` with covering radius ≤ 1 is exactly a dominating set
+//! of the cube `Q_m` — the object Condition A asks every label class to be.
+
+/// Covering radius of the set `code` within `{0,1}^m`: the maximum over all
+/// words of the distance to the nearest element. Brute force (`O(2^m |C|)`),
+/// intended for `m <= 20`.
+///
+/// # Panics
+/// Panics if `code` is empty or `m > 20`.
+#[must_use]
+pub fn covering_radius(code: &[u64], m: u32) -> u32 {
+    assert!(!code.is_empty(), "covering radius of an empty set is undefined");
+    assert!(m <= 20, "brute-force covering radius capped at m = 20");
+    let mut worst = 0u32;
+    for word in 0..(1u64 << m) {
+        let best = code
+            .iter()
+            .map(|&c| (c ^ word).count_ones())
+            .min()
+            .expect("nonempty");
+        worst = worst.max(best);
+    }
+    worst
+}
+
+/// Size of a Hamming ball of radius `r` in `{0,1}^m`.
+#[must_use]
+pub fn ball_size(m: u32, r: u32) -> u64 {
+    (0..=r.min(m)).map(|i| binomial(m, i)).sum()
+}
+
+/// Sphere-covering (Gilbert) lower bound on the size of a code with
+/// covering radius `r`: `ceil(2^m / ball_size)`.
+#[must_use]
+pub fn sphere_covering_lower_bound(m: u32, r: u32) -> u64 {
+    let space = 1u64 << m;
+    space.div_ceil(ball_size(m, r))
+}
+
+/// Binomial coefficient (exact, u64; arguments small in this workspace).
+#[must_use]
+pub fn binomial(n: u32, k: u32) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1u64;
+    for i in 0..k {
+        acc = acc * u64::from(n - i) / u64::from(i + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamming::HammingCode;
+
+    #[test]
+    fn binomials() {
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 6), 0);
+        assert_eq!(binomial(20, 10), 184_756);
+    }
+
+    #[test]
+    fn ball_sizes() {
+        assert_eq!(ball_size(7, 0), 1);
+        assert_eq!(ball_size(7, 1), 8);
+        assert_eq!(ball_size(7, 7), 128);
+        assert_eq!(ball_size(3, 9), 8, "radius clamped to m");
+    }
+
+    #[test]
+    fn hamming_code_has_covering_radius_1() {
+        let h = HammingCode::new(3);
+        let cw: Vec<u64> = h.codewords().collect();
+        assert_eq!(covering_radius(&cw, 7), 1);
+    }
+
+    #[test]
+    fn hamming_cosets_have_covering_radius_1() {
+        // Every coset of a perfect code is itself a covering code — the fact
+        // Lemma 2's labeling rests on.
+        let h = HammingCode::new(2);
+        for s in 0..=3u32 {
+            let coset: Vec<u64> = h.coset(s).collect();
+            assert_eq!(covering_radius(&coset, 3), 1, "syndrome {s}");
+        }
+    }
+
+    #[test]
+    fn hamming_meets_sphere_covering_bound_exactly() {
+        // Perfection: |C| equals the sphere-covering bound.
+        for p in 2..=4u32 {
+            let h = HammingCode::new(p);
+            assert_eq!(
+                h.num_codewords(),
+                sphere_covering_lower_bound(h.block_len(), 1),
+                "p = {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_covering_radius_is_max_weight() {
+        assert_eq!(covering_radius(&[0], 5), 5);
+    }
+
+    #[test]
+    fn full_space_covering_radius_zero() {
+        let all: Vec<u64> = (0..8).collect();
+        assert_eq!(covering_radius(&all, 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_code_panics() {
+        let _ = covering_radius(&[], 3);
+    }
+}

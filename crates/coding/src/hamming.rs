@@ -1,0 +1,281 @@
+//! Perfect binary Hamming codes `[2^p − 1, 2^p − 1 − p, 3]`.
+//!
+//! Lemma 2 of the paper obtains the optimal Condition-A labeling of
+//! `Q_m` for `m = 2^p − 1` "based on the notion of Hamming code" (citing
+//! Roman's textbook). The connection: the syndrome map partitions `{0,1}^m`
+//! into `m + 1` cosets of the code; each coset is a perfect covering code
+//! (covering radius 1), i.e. a dominating set of `Q_m`; and every closed
+//! neighborhood contains each syndrome exactly once — precisely Condition A
+//! with the maximum possible `m + 1` labels.
+
+use crate::bitmat::BitMatrix;
+use crate::bitvec::Gf2Vec;
+use serde::{Deserialize, Serialize};
+
+/// The binary Hamming code with parameter `p >= 2`: block length
+/// `m = 2^p − 1`, dimension `m − p`, minimum distance 3, perfect.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HammingCode {
+    p: u32,
+}
+
+impl HammingCode {
+    /// Creates the Hamming code of redundancy `p` (`2 <= p <= 6` keeps block
+    /// length within the packed-vector limit and every practical labeling
+    /// need).
+    ///
+    /// # Panics
+    /// Panics outside the supported range.
+    #[must_use]
+    pub fn new(p: u32) -> Self {
+        assert!((2..=6).contains(&p), "HammingCode supports 2 <= p <= 6, got {p}");
+        Self { p }
+    }
+
+    /// Largest Hamming code with block length at most `m`, if any
+    /// (`None` for `m < 3`). Used by the general labeling construction.
+    #[must_use]
+    pub fn largest_fitting(m: u32) -> Option<Self> {
+        if m < 3 {
+            return None;
+        }
+        // p = floor(log2(m + 1)).
+        let p = (64 - u64::from(m + 1).leading_zeros() - 1).min(6);
+        Some(Self::new(p.max(2)))
+    }
+
+    /// Redundancy `p`.
+    #[must_use]
+    pub fn redundancy(&self) -> u32 {
+        self.p
+    }
+
+    /// Block length `m = 2^p − 1`.
+    #[must_use]
+    pub fn block_len(&self) -> u32 {
+        (1 << self.p) - 1
+    }
+
+    /// Code dimension `m − p`.
+    #[must_use]
+    pub fn dimension(&self) -> u32 {
+        self.block_len() - self.p
+    }
+
+    /// Number of codewords `2^(m−p)`.
+    #[must_use]
+    pub fn num_codewords(&self) -> u64 {
+        1u64 << self.dimension()
+    }
+
+    /// The parity-check matrix `H`: `p` rows, `m` columns; column `j`
+    /// (1-indexed) is the binary representation of `j`, so every nonzero
+    /// `p`-bit vector appears exactly once.
+    #[must_use]
+    pub fn parity_check_matrix(&self) -> BitMatrix {
+        let m = self.block_len();
+        let mut h = BitMatrix::zero(self.p as usize, m);
+        for col in 1..=m {
+            for row in 0..self.p {
+                if col >> row & 1 == 1 {
+                    h.set(row as usize, col - 1, true);
+                }
+            }
+        }
+        h
+    }
+
+    /// Syndrome of a word `u ∈ {0,1}^m`, packed as an integer in
+    /// `0..=m`. Computed by XOR-folding the (1-indexed) positions of set
+    /// bits — equivalent to `H · u` but branch-free.
+    #[must_use]
+    pub fn syndrome(&self, word: u64) -> u32 {
+        let m = self.block_len();
+        debug_assert!(word < (1u64 << m), "word exceeds block length");
+        let mut s = 0u32;
+        let mut bits = word;
+        while bits != 0 {
+            let i = bits.trailing_zeros();
+            s ^= i + 1;
+            bits &= bits - 1;
+        }
+        s
+    }
+
+    /// `true` iff `word` is a codeword (syndrome 0).
+    #[must_use]
+    pub fn is_codeword(&self, word: u64) -> bool {
+        self.syndrome(word) == 0
+    }
+
+    /// Single-error correction: returns the nearest codeword.
+    #[must_use]
+    pub fn decode(&self, word: u64) -> u64 {
+        match self.syndrome(word) {
+            0 => word,
+            s => word ^ (1u64 << (s - 1)),
+        }
+    }
+
+    /// A basis of the code (kernel of `H`), with `dimension()` elements.
+    #[must_use]
+    pub fn basis(&self) -> Vec<Gf2Vec> {
+        self.parity_check_matrix().kernel_basis()
+    }
+
+    /// Iterates over all codewords (packed). Practical for `p <= 4`
+    /// (dimension ≤ 11); asserts `p <= 5` to bound the cost.
+    pub fn codewords(&self) -> impl Iterator<Item = u64> + '_ {
+        assert!(self.p <= 5, "codeword enumeration capped at p = 5");
+        let basis = self.basis();
+        let dim = basis.len();
+        (0..(1u64 << dim)).map(move |sel| {
+            let mut w = 0u64;
+            for (i, b) in basis.iter().enumerate() {
+                if sel >> i & 1 == 1 {
+                    w ^= b.bits();
+                }
+            }
+            w
+        })
+    }
+
+    /// The coset of the code with the given syndrome `s ∈ 0..=m`:
+    /// `{u : syndrome(u) = s}`.
+    pub fn coset(&self, s: u32) -> impl Iterator<Item = u64> + '_ {
+        assert!(s <= self.block_len(), "syndrome out of range");
+        let shift = if s == 0 { 0u64 } else { 1u64 << (s - 1) };
+        self.codewords().map(move |c| c ^ shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameters() {
+        let h = HammingCode::new(3);
+        assert_eq!(h.block_len(), 7);
+        assert_eq!(h.dimension(), 4);
+        assert_eq!(h.num_codewords(), 16);
+    }
+
+    #[test]
+    fn p2_is_repetition_code() {
+        // [3,1] Hamming = repetition {000, 111}: the paper's Example 1
+        // labeling of Q3 pairs antipodal vertices.
+        let h = HammingCode::new(2);
+        let mut cw: Vec<u64> = h.codewords().collect();
+        cw.sort_unstable();
+        assert_eq!(cw, vec![0b000, 0b111]);
+    }
+
+    #[test]
+    fn parity_check_columns_are_all_nonzero_vectors() {
+        let h = HammingCode::new(3);
+        let m = h.parity_check_matrix();
+        let mut cols: Vec<u64> = (0..7)
+            .map(|c| {
+                (0..3)
+                    .map(|r| u64::from(m.get(r, c)) << r)
+                    .fold(0, |a, b| a | b)
+            })
+            .collect();
+        cols.sort_unstable();
+        assert_eq!(cols, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn syndrome_matches_matrix_product() {
+        let h = HammingCode::new(3);
+        let hm = h.parity_check_matrix();
+        for word in 0..(1u64 << 7) {
+            let via_matrix = hm.mul_vec(Gf2Vec::new(word, 7)).bits() as u32;
+            assert_eq!(h.syndrome(word), via_matrix, "word {word:07b}");
+        }
+    }
+
+    #[test]
+    fn codewords_have_min_distance_3() {
+        let h = HammingCode::new(3);
+        let cw: Vec<u64> = h.codewords().collect();
+        assert_eq!(cw.len(), 16);
+        for (i, &a) in cw.iter().enumerate() {
+            for &b in &cw[i + 1..] {
+                assert!((a ^ b).count_ones() >= 3, "{a:07b} vs {b:07b}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_corrects_single_errors() {
+        let h = HammingCode::new(3);
+        for c in h.codewords().collect::<Vec<_>>() {
+            assert_eq!(h.decode(c), c, "codewords are fixed points");
+            for i in 0..7u32 {
+                let corrupted = c ^ (1u64 << i);
+                assert_eq!(h.decode(corrupted), c, "flip bit {i} of {c:07b}");
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_code_sphere_packing() {
+        // Spheres of radius 1 around codewords exactly tile {0,1}^m:
+        // (m + 1) * 2^(m-p) = 2^m.
+        for p in 2..=4u32 {
+            let h = HammingCode::new(p);
+            let m = h.block_len();
+            assert_eq!(
+                u64::from(m + 1) * h.num_codewords(),
+                1u64 << m,
+                "p = {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_word_within_distance_1_of_code() {
+        // Covering radius 1, checked exhaustively for p = 3.
+        let h = HammingCode::new(3);
+        for word in 0..(1u64 << 7) {
+            let c = h.decode(word);
+            assert!(h.is_codeword(c));
+            assert!((word ^ c).count_ones() <= 1);
+        }
+    }
+
+    #[test]
+    fn cosets_partition_space() {
+        let h = HammingCode::new(3);
+        let mut seen = [false; 1 << 7];
+        for s in 0..=7u32 {
+            for w in h.coset(s) {
+                assert_eq!(h.syndrome(w), s, "coset member has syndrome {s}");
+                assert!(!seen[w as usize], "duplicate word {w:07b}");
+                seen[w as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x), "cosets cover the space");
+    }
+
+    #[test]
+    fn largest_fitting() {
+        assert_eq!(HammingCode::largest_fitting(2), None);
+        assert_eq!(HammingCode::largest_fitting(3).unwrap().block_len(), 3);
+        assert_eq!(HammingCode::largest_fitting(6).unwrap().block_len(), 3);
+        assert_eq!(HammingCode::largest_fitting(7).unwrap().block_len(), 7);
+        assert_eq!(HammingCode::largest_fitting(14).unwrap().block_len(), 7);
+        assert_eq!(HammingCode::largest_fitting(15).unwrap().block_len(), 15);
+    }
+
+    #[test]
+    fn basis_spans_codewords() {
+        let h = HammingCode::new(3);
+        assert_eq!(h.basis().len(), 4);
+        for b in h.basis() {
+            assert!(h.is_codeword(b.bits()));
+        }
+    }
+}

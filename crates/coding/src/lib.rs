@@ -1,0 +1,24 @@
+//! # shc-coding — GF(2) linear algebra and perfect Hamming codes
+//!
+//! Substrate for the labeling constructions of Fujita & Farley's sparse
+//! hypercube paper. Lemma 2 builds the optimal Condition-A labeling of
+//! `Q_m` (for `m = 2^p − 1`) from the Hamming code's syndrome partition;
+//! this crate implements the code itself — parity-check matrices, syndromes,
+//! decoding, cosets — on top of a small dense GF(2) matrix kernel.
+//!
+//! * [`bitvec`] — packed GF(2) vectors (≤ 63 coordinates).
+//! * [`bitmat`] — dense GF(2) matrices: rank, RREF, kernel, solve.
+//! * [`hamming`] — perfect `[2^p − 1, 2^p − 1 − p, 3]` codes.
+//! * [`covering`] — covering radii and sphere bounds.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitmat;
+pub mod bitvec;
+pub mod covering;
+pub mod hamming;
+
+pub use bitmat::BitMatrix;
+pub use bitvec::Gf2Vec;
+pub use hamming::HammingCode;

@@ -1,0 +1,101 @@
+//! Property-based tests for the GF(2) kernel and Hamming codes.
+
+use proptest::prelude::*;
+use shc_coding::{BitMatrix, Gf2Vec, HammingCode};
+
+fn arb_matrix() -> impl Strategy<Value = BitMatrix> {
+    (1usize..=8, 1u32..=12).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(0u64..(1 << cols), rows)
+            .prop_map(move |r| BitMatrix::from_rows(r, cols))
+    })
+}
+
+proptest! {
+    #[test]
+    fn vector_add_commutes_and_cancels(a in 0u64..1024, b in 0u64..1024) {
+        let (x, y) = (Gf2Vec::new(a, 10), Gf2Vec::new(b, 10));
+        prop_assert_eq!(x.add(y), y.add(x));
+        prop_assert!(x.add(y).add(y) == x, "adding twice cancels");
+        prop_assert_eq!(x.distance(y), x.add(y).weight());
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in 0u64..256, b in 0u64..256, c in 0u64..256) {
+        let (x, y, z) = (Gf2Vec::new(a, 8), Gf2Vec::new(b, 8), Gf2Vec::new(c, 8));
+        // <x+y, z> = <x,z> + <y,z> over GF(2).
+        prop_assert_eq!(x.add(y).dot(z), x.dot(z) ^ y.dot(z));
+    }
+
+    #[test]
+    fn rank_bounds(m in arb_matrix()) {
+        let r = m.rank();
+        prop_assert!(r <= m.num_rows());
+        prop_assert!(r <= m.num_cols() as usize);
+        // Rank invariant under transposition.
+        prop_assert_eq!(r, m.transpose().rank());
+    }
+
+    #[test]
+    fn rank_nullity(m in arb_matrix()) {
+        prop_assert_eq!(m.rank() + m.kernel_basis().len(), m.num_cols() as usize);
+    }
+
+    #[test]
+    fn kernel_vectors_annihilated(m in arb_matrix()) {
+        for v in m.kernel_basis() {
+            prop_assert!(m.mul_vec(v).is_zero());
+        }
+    }
+
+    #[test]
+    fn solve_produces_solutions(m in arb_matrix(), x_bits in 0u64..4096) {
+        // Construct a consistent system: b = M x, then solve must succeed and
+        // any returned solution must reproduce b.
+        let x = Gf2Vec::new(x_bits & ((1 << m.num_cols()) - 1), m.num_cols());
+        let b = m.mul_vec(x);
+        let sol = m.solve(b);
+        prop_assert!(sol.is_some(), "consistent system must solve");
+        prop_assert_eq!(m.mul_vec(sol.unwrap()), b);
+    }
+
+    #[test]
+    fn rref_preserves_row_space_dimension(m in arb_matrix()) {
+        let (rref, pivots) = m.rref();
+        prop_assert_eq!(pivots.len(), m.rank());
+        prop_assert_eq!(rref.rank(), m.rank());
+    }
+
+    #[test]
+    fn mul_vec_distributes(m in arb_matrix(), a in 0u64..4096, b in 0u64..4096) {
+        let mask = (1u64 << m.num_cols()) - 1;
+        let x = Gf2Vec::new(a & mask, m.num_cols());
+        let y = Gf2Vec::new(b & mask, m.num_cols());
+        prop_assert_eq!(m.mul_vec(x.add(y)), m.mul_vec(x).add(m.mul_vec(y)));
+    }
+
+    #[test]
+    fn syndrome_is_linear(p in 2u32..=4, a: u64, b: u64) {
+        let h = HammingCode::new(p);
+        let mask = (1u64 << h.block_len()) - 1;
+        let (a, b) = (a & mask, b & mask);
+        prop_assert_eq!(h.syndrome(a ^ b), h.syndrome(a) ^ h.syndrome(b));
+    }
+
+    #[test]
+    fn decode_moves_at_most_one_bit(p in 2u32..=4, w: u64) {
+        let h = HammingCode::new(p);
+        let w = w & ((1u64 << h.block_len()) - 1);
+        let c = h.decode(w);
+        prop_assert!(h.is_codeword(c));
+        prop_assert!((w ^ c).count_ones() <= 1);
+    }
+
+    #[test]
+    fn coset_syndromes_consistent(p in 2u32..=3, s_raw: u32) {
+        let h = HammingCode::new(p);
+        let s = s_raw % (h.block_len() + 1);
+        for w in h.coset(s) {
+            prop_assert_eq!(h.syndrome(w), s);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Closed-form bounds from the paper (Theorems 1–3, 5, 7; Lemmas 1–2;
+//! Corollary 1), implemented in exact integer arithmetic.
+//!
+//! Floating-point roots are avoided: `ceil_sqrt` / `ceil_root` search for
+//! the smallest integer whose power reaches the argument, so the bound
+//! tables in EXPERIMENTS.md are exact.
+
+/// `ceil(sqrt(x))` in exact integer arithmetic.
+#[must_use]
+pub fn ceil_sqrt(x: u64) -> u64 {
+    ceil_root(x, 2)
+}
+
+/// `ceil(x^(1/k))`: the smallest `r >= 0` with `r^k >= x`.
+///
+/// # Panics
+/// Panics if `k == 0`.
+#[must_use]
+pub fn ceil_root(x: u64, k: u32) -> u64 {
+    assert!(k >= 1, "0th root undefined");
+    if x <= 1 {
+        return x;
+    }
+    let mut r = 1u64;
+    while pow_sat(r, k) < x {
+        r += 1;
+    }
+    r
+}
+
+/// `floor(log2(x))` for `x >= 1`.
+#[must_use]
+pub fn floor_log2(x: u64) -> u32 {
+    assert!(x >= 1, "log2 of 0");
+    63 - x.leading_zeros().min(63)
+}
+
+/// `ceil(log2(x))` for `x >= 1`.
+#[must_use]
+pub fn ceil_log2(x: u64) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        floor_log2(x - 1) + 1
+    }
+}
+
+fn pow_sat(base: u64, exp: u32) -> u64 {
+    let mut acc = 1u64;
+    for _ in 0..exp {
+        acc = acc.saturating_mul(base);
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1
+// ---------------------------------------------------------------------------
+
+/// Theorem 1 tree size: `|V| = 3·2^h − 2`.
+#[must_use]
+pub fn thm1_tree_size(h: u32) -> u64 {
+    3 * (1u64 << h) - 2
+}
+
+/// Theorem 1's hypothesis: the smallest `k` for which the degree-3 tree
+/// argument applies to an `N`-vertex network, `k = 2·ceil(log2((N+2)/3))`
+/// (with the inner division exact on the tree sizes; we take
+/// `ceil(log2(ceil((N+2)/3)))` for general `N`).
+#[must_use]
+pub fn thm1_min_k(n_vertices: u64) -> u32 {
+    2 * ceil_log2(n_vertices.div_ceil(3).max(1))
+}
+
+// ---------------------------------------------------------------------------
+// Theorems 2 and 3 (lower bounds)
+// ---------------------------------------------------------------------------
+
+/// Theorem 2: for `k ∈ {2,3,4}` and `N = 2^n`, any k-mlbg has
+/// `Δ >= ceil(n^(1/k))`.
+///
+/// # Panics
+/// Panics unless `2 <= k <= 4`.
+#[must_use]
+pub fn thm2_lower_bound(k: u32, n: u32) -> u64 {
+    assert!((2..=4).contains(&k), "Theorem 2 covers k = 2, 3, 4");
+    ceil_root(u64::from(n), k)
+}
+
+/// Theorem 3: for `k >= 5`, `n >= k`, any k-mlbg on `2^n` vertices has
+/// `Δ >= (n/3 + 1)^(1/k) + 1`, hence `Δ >= ceil((n/3 + 1)^(1/k)) + 1` when
+/// the root is not integral; we return the valid integer bound
+/// `min { Δ : Δ >= 3 and 3((Δ−1)^k − 1) >= n }` from the proof's inequality
+/// `n <= 3((Δ−1)^k − 1)` (together with the proof's separate `Δ >= 3` step).
+#[must_use]
+pub fn thm3_lower_bound(k: u32, n: u32) -> u64 {
+    assert!(k >= 5, "Theorem 3 covers k >= 5");
+    assert!(n >= k, "Theorem 3 assumes n >= k");
+    let n = u64::from(n);
+    let mut delta = 3u64;
+    while 3 * (pow_sat(delta - 1, k).saturating_sub(1)) < n {
+        delta += 1;
+    }
+    delta
+}
+
+/// The degree lower bound for any `k`, dispatching between Theorems 2 and 3
+/// (and the trivial `Δ >= 1` for `k` beyond both: e.g. `k = 1` handled by
+/// the classical `Δ >= n` of 1-line minimum broadcast on `2^n` vertices).
+#[must_use]
+pub fn lower_bound(k: u32, n: u32) -> u64 {
+    match k {
+        0 => panic!("k must be positive"),
+        1 => u64::from(n), // store-and-forward: the source needs n distinct neighbors
+        2..=4 => thm2_lower_bound(k, n),
+        _ if n >= k => thm3_lower_bound(k, n),
+        _ => 1,
+    }
+}
+
+/// Theorem 3's cycle infeasibility check: a cycle on `2^n` vertices cannot
+/// be a k-mlbg when `2^(n−1) > k·n` (the paper observes `k = 5, n = 6`:
+/// `32 > 30`).
+#[must_use]
+pub fn cycle_infeasible(k: u32, n: u32) -> bool {
+    assert!(n >= 1);
+    // 2^(n−1) saturates past 63 bits — far beyond any product k·n here.
+    let half = 1u64.checked_shl(n - 1).unwrap_or(u64::MAX);
+    half > u64::from(k) * u64::from(n)
+}
+
+// ---------------------------------------------------------------------------
+// Lemmas 1–2 and Theorem 5 (k = 2)
+// ---------------------------------------------------------------------------
+
+/// Lemma 1: `Δ(G_{n,m}) <= ceil((n − m)/λ_m) + m`.
+#[must_use]
+pub fn lemma1_upper_bound(n: u32, m: u32, lambda: u32) -> u64 {
+    assert!(m < n && lambda >= 1);
+    u64::from((n - m).div_ceil(lambda)) + u64::from(m)
+}
+
+/// Theorem 5: for every `n >= 1` there is a 2-mlbg of order `2^n` with
+/// `Δ <= 2·ceil(sqrt(2n + 4)) − 4`.
+#[must_use]
+pub fn thm5_upper_bound(n: u32) -> u64 {
+    2 * ceil_sqrt(u64::from(2 * n + 4)) - 4
+}
+
+/// Theorem 5's parameter choice: `m* = ceil(sqrt(2n + 4)) − 2`, clamped
+/// into the legal range `1..n`.
+#[must_use]
+pub fn thm5_m_star(n: u32) -> u32 {
+    assert!(n >= 2, "m* needs n >= 2");
+    let m = (ceil_sqrt(u64::from(2 * n + 4)) as u32).saturating_sub(2);
+    m.clamp(1, n - 1)
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 7 and Corollary 1 (general k)
+// ---------------------------------------------------------------------------
+
+/// Theorem 7: for `n > k >= 3` there is a k-mlbg of order `2^n` with
+/// `Δ <= (2k − 1)·ceil((n − k)^(1/k))`.
+#[must_use]
+pub fn thm7_upper_bound(k: u32, n: u32) -> u64 {
+    assert!(k >= 3 && n > k, "Theorem 7 needs n > k >= 3");
+    u64::from(2 * k - 1) * ceil_root(u64::from(n - k), k)
+}
+
+/// Theorem 7's parameter choice: `n_i* = ceil(m^(i/k)) + i − 1` for
+/// `i = 1..k−1`, with `m = n − k`. Returns `[n_1, …, n_{k−1}, n]`.
+#[must_use]
+pub fn thm7_params(k: u32, n: u32) -> Vec<u32> {
+    assert!(k >= 3 && n > k, "Theorem 7 needs n > k >= 3");
+    let m = u64::from(n - k);
+    let mut dims: Vec<u32> = (1..k)
+        .map(|i| {
+            // ceil(m^(i/k)) = smallest r with r^k >= m^i.
+            let target = pow_sat_u64(m, i);
+            ceil_root(target, k) as u32 + i - 1
+        })
+        .collect();
+    dims.push(n);
+    dims
+}
+
+fn pow_sat_u64(base: u64, exp: u32) -> u64 {
+    let mut acc = 1u64;
+    for _ in 0..exp {
+        acc = acc.saturating_mul(base);
+    }
+    acc
+}
+
+/// Corollary 1: for `k >= ceil(log2 n)` there is a k-mlbg of order
+/// `2^n` with `Δ <= 4·ceil(log2 log2 N) − 2 = 4·ceil(log2 n) − 2`.
+#[must_use]
+pub fn cor1_upper_bound(n: u32) -> u64 {
+    assert!(n >= 2);
+    4 * u64::from(ceil_log2(u64::from(n))) - 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_roots() {
+        assert_eq!(ceil_sqrt(0), 0);
+        assert_eq!(ceil_sqrt(1), 1);
+        assert_eq!(ceil_sqrt(2), 2);
+        assert_eq!(ceil_sqrt(4), 2);
+        assert_eq!(ceil_sqrt(5), 3);
+        assert_eq!(ceil_sqrt(9), 3);
+        assert_eq!(ceil_root(8, 3), 2);
+        assert_eq!(ceil_root(9, 3), 3);
+        assert_eq!(ceil_root(27, 3), 3);
+        assert_eq!(ceil_root(1, 7), 1);
+        assert_eq!(ceil_root(16, 4), 2);
+        assert_eq!(ceil_root(17, 4), 3);
+    }
+
+    #[test]
+    fn logs() {
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn thm1_values() {
+        // Fig. 1: h = 3 gives 22 vertices.
+        assert_eq!(thm1_tree_size(3), 22);
+        assert_eq!(thm1_tree_size(1), 4);
+        // For N = 22: k = 2·ceil(log2(8)) = 6 = 2h.
+        assert_eq!(thm1_min_k(22), 6);
+    }
+
+    #[test]
+    fn thm2_spot_values() {
+        // k=2: Δ >= ceil(sqrt(n)).
+        assert_eq!(thm2_lower_bound(2, 15), 4);
+        assert_eq!(thm2_lower_bound(2, 16), 4);
+        assert_eq!(thm2_lower_bound(2, 17), 5);
+        // k=3: Δ >= ceil(n^(1/3)).
+        assert_eq!(thm2_lower_bound(3, 27), 3);
+        assert_eq!(thm2_lower_bound(3, 28), 4);
+    }
+
+    #[test]
+    fn thm3_monotone_and_consistent() {
+        // From the proof: n <= 3((Δ−1)^k − 1). For k=5: Δ=3 covers
+        // n <= 3(2^5−1) = 93, so every n in 5..=93 gives Δ >= 3.
+        assert_eq!(thm3_lower_bound(5, 10), 3);
+        assert_eq!(thm3_lower_bound(5, 93), 3);
+        assert_eq!(thm3_lower_bound(5, 94), 4);
+        // Lower bound never decreases in n.
+        let mut prev = 0;
+        for n in 5..200u32 {
+            let b = thm3_lower_bound(5, n);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn cycle_infeasibility_paper_case() {
+        // Paper: k = 5, n = 6 ⇒ 2^5 = 32 > 30 = kn.
+        assert!(cycle_infeasible(5, 6));
+        assert!(!cycle_infeasible(5, 5)); // 16 <= 25
+        assert!(!cycle_infeasible(6, 6)); // 32 <= 36
+        assert!(cycle_infeasible(6, 7)); // 64 > 42
+    }
+
+    #[test]
+    fn lemma1_spot_values() {
+        // G_{4,2}: ceil(2/2) + 2 = 3.
+        assert_eq!(lemma1_upper_bound(4, 2, 2), 3);
+        // G_{15,3}: ceil(12/4) + 3 = 6 (Example 3).
+        assert_eq!(lemma1_upper_bound(15, 3, 4), 6);
+    }
+
+    #[test]
+    fn thm5_spot_values() {
+        // n = 1: bound 2·ceil(sqrt 6) − 4 = 2 (paper's base case).
+        assert_eq!(thm5_upper_bound(1), 2);
+        // n = 16: 2·ceil(sqrt 36) − 4 = 8.
+        assert_eq!(thm5_upper_bound(16), 8);
+        // Bound is nondecreasing.
+        let mut prev = 0;
+        for n in 1..=64 {
+            let b = thm5_upper_bound(n);
+            assert!(b >= prev, "n={n}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn thm5_m_star_legal() {
+        for n in 2..=64u32 {
+            let m = thm5_m_star(n);
+            assert!((1..n).contains(&m), "n={n} -> m*={m}");
+        }
+        // n = 16: sqrt(36) = 6, m* = 4.
+        assert_eq!(thm5_m_star(16), 4);
+    }
+
+    #[test]
+    fn thm7_spot_values() {
+        // k=3, n=30: (2·3−1)·ceil(27^(1/3)) = 5·3 = 15.
+        assert_eq!(thm7_upper_bound(3, 30), 15);
+        // k=4, n=20: 7·ceil(16^(1/4)) = 7·2 = 14.
+        assert_eq!(thm7_upper_bound(4, 20), 14);
+    }
+
+    #[test]
+    fn thm7_params_are_legal_and_match_formula() {
+        for k in 3..=5u32 {
+            for n in (k + 2)..=40 {
+                let dims = thm7_params(k, n);
+                assert_eq!(dims.len(), k as usize);
+                assert_eq!(*dims.last().unwrap(), n);
+                assert!(
+                    dims.windows(2).all(|w| w[0] < w[1]),
+                    "k={k}, n={n}: {dims:?} strictly increasing"
+                );
+                assert!(dims[0] >= 1);
+            }
+        }
+        // Spot: k=3, n=30, m=27: n_1 = ceil(27^(1/3)) = 3, n_2 = ceil(729^(1/3)) + 1 = 10.
+        assert_eq!(thm7_params(3, 30), vec![3, 10, 30]);
+    }
+
+    #[test]
+    fn cor1_spot_values() {
+        // n = 16: 4·ceil(log2 16) − 2 = 14.
+        assert_eq!(cor1_upper_bound(16), 14);
+        // n = 17: 4·5 − 2 = 18.
+        assert_eq!(cor1_upper_bound(17), 18);
+    }
+
+    #[test]
+    fn lower_bound_dispatch() {
+        assert_eq!(lower_bound(1, 10), 10);
+        assert_eq!(lower_bound(2, 16), 4);
+        assert_eq!(lower_bound(5, 93), 3);
+        assert_eq!(lower_bound(9, 5), 1, "n < k degenerate");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn lower_bound_k0_panics() {
+        let _ = lower_bound(0, 4);
+    }
+}

@@ -1,0 +1,36 @@
+//! # shc-core — sparse hypercube constructions
+//!
+//! The primary contribution of Fujita & Farley, *"Sparse Hypercube — a
+//! minimal k-line broadcast graph"* (IPPS/SPDP'99; DAM 127, 2003):
+//! subgraphs of the binary `n`-cube that remain minimal k-line broadcast
+//! graphs while reducing the maximum degree from `n` to
+//! `(2k−1)·⌈(log₂N − k)^(1/k)⌉`.
+//!
+//! * [`partition`] — the `S_1, …, S_λ` cross-dimension partitions.
+//! * [`construction`] — `Construct_BASE(n, m)` (§3) and
+//!   `Construct(k; n, n_{k−1}, …, n_1)` (§4) as one leveled structure with
+//!   rule-based `O(1)` edge oracles.
+//! * [`routing`] — Phase-1 relay routing (Remark 1, generalized), with the
+//!   `k − 1` hop bound checked rather than assumed.
+//! * [`bounds`] — every closed-form bound of the paper in exact integer
+//!   arithmetic (Theorems 1–3, 5, 7; Lemmas 1–2; Corollary 1).
+//! * [`params`] — Theorem 5/7 parameter choices plus exact minimum-degree
+//!   parameter search.
+//! * [`validate`] — structural invariants, rule-level and materialized.
+//! * [`stats`] — comparison against the full hypercube baseline.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounds;
+pub mod construction;
+pub mod params;
+pub mod partition;
+pub mod routing;
+pub mod stats;
+pub mod validate;
+
+pub use construction::{Level, SparseHypercube, Vertex};
+pub use partition::DimPartition;
+pub use routing::route_to_cross_dim;
+pub use stats::ShcStats;

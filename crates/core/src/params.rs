@@ -1,0 +1,250 @@
+//! Parameter selection for the constructions: the paper's closed-form
+//! choices (Theorem 5's `m*`, Theorem 7's `n_i*`) and an exact
+//! minimum-degree search over the parameter space, used for the paper's
+//! remark that the `2k − 1` coefficient can be improved by choosing the
+//! `n_i` "more carefully".
+
+use crate::bounds;
+use serde::{Deserialize, Serialize};
+use shc_labeling::constructed_lambda;
+
+/// A chosen parameter vector for `Construct(k; …)` plus its predicted
+/// degree.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamChoice {
+    /// `[n_1, …, n_{k−1}, n]`, ascending.
+    pub dims: Vec<u32>,
+    /// Exact maximum degree of the resulting graph.
+    pub max_degree: u64,
+}
+
+/// Exact maximum degree of `Construct(k; dims)` without building it:
+/// `Δ = n_1 + Σ_ℓ ceil((n_ℓ − n_{ℓ−1}) / λ(n_{ℓ−1} − n_{ℓ−2}))`,
+/// with `λ` the constructive label count of `shc-labeling`.
+///
+/// # Panics
+/// Panics if `dims` is not strictly increasing with at least 2 entries.
+#[must_use]
+pub fn predicted_max_degree(dims: &[u32]) -> u64 {
+    assert!(dims.len() >= 2 && dims[0] >= 1, "bad dims {dims:?}");
+    assert!(dims.windows(2).all(|w| w[0] < w[1]), "bad dims {dims:?}");
+    let mut total = u64::from(dims[0]);
+    for l in 1..dims.len() {
+        let label_width = if l >= 2 { dims[l - 1] - dims[l - 2] } else { dims[0] };
+        let lambda = constructed_lambda(label_width);
+        total += u64::from((dims[l] - dims[l - 1]).div_ceil(lambda));
+    }
+    total
+}
+
+/// The paper's default parameters: Theorem 5's `m*` for `k = 2`,
+/// Theorem 7's `n_i*` for `k >= 3`.
+///
+/// # Panics
+/// Panics unless `k >= 2` and `n >= 2` (and `n > k` for `k >= 3`).
+#[must_use]
+pub fn paper_params(k: u32, n: u32) -> ParamChoice {
+    assert!(k >= 2 && n >= 2, "need k >= 2, n >= 2");
+    let dims = if k == 2 {
+        vec![bounds::thm5_m_star(n), n]
+    } else {
+        bounds::thm7_params(k, n)
+    };
+    let max_degree = predicted_max_degree(&dims);
+    ParamChoice { dims, max_degree }
+}
+
+/// Exhaustive minimum-degree parameter search for `k = 2`: the best `m`.
+#[must_use]
+pub fn best_base_params(n: u32) -> ParamChoice {
+    assert!(n >= 2, "need n >= 2");
+    (1..n)
+        .map(|m| {
+            let dims = vec![m, n];
+            let max_degree = predicted_max_degree(&dims);
+            ParamChoice { dims, max_degree }
+        })
+        .min_by_key(|c| (c.max_degree, c.dims[0]))
+        .expect("nonempty range")
+}
+
+/// Exact minimum-degree parameter search for general `k` by depth-first
+/// enumeration of ascending parameter vectors with branch-and-bound
+/// pruning (partial degree already exceeding the incumbent).
+///
+/// Practical for `k <= 6, n <= 60`.
+///
+/// # Panics
+/// Panics unless `2 <= k < n` and `k <= 8`.
+#[must_use]
+pub fn optimized_params(k: u32, n: u32) -> ParamChoice {
+    assert!(k >= 2 && n > k, "need 2 <= k < n for the search");
+    assert!(k <= 8, "search capped at k = 8");
+    if k == 2 {
+        return best_base_params(n);
+    }
+    let mut best = paper_params(k, n);
+    let mut prefix: Vec<u32> = Vec::with_capacity(k as usize);
+    search(k, n, &mut prefix, 0, &mut best);
+    best
+}
+
+/// Recursive enumeration: `prefix` holds `n_1 < … < n_j` so far;
+/// `partial` is the degree contribution fixed by the prefix (base `n_1`
+/// plus finished levels).
+fn search(k: u32, n: u32, prefix: &mut Vec<u32>, partial: u64, best: &mut ParamChoice) {
+    let j = prefix.len() as u32;
+    if j == k - 1 {
+        // Close with n_k = n: final level label width n_{k−1} − n_{k−2}.
+        let label_width = if k >= 3 {
+            prefix[prefix.len() - 1] - prefix[prefix.len() - 2]
+        } else {
+            prefix[0]
+        };
+        let lambda = constructed_lambda(label_width);
+        let total =
+            partial + u64::from((n - prefix[prefix.len() - 1]).div_ceil(lambda));
+        if total < best.max_degree {
+            let mut dims = prefix.clone();
+            dims.push(n);
+            *best = ParamChoice {
+                dims,
+                max_degree: total,
+            };
+        }
+        return;
+    }
+    let lo = prefix.last().map_or(1, |&x| x + 1);
+    // Leave room for the remaining k−1−j parameters strictly below n.
+    let hi = n - (k - 1 - j);
+    for next in lo..=hi {
+        let add = if j == 0 {
+            u64::from(next) // base contribution n_1
+        } else {
+            let label_width = if j >= 2 {
+                prefix[prefix.len() - 1] - prefix[prefix.len() - 2]
+            } else {
+                prefix[0]
+            };
+            let lambda = constructed_lambda(label_width);
+            u64::from((next - prefix[prefix.len() - 1]).div_ceil(lambda))
+        };
+        let partial2 = partial + add;
+        if partial2 >= best.max_degree {
+            continue; // prune: degree only grows
+        }
+        prefix.push(next);
+        search(k, n, prefix, partial2, best);
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construction::SparseHypercube;
+
+    #[test]
+    fn predicted_matches_constructed() {
+        for dims in [
+            vec![2u32, 4],
+            vec![3, 15],
+            vec![2, 4, 7],
+            vec![3, 10, 30],
+            vec![2, 4, 8, 16],
+        ] {
+            let g = SparseHypercube::construct(&dims);
+            assert_eq!(
+                predicted_max_degree(&dims),
+                g.max_degree() as u64,
+                "dims {dims:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_params_satisfy_their_theorems() {
+        // Theorem 5: degree within 2·ceil(sqrt(2n+4)) − 4 for k = 2.
+        for n in 2..=60u32 {
+            let c = paper_params(2, n);
+            assert!(
+                c.max_degree <= bounds::thm5_upper_bound(n),
+                "n={n}: Δ={} > bound {}",
+                c.max_degree,
+                bounds::thm5_upper_bound(n)
+            );
+        }
+        // Theorem 7 for k = 3..5.
+        for k in 3..=5u32 {
+            for n in (k + 1)..=60 {
+                let c = paper_params(k, n);
+                assert!(
+                    c.max_degree <= bounds::thm7_upper_bound(k, n),
+                    "k={k}, n={n}: Δ={} > bound {}",
+                    c.max_degree,
+                    bounds::thm7_upper_bound(k, n)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_base_beats_or_matches_paper_choice() {
+        for n in 2..=60u32 {
+            let best = best_base_params(n);
+            let paper = paper_params(2, n);
+            assert!(best.max_degree <= paper.max_degree, "n={n}");
+        }
+    }
+
+    #[test]
+    fn optimized_beats_or_matches_paper_choice() {
+        for k in 3..=4u32 {
+            for n in [k + 2, 12, 20, 31] {
+                if n <= k {
+                    continue;
+                }
+                let opt = optimized_params(k, n);
+                let paper = paper_params(k, n);
+                assert!(
+                    opt.max_degree <= paper.max_degree,
+                    "k={k}, n={n}: {} vs {}",
+                    opt.max_degree,
+                    paper.max_degree
+                );
+                assert!(opt.dims.windows(2).all(|w| w[0] < w[1]));
+                assert_eq!(*opt.dims.last().unwrap(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_k2_matches_exhaustive() {
+        for n in [5u32, 9, 16, 33] {
+            assert_eq!(optimized_params(2, n), best_base_params(n));
+        }
+    }
+
+    #[test]
+    fn note_after_thm5_case() {
+        // Paper note: if λ_m = m+1 and n = m(m+2) then Δ = 2m < 2·sqrt(n).
+        // m = 3 (λ=4), n = 15: Δ(G_{15,3}) = 6 = 2m.
+        let c = predicted_max_degree(&[3, 15]);
+        assert_eq!(c, 6);
+        assert!((c as f64) < 2.0 * (15f64).sqrt());
+        // m = 7 (λ=8), n = 63: Δ = 14 = 2·7 < 2·sqrt(63) ≈ 15.87.
+        let c = predicted_max_degree(&[7, 63]);
+        assert_eq!(c, 14);
+        assert!((c as f64) < 2.0 * (63f64).sqrt());
+    }
+
+    #[test]
+    fn best_base_known_small_values() {
+        // n = 4: m = 2 gives ceil(2/2)+2 = 3; m=1 gives ceil(3/2)+1 = 3;
+        // m=3 gives ceil(1/4)+3 = 4. Best = 3.
+        assert_eq!(best_base_params(4).max_degree, 3);
+        // n = 15: m = 3 gives 6.
+        let c = best_base_params(15);
+        assert!(c.max_degree <= 6);
+    }
+}

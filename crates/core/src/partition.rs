@@ -1,0 +1,237 @@
+//! Partition of a cross-dimension range `S = {lo+1, …, hi}` into `λ`
+//! near-equal subsets `S_1, …, S_λ` (paper, Step 2 of `Construct_BASE` and
+//! Step 3 of `Construct`): `||S_i| − |S_j|| <= 1`, some subsets possibly
+//! empty.
+
+use serde::{Deserialize, Serialize};
+
+/// Assignment of each dimension in `lo+1..=hi` to one of `λ` label-indexed
+/// subsets.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DimPartition {
+    lo: u32,
+    hi: u32,
+    num_subsets: u32,
+    /// `owner[d]` is the subset of dimension `lo + 1 + d`.
+    owner: Vec<u16>,
+}
+
+impl DimPartition {
+    /// The canonical balanced partition used throughout: dimensions are
+    /// taken in **descending** order and split into `λ` consecutive blocks,
+    /// earlier blocks taking the extra dimension when `λ` does not divide
+    /// `hi − lo`. This reproduces the paper's Example 3 exactly
+    /// (`S = {15,…,4}`, `λ = 4` → `S_1 = {15,14,13}, …, S_4 = {6,5,4}`).
+    ///
+    /// # Panics
+    /// Panics if `hi < lo` or `num_subsets == 0`.
+    #[must_use]
+    pub fn balanced(lo: u32, hi: u32, num_subsets: u32) -> Self {
+        assert!(hi >= lo, "invalid range ({lo}, {hi}]");
+        assert!(num_subsets >= 1, "need at least one subset");
+        assert!(num_subsets <= u32::from(u16::MAX), "subset index must fit u16");
+        let total = (hi - lo) as usize;
+        let base = total / num_subsets as usize;
+        let rem = total % num_subsets as usize;
+        let mut owner = vec![0u16; total];
+        let mut next = hi; // assign descending
+        for j in 0..num_subsets as usize {
+            let size = base + usize::from(j < rem);
+            for _ in 0..size {
+                owner[(next - lo - 1) as usize] = j as u16;
+                next -= 1;
+            }
+        }
+        debug_assert_eq!(next, lo);
+        Self {
+            lo,
+            hi,
+            num_subsets,
+            owner,
+        }
+    }
+
+    /// Builds a partition from explicit subsets (`subsets[j]` = dims of
+    /// `S_{j+1}`), validating that they exactly cover `lo+1..=hi`.
+    ///
+    /// # Panics
+    /// Panics if the subsets do not partition the range.
+    #[must_use]
+    pub fn from_subsets(lo: u32, hi: u32, subsets: &[Vec<u32>]) -> Self {
+        assert!(hi >= lo, "invalid range ({lo}, {hi}]");
+        assert!(!subsets.is_empty(), "need at least one subset");
+        let total = (hi - lo) as usize;
+        let mut owner = vec![u16::MAX; total];
+        let mut count = 0usize;
+        for (j, dims) in subsets.iter().enumerate() {
+            for &d in dims {
+                assert!(d > lo && d <= hi, "dim {d} outside ({lo}, {hi}]");
+                let idx = (d - lo - 1) as usize;
+                assert_eq!(owner[idx], u16::MAX, "dim {d} assigned twice");
+                owner[idx] = j as u16;
+                count += 1;
+            }
+        }
+        assert_eq!(count, total, "subsets must cover the whole range");
+        Self {
+            lo,
+            hi,
+            num_subsets: subsets.len() as u32,
+            owner,
+        }
+    }
+
+    /// Lower end of the range (exclusive).
+    #[must_use]
+    pub fn lo(&self) -> u32 {
+        self.lo
+    }
+
+    /// Upper end of the range (inclusive).
+    #[must_use]
+    pub fn hi(&self) -> u32 {
+        self.hi
+    }
+
+    /// Number of subsets `λ`.
+    #[must_use]
+    pub fn num_subsets(&self) -> u32 {
+        self.num_subsets
+    }
+
+    /// Subset index owning dimension `dim` (must lie in `lo+1..=hi`).
+    #[must_use]
+    pub fn owner_of(&self, dim: u32) -> u16 {
+        assert!(
+            dim > self.lo && dim <= self.hi,
+            "dim {dim} outside ({}, {}]",
+            self.lo,
+            self.hi
+        );
+        self.owner[(dim - self.lo - 1) as usize]
+    }
+
+    /// Dimensions of subset `j`, ascending.
+    #[must_use]
+    pub fn subset(&self, j: u16) -> Vec<u32> {
+        (self.lo + 1..=self.hi)
+            .filter(|&d| self.owner_of(d) == j)
+            .collect()
+    }
+
+    /// All subsets, indexed by label.
+    #[must_use]
+    pub fn subsets(&self) -> Vec<Vec<u32>> {
+        (0..self.num_subsets as u16).map(|j| self.subset(j)).collect()
+    }
+
+    /// Size of the largest subset — the per-level degree contribution
+    /// `max_j |S_j|` in the exact degree formula.
+    #[must_use]
+    pub fn max_subset_size(&self) -> usize {
+        let mut counts = vec![0usize; self.num_subsets as usize];
+        for &o in &self.owner {
+            counts[o as usize] += 1;
+        }
+        counts.into_iter().max().unwrap_or(0)
+    }
+
+    /// Number of dimensions partitioned (`hi − lo`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// `true` when the range is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.owner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_matches_paper_example3() {
+        // S = {15,…,4}, λ = 4 → S_1 = {15,14,13}, S_2 = {12,11,10},
+        // S_3 = {9,8,7}, S_4 = {6,5,4}.
+        let p = DimPartition::balanced(3, 15, 4);
+        assert_eq!(p.subset(0), vec![13, 14, 15]);
+        assert_eq!(p.subset(1), vec![10, 11, 12]);
+        assert_eq!(p.subset(2), vec![7, 8, 9]);
+        assert_eq!(p.subset(3), vec![4, 5, 6]);
+        assert_eq!(p.max_subset_size(), 3);
+    }
+
+    #[test]
+    fn balanced_sizes_differ_by_at_most_one() {
+        for (lo, hi, lambda) in [(2u32, 9u32, 3u32), (0, 7, 4), (5, 6, 4), (3, 3, 2)] {
+            let p = DimPartition::balanced(lo, hi, lambda);
+            let sizes: Vec<usize> = p.subsets().iter().map(Vec::len).collect();
+            let max = *sizes.iter().max().unwrap();
+            let min = *sizes.iter().min().unwrap();
+            assert!(max - min <= 1, "({lo},{hi}] into {lambda}: {sizes:?}");
+            assert_eq!(sizes.iter().sum::<usize>(), (hi - lo) as usize);
+        }
+    }
+
+    #[test]
+    fn balanced_empty_range() {
+        let p = DimPartition::balanced(4, 4, 3);
+        assert!(p.is_empty());
+        assert_eq!(p.max_subset_size(), 0);
+        assert!(p.subsets().iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn balanced_allows_empty_subsets() {
+        // Paper: "some subset S_i can be empty (i.e., n−m can be smaller
+        // than λ_m)".
+        let p = DimPartition::balanced(2, 4, 5);
+        let sizes: Vec<usize> = p.subsets().iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 2);
+        assert_eq!(sizes.iter().filter(|&&s| s == 0).count(), 3);
+        assert_eq!(p.max_subset_size(), 1);
+    }
+
+    #[test]
+    fn from_subsets_paper_example2() {
+        // Example 2: S = {4,3}, S_1 = {3}, S_2 = {4}.
+        let p = DimPartition::from_subsets(2, 4, &[vec![3], vec![4]]);
+        assert_eq!(p.owner_of(3), 0);
+        assert_eq!(p.owner_of(4), 1);
+        assert_eq!(p.subset(0), vec![3]);
+        assert_eq!(p.subset(1), vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn from_subsets_rejects_overlap() {
+        let _ = DimPartition::from_subsets(2, 4, &[vec![3, 4], vec![4]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the whole range")]
+    fn from_subsets_rejects_gap() {
+        let _ = DimPartition::from_subsets(2, 4, &[vec![3], vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn owner_of_out_of_range_panics() {
+        let p = DimPartition::balanced(2, 4, 2);
+        let _ = p.owner_of(2);
+    }
+
+    #[test]
+    fn owner_round_trips_subsets() {
+        let p = DimPartition::balanced(1, 11, 3);
+        for (j, dims) in p.subsets().into_iter().enumerate() {
+            for d in dims {
+                assert_eq!(p.owner_of(d), j as u16);
+            }
+        }
+    }
+}

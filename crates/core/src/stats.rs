@@ -1,0 +1,133 @@
+//! Summary statistics of a sparse hypercube vs. the full hypercube
+//! baseline — the quantities behind the paper's headline comparison
+//! ("reduce the maximum degree from `n` to at most `(2k−1)·⌈(n−k)^{1/k}⌉`").
+
+use crate::bounds;
+use crate::construction::SparseHypercube;
+use serde::{Deserialize, Serialize};
+
+/// Degree/edge statistics of a construction compared against `Q_n`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShcStats {
+    /// Cube dimension `n` (`N = 2^n`).
+    pub n: u32,
+    /// Call-length parameter `k`.
+    pub k: u32,
+    /// The parameter vector `[n_1, …, n]`.
+    pub dims: Vec<u32>,
+    /// `2^n`.
+    pub num_vertices: u64,
+    /// Exact maximum degree of the construction.
+    pub max_degree: u64,
+    /// `Δ(Q_n) = n`.
+    pub hypercube_degree: u32,
+    /// Exact edge count of the construction.
+    pub num_edges: u64,
+    /// `|E(Q_n)| = n · 2^(n−1)`.
+    pub hypercube_edges: u64,
+    /// The applicable paper upper bound on `Δ` (Theorem 5 for `k = 2`,
+    /// Theorem 7 for `k >= 3`).
+    pub paper_upper_bound: u64,
+    /// The applicable paper lower bound on `Δ` (Theorems 2–3).
+    pub paper_lower_bound: u64,
+}
+
+impl ShcStats {
+    /// Gathers the statistics for a constructed graph.
+    #[must_use]
+    pub fn for_graph(g: &SparseHypercube) -> Self {
+        let n = g.n();
+        let k = g.k();
+        let upper = if k == 2 {
+            bounds::thm5_upper_bound(n)
+        } else {
+            bounds::thm7_upper_bound(k, n)
+        };
+        Self {
+            n,
+            k,
+            dims: g.params().to_vec(),
+            num_vertices: g.num_vertices(),
+            max_degree: g.max_degree() as u64,
+            hypercube_degree: n,
+            num_edges: g.num_edges(),
+            hypercube_edges: u64::from(n) << (n - 1),
+            paper_upper_bound: upper,
+            paper_lower_bound: bounds::lower_bound(k, n),
+        }
+    }
+
+    /// Fraction of hypercube edges retained (`|E(G)| / |E(Q_n)|`).
+    #[must_use]
+    pub fn edge_ratio(&self) -> f64 {
+        self.num_edges as f64 / self.hypercube_edges as f64
+    }
+
+    /// Degree reduction factor (`n / Δ(G)`).
+    #[must_use]
+    pub fn degree_reduction(&self) -> f64 {
+        f64::from(self.hypercube_degree) / self.max_degree as f64
+    }
+
+    /// Ratio of achieved degree to the paper's lower bound (the measured
+    /// tightness of Corollary 2).
+    #[must_use]
+    pub fn tightness(&self) -> f64 {
+        self.max_degree as f64 / self.paper_lower_bound as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construction::SparseHypercube;
+
+    #[test]
+    fn g153_stats_match_example3() {
+        let g = SparseHypercube::construct_base(15, 3);
+        let s = ShcStats::for_graph(&g);
+        assert_eq!(s.max_degree, 6);
+        assert_eq!(s.hypercube_degree, 15);
+        assert!(s.degree_reduction() > 2.0, "less than half of Δ(Q15)");
+        assert_eq!(s.hypercube_edges, 15 * (1 << 14));
+        assert!(s.edge_ratio() < 0.5);
+        assert!(s.max_degree <= s.paper_upper_bound);
+        assert!(s.max_degree >= s.paper_lower_bound);
+    }
+
+    #[test]
+    fn stats_bounds_hold_across_sweep() {
+        for n in 5..=24u32 {
+            let g = SparseHypercube::construct_base(n, bounds::thm5_m_star(n));
+            let s = ShcStats::for_graph(&g);
+            assert!(
+                s.paper_lower_bound <= s.max_degree && s.max_degree <= s.paper_upper_bound,
+                "n={n}: {} <= {} <= {}",
+                s.paper_lower_bound,
+                s.max_degree,
+                s.paper_upper_bound
+            );
+        }
+    }
+
+    #[test]
+    fn tightness_is_bounded_for_k3() {
+        // Corollary 2: Δ = Θ(n^(1/k)); the ratio to the lower bound stays
+        // below 2k − 1 + o(1) for the paper parameters.
+        for n in 10..=60u32 {
+            let dims = bounds::thm7_params(3, n);
+            let g = SparseHypercube::construct(&dims);
+            let s = ShcStats::for_graph(&g);
+            assert!(s.tightness() <= 5.5, "n={n}: tightness {}", s.tightness());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = SparseHypercube::construct_base(8, 3);
+        let s = ShcStats::for_graph(&g);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ShcStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

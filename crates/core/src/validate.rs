@@ -1,0 +1,185 @@
+//! Structural validation of constructed sparse hypercubes: every invariant
+//! the paper's proofs rely on, checked directly on the rule-based oracle
+//! (and, for small `n`, against the materialized graph).
+
+use crate::construction::{SparseHypercube, Vertex};
+use shc_graph::{metrics, traversal, GraphView};
+use shc_labeling::verify_condition_a;
+
+/// A failed structural invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StructureError {
+    /// A level labeling violates Condition A.
+    ConditionA {
+        /// Level index (0 = innermost level `ℓ = 2`).
+        level: usize,
+        /// Human-readable witness.
+        witness: String,
+    },
+    /// The edge oracle is asymmetric at `(u, dim)`.
+    AsymmetricEdge {
+        /// Vertex where asymmetry was detected.
+        u: Vertex,
+        /// Dimension of the offending edge.
+        dim: u32,
+    },
+    /// A vertex degree disagrees with the neighbor list.
+    DegreeMismatch {
+        /// Offending vertex.
+        u: Vertex,
+    },
+    /// The formula-derived maximum degree disagrees with a full scan.
+    MaxDegreeMismatch {
+        /// Value from the closed-form formula.
+        formula: usize,
+        /// Value from scanning all vertices.
+        scanned: usize,
+    },
+    /// The materialized graph is disconnected (sparse hypercubes are
+    /// connected: they contain a spanning sub-hypercube of every copy chain).
+    Disconnected,
+    /// The materialized graph is not bipartite (impossible for a subgraph
+    /// of a hypercube).
+    NotBipartite,
+    /// Edge count formula disagrees with materialization.
+    EdgeCountMismatch {
+        /// Value from the closed-form formula.
+        formula: u64,
+        /// Value from the materialized graph.
+        materialized: u64,
+    },
+}
+
+impl std::fmt::Display for StructureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ConditionA { level, witness } => {
+                write!(f, "level {level} labeling violates Condition A: {witness}")
+            }
+            Self::AsymmetricEdge { u, dim } => {
+                write!(f, "edge oracle asymmetric at u={u:#b}, dim {dim}")
+            }
+            Self::DegreeMismatch { u } => write!(f, "degree mismatch at u={u:#b}"),
+            Self::MaxDegreeMismatch { formula, scanned } => {
+                write!(f, "max degree: formula {formula} vs scan {scanned}")
+            }
+            Self::Disconnected => write!(f, "graph is disconnected"),
+            Self::NotBipartite => write!(f, "graph is not bipartite"),
+            Self::EdgeCountMismatch {
+                formula,
+                materialized,
+            } => write!(f, "edge count: formula {formula} vs materialized {materialized}"),
+        }
+    }
+}
+
+impl std::error::Error for StructureError {}
+
+/// Validates the rule-level invariants on a (possibly huge) instance by
+/// sampling `sample` vertices deterministically (stride over the vertex
+/// space), plus the labelings in full.
+///
+/// # Errors
+/// Returns the first violated invariant.
+pub fn validate_structure(g: &SparseHypercube, sample: u64) -> Result<(), StructureError> {
+    // 1. Condition A per level.
+    for (idx, level) in g.levels().iter().enumerate() {
+        if let Err(e) = verify_condition_a(level.labeling()) {
+            return Err(StructureError::ConditionA {
+                level: idx,
+                witness: e.to_string(),
+            });
+        }
+    }
+    // 2. Oracle symmetry + degree consistency on a deterministic sample.
+    let n_vertices = g.num_vertices();
+    let stride = (n_vertices / sample.max(1)).max(1);
+    let mut u = 0u64;
+    while u < n_vertices {
+        for dim in 1..=g.n() {
+            let v = u ^ (1u64 << (dim - 1));
+            if g.has_dim_edge(u, dim) != g.has_dim_edge(v, dim) {
+                return Err(StructureError::AsymmetricEdge { u, dim });
+            }
+        }
+        if g.neighbors(u).len() != g.degree(u) {
+            return Err(StructureError::DegreeMismatch { u });
+        }
+        u += stride;
+    }
+    Ok(())
+}
+
+/// Exhaustive validation against a materialized graph (requires `n <= 20`):
+/// connectivity, bipartiteness, degree/edge formulas.
+///
+/// # Errors
+/// Returns the first violated invariant.
+pub fn validate_materialized(g: &SparseHypercube) -> Result<(), StructureError> {
+    validate_structure(g, g.num_vertices())?;
+    let mat = g.to_graph();
+    if !traversal::is_connected(&mat) {
+        return Err(StructureError::Disconnected);
+    }
+    if !metrics::is_bipartite(&mat) {
+        return Err(StructureError::NotBipartite);
+    }
+    let scanned = mat.max_degree();
+    if scanned != g.max_degree() {
+        return Err(StructureError::MaxDegreeMismatch {
+            formula: g.max_degree(),
+            scanned,
+        });
+    }
+    if mat.num_edges() as u64 != g.num_edges() {
+        return Err(StructureError::EdgeCountMismatch {
+            formula: g.num_edges(),
+            materialized: mat.num_edges() as u64,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construction::SparseHypercube;
+
+    #[test]
+    fn base_instances_validate() {
+        for (n, m) in [(4u32, 2u32), (6, 2), (8, 3), (10, 4), (12, 3)] {
+            let g = SparseHypercube::construct_base(n, m);
+            validate_materialized(&g).unwrap_or_else(|e| panic!("G_{{{n},{m}}}: {e}"));
+        }
+    }
+
+    #[test]
+    fn recursive_instances_validate() {
+        for dims in [vec![2u32, 4, 7], vec![2, 4, 9], vec![1, 3, 6, 10], vec![2, 4, 8, 13]] {
+            let g = SparseHypercube::construct(&dims);
+            validate_materialized(&g).unwrap_or_else(|e| panic!("{dims:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn large_instance_sampled_validation() {
+        // n = 32 cannot be materialized; rule-level checks still run.
+        let g = SparseHypercube::construct_base(32, 6);
+        validate_structure(&g, 4096).expect("sampled validation");
+    }
+
+    #[test]
+    fn large_recursive_sampled_validation() {
+        let g = SparseHypercube::construct(&[3, 9, 27, 48]);
+        validate_structure(&g, 2048).expect("sampled validation");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = StructureError::MaxDegreeMismatch {
+            formula: 5,
+            scanned: 6,
+        };
+        assert!(e.to_string().contains("formula 5"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the sparse hypercube constructions.
+
+use proptest::prelude::*;
+use shc_core::{bounds, params, routing, validate, SparseHypercube};
+use shc_graph::GraphView;
+
+/// Strategy: legal (n, m) for materializable base constructions.
+fn arb_base() -> impl Strategy<Value = (u32, u32)> {
+    (3u32..=12).prop_flat_map(|n| (Just(n), 1u32..n))
+}
+
+/// Strategy: legal ascending dims for k = 3 with n <= 11.
+fn arb_k3_dims() -> impl Strategy<Value = Vec<u32>> {
+    (1u32..=4)
+        .prop_flat_map(|n1| ((n1 + 1)..=6).prop_map(move |n2| (n1, n2)))
+        .prop_flat_map(|(n1, n2)| {
+            ((n2 + 1)..=11).prop_map(move |n| vec![n1, n2, n])
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn base_structure_validates((n, m) in arb_base()) {
+        let g = SparseHypercube::construct_base(n, m);
+        prop_assert!(validate::validate_materialized(&g).is_ok());
+    }
+
+    #[test]
+    fn base_degree_obeys_lemma1((n, m) in arb_base()) {
+        let g = SparseHypercube::construct_base(n, m);
+        let lambda = g.levels()[0].labeling().num_labels();
+        prop_assert!(
+            g.max_degree() as u64 <= bounds::lemma1_upper_bound(n, m, lambda),
+            "Lemma 1 violated at ({n},{m})"
+        );
+    }
+
+    #[test]
+    fn base_is_spanning_subgraph_of_hypercube((n, m) in arb_base()) {
+        let g = SparseHypercube::construct_base(n, m).to_graph();
+        let q = shc_graph::builders::hypercube(n);
+        prop_assert_eq!(g.num_vertices(), q.num_vertices());
+        for (u, v) in g.edge_iter() {
+            prop_assert!(q.has_edge(u, v), "edge ({u},{v}) not in Q_{n}");
+        }
+    }
+
+    #[test]
+    fn k3_structure_validates(dims in arb_k3_dims()) {
+        let g = SparseHypercube::construct(&dims);
+        prop_assert!(validate::validate_materialized(&g).is_ok(), "dims {:?}", dims);
+    }
+
+    #[test]
+    fn k3_rule1_makes_copies(dims in arb_k3_dims()) {
+        // Rule 1: the suffix-n_2 structure is the same in every copy —
+        // dim-edge presence for dims <= n_2 depends only on the suffix.
+        let g = SparseHypercube::construct(&dims);
+        let n = *dims.last().unwrap();
+        let n2 = dims[1];
+        let suffix_mask = (1u64 << n2) - 1;
+        for u in 0..(1u64 << n) {
+            for dim in 1..=n2 {
+                prop_assert_eq!(
+                    g.has_dim_edge(u, dim),
+                    g.has_dim_edge(u & suffix_mask, dim),
+                    "copy equivalence at u={:b}, dim {}", u, dim
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn base_routing_within_one_relay((n, m) in arb_base(), u_raw: u64, dim_raw: u32) {
+        let g = SparseHypercube::construct_base(n, m);
+        let u = u_raw & ((1u64 << n) - 1);
+        let dim = m + 1 + dim_raw % (n - m);
+        let path = routing::route_to_cross_dim(&g, u, dim, m, 1);
+        prop_assert!(path.is_ok(), "Remark 1 must hold at ({n},{m}), u={u:b}, dim {dim}");
+        let path = path.unwrap();
+        prop_assert!(path.len() <= 3);
+        // Every hop is an edge of the graph.
+        for w in path.windows(2) {
+            prop_assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn k3_routing_within_two_relays(dims in arb_k3_dims(), u_raw: u64, dim_raw: u32) {
+        let g = SparseHypercube::construct(&dims);
+        let n = *dims.last().unwrap();
+        let n2 = dims[1];
+        let u = u_raw & ((1u64 << n) - 1);
+        let dim = n2 + 1 + dim_raw % (n - n2);
+        let path = routing::route_to_cross_dim(&g, u, dim, n2, 2);
+        prop_assert!(path.is_ok(), "generalized Remark 1 at {:?}", dims);
+        prop_assert!(path.unwrap().len() <= 4, "call length <= 3");
+    }
+
+    #[test]
+    fn predicted_degree_matches_graph(dims in arb_k3_dims()) {
+        let g = SparseHypercube::construct(&dims);
+        prop_assert_eq!(
+            params::predicted_max_degree(&dims),
+            g.max_degree() as u64
+        );
+        prop_assert_eq!(g.to_graph().max_degree(), g.max_degree());
+    }
+
+    #[test]
+    fn degree_scan_consistent((n, m) in arb_base()) {
+        let g = SparseHypercube::construct_base(n, m);
+        let mat = g.to_graph();
+        for u in 0..(1u64 << n) {
+            prop_assert_eq!(g.degree(u), mat.degree(u as u32), "vertex {}", u);
+        }
+    }
+
+    #[test]
+    fn cross_dims_produce_exactly_the_neighbors((n, m) in arb_base(), u_raw: u64) {
+        let g = SparseHypercube::construct_base(n, m);
+        let u = u_raw & ((1u64 << n) - 1);
+        let nbrs = g.neighbors(u);
+        prop_assert_eq!(nbrs.len(), g.degree(u));
+        for &v in &nbrs {
+            prop_assert!(g.has_edge(u, v), "neighbor {} of {}", v, u);
+            prop_assert!(g.has_edge(v, u), "symmetry");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Serialization round-trips for the construction types: a sparse
+//! hypercube's parameters, labelings and partitions fully describe it, so
+//! a serde round-trip must preserve the edge oracle exactly.
+
+use shc_core::{DimPartition, SparseHypercube};
+
+fn assert_same_graph(a: &SparseHypercube, b: &SparseHypercube) {
+    assert_eq!(a.params(), b.params());
+    assert_eq!(a.max_degree(), b.max_degree());
+    assert_eq!(a.num_edges(), b.num_edges());
+    let n = a.n();
+    for u in (0..a.num_vertices()).step_by(7) {
+        for dim in 1..=n {
+            assert_eq!(
+                a.has_dim_edge(u, dim),
+                b.has_dim_edge(u, dim),
+                "u={u}, dim={dim}"
+            );
+        }
+    }
+}
+
+#[test]
+fn base_construction_roundtrip() {
+    let g = SparseHypercube::construct_base(10, 3);
+    let json = serde_json::to_string(&g).expect("serialize");
+    let back: SparseHypercube = serde_json::from_str(&json).expect("deserialize");
+    assert_same_graph(&g, &back);
+}
+
+#[test]
+fn recursive_construction_roundtrip() {
+    let g = SparseHypercube::construct(&[2, 4, 9, 14]);
+    let json = serde_json::to_string(&g).expect("serialize");
+    let back: SparseHypercube = serde_json::from_str(&json).expect("deserialize");
+    assert_same_graph(&g, &back);
+}
+
+#[test]
+fn partition_roundtrip() {
+    let p = DimPartition::balanced(3, 15, 4);
+    let json = serde_json::to_string(&p).expect("serialize");
+    let back: DimPartition = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(p, back);
+    assert_eq!(back.subset(0), vec![13, 14, 15]);
+}
+
+#[test]
+fn custom_labeling_construction_roundtrip() {
+    use shc_labeling::constructions::paper_example1_q3;
+    let g = SparseHypercube::construct_base_with(9, 3, paper_example1_q3(), None);
+    let json = serde_json::to_string(&g).expect("serialize");
+    let back: SparseHypercube = serde_json::from_str(&json).expect("deserialize");
+    assert_same_graph(&g, &back);
+}

@@ -1,0 +1,279 @@
+//! Mutable undirected graph backed by per-vertex sorted adjacency vectors.
+
+use crate::view::{GraphView, Node};
+use serde::{Deserialize, Serialize};
+
+/// An undirected simple graph (no self-loops, no parallel edges) with
+/// vertices `0..n`. Adjacency lists are kept sorted so edge queries are
+/// `O(log d)` and conversion to [`crate::CsrGraph`] is allocation-only.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdjGraph {
+    adj: Vec<Vec<Node>>,
+    num_edges: usize,
+}
+
+impl AdjGraph {
+    /// Creates an edgeless graph on `n` vertices.
+    #[must_use]
+    pub fn with_vertices(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph on `n` vertices from an edge list. Duplicate edges and
+    /// self-loops are ignored.
+    #[must_use]
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (Node, Node)>) -> Self {
+        let mut g = Self::with_vertices(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `true` if the edge is new;
+    /// self-loops and duplicates are rejected (returning `false`).
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: Node, v: Node) -> bool {
+        let n = self.adj.len();
+        assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range {n}");
+        if u == v {
+            return false;
+        }
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => false,
+            Err(pos_u) => {
+                self.adj[u as usize].insert(pos_u, v);
+                let pos_v = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect_err("adjacency lists out of sync");
+                self.adj[v as usize].insert(pos_v, u);
+                self.num_edges += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes the undirected edge `{u, v}` if present; returns whether it
+    /// existed.
+    pub fn remove_edge(&mut self, u: Node, v: Node) -> bool {
+        if u == v || (u as usize) >= self.adj.len() || (v as usize) >= self.adj.len() {
+            return false;
+        }
+        match self.adj[u as usize].binary_search(&v) {
+            Err(_) => false,
+            Ok(pos_u) => {
+                self.adj[u as usize].remove(pos_u);
+                let pos_v = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect("adjacency lists out of sync");
+                self.adj[v as usize].remove(pos_v);
+                self.num_edges -= 1;
+                true
+            }
+        }
+    }
+
+    /// Appends `count` isolated vertices, returning the id of the first one.
+    pub fn add_vertices(&mut self, count: usize) -> Node {
+        let first = self.adj.len() as Node;
+        self.adj.resize_with(self.adj.len() + count, Vec::new);
+        first
+    }
+
+    /// Sum of all degrees (`2 |E|`).
+    #[must_use]
+    pub fn degree_sum(&self) -> usize {
+        2 * self.num_edges
+    }
+
+    /// The degree sequence, sorted descending.
+    #[must_use]
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut d: Vec<usize> = self.adj.iter().map(Vec::len).collect();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        d
+    }
+
+    /// Returns the subgraph induced by `keep` (given as a sorted list of
+    /// distinct vertex ids) together with the mapping `new_id -> old_id`.
+    #[must_use]
+    pub fn induced_subgraph(&self, keep: &[Node]) -> (AdjGraph, Vec<Node>) {
+        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep must be sorted+distinct");
+        let mut new_id = vec![Node::MAX; self.adj.len()];
+        for (i, &old) in keep.iter().enumerate() {
+            new_id[old as usize] = i as Node;
+        }
+        let mut g = AdjGraph::with_vertices(keep.len());
+        for &old in keep {
+            for &nbr in &self.adj[old as usize] {
+                let (a, b) = (new_id[old as usize], new_id[nbr as usize]);
+                if b != Node::MAX && a < b {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        (g, keep.to_vec())
+    }
+}
+
+impl GraphView for AdjGraph {
+    fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn neighbors(&self, u: Node) -> &[Node] {
+        &self.adj[u as usize]
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+}
+
+/// Serialization mirror: vertex count plus edge list. Chosen over serializing
+/// raw adjacency to keep the format small and obviously canonical.
+#[derive(Serialize, Deserialize)]
+struct AdjGraphWire {
+    num_vertices: usize,
+    edges: Vec<(Node, Node)>,
+}
+
+impl Serialize for AdjGraph {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        AdjGraphWire {
+            num_vertices: self.num_vertices(),
+            edges: self.edge_iter().collect(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for AdjGraph {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let wire = AdjGraphWire::deserialize(deserializer)?;
+        for &(u, v) in &wire.edges {
+            if (u as usize) >= wire.num_vertices || (v as usize) >= wire.num_vertices {
+                return Err(serde::de::Error::custom(format!(
+                    "edge ({u},{v}) out of range {}",
+                    wire.num_vertices
+                )));
+            }
+        }
+        Ok(AdjGraph::from_edges(wire.num_vertices, wire.edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = AdjGraph::with_vertices(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn add_edge_is_symmetric_and_deduped() {
+        let mut g = AdjGraph::with_vertices(4);
+        assert!(g.add_edge(0, 2));
+        assert!(!g.add_edge(2, 0), "reverse duplicate rejected");
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut g = AdjGraph::with_vertices(3);
+        assert!(!g.add_edge(1, 1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn neighbors_stay_sorted() {
+        let mut g = AdjGraph::with_vertices(6);
+        for v in [5, 1, 3, 2, 4] {
+            g.add_edge(0, v);
+        }
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn remove_edge() {
+        let mut g = AdjGraph::from_edges(3, [(0, 1), (1, 2)]);
+        assert!(g.remove_edge(1, 0));
+        assert!(!g.remove_edge(0, 1));
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn edge_iter_lists_each_edge_once() {
+        let g = AdjGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let edges: Vec<_> = g.edge_iter().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn degree_sequence_sorted_desc() {
+        let g = AdjGraph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.degree_sequence(), vec![3, 1, 1, 1]);
+        assert_eq!(g.degree_sum(), 6);
+    }
+
+    #[test]
+    fn add_vertices_grows() {
+        let mut g = AdjGraph::with_vertices(2);
+        let first = g.add_vertices(3);
+        assert_eq!(first, 2);
+        assert_eq!(g.num_vertices(), 5);
+        g.add_edge(4, 0);
+        assert!(g.has_edge(0, 4));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        // Path 0-1-2-3 plus chord 0-2; keep {0, 2, 3}.
+        let g = AdjGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 2)]);
+        let (sub, map) = g.induced_subgraph(&[0, 2, 3]);
+        assert_eq!(map, vec![0, 2, 3]);
+        assert_eq!(sub.num_vertices(), 3);
+        // Edges kept: {0,2} -> (0,1) and {2,3} -> (1,2).
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(!sub.has_edge(0, 2));
+        assert_eq!(sub.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_out_of_range_panics() {
+        let mut g = AdjGraph::with_vertices(2);
+        g.add_edge(0, 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = AdjGraph::from_edges(5, [(0, 1), (2, 3), (3, 4)]);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: AdjGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn serde_rejects_out_of_range_edge() {
+        let json = r#"{"num_vertices":2,"edges":[[0,5]]}"#;
+        assert!(serde_json::from_str::<AdjGraph>(json).is_err());
+    }
+}

@@ -1,0 +1,355 @@
+//! A compact fixed-capacity bit set.
+//!
+//! Used throughout the workspace for vertex sets: informed sets during
+//! broadcast simulation, dominating-set membership, visited marks in
+//! traversals. Storage is a boxed slice of `u64` words, so a set over the
+//! `2^n` vertices of an `n`-cube costs `2^n / 8` bytes.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bits in one storage word.
+const WORD_BITS: usize = 64;
+
+/// A fixed-capacity set of `usize` keys in `0..len`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSet {
+    words: Box<[u64]>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set with capacity for keys `0..len`.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        let n_words = len.div_ceil(WORD_BITS);
+        Self {
+            words: vec![0u64; n_words].into_boxed_slice(),
+            len,
+        }
+    }
+
+    /// Creates a set containing every key in `0..len`.
+    #[must_use]
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::new(len);
+        for w in s.words.iter_mut() {
+            *w = u64::MAX;
+        }
+        s.clear_tail();
+        s
+    }
+
+    /// Capacity (exclusive upper bound on keys).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Zeroes the bits beyond `len` in the last word so that popcounts and
+    /// equality checks stay exact.
+    fn clear_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Inserts `key`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `key >= capacity()`.
+    pub fn insert(&mut self, key: usize) -> bool {
+        assert!(key < self.len, "BitSet key {key} out of range {}", self.len);
+        let (w, b) = (key / WORD_BITS, key % WORD_BITS);
+        let mask = 1u64 << b;
+        let had = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        !had
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    pub fn remove(&mut self, key: usize) -> bool {
+        assert!(key < self.len, "BitSet key {key} out of range {}", self.len);
+        let (w, b) = (key / WORD_BITS, key % WORD_BITS);
+        let mask = 1u64 << b;
+        let had = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        had
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, key: usize) -> bool {
+        if key >= self.len {
+            return false;
+        }
+        let (w, b) = (key / WORD_BITS, key % WORD_BITS);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Number of elements in the set.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `true` when every key in `0..capacity` is present.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.count() == self.len
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = 0;
+        }
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "BitSet capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place intersection with `other`.
+    pub fn intersect_with(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "BitSet capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "BitSet capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !*b;
+        }
+    }
+
+    /// `true` if the two sets share at least one element.
+    #[must_use]
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// `true` if `self` is a subset of `other`.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        assert_eq!(self.len, other.len, "BitSet capacity mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> BitSetIter<'_> {
+        BitSetIter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Smallest element, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// Collects the elements into a vector (ascending order).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<usize> {
+        let mut v = Vec::with_capacity(self.count());
+        v.extend(self.iter());
+        v
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to the maximum element plus one.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map_or(0, |&m| m + 1);
+        let mut s = Self::new(len);
+        for k in items {
+            s.insert(k);
+        }
+        s
+    }
+}
+
+/// Iterator over set elements produced by [`BitSet::iter`].
+pub struct BitSetIter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitSetIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_set_is_empty() {
+        let s = BitSet::new(100);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.capacity(), 100);
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports already-present");
+        assert!(s.contains(0));
+        assert!(s.contains(63));
+        assert!(s.contains(64));
+        assert!(s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut s = BitSet::new(10);
+        s.insert(3);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        let mut s = BitSet::new(5);
+        s.insert(5);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = BitSet::new(5);
+        assert!(!s.contains(99));
+    }
+
+    #[test]
+    fn full_set() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.is_full());
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    fn full_set_tail_is_clean() {
+        // Tail bits beyond the capacity must not be set, otherwise count()
+        // would overreport.
+        let s = BitSet::full(1);
+        assert_eq!(s.count(), 1);
+        let s = BitSet::full(64);
+        assert_eq!(s.count(), 64);
+        let s = BitSet::full(65);
+        assert_eq!(s.count(), 65);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        a.insert(1);
+        a.insert(2);
+        b.insert(2);
+        b.insert(3);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), vec![1, 2, 3]);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_vec(), vec![2]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.to_vec(), vec![1]);
+
+        assert!(a.intersects(&b));
+        assert!(i.is_subset_of(&a));
+        assert!(i.is_subset_of(&b));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let mut s = BitSet::new(200);
+        let keys = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        for &k in &keys {
+            s.insert(k);
+        }
+        assert_eq!(s.to_vec(), keys.to_vec());
+        assert_eq!(s.first(), Some(0));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: BitSet = [5usize, 2, 9].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.to_vec(), vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::full(33);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn empty_capacity_zero() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

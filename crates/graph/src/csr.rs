@@ -1,0 +1,128 @@
+//! Frozen compressed-sparse-row graph.
+//!
+//! [`CsrGraph`] is the read-optimized form used by hot loops (BFS sweeps,
+//! diameter computation, the netsim engine): one offsets array and one
+//! targets array, contiguous in memory, so neighbor scans are a single
+//! cache-friendly slice walk.
+
+use crate::adjacency::AdjGraph;
+use crate::view::{GraphView, Node};
+use serde::{Deserialize, Serialize};
+
+/// Immutable CSR representation of an undirected graph.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    /// `offsets[u]..offsets[u+1]` indexes `targets` for vertex `u`.
+    offsets: Box<[usize]>,
+    /// Concatenated sorted adjacency lists.
+    targets: Box<[Node]>,
+    num_edges: usize,
+}
+
+impl CsrGraph {
+    /// Freezes an [`AdjGraph`] into CSR form.
+    #[must_use]
+    pub fn from_adj(g: &AdjGraph) -> Self {
+        let n = g.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * g.num_edges());
+        offsets.push(0usize);
+        for u in 0..n as Node {
+            targets.extend_from_slice(g.neighbors(u));
+            offsets.push(targets.len());
+        }
+        Self {
+            offsets: offsets.into_boxed_slice(),
+            targets: targets.into_boxed_slice(),
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// Builds directly from an edge list (convenience for tests/benches).
+    #[must_use]
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (Node, Node)>) -> Self {
+        Self::from_adj(&AdjGraph::from_edges(n, edges))
+    }
+
+    /// Total length of the target array (`2 |E|`).
+    #[must_use]
+    pub fn target_len(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+impl From<&AdjGraph> for CsrGraph {
+    fn from(g: &AdjGraph) -> Self {
+        Self::from_adj(g)
+    }
+}
+
+impl GraphView for CsrGraph {
+    fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    fn neighbors(&self, u: Node) -> &[Node] {
+        let u = u as usize;
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AdjGraph {
+        AdjGraph::from_edges(5, [(0, 1), (0, 2), (1, 2), (3, 4)])
+    }
+
+    #[test]
+    fn csr_matches_adj() {
+        let adj = sample();
+        let csr = CsrGraph::from_adj(&adj);
+        assert_eq!(csr.num_vertices(), adj.num_vertices());
+        assert_eq!(csr.num_edges(), adj.num_edges());
+        for u in 0..adj.num_vertices() as Node {
+            assert_eq!(csr.neighbors(u), adj.neighbors(u), "vertex {u}");
+        }
+    }
+
+    #[test]
+    fn csr_edge_queries() {
+        let csr = CsrGraph::from_adj(&sample());
+        assert!(csr.has_edge(0, 2));
+        assert!(csr.has_edge(4, 3));
+        assert!(!csr.has_edge(0, 4));
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(3), 1);
+        assert_eq!(csr.target_len(), 8);
+    }
+
+    #[test]
+    fn csr_empty_graph() {
+        let csr = CsrGraph::from_adj(&AdjGraph::with_vertices(0));
+        assert_eq!(csr.num_vertices(), 0);
+        assert_eq!(csr.num_edges(), 0);
+    }
+
+    #[test]
+    fn csr_edge_iter_matches() {
+        let adj = sample();
+        let csr = CsrGraph::from_adj(&adj);
+        let a: Vec<_> = adj.edge_iter().collect();
+        let c: Vec<_> = csr.edge_iter().collect();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let csr = CsrGraph::from_adj(&sample());
+        let json = serde_json::to_string(&csr).unwrap();
+        let back: CsrGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(csr, back);
+    }
+}

@@ -1,0 +1,263 @@
+//! Dominating-set machinery.
+//!
+//! Condition A of the paper (eq. (3)) states that every label class of a
+//! labeling `f : V(Q_m) -> C` must be a *dominating set*: each vertex either
+//! carries the label or has a neighbor that does. Equivalently, a maximal
+//! Condition-A labeling is a partition of `V` into the maximum number of
+//! dominating sets — the graph's *domatic number*. This module provides the
+//! checks plus a small exact domatic-partition search used by
+//! `shc-labeling::search` to certify optimal `λ_m` for small `m`.
+
+use crate::bitset::BitSet;
+use crate::view::{GraphView, Node};
+
+/// `true` iff `set` dominates `g`: every vertex is in `set` or adjacent to a
+/// member of `set`.
+#[must_use]
+pub fn is_dominating_set<G: GraphView>(g: &G, set: &BitSet) -> bool {
+    let n = g.num_vertices();
+    (0..n as Node).all(|u| {
+        set.contains(u as usize) || g.neighbors(u).iter().any(|&v| set.contains(v as usize))
+    })
+}
+
+/// Greedy dominating set: repeatedly picks the vertex covering the most
+/// still-uncovered closed neighborhoods. Classical `ln(Δ+1)`-approximation;
+/// used as an upper-bound baseline in labeling experiments.
+#[must_use]
+pub fn greedy_dominating_set<G: GraphView>(g: &G) -> BitSet {
+    let n = g.num_vertices();
+    let mut chosen = BitSet::new(n);
+    let mut covered = BitSet::new(n);
+    while !covered.is_full() {
+        let mut best = 0 as Node;
+        let mut best_gain = 0usize;
+        for u in 0..n as Node {
+            let mut gain = usize::from(!covered.contains(u as usize));
+            gain += g
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| !covered.contains(v as usize))
+                .count();
+            if gain > best_gain {
+                best_gain = gain;
+                best = u;
+            }
+        }
+        debug_assert!(best_gain > 0, "progress must be possible");
+        chosen.insert(best as usize);
+        covered.insert(best as usize);
+        for &v in g.neighbors(best) {
+            covered.insert(v as usize);
+        }
+    }
+    chosen
+}
+
+/// Closed neighborhood `N[u] = {u} ∪ N(u)` as a sorted vector.
+#[must_use]
+pub fn closed_neighborhood<G: GraphView>(g: &G, u: Node) -> Vec<Node> {
+    let nbrs = g.neighbors(u);
+    let mut out = Vec::with_capacity(nbrs.len() + 1);
+    let pos = nbrs.partition_point(|&v| v < u);
+    out.extend_from_slice(&nbrs[..pos]);
+    out.push(u);
+    out.extend_from_slice(&nbrs[pos..]);
+    out
+}
+
+/// Tries to partition `V(g)` into `parts` dominating sets by backtracking.
+/// Returns one such partition (vertex -> part index) if it exists.
+///
+/// The search assigns vertices in increasing id order and prunes when a
+/// closed neighborhood can no longer see every part: if `N[u]` is fully
+/// assigned and misses some part, the branch dies. Feasible for graphs up to
+/// a few dozen vertices (exactly the regime Lemma 2's small cases need).
+#[must_use]
+pub fn domatic_partition<G: GraphView>(g: &G, parts: usize) -> Option<Vec<u16>> {
+    let n = g.num_vertices();
+    if parts == 0 || n == 0 {
+        return None;
+    }
+    if parts == 1 {
+        return Some(vec![0; n]);
+    }
+    // Necessary condition: domatic number <= δ + 1.
+    if parts > g.min_degree() + 1 {
+        return None;
+    }
+    let closed: Vec<Vec<Node>> = (0..n as Node).map(|u| closed_neighborhood(g, u)).collect();
+    let mut assign = vec![u16::MAX; n];
+    // Symmetry breaking: vertex 0 goes to part 0.
+    assign[0] = 0;
+    if backtrack(1, n, parts as u16, &closed, &mut assign) {
+        Some(assign)
+    } else {
+        None
+    }
+}
+
+fn backtrack(
+    next: usize,
+    n: usize,
+    parts: u16,
+    closed: &[Vec<Node>],
+    assign: &mut [u16],
+) -> bool {
+    if next == n {
+        // Full assignment: verify every closed neighborhood hits every part.
+        return (0..n).all(|u| neighborhood_ok(&closed[u], parts, assign));
+    }
+    // Symmetry breaking: the first vertex placed in part p forces parts
+    // 0..p to be in use already (canonical order of part introduction).
+    let used = assign[..next].iter().copied().max().map_or(0, |m| m + 1);
+    let limit = parts.min(used + 1);
+    for part in 0..limit {
+        assign[next] = part;
+        if prefix_feasible(next, parts, closed, assign) && backtrack(next + 1, n, parts, closed, assign) {
+            return true;
+        }
+    }
+    assign[next] = u16::MAX;
+    false
+}
+
+/// A closed neighborhood that is fully assigned must contain all parts; one
+/// that is partially assigned must still be able to reach the missing parts
+/// with its unassigned slots.
+fn prefix_feasible(last: usize, parts: u16, closed: &[Vec<Node>], assign: &[u16]) -> bool {
+    // Only neighborhoods containing `last` changed.
+    std::iter::once(last as Node)
+        .chain(closed[last].iter().copied())
+        .all(|u| {
+            let nb = &closed[u as usize];
+            let mut seen = 0u64;
+            let mut unassigned = 0u16;
+            for &v in nb {
+                let a = assign[v as usize];
+                if a == u16::MAX {
+                    unassigned += 1;
+                } else {
+                    seen |= 1u64 << a;
+                }
+            }
+            let missing = parts - (seen.count_ones() as u16);
+            missing <= unassigned
+        })
+}
+
+fn neighborhood_ok(nb: &[Node], parts: u16, assign: &[u16]) -> bool {
+    let mut seen = 0u64;
+    for &v in nb {
+        seen |= 1u64 << assign[v as usize];
+    }
+    seen.count_ones() as u16 == parts
+}
+
+/// The exact domatic number of a small graph: the largest `d` such that
+/// `V` splits into `d` dominating sets.
+#[must_use]
+pub fn domatic_number<G: GraphView>(g: &G) -> usize {
+    if g.num_vertices() == 0 {
+        return 0;
+    }
+    let upper = g.min_degree() + 1;
+    (1..=upper)
+        .rev()
+        .find(|&d| domatic_partition(g, d).is_some())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{complete, cycle, hypercube, star};
+
+    #[test]
+    fn whole_vertex_set_dominates() {
+        let g = cycle(6);
+        let all = BitSet::full(6);
+        assert!(is_dominating_set(&g, &all));
+    }
+
+    #[test]
+    fn empty_set_does_not_dominate() {
+        let g = cycle(6);
+        assert!(!is_dominating_set(&g, &BitSet::new(6)));
+    }
+
+    #[test]
+    fn star_center_dominates() {
+        let g = star(7);
+        let mut s = BitSet::new(7);
+        s.insert(0);
+        assert!(is_dominating_set(&g, &s));
+        let mut leaf = BitSet::new(7);
+        leaf.insert(1);
+        assert!(!is_dominating_set(&g, &leaf));
+    }
+
+    #[test]
+    fn greedy_result_dominates() {
+        for g in [cycle(10), hypercube(4), star(9)] {
+            let s = greedy_dominating_set(&g);
+            assert!(is_dominating_set(&g, &s));
+        }
+    }
+
+    #[test]
+    fn greedy_on_star_picks_center_only() {
+        let s = greedy_dominating_set(&star(8));
+        assert_eq!(s.to_vec(), vec![0]);
+    }
+
+    #[test]
+    fn closed_neighborhood_sorted() {
+        let g = cycle(5);
+        assert_eq!(closed_neighborhood(&g, 0), vec![0, 1, 4]);
+        assert_eq!(closed_neighborhood(&g, 3), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn domatic_partition_validates() {
+        let g = hypercube(3);
+        // Q3 has a perfect partition into 4 dominating sets (Example 1 of the
+        // paper: pairs of antipodal vertices).
+        let p = domatic_partition(&g, 4).expect("Q3 domatic number is 4");
+        for part in 0..4u16 {
+            let mut set = BitSet::new(8);
+            for (v, &a) in p.iter().enumerate() {
+                if a == part {
+                    set.insert(v);
+                }
+            }
+            assert!(is_dominating_set(&g, &set), "part {part} must dominate");
+        }
+    }
+
+    #[test]
+    fn domatic_number_known_values() {
+        // K_n: every singleton dominates, domatic number = n.
+        assert_eq!(domatic_number(&complete(4)), 4);
+        // C_4: two antipodal pairs, domatic number 2 (min degree + 1 = 3 unreachable).
+        assert_eq!(domatic_number(&cycle(4)), 2);
+        // C_6: {0,3},{1,4},{2,5} -> 3.
+        assert_eq!(domatic_number(&cycle(6)), 3);
+        // Q_2 = C_4 -> 2 (matches λ_2 = 2 in the paper's Example 1).
+        assert_eq!(domatic_number(&hypercube(2)), 2);
+        // Q_3 -> 4 (matches λ_3 = 4, Example 1 / Hamming).
+        assert_eq!(domatic_number(&hypercube(3)), 4);
+    }
+
+    #[test]
+    fn domatic_partition_impossible() {
+        // C_5 has domatic number 2; 3 must fail.
+        assert!(domatic_partition(&cycle(5), 3).is_none());
+        assert_eq!(domatic_number(&cycle(5)), 2);
+    }
+
+    #[test]
+    fn domatic_zero_parts_none() {
+        assert!(domatic_partition(&cycle(4), 0).is_none());
+    }
+}

@@ -1,0 +1,125 @@
+//! Graphviz DOT export, used by the figure-regeneration harness
+//! (`exp_figures`) to emit the paper's Figs. 1–4 as renderable files.
+
+use crate::view::{GraphView, Node};
+use std::fmt::Write as _;
+
+/// Options controlling DOT output.
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    /// Graph name in the DOT header.
+    pub name: String,
+    /// Optional per-vertex display labels (defaults to the vertex id).
+    pub vertex_labels: Vec<String>,
+    /// Edges to highlight (drawn bold red), as `(u, v)` unordered pairs.
+    pub highlight_edges: Vec<(Node, Node)>,
+    /// Vertices to highlight (drawn filled).
+    pub highlight_vertices: Vec<Node>,
+}
+
+impl DotOptions {
+    /// Options with a graph name and default styling.
+    #[must_use]
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Sets binary-string labels of width `n` for all `2^n` vertices —
+    /// the natural display for hypercube-family graphs.
+    #[must_use]
+    pub fn with_binary_labels(mut self, n: u32, num_vertices: usize) -> Self {
+        self.vertex_labels = (0..num_vertices)
+            .map(|v| format!("{v:0width$b}", width = n as usize))
+            .collect();
+        self
+    }
+}
+
+fn norm(e: (Node, Node)) -> (Node, Node) {
+    if e.0 <= e.1 {
+        e
+    } else {
+        (e.1, e.0)
+    }
+}
+
+/// Renders `g` to DOT format.
+#[must_use]
+pub fn to_dot<G: GraphView>(g: &G, opts: &DotOptions) -> String {
+    let name = if opts.name.is_empty() { "G" } else { &opts.name };
+    let mut out = String::with_capacity(64 + 32 * g.num_edges());
+    writeln!(out, "graph \"{name}\" {{").unwrap();
+    writeln!(out, "  node [shape=circle fontsize=10];").unwrap();
+    let hi_v: std::collections::HashSet<Node> = opts.highlight_vertices.iter().copied().collect();
+    let hi_e: std::collections::HashSet<(Node, Node)> =
+        opts.highlight_edges.iter().map(|&e| norm(e)).collect();
+    for v in 0..g.num_vertices() as Node {
+        let label = opts
+            .vertex_labels
+            .get(v as usize)
+            .cloned()
+            .unwrap_or_else(|| v.to_string());
+        if hi_v.contains(&v) {
+            writeln!(out, "  {v} [label=\"{label}\" style=filled fillcolor=lightblue];").unwrap();
+        } else {
+            writeln!(out, "  {v} [label=\"{label}\"];").unwrap();
+        }
+    }
+    for (u, v) in g.edge_iter() {
+        if hi_e.contains(&norm((u, v))) {
+            writeln!(out, "  {u} -- {v} [color=red penwidth=2];").unwrap();
+        } else {
+            writeln!(out, "  {u} -- {v};").unwrap();
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{cycle, hypercube};
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let g = cycle(4);
+        let dot = to_dot(&g, &DotOptions::named("c4"));
+        assert!(dot.starts_with("graph \"c4\" {"));
+        for line in ["0 -- 1;", "1 -- 2;", "2 -- 3;", "0 -- 3;"] {
+            assert!(dot.contains(line), "missing {line} in:\n{dot}");
+        }
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_binary_labels() {
+        let g = hypercube(2);
+        let opts = DotOptions::named("q2").with_binary_labels(2, 4);
+        let dot = to_dot(&g, &opts);
+        for lbl in ["\"00\"", "\"01\"", "\"10\"", "\"11\""] {
+            assert!(dot.contains(lbl), "missing label {lbl}");
+        }
+    }
+
+    #[test]
+    fn dot_highlights() {
+        let g = cycle(4);
+        let mut opts = DotOptions::named("c4");
+        opts.highlight_edges.push((1, 0)); // reversed on purpose
+        opts.highlight_vertices.push(2);
+        let dot = to_dot(&g, &opts);
+        assert!(dot.contains("0 -- 1 [color=red penwidth=2];"));
+        assert!(dot.contains("2 [label=\"2\" style=filled fillcolor=lightblue];"));
+    }
+
+    #[test]
+    fn dot_default_name() {
+        let g = cycle(3);
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.starts_with("graph \"G\" {"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Plain-text edge-list format: line 1 holds `num_vertices num_edges`,
+//! then one `u v` pair per line. Human-diffable interchange format for the
+//! experiment harness; round-trips through [`crate::AdjGraph`].
+
+use crate::adjacency::AdjGraph;
+use crate::view::{GraphView, Node};
+use std::fmt::Write as _;
+
+/// Errors from [`parse_edge_list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdgeListError {
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// An edge line is malformed or out of range.
+    BadEdge {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The raw line content.
+        content: String,
+    },
+    /// Fewer/more edge lines than the header promised.
+    CountMismatch {
+        /// Edge count announced by the header.
+        expected: usize,
+        /// Edge lines actually present.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadHeader(h) => write!(f, "bad edge-list header: {h:?}"),
+            Self::BadEdge { line, content } => {
+                write!(f, "bad edge at line {line}: {content:?}")
+            }
+            Self::CountMismatch { expected, found } => {
+                write!(f, "edge count mismatch: header {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+/// Serializes a graph to the edge-list format.
+#[must_use]
+pub fn to_edge_list<G: GraphView>(g: &G) -> String {
+    let mut out = String::with_capacity(16 + 12 * g.num_edges());
+    writeln!(out, "{} {}", g.num_vertices(), g.num_edges()).unwrap();
+    for (u, v) in g.edge_iter() {
+        writeln!(out, "{u} {v}").unwrap();
+    }
+    out
+}
+
+/// Parses the edge-list format back into an [`AdjGraph`].
+///
+/// # Errors
+/// Returns [`EdgeListError`] on malformed input, out-of-range endpoints, or
+/// an edge count that disagrees with the header.
+pub fn parse_edge_list(text: &str) -> Result<AdjGraph, EdgeListError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| EdgeListError::BadHeader(String::new()))?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| EdgeListError::BadHeader(header.to_string()))?;
+    let m: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| EdgeListError::BadHeader(header.to_string()))?;
+    if parts.next().is_some() {
+        return Err(EdgeListError::BadHeader(header.to_string()));
+    }
+    let mut g = AdjGraph::with_vertices(n);
+    let mut found = 0usize;
+    for (idx, line) in lines {
+        let bad = || EdgeListError::BadEdge {
+            line: idx + 1,
+            content: line.to_string(),
+        };
+        let mut it = line.split_whitespace();
+        let u: Node = it.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+        let v: Node = it.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+        if it.next().is_some() || (u as usize) >= n || (v as usize) >= n {
+            return Err(bad());
+        }
+        g.add_edge(u, v);
+        found += 1;
+    }
+    if found != m {
+        return Err(EdgeListError::CountMismatch {
+            expected: m,
+            found,
+        });
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::hypercube;
+
+    #[test]
+    fn roundtrip() {
+        let g = hypercube(3);
+        let text = to_edge_list(&g);
+        let back = parse_edge_list(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn parse_simple() {
+        let g = parse_edge_list("3 2\n0 1\n1 2\n").unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn parse_ignores_blank_lines() {
+        let g = parse_edge_list("\n2 1\n\n0 1\n\n").unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn parse_bad_header() {
+        assert!(matches!(
+            parse_edge_list("nope\n"),
+            Err(EdgeListError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_edge_list(""),
+            Err(EdgeListError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_edge_list("3 1 9\n0 1\n"),
+            Err(EdgeListError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn parse_bad_edge() {
+        assert!(matches!(
+            parse_edge_list("3 1\n0 7\n"),
+            Err(EdgeListError::BadEdge { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("3 1\n0\n"),
+            Err(EdgeListError::BadEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_count_mismatch() {
+        assert!(matches!(
+            parse_edge_list("3 2\n0 1\n"),
+            Err(EdgeListError::CountMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EdgeListError::CountMismatch {
+            expected: 2,
+            found: 1,
+        };
+        assert!(e.to_string().contains("mismatch"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Edge-failure injection for robustness studies: remove a random subset
+//! of edges (optionally keeping the graph connected), as used by the
+//! fault-tolerance experiments on sparse hypercubes.
+
+use crate::adjacency::AdjGraph;
+use crate::traversal::is_connected;
+use crate::view::{GraphView, Node};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Removes up to `count` uniformly random edges. Returns the damaged graph
+/// and the list of removed edges.
+#[must_use]
+pub fn remove_random_edges<R: Rng>(
+    g: &AdjGraph,
+    count: usize,
+    rng: &mut R,
+) -> (AdjGraph, Vec<(Node, Node)>) {
+    let mut edges: Vec<(Node, Node)> = g.edge_iter().collect();
+    edges.shuffle(rng);
+    let removed: Vec<(Node, Node)> = edges.into_iter().take(count).collect();
+    let mut damaged = g.clone();
+    for &(u, v) in &removed {
+        damaged.remove_edge(u, v);
+    }
+    (damaged, removed)
+}
+
+/// Removes up to `count` random edges while keeping the graph connected:
+/// candidate removals that would disconnect are skipped. Returns the
+/// damaged graph and the removed edges (possibly fewer than `count` when
+/// the graph runs out of non-bridge edges).
+#[must_use]
+pub fn remove_random_edges_connected<R: Rng>(
+    g: &AdjGraph,
+    count: usize,
+    rng: &mut R,
+) -> (AdjGraph, Vec<(Node, Node)>) {
+    let mut edges: Vec<(Node, Node)> = g.edge_iter().collect();
+    edges.shuffle(rng);
+    let mut damaged = g.clone();
+    let mut removed = Vec::with_capacity(count);
+    for (u, v) in edges {
+        if removed.len() == count {
+            break;
+        }
+        damaged.remove_edge(u, v);
+        if is_connected(&damaged) {
+            removed.push((u, v));
+        } else {
+            damaged.add_edge(u, v);
+        }
+    }
+    (damaged, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{cycle, hypercube, path};
+    use rand::rngs::mock::StepRng;
+
+    #[test]
+    fn removes_requested_count() {
+        let g = hypercube(4);
+        let mut rng = StepRng::new(3, 7);
+        let (damaged, removed) = remove_random_edges(&g, 5, &mut rng);
+        assert_eq!(removed.len(), 5);
+        assert_eq!(damaged.num_edges(), g.num_edges() - 5);
+        for &(u, v) in &removed {
+            assert!(!damaged.has_edge(u, v));
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn removal_capped_by_edge_count() {
+        let g = path(4);
+        let mut rng = StepRng::new(1, 1);
+        let (damaged, removed) = remove_random_edges(&g, 100, &mut rng);
+        assert_eq!(removed.len(), 3);
+        assert_eq!(damaged.num_edges(), 0);
+    }
+
+    #[test]
+    fn connected_variant_preserves_connectivity() {
+        let g = hypercube(4);
+        let mut rng = StepRng::new(99, 0x9E3779B97F4A7C15);
+        let (damaged, removed) = remove_random_edges_connected(&g, 10, &mut rng);
+        assert_eq!(removed.len(), 10, "Q4 has plenty of non-bridge edges");
+        assert!(is_connected(&damaged));
+    }
+
+    #[test]
+    fn connected_variant_skips_bridges() {
+        // Every edge of a path is a bridge: nothing can be removed.
+        let g = path(6);
+        let mut rng = StepRng::new(5, 11);
+        let (damaged, removed) = remove_random_edges_connected(&g, 3, &mut rng);
+        assert!(removed.is_empty());
+        assert_eq!(damaged.num_edges(), 5);
+    }
+
+    #[test]
+    fn cycle_loses_at_most_one_edge_connected() {
+        // A cycle tolerates exactly one removal before everything bridges.
+        let g = cycle(8);
+        let mut rng = StepRng::new(17, 23);
+        let (damaged, removed) = remove_random_edges_connected(&g, 5, &mut rng);
+        assert_eq!(removed.len(), 1);
+        assert!(is_connected(&damaged));
+    }
+}

@@ -1,0 +1,48 @@
+//! # shc-graph — graph substrate for the sparse-hypercube reproduction
+//!
+//! Self-contained undirected graph library backing the reproduction of
+//! Fujita & Farley, *"Sparse Hypercube — a minimal k-line broadcast graph"*
+//! (IPPS/SPDP'99; DAM 127, 2003). No external graph dependency is used: the
+//! paper needs compact representations, BFS-family traversal, diameter /
+//! degree metrics, dominating-set machinery (Condition A) and DOT output,
+//! all provided here.
+//!
+//! ## Layout
+//! * [`bitset`] — compact vertex sets.
+//! * [`view`] — the [`GraphView`] read interface and [`Node`] id type.
+//! * [`adjacency`] / [`csr`] — mutable and frozen representations.
+//! * [`builders`] — hypercubes, the Theorem-1 tree, and classical families.
+//! * [`traversal`] — BFS, bounded BFS, shortest paths, components.
+//! * [`metrics`] — eccentricity/diameter/radius, degree stats, bipartiteness.
+//! * [`parallel`] — crossbeam-parallel sweeps (diameter, generic fan-out).
+//! * [`domination`] — dominating sets and exact domatic partitions.
+//! * [`dot`] / [`edgelist`] — interchange formats.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adjacency;
+pub mod bitset;
+pub mod builders;
+pub mod csr;
+pub mod domination;
+pub mod dot;
+pub mod edgelist;
+pub mod faults;
+pub mod metrics;
+pub mod parallel;
+pub mod traversal;
+pub mod view;
+
+pub use adjacency::AdjGraph;
+pub use bitset::BitSet;
+pub use csr::CsrGraph;
+pub use view::{GraphView, Node};
+
+/// Convenient glob-import of the common types and traits.
+pub mod prelude {
+    pub use crate::adjacency::AdjGraph;
+    pub use crate::bitset::BitSet;
+    pub use crate::csr::CsrGraph;
+    pub use crate::view::{GraphView, Node};
+}

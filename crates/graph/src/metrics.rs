@@ -1,0 +1,241 @@
+//! Whole-graph metrics: eccentricity, diameter, radius, degree statistics,
+//! bipartiteness. The diameter of a sparse hypercube bounds the calls the
+//! paper's footnote 1 discusses (`diam(G) <= k * ceil(log2 |V|)` for any
+//! k-mlbg), which experiment E16 checks.
+
+use crate::traversal::{bfs_distances, UNREACHABLE};
+use crate::view::{GraphView, Node};
+use serde::{Deserialize, Serialize};
+
+/// Eccentricity of `u`: greatest distance from `u` to any vertex, or `None`
+/// if the graph is disconnected from `u`.
+#[must_use]
+pub fn eccentricity<G: GraphView>(g: &G, u: Node) -> Option<u32> {
+    let dist = bfs_distances(g, u);
+    let mut max = 0;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        max = max.max(d);
+    }
+    Some(max)
+}
+
+/// All eccentricities (serial). `None` for a disconnected graph.
+#[must_use]
+pub fn eccentricities<G: GraphView>(g: &G) -> Option<Vec<u32>> {
+    (0..g.num_vertices() as Node)
+        .map(|u| eccentricity(g, u))
+        .collect()
+}
+
+/// Exact diameter by running BFS from every vertex; `None` if disconnected.
+/// For large graphs prefer [`crate::parallel::diameter_parallel`].
+#[must_use]
+pub fn diameter<G: GraphView>(g: &G) -> Option<u32> {
+    if g.num_vertices() == 0 {
+        return Some(0);
+    }
+    eccentricities(g).map(|e| e.into_iter().max().unwrap_or(0))
+}
+
+/// Exact radius (minimum eccentricity); `None` if disconnected.
+#[must_use]
+pub fn radius<G: GraphView>(g: &G) -> Option<u32> {
+    if g.num_vertices() == 0 {
+        return Some(0);
+    }
+    eccentricities(g).map(|e| e.into_iter().min().unwrap_or(0))
+}
+
+/// Summary statistics of a degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Minimum degree δ(G).
+    pub min: usize,
+    /// Maximum degree Δ(G) — the paper's goodness measure.
+    pub max: usize,
+    /// Mean degree `2|E|/|V|`.
+    pub mean: f64,
+    /// Vertex count.
+    pub num_vertices: usize,
+    /// Edge count.
+    pub num_edges: usize,
+}
+
+/// Computes [`DegreeStats`] for a graph.
+#[must_use]
+pub fn degree_stats<G: GraphView>(g: &G) -> DegreeStats {
+    let n = g.num_vertices();
+    DegreeStats {
+        min: g.min_degree(),
+        max: g.max_degree(),
+        mean: if n == 0 { 0.0 } else { 2.0 * g.num_edges() as f64 / n as f64 },
+        num_vertices: n,
+        num_edges: g.num_edges(),
+    }
+}
+
+/// Two-colors the graph if bipartite, returning the side of each vertex;
+/// `None` when an odd cycle exists. Hypercubes and their subgraphs (hence
+/// every sparse hypercube) are bipartite — a structural test in `shc-core`.
+#[must_use]
+pub fn bipartition<G: GraphView>(g: &G) -> Option<Vec<u8>> {
+    let n = g.num_vertices();
+    let mut side = vec![u8::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n as Node {
+        if side[start as usize] != u8::MAX {
+            continue;
+        }
+        side[start as usize] = 0;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if side[v as usize] == u8::MAX {
+                    side[v as usize] = 1 - side[u as usize];
+                    queue.push_back(v);
+                } else if side[v as usize] == side[u as usize] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(side)
+}
+
+/// `true` iff the graph contains no odd cycle.
+#[must_use]
+pub fn is_bipartite<G: GraphView>(g: &G) -> bool {
+    bipartition(g).is_some()
+}
+
+/// Mean pairwise distance estimated from `samples` random source vertices
+/// (exact when `samples >= |V|`). Disconnected graphs return `None`.
+#[must_use]
+pub fn mean_distance_sampled<G: GraphView, R: rand::Rng>(
+    g: &G,
+    samples: usize,
+    rng: &mut R,
+) -> Option<f64> {
+    let n = g.num_vertices();
+    if n < 2 {
+        return Some(0.0);
+    }
+    let sources: Vec<Node> = if samples >= n {
+        (0..n as Node).collect()
+    } else {
+        (0..samples).map(|_| rng.gen_range(0..n as Node)).collect()
+    };
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for &s in &sources {
+        let dist = bfs_distances(g, s);
+        for (v, &d) in dist.iter().enumerate() {
+            if v as Node == s {
+                continue;
+            }
+            if d == UNREACHABLE {
+                return None;
+            }
+            total += u64::from(d);
+            pairs += 1;
+        }
+    }
+    Some(total as f64 / pairs as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{complete, cycle, hypercube, path, star, theorem1_tree};
+    use crate::AdjGraph;
+
+    #[test]
+    fn hypercube_diameter_is_n() {
+        for n in 1..=6u32 {
+            assert_eq!(diameter(&hypercube(n)), Some(n), "Q_{n}");
+        }
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        assert_eq!(diameter(&cycle(8)), Some(4));
+        assert_eq!(diameter(&cycle(9)), Some(4));
+        assert_eq!(radius(&cycle(8)), Some(4));
+    }
+
+    #[test]
+    fn path_radius_and_diameter() {
+        assert_eq!(diameter(&path(7)), Some(6));
+        assert_eq!(radius(&path(7)), Some(3));
+    }
+
+    #[test]
+    fn theorem1_tree_diameter_bound() {
+        // Paper, Theorem 1: max distance <= 2h.
+        for h in 1..=5u32 {
+            let t = theorem1_tree(h);
+            assert_eq!(diameter(&t), Some(2 * h), "h={h}");
+        }
+    }
+
+    #[test]
+    fn disconnected_diameter_none() {
+        let g = AdjGraph::from_edges(4, [(0, 1)]);
+        assert_eq!(diameter(&g), None);
+        assert_eq!(radius(&g), None);
+        assert_eq!(eccentricity(&g, 0), None);
+    }
+
+    #[test]
+    fn degree_stats_star() {
+        let s = degree_stats(&star(5));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.num_edges, 4);
+        assert!((s.mean - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypercube_is_bipartite() {
+        assert!(is_bipartite(&hypercube(5)));
+        let side = bipartition(&hypercube(3)).unwrap();
+        // Sides correspond to parity of popcount.
+        for v in 0..8u32 {
+            assert_eq!(
+                u32::from(side[v as usize]) != u32::from(side[0]),
+                v.count_ones() % 2 == 1
+            );
+        }
+    }
+
+    #[test]
+    fn odd_cycle_not_bipartite() {
+        assert!(!is_bipartite(&cycle(5)));
+        assert!(is_bipartite(&cycle(6)));
+    }
+
+    #[test]
+    fn mean_distance_complete_graph() {
+        let mut rng = rand::rngs::mock::StepRng::new(7, 11);
+        let m = mean_distance_sampled(&complete(6), 100, &mut rng).unwrap();
+        assert!((m - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_distance_disconnected_none() {
+        let g = AdjGraph::from_edges(3, [(0, 1)]);
+        let mut rng = rand::rngs::mock::StepRng::new(7, 11);
+        assert_eq!(mean_distance_sampled(&g, 10, &mut rng), None);
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let g = AdjGraph::with_vertices(0);
+        assert_eq!(diameter(&g), Some(0));
+        assert_eq!(radius(&g), Some(0));
+        assert_eq!(degree_stats(&g).mean, 0.0);
+    }
+}

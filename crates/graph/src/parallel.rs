@@ -1,0 +1,166 @@
+//! Thread-parallel versions of the all-sources sweeps (eccentricities,
+//! diameter) using crossbeam scoped threads over chunked source ranges.
+//!
+//! The pattern follows the hpc-parallel guides: embarrassingly parallel
+//! sweeps are split into contiguous chunks, one per worker, with results
+//! merged through a `parking_lot::Mutex`-protected accumulator. No unsafe,
+//! no shared mutable state beyond the accumulator.
+
+use crate::traversal::{bfs_distances, UNREACHABLE};
+use crate::view::{GraphView, Node};
+use parking_lot::Mutex;
+
+/// Picks a worker count: respects the explicit request, otherwise the
+/// available parallelism (capped by the amount of work).
+fn worker_count(requested: Option<usize>, work_items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
+    requested.unwrap_or(hw).clamp(1, work_items.max(1))
+}
+
+/// Parallel eccentricities; `None` if the graph is disconnected.
+///
+/// `threads = None` uses the machine's available parallelism.
+#[must_use]
+pub fn eccentricities_parallel<G: GraphView + Sync>(
+    g: &G,
+    threads: Option<usize>,
+) -> Option<Vec<u32>> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let workers = worker_count(threads, n);
+    let chunk = n.div_ceil(workers);
+    let ecc = Mutex::new(vec![0u32; n]);
+    let disconnected = Mutex::new(false);
+
+    crossbeam::scope(|scope| {
+        for w in 0..workers {
+            let range = (w * chunk)..(((w + 1) * chunk).min(n));
+            let ecc = &ecc;
+            let disconnected = &disconnected;
+            scope.spawn(move |_| {
+                let mut local = Vec::with_capacity(range.len());
+                for u in range.clone() {
+                    let dist = bfs_distances(g, u as Node);
+                    let mut max = 0u32;
+                    for &d in &dist {
+                        if d == UNREACHABLE {
+                            *disconnected.lock() = true;
+                            return;
+                        }
+                        max = max.max(d);
+                    }
+                    local.push(max);
+                }
+                let mut guard = ecc.lock();
+                guard[range].copy_from_slice(&local);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    if *disconnected.lock() {
+        None
+    } else {
+        Some(ecc.into_inner())
+    }
+}
+
+/// Parallel exact diameter; `None` if disconnected.
+#[must_use]
+pub fn diameter_parallel<G: GraphView + Sync>(g: &G, threads: Option<usize>) -> Option<u32> {
+    if g.num_vertices() == 0 {
+        return Some(0);
+    }
+    eccentricities_parallel(g, threads).map(|e| e.into_iter().max().unwrap_or(0))
+}
+
+/// Runs `f` over `0..n` in parallel chunks, collecting per-index results.
+/// Generic fan-out helper reused by validation sweeps in other crates.
+#[must_use]
+pub fn par_map_indexed<T, F>(n: usize, threads: Option<usize>, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count(threads, n);
+    let chunk = n.div_ceil(workers);
+    let out = Mutex::new(vec![T::default(); n]);
+    crossbeam::scope(|scope| {
+        for w in 0..workers {
+            let range = (w * chunk)..(((w + 1) * chunk).min(n));
+            let out = &out;
+            let f = &f;
+            scope.spawn(move |_| {
+                let local: Vec<T> = range.clone().map(f).collect();
+                let mut guard = out.lock();
+                guard[range].clone_from_slice(&local);
+            });
+        }
+    })
+    .expect("worker panicked");
+    out.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{cycle, hypercube, theorem1_tree};
+    use crate::metrics;
+    use crate::AdjGraph;
+
+    #[test]
+    fn parallel_matches_serial_diameter() {
+        for g in [hypercube(7), cycle(100).clone(), theorem1_tree(4)] {
+            assert_eq!(
+                diameter_parallel(&g, Some(4)),
+                metrics::diameter(&g),
+                "parallel vs serial diameter"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_eccentricities() {
+        let g = hypercube(6);
+        assert_eq!(
+            eccentricities_parallel(&g, Some(3)),
+            metrics::eccentricities(&g)
+        );
+    }
+
+    #[test]
+    fn parallel_disconnected_is_none() {
+        let g = AdjGraph::from_edges(5, [(0, 1), (2, 3)]);
+        assert_eq!(diameter_parallel(&g, Some(2)), None);
+    }
+
+    #[test]
+    fn parallel_single_thread_ok() {
+        let g = cycle(9);
+        assert_eq!(diameter_parallel(&g, Some(1)), Some(4));
+    }
+
+    #[test]
+    fn parallel_empty_graph() {
+        let g = AdjGraph::with_vertices(0);
+        assert_eq!(diameter_parallel(&g, None), Some(0));
+    }
+
+    #[test]
+    fn par_map_identity() {
+        let v = par_map_indexed(1000, Some(7), |i| i * 2);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    fn par_map_zero_items() {
+        let v: Vec<usize> = par_map_indexed(0, None, |i| i);
+        assert!(v.is_empty());
+    }
+}

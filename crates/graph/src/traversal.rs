@@ -1,0 +1,292 @@
+//! Breadth-first traversal primitives: single-source and bounded BFS,
+//! shortest-path extraction, and connected components.
+//!
+//! Distances use `u32::MAX` as the "unreachable" sentinel to keep the
+//! distance array compact (Rust Performance Book, "Smaller Integers").
+
+use crate::view::{GraphView, Node};
+use std::collections::VecDeque;
+
+/// Sentinel distance for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Distances from `source` to every vertex (`UNREACHABLE` if disconnected).
+#[must_use]
+pub fn bfs_distances<G: GraphView>(g: &G, source: Node) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS truncated at `radius`: returns `(vertex, distance)` pairs for every
+/// vertex within `radius` of `source`, in non-decreasing distance order
+/// (including the source at distance 0).
+///
+/// Used by the Phase-1 relay search in `shc-core::routing`, where the paper's
+/// schemes only ever look `k - 1` hops away.
+#[must_use]
+pub fn bfs_within<G: GraphView>(g: &G, source: Node, radius: u32) -> Vec<(Node, u32)> {
+    let mut dist = vec![UNREACHABLE; g.num_vertices()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    order.push((source, 0));
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        if du == radius {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                order.push((v, du + 1));
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// One shortest path from `source` to `target` (inclusive of both ends), or
+/// `None` if unreachable. Ties are broken toward the smallest predecessor id,
+/// making the result deterministic.
+#[must_use]
+pub fn shortest_path<G: GraphView>(g: &G, source: Node, target: Node) -> Option<Vec<Node>> {
+    if source == target {
+        return Some(vec![source]);
+    }
+    let mut parent = vec![Node::MAX; g.num_vertices()];
+    let mut dist = vec![UNREACHABLE; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    'outer: while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = dist[u as usize] + 1;
+                parent[v as usize] = u;
+                if v == target {
+                    break 'outer;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    if dist[target as usize] == UNREACHABLE {
+        return None;
+    }
+    let mut path = vec![target];
+    let mut cur = target;
+    while cur != source {
+        cur = parent[cur as usize];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Graph distance between two vertices, or `None` if disconnected.
+#[must_use]
+pub fn distance<G: GraphView>(g: &G, u: Node, v: Node) -> Option<u32> {
+    let d = bfs_distances(g, u)[v as usize];
+    (d != UNREACHABLE).then_some(d)
+}
+
+/// Multi-source BFS: distance to the nearest of `sources`.
+#[must_use]
+pub fn multi_source_bfs<G: GraphView>(g: &G, sources: &[Node]) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s as usize] == UNREACHABLE {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected-component labels (`0..k`) per vertex, plus the component count.
+#[must_use]
+pub fn connected_components<G: GraphView>(g: &G) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n as Node {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        label[start as usize] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next as usize)
+}
+
+/// `true` iff the graph is connected (the empty graph counts as connected).
+#[must_use]
+pub fn is_connected<G: GraphView>(g: &G) -> bool {
+    g.num_vertices() == 0 || connected_components(g).1 == 1
+}
+
+/// Checks whether `path` is a valid walk in `g` (consecutive entries
+/// adjacent) with no repeated edge. The k-line model requires calls to be
+/// routed along such walks; the broadcast validator uses this.
+#[must_use]
+pub fn is_simple_edge_walk<G: GraphView>(g: &G, path: &[Node]) -> bool {
+    if path.is_empty() {
+        return false;
+    }
+    let mut seen = std::collections::HashSet::with_capacity(path.len());
+    for w in path.windows(2) {
+        if !g.has_edge(w[0], w[1]) {
+            return false;
+        }
+        let key = if w[0] < w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+        if !seen.insert(key) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{cycle, hypercube, path as path_graph, theorem1_tree};
+    use crate::AdjGraph;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = AdjGraph::from_edges(4, [(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn hypercube_distance_is_hamming() {
+        let g = hypercube(5);
+        let d = bfs_distances(&g, 0);
+        for (v, &dist_v) in d.iter().enumerate() {
+            assert_eq!(dist_v, (v as u32).count_ones(), "vertex {v:05b}");
+        }
+    }
+
+    #[test]
+    fn bounded_bfs_respects_radius() {
+        let g = hypercube(4);
+        let within = bfs_within(&g, 0, 2);
+        // |B(0, 2)| in Q4 = 1 + 4 + 6 = 11.
+        assert_eq!(within.len(), 11);
+        assert!(within.iter().all(|&(v, d)| {
+            d <= 2 && (v).count_ones() == d
+        }));
+        // Non-decreasing distance order.
+        assert!(within.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn bounded_bfs_radius_zero() {
+        let g = cycle(5);
+        assert_eq!(bfs_within(&g, 3, 0), vec![(3, 0)]);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = cycle(6);
+        let p = shortest_path(&g, 0, 3).unwrap();
+        assert_eq!(p.len(), 4); // distance 3
+        assert_eq!(p[0], 0);
+        assert_eq!(*p.last().unwrap(), 3);
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_same_vertex() {
+        let g = cycle(4);
+        assert_eq!(shortest_path(&g, 2, 2), Some(vec![2]));
+    }
+
+    #[test]
+    fn shortest_path_disconnected() {
+        let g = AdjGraph::from_edges(3, [(0, 1)]);
+        assert_eq!(shortest_path(&g, 0, 2), None);
+        assert_eq!(distance(&g, 0, 2), None);
+        assert_eq!(distance(&g, 0, 1), Some(1));
+    }
+
+    #[test]
+    fn multi_source_nearest() {
+        let g = path_graph(7);
+        let d = multi_source_bfs(&g, &[0, 6]);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn components() {
+        let g = AdjGraph::from_edges(6, [(0, 1), (1, 2), (4, 5)]);
+        let (label, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(label[0], label[1]);
+        assert_eq!(label[1], label[2]);
+        assert_eq!(label[4], label[5]);
+        assert_ne!(label[0], label[3]);
+        assert_ne!(label[0], label[4]);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&theorem1_tree(3)));
+    }
+
+    #[test]
+    fn edge_walk_validation() {
+        let g = cycle(5);
+        assert!(is_simple_edge_walk(&g, &[0, 1, 2]));
+        assert!(is_simple_edge_walk(&g, &[0])); // trivial walk
+        assert!(!is_simple_edge_walk(&g, &[0, 2]), "non-adjacent hop");
+        assert!(!is_simple_edge_walk(&g, &[0, 1, 0]), "repeated edge");
+        assert!(!is_simple_edge_walk(&g, &[]), "empty walk");
+        // Repeated vertex with distinct edges is allowed (switching through).
+        let star = crate::builders::star(4);
+        assert!(is_simple_edge_walk(&star, &[1, 0, 2]));
+    }
+}

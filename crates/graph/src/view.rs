@@ -1,0 +1,92 @@
+//! The [`GraphView`] trait: a minimal read-only interface over undirected
+//! graphs, implemented by both the mutable [`crate::AdjGraph`] and the frozen
+//! [`crate::CsrGraph`]. All traversal and metric algorithms in this crate are
+//! generic over it.
+
+/// Node identifier. Materialized graphs in this workspace stay below
+/// `2^32` vertices, so a 32-bit id halves adjacency memory compared to
+/// `usize` (Rust Performance Book, "Smaller Integers").
+pub type Node = u32;
+
+/// Read-only access to an undirected graph with vertices `0..num_vertices()`.
+///
+/// Implementations must report each undirected edge `{u, v}` in both
+/// adjacency lists, and the lists must be sorted ascending and duplicate-free
+/// so that `has_edge` can binary-search.
+pub trait GraphView {
+    /// Number of vertices; valid node ids are `0..num_vertices()`.
+    fn num_vertices(&self) -> usize;
+
+    /// Sorted, duplicate-free neighbor list of `u`.
+    fn neighbors(&self, u: Node) -> &[Node];
+
+    /// Number of undirected edges.
+    fn num_edges(&self) -> usize;
+
+    /// Degree of vertex `u`.
+    fn degree(&self, u: Node) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Edge test via binary search over the (sorted) adjacency of `u`.
+    fn has_edge(&self, u: Node, v: Node) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Maximum degree Δ(G); 0 for the empty graph.
+    fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as Node)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Minimum degree δ(G); 0 for the empty graph.
+    fn min_degree(&self) -> usize {
+        (0..self.num_vertices() as Node)
+            .map(|u| self.degree(u))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Iterator over all undirected edges as `(u, v)` with `u < v`.
+    fn edge_iter(&self) -> EdgeIter<'_, Self>
+    where
+        Self: Sized,
+    {
+        EdgeIter {
+            graph: self,
+            u: 0,
+            idx: 0,
+        }
+    }
+}
+
+/// Iterator over undirected edges `(u, v)`, `u < v`, produced by
+/// [`GraphView::edge_iter`].
+pub struct EdgeIter<'a, G: GraphView> {
+    graph: &'a G,
+    u: Node,
+    idx: usize,
+}
+
+impl<G: GraphView> Iterator for EdgeIter<'_, G> {
+    type Item = (Node, Node);
+
+    fn next(&mut self) -> Option<(Node, Node)> {
+        let n = self.graph.num_vertices() as Node;
+        while self.u < n {
+            let nbrs = self.graph.neighbors(self.u);
+            while self.idx < nbrs.len() {
+                let v = nbrs[self.idx];
+                self.idx += 1;
+                if v > self.u {
+                    return Some((self.u, v));
+                }
+            }
+            self.u += 1;
+            self.idx = 0;
+        }
+        None
+    }
+}

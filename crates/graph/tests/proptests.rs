@@ -1,0 +1,190 @@
+//! Property-based tests for the graph substrate: representation invariants,
+//! traversal correctness against brute-force oracles, and round-trips.
+
+use proptest::prelude::*;
+use shc_graph::builders::{hypercube, prufer_to_tree};
+use shc_graph::prelude::*;
+use shc_graph::{domination, dot, edgelist, metrics, parallel, traversal};
+
+/// Strategy: a random simple graph as (n, edge list) with n in [1, 24].
+fn arb_graph() -> impl Strategy<Value = AdjGraph> {
+    (1usize..=24).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as Node, 0..n as Node), 0..=max_edges.min(60))
+            .prop_map(move |edges| AdjGraph::from_edges(n, edges))
+    })
+}
+
+/// Strategy: a random labeled tree via Prüfer sequences, n in [2, 32].
+fn arb_tree() -> impl Strategy<Value = AdjGraph> {
+    (2usize..=32).prop_flat_map(|n| {
+        proptest::collection::vec(0..n, n.saturating_sub(2))
+            .prop_map(move |seq| prufer_to_tree(n, &seq))
+    })
+}
+
+proptest! {
+    #[test]
+    fn adjacency_is_symmetric_sorted_loopfree(g in arb_graph()) {
+        for u in 0..g.num_vertices() as Node {
+            let nbrs = g.neighbors(u);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+            prop_assert!(!nbrs.contains(&u), "no self-loop");
+            for &v in nbrs {
+                prop_assert!(g.has_edge(v, u), "symmetry {u}-{v}");
+            }
+        }
+        let degree_sum: usize = (0..g.num_vertices() as Node).map(|u| g.degree(u)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges(), "handshake lemma");
+    }
+
+    #[test]
+    fn csr_agrees_with_adjacency(g in arb_graph()) {
+        let csr = CsrGraph::from_adj(&g);
+        prop_assert_eq!(csr.num_vertices(), g.num_vertices());
+        prop_assert_eq!(csr.num_edges(), g.num_edges());
+        for u in 0..g.num_vertices() as Node {
+            prop_assert_eq!(csr.neighbors(u), g.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn bfs_distance_satisfies_triangle_on_edges(g in arb_graph()) {
+        let d0 = traversal::bfs_distances(&g, 0);
+        for (u, v) in g.edge_iter() {
+            let (du, dv) = (d0[u as usize], d0[v as usize]);
+            if du != traversal::UNREACHABLE && dv != traversal::UNREACHABLE {
+                prop_assert!(du.abs_diff(dv) <= 1, "edge endpoints differ by <=1");
+            } else {
+                // Edge endpoints are in the same component.
+                prop_assert_eq!(du, dv);
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_is_shortest(g in arb_graph(), t in 0u32..24) {
+        let n = g.num_vertices() as Node;
+        let target = t % n;
+        let d = traversal::bfs_distances(&g, 0)[target as usize];
+        match traversal::shortest_path(&g, 0, target) {
+            Some(p) => {
+                prop_assert_eq!(p.len() as u32 - 1, d, "path length equals BFS distance");
+                prop_assert!(traversal::is_simple_edge_walk(&g, &p));
+                prop_assert_eq!(p[0], 0);
+                prop_assert_eq!(*p.last().unwrap(), target);
+            }
+            None => prop_assert_eq!(d, traversal::UNREACHABLE),
+        }
+    }
+
+    #[test]
+    fn bounded_bfs_is_prefix_of_full_bfs(g in arb_graph(), r in 0u32..6) {
+        let within = traversal::bfs_within(&g, 0, r);
+        let full = traversal::bfs_distances(&g, 0);
+        // Everything reported is within radius and at the right distance.
+        for &(v, d) in &within {
+            prop_assert!(d <= r);
+            prop_assert_eq!(full[v as usize], d);
+        }
+        // Everything within radius is reported.
+        let reported: std::collections::HashSet<Node> = within.iter().map(|&(v, _)| v).collect();
+        for (v, &d) in full.iter().enumerate() {
+            if d != traversal::UNREACHABLE && d <= r {
+                prop_assert!(reported.contains(&(v as Node)), "vertex {v} at dist {d} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_vertices(g in arb_graph()) {
+        let (label, count) = traversal::connected_components(&g);
+        prop_assert_eq!(label.len(), g.num_vertices());
+        if g.num_vertices() > 0 {
+            prop_assert!(count >= 1);
+            prop_assert!(label.iter().all(|&l| (l as usize) < count));
+            // Edges never cross components.
+            for (u, v) in g.edge_iter() {
+                prop_assert_eq!(label[u as usize], label[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_diameter_matches_serial(g in arb_graph()) {
+        prop_assert_eq!(parallel::diameter_parallel(&g, Some(3)), metrics::diameter(&g));
+    }
+
+    #[test]
+    fn trees_have_n_minus_1_edges_and_are_connected(t in arb_tree()) {
+        prop_assert_eq!(t.num_edges(), t.num_vertices() - 1);
+        prop_assert!(traversal::is_connected(&t));
+        prop_assert!(metrics::is_bipartite(&t), "trees are bipartite");
+    }
+
+    #[test]
+    fn greedy_dominating_set_dominates(g in arb_tree()) {
+        let s = domination::greedy_dominating_set(&g);
+        prop_assert!(domination::is_dominating_set(&g, &s));
+    }
+
+    #[test]
+    fn edge_list_roundtrip(g in arb_graph()) {
+        let text = edgelist::to_edge_list(&g);
+        let back = edgelist::parse_edge_list(&text).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn serde_roundtrip(g in arb_graph()) {
+        let json = serde_json::to_string(&g).unwrap();
+        let back: AdjGraph = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn dot_mentions_every_edge(g in arb_graph()) {
+        let s = dot::to_dot(&g, &dot::DotOptions::named("t"));
+        for (u, v) in g.edge_iter() {
+            let needle = format!("{u} -- {v};");
+            prop_assert!(s.contains(&needle), "missing edge line {}", needle);
+        }
+    }
+
+    #[test]
+    fn bitset_insert_remove_contains(keys in proptest::collection::vec(0usize..512, 0..64)) {
+        let mut set = BitSet::new(512);
+        let mut model = std::collections::BTreeSet::new();
+        for &k in &keys {
+            prop_assert_eq!(set.insert(k), model.insert(k));
+        }
+        prop_assert_eq!(set.count(), model.len());
+        prop_assert_eq!(set.to_vec(), model.iter().copied().collect::<Vec<_>>());
+        for &k in &keys {
+            prop_assert_eq!(set.remove(k), model.remove(&k));
+        }
+        prop_assert!(set.is_empty());
+    }
+
+    #[test]
+    fn hypercube_bounded_bfs_counts_binomials(n in 1u32..7, r in 0u32..4) {
+        let g = hypercube(n);
+        let r = r.min(n);
+        let within = traversal::bfs_within(&g, 0, r);
+        let expect: usize = (0..=r).map(|i| binom(n, i)).sum();
+        prop_assert_eq!(within.len(), expect);
+    }
+}
+
+fn binom(n: u32, k: u32) -> usize {
+    if k > n {
+        return 0;
+    }
+    let mut num = 1usize;
+    let mut den = 1usize;
+    for i in 0..k as usize {
+        num *= n as usize - i;
+        den *= i + 1;
+    }
+    num / den
+}

@@ -1,0 +1,202 @@
+//! Constructive Condition-A labelings, following Lemma 2 of the paper.
+//!
+//! * `m = 2^p − 1`: the Hamming syndrome labeling achieves the maximum
+//!   `λ = m + 1` labels (each closed neighborhood sees every syndrome
+//!   exactly once because the parity-check columns enumerate all nonzero
+//!   `p`-bit vectors).
+//! * general `m`: tile `Q_m` by subcubes `Q_{m'}` where `m' + 1` is the
+//!   largest power of two with `m' <= m`, and label by the subcube syndrome
+//!   — Lemma 2's proof, made executable. Yields `λ = m' + 1 >= (m+1)/2`.
+
+use crate::labeling::Labeling;
+use shc_coding::HammingCode;
+
+/// The trivial labeling: one label for everything. Always satisfies
+/// Condition A (the whole vertex set dominates).
+#[must_use]
+pub fn trivial(m: u32) -> Labeling {
+    Labeling::from_fn(m, 1, |_| 0)
+}
+
+/// Hamming syndrome labeling of `Q_m` for `m = 2^p − 1`, with `λ = m + 1`
+/// labels: `f(u) = syndrome(u)`.
+///
+/// `m = 1` is the degenerate case `p = 1` (code `{0}`, cosets `{0}`,`{1}`),
+/// handled directly.
+///
+/// # Panics
+/// Panics unless `m + 1` is a power of two with `1 <= m <= 24`.
+#[must_use]
+pub fn hamming_labeling(m: u32) -> Labeling {
+    assert!(
+        (m + 1).is_power_of_two() && (1..=24).contains(&m),
+        "hamming_labeling needs m = 2^p - 1, got {m}"
+    );
+    if m == 1 {
+        return Labeling::new(1, 2, vec![0, 1]);
+    }
+    let code = HammingCode::new((m + 1).trailing_zeros());
+    debug_assert_eq!(code.block_len(), m);
+    Labeling::from_fn(m, m + 1, |u| code.syndrome(u) as u16)
+}
+
+/// Lemma-2 tiling labeling for arbitrary `m >= 1`: label by the syndrome of
+/// the low `m'` coordinates, where `m'` is the largest `2^p − 1 <= m`.
+/// Flipping any of the low `m'` bits changes the syndrome to any other
+/// value, so Condition A holds inside each tile; flips of high bits keep the
+/// label and are simply redundant coverage.
+#[must_use]
+pub fn tiling_labeling(m: u32) -> Labeling {
+    assert!((1..=24).contains(&m), "tiling_labeling supports 1 <= m <= 24");
+    let m_prime = largest_hamming_length(m);
+    if m_prime == 1 {
+        return Labeling::from_fn(m, 2, |u| (u & 1) as u16);
+    }
+    let code = HammingCode::new((m_prime + 1).trailing_zeros());
+    let mask = (1u64 << m_prime) - 1;
+    Labeling::from_fn(m, m_prime + 1, move |u| code.syndrome(u & mask) as u16)
+}
+
+/// The best constructive labeling this crate offers: Hamming when `m + 1`
+/// is a power of two, the Lemma-2 tiling otherwise.
+#[must_use]
+pub fn best_labeling(m: u32) -> Labeling {
+    if (m + 1).is_power_of_two() {
+        hamming_labeling(m)
+    } else {
+        tiling_labeling(m)
+    }
+}
+
+/// `λ(m)` achieved by [`best_labeling`]: `m + 1` when `m + 1` is a power of
+/// two, otherwise `2^floor(log2(m+1))`.
+#[must_use]
+pub fn constructed_lambda(m: u32) -> u32 {
+    assert!(m >= 1);
+    if (m + 1).is_power_of_two() {
+        m + 1
+    } else {
+        largest_hamming_length(m) + 1
+    }
+}
+
+/// Largest `m' = 2^p − 1 <= m` (so `m' + 1` is the largest power of two
+/// `<= m + 1`).
+fn largest_hamming_length(m: u32) -> u32 {
+    let p = 32 - (m + 1).leading_zeros() - 1; // floor(log2(m+1))
+    (1 << p) - 1
+}
+
+/// The paper's Example 1 labeling of `Q_2`:
+/// `f(00) = f(11) = c_1`, `f(01) = f(10) = c_2` (0-indexed here).
+#[must_use]
+pub fn paper_example1_q2() -> Labeling {
+    Labeling::new(2, 2, vec![0, 1, 1, 0])
+}
+
+/// The paper's Example 1 labeling of `Q_3` (antipodal pairs):
+/// `f(000)=f(111)=c_1`, `f(001)=f(110)=c_2`, `f(010)=f(101)=c_3`,
+/// `f(011)=f(100)=c_4` (0-indexed here).
+#[must_use]
+pub fn paper_example1_q3() -> Labeling {
+    Labeling::new(3, 4, vec![0, 1, 2, 3, 3, 2, 1, 0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{is_perfect_labeling, satisfies_condition_a, verify_condition_a};
+
+    #[test]
+    fn trivial_always_valid() {
+        for m in 1..=8 {
+            assert!(satisfies_condition_a(&trivial(m)), "m={m}");
+        }
+    }
+
+    #[test]
+    fn hamming_labelings_valid_and_perfect() {
+        for m in [1u32, 3, 7, 15] {
+            let l = hamming_labeling(m);
+            assert_eq!(l.num_labels(), m + 1, "λ = m+1 at m={m}");
+            assert!(verify_condition_a(&l).is_ok(), "m={m}");
+            assert!(is_perfect_labeling(&l), "m={m} perfect");
+            // Classes are balanced: each coset has 2^m / (m+1) vertices.
+            let sizes = l.class_sizes();
+            assert!(sizes.iter().all(|&s| s == (1usize << m) / (m as usize + 1)));
+        }
+    }
+
+    #[test]
+    fn tiling_labelings_valid() {
+        for m in 1..=12u32 {
+            let l = tiling_labeling(m);
+            assert!(verify_condition_a(&l).is_ok(), "m={m}");
+            assert!(l.all_labels_used(), "m={m}");
+        }
+    }
+
+    #[test]
+    fn best_labeling_achieves_lemma2_lower_bound() {
+        // Lemma 2: λ_m >= ceil(m/2) + 1 ... our construction gives
+        // λ >= (m+1)/2 rounded up to a power of two, which implies it.
+        for m in 1..=16u32 {
+            let l = best_labeling(m);
+            assert_eq!(l.num_labels(), constructed_lambda(m), "m={m}");
+            assert!(
+                2 * l.num_labels() > m,
+                "m={m}: λ={} must satisfy 2λ >= m+1",
+                l.num_labels()
+            );
+            assert!(l.num_labels() <= m + 1, "upper bound λ <= m+1");
+            assert!(satisfies_condition_a(&l), "m={m}");
+        }
+    }
+
+    #[test]
+    fn constructed_lambda_values() {
+        // Spot values: λ_1=2, λ_2=2, λ_3=4, λ_4..6=4, λ_7=8, λ_8..14=8, λ_15=16.
+        let expect = [
+            (1, 2),
+            (2, 2),
+            (3, 4),
+            (4, 4),
+            (5, 4),
+            (6, 4),
+            (7, 8),
+            (8, 8),
+            (14, 8),
+            (15, 16),
+            (16, 16),
+        ];
+        for (m, lam) in expect {
+            assert_eq!(constructed_lambda(m), lam, "m={m}");
+        }
+    }
+
+    #[test]
+    fn paper_examples_match_constructions_in_lambda() {
+        let q2 = paper_example1_q2();
+        assert!(satisfies_condition_a(&q2));
+        assert_eq!(q2.num_labels(), constructed_lambda(2));
+
+        let q3 = paper_example1_q3();
+        assert!(satisfies_condition_a(&q3));
+        assert_eq!(q3.num_labels(), constructed_lambda(3));
+    }
+
+    #[test]
+    fn paper_q3_classes_are_antipodal_pairs() {
+        let q3 = paper_example1_q3();
+        for class in q3.classes() {
+            assert_eq!(class.len(), 2);
+            assert_eq!(class[0] ^ class[1], 0b111, "antipodal in Q3");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "m = 2^p - 1")]
+    fn hamming_labeling_rejects_bad_m() {
+        let _ = hamming_labeling(4);
+    }
+}

@@ -1,0 +1,147 @@
+//! The [`Labeling`] type: an assignment of labels `c_0..c_{λ-1}` to the
+//! vertices of the binary cube `Q_m`, the paper's central combinatorial
+//! object (§3, eq. (3)).
+
+use serde::{Deserialize, Serialize};
+
+/// A labeling `f : V(Q_m) → {0, …, λ−1}` of the `m`-cube's vertices.
+///
+/// Vertices are the integers `0..2^m` read as bit strings
+/// `u_m u_{m-1} … u_1` (bit `i-1` of the integer is coordinate `u_i`,
+/// matching the paper's "dimension 1 = least significant bit").
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Labeling {
+    m: u32,
+    num_labels: u32,
+    labels: Vec<u16>,
+}
+
+impl Labeling {
+    /// Wraps a raw label vector. `labels.len()` must be `2^m` and every
+    /// entry must lie below `num_labels`.
+    ///
+    /// # Panics
+    /// Panics if the sizes are inconsistent or a label is out of range.
+    #[must_use]
+    pub fn new(m: u32, num_labels: u32, labels: Vec<u16>) -> Self {
+        assert!(m <= 24, "labelings materialize 2^m entries; m capped at 24");
+        assert_eq!(labels.len(), 1usize << m, "labeling must cover V(Q_m)");
+        assert!(num_labels >= 1, "at least one label required");
+        assert!(
+            labels.iter().all(|&l| u32::from(l) < num_labels),
+            "label out of range"
+        );
+        Self {
+            m,
+            num_labels,
+            labels,
+        }
+    }
+
+    /// Builds a labeling by evaluating `f` on every vertex of `Q_m`.
+    #[must_use]
+    pub fn from_fn(m: u32, num_labels: u32, f: impl Fn(u64) -> u16) -> Self {
+        let labels = (0..1u64 << m).map(f).collect();
+        Self::new(m, num_labels, labels)
+    }
+
+    /// Cube dimension `m`.
+    #[must_use]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of labels `|C|`.
+    #[must_use]
+    pub fn num_labels(&self) -> u32 {
+        self.num_labels
+    }
+
+    /// Label of vertex `u` (`u < 2^m`).
+    #[must_use]
+    pub fn label_of(&self, u: u64) -> u16 {
+        self.labels[u as usize]
+    }
+
+    /// Number of vertices (`2^m`).
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The label classes: `classes()[c]` lists the vertices labeled `c`.
+    #[must_use]
+    pub fn classes(&self) -> Vec<Vec<u64>> {
+        let mut out = vec![Vec::new(); self.num_labels as usize];
+        for (u, &l) in self.labels.iter().enumerate() {
+            out[l as usize].push(u as u64);
+        }
+        out
+    }
+
+    /// Sizes of the label classes.
+    #[must_use]
+    pub fn class_sizes(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.num_labels as usize];
+        for &l in &self.labels {
+            out[l as usize] += 1;
+        }
+        out
+    }
+
+    /// `true` if every label is used at least once.
+    #[must_use]
+    pub fn all_labels_used(&self) -> bool {
+        self.class_sizes().iter().all(|&s| s > 0)
+    }
+
+    /// Raw label slice, indexed by vertex.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u16] {
+        &self.labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_access() {
+        let l = Labeling::from_fn(3, 2, |u| (u & 1) as u16);
+        assert_eq!(l.m(), 3);
+        assert_eq!(l.num_labels(), 2);
+        assert_eq!(l.num_vertices(), 8);
+        assert_eq!(l.label_of(0b101), 1);
+        assert_eq!(l.label_of(0b100), 0);
+    }
+
+    #[test]
+    fn classes_partition() {
+        let l = Labeling::from_fn(3, 2, |u| (u & 1) as u16);
+        let classes = l.classes();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0], vec![0, 2, 4, 6]);
+        assert_eq!(classes[1], vec![1, 3, 5, 7]);
+        assert_eq!(l.class_sizes(), vec![4, 4]);
+        assert!(l.all_labels_used());
+    }
+
+    #[test]
+    fn unused_label_detected() {
+        let l = Labeling::new(1, 3, vec![0, 1]);
+        assert!(!l.all_labels_used());
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover")]
+    fn wrong_size_panics() {
+        let _ = Labeling::new(2, 1, vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_panics() {
+        let _ = Labeling::new(1, 1, vec![0, 1]);
+    }
+}

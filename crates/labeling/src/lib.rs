@@ -1,0 +1,24 @@
+//! # shc-labeling — Condition-A labelings of binary cubes
+//!
+//! The heart of Fujita & Farley's construction is a labeling
+//! `f : V(Q_m) → C` satisfying **Condition A** (paper eq. (3)): every closed
+//! neighborhood contains every label, i.e. every label class is a dominating
+//! set of `Q_m`. The more labels (`λ_m` at best), the more cross dimensions
+//! each subcube can serve, and the lower the sparse hypercube's degree.
+//!
+//! * [`labeling`] — the [`Labeling`] type.
+//! * [`verify`] — machine check of Condition A, with witnesses.
+//! * [`constructions`] — trivial / Hamming / Lemma-2 tiling labelings.
+//! * [`search`] — exact `λ_m` for small `m` by domatic backtracking.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod constructions;
+pub mod labeling;
+pub mod search;
+pub mod verify;
+
+pub use constructions::{best_labeling, constructed_lambda};
+pub use labeling::Labeling;
+pub use verify::{satisfies_condition_a, verify_condition_a, ConditionAViolation};

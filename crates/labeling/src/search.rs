@@ -1,0 +1,123 @@
+//! Exact computation of the paper's `λ_m` — the maximum number of labels a
+//! Condition-A labeling of `Q_m` can use — via exhaustive domatic-partition
+//! search (Condition A with `λ` labels ⇔ a partition of `V(Q_m)` into `λ`
+//! dominating sets).
+//!
+//! Exponential; intended for the small `m` where Lemma 2 leaves a gap
+//! between its bounds (`m <= 5` in practice).
+
+use crate::labeling::Labeling;
+use shc_graph::builders::hypercube;
+use shc_graph::domination;
+
+/// Exact `λ_m` by descending search from the upper bound `m + 1`.
+///
+/// # Panics
+/// Panics if `m > 5` — beyond that the backtracking blows up and Lemma 2's
+/// constructive value should be used instead.
+#[must_use]
+pub fn exact_lambda(m: u32) -> u32 {
+    assert!((1..=5).contains(&m), "exact_lambda supports 1 <= m <= 5, got {m}");
+    let q = hypercube(m);
+    domination::domatic_number(&q) as u32
+}
+
+/// Searches for a Condition-A labeling of `Q_m` with exactly `lambda`
+/// labels; returns it if one exists.
+#[must_use]
+pub fn find_labeling(m: u32, lambda: u32) -> Option<Labeling> {
+    assert!((1..=5).contains(&m), "find_labeling supports 1 <= m <= 5");
+    let q = hypercube(m);
+    let assignment = domination::domatic_partition(&q, lambda as usize)?;
+    Some(Labeling::new(m, lambda, assignment))
+}
+
+/// Lemma 2's lower bound: `λ_m >= ceil(m/2) + 1`.
+#[must_use]
+pub fn lemma2_lower_bound(m: u32) -> u32 {
+    m.div_ceil(2) + 1
+}
+
+/// Lemma 2's upper bound: `λ_m <= m + 1` (each closed neighborhood has only
+/// `m + 1` slots).
+#[must_use]
+pub fn lemma2_upper_bound(m: u32) -> u32 {
+    m + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constructions::constructed_lambda;
+    use crate::verify::satisfies_condition_a;
+
+    #[test]
+    fn exact_lambda_small_cases() {
+        // λ_1 = 2 (perfect), λ_2 = 2 (paper: "for m=2, λ_2 = 2"),
+        // λ_3 = 4 (Hamming / Example 1).
+        assert_eq!(exact_lambda(1), 2);
+        assert_eq!(exact_lambda(2), 2);
+        assert_eq!(exact_lambda(3), 4);
+    }
+
+    #[test]
+    fn exact_lambda_m4() {
+        // No perfect code in Q4 (2^4 not divisible by 5) so λ_4 <= 4;
+        // the tiling construction achieves 4, hence λ_4 = 4 exactly.
+        assert_eq!(exact_lambda(4), 4);
+    }
+
+    #[test]
+    fn exact_lambda_m5() {
+        // 2^5 = 32 not divisible by 6 ⇒ λ_5 <= 5 (no perfect code). The
+        // backtracking search refutes a 5-part domatic partition of Q5 in
+        // ~150ms (release), so λ_5 = 4: the Lemma-2 construction is exactly
+        // optimal at m = 5 — a value the paper's bounds leave open
+        // (lower bound ⌈5/2⌉+1 = 4, upper bound 6).
+        assert_eq!(exact_lambda(5), 4);
+    }
+
+    #[test]
+    fn exact_matches_or_beats_construction() {
+        for m in 1..=4u32 {
+            assert!(
+                exact_lambda(m) >= constructed_lambda(m),
+                "exact λ_{m} at least the constructive value"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_within_lemma2_bounds() {
+        for m in 1..=4u32 {
+            let lam = exact_lambda(m);
+            assert!(lam >= lemma2_lower_bound(m), "m={m} lower");
+            assert!(lam <= lemma2_upper_bound(m), "m={m} upper");
+        }
+    }
+
+    #[test]
+    fn found_labelings_satisfy_condition_a() {
+        for m in 1..=4u32 {
+            let lam = exact_lambda(m);
+            let l = find_labeling(m, lam).expect("labeling at exact λ exists");
+            assert!(satisfies_condition_a(&l), "m={m}");
+            assert_eq!(l.num_labels(), lam);
+        }
+    }
+
+    #[test]
+    fn infeasible_lambda_returns_none() {
+        // λ_2 = 2, so 3 labels must be impossible.
+        assert!(find_labeling(2, 3).is_none());
+        // λ_3 = 4 = m+1; 5 exceeds the degree bound.
+        assert!(find_labeling(3, 5).is_none());
+    }
+
+    #[test]
+    fn bounds_are_consistent() {
+        for m in 1..=20 {
+            assert!(lemma2_lower_bound(m) <= lemma2_upper_bound(m));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Machine verification of Condition A (paper eq. (3)):
+//!
+//! ```text
+//! ∀u ∈ V(Q_m):  {f(u)} ∪ {f(v) | {u,v} ∈ E(Q_m)}  =  C
+//! ```
+//!
+//! i.e. every closed neighborhood contains every label; equivalently each
+//! label class is a dominating set of `Q_m`.
+
+use crate::labeling::Labeling;
+
+/// A witness that Condition A fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConditionAViolation {
+    /// Vertex whose closed neighborhood misses a label.
+    pub vertex: u64,
+    /// The missing label.
+    pub missing_label: u16,
+}
+
+impl std::fmt::Display for ConditionAViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Condition A violated: closed neighborhood of vertex {:#b} misses label c{}",
+            self.vertex, self.missing_label
+        )
+    }
+}
+
+impl std::error::Error for ConditionAViolation {}
+
+/// Checks Condition A, returning the first violation found (scanning
+/// vertices in increasing order, labels in increasing order).
+///
+/// # Errors
+/// Returns a [`ConditionAViolation`] naming the offending vertex and label.
+pub fn verify_condition_a(l: &Labeling) -> Result<(), ConditionAViolation> {
+    let m = l.m();
+    let lambda = l.num_labels();
+    assert!(lambda <= 64, "verifier uses a 64-bit label mask");
+    let full: u64 = if lambda == 64 { u64::MAX } else { (1u64 << lambda) - 1 };
+    for u in 0..(1u64 << m) {
+        let mut seen = 1u64 << l.label_of(u);
+        for i in 0..m {
+            seen |= 1u64 << l.label_of(u ^ (1u64 << i));
+        }
+        if seen != full {
+            let missing = (!seen & full).trailing_zeros() as u16;
+            return Err(ConditionAViolation {
+                vertex: u,
+                missing_label: missing,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// `true` iff the labeling satisfies Condition A.
+#[must_use]
+pub fn satisfies_condition_a(l: &Labeling) -> bool {
+    verify_condition_a(l).is_ok()
+}
+
+/// Checks the *perfect* variant: every closed neighborhood contains every
+/// label **exactly once**. Possible only when `λ = m + 1`; the paper's
+/// Hamming-based labelings have this property.
+#[must_use]
+pub fn is_perfect_labeling(l: &Labeling) -> bool {
+    let m = l.m();
+    if l.num_labels() != m + 1 {
+        return false;
+    }
+    for u in 0..(1u64 << m) {
+        let mut counts = vec![0u8; l.num_labels() as usize];
+        counts[l.label_of(u) as usize] += 1;
+        for i in 0..m {
+            counts[l.label_of(u ^ (1u64 << i)) as usize] += 1;
+        }
+        if counts.iter().any(|&c| c != 1) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labeling::Labeling;
+
+    /// The paper's Example 1 labeling of Q2: f(00)=f(11)=c1, f(01)=f(10)=c2.
+    fn example1_q2() -> Labeling {
+        Labeling::new(2, 2, vec![0, 1, 1, 0])
+    }
+
+    /// The paper's Example 1 labeling of Q3 (antipodal pairs).
+    fn example1_q3() -> Labeling {
+        // f(000)=f(111)=c1, f(001)=f(110)=c2, f(010)=f(101)=c3, f(011)=f(100)=c4.
+        // Vertex order 000,001,010,011,100,101,110,111.
+        Labeling::new(3, 4, vec![0, 1, 2, 3, 3, 2, 1, 0])
+    }
+
+    #[test]
+    fn paper_example1_q2_satisfies_condition_a() {
+        assert!(verify_condition_a(&example1_q2()).is_ok());
+    }
+
+    #[test]
+    fn paper_example1_q3_satisfies_condition_a() {
+        assert!(verify_condition_a(&example1_q3()).is_ok());
+        assert!(is_perfect_labeling(&example1_q3()), "λ = m+1 = 4 is perfect");
+    }
+
+    #[test]
+    fn trivial_labeling_satisfies_condition_a() {
+        let l = Labeling::from_fn(4, 1, |_| 0);
+        assert!(verify_condition_a(&l).is_ok());
+    }
+
+    #[test]
+    fn violation_reported_with_witness() {
+        // All of Q2 labeled 0 except one vertex labeled 1: class 1 = {11}
+        // does not dominate vertex 00.
+        let l = Labeling::new(2, 2, vec![0, 0, 0, 1]);
+        let err = verify_condition_a(&l).unwrap_err();
+        assert_eq!(err.vertex, 0b00);
+        assert_eq!(err.missing_label, 1);
+        assert!(err.to_string().contains("misses label c1"));
+        assert!(!satisfies_condition_a(&l));
+    }
+
+    #[test]
+    fn too_many_labels_fails() {
+        // 3 labels on Q2 cannot satisfy Condition A (λ_2 = 2).
+        let l = Labeling::new(2, 3, vec![0, 1, 2, 0]);
+        assert!(verify_condition_a(&l).is_err());
+    }
+
+    #[test]
+    fn perfect_labeling_rejects_wrong_lambda() {
+        assert!(!is_perfect_labeling(&example1_q2()), "λ=2 < m+1=3");
+    }
+
+    #[test]
+    fn imperfect_but_valid_labeling() {
+        // Q1 with both vertices distinct labels: perfect (λ = 2 = m+1).
+        let l = Labeling::new(1, 2, vec![0, 1]);
+        assert!(satisfies_condition_a(&l));
+        assert!(is_perfect_labeling(&l));
+    }
+}

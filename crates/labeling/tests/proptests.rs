@@ -1,0 +1,96 @@
+//! Property-based tests for Condition-A labelings.
+
+use proptest::prelude::*;
+use shc_labeling::constructions::{best_labeling, tiling_labeling, trivial};
+use shc_labeling::verify::{satisfies_condition_a, verify_condition_a};
+use shc_labeling::Labeling;
+
+proptest! {
+    #[test]
+    fn constructions_always_satisfy_condition_a(m in 1u32..=14) {
+        prop_assert!(satisfies_condition_a(&trivial(m)));
+        prop_assert!(satisfies_condition_a(&tiling_labeling(m)));
+        prop_assert!(satisfies_condition_a(&best_labeling(m)));
+    }
+
+    #[test]
+    fn class_sizes_sum_to_vertex_count(m in 1u32..=14) {
+        let l = best_labeling(m);
+        let total: usize = l.class_sizes().iter().sum();
+        prop_assert_eq!(total, 1usize << m);
+        prop_assert!(l.all_labels_used());
+    }
+
+    #[test]
+    fn random_labelings_rarely_satisfy_condition_a(
+        m in 2u32..=6,
+        lambda in 2u32..=4,
+        seed: u64,
+    ) {
+        // A random labeling is verified consistently: if the verifier says
+        // yes, then every class must dominate (cross-check against the
+        // dominating-set definition via shc-graph).
+        use shc_graph::builders::hypercube;
+        use shc_graph::domination::is_dominating_set;
+        use shc_graph::BitSet;
+        let size = 1usize << m;
+        let mut state = seed;
+        let labels: Vec<u16> = (0..size)
+            .map(|_| {
+                // xorshift for determinism without a rand dependency here.
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % u64::from(lambda)) as u16
+            })
+            .collect();
+        let l = Labeling::new(m, lambda, labels);
+        let verdict = verify_condition_a(&l);
+        let q = hypercube(m);
+        let classes = l.classes();
+        let all_dominate = (0..lambda as usize).all(|c| {
+            let mut set = BitSet::new(size);
+            for &v in &classes[c] {
+                set.insert(v as usize);
+            }
+            !classes[c].is_empty() && is_dominating_set(&q, &set)
+        });
+        prop_assert_eq!(verdict.is_ok(), all_dominate,
+            "verifier must agree with the dominating-set definition");
+    }
+
+    #[test]
+    fn violations_carry_true_witnesses(m in 2u32..=5) {
+        // Corrupt the best labeling by overwriting one class entirely; the
+        // violation witness must indeed miss the reported label.
+        let good = best_labeling(m);
+        if good.num_labels() < 2 {
+            return Ok(());
+        }
+        let labels: Vec<u16> = good
+            .as_slice()
+            .iter()
+            .map(|&l| if l == 0 { 1 } else { l })
+            .collect();
+        let bad = Labeling::new(m, good.num_labels(), labels);
+        let err = verify_condition_a(&bad).expect_err("class 0 vanished");
+        prop_assert_eq!(err.missing_label, 0);
+        // The witness's closed neighborhood truly misses label 0.
+        let u = err.vertex;
+        let mut seen = vec![bad.label_of(u)];
+        for i in 0..m {
+            seen.push(bad.label_of(u ^ (1u64 << i)));
+        }
+        prop_assert!(!seen.contains(&0));
+    }
+
+    #[test]
+    fn label_of_reads_only_low_bits(m in 1u32..=10, extra_bits: u64) {
+        // Labelings are functions of exactly m bits: embedding the vertex
+        // into a larger word must not change anything when masked.
+        let l = best_labeling(m);
+        let mask = (1u64 << m) - 1;
+        let v = extra_bits & mask;
+        prop_assert_eq!(l.label_of(v), l.label_of(v & mask));
+    }
+}

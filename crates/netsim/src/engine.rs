@@ -1,0 +1,399 @@
+//! The synchronous circuit-switching engine.
+//!
+//! Models the paper's line-communication substrate directly: in each time
+//! unit a set of calls (circuits) is requested; a circuit occupies every
+//! link along its path for the round; a link carries at most `dilation`
+//! circuits simultaneously (`dilation = 1` is the paper's model; larger
+//! values implement the §5 "multiedge / dilated network" extension).
+//!
+//! Two admission modes:
+//! * **fixed-path** ([`Engine::request_path`]) — the caller supplies the
+//!   route (used to replay validated broadcast schedules);
+//! * **adaptive** ([`Engine::request`]) — the engine finds a shortest path
+//!   avoiding saturated links, within a length bound.
+
+use crate::topology::{NetTopology, Vertex};
+use std::collections::{HashMap, VecDeque};
+
+/// Why a circuit was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlockReason {
+    /// A supplied path hop is not an edge.
+    NotAnEdge((Vertex, Vertex)),
+    /// Some link along the (only possible) route is saturated.
+    Saturated,
+    /// No route within the length bound exists at all.
+    NoRoute,
+}
+
+/// Outcome of one circuit request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Circuit established along the contained path.
+    Established(Vec<Vertex>),
+    /// Circuit refused.
+    Blocked(BlockReason),
+}
+
+impl Outcome {
+    /// `true` when established.
+    #[must_use]
+    pub fn is_established(&self) -> bool {
+        matches!(self, Self::Established(_))
+    }
+}
+
+/// Aggregate counters over a simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SimStats {
+    /// Rounds simulated.
+    pub rounds: usize,
+    /// Circuits established.
+    pub established: usize,
+    /// Circuits blocked.
+    pub blocked: usize,
+    /// Total hops across established circuits.
+    pub total_hops: usize,
+    /// Peak per-link occupancy observed in any round.
+    pub peak_link_load: u32,
+    /// Sum over rounds of the maximum per-link occupancy (for means).
+    pub sum_round_peak: u64,
+    /// Sum over rounds of the longest established circuit (edges) — a
+    /// wormhole-style latency proxy: a round costs as long as its longest
+    /// circuit takes to set up and traverse.
+    pub weighted_latency: u64,
+}
+
+impl SimStats {
+    /// Fraction of requests blocked.
+    #[must_use]
+    pub fn blocking_rate(&self) -> f64 {
+        let total = self.established + self.blocked;
+        if total == 0 {
+            0.0
+        } else {
+            self.blocked as f64 / total as f64
+        }
+    }
+
+    /// Mean hops per established circuit.
+    #[must_use]
+    pub fn mean_hops(&self) -> f64 {
+        if self.established == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.established as f64
+        }
+    }
+
+    /// Mean over rounds of the per-round peak link load.
+    #[must_use]
+    pub fn mean_round_peak(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.sum_round_peak as f64 / self.rounds as f64
+        }
+    }
+
+    /// Latency per round in hop units (total weighted latency / rounds):
+    /// 1.0 for a store-and-forward schedule, up to `k` for k-line calls.
+    #[must_use]
+    pub fn mean_round_latency(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.weighted_latency as f64 / self.rounds as f64
+        }
+    }
+}
+
+/// The simulator. Holds the topology by reference and per-round link
+/// occupancy.
+pub struct Engine<'a, T: NetTopology> {
+    net: &'a T,
+    dilation: u32,
+    usage: HashMap<(Vertex, Vertex), u32>,
+    round_peak: u32,
+    round_max_hops: u64,
+    stats: SimStats,
+    round_open: bool,
+}
+
+fn norm(u: Vertex, v: Vertex) -> (Vertex, Vertex) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+impl<'a, T: NetTopology> Engine<'a, T> {
+    /// Creates an engine over `net` with per-link capacity `dilation`.
+    ///
+    /// # Panics
+    /// Panics if `dilation == 0`.
+    #[must_use]
+    pub fn new(net: &'a T, dilation: u32) -> Self {
+        assert!(dilation >= 1, "links need capacity >= 1");
+        Self {
+            net,
+            dilation,
+            usage: HashMap::new(),
+            round_peak: 0,
+            round_max_hops: 0,
+            stats: SimStats::default(),
+            round_open: false,
+        }
+    }
+
+    /// Starts a new time unit: all circuits from the previous round are
+    /// torn down.
+    pub fn begin_round(&mut self) {
+        if self.round_open {
+            self.close_round();
+        }
+        self.usage.clear();
+        self.round_peak = 0;
+        self.round_max_hops = 0;
+        self.round_open = true;
+    }
+
+    /// Finishes the current round, folding its counters into the stats.
+    pub fn close_round(&mut self) {
+        if self.round_open {
+            self.stats.rounds += 1;
+            self.stats.peak_link_load = self.stats.peak_link_load.max(self.round_peak);
+            self.stats.sum_round_peak += u64::from(self.round_peak);
+            self.stats.weighted_latency += self.round_max_hops;
+            self.round_open = false;
+        }
+    }
+
+    /// Remaining capacity of a link this round.
+    fn available(&self, u: Vertex, v: Vertex) -> u32 {
+        let used = self.usage.get(&norm(u, v)).copied().unwrap_or(0);
+        self.dilation.saturating_sub(used)
+    }
+
+    fn occupy(&mut self, path: &[Vertex]) {
+        for w in path.windows(2) {
+            let e = norm(w[0], w[1]);
+            let cnt = self.usage.entry(e).or_insert(0);
+            *cnt += 1;
+            self.round_peak = self.round_peak.max(*cnt);
+        }
+        self.stats.established += 1;
+        self.stats.total_hops += path.len() - 1;
+        self.round_max_hops = self.round_max_hops.max((path.len() - 1) as u64);
+    }
+
+    /// Requests a circuit along an explicit path.
+    ///
+    /// # Panics
+    /// Panics if called outside a round.
+    pub fn request_path(&mut self, path: &[Vertex]) -> Outcome {
+        assert!(self.round_open, "begin_round first");
+        assert!(path.len() >= 2, "a circuit needs two endpoints");
+        for w in path.windows(2) {
+            if !self.net.has_edge(w[0], w[1]) {
+                self.stats.blocked += 1;
+                return Outcome::Blocked(BlockReason::NotAnEdge((w[0], w[1])));
+            }
+        }
+        // Per-path multiplicity counts toward capacity too.
+        let mut need: HashMap<(Vertex, Vertex), u32> = HashMap::new();
+        for w in path.windows(2) {
+            *need.entry(norm(w[0], w[1])).or_insert(0) += 1;
+        }
+        for (&e, &cnt) in &need {
+            if self.available(e.0, e.1) < cnt {
+                self.stats.blocked += 1;
+                return Outcome::Blocked(BlockReason::Saturated);
+            }
+        }
+        self.occupy(path);
+        Outcome::Established(path.to_vec())
+    }
+
+    /// Requests a circuit from `src` to `dst`, adaptively routed along a
+    /// shortest path that avoids saturated links, with at most `max_len`
+    /// hops.
+    ///
+    /// # Panics
+    /// Panics if called outside a round or if `src == dst`.
+    pub fn request(&mut self, src: Vertex, dst: Vertex, max_len: u32) -> Outcome {
+        assert!(self.round_open, "begin_round first");
+        assert_ne!(src, dst, "self-circuit");
+        // BFS over links with spare capacity.
+        let mut parent: HashMap<Vertex, Vertex> = HashMap::new();
+        let mut queue: VecDeque<(Vertex, u32)> = VecDeque::new();
+        parent.insert(src, src);
+        queue.push_back((src, 0));
+        let mut any_route_capacity_blind = false;
+        while let Some((x, d)) = queue.pop_front() {
+            if d == max_len {
+                continue;
+            }
+            for y in self.net.neighbors(x) {
+                if y == dst {
+                    any_route_capacity_blind = true;
+                }
+                if parent.contains_key(&y) || self.available(x, y) == 0 {
+                    continue;
+                }
+                parent.insert(y, x);
+                if y == dst {
+                    let mut path = vec![dst];
+                    let mut cur = dst;
+                    while cur != src {
+                        cur = parent[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    self.occupy(&path);
+                    return Outcome::Established(path);
+                }
+                queue.push_back((y, d + 1));
+            }
+        }
+        self.stats.blocked += 1;
+        if any_route_capacity_blind {
+            Outcome::Blocked(BlockReason::Saturated)
+        } else {
+            Outcome::Blocked(BlockReason::NoRoute)
+        }
+    }
+
+    /// Accumulated statistics (folds in the open round).
+    #[must_use]
+    pub fn finish(mut self) -> SimStats {
+        self.close_round();
+        self.stats
+    }
+
+    /// Current per-link usage snapshot (normalized edge → circuits).
+    #[must_use]
+    pub fn usage_snapshot(&self) -> &HashMap<(Vertex, Vertex), u32> {
+        &self.usage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::MaterializedNet;
+    use shc_graph::builders::{cycle, star};
+
+    #[test]
+    fn fixed_path_capacity_one() {
+        let net = MaterializedNet::new(star(5));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        assert!(sim.request_path(&[1, 0, 2]).is_established());
+        // Edge {0,2} now saturated: a second circuit through it blocks.
+        assert_eq!(
+            sim.request_path(&[3, 0, 2]),
+            Outcome::Blocked(BlockReason::Saturated)
+        );
+        // Different spokes are free.
+        assert!(sim.request_path(&[3, 0, 4]).is_established());
+        let stats = sim.finish();
+        assert_eq!(stats.established, 2);
+        assert_eq!(stats.blocked, 1);
+        assert_eq!(stats.peak_link_load, 1);
+        assert!((stats.blocking_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dilation_two_allows_sharing() {
+        let net = MaterializedNet::new(star(5));
+        let mut sim = Engine::new(&net, 2);
+        sim.begin_round();
+        assert!(sim.request_path(&[1, 0, 2]).is_established());
+        assert!(sim.request_path(&[3, 0, 2]).is_established(), "dilated link");
+        assert_eq!(
+            sim.request_path(&[4, 0, 2]),
+            Outcome::Blocked(BlockReason::Saturated)
+        );
+        let stats = sim.finish();
+        assert_eq!(stats.peak_link_load, 2);
+    }
+
+    #[test]
+    fn rounds_reset_capacity() {
+        let net = MaterializedNet::new(cycle(4));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        assert!(sim.request_path(&[0, 1]).is_established());
+        assert_eq!(
+            sim.request_path(&[1, 0]),
+            Outcome::Blocked(BlockReason::Saturated)
+        );
+        sim.begin_round();
+        assert!(sim.request_path(&[1, 0]).is_established(), "fresh round");
+        let stats = sim.finish();
+        assert_eq!(stats.rounds, 2);
+    }
+
+    #[test]
+    fn adaptive_routes_around_congestion() {
+        // C_4: 0-1-2-3-0. Occupy edge {0,1}; a request 0 -> 1 must route
+        // the long way (0-3-2-1) when allowed.
+        let net = MaterializedNet::new(cycle(4));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        assert!(sim.request_path(&[0, 1]).is_established());
+        match sim.request(0, 1, 3) {
+            Outcome::Established(p) => assert_eq!(p, vec![0, 3, 2, 1]),
+            other => panic!("expected detour, got {other:?}"),
+        }
+        // With the detour also occupied, a third request blocks.
+        assert!(!sim.request(0, 1, 3).is_established());
+    }
+
+    #[test]
+    fn adaptive_respects_length_bound() {
+        let net = MaterializedNet::new(cycle(8));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        // Distance 0 -> 4 is 4; bound 3 cannot route.
+        assert_eq!(
+            sim.request(0, 4, 3),
+            Outcome::Blocked(BlockReason::NoRoute)
+        );
+        assert!(sim.request(0, 4, 4).is_established());
+    }
+
+    #[test]
+    fn invalid_path_blocks() {
+        let net = MaterializedNet::new(cycle(4));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        assert_eq!(
+            sim.request_path(&[0, 2]),
+            Outcome::Blocked(BlockReason::NotAnEdge((0, 2)))
+        );
+    }
+
+    #[test]
+    fn stats_mean_hops() {
+        let net = MaterializedNet::new(cycle(6));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        sim.request_path(&[0, 1]);
+        sim.request_path(&[2, 3, 4]);
+        let stats = sim.finish();
+        assert!((stats.mean_hops() - 1.5).abs() < 1e-12);
+        assert_eq!(stats.rounds, 1);
+        assert!((stats.mean_round_peak() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_round")]
+    fn request_outside_round_panics() {
+        let net = MaterializedNet::new(cycle(4));
+        let mut sim = Engine::new(&net, 1);
+        let _ = sim.request_path(&[0, 1]);
+    }
+}

@@ -1,0 +1,26 @@
+//! # shc-netsim — synchronous circuit-switching network simulator
+//!
+//! The paper's communication model abstracts a circuit-switched /
+//! wormhole-routed network; its §5 raises congestion under competing
+//! traffic and *dilated* (multi-circuit) links as follow-up questions.
+//! This crate makes both measurable: a per-round link-occupancy engine
+//! with fixed-path replay (re-checking schedule edge-disjointness
+//! physically) and adaptive shortest-path routing around saturated links,
+//! plus traffic generators for competing broadcasts and random
+//! permutations.
+//!
+//! * [`topology`] — the [`NetTopology`] interface (sparse hypercubes and
+//!   materialized graphs).
+//! * [`engine`] — the circuit engine: rounds, admission, blocking, stats.
+//! * [`traffic`] — schedule replay, competing broadcasts, permutations.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod topology;
+pub mod traffic;
+
+pub use engine::{BlockReason, Engine, Outcome, SimStats};
+pub use topology::{MaterializedNet, NetTopology};
+pub use traffic::{random_permutation_round, replay_competing, replay_schedule};

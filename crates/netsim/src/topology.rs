@@ -1,0 +1,97 @@
+//! Topology interface for the circuit-switching simulator: edge tests plus
+//! neighbor enumeration (needed for adaptive routing), implemented by both
+//! rule-generated sparse hypercubes and materialized graphs.
+
+use shc_core::SparseHypercube;
+use shc_graph::{GraphView, Node};
+
+/// Vertex ids, shared with `shc-broadcast`.
+pub type Vertex = u64;
+
+/// A routable network topology.
+pub trait NetTopology {
+    /// Number of vertices.
+    fn num_vertices(&self) -> u64;
+
+    /// Undirected edge test.
+    fn has_edge(&self, u: Vertex, v: Vertex) -> bool;
+
+    /// Neighbor list of `u`.
+    fn neighbors(&self, u: Vertex) -> Vec<Vertex>;
+}
+
+impl NetTopology for SparseHypercube {
+    fn num_vertices(&self) -> u64 {
+        SparseHypercube::num_vertices(self)
+    }
+
+    fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        SparseHypercube::has_edge(self, u, v)
+    }
+
+    fn neighbors(&self, u: Vertex) -> Vec<Vertex> {
+        SparseHypercube::neighbors(self, u)
+    }
+}
+
+/// Adapter for materialized graphs.
+pub struct MaterializedNet<G: GraphView> {
+    graph: G,
+}
+
+impl<G: GraphView> MaterializedNet<G> {
+    /// Wraps an owned graph.
+    #[must_use]
+    pub fn new(graph: G) -> Self {
+        Self { graph }
+    }
+
+    /// Borrow the underlying graph.
+    #[must_use]
+    pub fn inner(&self) -> &G {
+        &self.graph
+    }
+}
+
+impl<G: GraphView> NetTopology for MaterializedNet<G> {
+    fn num_vertices(&self) -> u64 {
+        self.graph.num_vertices() as u64
+    }
+
+    fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        let n = self.graph.num_vertices() as u64;
+        u < n && v < n && self.graph.has_edge(u as Node, v as Node)
+    }
+
+    fn neighbors(&self, u: Vertex) -> Vec<Vertex> {
+        self.graph
+            .neighbors(u as Node)
+            .iter()
+            .map(|&v| Vertex::from(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shc_graph::builders::cycle;
+
+    #[test]
+    fn materialized_adapter() {
+        let net = MaterializedNet::new(cycle(5));
+        assert_eq!(net.num_vertices(), 5);
+        assert!(net.has_edge(0, 4));
+        assert!(!net.has_edge(0, 2));
+        assert_eq!(net.neighbors(0), vec![1, 4]);
+        assert!(!net.has_edge(0, 17));
+    }
+
+    #[test]
+    fn sparse_hypercube_topology() {
+        let g = SparseHypercube::construct_base(5, 2);
+        assert_eq!(NetTopology::num_vertices(&g), 32);
+        let nbrs = NetTopology::neighbors(&g, 0);
+        assert_eq!(nbrs.len(), g.degree(0));
+    }
+}

@@ -1,0 +1,137 @@
+//! Traffic generators and experiment drivers for the circuit simulator:
+//! replaying validated broadcast schedules, merging *competing* broadcasts
+//! (the paper's §5 congestion discussion), and random permutation traffic.
+
+use crate::engine::{Engine, SimStats};
+use crate::topology::{NetTopology, Vertex};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use shc_broadcast::Schedule;
+
+/// Replays one schedule through the engine with fixed paths. With
+/// `dilation = 1` every call of a *valid* schedule must establish — this is
+/// an independent, physical re-check of edge-disjointness.
+pub fn replay_schedule<T: NetTopology>(net: &T, schedule: &Schedule, dilation: u32) -> SimStats {
+    let mut sim = Engine::new(net, dilation);
+    for round in &schedule.rounds {
+        sim.begin_round();
+        for call in &round.calls {
+            let _ = sim.request_path(&call.path);
+        }
+    }
+    sim.finish()
+}
+
+/// Runs several broadcast schedules *simultaneously* (round `t` of every
+/// schedule shares the network in time unit `t`) — the competing-traffic
+/// scenario of §5. Returns the aggregate stats.
+pub fn replay_competing<T: NetTopology>(
+    net: &T,
+    schedules: &[Schedule],
+    dilation: u32,
+) -> SimStats {
+    let max_rounds = schedules.iter().map(|s| s.rounds.len()).max().unwrap_or(0);
+    let mut sim = Engine::new(net, dilation);
+    for t in 0..max_rounds {
+        sim.begin_round();
+        for schedule in schedules {
+            if let Some(round) = schedule.rounds.get(t) {
+                for call in &round.calls {
+                    let _ = sim.request_path(&call.path);
+                }
+            }
+        }
+    }
+    sim.finish()
+}
+
+/// One round of random permutation traffic with adaptive routing: each of
+/// `pairs` random (src, dst) requests is routed within `max_len` hops.
+pub fn random_permutation_round<T: NetTopology, R: Rng>(
+    net: &T,
+    pairs: usize,
+    max_len: u32,
+    dilation: u32,
+    rng: &mut R,
+) -> SimStats {
+    let n = net.num_vertices();
+    assert!(n >= 2, "need at least two vertices");
+    let mut sources: Vec<Vertex> = (0..n).collect();
+    let mut dests: Vec<Vertex> = (0..n).collect();
+    sources.shuffle(rng);
+    dests.shuffle(rng);
+    let mut sim = Engine::new(net, dilation);
+    sim.begin_round();
+    for i in 0..pairs.min(n as usize) {
+        let (src, dst) = (sources[i], dests[i]);
+        if src != dst {
+            let _ = sim.request(src, dst, max_len);
+        }
+    }
+    sim.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::MaterializedNet;
+    use shc_broadcast::schemes::sparse::broadcast_scheme;
+    use shc_broadcast::schemes::star::star_broadcast;
+    use shc_core::SparseHypercube;
+    use shc_graph::builders::star;
+
+    #[test]
+    fn valid_schedule_replays_without_blocking() {
+        // Physical re-check of Theorem 4's edge-disjointness: dilation 1,
+        // zero blocked circuits.
+        let g = SparseHypercube::construct_base(7, 3);
+        let schedule = broadcast_scheme(&g, 5);
+        let stats = replay_schedule(&g, &schedule, 1);
+        assert_eq!(stats.blocked, 0, "valid schedules never block");
+        assert_eq!(stats.established, schedule.num_calls());
+        assert_eq!(stats.peak_link_load, 1);
+        assert_eq!(stats.rounds, 7);
+    }
+
+    #[test]
+    fn competing_broadcasts_block_at_dilation_1() {
+        // Two simultaneous star broadcasts fight over the hub spokes.
+        let net = MaterializedNet::new(star(16));
+        let s1 = star_broadcast(16, 0);
+        let s2 = star_broadcast(16, 1);
+        let d1 = replay_competing(&net, &[s1.clone(), s2.clone()], 1);
+        assert!(d1.blocked > 0, "competition must cause blocking");
+        // Dilation 2 resolves pairwise contention entirely or mostly.
+        let d2 = replay_competing(&net, &[s1, s2], 2);
+        assert!(d2.blocked < d1.blocked);
+        assert!(d2.blocking_rate() <= d1.blocking_rate());
+    }
+
+    #[test]
+    fn competing_same_source_schedules_fully_conflict() {
+        let g = SparseHypercube::construct_base(5, 2);
+        let s = broadcast_scheme(&g, 0);
+        let stats = replay_competing(&g, &[s.clone(), s.clone()], 1);
+        // The clone re-requests exactly the same paths: all of them block.
+        assert_eq!(stats.blocked, s.num_calls());
+        let dilated = replay_competing(&g, &[s.clone(), s.clone()], 2);
+        assert_eq!(dilated.blocked, 0, "dilation 2 absorbs the duplicate");
+    }
+
+    #[test]
+    fn permutation_traffic_runs() {
+        let net = MaterializedNet::new(shc_graph::builders::hypercube(6));
+        let mut rng = rand::rngs::mock::StepRng::new(99, 0x9E3779B97F4A7C15);
+        let stats = random_permutation_round(&net, 64, 6, 1, &mut rng);
+        assert_eq!(stats.rounds, 1);
+        assert!(stats.established + stats.blocked > 0);
+    }
+
+    #[test]
+    fn empty_schedule_list() {
+        let net = MaterializedNet::new(star(4));
+        let stats = replay_competing(&net, &[], 1);
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(stats.blocking_rate(), 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the circuit engine: conservation laws,
+//! capacity invariants, and schedule-replay consistency with the
+//! broadcast validator.
+
+use proptest::prelude::*;
+use shc_broadcast::schemes::sparse::broadcast_scheme;
+use shc_core::SparseHypercube;
+use shc_graph::builders::hypercube;
+use shc_netsim::{Engine, MaterializedNet, NetTopology, Outcome};
+
+fn arb_base_params() -> impl Strategy<Value = (u32, u32)> {
+    (4u32..=9).prop_flat_map(|n| (Just(n), 1u32..n.min(5)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn replay_of_valid_schedule_never_blocks((n, m) in arb_base_params(), src_raw: u64) {
+        let g = SparseHypercube::construct_base(n, m);
+        let source = src_raw & ((1u64 << n) - 1);
+        let schedule = broadcast_scheme(&g, source);
+        let stats = shc_netsim::replay_schedule(&g, &schedule, 1);
+        prop_assert_eq!(stats.blocked, 0);
+        prop_assert_eq!(stats.established, schedule.num_calls());
+        prop_assert_eq!(stats.rounds, n as usize);
+        // Latency proxy: between 1 (all direct) and 2 (a relay somewhere)
+        // per round for Broadcast_2.
+        prop_assert!(stats.mean_round_latency() >= 1.0);
+        prop_assert!(stats.mean_round_latency() <= 2.0);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded(dilation in 1u32..4, requests in proptest::collection::vec((0u64..16, 0u64..16), 1..24)) {
+        let net = MaterializedNet::new(hypercube(4));
+        let mut sim = Engine::new(&net, dilation);
+        sim.begin_round();
+        for (src, dst) in requests {
+            if src != dst {
+                let _ = sim.request(src, dst, 4);
+            }
+        }
+        for (_, &load) in sim.usage_snapshot() {
+            prop_assert!(load <= dilation, "link over capacity");
+        }
+        let stats = sim.finish();
+        prop_assert!(stats.peak_link_load <= dilation);
+    }
+
+    #[test]
+    fn established_plus_blocked_equals_requests(reqs in proptest::collection::vec((0u64..32, 0u64..32), 0..40)) {
+        let net = MaterializedNet::new(hypercube(5));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        let mut issued = 0usize;
+        for (src, dst) in reqs {
+            if src != dst {
+                let _ = sim.request(src, dst, 5);
+                issued += 1;
+            }
+        }
+        let stats = sim.finish();
+        prop_assert_eq!(stats.established + stats.blocked, issued);
+    }
+
+    #[test]
+    fn adaptive_routes_are_real_paths(src in 0u64..32, dst in 0u64..32) {
+        prop_assume!(src != dst);
+        let net = MaterializedNet::new(hypercube(5));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        match sim.request(src, dst, 5) {
+            Outcome::Established(path) => {
+                prop_assert_eq!(*path.first().unwrap(), src);
+                prop_assert_eq!(*path.last().unwrap(), dst);
+                for w in path.windows(2) {
+                    prop_assert!(net.has_edge(w[0], w[1]));
+                }
+                // Shortest path in a clean network = Hamming distance.
+                prop_assert_eq!(path.len() as u32 - 1, (src ^ dst).count_ones());
+            }
+            Outcome::Blocked(r) => prop_assert!(false, "clean network blocked: {:?}", r),
+        }
+    }
+
+    #[test]
+    fn dilation_monotone_blocking((n, m) in arb_base_params()) {
+        let g = SparseHypercube::construct_base(n, m);
+        let schedules: Vec<_> = [0u64, (1 << n) - 1]
+            .iter()
+            .map(|&s| broadcast_scheme(&g, s))
+            .collect();
+        let mut prev = usize::MAX;
+        for dilation in [1u32, 2, 4] {
+            let stats = shc_netsim::replay_competing(&g, &schedules, dilation);
+            prop_assert!(stats.blocked <= prev);
+            prev = stats.blocked;
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Round-by-round trace of Scheme Broadcast_2 / Broadcast_k — Fig. 4 of
+//! the paper as a terminal animation.
+//!
+//! ```sh
+//! cargo run --release --example broadcast_trace              # Fig. 4 setup
+//! cargo run --release --example broadcast_trace -- 7 "2,4" 0 # k=3 instance
+//! ```
+//! (arguments: n, comma-separated inner dims, source)
+
+use sparse_hypercube::core::DimPartition;
+use sparse_hypercube::labeling::constructions::paper_example1_q2;
+use sparse_hypercube::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (g, source, k) = if args.is_empty() {
+        // The paper's exact Example 2/4 instance.
+        let g = SparseHypercube::construct_base_with(
+            4,
+            2,
+            paper_example1_q2(),
+            Some(DimPartition::from_subsets(2, 4, &[vec![3], vec![4]])),
+        );
+        (g, 0u64, 2usize)
+    } else {
+        let n: u32 = args[0].parse().expect("n");
+        let inner: Vec<u32> = args
+            .get(1)
+            .map(|s| s.split(',').map(|t| t.parse().expect("dim")).collect())
+            .unwrap_or_else(|| vec![2]);
+        let source: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+        let mut dims = inner;
+        dims.push(n);
+        let k = dims.len();
+        (SparseHypercube::construct(&dims), source, k)
+    };
+
+    let n = g.n();
+    assert!(n <= 16, "trace output is for small instances (n <= 16)");
+    let width = n as usize;
+    println!(
+        "Broadcast_{k} on params {:?} (Δ = {}), source {source:0width$b}\n",
+        g.params(),
+        g.max_degree(),
+    );
+
+    let schedule = broadcast_scheme(&g, source);
+    let mut informed: std::collections::BTreeSet<u64> = [source].into();
+    for (t, round) in schedule.rounds.iter().enumerate() {
+        println!("time unit {} ({} calls):", t + 1, round.calls.len());
+        for call in &round.calls {
+            let path: Vec<String> = call.path.iter().map(|v| format!("{v:0width$b}")).collect();
+            let kind = if call.len() == 1 { "direct" } else { "relayed" };
+            println!("  {} [{kind}, length {}]", path.join(" → "), call.len());
+            informed.insert(call.receiver());
+        }
+        println!("  informed: {}/{}\n", informed.len(), g.num_vertices());
+    }
+
+    let report = verify_minimum_time(&g, &schedule, k).expect("scheme is minimum-time");
+    println!(
+        "verified: {} rounds (= log2 N), longest call {} <= k = {k}, {} calls total",
+        report.rounds, report.max_call_len, report.total_calls
+    );
+}

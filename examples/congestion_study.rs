@@ -1,0 +1,67 @@
+//! Congestion study — the paper's §5 future-work discussion, measured:
+//! several broadcasts sharing a sparse hypercube contend for its few
+//! edges; dilated (multi-circuit) links buy the contention back.
+//!
+//! ```sh
+//! cargo run --release --example congestion_study -- 10 3
+//! ```
+//! (arguments: n, m; defaults 10, 3)
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparse_hypercube::broadcast::schemes::hypercube::hypercube_broadcast;
+use sparse_hypercube::graph::builders::hypercube;
+use sparse_hypercube::netsim::replay_competing;
+use sparse_hypercube::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let m: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    assert!(m >= 1 && m < n && n <= 14, "need 1 <= m < n <= 14");
+
+    let g = SparseHypercube::construct_base(n, m);
+    let q = MaterializedNet::new(hypercube(n));
+    let mut rng = StdRng::seed_from_u64(2026);
+
+    println!(
+        "competing broadcasts on G_{{{n},{m}}} (Δ = {}) vs Q_{n} (Δ = {n})\n",
+        g.max_degree()
+    );
+    println!(
+        "{:>10} {:>9} | {:>14} {:>10} | {:>14} {:>10}",
+        "broadcasts", "dilation", "sparse blocked", "peak load", "Q_n blocked", "peak load"
+    );
+
+    for competitors in [1usize, 2, 4, 8] {
+        let mut sources = std::collections::BTreeSet::from([0u64]);
+        while sources.len() < competitors {
+            sources.insert(rng.gen_range(0..(1u64 << n)));
+        }
+        let sparse: Vec<Schedule> = sources.iter().map(|&s| broadcast_scheme(&g, s)).collect();
+        let cube: Vec<Schedule> = sources
+            .iter()
+            .map(|&s| hypercube_broadcast(n, s))
+            .collect();
+        for dilation in [1u32, 2, 4] {
+            let sp = replay_competing(&g, &sparse, dilation);
+            let qu = replay_competing(&q, &cube, dilation);
+            println!(
+                "{:>10} {:>9} | {:>13.1}% {:>10} | {:>13.1}% {:>10}",
+                competitors,
+                dilation,
+                100.0 * sp.blocking_rate(),
+                sp.peak_link_load,
+                100.0 * qu.blocking_rate(),
+                qu.peak_link_load
+            );
+        }
+    }
+
+    println!(
+        "\nreading: a single broadcast never blocks (the schemes are \
+         edge-disjoint by Theorem 4/6); with competitors, the sparse \
+         graph's missing edges turn into contention — exactly the §5 \
+         trade-off — and dilation m absorbs it."
+    );
+}

@@ -1,0 +1,78 @@
+//! k-mlbg class explorer: uses the exact solver to certify membership of
+//! small classical graphs in the paper's classes G_1 ⊆ G_2 ⊆ … — the
+//! nesting of Property 2 made visible.
+//!
+//! ```sh
+//! cargo run --release --example mlbg_explorer
+//! ```
+
+use sparse_hypercube::graph::builders;
+use sparse_hypercube::graph::AdjGraph;
+use sparse_hypercube::prelude::*;
+
+fn membership_row(name: &str, g: &AdjGraph, max_k: usize) -> (String, Vec<String>) {
+    let mut cells = Vec::new();
+    for k in 1..=max_k {
+        // Membership requires minimum-time broadcast from EVERY source.
+        let mut all = true;
+        let mut unknown = false;
+        for source in 0..g.num_vertices() as u32 {
+            match solve_min_time(g, source, k, 3_000_000) {
+                SolveOutcome::Found(_) => {}
+                SolveOutcome::Infeasible => {
+                    all = false;
+                    break;
+                }
+                SolveOutcome::BudgetExceeded => {
+                    unknown = true;
+                    break;
+                }
+            }
+        }
+        cells.push(if unknown {
+            "?".to_string()
+        } else if all {
+            "yes".to_string()
+        } else {
+            "no".to_string()
+        });
+    }
+    (name.to_string(), cells)
+}
+
+fn main() {
+    let max_k = 4usize;
+    let candidates: Vec<(&str, AdjGraph)> = vec![
+        ("Q3 (8 vertices)", builders::hypercube(3)),
+        ("cycle C8", builders::cycle(8)),
+        ("path P8", builders::path(8)),
+        ("star K(1,7)", builders::star(8)),
+        ("thm1 tree h=1 (4)", builders::theorem1_tree(1)),
+        ("thm1 tree h=2 (10)", builders::theorem1_tree(2)),
+        ("grid 2x4", builders::grid(2, 4)),
+        ("complete K8", builders::complete(8)),
+    ];
+
+    println!("exact k-mlbg membership (minimum-time broadcast from every source)\n");
+    print!("{:<20}", "graph");
+    for k in 1..=max_k {
+        print!(" {:>5}", format!("G_{k}"));
+    }
+    println!();
+
+    for (name, g) in &candidates {
+        let (label, cells) = membership_row(name, g, max_k);
+        print!("{label:<20}");
+        for c in &cells {
+            print!(" {c:>5}");
+        }
+        println!();
+    }
+
+    println!(
+        "\nProperty 2 (G_k ⊆ G_k+1) is visible as monotone rows; \
+         the star column shows the paper's §2 observation that the \
+         edge-minimal member of G_k for k >= 2 is the star; C8 enters at \
+         k = 2; the Theorem-1 tree (h=2, diameter 4) enters at k = 4 = 2h."
+    );
+}

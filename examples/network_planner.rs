@@ -1,0 +1,84 @@
+//! Network planner — the paper's engineering motivation, §1–§2: ports per
+//! router ("fabrication and maintenance costs") trade against the maximum
+//! call length `k` the switching fabric must support.
+//!
+//! Given a vertex budget `2^n` and a per-vertex port budget Δ, find the
+//! smallest `k` whose sparse hypercube fits, and print the full design
+//! space.
+//!
+//! ```sh
+//! cargo run --release --example network_planner -- 24 8
+//! ```
+//! (arguments: n, degree budget; defaults 20 and 10)
+
+use sparse_hypercube::core::params::optimized_params;
+use sparse_hypercube::core::{bounds, SparseHypercube};
+use sparse_hypercube::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(20);
+    let budget: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    assert!((3..=60).contains(&n), "need 3 <= n <= 60");
+
+    println!("design space for N = 2^{n} vertices (degree budget {budget}):\n");
+    println!(
+        "{:>3} {:>24} {:>6} {:>12} {:>12} {:>14}",
+        "k", "parameters", "Δ", "paper bound", "lower bound", "edges"
+    );
+
+    let mut chosen: Option<(u32, Vec<u32>)> = None;
+    for k in 2..=n.min(8) {
+        if n <= k {
+            break;
+        }
+        let choice = optimized_params(k, n);
+        let g = SparseHypercube::construct(&choice.dims);
+        let upper = if k == 2 {
+            bounds::thm5_upper_bound(n)
+        } else {
+            bounds::thm7_upper_bound(k, n)
+        };
+        let lower = bounds::lower_bound(k, n);
+        println!(
+            "{:>3} {:>24} {:>6} {:>12} {:>12} {:>14}",
+            k,
+            format!("{:?}", choice.dims),
+            choice.max_degree,
+            upper,
+            lower,
+            g.num_edges()
+        );
+        if chosen.is_none() && choice.max_degree <= budget {
+            chosen = Some((k, choice.dims.clone()));
+        }
+    }
+
+    println!("\nhypercube baseline: Δ = {n}, edges = {}", u64::from(n) << (n - 1));
+    match chosen {
+        Some((k, dims)) => {
+            let g = SparseHypercube::construct(&dims);
+            println!(
+                "\n=> smallest k meeting the budget: k = {k} with parameters {dims:?} \
+                 (Δ = {}, {:.1}% of hypercube edges)",
+                g.max_degree(),
+                100.0 * g.num_edges() as f64 / ((u64::from(n) << (n - 1)) as f64),
+            );
+            if n <= 16 {
+                // Demonstrate the design actually broadcasts in minimum time.
+                let schedule = broadcast_scheme(&g, 0);
+                let report =
+                    verify_minimum_time(&g, &schedule, k as usize).expect("scheme valid");
+                println!(
+                    "   verified: broadcast in {} rounds (minimum), longest call {}",
+                    report.rounds, report.max_call_len
+                );
+            }
+        }
+        None => println!(
+            "\n=> no k <= 8 meets a degree budget of {budget}; \
+             the Theorem-1 tree needs k >= {} but only 3 ports",
+            bounds::thm1_min_k(1u64 << n)
+        ),
+    }
+}

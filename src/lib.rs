@@ -1,0 +1,60 @@
+//! # sparse-hypercube
+//!
+//! A full reproduction of **Fujita & Farley, "Sparse Hypercube — a minimal
+//! k-line broadcast graph"** (Proc. IPPS/SPDP'99; journal version in
+//! Discrete Applied Mathematics 127 (2003) 431–446).
+//!
+//! A *k-line broadcast* lets every vertex call one vertex at distance at
+//! most `k` per time unit, calls succeeding when they share no edge and no
+//! receiver. The paper constructs subgraphs of the binary `n`-cube —
+//! *sparse hypercubes* — that broadcast from any source in the minimum
+//! `log2 N` time units while cutting the maximum degree from `n` to
+//! `(2k−1)·⌈(n−k)^(1/k)⌉`.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`graph`] | `shc-graph` | graph substrate: representations, builders, BFS, metrics, domination |
+//! | [`coding`] | `shc-coding` | GF(2) algebra and perfect Hamming codes |
+//! | [`labeling`] | `shc-labeling` | Condition-A labelings of `Q_m`, exact `λ_m` |
+//! | [`core`] | `shc-core` | `Construct_BASE` / `Construct(k;…)`, bounds, routing |
+//! | [`broadcast`] | `shc-broadcast` | schedules, validator, schemes, exact solver |
+//! | [`netsim`] | `shc-netsim` | circuit-switching simulator (§5 extension) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sparse_hypercube::prelude::*;
+//!
+//! // Build the paper's Example 3 graph: G_{15,3}, degree 6 instead of 15.
+//! let g = SparseHypercube::construct_base(15, 3);
+//! assert_eq!(g.max_degree(), 6);
+//!
+//! // Broadcast from vertex 0 and machine-check Definition 1 at k = 2.
+//! let schedule = broadcast_scheme(&g, 0);
+//! let report = verify_minimum_time(&g, &schedule, 2).unwrap();
+//! assert_eq!(report.rounds, 15); // = log2 |V|, minimum time
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use shc_broadcast as broadcast;
+pub use shc_coding as coding;
+pub use shc_core as core;
+pub use shc_graph as graph;
+pub use shc_labeling as labeling;
+pub use shc_netsim as netsim;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use shc_broadcast::{
+        broadcast_scheme, hypercube_broadcast, solve_min_time, star_broadcast,
+        tree_line_broadcast, verify_minimum_time, verify_schedule, Schedule, SolveOutcome,
+    };
+    pub use shc_core::{bounds, params, DimPartition, ShcStats, SparseHypercube};
+    pub use shc_graph::prelude::*;
+    pub use shc_labeling::{best_labeling, constructed_lambda, Labeling};
+    pub use shc_netsim::{replay_competing, replay_schedule, Engine, MaterializedNet};
+}

@@ -1,0 +1,140 @@
+//! End-to-end integration: construct → structurally validate → generate
+//! schedule → verify against Definition 1 → physically replay through the
+//! circuit simulator. Every stage crosses a crate boundary.
+
+use sparse_hypercube::core::validate;
+use sparse_hypercube::prelude::*;
+
+/// The full pipeline for one parameter vector and source.
+fn pipeline(dims: &[u32], source: u64) {
+    let g = SparseHypercube::construct(dims);
+    let k = dims.len();
+
+    // Structural invariants (Condition A per level, oracle symmetry, …).
+    validate::validate_materialized(&g).unwrap_or_else(|e| panic!("{dims:?}: {e}"));
+
+    // The paper's scheme, validated.
+    let schedule = broadcast_scheme(&g, source);
+    let report = verify_minimum_time(&g, &schedule, k)
+        .unwrap_or_else(|e| panic!("{dims:?} from {source}: {e}"));
+    assert_eq!(report.rounds, g.n() as usize);
+    assert!(report.max_call_len <= k);
+    assert_eq!(report.total_calls as u64, g.num_vertices() - 1);
+
+    // Physical replay: a valid schedule establishes every circuit at
+    // dilation 1.
+    let sim = replay_schedule(&g, &schedule, 1);
+    assert_eq!(sim.blocked, 0, "{dims:?}: physical replay must not block");
+    assert_eq!(sim.established, schedule.num_calls());
+}
+
+#[test]
+fn pipeline_base_constructions() {
+    for (n, m) in [(4u32, 2u32), (6, 2), (8, 3), (10, 4), (12, 5), (13, 3)] {
+        for source in [0u64, (1 << n) - 1, 1 << (n - 1)] {
+            pipeline(&[m, n], source);
+        }
+    }
+}
+
+#[test]
+fn pipeline_recursive_k3() {
+    for dims in [[1u32, 2, 6], [2, 4, 8], [2, 5, 11], [3, 6, 12]] {
+        pipeline(&dims, 0);
+        pipeline(&dims, (1 << dims[2]) - 1);
+    }
+}
+
+#[test]
+fn pipeline_recursive_k4_k5() {
+    pipeline(&[1, 2, 4, 9], 0);
+    pipeline(&[2, 4, 6, 11], 123);
+    pipeline(&[1, 2, 3, 5, 10], 0);
+    pipeline(&[1, 2, 4, 7, 12], 999);
+}
+
+#[test]
+fn doubling_is_exact_everywhere() {
+    // N = 2^n forces exact doubling (paper, proof of Theorem 2): check the
+    // verifier's per-round counts.
+    let g = SparseHypercube::construct(&[2, 4, 9]);
+    let schedule = broadcast_scheme(&g, 7);
+    let report = verify_minimum_time(&g, &schedule, 3).expect("valid");
+    for (t, &count) in report.informed_after_round.iter().enumerate() {
+        assert_eq!(count, 1 << (t + 1), "round {t}");
+    }
+}
+
+#[test]
+fn paper_parameter_defaults_end_to_end() {
+    // Theorem 5 / Theorem 7 default parameters, materializable sizes.
+    use sparse_hypercube::core::params::paper_params;
+    for (k, n) in [(2u32, 10u32), (2, 14), (3, 10), (3, 13), (4, 12)] {
+        let choice = paper_params(k, n);
+        pipeline(&choice.dims, 0);
+    }
+}
+
+#[test]
+fn schedules_also_valid_on_materialized_graph() {
+    // The rule-based oracle and the materialized adjacency agree on what a
+    // valid schedule is.
+    use sparse_hypercube::broadcast::GraphOracle;
+    let g = SparseHypercube::construct(&[2, 4, 8]);
+    let mat = g.to_graph();
+    let schedule = broadcast_scheme(&g, 42);
+    let via_oracle = verify_minimum_time(&g, &schedule, 3).expect("oracle");
+    let o = GraphOracle::new(&mat);
+    let via_graph = verify_minimum_time(&o, &schedule, 3).expect("materialized");
+    assert_eq!(via_oracle, via_graph);
+}
+
+#[test]
+fn competing_broadcasts_and_dilation_monotone() {
+    let g = SparseHypercube::construct_base(9, 3);
+    let schedules: Vec<Schedule> = [0u64, 85, 341, 511]
+        .iter()
+        .map(|&s| broadcast_scheme(&g, s))
+        .collect();
+    let mut prev_blocked = usize::MAX;
+    for dilation in [1u32, 2, 4, 8] {
+        let stats = replay_competing(&g, &schedules, dilation);
+        assert!(
+            stats.blocked <= prev_blocked,
+            "dilation {dilation} should not increase blocking"
+        );
+        prev_blocked = stats.blocked;
+    }
+    // Enough dilation absorbs everything.
+    let stats = replay_competing(&g, &schedules, 16);
+    assert_eq!(stats.blocked, 0);
+}
+
+#[test]
+fn schedule_survives_json_roundtrip() {
+    // Schedules are plain data: exporting to JSON and back preserves
+    // validity (useful for archiving machine-checked witnesses).
+    let g = SparseHypercube::construct_base(8, 3);
+    let s = broadcast_scheme(&g, 5);
+    let json = serde_json::to_string(&s).expect("serialize");
+    let back: Schedule = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(s, back);
+    verify_minimum_time(&g, &back, 2).expect("valid after roundtrip");
+}
+
+#[test]
+fn greedy_baseline_on_intact_sparse_hypercube() {
+    // The structure-free greedy baseline completes on sparse hypercubes
+    // and its schedule passes the same validator as the constructive
+    // scheme (possibly with more rounds — that gap is Theorem 4's value).
+    use sparse_hypercube::broadcast::schemes::greedy::greedy_broadcast;
+    use sparse_hypercube::broadcast::GraphOracle;
+    let g = SparseHypercube::construct_base(9, 3);
+    let mat = g.to_graph();
+    let out = greedy_broadcast(&mat, 0, 2, 40);
+    assert!(out.complete);
+    let o = GraphOracle::new(&mat);
+    verify_schedule(&o, &out.schedule, 2).expect("greedy schedule valid");
+    let constructive_rounds = broadcast_scheme(&g, 0).num_rounds();
+    assert!(out.schedule.num_rounds() >= constructive_rounds);
+}

@@ -1,0 +1,165 @@
+//! Every worked example of the paper, asserted end to end across crates.
+
+use sparse_hypercube::broadcast::GraphOracle;
+use sparse_hypercube::core::{bounds, DimPartition};
+use sparse_hypercube::graph::builders::theorem1_tree;
+use sparse_hypercube::graph::metrics;
+use sparse_hypercube::labeling::constructions::{paper_example1_q2, paper_example1_q3};
+use sparse_hypercube::labeling::verify::satisfies_condition_a;
+use sparse_hypercube::prelude::*;
+
+/// Example 1: the two explicit labelings.
+#[test]
+fn example1() {
+    assert!(satisfies_condition_a(&paper_example1_q2()));
+    assert!(satisfies_condition_a(&paper_example1_q3()));
+    assert_eq!(paper_example1_q2().num_labels(), 2);
+    assert_eq!(paper_example1_q3().num_labels(), 4);
+}
+
+fn g42() -> SparseHypercube {
+    SparseHypercube::construct_base_with(
+        4,
+        2,
+        paper_example1_q2(),
+        Some(DimPartition::from_subsets(2, 4, &[vec![3], vec![4]])),
+    )
+}
+
+/// Example 2 + Figs. 2–3: G_{4,2}.
+#[test]
+fn example2() {
+    let g = g42();
+    assert_eq!(g.max_degree(), 3);
+    assert_eq!(g.num_edges(), 24);
+    // "vertex 0011 is connected with vertex 0111".
+    assert!(g.has_edge(0b0011, 0b0111));
+    // Rule 1 edges of Fig. 2 are all present.
+    for u in 0..16u64 {
+        assert!(g.has_edge(u, u ^ 0b01));
+        assert!(g.has_edge(u, u ^ 0b10));
+    }
+}
+
+/// Example 3: G_{15,3} and its labeling g(x000) = c1.
+#[test]
+fn example3() {
+    let g = SparseHypercube::construct_base(15, 3);
+    assert_eq!(g.max_degree(), 6);
+    // All vertices with suffix 000 share the label of 0 (syndrome 0 = c1).
+    let level = &g.levels()[0];
+    let l0 = level.label_of(0);
+    for x in 0..(1u64 << 12) {
+        assert_eq!(level.label_of(x << 3), l0);
+    }
+    // 0^15 is connected to exactly dims {1,2,3} ∪ S_1 = {13,14,15}.
+    let nbrs = g.neighbors(0);
+    assert_eq!(nbrs.len(), 6);
+    assert!(g.has_edge(0, 1 << 14));
+    assert!(g.has_edge(0, 1 << 13));
+    assert!(g.has_edge(0, 1 << 12));
+    assert!(!g.has_edge(0, 1 << 11));
+}
+
+/// Example 4 + Fig. 4: the broadcast from 0000 in G_{4,2}.
+#[test]
+fn example4() {
+    let g = g42();
+    let s = broadcast_scheme(&g, 0);
+    let r = verify_minimum_time(&g, &s, 2).expect("Theorem 4");
+    assert_eq!(r.rounds, 4);
+    assert_eq!(r.informed_after_round, vec![2, 4, 8, 16]);
+    // First call: length 2, crossing dimension 4 through a Q2 relay.
+    let first = &s.rounds[0].calls[0];
+    assert_eq!(first.caller(), 0b0000);
+    assert_eq!(first.len(), 2);
+    assert_eq!(first.receiver() >> 3, 1);
+    // Final two rounds: only direct (length-1) subcube calls.
+    for round in &s.rounds[2..] {
+        assert!(round.calls.iter().all(|c| c.len() == 1));
+    }
+}
+
+/// Examples 5–6 + Fig. 5: LABEL(7,4,2) and Construct_REC(7,4,2), with the
+/// paper's Example-1 labeling of Q2 at the outer level (the default
+/// construction uses an equally valid but different Condition-A labeling).
+#[test]
+fn examples5_and_6() {
+    let g = SparseHypercube::construct_with(
+        &[2, 4, 7],
+        &[paper_example1_q2(), paper_example1_q2()],
+    );
+    let top = &g.levels()[1];
+    // Example 5: g(x00y) = g(x11y) and g(x01y) = g(x10y) — the label reads
+    // only bits (2,4], via a Condition-A labeling of Q2.
+    for x in 0..(1u64 << 3) {
+        for y in 0..(1u64 << 2) {
+            let v = |mid: u64| (x << 4) | (mid << 2) | y;
+            assert_eq!(top.label_of(v(0b00)), top.label_of(v(0b11)));
+            assert_eq!(top.label_of(v(0b01)), top.label_of(v(0b10)));
+            assert_ne!(top.label_of(v(0b00)), top.label_of(v(0b01)));
+        }
+    }
+    // Example 6: 0000000's Rule-1 neighbors inside its G_{4,2} copy plus
+    // two Rule-2 neighbors among dims {5,6,7}.
+    let nbrs = g.neighbors(0);
+    assert_eq!(nbrs.len(), 5);
+    let cross: Vec<u32> = g.cross_dims(0);
+    assert_eq!(cross.iter().filter(|&&d| d >= 5).count(), 2);
+    // And the scheme validates (Theorem 6).
+    let s = broadcast_scheme(&g, 0);
+    verify_minimum_time(&g, &s, 3).expect("Theorem 6");
+}
+
+/// Theorem 1 + Fig. 1: the h = 3 tree (22 vertices) is a 6-mlbg.
+#[test]
+fn theorem1_fig1() {
+    let t = theorem1_tree(3);
+    assert_eq!(t.num_vertices(), 22);
+    assert_eq!(bounds::thm1_tree_size(3), 22);
+    assert_eq!(metrics::diameter(&t), Some(6));
+    let o = GraphOracle::new(&t);
+    for source in 0..22u32 {
+        let s = tree_line_broadcast(&t, source).expect("schedulable");
+        let r = verify_minimum_time(&o, &s, 6).expect("6-line minimum time");
+        assert_eq!(r.rounds, 5); // ceil(log2 22)
+    }
+}
+
+/// The §2 star observation: fewest edges in G_k for k >= 2.
+#[test]
+fn star_edge_minimal_member() {
+    let n = 16u64;
+    let star = sparse_hypercube::graph::builders::star(n as usize);
+    let o = GraphOracle::new(&star);
+    for source in [0u64, 1, 15] {
+        let s = star_broadcast(n, source);
+        verify_minimum_time(&o, &s, 2).expect("star is a 2-mlbg");
+    }
+    // A connected graph cannot have fewer than N − 1 edges.
+    use sparse_hypercube::graph::GraphView;
+    assert_eq!(star.num_edges(), n as usize - 1);
+}
+
+/// Theorem 2's proof premise: exact doubling forces the source to reach n
+/// distinct vertices within distance k — check the ball-size arithmetic
+/// used in the bound for k = 2.
+#[test]
+fn theorem2_ball_arithmetic() {
+    for delta in 1u64..20 {
+        // |B(v, 2)| - 1 <= Δ + Δ(Δ−1) = Δ^2 (paper eq. (1)).
+        assert_eq!(delta + delta * (delta - 1), delta * delta);
+    }
+    assert_eq!(bounds::thm2_lower_bound(2, 16), 4);
+    assert_eq!(bounds::thm2_lower_bound(2, 17), 5);
+}
+
+/// Lemma 2 + Example 1 consistency: λ_2 = 2, λ_3 = 4 (exact), and the
+/// paper's remark that the lower bound is not improvable at m = 2.
+#[test]
+fn lemma2_exact_small() {
+    use sparse_hypercube::labeling::search;
+    assert_eq!(search::exact_lambda(2), 2);
+    assert_eq!(search::exact_lambda(3), 4);
+    assert_eq!(search::lemma2_lower_bound(2), 2, "⌈2/2⌉+1 = 2 = λ_2");
+}

@@ -1,0 +1,107 @@
+//! Property-based integration tests: random legal parameter vectors and
+//! sources through the full construct → schedule → verify → replay
+//! pipeline.
+
+use proptest::prelude::*;
+use sparse_hypercube::prelude::*;
+
+/// Random legal dims for k in [2, 4] with n <= 11 (materialization-free
+/// pipeline, so this could go far larger; kept modest for CI time).
+fn arb_dims() -> impl Strategy<Value = Vec<u32>> {
+    (2usize..=4).prop_flat_map(|k| {
+        // Choose k strictly increasing values in 1..=11.
+        proptest::collection::btree_set(1u32..=11, k).prop_filter_map(
+            "need max >= k for a nontrivial graph",
+            move |set| {
+                let dims: Vec<u32> = set.into_iter().collect();
+                (dims.len() >= 2).then_some(dims)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_params_full_pipeline(dims in arb_dims(), source_raw: u64) {
+        let g = SparseHypercube::construct(&dims);
+        let k = dims.len();
+        let n = g.n();
+        let source = source_raw & ((1u64 << n) - 1);
+
+        let schedule = broadcast_scheme(&g, source);
+        let report = verify_minimum_time(&g, &schedule, k)
+            .map_err(|e| TestCaseError::fail(format!("{dims:?}: {e}")))?;
+        prop_assert_eq!(report.rounds, n as usize);
+        prop_assert!(report.max_call_len <= k);
+        prop_assert_eq!(report.total_calls as u64, g.num_vertices() - 1);
+
+        let sim = replay_schedule(&g, &schedule, 1);
+        prop_assert_eq!(sim.blocked, 0);
+    }
+
+    #[test]
+    fn degree_bounds_hold_for_random_params(dims in arb_dims()) {
+        let g = SparseHypercube::construct(&dims);
+        let k = dims.len() as u32;
+        let n = g.n();
+        // Lower bound (Theorems 2–3) always applies to any k-mlbg.
+        if (2..=4).contains(&k) {
+            let lower = sparse_hypercube::core::bounds::thm2_lower_bound(k, n);
+            prop_assert!(g.max_degree() as u64 >= lower,
+                "{:?}: Δ = {} < lower bound {}", dims, g.max_degree(), lower);
+        }
+        // The degree formula agrees with a vertex scan.
+        let scan = (0..g.num_vertices()).map(|u| g.degree(u)).max().unwrap();
+        prop_assert_eq!(scan, g.max_degree());
+    }
+
+    #[test]
+    fn schedule_calls_respect_distance_k(dims in arb_dims(), source_raw: u64) {
+        // Definition 1 says the callee is at distance <= k; our calls carry
+        // paths of length <= k, which implies it. Check the endpoints'
+        // actual graph distance on a materialized instance.
+        let g = SparseHypercube::construct(&dims);
+        let n = g.n();
+        if n > 10 { return Ok(()); } // keep materialization cheap
+        let k = dims.len();
+        let source = source_raw & ((1u64 << n) - 1);
+        let mat = g.to_graph();
+        let schedule = broadcast_scheme(&g, source);
+        for round in &schedule.rounds {
+            for call in &round.calls {
+                let d = sparse_hypercube::graph::traversal::distance(
+                    &mat,
+                    call.caller() as u32,
+                    call.receiver() as u32,
+                )
+                .expect("connected");
+                prop_assert!((d as usize) <= k);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_scheduler_on_random_caterpillars(spine in 2usize..12, legs in 0usize..12, source_raw: u64) {
+        // Caterpillar trees: a spine path with pendant legs — a family the
+        // region splitter must handle beyond the Theorem-1 shape.
+        use sparse_hypercube::graph::AdjGraph;
+        let n = spine + legs;
+        let mut g = AdjGraph::with_vertices(n);
+        for i in 1..spine {
+            g.add_edge((i - 1) as u32, i as u32);
+        }
+        for l in 0..legs {
+            let attach = (l % spine) as u32;
+            g.add_edge(attach, (spine + l) as u32);
+        }
+        let source = (source_raw % n as u64) as u32;
+        if let Ok(schedule) = tree_line_broadcast(&g, source) {
+            let o = sparse_hypercube::broadcast::GraphOracle::new(&g);
+            let r = verify_minimum_time(&o, &schedule, n)
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            prop_assert!(r.is_minimum_time());
+        }
+    }
+}
