@@ -55,5 +55,11 @@ fn bench_csr(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_builders, bench_bfs, bench_diameter, bench_csr);
+criterion_group!(
+    benches,
+    bench_builders,
+    bench_bfs,
+    bench_diameter,
+    bench_csr
+);
 criterion_main!(benches);

@@ -84,7 +84,13 @@ fn main() {
     );
     println!(
         "{:<8} {:>10} {:>8} {:>9} {:>9} {:>9} {:>12} {:>14}",
-        "topology", "broadcasts", "dilation", "blocked", "rate", "peak", "mean hops",
+        "topology",
+        "broadcasts",
+        "dilation",
+        "blocked",
+        "rate",
+        "peak",
+        "mean hops",
         "round latency"
     );
 
@@ -96,10 +102,7 @@ fn main() {
             sources.insert(rng.gen_range(0..(1u64 << n)));
         }
         let sparse: Vec<Schedule> = sources.iter().map(|&s| broadcast_scheme(&g, s)).collect();
-        let cube: Vec<Schedule> = sources
-            .iter()
-            .map(|&s| hypercube_broadcast(n, s))
-            .collect();
+        let cube: Vec<Schedule> = sources.iter().map(|&s| hypercube_broadcast(n, s)).collect();
         for dilation in [1u32, 2, 4] {
             for (name, stats) in [
                 ("sparse", replay_competing(&g, &sparse, dilation)),
@@ -122,8 +125,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap())
-            .expect("write json");
+        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()).expect("write json");
         println!("JSON written to {path}");
     }
 }

@@ -72,7 +72,11 @@ pub fn e3_lower_bounds_large_k() -> Experiment {
                 n,
                 lower,
                 format!("2^{} vs {}", n - 1, u64::from(k) * u64::from(n)),
-                if bounds::cycle_infeasible(k, n) { "yes" } else { "no" }
+                if bounds::cycle_infeasible(k, n) {
+                    "yes"
+                } else {
+                    "no"
+                }
             ]);
         }
     }
@@ -94,9 +98,7 @@ pub fn e3_lower_bounds_large_k() -> Experiment {
             "cycle excluded".into(),
         ],
         rows,
-        observed: format!(
-            "all bounds >= 3; paper's k=5, n=6 cycle exclusion holds: {paper_case}"
-        ),
+        observed: format!("all bounds >= 3; paper's k=5, n=6 cycle exclusion holds: {paper_case}"),
         pass,
     }
 }
@@ -121,7 +123,11 @@ pub fn e5_lambda_table() -> Experiment {
             constructed,
             exact.map_or_else(|| "-".to_string(), |x| x.to_string()),
             upper,
-            if (m + 1).is_power_of_two() { "Hamming (perfect)" } else { "subcube tiling" }
+            if (m + 1).is_power_of_two() {
+                "Hamming (perfect)"
+            } else {
+                "subcube tiling"
+            }
         ]);
     }
     Experiment {
@@ -161,14 +167,7 @@ pub fn e10_theorem5() -> Experiment {
         let bound = bounds::thm5_upper_bound(n);
         let lower = bounds::thm2_lower_bound(2, n);
         pass &= choice.max_degree <= bound && choice.max_degree >= lower;
-        rows.push(row![
-            n,
-            choice.dims[0],
-            choice.max_degree,
-            bound,
-            lower,
-            ""
-        ]);
+        rows.push(row![n, choice.dims[0], choice.max_degree, bound, lower, ""]);
     }
     // Note after Theorem 5: m with λ_m = m+1 and n = m(m+2) gives Δ = 2m.
     for m in [1u32, 3, 7] {
@@ -185,7 +184,11 @@ pub fn e10_theorem5() -> Experiment {
             delta,
             bounds::thm5_upper_bound(n),
             bounds::thm2_lower_bound(2, n),
-            format!("note case: Δ=2m={} < 2√n={:.2}", 2 * m, 2.0 * f64::from(n).sqrt())
+            format!(
+                "note case: Δ=2m={} < 2√n={:.2}",
+                2 * m,
+                2.0 * f64::from(n).sqrt()
+            )
         ]);
     }
     Experiment {
@@ -288,7 +291,13 @@ pub fn e14_corollary1() -> Experiment {
         let choice = optimized_params(k, n);
         let bound = bounds::cor1_upper_bound(n);
         pass &= choice.max_degree <= bound;
-        rows.push(row![n, k, choice.max_degree, bound, format!("{:?}", choice.dims)]);
+        rows.push(row![
+            n,
+            k,
+            choice.max_degree,
+            bound,
+            format!("{:?}", choice.dims)
+        ]);
     }
     Experiment {
         id: "E14",

@@ -36,10 +36,8 @@ pub fn e17_congestion(n: u32, m: u32, seed: u64) -> Experiment {
         let sources = distinct_sources(n, competitors, &mut rng);
         let sparse_schedules: Vec<Schedule> =
             sources.iter().map(|&s| broadcast_scheme(&g, s)).collect();
-        let cube_schedules: Vec<Schedule> = sources
-            .iter()
-            .map(|&s| hypercube_broadcast(n, s))
-            .collect();
+        let cube_schedules: Vec<Schedule> =
+            sources.iter().map(|&s| hypercube_broadcast(n, s)).collect();
         for &dilation in &[1u32, 2, 4] {
             let sp = replay_competing(&g, &sparse_schedules, dilation);
             let qu = replay_competing(&q, &cube_schedules, dilation);
@@ -63,9 +61,7 @@ pub fn e17_congestion(n: u32, m: u32, seed: u64) -> Experiment {
     Experiment {
         id: "E17",
         paper_ref: "§5 (congestion / dilated networks), implemented extension",
-        title: format!(
-            "Competing broadcasts on G_{{{n},{m}}} vs Q_{n}: blocking vs dilation"
-        ),
+        title: format!("Competing broadcasts on G_{{{n},{m}}} vs Q_{n}: blocking vs dilation"),
         claim: "Sparseness concentrates traffic: with several simultaneous \
                 broadcasts, dilation-1 links block calls; increasing link \
                 multiplicity (dilated networks, §5) absorbs the congestion"

@@ -39,7 +39,10 @@ pub fn e1_theorem1_tree(max_h: u32) -> Experiment {
         let sources: Vec<Node> = if n <= 100 {
             (0..n as Node).collect()
         } else {
-            (0..n as Node).step_by(n / 37).chain([0, (n - 1) as Node]).collect()
+            (0..n as Node)
+                .step_by(n / 37)
+                .chain([0, (n - 1) as Node])
+                .collect()
         };
         let mut worst_rounds = 0usize;
         let mut worst_call = 0usize;
@@ -110,16 +113,25 @@ pub fn e4_example1_labelings() -> Experiment {
             .iter()
             .enumerate()
             .map(|(c, class)| {
-                let members: Vec<String> =
-                    class.iter().map(|&v| format!("{v:0width$b}")).collect();
+                let members: Vec<String> = class.iter().map(|&v| format!("{v:0width$b}")).collect();
                 format!("c{}={{{}}}", c + 1, members.join(","))
             })
             .collect::<Vec<_>>()
             .join(" ")
     };
     let rows = vec![
-        row!["Q2", 2, fmt_classes(&q2, 2), if q2_ok { "yes" } else { "NO" }],
-        row!["Q3", 4, fmt_classes(&q3, 3), if q3_ok { "yes" } else { "NO" }],
+        row![
+            "Q2",
+            2,
+            fmt_classes(&q2, 2),
+            if q2_ok { "yes" } else { "NO" }
+        ],
+        row![
+            "Q3",
+            4,
+            fmt_classes(&q3, 3),
+            if q3_ok { "yes" } else { "NO" }
+        ],
     ];
     Experiment {
         id: "E4",
@@ -220,8 +232,10 @@ pub fn e7_g153() -> Experiment {
             .into(),
         headers: vec!["quantity".into(), "value".into()],
         rows,
-        observed: format!("Δ = {delta}, edges reduced to {:.1}% of Q15",
-            100.0 * g.num_edges() as f64 / (15.0 * f64::from(1u32 << 14))),
+        observed: format!(
+            "Δ = {delta}, edges reduced to {:.1}% of Q15",
+            100.0 * g.num_edges() as f64 / (15.0 * f64::from(1u32 << 14))
+        ),
         pass,
     }
 }
@@ -276,11 +290,7 @@ pub fn e11_construct_rec() -> Experiment {
     let g = SparseHypercube::construct(&[2, 4, 7]);
     let top = &g.levels()[1];
     let subsets = top.partition().subsets();
-    let nbrs: Vec<String> = g
-        .neighbors(0)
-        .iter()
-        .map(|&v| format!("{v:07b}"))
-        .collect();
+    let nbrs: Vec<String> = g.neighbors(0).iter().map(|&v| format!("{v:07b}")).collect();
     let schedule = broadcast_scheme(&g, 0);
     let verified = verify_minimum_time(&g, &schedule, 3).is_ok();
     let pass = g.max_degree() == 5 && verified && subsets.len() == 2;
@@ -298,7 +308,10 @@ pub fn e11_construct_rec() -> Experiment {
         ],
         row!["neighbors of 0000000", nbrs.join(" ")],
         row!["Δ", g.max_degree()],
-        row!["Broadcast_3 minimum-time", if verified { "yes" } else { "NO" }],
+        row![
+            "Broadcast_3 minimum-time",
+            if verified { "yes" } else { "NO" }
+        ],
     ];
     Experiment {
         id: "E11",

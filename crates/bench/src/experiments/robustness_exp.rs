@@ -59,7 +59,11 @@ pub fn e19_fault_tolerance(n: u32, m: u32, seed: u64) -> Experiment {
             "greedy (k=2)",
             worst,
             n,
-            if complete_all { "complete" } else { "INCOMPLETE" }
+            if complete_all {
+                "complete"
+            } else {
+                "INCOMPLETE"
+            }
         ]);
     }
     Experiment {
@@ -127,8 +131,7 @@ pub fn e20_ablation() -> Experiment {
         // Sanity: the ablated graphs still broadcast in minimum time (they
         // have strictly more edges per owner, so relays still exist).
         if n <= 14 {
-            let g_trivial =
-                SparseHypercube::construct_base_with(n, m, trivial(m), None);
+            let g_trivial = SparseHypercube::construct_base_with(n, m, trivial(m), None);
             let s = broadcast_scheme(&g_trivial, 0);
             pass &= verify_minimum_time(&g_trivial, &s, 2).is_ok();
         }

@@ -46,8 +46,7 @@ pub fn e9_theorem4_sweep(max_n: u32, threads: Option<usize>) -> Experiment {
     let mut rows = Vec::new();
     let mut pass = true;
     for n in 2..=max_n {
-        let group: Vec<&(u32, u32, usize, bool)> =
-            results.iter().filter(|r| r.0 == n).collect();
+        let group: Vec<&(u32, u32, usize, bool)> = results.iter().filter(|r| r.0 == n).collect();
         let all_ok = group.iter().all(|r| r.3);
         let checks: usize = group.iter().map(|r| r.2).sum();
         pass &= all_ok;
@@ -55,7 +54,11 @@ pub fn e9_theorem4_sweep(max_n: u32, threads: Option<usize>) -> Experiment {
             n,
             group.len(),
             checks,
-            if all_ok { "all minimum-time" } else { "FAILURE" }
+            if all_ok {
+                "all minimum-time"
+            } else {
+                "FAILURE"
+            }
         ]);
     }
     Experiment {
@@ -103,28 +106,27 @@ pub fn e12_theorem6_sweep(threads: Option<usize>) -> Experiment {
         vec![1, 2, 4, 6, 11],
         vec![2, 3, 4, 5, 13],
     ];
-    let results: Vec<(usize, usize, bool, usize)> =
-        par_map_indexed(cases.len(), threads, |i| {
-            let dims = &cases[i];
-            let k = dims.len();
-            let g = SparseHypercube::construct(dims);
-            let n = g.n();
-            let mut ok = true;
-            let mut checked = 0usize;
-            let mut max_len = 0usize;
-            for source in sources_for(n) {
-                let schedule = broadcast_scheme(&g, source);
-                match verify_minimum_time(&g, &schedule, k) {
-                    Ok(r) => {
-                        ok &= r.rounds == n as usize;
-                        max_len = max_len.max(r.max_call_len);
-                    }
-                    Err(_) => ok = false,
+    let results: Vec<(usize, usize, bool, usize)> = par_map_indexed(cases.len(), threads, |i| {
+        let dims = &cases[i];
+        let k = dims.len();
+        let g = SparseHypercube::construct(dims);
+        let n = g.n();
+        let mut ok = true;
+        let mut checked = 0usize;
+        let mut max_len = 0usize;
+        for source in sources_for(n) {
+            let schedule = broadcast_scheme(&g, source);
+            match verify_minimum_time(&g, &schedule, k) {
+                Ok(r) => {
+                    ok &= r.rounds == n as usize;
+                    max_len = max_len.max(r.max_call_len);
                 }
-                checked += 1;
+                Err(_) => ok = false,
             }
-            (k, checked, ok, max_len)
-        });
+            checked += 1;
+        }
+        (k, checked, ok, max_len)
+    });
     let mut rows = Vec::new();
     let mut pass = true;
     for (dims, (k, checked, ok, max_len)) in cases.iter().zip(&results) {
@@ -153,8 +155,7 @@ pub fn e12_theorem6_sweep(threads: Option<usize>) -> Experiment {
             "result".into(),
         ],
         rows,
-        observed: "every schedule verified; the longest call never exceeds k"
-            .into(),
+        observed: "every schedule verified; the longest call never exceeds k".into(),
         pass,
     }
 }

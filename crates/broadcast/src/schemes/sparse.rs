@@ -121,9 +121,8 @@ mod tests {
                 let g = SparseHypercube::construct_base(n, m);
                 for source in [0u64, 1, (1 << n) - 1, 1 << (n - 1), 5 % (1 << n)] {
                     let s = broadcast_scheme(&g, source);
-                    let r = verify_minimum_time(&g, &s, 2).unwrap_or_else(|e| {
-                        panic!("G_{{{n},{m}}} from {source}: {e}")
-                    });
+                    let r = verify_minimum_time(&g, &s, 2)
+                        .unwrap_or_else(|e| panic!("G_{{{n},{m}}} from {source}: {e}"));
                     assert_eq!(r.rounds, n as usize);
                 }
             }
@@ -132,14 +131,18 @@ mod tests {
 
     #[test]
     fn theorem6_broadcast_k_minimum_time_k3() {
-        for dims in [vec![1u32, 2, 5], vec![2, 4, 7], vec![2, 4, 9], vec![3, 5, 8]] {
+        for dims in [
+            vec![1u32, 2, 5],
+            vec![2, 4, 7],
+            vec![2, 4, 9],
+            vec![3, 5, 8],
+        ] {
             let g = SparseHypercube::construct(&dims);
             let n = g.n();
             for source in [0u64, (1 << n) - 1, 0b101 % (1 << n)] {
                 let s = broadcast_scheme(&g, source);
-                let r = verify_minimum_time(&g, &s, 3).unwrap_or_else(|e| {
-                    panic!("{dims:?} from {source}: {e}")
-                });
+                let r = verify_minimum_time(&g, &s, 3)
+                    .unwrap_or_else(|e| panic!("{dims:?} from {source}: {e}"));
                 assert_eq!(r.rounds, n as usize);
                 assert!(r.max_call_len <= 3);
             }

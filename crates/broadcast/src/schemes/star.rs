@@ -62,9 +62,8 @@ mod tests {
             let o = GraphOracle::new(&g);
             for source in 0..n {
                 let s = star_broadcast(n, source);
-                let r = verify_minimum_time(&o, &s, 2).unwrap_or_else(|e| {
-                    panic!("star({n}) from {source}: {e}")
-                });
+                let r = verify_minimum_time(&o, &s, 2)
+                    .unwrap_or_else(|e| panic!("star({n}) from {source}: {e}"));
                 assert!(r.max_call_len <= 2);
             }
         }

@@ -211,8 +211,8 @@ fn split_region(tree: &AdjGraph, region: &Region, cap: usize) -> Option<SplitPla
         };
 
         for &cut_to_b in cut_choices {
-            let a_fixed = v_branch.map_or(0, |i| branches[i].1)
-                + usize::from(w_member && !cut_to_b);
+            let a_fixed =
+                v_branch.map_or(0, |i| branches[i].1) + usize::from(w_member && !cut_to_b);
             let b_fixed = usize::from(w_member && cut_to_b);
             let dp = subset_sum(&free, cap);
             // b = b_fixed + s must satisfy 1 <= b <= cap and
@@ -266,7 +266,10 @@ pub fn tree_line_broadcast(tree: &AdjGraph, source: Node) -> Result<Schedule, Tr
     let n = tree.num_vertices();
     assert!(n >= 1, "empty tree");
     assert_eq!(tree.num_edges(), n - 1, "not a tree (edge count)");
-    assert!(shc_graph::traversal::is_connected(tree), "not a tree (disconnected)");
+    assert!(
+        shc_graph::traversal::is_connected(tree),
+        "not a tree (disconnected)"
+    );
     assert!((source as usize) < n, "source out of range");
 
     let total_rounds = ceil_log2(n as u64) as usize;
@@ -327,8 +330,7 @@ pub fn tree_line_broadcast(tree: &AdjGraph, source: Node) -> Result<Schedule, Tr
                     .expect("side B nonempty")
             };
 
-            let path =
-                shortest_path(tree, region.informed, u).expect("tree is connected");
+            let path = shortest_path(tree, region.informed, u).expect("tree is connected");
             round
                 .calls
                 .push(Call::new(path.into_iter().map(Vertex::from).collect()));
@@ -469,9 +471,8 @@ mod tests {
             for source in 0..n as Node {
                 total += 1;
                 if let Ok(s) = tree_line_broadcast(&t, source) {
-                    verify_minimum_time(&o, &s, n).unwrap_or_else(|e| {
-                        panic!("random tree n={n} source {source}: {e}")
-                    });
+                    verify_minimum_time(&o, &s, n)
+                        .unwrap_or_else(|e| panic!("random tree n={n} source {source}: {e}"));
                     ok += 1;
                 }
             }

@@ -223,7 +223,11 @@ impl Searcher<'_> {
         }
         let last = *path.last().expect("nonempty");
         for &next in self.graph.neighbors(last) {
-            let e = if last < next { (last, next) } else { (next, last) };
+            let e = if last < next {
+                (last, next)
+            } else {
+                (next, last)
+            };
             if edges.contains(&e) {
                 continue;
             }
@@ -279,7 +283,13 @@ impl Searcher<'_> {
             }
             let path_edges: Vec<(Node, Node)> = path
                 .windows(2)
-                .map(|w| if w[0] < w[1] { (w[0], w[1]) } else { (w[1], w[0]) })
+                .map(|w| {
+                    if w[0] < w[1] {
+                        (w[0], w[1])
+                    } else {
+                        (w[1], w[0])
+                    }
+                })
                 .collect();
             if path_edges.iter().any(|e| used_edges.contains(e)) {
                 continue;
@@ -291,7 +301,14 @@ impl Searcher<'_> {
             chosen.push(path.clone());
 
             if self.assign(
-                informed, round, callers, candidates, idx + 1, used_edges, receivers, chosen,
+                informed,
+                round,
+                callers,
+                candidates,
+                idx + 1,
+                used_edges,
+                receivers,
+                chosen,
                 rounds,
             ) {
                 return true;
@@ -305,7 +322,15 @@ impl Searcher<'_> {
         }
         // Skip this caller.
         self.assign(
-            informed, round, callers, candidates, idx + 1, used_edges, receivers, chosen, rounds,
+            informed,
+            round,
+            callers,
+            candidates,
+            idx + 1,
+            used_edges,
+            receivers,
+            chosen,
+            rounds,
         )
     }
 }
@@ -395,10 +420,7 @@ mod tests {
     #[test]
     fn tiny_budget_reports_exhaustion() {
         let g = theorem1_tree(2);
-        assert_eq!(
-            solve_min_time(&g, 3, 2, 1),
-            SolveOutcome::BudgetExceeded
-        );
+        assert_eq!(solve_min_time(&g, 3, 2, 1), SolveOutcome::BudgetExceeded);
     }
 
     #[test]

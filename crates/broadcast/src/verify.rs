@@ -101,14 +101,20 @@ impl std::fmt::Display for Violation {
                 write!(f, "round {round}: hop {edge:?} is not an edge")
             }
             Self::SelfOverlap { round, edge } => {
-                write!(f, "round {round}: call reuses edge {edge:?} within its path")
+                write!(
+                    f,
+                    "round {round}: call reuses edge {edge:?} within its path"
+                )
             }
             Self::CallTooLong {
                 round,
                 caller,
                 len,
                 k,
-            } => write!(f, "round {round}: call from {caller} has length {len} > k = {k}"),
+            } => write!(
+                f,
+                "round {round}: call from {caller} has length {len} > k = {k}"
+            ),
             Self::UninformedCaller { round, caller } => {
                 write!(f, "round {round}: caller {caller} is not informed")
             }
@@ -456,7 +462,7 @@ mod tests {
             1,
             vec![
                 vec![vec![1, 0, 2]],
-                vec![vec![1, 0, 4], vec![2, 0, 4, /*unused*/]],
+                vec![vec![1, 0, 4], vec![2, 0, 4 /*unused*/]],
             ],
         );
         let err = verify_schedule(&o, &s, 2).unwrap_err();
@@ -529,7 +535,10 @@ mod tests {
         assert!(!r.is_minimum_time());
         assert!(matches!(
             verify_minimum_time(&o, &s, 1),
-            Err(StrictError::NotMinimumTime { rounds: 3, min_rounds: 2 })
+            Err(StrictError::NotMinimumTime {
+                rounds: 3,
+                min_rounds: 2
+            })
         ));
     }
 

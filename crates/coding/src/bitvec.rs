@@ -72,7 +72,10 @@ impl Gf2Vec {
         } else {
             self.bits & !(1u64 << i)
         };
-        Self { bits, len: self.len }
+        Self {
+            bits,
+            len: self.len,
+        }
     }
 
     /// `true` for the degenerate zero-length vector.

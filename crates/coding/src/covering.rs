@@ -11,7 +11,10 @@
 /// Panics if `code` is empty or `m > 20`.
 #[must_use]
 pub fn covering_radius(code: &[u64], m: u32) -> u32 {
-    assert!(!code.is_empty(), "covering radius of an empty set is undefined");
+    assert!(
+        !code.is_empty(),
+        "covering radius of an empty set is undefined"
+    );
     assert!(m <= 20, "brute-force covering radius capped at m = 20");
     let mut worst = 0u32;
     for word in 0..(1u64 << m) {

@@ -28,7 +28,10 @@ impl HammingCode {
     /// Panics outside the supported range.
     #[must_use]
     pub fn new(p: u32) -> Self {
-        assert!((2..=6).contains(&p), "HammingCode supports 2 <= p <= 6, got {p}");
+        assert!(
+            (2..=6).contains(&p),
+            "HammingCode supports 2 <= p <= 6, got {p}"
+        );
         Self { p }
     }
 
@@ -227,11 +230,7 @@ mod tests {
         for p in 2..=4u32 {
             let h = HammingCode::new(p);
             let m = h.block_len();
-            assert_eq!(
-                u64::from(m + 1) * h.num_codewords(),
-                1u64 << m,
-                "p = {p}"
-            );
+            assert_eq!(u64::from(m + 1) * h.num_codewords(), 1u64 << m, "p = {p}");
         }
     }
 

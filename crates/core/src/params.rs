@@ -30,7 +30,11 @@ pub fn predicted_max_degree(dims: &[u32]) -> u64 {
     assert!(dims.windows(2).all(|w| w[0] < w[1]), "bad dims {dims:?}");
     let mut total = u64::from(dims[0]);
     for l in 1..dims.len() {
-        let label_width = if l >= 2 { dims[l - 1] - dims[l - 2] } else { dims[0] };
+        let label_width = if l >= 2 {
+            dims[l - 1] - dims[l - 2]
+        } else {
+            dims[0]
+        };
         let lambda = constructed_lambda(label_width);
         total += u64::from((dims[l] - dims[l - 1]).div_ceil(lambda));
     }
@@ -102,8 +106,7 @@ fn search(k: u32, n: u32, prefix: &mut Vec<u32>, partial: u64, best: &mut ParamC
             prefix[0]
         };
         let lambda = constructed_lambda(label_width);
-        let total =
-            partial + u64::from((n - prefix[prefix.len() - 1]).div_ceil(lambda));
+        let total = partial + u64::from((n - prefix[prefix.len() - 1]).div_ceil(lambda));
         if total < best.max_degree {
             let mut dims = prefix.clone();
             dims.push(n);

@@ -29,7 +29,10 @@ impl DimPartition {
     pub fn balanced(lo: u32, hi: u32, num_subsets: u32) -> Self {
         assert!(hi >= lo, "invalid range ({lo}, {hi}]");
         assert!(num_subsets >= 1, "need at least one subset");
-        assert!(num_subsets <= u32::from(u16::MAX), "subset index must fit u16");
+        assert!(
+            num_subsets <= u32::from(u16::MAX),
+            "subset index must fit u16"
+        );
         let total = (hi - lo) as usize;
         let base = total / num_subsets as usize;
         let rem = total % num_subsets as usize;
@@ -122,7 +125,9 @@ impl DimPartition {
     /// All subsets, indexed by label.
     #[must_use]
     pub fn subsets(&self) -> Vec<Vec<u32>> {
-        (0..self.num_subsets as u16).map(|j| self.subset(j)).collect()
+        (0..self.num_subsets as u16)
+            .map(|j| self.subset(j))
+            .collect()
     }
 
     /// Size of the largest subset — the per-level degree contribution

@@ -165,8 +165,7 @@ mod tests {
         let n = 9u32;
         for u in 0..(1u64 << n) {
             for dim in 5..=n {
-                let path = route_to_cross_dim(&g, u, dim, 4, 2)
-                    .unwrap_or_else(|e| panic!("{e}"));
+                let path = route_to_cross_dim(&g, u, dim, 4, 2).unwrap_or_else(|e| panic!("{e}"));
                 assert!(path.len() <= 4, "call length <= 3, got {}", path.len() - 1);
                 // Hops before the last stay inside the copy (dims <= 4).
                 for wdw in path.windows(2).take(path.len() - 2) {

@@ -68,7 +68,10 @@ impl std::fmt::Display for StructureError {
             Self::EdgeCountMismatch {
                 formula,
                 materialized,
-            } => write!(f, "edge count: formula {formula} vs materialized {materialized}"),
+            } => write!(
+                f,
+                "edge count: formula {formula} vs materialized {materialized}"
+            ),
         }
     }
 }
@@ -155,7 +158,12 @@ mod tests {
 
     #[test]
     fn recursive_instances_validate() {
-        for dims in [vec![2u32, 4, 7], vec![2, 4, 9], vec![1, 3, 6, 10], vec![2, 4, 8, 13]] {
+        for dims in [
+            vec![2u32, 4, 7],
+            vec![2, 4, 9],
+            vec![1, 3, 6, 10],
+            vec![2, 4, 8, 13],
+        ] {
             let g = SparseHypercube::construct(&dims);
             validate_materialized(&g).unwrap_or_else(|e| panic!("{dims:?}: {e}"));
         }

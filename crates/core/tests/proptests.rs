@@ -13,9 +13,7 @@ fn arb_base() -> impl Strategy<Value = (u32, u32)> {
 fn arb_k3_dims() -> impl Strategy<Value = Vec<u32>> {
     (1u32..=4)
         .prop_flat_map(|n1| ((n1 + 1)..=6).prop_map(move |n2| (n1, n2)))
-        .prop_flat_map(|(n1, n2)| {
-            ((n2 + 1)..=11).prop_map(move |n| vec![n1, n2, n])
-        })
+        .prop_flat_map(|(n1, n2)| ((n2 + 1)..=11).prop_map(move |n| vec![n1, n2, n]))
 }
 
 proptest! {

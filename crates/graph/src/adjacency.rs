@@ -40,7 +40,10 @@ impl AdjGraph {
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: Node, v: Node) -> bool {
         let n = self.adj.len();
-        assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range {n}");
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge ({u},{v}) out of range {n}"
+        );
         if u == v {
             return false;
         }
@@ -103,7 +106,10 @@ impl AdjGraph {
     /// distinct vertex ids) together with the mapping `new_id -> old_id`.
     #[must_use]
     pub fn induced_subgraph(&self, keep: &[Node]) -> (AdjGraph, Vec<Node>) {
-        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep must be sorted+distinct");
+        debug_assert!(
+            keep.windows(2).all(|w| w[0] < w[1]),
+            "keep must be sorted+distinct"
+        );
         let mut new_id = vec![Node::MAX; self.adj.len()];
         for (i, &old) in keep.iter().enumerate() {
             new_id[old as usize] = i as Node;

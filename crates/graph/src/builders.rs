@@ -16,7 +16,10 @@ use rand::Rng;
 /// rule-based oracles in `shc-core` cover larger `n`).
 #[must_use]
 pub fn hypercube(n: u32) -> AdjGraph {
-    assert!(n <= 30, "materialized hypercube limited to n <= 30, got {n}");
+    assert!(
+        n <= 30,
+        "materialized hypercube limited to n <= 30, got {n}"
+    );
     let size = 1usize << n;
     let mut g = AdjGraph::with_vertices(size);
     for u in 0..size {

@@ -97,13 +97,7 @@ pub fn domatic_partition<G: GraphView>(g: &G, parts: usize) -> Option<Vec<u16>> 
     }
 }
 
-fn backtrack(
-    next: usize,
-    n: usize,
-    parts: u16,
-    closed: &[Vec<Node>],
-    assign: &mut [u16],
-) -> bool {
+fn backtrack(next: usize, n: usize, parts: u16, closed: &[Vec<Node>], assign: &mut [u16]) -> bool {
     if next == n {
         // Full assignment: verify every closed neighborhood hits every part.
         return (0..n).all(|u| neighborhood_ok(&closed[u], parts, assign));
@@ -114,7 +108,9 @@ fn backtrack(
     let limit = parts.min(used + 1);
     for part in 0..limit {
         assign[next] = part;
-        if prefix_feasible(next, parts, closed, assign) && backtrack(next + 1, n, parts, closed, assign) {
+        if prefix_feasible(next, parts, closed, assign)
+            && backtrack(next + 1, n, parts, closed, assign)
+        {
             return true;
         }
     }

@@ -49,7 +49,11 @@ fn norm(e: (Node, Node)) -> (Node, Node) {
 /// Renders `g` to DOT format.
 #[must_use]
 pub fn to_dot<G: GraphView>(g: &G, opts: &DotOptions) -> String {
-    let name = if opts.name.is_empty() { "G" } else { &opts.name };
+    let name = if opts.name.is_empty() {
+        "G"
+    } else {
+        &opts.name
+    };
     let mut out = String::with_capacity(64 + 32 * g.num_edges());
     writeln!(out, "graph \"{name}\" {{").unwrap();
     writeln!(out, "  node [shape=circle fontsize=10];").unwrap();
@@ -63,7 +67,11 @@ pub fn to_dot<G: GraphView>(g: &G, opts: &DotOptions) -> String {
             .cloned()
             .unwrap_or_else(|| v.to_string());
         if hi_v.contains(&v) {
-            writeln!(out, "  {v} [label=\"{label}\" style=filled fillcolor=lightblue];").unwrap();
+            writeln!(
+                out,
+                "  {v} [label=\"{label}\" style=filled fillcolor=lightblue];"
+            )
+            .unwrap();
         } else {
             writeln!(out, "  {v} [label=\"{label}\"];").unwrap();
         }

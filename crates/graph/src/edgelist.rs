@@ -60,7 +60,10 @@ pub fn to_edge_list<G: GraphView>(g: &G) -> String {
 /// Returns [`EdgeListError`] on malformed input, out-of-range endpoints, or
 /// an edge count that disagrees with the header.
 pub fn parse_edge_list(text: &str) -> Result<AdjGraph, EdgeListError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let (_, header) = lines
         .next()
         .ok_or_else(|| EdgeListError::BadHeader(String::new()))?;
@@ -93,10 +96,7 @@ pub fn parse_edge_list(text: &str) -> Result<AdjGraph, EdgeListError> {
         found += 1;
     }
     if found != m {
-        return Err(EdgeListError::CountMismatch {
-            expected: m,
-            found,
-        });
+        return Err(EdgeListError::CountMismatch { expected: m, found });
     }
     Ok(g)
 }

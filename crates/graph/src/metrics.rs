@@ -71,7 +71,11 @@ pub fn degree_stats<G: GraphView>(g: &G) -> DegreeStats {
     DegreeStats {
         min: g.min_degree(),
         max: g.max_degree(),
-        mean: if n == 0 { 0.0 } else { 2.0 * g.num_edges() as f64 / n as f64 },
+        mean: if n == 0 {
+            0.0
+        } else {
+            2.0 * g.num_edges() as f64 / n as f64
+        },
         num_vertices: n,
         num_edges: g.num_edges(),
     }

@@ -172,7 +172,11 @@ pub fn is_simple_edge_walk<G: GraphView>(g: &G, path: &[Node]) -> bool {
         if !g.has_edge(w[0], w[1]) {
             return false;
         }
-        let key = if w[0] < w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+        let key = if w[0] < w[1] {
+            (w[0], w[1])
+        } else {
+            (w[1], w[0])
+        };
         if !seen.insert(key) {
             return false;
         }
@@ -217,9 +221,9 @@ mod tests {
         let within = bfs_within(&g, 0, 2);
         // |B(0, 2)| in Q4 = 1 + 4 + 6 = 11.
         assert_eq!(within.len(), 11);
-        assert!(within.iter().all(|&(v, d)| {
-            d <= 2 && (v).count_ones() == d
-        }));
+        assert!(within
+            .iter()
+            .all(|&(v, d)| { d <= 2 && (v).count_ones() == d }));
         // Non-decreasing distance order.
         assert!(within.windows(2).all(|w| w[0].1 <= w[1].1));
     }

@@ -47,7 +47,10 @@ pub fn hamming_labeling(m: u32) -> Labeling {
 /// label and are simply redundant coverage.
 #[must_use]
 pub fn tiling_labeling(m: u32) -> Labeling {
-    assert!((1..=24).contains(&m), "tiling_labeling supports 1 <= m <= 24");
+    assert!(
+        (1..=24).contains(&m),
+        "tiling_labeling supports 1 <= m <= 24"
+    );
     let m_prime = largest_hamming_length(m);
     if m_prime == 1 {
         return Labeling::from_fn(m, 2, |u| (u & 1) as u16);

@@ -17,7 +17,10 @@ use shc_graph::domination;
 /// constructive value should be used instead.
 #[must_use]
 pub fn exact_lambda(m: u32) -> u32 {
-    assert!((1..=5).contains(&m), "exact_lambda supports 1 <= m <= 5, got {m}");
+    assert!(
+        (1..=5).contains(&m),
+        "exact_lambda supports 1 <= m <= 5, got {m}"
+    );
     let q = hypercube(m);
     domination::domatic_number(&q) as u32
 }

@@ -39,7 +39,11 @@ pub fn verify_condition_a(l: &Labeling) -> Result<(), ConditionAViolation> {
     let m = l.m();
     let lambda = l.num_labels();
     assert!(lambda <= 64, "verifier uses a 64-bit label mask");
-    let full: u64 = if lambda == 64 { u64::MAX } else { (1u64 << lambda) - 1 };
+    let full: u64 = if lambda == 64 {
+        u64::MAX
+    } else {
+        (1u64 << lambda) - 1
+    };
     for u in 0..(1u64 << m) {
         let mut seen = 1u64 << l.label_of(u);
         for i in 0..m {
@@ -109,7 +113,10 @@ mod tests {
     #[test]
     fn paper_example1_q3_satisfies_condition_a() {
         assert!(verify_condition_a(&example1_q3()).is_ok());
-        assert!(is_perfect_labeling(&example1_q3()), "λ = m+1 = 4 is perfect");
+        assert!(
+            is_perfect_labeling(&example1_q3()),
+            "λ = m+1 = 4 is perfect"
+        );
     }
 
     #[test]

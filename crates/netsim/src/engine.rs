@@ -311,7 +311,10 @@ mod tests {
         let mut sim = Engine::new(&net, 2);
         sim.begin_round();
         assert!(sim.request_path(&[1, 0, 2]).is_established());
-        assert!(sim.request_path(&[3, 0, 2]).is_established(), "dilated link");
+        assert!(
+            sim.request_path(&[3, 0, 2]).is_established(),
+            "dilated link"
+        );
         assert_eq!(
             sim.request_path(&[4, 0, 2]),
             Outcome::Blocked(BlockReason::Saturated)
@@ -358,10 +361,7 @@ mod tests {
         let mut sim = Engine::new(&net, 1);
         sim.begin_round();
         // Distance 0 -> 4 is 4; bound 3 cannot route.
-        assert_eq!(
-            sim.request(0, 4, 3),
-            Outcome::Blocked(BlockReason::NoRoute)
-        );
+        assert_eq!(sim.request(0, 4, 3), Outcome::Blocked(BlockReason::NoRoute));
         assert!(sim.request(0, 4, 4).is_established());
     }
 

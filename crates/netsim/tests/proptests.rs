@@ -40,7 +40,7 @@ proptest! {
                 let _ = sim.request(src, dst, 4);
             }
         }
-        for (_, &load) in sim.usage_snapshot() {
+        for &load in sim.usage_snapshot().values() {
             prop_assert!(load <= dilation, "link over capacity");
         }
         let stats = sim.finish();

@@ -39,10 +39,7 @@ fn main() {
             sources.insert(rng.gen_range(0..(1u64 << n)));
         }
         let sparse: Vec<Schedule> = sources.iter().map(|&s| broadcast_scheme(&g, s)).collect();
-        let cube: Vec<Schedule> = sources
-            .iter()
-            .map(|&s| hypercube_broadcast(n, s))
-            .collect();
+        let cube: Vec<Schedule> = sources.iter().map(|&s| hypercube_broadcast(n, s)).collect();
         for dilation in [1u32, 2, 4] {
             let sp = replay_competing(&g, &sparse, dilation);
             let qu = replay_competing(&q, &cube, dilation);

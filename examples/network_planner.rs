@@ -54,7 +54,10 @@ fn main() {
         }
     }
 
-    println!("\nhypercube baseline: Δ = {n}, edges = {}", u64::from(n) << (n - 1));
+    println!(
+        "\nhypercube baseline: Δ = {n}, edges = {}",
+        u64::from(n) << (n - 1)
+    );
     match chosen {
         Some((k, dims)) => {
             let g = SparseHypercube::construct(&dims);
@@ -67,8 +70,7 @@ fn main() {
             if n <= 16 {
                 // Demonstrate the design actually broadcasts in minimum time.
                 let schedule = broadcast_scheme(&g, 0);
-                let report =
-                    verify_minimum_time(&g, &schedule, k as usize).expect("scheme valid");
+                let report = verify_minimum_time(&g, &schedule, k as usize).expect("scheme valid");
                 println!(
                     "   verified: broadcast in {} rounds (minimum), longest call {}",
                     report.rounds, report.max_call_len

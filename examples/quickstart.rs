@@ -14,8 +14,14 @@ fn main() {
 
     println!("sparse hypercube G_{{15,3}}");
     println!("  vertices          : {}", stats.num_vertices);
-    println!("  max degree        : {} (Q_15: {})", stats.max_degree, stats.hypercube_degree);
-    println!("  edges             : {} (Q_15: {})", stats.num_edges, stats.hypercube_edges);
+    println!(
+        "  max degree        : {} (Q_15: {})",
+        stats.max_degree, stats.hypercube_degree
+    );
+    println!(
+        "  edges             : {} (Q_15: {})",
+        stats.num_edges, stats.hypercube_edges
+    );
     println!("  edges kept        : {:.1}%", 100.0 * stats.edge_ratio());
     println!("  paper upper bound : {}", stats.paper_upper_bound);
     println!("  paper lower bound : {}", stats.paper_lower_bound);
@@ -29,14 +35,25 @@ fn main() {
     let schedule = broadcast_scheme(&g, source);
     let report = verify_minimum_time(&g, &schedule, 2).expect("Theorem 4 says this validates");
     println!("\nbroadcast from {source:#017b}:");
-    println!("  rounds            : {} (minimum = {})", report.rounds, report.min_rounds);
+    println!(
+        "  rounds            : {} (minimum = {})",
+        report.rounds, report.min_rounds
+    );
     println!("  calls placed      : {}", report.total_calls);
-    println!("  longest call      : {} edges (k = 2)", report.max_call_len);
-    println!("  informed/round    : {:?}", &report.informed_after_round[..5]);
+    println!(
+        "  longest call      : {} edges (k = 2)",
+        report.max_call_len
+    );
+    println!(
+        "  informed/round    : {:?}",
+        &report.informed_after_round[..5]
+    );
 
     // The same schedule survives a physical circuit-switching replay.
     let sim = replay_schedule(&g, &schedule, 1);
-    println!("\ncircuit replay (dilation 1): {} established, {} blocked",
-        sim.established, sim.blocked);
+    println!(
+        "\ncircuit replay (dilation 1): {} established, {} blocked",
+        sim.established, sim.blocked
+    );
     assert_eq!(sim.blocked, 0, "valid schedules never block");
 }

@@ -1,0 +1,78 @@
+//! Offline stand-in for `crossbeam`'s scoped threads, backed by
+//! `std::thread::scope`.
+//!
+//! Mirrors the `crossbeam::scope(|s| { s.spawn(|_| …); })` call shape. One
+//! behavioral difference: if a spawned worker panics, `std::thread::scope`
+//! re-raises the panic instead of returning `Err`, so the customary
+//! `.expect("worker panicked")` on the result still reports the failure —
+//! just as a propagated panic rather than a formatted `Err`.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// Scope handle passed to the closure of [`scope`], mirroring
+/// `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped worker. The closure receives the scope itself
+    /// (crossbeam's signature) so workers may spawn sub-workers.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a [`Scope`]; all spawned workers are joined before this
+/// returns. Mirrors `crossbeam::scope`.
+///
+/// # Errors
+/// The `Ok`-always result mirrors crossbeam's signature; worker panics
+/// propagate as panics (see module docs).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Alias module so `crossbeam::thread::scope` also resolves.
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_sum() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::Mutex::new(0u64);
+        super::scope(|s| {
+            for &x in &data {
+                let total = &total;
+                s.spawn(move |_| {
+                    *total.lock().unwrap() += x;
+                });
+            }
+        })
+        .expect("worker panicked");
+        assert_eq!(total.into_inner().unwrap(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| 1 + 1);
+            });
+        })
+        .expect("worker panicked");
+    }
+}

@@ -1,0 +1,501 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! provides the `serde` API shape the workspace relies on — the
+//! [`Serialize`] / [`Deserialize`] traits (manual impls and derives), the
+//! [`Serializer`] / [`Deserializer`] trait pair with their `Ok`/`Error`
+//! associated types, and `serde::{ser,de}::Error` — implemented over a
+//! self-describing [`Value`] tree instead of serde's visitor machinery.
+//! `serde_json` (also shimmed) renders and parses that tree.
+//!
+//! Limitations vs real serde: data must fit the [`Value`] model (no
+//! zero-copy, no streaming), and the derive supports named-field structs
+//! only — which covers every serialized type in this workspace.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing data tree that serialization lowers into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer (fits `u64`).
+    UInt(u64),
+    /// Negative integer (fits `i64`).
+    Int(i64),
+    /// Finite float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered key–value map (field order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Error produced when lowering to / lifting from [`Value`] fails.
+#[derive(Clone, Debug)]
+pub struct ValueError(pub String);
+
+impl Display for ValueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+pub mod ser {
+    //! Serialization-side error trait, mirroring `serde::ser`.
+
+    use std::fmt::Display;
+
+    /// Mirrors `serde::ser::Error`.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    //! Deserialization-side error trait and helpers, mirroring `serde::de`.
+
+    use super::{Deserialize, Value, ValueError};
+    use std::fmt::Display;
+
+    /// Mirrors `serde::de::Error`.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Removes and deserializes field `name` from a decoded object's
+    /// entries. Used by derive-generated `Deserialize` impls.
+    ///
+    /// # Errors
+    /// Fails if the field is missing or its value does not deserialize.
+    pub fn take_field<T, E>(entries: &mut Vec<(String, Value)>, name: &str) -> Result<T, E>
+    where
+        T: for<'de> Deserialize<'de>,
+        E: Error,
+    {
+        let idx = entries
+            .iter()
+            .position(|(k, _)| k == name)
+            .ok_or_else(|| E::custom(format!("missing field `{name}`")))?;
+        let (_, value) = entries.swap_remove(idx);
+        crate::from_value(value).map_err(|e: ValueError| E::custom(format!("field `{name}`: {e}")))
+    }
+}
+
+/// Mirrors `serde::Serializer`: a sink the [`Value`] tree is handed to.
+pub trait Serializer: Sized {
+    /// Successful output of the sink.
+    type Ok;
+    /// Error type of the sink.
+    type Error: ser::Error;
+
+    /// Consumes a fully built [`Value`].
+    ///
+    /// # Errors
+    /// Propagates sink failures.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Mirrors `serde::Deserializer`: a source yielding one [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the source.
+    type Error: de::Error;
+
+    /// Produces the decoded [`Value`].
+    ///
+    /// # Errors
+    /// Propagates source failures (e.g. a syntax error).
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Mirrors `serde::Serialize`.
+pub trait Serialize {
+    /// Lowers `self` into `serializer`.
+    ///
+    /// # Errors
+    /// Propagates serializer failures.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Mirrors `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {
+    /// Lifts a value out of `deserializer`.
+    ///
+    /// # Errors
+    /// Fails on shape or range mismatches.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// [`Serializer`] that simply yields the built [`Value`].
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// [`Deserializer`] reading from an in-memory [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn into_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Lowers any [`Serialize`] type to a [`Value`].
+///
+/// # Errors
+/// Propagates serialization failures.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Lifts any [`Deserialize`] type from a [`Value`].
+///
+/// # Errors
+/// Fails on shape or range mismatches.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::UInt(*self as u64))
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = i64::from(*self);
+                let value = if v >= 0 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v)
+                };
+                serializer.serialize_value(value)
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(f64::from(*self)))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+fn seq_to_value<'a, T, I, S>(items: I, serializer: S) -> Result<S::Ok, S::Error>
+where
+    T: Serialize + 'a,
+    I: Iterator<Item = &'a T>,
+    S: Serializer,
+{
+    let mut out = Vec::new();
+    for item in items {
+        out.push(to_value(item).map_err(<S::Error as ser::Error>::custom)?);
+    }
+    serializer.serialize_value(Value::Array(out))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        seq_to_value(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        seq_to_value(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<[T]> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        seq_to_value(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(to_value(&self.$idx).map_err(<S::Error as ser::Error>::custom)?,)+
+                ];
+                serializer.serialize_value(Value::Array(items))
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (T0.0, T1.1, T2.2, T3.3)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------------
+
+fn type_error<E: de::Error>(expected: &str, got: &Value) -> E {
+    E::custom(format!("expected {expected}, found {}", got.kind()))
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(type_error("bool", &other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.into_value()? {
+                    Value::UInt(x) => <$t>::try_from(x).map_err(|_| {
+                        <D::Error as de::Error>::custom(format!(
+                            "integer {x} out of range for {}", stringify!($t)
+                        ))
+                    }),
+                    other => Err(type_error("unsigned integer", &other)),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let out_of_range = |x: &dyn Display| {
+                    <D::Error as de::Error>::custom(format!(
+                        "integer {x} out of range for {}", stringify!($t)
+                    ))
+                };
+                match deserializer.into_value()? {
+                    Value::UInt(x) => <$t>::try_from(x).map_err(|_| out_of_range(&x)),
+                    Value::Int(x) => <$t>::try_from(x).map_err(|_| out_of_range(&x)),
+                    other => Err(type_error("integer", &other)),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Float(x) => Ok(x),
+            Value::UInt(x) => Ok(x as f64),
+            Value::Int(x) => Ok(x as f64),
+            other => Err(type_error("number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(type_error("string", &other)),
+        }
+    }
+}
+
+fn array_items<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Vec<Value>, D::Error> {
+    match deserializer.into_value()? {
+        Value::Array(items) => Ok(items),
+        other => Err(type_error("array", &other)),
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        array_items(deserializer)?
+            .into_iter()
+            .map(|v| from_value(v).map_err(<D::Error as de::Error>::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Box<[T]> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(Vec::into_boxed_slice)
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Null => Ok(None),
+            v => from_value(v)
+                .map(Some)
+                .map_err(<D::Error as de::Error>::custom),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal; $($name:ident),+))*) => {$(
+        impl<'de, $($name: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let items = array_items(deserializer)?;
+                if items.len() != $len {
+                    return Err(<D::Error as de::Error>::custom(format!(
+                        "expected array of length {}, found {}", $len, items.len()
+                    )));
+                }
+                let mut iter = items.into_iter();
+                Ok(($(
+                    from_value::<$name>(iter.next().expect("length checked"))
+                        .map_err(<D::Error as de::Error>::custom)?,
+                )+))
+            }
+        }
+    )*};
+}
+impl_deserialize_tuple! {
+    (1; A)
+    (2; A, B)
+    (3; A, B, C)
+    (4; T0, T1, T2, T3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(from_value::<u32>(to_value(&7u32).unwrap()).unwrap(), 7);
+        assert_eq!(from_value::<i64>(to_value(&-3i64).unwrap()).unwrap(), -3);
+        assert_eq!(from_value::<f64>(to_value(&1.5f64).unwrap()).unwrap(), 1.5);
+        assert_eq!(from_value::<String>(to_value("hi").unwrap()).unwrap(), "hi");
+        assert_eq!(
+            from_value::<Vec<(u32, u32)>>(to_value(&vec![(1u32, 2u32)]).unwrap()).unwrap(),
+            vec![(1, 2)]
+        );
+    }
+
+    #[test]
+    fn range_checks_fail() {
+        assert!(from_value::<u8>(Value::UInt(300)).is_err());
+        assert!(from_value::<u32>(Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn boxed_slice_round_trip() {
+        let b: Box<[u64]> = vec![1, 2, 3].into_boxed_slice();
+        let v = to_value(&b).unwrap();
+        assert_eq!(from_value::<Box<[u64]>>(v).unwrap(), b);
+    }
+}

@@ -1,0 +1,186 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Registry access is unavailable, so `syn`/`quote` cannot be used; the
+//! input item is parsed directly from the token stream. Supported shape:
+//! non-generic structs with named fields — which covers every
+//! `#[derive(Serialize, Deserialize)]` site in this workspace. Anything
+//! else produces a `compile_error!` explaining the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the serde shim's `Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the serde shim's `Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&str, &[String]) -> String) -> TokenStream {
+    match parse_named_struct(input) {
+        Ok((name, fields)) => gen(&name, &fields)
+            .parse()
+            .expect("generated impl must tokenize"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error message must tokenize"),
+    }
+}
+
+fn gen_serialize(name: &str, fields: &[String]) -> String {
+    let mut body = String::from("let mut entries = Vec::new();\n");
+    for f in fields {
+        body.push_str(&format!(
+            "entries.push(({f:?}.to_string(), ::serde::to_value(&self.{f})\
+             .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?));\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+               -> ::core::result::Result<S::Ok, S::Error> {{\n\
+             {body}\
+             serializer.serialize_value(::serde::Value::Object(entries))\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, fields: &[String]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        body.push_str(&format!(
+            "{f}: ::serde::de::take_field(&mut entries, {f:?})?,\n"
+        ));
+    }
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+           fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+               -> ::core::result::Result<Self, D::Error> {{\n\
+             let mut entries = match deserializer.into_value()? {{\n\
+               ::serde::Value::Object(entries) => entries,\n\
+               other => return Err(<D::Error as ::serde::de::Error>::custom(\n\
+                 format!(\"{name}: expected object, found {{:?}}\", other))),\n\
+             }};\n\
+             Ok({name} {{ {body} }})\n\
+           }}\n\
+         }}"
+    )
+}
+
+/// Extracts `(struct_name, field_names)` from a non-generic named-field
+/// struct item.
+fn parse_named_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        other => {
+            return Err(format!(
+                "serde shim derive supports structs only, found {other:?}"
+            ))
+        }
+    }
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "serde shim derive does not support generic struct `{name}`"
+            ))
+        }
+        _ => {
+            return Err(format!(
+                "serde shim derive supports named-field structs only (`{name}`)"
+            ))
+        }
+    };
+
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    'fields: loop {
+        // Skip field attributes and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                None => break 'fields,
+                _ => break,
+            }
+        }
+
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => return Err(format!("expected field name in `{name}`, found {other:?}")),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` in `{name}`, found {other:?}")),
+        }
+
+        // Consume the type: tokens until a comma at angle-bracket depth 0.
+        // Commas inside (), [], {} are invisible here (grouped tokens);
+        // only `<...>` nesting needs explicit tracking.
+        let mut angle_depth = 0i32;
+        loop {
+            match toks.peek() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) => {
+                    match p.as_char() {
+                        '<' => angle_depth += 1,
+                        '>' => angle_depth -= 1,
+                        ',' if angle_depth == 0 => {
+                            toks.next();
+                            continue 'fields;
+                        }
+                        _ => {}
+                    }
+                    toks.next();
+                }
+                Some(_) => {
+                    toks.next();
+                }
+            }
+        }
+    }
+
+    Ok((name, fields))
+}

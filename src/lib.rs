@@ -50,8 +50,8 @@ pub use shc_netsim as netsim;
 /// The most common imports in one place.
 pub mod prelude {
     pub use shc_broadcast::{
-        broadcast_scheme, hypercube_broadcast, solve_min_time, star_broadcast,
-        tree_line_broadcast, verify_minimum_time, verify_schedule, Schedule, SolveOutcome,
+        broadcast_scheme, hypercube_broadcast, solve_min_time, star_broadcast, tree_line_broadcast,
+        verify_minimum_time, verify_schedule, Schedule, SolveOutcome,
     };
     pub use shc_core::{bounds, params, DimPartition, ShcStats, SparseHypercube};
     pub use shc_graph::prelude::*;

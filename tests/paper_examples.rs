@@ -85,10 +85,8 @@ fn example4() {
 /// construction uses an equally valid but different Condition-A labeling).
 #[test]
 fn examples5_and_6() {
-    let g = SparseHypercube::construct_with(
-        &[2, 4, 7],
-        &[paper_example1_q2(), paper_example1_q2()],
-    );
+    let g =
+        SparseHypercube::construct_with(&[2, 4, 7], &[paper_example1_q2(), paper_example1_q2()]);
     let top = &g.levels()[1];
     // Example 5: g(x00y) = g(x11y) and g(x01y) = g(x10y) — the label reads
     // only bits (2,4], via a Condition-A labeling of Q2.

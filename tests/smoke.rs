@@ -1,0 +1,52 @@
+//! Tier-1 smoke guard: the paper's Example 3 invariants, kept fast so they
+//! run on every PR even when heavier suites are filtered out.
+//!
+//! `G_{15,3}` (Example 3, `Construct_BASE(15, 3)`) must keep max degree 6 —
+//! exactly Lemma 1's `⌈(n−m)/λ_m⌉ + m`, inside Theorem 5's k = 2 bound,
+//! with Theorem 7's general `(2k−1)·⌈(n−k)^(1/k)⌉` holding at k = 3 —
+//! and broadcast from any source in exactly `log2 N` rounds.
+
+use sparse_hypercube::core::bounds::{lemma1_upper_bound, thm5_upper_bound, thm7_upper_bound};
+use sparse_hypercube::labeling::best_labeling;
+use sparse_hypercube::prelude::*;
+
+#[test]
+fn example3_degree_is_six_and_obeys_degree_formulas() {
+    let g = SparseHypercube::construct_base(15, 3);
+    assert_eq!(g.max_degree(), 6, "Example 3: Δ(G_{{15,3}}) = 6");
+    // Lemma 1 is tight here: ⌈(15−3)/λ_3⌉ + 3 with λ_3 = 4 labels.
+    let lambda = best_labeling(3).num_labels();
+    assert_eq!(lambda, 4);
+    assert_eq!(lemma1_upper_bound(15, 3, lambda), 6);
+    // Theorem 5's k = 2 bound dominates: 2·⌈√(2n+4)⌉ − 4 = 8.
+    assert_eq!(thm5_upper_bound(15), 8);
+    assert!((g.max_degree() as u64) <= thm5_upper_bound(15));
+    // And the general k ≥ 3 formula (2k−1)·⌈(n−k)^(1/k)⌉ stays sane.
+    assert_eq!(thm7_upper_bound(3, 15), 5 * 3);
+    // The whole point of the construction: far sparser than Q_15 itself.
+    assert!(g.max_degree() < 15);
+}
+
+#[test]
+fn example3_broadcasts_in_log2_n_rounds() {
+    let g = SparseHypercube::construct_base(15, 3);
+    let n = 15usize; // log2 |V| = log2 2^15
+    for source in [0u64, 1, 0b101, (1 << 15) - 1] {
+        let schedule = broadcast_scheme(&g, source);
+        let report = verify_minimum_time(&g, &schedule, 2)
+            .unwrap_or_else(|e| panic!("source {source}: {e}"));
+        assert_eq!(report.rounds, n, "source {source}: minimum-time rounds");
+        assert!(report.is_minimum_time());
+    }
+}
+
+#[test]
+fn smallest_interesting_instance_stays_sane() {
+    // G_{4,2} from Example 4: cheap enough to run everywhere, catches
+    // regressions in construct → schedule → verify wiring instantly.
+    let g = SparseHypercube::construct_base(4, 2);
+    let schedule = broadcast_scheme(&g, 0);
+    let report = verify_minimum_time(&g, &schedule, 2).expect("valid schedule");
+    assert_eq!(report.rounds, 4);
+    assert_eq!(report.total_calls as u64, g.num_vertices() - 1);
+}
