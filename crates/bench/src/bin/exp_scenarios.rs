@@ -1,0 +1,166 @@
+//! Runs the `shc-runtime` built-in scenario catalog: originator sweeps,
+//! Monte Carlo fault injection, hot-spot traffic, and dilated multiedge
+//! networks, executed across all cores on the work-stealing executor.
+//!
+//! Flags:
+//! * `--list`          — print the catalog and exit.
+//! * `--only NAME`     — run a single scenario by name.
+//! * `--fast`          — reduced sizes (debug-build / CI friendly).
+//! * `--threads N`     — worker threads (default: all cores).
+//! * `--json PATH`     — dump all reports as JSON.
+//! * `--seed-check`    — re-run everything single-threaded and fail if
+//!   any aggregate differs (the determinism guarantee, end to end).
+
+use shc_runtime::{available_threads, builtin_catalog, run_scenario, ScenarioReport};
+
+fn print_report(report: &ScenarioReport, elapsed: std::time::Duration) {
+    let rounds = report.metric("rounds").expect("rounds metric");
+    let peak = report.metric("peak_link_load").expect("peak metric");
+    let severed = report.metric("severed_calls").expect("severed metric");
+    println!(
+        "{:<22} {:<9} {:<16} {:>8} {:>9.1}% {:>9.1}% {:>5}/{:<5} {:>5} {:>8} {:>9}",
+        report.scenario,
+        report.topology,
+        report.workload,
+        report.replications,
+        100.0 * report.blocking_rate,
+        100.0 * report.mean_informed_fraction,
+        rounds.p50,
+        rounds.max,
+        peak.p99,
+        format!("{:.2}", severed.mean),
+        format!("{:.0?}", elapsed),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fast = false;
+    let mut list = false;
+    let mut seed_check = false;
+    let mut threads = 0usize; // 0 = all cores
+    let mut only: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fast" => fast = true,
+            "--list" => list = true,
+            "--seed-check" => seed_check = true,
+            "--threads" => {
+                i += 1;
+                threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--only" => {
+                i += 1;
+                only = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--only needs a scenario name (try --list)");
+                    std::process::exit(2);
+                }));
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut catalog = builtin_catalog(fast);
+    if let Some(name) = &only {
+        catalog.retain(|s| &s.name == name);
+        if catalog.is_empty() {
+            eprintln!("no scenario named `{name}` (try --list)");
+            std::process::exit(2);
+        }
+    }
+    if list {
+        println!(
+            "{:<22} {:<9} {:<16} {:>8} {:>6}",
+            "scenario", "topology", "workload", "replicas", "seed"
+        );
+        for s in &catalog {
+            println!(
+                "{:<22} {:<9} {:<16} {:>8} {:>6x}",
+                s.name,
+                s.topology.label(),
+                s.workload.label(),
+                s.replications,
+                s.seed
+            );
+        }
+        return;
+    }
+
+    let workers = if threads == 0 {
+        available_threads()
+    } else {
+        threads
+    };
+    println!(
+        "scenario catalog ({} scenarios, {} worker threads{})",
+        catalog.len(),
+        workers,
+        if fast { ", fast sizes" } else { "" }
+    );
+    println!(
+        "{:<22} {:<9} {:<16} {:>8} {:>10} {:>10} {:>11} {:>5} {:>8} {:>9}",
+        "scenario",
+        "topology",
+        "workload",
+        "replicas",
+        "blocked",
+        "informed",
+        "rounds p50/max",
+        "p99pk",
+        "severed",
+        "elapsed"
+    );
+
+    let mut reports: Vec<ScenarioReport> = Vec::new();
+    let mut determinism_ok = true;
+    for scenario in &catalog {
+        let started = std::time::Instant::now();
+        let report = run_scenario(scenario, threads);
+        print_report(&report, started.elapsed());
+        if seed_check {
+            let single = run_scenario(scenario, 1);
+            if single != report {
+                eprintln!("DETERMINISM VIOLATION in `{}`", scenario.name);
+                determinism_ok = false;
+            }
+        }
+        reports.push(report);
+    }
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&reports).unwrap()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("JSON written to {path}");
+    }
+    if seed_check {
+        println!(
+            "seed check: {}",
+            if determinism_ok {
+                "1-thread == N-thread for every scenario"
+            } else {
+                "FAILED"
+            }
+        );
+        if !determinism_ok {
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! The experiment registry: every figure/table/theorem reproduction,
-//! keyed E1–E20 as indexed in DESIGN.md (E19/E20 are extensions).
+//! keyed E1–E22 as indexed in DESIGN.md (E19–E22 are extensions; E21/E22
+//! run on the `shc-runtime` parallel scenario engine).
 
 pub mod bounds_exp;
 pub mod compare_exp;
@@ -75,10 +76,12 @@ pub fn run_all(cfg: &RunConfig) -> Vec<Experiment> {
         schemes_exp::e18_monotonicity(),
         robustness_exp::e19_fault_tolerance(cfg.congestion_n, 3, 0xC0FFEE),
         robustness_exp::e20_ablation(),
+        congestion_exp::e21_runtime_congestion(cfg.congestion_n, 3, 0xC0FFEE, cfg.threads),
+        robustness_exp::e22_runtime_robustness(cfg.congestion_n, 3, 0xC0FFEE, cfg.threads),
     ]
 }
 
-/// Runs a single experiment by id (`"E1"`, …, `"E20"`); `None` for an
+/// Runs a single experiment by id (`"E1"`, …, `"E22"`); `None` for an
 /// unknown id.
 #[must_use]
 pub fn run_one(id: &str, cfg: &RunConfig) -> Option<Experiment> {
@@ -103,6 +106,8 @@ pub fn run_one(id: &str, cfg: &RunConfig) -> Option<Experiment> {
         "E18" => schemes_exp::e18_monotonicity(),
         "E19" => robustness_exp::e19_fault_tolerance(cfg.congestion_n, 3, 0xC0FFEE),
         "E20" => robustness_exp::e20_ablation(),
+        "E21" => congestion_exp::e21_runtime_congestion(cfg.congestion_n, 3, 0xC0FFEE, cfg.threads),
+        "E22" => robustness_exp::e22_runtime_robustness(cfg.congestion_n, 3, 0xC0FFEE, cfg.threads),
         _ => return None,
     };
     Some(e)

@@ -1,14 +1,18 @@
 //! # shc-bench — experiment harness and benchmarks
 //!
 //! Regenerates every figure, worked example, and theorem-backed table of
-//! the paper, plus the robustness/ablation extensions (experiments E1–E20, indexed in DESIGN.md), and hosts the
-//! criterion benchmarks. Binaries:
+//! the paper, plus the robustness/ablation/scenario extensions
+//! (experiments E1–E22, indexed in DESIGN.md), and hosts the criterion
+//! benchmarks. Binaries:
 //!
 //! * `exp_all` — run all experiments (or `--only E10 …`), print tables,
 //!   exit nonzero on any FAIL; `--json PATH` dumps machine-readable
 //!   results.
 //! * `exp_figures` — emit DOT renderings of Figs. 1–4.
 //! * `exp_congestion` — the §5 congestion extension in detail.
+//! * `exp_scenarios` — the `shc-runtime` built-in scenario catalog:
+//!   originator sweeps, Monte Carlo fault injection, hot-spot traffic,
+//!   dilated networks, executed across all cores.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

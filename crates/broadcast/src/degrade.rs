@@ -1,0 +1,174 @@
+//! Schedule replay under *degraded* topologies.
+//!
+//! A schedule computed on an intact graph meets reality only at execution
+//! time: by then links may have failed and nodes crashed. This module
+//! replays a fixed schedule against a liveness predicate and accounts for
+//! the cascade — a call is **severed** when one of its edges is dead, and
+//! every later call placed by a vertex that never got informed is **void**
+//! (its caller has nothing to forward). The result quantifies how much of
+//! the broadcast actually lands, which the robustness experiments and the
+//! `shc-runtime` fault scenarios aggregate over Monte Carlo fault draws.
+
+use crate::model::{Schedule, Vertex};
+use std::collections::HashSet;
+
+/// Outcome of replaying one schedule over a damaged topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradeReport {
+    /// Vertices that actually received the message (source included).
+    pub informed: HashSet<Vertex>,
+    /// Calls delivered intact.
+    pub delivered_calls: usize,
+    /// Calls lost because an edge on their path is dead.
+    pub severed_calls: usize,
+    /// Calls voided because their caller was never informed (the cascade
+    /// of an earlier severed call).
+    pub voided_calls: usize,
+    /// 1 + index of the last round that delivered anything (0 when the
+    /// whole schedule was lost).
+    pub rounds_used: usize,
+}
+
+impl DegradeReport {
+    /// Fraction of `total_vertices` informed at the end.
+    #[must_use]
+    pub fn informed_fraction(&self, total_vertices: u64) -> f64 {
+        if total_vertices == 0 {
+            0.0
+        } else {
+            self.informed.len() as f64 / total_vertices as f64
+        }
+    }
+
+    /// `true` iff every call was delivered (an undamaged replay).
+    #[must_use]
+    pub fn is_lossless(&self) -> bool {
+        self.severed_calls == 0 && self.voided_calls == 0
+    }
+}
+
+/// Replays `schedule` over a topology described by `edge_alive`: a call
+/// delivers iff its caller is informed and every hop of its path is alive.
+/// Crashed nodes are expressed through the predicate (all incident edges
+/// dead); an unreachable receiver then stays uninformed and its own later
+/// calls void.
+pub fn replay_degraded<F>(schedule: &Schedule, mut edge_alive: F) -> DegradeReport
+where
+    F: FnMut(Vertex, Vertex) -> bool,
+{
+    let mut informed: HashSet<Vertex> = HashSet::new();
+    informed.insert(schedule.source);
+    let mut report = DegradeReport {
+        informed: HashSet::new(),
+        delivered_calls: 0,
+        severed_calls: 0,
+        voided_calls: 0,
+        rounds_used: 0,
+    };
+    for (t, round) in schedule.rounds.iter().enumerate() {
+        // Receivers informed this round only become callers next round —
+        // matching Definition 1's synchronous semantics — so collect them
+        // aside and merge after the round closes.
+        let mut newly = Vec::new();
+        for call in &round.calls {
+            if !informed.contains(&call.caller()) {
+                report.voided_calls += 1;
+                continue;
+            }
+            if call.path.windows(2).all(|w| edge_alive(w[0], w[1])) {
+                report.delivered_calls += 1;
+                report.rounds_used = t + 1;
+                newly.push(call.receiver());
+            } else {
+                report.severed_calls += 1;
+            }
+        }
+        informed.extend(newly);
+    }
+    report.informed = informed;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Call, Round};
+
+    /// 0 → 1 in round 1; {0 → 2, 1 → 3} in round 2 (a Q_2 broadcast).
+    fn doubling_schedule() -> Schedule {
+        Schedule {
+            source: 0,
+            rounds: vec![
+                Round {
+                    calls: vec![Call::new(vec![0, 1])],
+                },
+                Round {
+                    calls: vec![Call::new(vec![0, 2]), Call::new(vec![1, 3])],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn undamaged_replay_is_lossless() {
+        let s = doubling_schedule();
+        let r = replay_degraded(&s, |_, _| true);
+        assert!(r.is_lossless());
+        assert_eq!(r.delivered_calls, 3);
+        assert_eq!(r.rounds_used, 2);
+        assert_eq!(r.informed.len(), 4);
+        assert!((r.informed_fraction(4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn severed_call_cascades_to_void() {
+        let s = doubling_schedule();
+        // Kill edge {0,1}: round 1 is severed, so vertex 1's round-2 call
+        // to 3 is void — 3 never hears, even though edge {1,3} is alive.
+        let r = replay_degraded(&s, |u, v| (u, v) != (0, 1) && (v, u) != (0, 1));
+        assert_eq!(r.severed_calls, 1);
+        assert_eq!(r.voided_calls, 1);
+        assert_eq!(r.delivered_calls, 1);
+        assert_eq!(r.informed, HashSet::from([0, 2]));
+        assert_eq!(r.rounds_used, 2);
+    }
+
+    #[test]
+    fn same_round_receiver_cannot_relay_yet() {
+        // 0 → 1 and 1 → 2 in the *same* round: 1 is not yet informed when
+        // it places its call, so the relay voids (synchronous semantics).
+        let s = Schedule {
+            source: 0,
+            rounds: vec![Round {
+                calls: vec![Call::new(vec![0, 1]), Call::new(vec![1, 2])],
+            }],
+        };
+        let r = replay_degraded(&s, |_, _| true);
+        assert_eq!(r.delivered_calls, 1);
+        assert_eq!(r.voided_calls, 1);
+        assert!(!r.informed.contains(&2));
+    }
+
+    #[test]
+    fn total_damage_informs_only_source() {
+        let s = doubling_schedule();
+        let r = replay_degraded(&s, |_, _| false);
+        assert_eq!(r.informed, HashSet::from([0]));
+        assert_eq!(r.rounds_used, 0);
+        assert_eq!(r.severed_calls, 2);
+        assert_eq!(r.voided_calls, 1, "vertex 1 never informed");
+    }
+
+    #[test]
+    fn multi_hop_call_severed_by_middle_edge() {
+        let s = Schedule {
+            source: 0,
+            rounds: vec![Round {
+                calls: vec![Call::new(vec![0, 1, 2])],
+            }],
+        };
+        let r = replay_degraded(&s, |u, v| (u.min(v), u.max(v)) != (1, 2));
+        assert_eq!(r.severed_calls, 1);
+        assert!(!r.informed.contains(&2));
+    }
+}

@@ -6,17 +6,20 @@
 //! `<= k`, informed callers, `ceil(log2 N)` rounds), and the [`schemes`]
 //! module generates the paper's broadcast schemes plus baselines. An exact
 //! search ([`solver`]) cross-checks tiny instances independently of the
-//! constructions.
+//! constructions, and [`degrade`] replays fixed schedules over damaged
+//! topologies for the robustness/fault-injection studies.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod degrade;
 pub mod model;
 pub mod oracle;
 pub mod schemes;
 pub mod solver;
 pub mod verify;
 
+pub use degrade::{replay_degraded, DegradeReport};
 pub use model::{Call, Round, Schedule, Vertex};
 pub use oracle::{EdgeOracle, GraphOracle};
 pub use schemes::{broadcast_scheme, hypercube_broadcast, star_broadcast, tree_line_broadcast};

@@ -147,6 +147,24 @@ impl<'a, T: NetTopology> Engine<'a, T> {
         }
     }
 
+    /// Changes the per-link capacity from the next admission on — the
+    /// fault-injection hook for mid-run dilation shifts (a dilated link
+    /// bank coming online, or degrading to fewer circuits per link).
+    /// Circuits already admitted this round are not re-evaluated.
+    ///
+    /// # Panics
+    /// Panics if `dilation == 0`.
+    pub fn set_dilation(&mut self, dilation: u32) {
+        assert!(dilation >= 1, "links need capacity >= 1");
+        self.dilation = dilation;
+    }
+
+    /// Current per-link capacity.
+    #[must_use]
+    pub fn dilation(&self) -> u32 {
+        self.dilation
+    }
+
     /// Starts a new time unit: all circuits from the previous round are
     /// torn down.
     pub fn begin_round(&mut self) {
@@ -395,5 +413,44 @@ mod tests {
         let net = MaterializedNet::new(cycle(4));
         let mut sim = Engine::new(&net, 1);
         let _ = sim.request_path(&[0, 1]);
+    }
+
+    #[test]
+    fn mid_run_dilation_shift() {
+        let net = MaterializedNet::new(star(5));
+        let mut sim = Engine::new(&net, 1);
+        assert_eq!(sim.dilation(), 1);
+        sim.begin_round();
+        assert!(sim.request_path(&[1, 0, 2]).is_established());
+        assert!(!sim.request_path(&[3, 0, 2]).is_established());
+        // The link bank widens mid-run: the same contention now fits.
+        sim.set_dilation(2);
+        assert!(sim.request_path(&[3, 0, 2]).is_established());
+        sim.begin_round();
+        // And narrows again: back to single-circuit links.
+        sim.set_dilation(1);
+        assert!(sim.request_path(&[1, 0, 2]).is_established());
+        assert!(!sim.request_path(&[3, 0, 2]).is_established());
+        let stats = sim.finish();
+        assert_eq!(stats.established, 3);
+        assert_eq!(stats.blocked, 2);
+    }
+
+    #[test]
+    fn engine_over_faulted_topology_blocks_dead_links() {
+        use crate::topology::FaultedNet;
+        let net = MaterializedNet::new(cycle(4));
+        let damaged = FaultedNet::new(&net, [(0u64, 1u64)], []);
+        let mut sim = Engine::new(&damaged, 1);
+        sim.begin_round();
+        assert_eq!(
+            sim.request_path(&[0, 1]),
+            Outcome::Blocked(BlockReason::NotAnEdge((0, 1)))
+        );
+        // Adaptive routing detours around the failure.
+        match sim.request(0, 1, 3) {
+            Outcome::Established(p) => assert_eq!(p, vec![0, 3, 2, 1]),
+            other => panic!("expected detour, got {other:?}"),
+        }
     }
 }

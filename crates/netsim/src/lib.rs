@@ -10,8 +10,10 @@
 //! permutations.
 //!
 //! * [`topology`] — the [`NetTopology`] interface (sparse hypercubes and
-//!   materialized graphs).
-//! * [`engine`] — the circuit engine: rounds, admission, blocking, stats.
+//!   materialized graphs) plus the [`FaultedNet`] damage overlay for
+//!   fault-injection studies.
+//! * [`engine`] — the circuit engine: rounds, admission, blocking, stats,
+//!   mid-run dilation shifts.
 //! * [`traffic`] — schedule replay, competing broadcasts, permutations.
 
 #![warn(missing_docs)]
@@ -22,5 +24,7 @@ pub mod topology;
 pub mod traffic;
 
 pub use engine::{BlockReason, Engine, Outcome, SimStats};
-pub use topology::{MaterializedNet, NetTopology};
-pub use traffic::{random_permutation_round, replay_competing, replay_schedule};
+pub use topology::{FaultedNet, MaterializedNet, NetTopology};
+pub use traffic::{
+    random_permutation_round, replay_competing, replay_competing_hooked, replay_schedule,
+};

@@ -1,9 +1,11 @@
 //! Topology interface for the circuit-switching simulator: edge tests plus
 //! neighbor enumeration (needed for adaptive routing), implemented by both
-//! rule-generated sparse hypercubes and materialized graphs.
+//! rule-generated sparse hypercubes and materialized graphs, plus the
+//! [`FaultedNet`] damage overlay used for fault-injection studies.
 
 use shc_core::SparseHypercube;
 use shc_graph::{GraphView, Node};
+use std::collections::HashSet;
 
 /// Vertex ids, shared with `shc-broadcast`.
 pub type Vertex = u64;
@@ -72,6 +74,93 @@ impl<G: GraphView> NetTopology for MaterializedNet<G> {
     }
 }
 
+/// A damage overlay on any topology: a set of failed links and crashed
+/// vertices masked out of the base network *without* materializing or
+/// copying it. Replica-safe by construction — each Monte Carlo replica
+/// wraps the same shared base topology (`&T`) with its own private fault
+/// sets, so thousands of faulted views coexist across worker threads.
+pub struct FaultedNet<'a, T: NetTopology> {
+    base: &'a T,
+    dead_links: HashSet<(Vertex, Vertex)>,
+    crashed: HashSet<Vertex>,
+}
+
+impl<'a, T: NetTopology> FaultedNet<'a, T> {
+    /// Wraps `base` with a set of failed links (normalized internally)
+    /// and crashed vertices. A crashed vertex loses all incident links.
+    #[must_use]
+    pub fn new(
+        base: &'a T,
+        dead_links: impl IntoIterator<Item = (Vertex, Vertex)>,
+        crashed: impl IntoIterator<Item = Vertex>,
+    ) -> Self {
+        Self {
+            base,
+            dead_links: dead_links
+                .into_iter()
+                .map(|(u, v)| if u <= v { (u, v) } else { (v, u) })
+                .collect(),
+            crashed: crashed.into_iter().collect(),
+        }
+    }
+
+    /// An undamaged view of `base` (0 faults), for baseline comparisons.
+    #[must_use]
+    pub fn intact(base: &'a T) -> Self {
+        Self::new(base, [], [])
+    }
+
+    /// Number of failed links.
+    #[must_use]
+    pub fn num_dead_links(&self) -> usize {
+        self.dead_links.len()
+    }
+
+    /// Number of crashed vertices.
+    #[must_use]
+    pub fn num_crashed(&self) -> usize {
+        self.crashed.len()
+    }
+
+    /// `true` iff `v` has crashed.
+    #[must_use]
+    pub fn is_crashed(&self, v: Vertex) -> bool {
+        self.crashed.contains(&v)
+    }
+
+    /// `true` iff the (normalized) link survives: present in the base
+    /// topology, not failed, and neither endpoint crashed.
+    #[must_use]
+    pub fn link_alive(&self, u: Vertex, v: Vertex) -> bool {
+        self.has_edge(u, v)
+    }
+}
+
+impl<T: NetTopology> NetTopology for FaultedNet<'_, T> {
+    fn num_vertices(&self) -> u64 {
+        self.base.num_vertices()
+    }
+
+    fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        let e = if u <= v { (u, v) } else { (v, u) };
+        self.base.has_edge(u, v)
+            && !self.dead_links.contains(&e)
+            && !self.crashed.contains(&u)
+            && !self.crashed.contains(&v)
+    }
+
+    fn neighbors(&self, u: Vertex) -> Vec<Vertex> {
+        if self.crashed.contains(&u) {
+            return Vec::new();
+        }
+        self.base
+            .neighbors(u)
+            .into_iter()
+            .filter(|&v| self.has_edge(u, v))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +182,53 @@ mod tests {
         assert_eq!(NetTopology::num_vertices(&g), 32);
         let nbrs = NetTopology::neighbors(&g, 0);
         assert_eq!(nbrs.len(), g.degree(0));
+    }
+
+    #[test]
+    fn faulted_net_masks_dead_links() {
+        let net = MaterializedNet::new(cycle(5));
+        // Report the edge reversed: normalization must still match it.
+        let damaged = FaultedNet::new(&net, [(1u64, 0u64)], []);
+        assert!(!damaged.has_edge(0, 1));
+        assert!(!damaged.link_alive(1, 0));
+        assert!(damaged.has_edge(1, 2));
+        assert_eq!(damaged.neighbors(0), vec![4]);
+        assert_eq!(damaged.num_dead_links(), 1);
+        assert_eq!(damaged.num_vertices(), 5);
+    }
+
+    #[test]
+    fn faulted_net_crashes_remove_incident_links() {
+        let net = MaterializedNet::new(cycle(5));
+        let damaged = FaultedNet::new(&net, [], [2u64]);
+        assert!(damaged.is_crashed(2));
+        assert!(damaged.neighbors(2).is_empty());
+        assert!(!damaged.has_edge(1, 2));
+        assert!(!damaged.has_edge(2, 3));
+        assert_eq!(damaged.neighbors(1), vec![0]);
+        assert_eq!(damaged.num_crashed(), 1);
+    }
+
+    #[test]
+    fn intact_overlay_is_transparent() {
+        let net = MaterializedNet::new(cycle(5));
+        let overlay = FaultedNet::intact(&net);
+        for u in 0..5u64 {
+            assert_eq!(overlay.neighbors(u), net.neighbors(u));
+        }
+        assert_eq!(overlay.num_dead_links(), 0);
+        assert_eq!(overlay.num_crashed(), 0);
+    }
+
+    #[test]
+    fn faulted_sparse_hypercube_rule_generated() {
+        // The overlay composes with the rule-generated topology too (no
+        // materialization needed).
+        let g = SparseHypercube::construct_base(5, 2);
+        let nbrs = NetTopology::neighbors(&g, 0);
+        let first = nbrs[0];
+        let damaged = FaultedNet::new(&g, [(0u64, first)], []);
+        assert!(!damaged.has_edge(0, first));
+        assert_eq!(damaged.neighbors(0).len(), nbrs.len() - 1);
     }
 }

@@ -30,9 +30,28 @@ pub fn replay_competing<T: NetTopology>(
     schedules: &[Schedule],
     dilation: u32,
 ) -> SimStats {
+    replay_competing_hooked(net, schedules, dilation, |_, _| {})
+}
+
+/// [`replay_competing`] with a per-round hook, called with the 0-based
+/// round index *before* the round opens — the seam fault-injection
+/// runtimes use to change engine state mid-run (e.g.
+/// [`Engine::set_dilation`]) while sharing this replay's admission
+/// semantics exactly.
+pub fn replay_competing_hooked<T, F>(
+    net: &T,
+    schedules: &[Schedule],
+    dilation: u32,
+    mut before_round: F,
+) -> SimStats
+where
+    T: NetTopology,
+    F: FnMut(usize, &mut Engine<'_, T>),
+{
     let max_rounds = schedules.iter().map(|s| s.rounds.len()).max().unwrap_or(0);
     let mut sim = Engine::new(net, dilation);
     for t in 0..max_rounds {
+        before_round(t, &mut sim);
         sim.begin_round();
         for schedule in schedules {
             if let Some(round) = schedule.rounds.get(t) {
@@ -133,5 +152,33 @@ mod tests {
         let stats = replay_competing(&net, &[], 1);
         assert_eq!(stats.rounds, 0);
         assert_eq!(stats.blocking_rate(), 0.0);
+    }
+
+    #[test]
+    fn hooked_replay_with_noop_hook_matches_plain() {
+        let g = SparseHypercube::construct_base(6, 2);
+        let s = broadcast_scheme(&g, 0);
+        let schedules = [s.clone(), broadcast_scheme(&g, 7)];
+        assert_eq!(
+            replay_competing(&g, &schedules, 1),
+            replay_competing_hooked(&g, &schedules, 1, |_, _| {})
+        );
+    }
+
+    #[test]
+    fn hooked_replay_can_shift_dilation_mid_run() {
+        // Two identical schedules fully conflict at dilation 1; upgrading
+        // to dilation 2 before round 2 absorbs the tail of the conflict.
+        let g = SparseHypercube::construct_base(5, 2);
+        let s = broadcast_scheme(&g, 0);
+        let fully_blocked = replay_competing(&g, &[s.clone(), s.clone()], 1);
+        assert_eq!(fully_blocked.blocked, s.num_calls());
+        let healed = replay_competing_hooked(&g, &[s.clone(), s.clone()], 1, |t, sim| {
+            if t == 2 {
+                sim.set_dilation(2);
+            }
+        });
+        assert!(healed.blocked < fully_blocked.blocked);
+        assert!(healed.blocked > 0, "rounds 0-1 still conflicted");
     }
 }

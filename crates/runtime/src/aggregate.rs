@@ -1,0 +1,116 @@
+//! Folding per-replica counters into distribution summaries.
+//!
+//! Everything here is computed from **integer** samples folded in replica
+//! order: sums are order-independent, percentiles come from a sort, and
+//! the only floats (means, rates) are single final divisions — so the
+//! aggregate of a run is bit-identical no matter how many worker threads
+//! produced the replicas. That property is what the tier-1 determinism
+//! test pins.
+
+use serde::{Deserialize, Serialize};
+
+/// Distribution summary of one integer-valued metric across replicas.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Sample count (= replications).
+    pub count: usize,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean (exact integer sum over count).
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 90th percentile (nearest-rank).
+    pub p90: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+}
+
+impl MetricSummary {
+    /// Summarizes `samples` (sorted in place). All-zero for no samples.
+    #[must_use]
+    pub fn from_samples(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                count: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                p50: 0,
+                p90: 0,
+                p99: 0,
+            };
+        }
+        samples.sort_unstable();
+        let sum: u128 = samples.iter().map(|&x| u128::from(x)).sum();
+        Self {
+            count: samples.len(),
+            min: samples[0],
+            max: samples[samples.len() - 1],
+            mean: sum as f64 / samples.len() as f64,
+            p50: nearest_rank(samples, 50),
+            p90: nearest_rank(samples, 90),
+            p99: nearest_rank(samples, 99),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an already sorted non-empty slice.
+fn nearest_rank(sorted: &[u64], pct: u32) -> u64 {
+    debug_assert!(!sorted.is_empty() && (1..=100).contains(&pct));
+    let rank = (sorted.len() as u64 * u64::from(pct)).div_ceil(100);
+    sorted[(rank.max(1) - 1) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = MetricSummary::from_samples(&mut []);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_of_known_distribution() {
+        let mut samples: Vec<u64> = (1..=100).collect();
+        let s = MetricSummary::from_samples(&mut samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p90, 90);
+        assert_eq!(s.p99, 99);
+    }
+
+    #[test]
+    fn summary_is_order_independent() {
+        let mut asc: Vec<u64> = (0..50).collect();
+        let mut desc: Vec<u64> = (0..50).rev().collect();
+        assert_eq!(
+            MetricSummary::from_samples(&mut asc),
+            MetricSummary::from_samples(&mut desc)
+        );
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = MetricSummary::from_samples(&mut [7]);
+        assert_eq!((s.min, s.max, s.p50, s.p90, s.p99), (7, 7, 7, 7, 7));
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = MetricSummary::from_samples(&mut [1, 2, 3]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MetricSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

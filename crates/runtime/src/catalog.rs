@@ -1,0 +1,143 @@
+//! The built-in scenario catalog: the sweeps the ROADMAP's "as many
+//! scenarios as you can imagine" north star starts from. `exp_scenarios`
+//! runs the whole catalog; the examples and experiments cherry-pick.
+
+use crate::scenario::{
+    DilationShift, FaultSpec, OriginatorPolicy, Scenario, TopologySpec, Workload,
+};
+
+/// Catalog seed: fixed so the binary's output is reproducible run-to-run.
+pub const CATALOG_SEED: u64 = 0x5C_EA_21_07;
+
+/// Builds the built-in catalog. `fast` shrinks topology sizes and
+/// replication counts for debug builds and CI smoke runs.
+#[must_use]
+pub fn builtin_catalog(fast: bool) -> Vec<Scenario> {
+    let (n, m) = if fast { (8, 3) } else { (10, 3) };
+    let reps = if fast { 64 } else { 256 };
+    let num_vertices = 1usize << n;
+    vec![
+        // 1. Theorem 4, exhaustively: every originator of SQ_n broadcasts
+        //    in minimum time on an undamaged network — one replica per
+        //    source, zero blocking expected.
+        Scenario::new(
+            "all-originators",
+            TopologySpec::SparseBase { n, m },
+            Workload::Broadcast { competing: 1 },
+        )
+        .originators(OriginatorPolicy::Sweep)
+        .replications(num_vertices)
+        .seed(CATALOG_SEED),
+        // 2. Monte Carlo robustness: k random link failures per replica,
+        //    random originators — how much of the broadcast still lands.
+        Scenario::new(
+            "random-link-failures",
+            TopologySpec::SparseBase { n, m },
+            Workload::Broadcast { competing: 1 },
+        )
+        .originators(OriginatorPolicy::Random)
+        .faults(FaultSpec {
+            link_failures: if fast { 8 } else { 16 },
+            node_crashes: 0,
+            dilation_shift: None,
+        })
+        .replications(reps)
+        .seed(CATALOG_SEED + 1),
+        // 3. Node crashes compound link loss: a sparser failure mode the
+        //    paper's §5 robustness discussion raises.
+        Scenario::new(
+            "node-crashes",
+            TopologySpec::SparseBase { n, m },
+            Workload::Broadcast { competing: 1 },
+        )
+        .originators(OriginatorPolicy::Random)
+        .faults(FaultSpec {
+            link_failures: 4,
+            node_crashes: if fast { 2 } else { 4 },
+            dilation_shift: None,
+        })
+        .replications(reps)
+        .seed(CATALOG_SEED + 2),
+        // 4. Hot-spot traffic: everyone wants vertex 0; the sparse degree
+        //    bounds how many circuits can land per round.
+        Scenario::new(
+            "hot-spot",
+            TopologySpec::SparseBase { n, m },
+            Workload::HotSpot {
+                target: 0,
+                senders: num_vertices / 4,
+                max_len: n + 2,
+            },
+        )
+        .replications(reps / 2)
+        .seed(CATALOG_SEED + 3),
+        // 5. Dilated multiedge network (§5): four competing broadcasts on
+        //    dilation-2 links, with a mid-run upgrade to dilation 4.
+        Scenario::new(
+            "dilated-multiedge",
+            TopologySpec::SparseBase { n, m },
+            Workload::Broadcast { competing: 4 },
+        )
+        .originators(OriginatorPolicy::Random)
+        .dilation(2)
+        .faults(FaultSpec {
+            link_failures: 0,
+            node_crashes: 0,
+            dilation_shift: Some(DilationShift {
+                at_round: n as usize / 2,
+                dilation: 4,
+            }),
+        })
+        .replications(reps / 2)
+        .seed(CATALOG_SEED + 4),
+        // 6. The dense baseline under the same hot-spot pressure, for
+        //    sparse-vs-Q_n comparisons in one catalog run.
+        Scenario::new(
+            "hot-spot-qn",
+            TopologySpec::Hypercube { n },
+            Workload::HotSpot {
+                target: 0,
+                senders: num_vertices / 4,
+                max_len: n + 2,
+            },
+        )
+        .replications(reps / 2)
+        .seed(CATALOG_SEED + 3),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_scenario;
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let catalog = builtin_catalog(true);
+        let mut names: Vec<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), catalog.len());
+    }
+
+    #[test]
+    fn fast_catalog_is_smaller() {
+        let fast = builtin_catalog(true);
+        let full = builtin_catalog(false);
+        assert_eq!(fast.len(), full.len());
+        for (f, s) in fast.iter().zip(&full) {
+            assert!(f.replications <= s.replications, "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn all_originators_scenario_is_lossless() {
+        let catalog = builtin_catalog(true);
+        let sweep = &catalog[0];
+        assert_eq!(sweep.name, "all-originators");
+        let report = run_scenario(sweep, 0);
+        assert_eq!(report.replications, 256, "one replica per vertex");
+        assert_eq!(report.total_blocked, 0, "Theorem 4, physically re-checked");
+        assert!((report.mean_informed_fraction - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,156 @@
+//! The work-stealing parallel executor: fixed task sets (replica indices)
+//! spread across scoped worker threads via crossbeam deques.
+//!
+//! Design constraints, in order:
+//! 1. **Determinism** — results are returned indexed by task id, so the
+//!    caller's fold sees the same order no matter which worker ran what.
+//! 2. **No async runtime** — replicas are pure CPU; scoped threads plus
+//!    deques (global [`Injector`], per-worker queue, sibling [`Stealer`]s)
+//!    keep all cores busy even when replica costs are skewed (heavily
+//!    damaged topologies route slower than intact ones).
+//! 3. **Zero `unsafe`** — results land in per-slot `parking_lot` mutexes,
+//!    written exactly once each.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::Mutex;
+
+/// Worker threads to use when the caller passes `threads = 0`.
+#[must_use]
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f(0), …, f(tasks - 1)` across `threads` workers (0 = all cores)
+/// and returns the results in task order. `f` must be pure per task —
+/// the assignment of tasks to workers is intentionally racy.
+pub fn run_indexed<T, F>(tasks: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = if threads == 0 {
+        available_threads()
+    } else {
+        threads
+    };
+    let threads = threads.min(tasks.max(1));
+    if tasks == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 {
+        return (0..tasks).map(f).collect();
+    }
+
+    let injector: Injector<usize> = Injector::new();
+    for t in 0..tasks {
+        injector.push(t);
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    let locals: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<usize>> = locals.iter().map(Worker::stealer).collect();
+
+    crossbeam::scope(|scope| {
+        for (me, local) in locals.iter().enumerate() {
+            let injector = &injector;
+            let stealers = &stealers;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move |_| {
+                while let Some(task) = next_task(local, injector, stealers, me) {
+                    *slots[task].lock() = Some(f(task));
+                }
+            });
+        }
+    })
+    .expect("executor worker panicked");
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every task ran to completion"))
+        .collect()
+}
+
+/// Pop local work, else grab a batch from the global injector, else steal
+/// from a sibling; `None` when everything is drained.
+fn next_task(
+    local: &Worker<usize>,
+    injector: &Injector<usize>,
+    stealers: &[Stealer<usize>],
+    me: usize,
+) -> Option<usize> {
+    if let Some(task) = local.pop() {
+        return Some(task);
+    }
+    loop {
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(task) => return Some(task),
+            Steal::Empty => break,
+            Steal::Retry => {}
+        }
+    }
+    for (other, stealer) in stealers.iter().enumerate() {
+        if other == me {
+            continue;
+        }
+        loop {
+            match stealer.steal() {
+                Steal::Success(task) => return Some(task),
+                Steal::Empty => break,
+                Steal::Retry => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let out = run_indexed(100, 4, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_tasks_and_zero_threads() {
+        assert!(run_indexed(0, 0, |i| i).is_empty());
+        // threads = 0 resolves to all cores and still completes.
+        assert_eq!(run_indexed(5, 0, |i| i + 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn single_thread_path_matches_parallel_path() {
+        let seq = run_indexed(64, 1, |i| (i * 31) % 17);
+        let par = run_indexed(64, 8, |i| (i * 31) % 17);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let runs = AtomicUsize::new(0);
+        let out = run_indexed(500, 6, |i| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 500);
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn skewed_task_costs_still_complete() {
+        // Tail-heavy costs force actual stealing between workers.
+        let out = run_indexed(64, 4, |i| {
+            let spin = if i % 16 == 0 { 200_000 } else { 10 };
+            (0..spin).fold(i as u64, |acc, x| acc.wrapping_add(x))
+        });
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

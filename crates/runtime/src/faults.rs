@@ -1,0 +1,168 @@
+//! Sampling a [`FaultSpec`](crate::scenario::FaultSpec) into a concrete
+//! per-replica [`FaultPlan`]: which links die, which nodes crash, all
+//! drawn from the replica's private deterministic stream.
+
+use crate::scenario::{FaultSpec, Vertex};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use shc_netsim::{FaultedNet, NetTopology};
+
+/// The concrete damage one replica runs under.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Failed links (normalized `u < v`).
+    pub dead_links: Vec<(Vertex, Vertex)>,
+    /// Crashed vertices.
+    pub crashed: Vec<Vertex>,
+}
+
+impl FaultPlan {
+    /// Draws a plan from `spec` over a topology given as its
+    /// pre-enumerated edge list (see [`enumerate_edges`] — enumerate once
+    /// per scenario, not per replica) and vertex count. Vertices in
+    /// `protect` (originators, hot-spot targets) are never crashed, so
+    /// the traffic the scenario is *about* always has live endpoints.
+    #[must_use]
+    pub fn sample(
+        spec: &FaultSpec,
+        edges: &[(Vertex, Vertex)],
+        num_vertices: u64,
+        protect: &[Vertex],
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut plan = FaultPlan::default();
+        if spec.link_failures > 0 {
+            let mut edges = edges.to_vec();
+            let (dead, _) = edges.partial_shuffle(rng, spec.link_failures);
+            plan.dead_links = dead.to_vec();
+        }
+        if spec.node_crashes > 0 {
+            let mut candidates: Vec<Vertex> =
+                (0..num_vertices).filter(|v| !protect.contains(v)).collect();
+            let (crashed, _) = candidates.partial_shuffle(rng, spec.node_crashes);
+            plan.crashed = crashed.to_vec();
+        }
+        plan
+    }
+
+    /// [`sample`](Self::sample) with the edge enumeration done inline —
+    /// convenient for one-off draws outside the replica loop.
+    #[must_use]
+    pub fn sample_from_topology<T: NetTopology>(
+        spec: &FaultSpec,
+        topo: &T,
+        protect: &[Vertex],
+        rng: &mut StdRng,
+    ) -> Self {
+        Self::sample(
+            spec,
+            &enumerate_edges(topo),
+            topo.num_vertices(),
+            protect,
+            rng,
+        )
+    }
+
+    /// Applies the plan as a [`FaultedNet`] overlay on `base`.
+    #[must_use]
+    pub fn overlay<'a, T: NetTopology>(&self, base: &'a T) -> FaultedNet<'a, T> {
+        FaultedNet::new(
+            base,
+            self.dead_links.iter().copied(),
+            self.crashed.iter().copied(),
+        )
+    }
+}
+
+/// All undirected edges of `topo`, normalized and in deterministic
+/// (vertex-major) order.
+#[must_use]
+pub fn enumerate_edges<T: NetTopology>(topo: &T) -> Vec<(Vertex, Vertex)> {
+    let mut edges = Vec::new();
+    for u in 0..topo.num_vertices() {
+        for v in topo.neighbors(u) {
+            if u < v {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use shc_graph::builders::cycle;
+    use shc_netsim::MaterializedNet;
+
+    #[test]
+    fn edge_enumeration_is_deterministic() {
+        let net = MaterializedNet::new(cycle(5));
+        let e1 = enumerate_edges(&net);
+        let e2 = enumerate_edges(&net);
+        assert_eq!(e1, e2);
+        assert_eq!(e1.len(), 5);
+        assert!(e1.contains(&(0, 4)));
+    }
+
+    #[test]
+    fn sampling_respects_counts_and_protection() {
+        let net = MaterializedNet::new(cycle(8));
+        let spec = FaultSpec {
+            link_failures: 3,
+            node_crashes: 2,
+            dilation_shift: None,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let plan = FaultPlan::sample_from_topology(&spec, &net, &[0, 1], &mut rng);
+        assert_eq!(plan.dead_links.len(), 3);
+        assert_eq!(plan.crashed.len(), 2);
+        assert!(!plan.crashed.contains(&0) && !plan.crashed.contains(&1));
+        for &(u, v) in &plan.dead_links {
+            assert!(u < v, "normalized");
+            assert!(net.has_edge(u, v), "only real edges fail");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let net = MaterializedNet::new(cycle(12));
+        let spec = FaultSpec {
+            link_failures: 4,
+            node_crashes: 3,
+            dilation_shift: None,
+        };
+        let p1 = FaultPlan::sample_from_topology(&spec, &net, &[], &mut StdRng::seed_from_u64(5));
+        let p2 = FaultPlan::sample_from_topology(&spec, &net, &[], &mut StdRng::seed_from_u64(5));
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn counts_saturate_at_capacity() {
+        let net = MaterializedNet::new(cycle(4));
+        let spec = FaultSpec {
+            link_failures: 100,
+            node_crashes: 100,
+            dilation_shift: None,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = FaultPlan::sample_from_topology(&spec, &net, &[0], &mut rng);
+        assert_eq!(plan.dead_links.len(), 4, "cycle(4) has 4 edges");
+        assert_eq!(plan.crashed.len(), 3, "vertex 0 protected");
+    }
+
+    #[test]
+    fn overlay_applies_all_damage() {
+        let net = MaterializedNet::new(cycle(6));
+        let plan = FaultPlan {
+            dead_links: vec![(0, 1)],
+            crashed: vec![3],
+        };
+        let damaged = plan.overlay(&net);
+        assert!(!damaged.has_edge(0, 1));
+        assert!(damaged.neighbors(3).is_empty());
+        assert_eq!(damaged.num_dead_links(), 1);
+        assert_eq!(damaged.num_crashed(), 1);
+    }
+}

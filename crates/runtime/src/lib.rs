@@ -1,0 +1,42 @@
+//! # shc-runtime — parallel scenario execution with fault injection
+//!
+//! The crate between `shc-netsim` (one engine, one run) and `shc-bench`
+//! (tables): it executes **scenarios** — declarative combinations of a
+//! topology, a broadcast/traffic workload, an originator sweep, a fault
+//! model, and a Monte Carlo replication count — across all cores on a
+//! work-stealing executor, then folds per-replica [`SimStats`]-level
+//! counters into distribution summaries serialized as JSON.
+//!
+//! * [`scenario`] — the declarative spec types and topology builder.
+//! * [`faults`] — per-replica fault draws ([`FaultPlan`]) applied as
+//!   `shc-netsim` [`FaultedNet`](shc_netsim::FaultedNet) overlays.
+//! * [`executor`] — crossbeam-deque work stealing over scoped threads.
+//! * [`runner`] — replica bodies, the Monte Carlo loop, report folding.
+//! * [`aggregate`] — integer-exact distribution summaries.
+//! * [`catalog`] — the built-in scenario catalog behind `exp_scenarios`.
+//!
+//! Determinism is a hard invariant: replica `r` runs on the `r`-th split
+//! of the scenario seed and the fold is order-exact over integers, so a
+//! report — including its JSON bytes — is identical for 1 or N worker
+//! threads. `tests/runtime_determinism.rs` (tier 1) pins this.
+//!
+//! [`SimStats`]: shc_netsim::SimStats
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aggregate;
+pub mod catalog;
+pub mod executor;
+pub mod faults;
+pub mod runner;
+pub mod scenario;
+
+pub use aggregate::MetricSummary;
+pub use catalog::builtin_catalog;
+pub use executor::{available_threads, run_indexed};
+pub use faults::FaultPlan;
+pub use runner::{run_scenario, MetricRow, ReplicaOutcome, ScenarioReport};
+pub use scenario::{
+    BuiltTopology, DilationShift, FaultSpec, OriginatorPolicy, Scenario, TopologySpec, Workload,
+};

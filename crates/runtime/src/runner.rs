@@ -1,0 +1,479 @@
+//! Scenario execution: replica bodies, the Monte Carlo loop over the
+//! work-stealing executor, and the fold into a [`ScenarioReport`].
+//!
+//! Determinism contract: replica `r` derives everything (originator,
+//! co-sources, fault draw, traffic) from the `r`-th split of the
+//! scenario's base seed, and the fold consumes integer outcomes in
+//! replica order — so a report is bit-identical across worker counts.
+
+use crate::aggregate::MetricSummary;
+use crate::executor;
+use crate::faults::FaultPlan;
+use crate::scenario::{BuiltTopology, OriginatorPolicy, Scenario, Vertex, Workload};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use shc_broadcast::{replay_degraded, Schedule};
+use shc_netsim::{replay_competing_hooked, Engine, NetTopology};
+use std::collections::BTreeSet;
+
+/// Integer counters from one replica. Everything downstream (summaries,
+/// rates) folds these, so replicas never touch floats.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplicaOutcome {
+    /// Replica index.
+    pub replica: usize,
+    /// Primary originator (broadcast workloads; 0 otherwise).
+    pub originator: Vertex,
+    /// Rounds simulated.
+    pub rounds: u64,
+    /// Circuits established.
+    pub established: u64,
+    /// Circuits blocked.
+    pub blocked: u64,
+    /// Total hops across established circuits.
+    pub total_hops: u64,
+    /// Peak per-link occupancy.
+    pub peak_link_load: u64,
+    /// Vertices informed by the primary broadcast (its source included);
+    /// for adaptive workloads, the number of established circuits.
+    pub informed: u64,
+    /// Primary-broadcast calls severed by dead links.
+    pub severed_calls: u64,
+    /// Primary-broadcast calls voided by uninformed callers.
+    pub voided_calls: u64,
+    /// Links failed by the fault draw.
+    pub dead_links: u64,
+    /// Vertices crashed by the fault draw.
+    pub crashed_nodes: u64,
+}
+
+/// One named metric's distribution in a report.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricRow {
+    /// Metric name (a [`ReplicaOutcome`] field).
+    pub metric: String,
+    /// Its distribution across replicas.
+    pub summary: MetricSummary,
+}
+
+/// Aggregated result of a scenario run. Identical (including its JSON
+/// rendering) for any worker-thread count.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Topology label (`G_{n,m}` / `Q_n`).
+    pub topology: String,
+    /// Workload label.
+    pub workload: String,
+    /// Replications executed.
+    pub replications: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Link dilation the run started with.
+    pub dilation: u32,
+    /// Vertices in the topology.
+    pub num_vertices: u64,
+    /// Total circuits established across replicas.
+    pub total_established: u64,
+    /// Total circuits blocked across replicas.
+    pub total_blocked: u64,
+    /// `blocked / (blocked + established)` over all replicas.
+    pub blocking_rate: f64,
+    /// Mean informed fraction of the primary broadcast (1.0 when every
+    /// replica's broadcast fully lands; adaptive workloads report the
+    /// established-circuit count over vertices).
+    pub mean_informed_fraction: f64,
+    /// Per-metric distribution summaries, in fixed metric order.
+    pub metrics: Vec<MetricRow>,
+}
+
+impl ScenarioReport {
+    /// Looks up a metric summary by name.
+    #[must_use]
+    pub fn metric(&self, name: &str) -> Option<&MetricSummary> {
+        self.metrics
+            .iter()
+            .find(|row| row.metric == name)
+            .map(|row| &row.summary)
+    }
+}
+
+/// Runs a scenario on `threads` workers (0 = all cores) and folds the
+/// replicas into a report.
+#[must_use]
+pub fn run_scenario(scenario: &Scenario, threads: usize) -> ScenarioReport {
+    let topo = scenario.topology.build();
+    fold_report(
+        scenario,
+        &topo,
+        &run_replica_outcomes(scenario, &topo, threads),
+    )
+}
+
+/// Runs every replica of `scenario` against a pre-built topology and
+/// returns the raw outcomes in replica order (the cross-check hook for
+/// the legacy single-thread experiment paths).
+#[must_use]
+pub fn run_replica_outcomes(
+    scenario: &Scenario,
+    topo: &BuiltTopology,
+    threads: usize,
+) -> Vec<ReplicaOutcome> {
+    // Pre-split one stream per replica up front (sequential, cheap) so
+    // replica streams are independent of executor scheduling.
+    let mut base = StdRng::seed_from_u64(scenario.seed);
+    let rngs: Vec<StdRng> = (0..scenario.replications).map(|_| base.split()).collect();
+    // The edge list is a pure function of the topology: enumerate it once
+    // and share it, instead of re-scanning O(V·deg) inside every replica.
+    let edges = if scenario.faults.link_failures > 0 {
+        crate::faults::enumerate_edges(topo)
+    } else {
+        Vec::new()
+    };
+    executor::run_indexed(scenario.replications, threads, |r| {
+        run_replica(scenario, topo, &edges, r, rngs[r].clone())
+    })
+}
+
+/// Executes one replica.
+fn run_replica(
+    scenario: &Scenario,
+    topo: &BuiltTopology,
+    edges: &[(Vertex, Vertex)],
+    replica: usize,
+    mut rng: StdRng,
+) -> ReplicaOutcome {
+    let n = topo.num_vertices();
+    let originator = match scenario.originators {
+        OriginatorPolicy::Fixed(v) => v,
+        OriginatorPolicy::Sweep => replica as u64 % n,
+        OriginatorPolicy::Random => rng.gen_range(0..n),
+    };
+    let mut outcome = ReplicaOutcome {
+        replica,
+        originator,
+        ..ReplicaOutcome::default()
+    };
+
+    match scenario.workload {
+        Workload::Broadcast { competing } => {
+            assert!(competing >= 1, "need at least the primary broadcast");
+            // Primary source first; co-sources are distinct random draws.
+            let mut sources = vec![originator];
+            let mut seen: BTreeSet<Vertex> = BTreeSet::from([originator]);
+            while sources.len() < competing.min(n as usize) {
+                let s = rng.gen_range(0..n);
+                if seen.insert(s) {
+                    sources.push(s);
+                }
+            }
+            let plan = FaultPlan::sample(&scenario.faults, edges, n, &sources, &mut rng);
+            let net = plan.overlay(topo);
+            let schedules: Vec<Schedule> = sources.iter().map(|&s| topo.schedule(s)).collect();
+            // Shares `replay_competing`'s admission semantics exactly —
+            // the hook only adds the mid-run dilation shift.
+            let stats = replay_competing_hooked(&net, &schedules, scenario.dilation, |t, sim| {
+                apply_dilation_shift(scenario, sim, t);
+            });
+            record_stats(&mut outcome, stats);
+
+            // Information accounting for the primary broadcast: which
+            // vertices actually hear, once severed calls cascade.
+            let degrade = replay_degraded(&schedules[0], |u, v| net.link_alive(u, v));
+            outcome.informed = degrade.informed.len() as u64;
+            outcome.severed_calls = degrade.severed_calls as u64;
+            outcome.voided_calls = degrade.voided_calls as u64;
+            outcome.dead_links = plan.dead_links.len() as u64;
+            outcome.crashed_nodes = plan.crashed.len() as u64;
+        }
+        Workload::HotSpot {
+            target,
+            senders,
+            max_len,
+        } => {
+            assert!(target < n, "hot-spot target out of range");
+            let plan = FaultPlan::sample(&scenario.faults, edges, n, &[target], &mut rng);
+            let net = plan.overlay(topo);
+            let mut pool: Vec<Vertex> = (0..n)
+                .filter(|&v| v != target && !plan.crashed.contains(&v))
+                .collect();
+            let (chosen, _) = pool.partial_shuffle(&mut rng, senders);
+            let mut sim = Engine::new(&net, scenario.dilation);
+            apply_dilation_shift(scenario, &mut sim, 0);
+            sim.begin_round();
+            for &src in chosen.iter() {
+                let _ = sim.request(src, target, max_len);
+            }
+            record_stats(&mut outcome, sim.finish());
+            outcome.informed = outcome.established;
+            outcome.dead_links = plan.dead_links.len() as u64;
+            outcome.crashed_nodes = plan.crashed.len() as u64;
+        }
+        Workload::Permutation {
+            rounds,
+            pairs,
+            max_len,
+        } => {
+            let plan = FaultPlan::sample(&scenario.faults, edges, n, &[], &mut rng);
+            let net = plan.overlay(topo);
+            let alive: Vec<Vertex> = (0..n).filter(|v| !plan.crashed.contains(v)).collect();
+            let mut sim = Engine::new(&net, scenario.dilation);
+            for t in 0..rounds {
+                apply_dilation_shift(scenario, &mut sim, t);
+                sim.begin_round();
+                // Fewer than two live vertices ⇒ no drawable pair; the
+                // rounds still tick so the metric stays meaningful.
+                if alive.len() >= 2 {
+                    for _ in 0..pairs {
+                        let src = alive[rng.gen_range(0..alive.len())];
+                        let dst = alive[rng.gen_range(0..alive.len())];
+                        if src != dst {
+                            let _ = sim.request(src, dst, max_len);
+                        }
+                    }
+                }
+            }
+            record_stats(&mut outcome, sim.finish());
+            outcome.informed = outcome.established;
+            outcome.dead_links = plan.dead_links.len() as u64;
+            outcome.crashed_nodes = plan.crashed.len() as u64;
+        }
+    }
+    outcome
+}
+
+fn apply_dilation_shift<T: NetTopology>(
+    scenario: &Scenario,
+    sim: &mut Engine<'_, T>,
+    round: usize,
+) {
+    if let Some(shift) = scenario.faults.dilation_shift {
+        if shift.at_round == round {
+            sim.set_dilation(shift.dilation);
+        }
+    }
+}
+
+fn record_stats(outcome: &mut ReplicaOutcome, stats: shc_netsim::SimStats) {
+    outcome.rounds = stats.rounds as u64;
+    outcome.established = stats.established as u64;
+    outcome.blocked = stats.blocked as u64;
+    outcome.total_hops = stats.total_hops as u64;
+    outcome.peak_link_load = u64::from(stats.peak_link_load);
+}
+
+/// Pulls one integer metric out of a replica outcome.
+type MetricExtractor = fn(&ReplicaOutcome) -> u64;
+
+/// The metrics a report summarizes, with their per-replica extractors.
+/// Fixed order keeps report JSON stable.
+const METRICS: &[(&str, MetricExtractor)] = &[
+    ("rounds", |o| o.rounds),
+    ("established", |o| o.established),
+    ("blocked", |o| o.blocked),
+    ("total_hops", |o| o.total_hops),
+    ("peak_link_load", |o| o.peak_link_load),
+    ("informed", |o| o.informed),
+    ("severed_calls", |o| o.severed_calls),
+    ("voided_calls", |o| o.voided_calls),
+    ("dead_links", |o| o.dead_links),
+    ("crashed_nodes", |o| o.crashed_nodes),
+];
+
+/// Folds replica outcomes into the aggregate report.
+#[must_use]
+pub fn fold_report(
+    scenario: &Scenario,
+    topo: &BuiltTopology,
+    outcomes: &[ReplicaOutcome],
+) -> ScenarioReport {
+    let n = topo.num_vertices();
+    let total_established: u64 = outcomes.iter().map(|o| o.established).sum();
+    let total_blocked: u64 = outcomes.iter().map(|o| o.blocked).sum();
+    let total_calls = total_established + total_blocked;
+    let informed_sum: u128 = outcomes.iter().map(|o| u128::from(o.informed)).sum();
+    let metrics = METRICS
+        .iter()
+        .map(|&(name, extract)| {
+            let mut samples: Vec<u64> = outcomes.iter().map(extract).collect();
+            MetricRow {
+                metric: name.to_string(),
+                summary: MetricSummary::from_samples(&mut samples),
+            }
+        })
+        .collect();
+    ScenarioReport {
+        scenario: scenario.name.clone(),
+        topology: scenario.topology.label(),
+        workload: scenario.workload.label(),
+        replications: outcomes.len(),
+        seed: scenario.seed,
+        dilation: scenario.dilation,
+        num_vertices: n,
+        total_established,
+        total_blocked,
+        blocking_rate: if total_calls == 0 {
+            0.0
+        } else {
+            total_blocked as f64 / total_calls as f64
+        },
+        mean_informed_fraction: if outcomes.is_empty() || n == 0 {
+            0.0
+        } else {
+            informed_sum as f64 / (outcomes.len() as u128 * u128::from(n)) as f64
+        },
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{DilationShift, FaultSpec, TopologySpec};
+
+    fn base_scenario() -> Scenario {
+        Scenario::new(
+            "unit",
+            TopologySpec::SparseBase { n: 6, m: 3 },
+            Workload::Broadcast { competing: 1 },
+        )
+        .replications(8)
+        .seed(42)
+    }
+
+    #[test]
+    fn undamaged_broadcast_is_lossless_everywhere() {
+        let report = run_scenario(&base_scenario().originators(OriginatorPolicy::Sweep), 2);
+        assert_eq!(report.total_blocked, 0);
+        assert_eq!(report.blocking_rate, 0.0);
+        assert!((report.mean_informed_fraction - 1.0).abs() < 1e-12);
+        let rounds = report.metric("rounds").unwrap();
+        assert_eq!((rounds.min, rounds.max), (6, 6), "minimum time everywhere");
+        assert_eq!(report.metric("severed_calls").unwrap().max, 0);
+    }
+
+    #[test]
+    fn same_seed_same_report_across_thread_counts() {
+        let scenario = base_scenario()
+            .originators(OriginatorPolicy::Random)
+            .faults(FaultSpec {
+                link_failures: 5,
+                node_crashes: 2,
+                dilation_shift: None,
+            })
+            .replications(24);
+        let r1 = run_scenario(&scenario, 1);
+        let r4 = run_scenario(&scenario, 4);
+        assert_eq!(r1, r4);
+        assert_eq!(
+            serde_json::to_string_pretty(&r1).unwrap(),
+            serde_json::to_string_pretty(&r4).unwrap()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let damaged = base_scenario()
+            .faults(FaultSpec {
+                link_failures: 8,
+                node_crashes: 0,
+                dilation_shift: None,
+            })
+            .replications(16);
+        let a = run_scenario(&damaged.clone().seed(1), 2);
+        let b = run_scenario(&damaged.seed(2), 2);
+        assert_ne!(a, b, "independent fault draws");
+    }
+
+    #[test]
+    fn link_failures_reduce_informed_fraction() {
+        let intact = run_scenario(&base_scenario().replications(16), 2);
+        let damaged = run_scenario(
+            &base_scenario()
+                .faults(FaultSpec {
+                    link_failures: 20,
+                    node_crashes: 0,
+                    dilation_shift: None,
+                })
+                .replications(16),
+            2,
+        );
+        assert!(damaged.mean_informed_fraction < intact.mean_informed_fraction);
+        assert!(damaged.metric("severed_calls").unwrap().max > 0);
+        assert_eq!(damaged.metric("dead_links").unwrap().min, 20);
+    }
+
+    #[test]
+    fn competing_broadcasts_contend_and_dilation_heals() {
+        let congested = Scenario::new(
+            "congest",
+            TopologySpec::SparseBase { n: 7, m: 3 },
+            Workload::Broadcast { competing: 4 },
+        )
+        .replications(8)
+        .seed(3);
+        let d1 = run_scenario(&congested, 2);
+        let d4 = run_scenario(&congested.clone().dilation(4), 2);
+        assert!(d1.total_blocked > 0, "4 broadcasts on dilation-1 links");
+        assert!(d4.total_blocked < d1.total_blocked);
+    }
+
+    #[test]
+    fn hot_spot_saturates_target_links() {
+        let scenario = Scenario::new(
+            "hot",
+            TopologySpec::Hypercube { n: 5 },
+            Workload::HotSpot {
+                target: 0,
+                senders: 31,
+                max_len: 5,
+            },
+        )
+        .replications(4)
+        .seed(7);
+        let report = run_scenario(&scenario, 2);
+        // Q_5's target has 5 links: at most 5 circuits land per round.
+        assert_eq!(report.metric("established").unwrap().max, 5);
+        assert!(report.total_blocked > 0);
+    }
+
+    #[test]
+    fn permutation_with_dilation_shift_runs() {
+        let scenario = Scenario::new(
+            "perm",
+            TopologySpec::Hypercube { n: 4 },
+            Workload::Permutation {
+                rounds: 6,
+                pairs: 12,
+                max_len: 6,
+            },
+        )
+        .faults(FaultSpec {
+            link_failures: 0,
+            node_crashes: 0,
+            dilation_shift: Some(DilationShift {
+                at_round: 3,
+                dilation: 4,
+            }),
+        })
+        .replications(6)
+        .seed(11);
+        let report = run_scenario(&scenario, 3);
+        assert_eq!(report.metric("rounds").unwrap().max, 6);
+        assert!(report.total_established > 0);
+        // Same-seed determinism holds with the mid-run shift too.
+        assert_eq!(report, run_scenario(&scenario, 1));
+    }
+
+    #[test]
+    fn fold_handles_zero_replicas() {
+        let scenario = base_scenario().replications(0);
+        let report = run_scenario(&scenario, 2);
+        assert_eq!(report.replications, 0);
+        assert_eq!(report.blocking_rate, 0.0);
+        assert_eq!(report.mean_informed_fraction, 0.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Declarative scenario specs: *what* to simulate, decoupled from *how*
+//! (the executor) and *how often* (the replication plan).
+//!
+//! A [`Scenario`] combines a topology, a workload, an originator-sweep
+//! policy, a fault model, a link dilation, and a Monte Carlo replication
+//! count with a base seed. Every piece is data, so scenario catalogs can
+//! be enumerated, printed, and executed identically on 1 or N threads.
+
+use shc_broadcast::{broadcast_scheme, hypercube_broadcast, Schedule};
+use shc_core::SparseHypercube;
+use shc_graph::builders::hypercube;
+use shc_graph::AdjGraph;
+use shc_netsim::{MaterializedNet, NetTopology};
+
+/// Vertex ids, shared with `shc-netsim` / `shc-broadcast`.
+pub type Vertex = u64;
+
+/// Which network to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// The paper's `Construct_BASE(n, m)` sparse hypercube.
+    SparseBase {
+        /// Cube dimension.
+        n: u32,
+        /// Base dimension.
+        m: u32,
+    },
+    /// The full binary `n`-cube `Q_n` (the dense baseline).
+    Hypercube {
+        /// Cube dimension.
+        n: u32,
+    },
+}
+
+impl TopologySpec {
+    /// Materializes the spec into a runnable topology.
+    #[must_use]
+    pub fn build(&self) -> BuiltTopology {
+        match *self {
+            TopologySpec::SparseBase { n, m } => {
+                BuiltTopology::Sparse(SparseHypercube::construct_base(n, m))
+            }
+            TopologySpec::Hypercube { n } => BuiltTopology::Cube {
+                n,
+                net: MaterializedNet::new(hypercube(n)),
+            },
+        }
+    }
+
+    /// Human-readable label (`G_{10,3}` / `Q_10`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            TopologySpec::SparseBase { n, m } => format!("G_{{{n},{m}}}"),
+            TopologySpec::Hypercube { n } => format!("Q_{n}"),
+        }
+    }
+}
+
+/// A built topology: either rule-generated (no materialization) or an
+/// adjacency-list graph. Carries enough structure to also *generate*
+/// broadcast schedules, not just answer edge queries.
+pub enum BuiltTopology {
+    /// Rule-generated sparse hypercube.
+    Sparse(SparseHypercube),
+    /// Materialized full hypercube.
+    Cube {
+        /// Cube dimension.
+        n: u32,
+        /// The materialized graph behind the [`NetTopology`] interface.
+        net: MaterializedNet<AdjGraph>,
+    },
+}
+
+impl BuiltTopology {
+    /// The topology's own minimum-time broadcast schedule from `source`
+    /// (the paper's constructive scheme on sparse hypercubes; recursive
+    /// doubling on `Q_n`).
+    #[must_use]
+    pub fn schedule(&self, source: Vertex) -> Schedule {
+        match self {
+            BuiltTopology::Sparse(g) => broadcast_scheme(g, source),
+            BuiltTopology::Cube { n, .. } => hypercube_broadcast(*n, source),
+        }
+    }
+}
+
+impl NetTopology for BuiltTopology {
+    fn num_vertices(&self) -> u64 {
+        match self {
+            BuiltTopology::Sparse(g) => NetTopology::num_vertices(g),
+            BuiltTopology::Cube { net, .. } => net.num_vertices(),
+        }
+    }
+
+    fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        match self {
+            BuiltTopology::Sparse(g) => NetTopology::has_edge(g, u, v),
+            BuiltTopology::Cube { net, .. } => net.has_edge(u, v),
+        }
+    }
+
+    fn neighbors(&self, u: Vertex) -> Vec<Vertex> {
+        match self {
+            BuiltTopology::Sparse(g) => NetTopology::neighbors(g, u),
+            BuiltTopology::Cube { net, .. } => net.neighbors(u),
+        }
+    }
+}
+
+/// The traffic a replica drives through the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// `competing` simultaneous minimum-time broadcasts sharing the
+    /// network (the primary one from the replica's originator, the rest
+    /// from distinct random sources).
+    Broadcast {
+        /// Number of simultaneous broadcasts, `>= 1`.
+        competing: usize,
+    },
+    /// Hot-spot traffic: `senders` random vertices each request an
+    /// adaptive circuit to `target` in one round.
+    HotSpot {
+        /// The vertex everybody wants to reach.
+        target: Vertex,
+        /// Number of competing senders.
+        senders: usize,
+        /// Adaptive-routing length bound.
+        max_len: u32,
+    },
+    /// Random pairwise traffic: `rounds` rounds of `pairs` adaptive
+    /// (src, dst) circuit requests each.
+    Permutation {
+        /// Rounds to simulate.
+        rounds: usize,
+        /// Requests per round.
+        pairs: usize,
+        /// Adaptive-routing length bound.
+        max_len: u32,
+    },
+}
+
+impl Workload {
+    /// Human-readable label for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            Workload::Broadcast { competing } => format!("broadcast x{competing}"),
+            Workload::HotSpot {
+                target, senders, ..
+            } => format!("hot-spot {senders}->{target}"),
+            Workload::Permutation { rounds, pairs, .. } => {
+                format!("permutation {rounds}x{pairs}")
+            }
+        }
+    }
+}
+
+/// How the replica index maps to a broadcast originator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OriginatorPolicy {
+    /// Every replica broadcasts from the same vertex.
+    Fixed(Vertex),
+    /// Replica `r` broadcasts from vertex `r mod N` — with `N`
+    /// replications this is the all-originators sweep.
+    Sweep,
+    /// Each replica draws a uniform originator from its own stream.
+    Random,
+}
+
+/// Mid-run link-capacity change (a dilated link bank coming online or
+/// degrading), applied before the given round begins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DilationShift {
+    /// 0-based round index the shift takes effect at.
+    pub at_round: usize,
+    /// New per-link capacity, `>= 1`.
+    pub dilation: u32,
+}
+
+/// The per-replica fault model: how much damage each Monte Carlo draw
+/// injects before (and during) the run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Uniformly random links to fail (without replacement).
+    pub link_failures: usize,
+    /// Uniformly random non-protected vertices to crash.
+    pub node_crashes: usize,
+    /// Optional mid-run dilation change.
+    pub dilation_shift: Option<DilationShift>,
+}
+
+impl FaultSpec {
+    /// No damage at all — the baseline model.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the spec injects nothing.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// A complete declarative scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Catalog name (also the report key).
+    pub name: String,
+    /// Network under test.
+    pub topology: TopologySpec,
+    /// Traffic to drive.
+    pub workload: Workload,
+    /// Originator sweep policy (broadcast workloads).
+    pub originators: OriginatorPolicy,
+    /// Per-replica fault model.
+    pub faults: FaultSpec,
+    /// Per-link circuit capacity (1 = the paper's model).
+    pub dilation: u32,
+    /// Monte Carlo replication count.
+    pub replications: usize,
+    /// Base seed; replica `r` runs on the `r`-th split of this stream.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A baseline scenario: fixed originator 0, no faults, dilation 1,
+    /// one replication, seed 0. Adjust fields or chain the builders.
+    #[must_use]
+    pub fn new(name: impl Into<String>, topology: TopologySpec, workload: Workload) -> Self {
+        Self {
+            name: name.into(),
+            topology,
+            workload,
+            originators: OriginatorPolicy::Fixed(0),
+            faults: FaultSpec::none(),
+            dilation: 1,
+            replications: 1,
+            seed: 0,
+        }
+    }
+
+    /// Sets the originator policy.
+    #[must_use]
+    pub fn originators(mut self, policy: OriginatorPolicy) -> Self {
+        self.originators = policy;
+        self
+    }
+
+    /// Sets the fault model.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the link dilation.
+    ///
+    /// # Panics
+    /// Panics if `dilation == 0`.
+    #[must_use]
+    pub fn dilation(mut self, dilation: u32) -> Self {
+        assert!(dilation >= 1, "links need capacity >= 1");
+        self.dilation = dilation;
+        self
+    }
+
+    /// Sets the Monte Carlo replication count.
+    #[must_use]
+    pub fn replications(mut self, replications: usize) -> Self {
+        self.replications = replications;
+        self
+    }
+
+    /// Sets the base seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_builds_and_schedules() {
+        let sq = TopologySpec::SparseBase { n: 5, m: 2 }.build();
+        assert_eq!(sq.num_vertices(), 32);
+        let s = sq.schedule(3);
+        assert_eq!(s.source, 3);
+        assert_eq!(s.num_rounds(), 5);
+
+        let q = TopologySpec::Hypercube { n: 4 }.build();
+        assert_eq!(q.num_vertices(), 16);
+        assert!(q.has_edge(0, 1));
+        assert_eq!(q.schedule(0).num_rounds(), 4);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TopologySpec::SparseBase { n: 10, m: 3 }.label(), "G_{10,3}");
+        assert_eq!(TopologySpec::Hypercube { n: 8 }.label(), "Q_8");
+        assert_eq!(Workload::Broadcast { competing: 2 }.label(), "broadcast x2");
+    }
+
+    #[test]
+    fn builder_chain() {
+        let s = Scenario::new(
+            "t",
+            TopologySpec::Hypercube { n: 4 },
+            Workload::Broadcast { competing: 1 },
+        )
+        .originators(OriginatorPolicy::Sweep)
+        .faults(FaultSpec {
+            link_failures: 2,
+            ..FaultSpec::none()
+        })
+        .dilation(2)
+        .replications(16)
+        .seed(9);
+        assert_eq!(s.replications, 16);
+        assert_eq!(s.dilation, 2);
+        assert!(!s.faults.is_none());
+        assert_eq!(s.originators, OriginatorPolicy::Sweep);
+    }
+}

@@ -48,6 +48,172 @@ pub mod thread {
     pub use super::{scope, Scope};
 }
 
+pub mod deque {
+    //! Offline stand-in for `crossbeam-deque`: the [`Injector`] /
+    //! [`Worker`] / [`Stealer`] / [`Steal`] surface used by the
+    //! work-stealing executor in `shc-runtime`.
+    //!
+    //! The real crate is lock-free; this shim keeps the exact call shape
+    //! (FIFO worker queues, `steal`, `steal_batch_and_pop`) over mutexed
+    //! `VecDeque`s — correct under contention, merely slower, which is
+    //! fine for the workloads in this workspace. `Steal::Retry` is never
+    //! produced (a mutex never observes a torn race), but callers must
+    //! still handle it to stay source-compatible with the real crate.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt, mirroring `crossbeam_deque::Steal`.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// `Some` on success, `None` otherwise.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    fn lock<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        q.lock().unwrap_or_else(|e| panic!("deque poisoned: {e}"))
+    }
+
+    /// Global FIFO task pool, mirroring `crossbeam_deque::Injector`.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        #[must_use]
+        pub fn new() -> Self {
+            Self {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task into the global pool.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// `true` when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Steals one task from the pool.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks into `worker`'s local queue and pops
+        /// one of them.
+        pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
+            let mut global = lock(&self.queue);
+            let first = match global.pop_front() {
+                Some(t) => t,
+                None => return Steal::Empty,
+            };
+            // Move up to half of the remainder over, like the real crate.
+            let batch = global.len().div_ceil(2).min(16);
+            let mut local = lock(&worker.queue);
+            for _ in 0..batch {
+                match global.pop_front() {
+                    Some(t) => local.push_back(t),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+    }
+
+    /// A worker's local FIFO queue, mirroring
+    /// `crossbeam_deque::Worker::new_fifo`.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO worker queue.
+        #[must_use]
+        pub fn new_fifo() -> Self {
+            Self {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the local queue.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Pops the next local task.
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.queue).pop_front()
+        }
+
+        /// `true` when the local queue is empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Creates a [`Stealer`] handle other workers can steal through.
+        #[must_use]
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A handle for stealing from another worker's queue.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the victim's queue (its oldest task,
+        /// matching FIFO steal order).
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -74,5 +240,76 @@ mod tests {
             });
         })
         .expect("worker panicked");
+    }
+
+    #[test]
+    fn injector_steal_order_is_fifo() {
+        use super::deque::{Injector, Steal};
+        let inj: Injector<u32> = Injector::new();
+        assert!(inj.is_empty());
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.steal(), Steal::Success(1));
+        assert_eq!(inj.steal(), Steal::Success(2));
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn steal_batch_moves_work_to_local_queue() {
+        use super::deque::{Injector, Steal, Worker};
+        let inj: Injector<u32> = Injector::new();
+        for t in 0..10 {
+            inj.push(t);
+        }
+        let w: Worker<u32> = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert!(!w.is_empty(), "batch landed locally");
+        assert_eq!(w.pop(), Some(1));
+    }
+
+    #[test]
+    fn stealer_drains_victim() {
+        use super::deque::{Steal, Worker};
+        let w: Worker<u32> = Worker::new_fifo();
+        w.push(7);
+        w.push(8);
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(7));
+        assert_eq!(w.pop(), Some(8));
+        assert_eq!(s.clone().steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn work_stealing_across_threads_completes_all_tasks() {
+        use super::deque::{Injector, Steal, Worker};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inj: Injector<usize> = Injector::new();
+        for t in 0..200 {
+            inj.push(t);
+        }
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let local: Worker<usize> = Worker::new_fifo();
+                    loop {
+                        let task = local.pop().or_else(|| loop {
+                            match inj.steal_batch_and_pop(&local) {
+                                Steal::Success(t) => break Some(t),
+                                Steal::Empty => break None,
+                                Steal::Retry => {}
+                            }
+                        });
+                        match task {
+                            Some(_) => {
+                                done.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => break,
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 200);
     }
 }

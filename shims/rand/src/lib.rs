@@ -130,12 +130,35 @@ pub trait Rng: RngCore {
 
 impl<R: RngCore + ?Sized> Rng for R {}
 
-/// Mirrors `rand::SeedableRng` for the seeding entry point the workspace
+/// Mirrors `rand::SeedableRng` for the seeding entry points the workspace
 /// uses. Deliberately no `from_entropy`/`thread_rng`: every generator in
 /// this workspace is seeded explicitly so runs stay reproducible.
 pub trait SeedableRng: Sized {
-    /// Builds a generator from a 64-bit seed (deterministic).
-    fn seed_from_u64(seed: u64) -> Self;
+    /// Raw seed material, matching `rand_core::SeedableRng::Seed`.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds a generator from raw seed bytes (deterministic).
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds a generator from a 64-bit seed by expanding it into
+    /// [`Seed`](Self::Seed) bytes with SplitMix64 (deterministic; same
+    /// expansion as `rand_core`'s provided method).
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut out = Self::Seed::default();
+        let mut x = seed;
+        for chunk in out.as_mut().chunks_mut(8) {
+            // SplitMix64, as recommended by the xoshiro authors.
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, src) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = src;
+            }
+        }
+        Self::from_seed(out)
+    }
 }
 
 pub mod rngs {
@@ -150,19 +173,33 @@ pub mod rngs {
     }
 
     impl SeedableRng for StdRng {
-        fn seed_from_u64(seed: u64) -> Self {
-            // SplitMix64 expansion, as recommended by the xoshiro authors.
-            let mut x = seed;
-            let mut next = || {
-                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                let mut z = x;
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                z ^ (z >> 31)
-            };
-            Self {
-                s: [next(), next(), next(), next()],
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
             }
+            // xoshiro256** cycles on the all-zero state; nudge it off.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            Self { s }
+        }
+    }
+
+    impl StdRng {
+        /// Forks an independent deterministic child stream (a shim
+        /// extension beyond rand 0.8 — see shims/README.md): two words
+        /// are drawn from `self` and re-expanded through the SplitMix64
+        /// seeding path, so parent and child sequences are decorrelated
+        /// and each replica of a Monte Carlo run can own its stream.
+        #[must_use]
+        pub fn split(&mut self) -> Self {
+            use super::RngCore as _;
+            let a = self.next_u64();
+            let b = self.next_u64();
+            Self::seed_from_u64(a ^ b.rotate_left(32))
         }
     }
 
@@ -227,6 +264,17 @@ pub mod seq {
         /// Fisher–Yates shuffle in place.
         fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
 
+        /// Partial Fisher–Yates: moves a uniform random sample of
+        /// `amount` elements (shuffled) to the **front** of the slice and
+        /// returns `(sample, rest)`. Real rand 0.8 accumulates the sample
+        /// at the *end* instead — same distribution, different placement
+        /// and stream (see shims/README.md on draw re-blessing).
+        fn partial_shuffle<R: RngCore + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [Self::Item], &mut [Self::Item]);
+
         /// Uniformly random element, or `None` if empty.
         fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
     }
@@ -239,6 +287,19 @@ pub mod seq {
                 let j = rng.gen_range(0..=i);
                 self.swap(i, j);
             }
+        }
+
+        fn partial_shuffle<R: RngCore + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [T], &mut [T]) {
+            let take = amount.min(self.len());
+            for i in 0..take {
+                let j = rng.gen_range(i..self.len());
+                self.swap(i, j);
+            }
+            self.split_at_mut(take)
         }
 
         fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
@@ -288,6 +349,23 @@ mod tests {
     }
 
     #[test]
+    fn partial_shuffle_fronts_a_sample() {
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut r = StdRng::seed_from_u64(8);
+        let (sample, rest) = v.partial_shuffle(&mut r, 10);
+        assert_eq!(sample.len(), 10);
+        assert_eq!(rest.len(), 40);
+        let mut all: Vec<u32> = sample.iter().chain(rest.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>(), "a permutation");
+        // Oversized amounts saturate at the slice length.
+        let mut w = [1u32, 2, 3];
+        let (s, rest) = w.partial_shuffle(&mut r, 99);
+        assert_eq!(s.len(), 3);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
     fn shuffle_permutes() {
         let mut v: Vec<u32> = (0..100).collect();
         let mut r = StdRng::seed_from_u64(3);
@@ -303,5 +381,48 @@ mod tests {
         let mut r = StdRng::seed_from_u64(9);
         assert!(!r.gen_bool(0.0));
         assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn from_seed_matches_seed_from_u64_expansion() {
+        // seed_from_u64 must stay a pure SplitMix64 expansion through
+        // from_seed, so streams seeded either way agree.
+        let mut via_u64 = StdRng::seed_from_u64(0xDEAD_BEEF);
+        let mut seed = [0u8; 32];
+        let mut x = 0xDEAD_BEEFu64;
+        for chunk in seed.chunks_mut(8) {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        let mut via_bytes = StdRng::from_seed(seed);
+        for _ in 0..16 {
+            assert_eq!(via_u64.gen::<u64>(), via_bytes.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn zero_seed_still_generates() {
+        let mut r = StdRng::from_seed([0u8; 32]);
+        let draws: Vec<u64> = (0..8).map(|_| r.gen()).collect();
+        assert!(draws.iter().any(|&x| x != 0), "all-zero state escaped");
+    }
+
+    #[test]
+    fn split_is_deterministic_and_independent() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let mut child_a = a.split();
+        let mut child_b = b.split();
+        for _ in 0..16 {
+            assert_eq!(child_a.gen::<u64>(), child_b.gen::<u64>());
+        }
+        // Parent and child diverge, and successive splits differ.
+        let mut second = a.split();
+        let (x, y, z) = (a.gen::<u64>(), child_a.gen::<u64>(), second.gen::<u64>());
+        assert!(x != y && y != z && x != z, "streams must not collide");
     }
 }

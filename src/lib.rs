@@ -21,6 +21,7 @@
 //! | [`core`] | `shc-core` | `Construct_BASE` / `Construct(k;…)`, bounds, routing |
 //! | [`broadcast`] | `shc-broadcast` | schedules, validator, schemes, exact solver |
 //! | [`netsim`] | `shc-netsim` | circuit-switching simulator (§5 extension) |
+//! | [`runtime`] | `shc-runtime` | parallel scenario engine: fault injection, Monte Carlo replication |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@ pub use shc_core as core;
 pub use shc_graph as graph;
 pub use shc_labeling as labeling;
 pub use shc_netsim as netsim;
+pub use shc_runtime as runtime;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -56,5 +58,9 @@ pub mod prelude {
     pub use shc_core::{bounds, params, DimPartition, ShcStats, SparseHypercube};
     pub use shc_graph::prelude::*;
     pub use shc_labeling::{best_labeling, constructed_lambda, Labeling};
-    pub use shc_netsim::{replay_competing, replay_schedule, Engine, MaterializedNet};
+    pub use shc_netsim::{replay_competing, replay_schedule, Engine, FaultedNet, MaterializedNet};
+    pub use shc_runtime::{
+        builtin_catalog, run_scenario, FaultSpec, OriginatorPolicy, Scenario, ScenarioReport,
+        TopologySpec, Workload,
+    };
 }
