@@ -1,0 +1,245 @@
+//! Netsim engine throughput sweep: Q_n vs SQ_n under the three runtime
+//! workloads (broadcast replay, hot-spot, permutation), emitting a
+//! machine-readable `BENCH_netsim.json` so the perf trajectory has
+//! recorded points to compare refactors against.
+//!
+//! Flags:
+//! * `--fast`        — reduced sweep (CI / bit-rot guard sizes).
+//! * `--json PATH`   — output path (default `BENCH_netsim.json`).
+//! * `--max-n N`     — cap the cube dimension (default 16, fast: 10).
+//! * `--target-ms M` — measurement budget per cell (default 300).
+//!
+//! Measurement follows the criterion-shim pattern (one warmup, then
+//! geometric batch growth until the time budget is spent), but reports
+//! domain throughput — rounds/sec and requests/sec — rather than raw
+//! time per iteration, plus a peak-RSS proxy read from
+//! `/proc/self/status` where available.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use shc_broadcast::Schedule;
+use shc_netsim::{random_permutation_round, replay_competing, Engine, NetTopology, SimStats};
+use shc_runtime::TopologySpec;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured cell of the sweep.
+#[derive(Clone, Debug, Serialize)]
+struct BenchRow {
+    /// Topology label (`Q_n` / `G_{n,m}`).
+    topology: String,
+    /// Workload label.
+    workload: String,
+    /// Cube dimension.
+    n: u32,
+    /// Vertices in the topology.
+    num_vertices: u64,
+    /// Simulated rounds per wall-clock second.
+    rounds_per_sec: f64,
+    /// Circuit requests (established + blocked) per wall-clock second.
+    requests_per_sec: f64,
+    /// Iterations measured.
+    iters: u64,
+    /// Total measured wall-clock milliseconds.
+    elapsed_ms: f64,
+}
+
+/// Whole-run artifact: the sweep plus a peak-RSS proxy.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    /// Artifact schema/bench name.
+    bench: &'static str,
+    /// `--fast` sizes in effect.
+    fast: bool,
+    /// Peak resident set size in kilobytes (`VmHWM`; 0 if unavailable).
+    peak_rss_kb: u64,
+    /// Measured cells.
+    rows: Vec<BenchRow>,
+}
+
+/// Times `routine` with warmup + geometric batch growth until `target`
+/// is spent; returns (per-iteration stats sample, iterations, elapsed).
+fn measure<F: FnMut() -> SimStats>(target: Duration, mut routine: F) -> (SimStats, u64, Duration) {
+    let sample = black_box(routine()); // warmup + shape sample
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    let mut batch = 1u64;
+    while total < target && iters < 1_000_000 {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        total += start.elapsed();
+        iters += batch;
+        batch = batch.saturating_mul(2);
+    }
+    (sample, iters, total)
+}
+
+fn row(
+    topology: &str,
+    workload: &str,
+    n: u32,
+    num_vertices: u64,
+    target: Duration,
+    routine: impl FnMut() -> SimStats,
+) -> BenchRow {
+    let (stats, iters, elapsed) = measure(target, routine);
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let requests = (stats.established + stats.blocked) as u64 * iters;
+    let rounds = stats.rounds as u64 * iters;
+    let row = BenchRow {
+        topology: topology.to_string(),
+        workload: workload.to_string(),
+        n,
+        num_vertices,
+        rounds_per_sec: rounds as f64 / secs,
+        requests_per_sec: requests as f64 / secs,
+        iters,
+        elapsed_ms: secs * 1e3,
+    };
+    println!(
+        "{:<10} {:<14} n={:<2} {:>12.0} rounds/s {:>14.0} req/s   ({} iters, {:.0} ms)",
+        row.topology,
+        row.workload,
+        n,
+        row.rounds_per_sec,
+        row.requests_per_sec,
+        iters,
+        secs * 1e3
+    );
+    row
+}
+
+/// `VmHWM` (peak RSS) in kB from `/proc/self/status`; 0 when unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// The three runtime workloads over one topology.
+fn sweep_topology<T: NetTopology>(
+    rows: &mut Vec<BenchRow>,
+    label: &str,
+    n: u32,
+    net: &T,
+    schedules: &[Schedule],
+    target: Duration,
+) {
+    let nv = net.num_vertices();
+    // Broadcast: 4 competing minimum-time broadcasts share the network.
+    rows.push(row(label, "broadcast_x4", n, nv, target, || {
+        replay_competing(net, schedules, 1)
+    }));
+    // Hot-spot: every sender wants vertex 0, adaptively routed.
+    let senders: Vec<u64> = (1..nv.min(1025)).collect();
+    rows.push(row(label, "hot_spot", n, nv, target, || {
+        let mut sim = Engine::new(net, 1);
+        sim.begin_round();
+        for &s in &senders {
+            let _ = sim.request(s, 0, n + 2);
+        }
+        sim.finish()
+    }));
+    // Permutation: random pairwise adaptive traffic, one round per iter.
+    let pairs = nv.min(2048) as usize;
+    let mut rng = StdRng::seed_from_u64(0xBE9C);
+    rows.push(row(label, "permutation", n, nv, target, move || {
+        random_permutation_round(net, pairs, n + 2, 1, &mut rng)
+    }));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fast = false;
+    let mut json_path = String::from("BENCH_netsim.json");
+    let mut max_n: Option<u32> = None;
+    let mut target_ms = 300u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fast" => fast = true,
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--max-n" => {
+                i += 1;
+                max_n = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--max-n needs a number");
+                    std::process::exit(2);
+                }));
+            }
+            "--target-ms" => {
+                i += 1;
+                target_ms = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--target-ms needs a number");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let cap = max_n.unwrap_or(if fast { 10 } else { 16 });
+    let dims: Vec<u32> = [8u32, 10, 12, 14, 16]
+        .into_iter()
+        .filter(|&n| n <= cap)
+        .collect();
+    let target = Duration::from_millis(if fast { target_ms.min(60) } else { target_ms });
+    println!(
+        "exp_perf sweep: n in {dims:?}, {} ms budget per cell{}",
+        target.as_millis(),
+        if fast { " (fast)" } else { "" }
+    );
+
+    let mut rows = Vec::new();
+    for &n in &dims {
+        // Both sides of the sweep go through the runtime's BuiltTopology,
+        // which freezes its link table once at construction — engines
+        // constructed inside the timed loops share the frozen table, so
+        // neither side pays per-iteration freeze cost.
+        let specs = [
+            TopologySpec::Hypercube { n },
+            TopologySpec::SparseBase { n, m: 3.min(n - 1) },
+        ];
+        for spec in specs {
+            let topo = spec.build();
+            let schedules: Vec<Schedule> = [0u64, 1, (1 << n) / 2, (1 << n) - 1]
+                .iter()
+                .map(|&s| topo.schedule(s))
+                .collect();
+            sweep_topology(&mut rows, &spec.label(), n, &topo, &schedules, target);
+        }
+    }
+
+    let report = BenchReport {
+        bench: "netsim_engine",
+        fast,
+        peak_rss_kb: peak_rss_kb(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    if let Err(e) = std::fs::write(&json_path, &json) {
+        eprintln!("cannot write {json_path}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "BENCH artifact written to {json_path} (peak RSS {} kB)",
+        report.peak_rss_kb
+    );
+}

@@ -46,7 +46,10 @@ pub enum BroadcastTime {
 /// schedule exists within `max_rounds` (e.g. disconnected graphs).
 ///
 /// # Panics
-/// Panics under the same conditions as [`solve_min_time`].
+/// Panics under the same conditions as [`solve_min_time`], including a
+/// `source` outside `0..n` (the informed set is a bitmask over `0..n`, so
+/// an out-of-range source would silently corrupt it — or overflow the
+/// shift — instead of searching).
 #[must_use]
 pub fn broadcast_time(
     graph: &AdjGraph,
@@ -57,6 +60,10 @@ pub fn broadcast_time(
 ) -> BroadcastTime {
     let n = graph.num_vertices();
     assert!((1..=24).contains(&n), "exact solver capped at 24 vertices");
+    assert!(
+        (source as usize) < n,
+        "source {source} out of range for a {n}-vertex graph"
+    );
     assert!(k >= 1);
     let floor = ceil_log2(n as u64) as usize;
     for rounds in floor..=max_rounds.max(floor) {
@@ -103,7 +110,10 @@ struct Searcher<'a> {
 /// spending at most `node_budget` search nodes.
 ///
 /// # Panics
-/// Panics if the graph has more than 24 vertices or is empty.
+/// Panics if the graph has more than 24 vertices or is empty, or if
+/// `source` is not a vertex of the graph (an out-of-range source would
+/// plant a phantom bit in the informed-set mask — returning wrong
+/// schedules for `source < 32` and overflowing the shift beyond).
 #[must_use]
 pub fn solve_min_time(
     graph: &AdjGraph,
@@ -114,6 +124,10 @@ pub fn solve_min_time(
     let n = graph.num_vertices();
     assert!(n >= 1, "empty graph");
     assert!(n <= 24, "exact solver capped at 24 vertices");
+    assert!(
+        (source as usize) < n,
+        "source {source} out of range for a {n}-vertex graph"
+    );
     assert!(k >= 1);
     let total_rounds = ceil_log2(n as u64) as usize;
     let mut s = Searcher {
@@ -360,6 +374,28 @@ mod tests {
         for source in 0..8 {
             assert_found(&g, source, 1);
         }
+    }
+
+    // Regression: a source in `n..32` used to plant a phantom bit in the
+    // informed-set mask and return wrong schedules; a source `>= 32` used
+    // to panic with an unhelpful shift overflow. Both must now fail fast
+    // with a clear message.
+    #[test]
+    #[should_panic(expected = "source 7 out of range for a 4-vertex graph")]
+    fn solve_rejects_phantom_source() {
+        let _ = solve_min_time(&cycle(4), 7, 1, BUDGET);
+    }
+
+    #[test]
+    #[should_panic(expected = "source 40 out of range for a 4-vertex graph")]
+    fn solve_rejects_shift_overflow_source() {
+        let _ = solve_min_time(&cycle(4), 40, 1, BUDGET);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn broadcast_time_rejects_out_of_range_source() {
+        let _ = broadcast_time(&path(5), 5, 1, 8, BUDGET);
     }
 
     #[test]

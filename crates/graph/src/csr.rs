@@ -3,11 +3,20 @@
 //! [`CsrGraph`] is the read-optimized form used by hot loops (BFS sweeps,
 //! diameter computation, the netsim engine): one offsets array and one
 //! targets array, contiguous in memory, so neighbor scans are a single
-//! cache-friendly slice walk.
+//! cache-friendly slice walk. Each target entry additionally carries a
+//! stable undirected **edge id** in `0..num_edges()`, so per-edge state
+//! (link occupancy, fault masks) can live in flat arrays instead of
+//! hash maps keyed by vertex pairs.
 
 use crate::adjacency::AdjGraph;
 use crate::view::{GraphView, Node};
 use serde::{Deserialize, Serialize};
+
+/// Stable identifier of an undirected edge in a [`CsrGraph`], dense in
+/// `0..num_edges()`. Ids are assigned in [`GraphView::edge_iter`] order
+/// (vertex-major, `u < v`), so they are reproducible across freezes of
+/// the same graph.
+pub type EdgeId = u32;
 
 /// Immutable CSR representation of an undirected graph.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -16,25 +25,78 @@ pub struct CsrGraph {
     offsets: Box<[usize]>,
     /// Concatenated sorted adjacency lists.
     targets: Box<[Node]>,
+    /// `edge_ids[i]` is the undirected edge id of the edge `{u, targets[i]}`
+    /// (same id on both directions of the edge).
+    edge_ids: Box<[EdgeId]>,
     num_edges: usize,
 }
 
 impl CsrGraph {
-    /// Freezes an [`AdjGraph`] into CSR form.
+    /// Freezes an [`AdjGraph`] into CSR form. `AdjGraph` keeps its
+    /// adjacency sorted, so this is allocation-only.
     #[must_use]
     pub fn from_adj(g: &AdjGraph) -> Self {
+        Self::from_view(g)
+    }
+
+    /// Freezes any [`GraphView`] into CSR form. Neighbor lists are copied
+    /// and — if the source violates the sorted-adjacency contract —
+    /// sorted during freezing, so the binary-search-based edge and
+    /// edge-id lookups on the frozen graph are always sound.
+    ///
+    /// # Panics
+    /// Panics if an edge appears in only one endpoint's adjacency list or
+    /// if a list contains duplicates (a malformed [`GraphView`]).
+    #[must_use]
+    pub fn from_view<G: GraphView>(g: &G) -> Self {
         let n = g.num_vertices();
         let mut offsets = Vec::with_capacity(n + 1);
         let mut targets = Vec::with_capacity(2 * g.num_edges());
         offsets.push(0usize);
         for u in 0..n as Node {
+            let start = targets.len();
             targets.extend_from_slice(g.neighbors(u));
+            let slice = &mut targets[start..];
+            if !slice.windows(2).all(|w| w[0] < w[1]) {
+                slice.sort_unstable();
+                assert!(
+                    slice.windows(2).all(|w| w[0] < w[1]),
+                    "adjacency list of vertex {u} contains duplicates"
+                );
+            }
             offsets.push(targets.len());
         }
+        // Second pass: assign dense undirected edge ids in edge_iter
+        // order. For `u < v` the id is fresh; the mirror direction finds
+        // it by binary search in `v`'s (already numbered) slice.
+        let mut edge_ids = vec![EdgeId::MAX; targets.len()];
+        let mut next: EdgeId = 0;
+        for u in 0..n {
+            for i in offsets[u]..offsets[u + 1] {
+                let v = targets[i] as usize;
+                if v > u {
+                    edge_ids[i] = next;
+                    next = next.checked_add(1).expect("more than 2^32 edges");
+                } else {
+                    let back = targets[offsets[v]..offsets[v + 1]]
+                        .binary_search(&(u as Node))
+                        .unwrap_or_else(|_| {
+                            panic!("edge ({v},{u}) missing its mirror — asymmetric adjacency")
+                        });
+                    edge_ids[i] = edge_ids[offsets[v] + back];
+                }
+            }
+        }
+        assert_eq!(
+            next as usize,
+            targets.len() / 2,
+            "edge count mismatch while freezing (asymmetric adjacency?)"
+        );
         Self {
             offsets: offsets.into_boxed_slice(),
             targets: targets.into_boxed_slice(),
-            num_edges: g.num_edges(),
+            edge_ids: edge_ids.into_boxed_slice(),
+            num_edges: next as usize,
         }
     }
 
@@ -48,6 +110,29 @@ impl CsrGraph {
     #[must_use]
     pub fn target_len(&self) -> usize {
         self.targets.len()
+    }
+
+    /// Stable id of the undirected edge `{u, v}`, or `None` when absent
+    /// (including out-of-range endpoints). `O(log deg)` binary search.
+    #[must_use]
+    pub fn edge_id(&self, u: Node, v: Node) -> Option<EdgeId> {
+        let ui = u as usize;
+        if ui + 1 >= self.offsets.len() || (v as usize) + 1 >= self.offsets.len() {
+            return None;
+        }
+        let range = self.offsets[ui]..self.offsets[ui + 1];
+        self.targets[range.clone()]
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.edge_ids[range.start + i])
+    }
+
+    /// The edge ids parallel to [`GraphView::neighbors`]`(u)`:
+    /// `edge_ids_of(u)[i]` is the id of edge `{u, neighbors(u)[i]}`.
+    #[must_use]
+    pub fn edge_ids_of(&self, u: Node) -> &[EdgeId] {
+        let u = u as usize;
+        &self.edge_ids[self.offsets[u]..self.offsets[u + 1]]
     }
 }
 
@@ -116,6 +201,81 @@ mod tests {
         let a: Vec<_> = adj.edge_iter().collect();
         let c: Vec<_> = csr.edge_iter().collect();
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn edge_ids_are_dense_stable_and_symmetric() {
+        let csr = CsrGraph::from_adj(&sample());
+        // Ids follow edge_iter order: (0,1)=0, (0,2)=1, (1,2)=2, (3,4)=3.
+        let expected: Vec<(Node, Node)> = csr.edge_iter().collect();
+        for (id, &(u, v)) in expected.iter().enumerate() {
+            assert_eq!(csr.edge_id(u, v), Some(id as EdgeId));
+            assert_eq!(csr.edge_id(v, u), Some(id as EdgeId), "symmetric");
+        }
+        assert_eq!(csr.edge_id(0, 4), None);
+        assert_eq!(csr.edge_id(0, 99), None, "out of range");
+        assert_eq!(csr.edge_id(99, 0), None, "out of range");
+    }
+
+    #[test]
+    fn edge_ids_of_parallels_neighbors() {
+        let csr = CsrGraph::from_adj(&sample());
+        for u in 0..csr.num_vertices() as Node {
+            let nbrs = csr.neighbors(u);
+            let ids = csr.edge_ids_of(u);
+            assert_eq!(nbrs.len(), ids.len());
+            for (&v, &id) in nbrs.iter().zip(ids) {
+                assert_eq!(csr.edge_id(u, v), Some(id));
+            }
+        }
+    }
+
+    /// A GraphView whose adjacency deliberately violates the sorted
+    /// contract: freezing must repair it so binary search stays sound.
+    struct UnsortedView {
+        adj: Vec<Vec<Node>>,
+    }
+
+    impl GraphView for UnsortedView {
+        fn num_vertices(&self) -> usize {
+            self.adj.len()
+        }
+        fn neighbors(&self, u: Node) -> &[Node] {
+            &self.adj[u as usize]
+        }
+        fn num_edges(&self) -> usize {
+            self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        }
+    }
+
+    #[test]
+    fn from_view_sorts_unsorted_insertion_order() {
+        // Triangle 0-1-2 plus pendant 3, every list deliberately unsorted.
+        let view = UnsortedView {
+            adj: vec![vec![2, 3, 1], vec![2, 0], vec![0, 1], vec![0]],
+        };
+        let csr = CsrGraph::from_view(&view);
+        assert_eq!(csr.neighbors(0), &[1, 2, 3]);
+        assert_eq!(csr.neighbors(1), &[0, 2]);
+        assert_eq!(csr.num_edges(), 4);
+        // Binary-search-based lookups are sound after the repair.
+        assert!(csr.has_edge(0, 3));
+        assert!(!csr.has_edge(1, 3));
+        assert_eq!(csr.edge_id(3, 0), csr.edge_id(0, 3));
+        let ids: Vec<_> = (0..4)
+            .map(|u| csr.edge_ids_of(u).to_vec())
+            .collect::<Vec<_>>()
+            .concat();
+        assert_eq!(*ids.iter().max().unwrap() as usize, csr.num_edges() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicates")]
+    fn from_view_rejects_duplicate_neighbors() {
+        let view = UnsortedView {
+            adj: vec![vec![1, 1], vec![0, 0]],
+        };
+        let _ = CsrGraph::from_view(&view);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod view;
 
 pub use adjacency::AdjGraph;
 pub use bitset::BitSet;
-pub use csr::CsrGraph;
+pub use csr::{CsrGraph, EdgeId};
 pub use view::{GraphView, Node};
 
 /// Convenient glob-import of the common types and traits.

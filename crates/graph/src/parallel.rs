@@ -9,6 +9,7 @@
 use crate::traversal::{bfs_distances, UNREACHABLE};
 use crate::view::{GraphView, Node};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Picks a worker count: respects the explicit request, otherwise the
 /// available parallelism (capped by the amount of work).
@@ -20,6 +21,11 @@ fn worker_count(requested: Option<usize>, work_items: usize) -> usize {
 /// Parallel eccentricities; `None` if the graph is disconnected.
 ///
 /// `threads = None` uses the machine's available parallelism.
+///
+/// Disconnection is detected by the *first* BFS that sees an unreachable
+/// vertex and shared through an [`AtomicBool`]; sibling workers check it
+/// between sources, so a disconnected graph aborts after O(one BFS per
+/// worker) instead of every worker completing its full O(n·m) sweep.
 #[must_use]
 pub fn eccentricities_parallel<G: GraphView + Sync>(
     g: &G,
@@ -32,7 +38,7 @@ pub fn eccentricities_parallel<G: GraphView + Sync>(
     let workers = worker_count(threads, n);
     let chunk = n.div_ceil(workers);
     let ecc = Mutex::new(vec![0u32; n]);
-    let disconnected = Mutex::new(false);
+    let disconnected = AtomicBool::new(false);
 
     crossbeam::scope(|scope| {
         for w in 0..workers {
@@ -42,11 +48,16 @@ pub fn eccentricities_parallel<G: GraphView + Sync>(
             scope.spawn(move |_| {
                 let mut local = Vec::with_capacity(range.len());
                 for u in range.clone() {
+                    // A sibling already proved disconnection: the result
+                    // is `None` regardless, stop burning BFS sweeps.
+                    if disconnected.load(Ordering::Relaxed) {
+                        return;
+                    }
                     let dist = bfs_distances(g, u as Node);
                     let mut max = 0u32;
                     for &d in &dist {
                         if d == UNREACHABLE {
-                            *disconnected.lock() = true;
+                            disconnected.store(true, Ordering::Relaxed);
                             return;
                         }
                         max = max.max(d);
@@ -60,7 +71,7 @@ pub fn eccentricities_parallel<G: GraphView + Sync>(
     })
     .expect("worker panicked");
 
-    if *disconnected.lock() {
+    if disconnected.load(Ordering::Relaxed) {
         None
     } else {
         Some(ecc.into_inner())
@@ -137,6 +148,53 @@ mod tests {
     fn parallel_disconnected_is_none() {
         let g = AdjGraph::from_edges(5, [(0, 1), (2, 3)]);
         assert_eq!(diameter_parallel(&g, Some(2)), None);
+    }
+
+    /// Wrapper that counts `neighbors()` calls — a machine-independent
+    /// proxy for BFS work done by the sweep.
+    struct CountingView<'a> {
+        inner: &'a AdjGraph,
+        calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl GraphView for CountingView<'_> {
+        fn num_vertices(&self) -> usize {
+            self.inner.num_vertices()
+        }
+        fn neighbors(&self, u: Node) -> &[Node] {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            self.inner.neighbors(u)
+        }
+        fn num_edges(&self) -> usize {
+            self.inner.num_edges()
+        }
+    }
+
+    #[test]
+    fn parallel_large_disconnected_aborts_early() {
+        // Two disjoint hypercubes: every BFS sees half the graph as
+        // unreachable, so the very first source per worker trips the
+        // shared flag and siblings stop between sources. Without the
+        // early-out, all 2048 sweeps run: ~2M neighbor scans. With it,
+        // each of the 4 workers finishes at most the sweep it is in
+        // (~1024 scans each, plus a few in flight when the flag lands).
+        let q = hypercube(10);
+        let mut g = AdjGraph::with_vertices(2048);
+        for (u, v) in q.edge_iter() {
+            g.add_edge(u, v);
+            g.add_edge(u + 1024, v + 1024);
+        }
+        let counting = CountingView {
+            inner: &g,
+            calls: std::sync::atomic::AtomicUsize::new(0),
+        };
+        assert_eq!(eccentricities_parallel(&counting, Some(4)), None);
+        let calls = counting.calls.load(Ordering::Relaxed);
+        assert!(
+            calls < 100_000,
+            "disconnected sweep did {calls} neighbor scans — early abort regressed"
+        );
+        assert_eq!(diameter_parallel(&g, Some(4)), None);
     }
 
     #[test]

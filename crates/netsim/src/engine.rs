@@ -11,14 +11,22 @@
 //!   route (used to replay validated broadcast schedules);
 //! * **adaptive** ([`Engine::request`]) — the engine finds a shortest path
 //!   avoiding saturated links, within a length bound.
+//!
+//! The hot path is allocation-free in steady state: link occupancy is a
+//! flat `Vec<u32>` indexed by the topology's frozen [`LinkTable`] ids
+//! (reset per round through a dirty list, not by clearing a map), and the
+//! adaptive router reuses an epoch-stamped visited array, a parent array,
+//! and a ring queue across requests.
 
+use crate::links::{LinkId, LinkTable};
 use crate::topology::{NetTopology, Vertex};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Why a circuit was refused.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum BlockReason {
-    /// A supplied path hop is not an edge.
+    /// A supplied path hop is not a (live) edge.
     NotAnEdge((Vertex, Vertex)),
     /// Some link along the (only possible) route is saturated.
     Saturated,
@@ -108,38 +116,59 @@ impl SimStats {
     }
 }
 
-/// The simulator. Holds the topology by reference and per-round link
-/// occupancy.
+/// The simulator. Holds the topology by reference, its frozen link
+/// table, and flat per-link occupancy plus reusable routing scratch.
 pub struct Engine<'a, T: NetTopology> {
     net: &'a T,
+    table: Arc<LinkTable>,
     dilation: u32,
-    usage: HashMap<(Vertex, Vertex), u32>,
+    /// Circuits currently on each link this round, indexed by link id.
+    usage: Vec<u32>,
+    /// Link ids with nonzero usage this round (may contain benign
+    /// duplicates after a rolled-back admission); zeroed on round reset.
+    dirty: Vec<LinkId>,
+    /// Scratch: link ids of the path under admission.
+    path_ids: Vec<LinkId>,
+    /// Scratch: BFS visited stamp per vertex (`== epoch` means seen).
+    seen: Vec<u32>,
+    /// Scratch: BFS predecessor vertex per vertex.
+    parent: Vec<u32>,
+    /// Scratch: link id used to reach each vertex.
+    parent_link: Vec<LinkId>,
+    /// Current BFS epoch (bumped per adaptive request).
+    epoch: u32,
+    /// Scratch: BFS ring queue of `(vertex, depth)`.
+    queue: VecDeque<(u32, u32)>,
     round_peak: u32,
     round_max_hops: u64,
     stats: SimStats,
     round_open: bool,
 }
 
-fn norm(u: Vertex, v: Vertex) -> (Vertex, Vertex) {
-    if u <= v {
-        (u, v)
-    } else {
-        (v, u)
-    }
-}
-
 impl<'a, T: NetTopology> Engine<'a, T> {
     /// Creates an engine over `net` with per-link capacity `dilation`.
+    /// Obtains the topology's frozen link table once (topologies frozen
+    /// at construction hand out a shared table; others freeze here).
     ///
     /// # Panics
     /// Panics if `dilation == 0`.
     #[must_use]
     pub fn new(net: &'a T, dilation: u32) -> Self {
         assert!(dilation >= 1, "links need capacity >= 1");
+        let table = net.link_table();
+        let n = usize::try_from(table.num_vertices()).expect("vertex count fits usize");
         Self {
             net,
             dilation,
-            usage: HashMap::new(),
+            usage: vec![0; table.num_links()],
+            dirty: Vec::new(),
+            path_ids: Vec::new(),
+            seen: vec![0; n],
+            parent: vec![0; n],
+            parent_link: vec![0; n],
+            epoch: 0,
+            queue: VecDeque::new(),
+            table,
             round_peak: 0,
             round_max_hops: 0,
             stats: SimStats::default(),
@@ -166,12 +195,15 @@ impl<'a, T: NetTopology> Engine<'a, T> {
     }
 
     /// Starts a new time unit: all circuits from the previous round are
-    /// torn down.
+    /// torn down (only the links actually used are reset).
     pub fn begin_round(&mut self) {
         if self.round_open {
             self.close_round();
         }
-        self.usage.clear();
+        for &id in &self.dirty {
+            self.usage[id as usize] = 0;
+        }
+        self.dirty.clear();
         self.round_peak = 0;
         self.round_max_hops = 0;
         self.round_open = true;
@@ -188,22 +220,29 @@ impl<'a, T: NetTopology> Engine<'a, T> {
         }
     }
 
-    /// Remaining capacity of a link this round.
-    fn available(&self, u: Vertex, v: Vertex) -> u32 {
-        let used = self.usage.get(&norm(u, v)).copied().unwrap_or(0);
-        self.dilation.saturating_sub(used)
-    }
-
-    fn occupy(&mut self, path: &[Vertex]) {
-        for w in path.windows(2) {
-            let e = norm(w[0], w[1]);
-            let cnt = self.usage.entry(e).or_insert(0);
-            *cnt += 1;
-            self.round_peak = self.round_peak.max(*cnt);
+    /// Commits the circuit whose link ids sit in `self.path_ids`
+    /// (occupancy was already incremented by admission).
+    fn commit(&mut self, hops: usize) {
+        for i in 0..self.path_ids.len() {
+            self.round_peak = self.round_peak.max(self.usage[self.path_ids[i] as usize]);
         }
         self.stats.established += 1;
-        self.stats.total_hops += path.len() - 1;
-        self.round_max_hops = self.round_max_hops.max((path.len() - 1) as u64);
+        self.stats.total_hops += hops;
+        self.round_max_hops = self.round_max_hops.max(hops as u64);
+    }
+
+    /// Increments occupancy for one link; returns `false` (over capacity)
+    /// without recording when the link is already saturated.
+    fn try_occupy(&mut self, id: LinkId) -> bool {
+        let slot = &mut self.usage[id as usize];
+        if *slot >= self.dilation {
+            return false;
+        }
+        *slot += 1;
+        if *slot == 1 {
+            self.dirty.push(id);
+        }
+        true
     }
 
     /// Requests a circuit along an explicit path.
@@ -213,24 +252,30 @@ impl<'a, T: NetTopology> Engine<'a, T> {
     pub fn request_path(&mut self, path: &[Vertex]) -> Outcome {
         assert!(self.round_open, "begin_round first");
         assert!(path.len() >= 2, "a circuit needs two endpoints");
+        self.path_ids.clear();
         for w in path.windows(2) {
-            if !self.net.has_edge(w[0], w[1]) {
-                self.stats.blocked += 1;
-                return Outcome::Blocked(BlockReason::NotAnEdge((w[0], w[1])));
+            // Live-edge test: present in the frozen table and not masked
+            // by a damage overlay.
+            match self.table.link_id(w[0], w[1]) {
+                Some(id) if !self.net.link_blocked(id) => self.path_ids.push(id),
+                _ => {
+                    self.stats.blocked += 1;
+                    return Outcome::Blocked(BlockReason::NotAnEdge((w[0], w[1])));
+                }
             }
         }
-        // Per-path multiplicity counts toward capacity too.
-        let mut need: HashMap<(Vertex, Vertex), u32> = HashMap::new();
-        for w in path.windows(2) {
-            *need.entry(norm(w[0], w[1])).or_insert(0) += 1;
-        }
-        for (&e, &cnt) in &need {
-            if self.available(e.0, e.1) < cnt {
+        // Tentatively occupy hop by hop so per-path multiplicity counts
+        // toward capacity too; roll back on the first saturated link.
+        for k in 0..self.path_ids.len() {
+            if !self.try_occupy(self.path_ids[k]) {
+                for i in 0..k {
+                    self.usage[self.path_ids[i] as usize] -= 1;
+                }
                 self.stats.blocked += 1;
                 return Outcome::Blocked(BlockReason::Saturated);
             }
         }
-        self.occupy(path);
+        self.commit(path.len() - 1);
         Outcome::Established(path.to_vec())
     }
 
@@ -239,40 +284,49 @@ impl<'a, T: NetTopology> Engine<'a, T> {
     /// hops.
     ///
     /// # Panics
-    /// Panics if called outside a round or if `src == dst`.
+    /// Panics if called outside a round, if `src == dst`, or if either
+    /// endpoint is out of range for the topology.
     pub fn request(&mut self, src: Vertex, dst: Vertex, max_len: u32) -> Outcome {
         assert!(self.round_open, "begin_round first");
         assert_ne!(src, dst, "self-circuit");
-        // BFS over links with spare capacity.
-        let mut parent: HashMap<Vertex, Vertex> = HashMap::new();
-        let mut queue: VecDeque<(Vertex, u32)> = VecDeque::new();
-        parent.insert(src, src);
-        queue.push_back((src, 0));
+        let n = self.table.num_vertices();
+        assert!(
+            src < n && dst < n,
+            "request endpoints ({src}, {dst}) out of range for {n} vertices"
+        );
+        // BFS over links with spare capacity, reusing the epoch-stamped
+        // scratch arrays (no per-request allocation in steady state).
+        if self.epoch == u32::MAX {
+            self.seen.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.queue.clear();
+        self.seen[src as usize] = self.epoch;
+        self.queue.push_back((src as u32, 0));
         let mut any_route_capacity_blind = false;
-        while let Some((x, d)) = queue.pop_front() {
+        while let Some((x, d)) = self.queue.pop_front() {
             if d == max_len {
                 continue;
             }
-            for y in self.net.neighbors(x) {
-                if y == dst {
-                    any_route_capacity_blind = true;
-                }
-                if parent.contains_key(&y) || self.available(x, y) == 0 {
+            let (targets, ids) = self.table.links_of(u64::from(x));
+            for (&y, &id) in targets.iter().zip(ids) {
+                if self.net.link_blocked(id) {
                     continue;
                 }
-                parent.insert(y, x);
-                if y == dst {
-                    let mut path = vec![dst];
-                    let mut cur = dst;
-                    while cur != src {
-                        cur = parent[&cur];
-                        path.push(cur);
-                    }
-                    path.reverse();
-                    self.occupy(&path);
-                    return Outcome::Established(path);
+                if u64::from(y) == dst {
+                    any_route_capacity_blind = true;
                 }
-                queue.push_back((y, d + 1));
+                if self.seen[y as usize] == self.epoch || self.usage[id as usize] >= self.dilation {
+                    continue;
+                }
+                self.seen[y as usize] = self.epoch;
+                self.parent[y as usize] = x;
+                self.parent_link[y as usize] = id;
+                if u64::from(y) == dst {
+                    return self.establish_found(src, dst);
+                }
+                self.queue.push_back((y, d + 1));
             }
         }
         self.stats.blocked += 1;
@@ -283,6 +337,29 @@ impl<'a, T: NetTopology> Engine<'a, T> {
         }
     }
 
+    /// Walks the parent chain from `dst` back to `src`, occupies the
+    /// links, and returns the established path.
+    fn establish_found(&mut self, src: Vertex, dst: Vertex) -> Outcome {
+        let mut path = vec![dst];
+        self.path_ids.clear();
+        let mut cur = dst as u32;
+        while u64::from(cur) != src {
+            self.path_ids.push(self.parent_link[cur as usize]);
+            cur = self.parent[cur as usize];
+            path.push(u64::from(cur));
+        }
+        path.reverse();
+        // A BFS path is simple, so each link appears once: capacity was
+        // already checked during the search and occupation cannot fail.
+        for i in 0..self.path_ids.len() {
+            let id = self.path_ids[i];
+            let occupied = self.try_occupy(id);
+            debug_assert!(occupied, "BFS admitted a saturated link");
+        }
+        self.commit(path.len() - 1);
+        Outcome::Established(path)
+    }
+
     /// Accumulated statistics (folds in the open round).
     #[must_use]
     pub fn finish(mut self) -> SimStats {
@@ -290,10 +367,19 @@ impl<'a, T: NetTopology> Engine<'a, T> {
         self.stats
     }
 
-    /// Current per-link usage snapshot (normalized edge → circuits).
+    /// Current per-link usage snapshot (normalized edge → circuits),
+    /// reconstructed from the flat occupancy vector. Diagnostic /
+    /// cross-check API — not on the hot path.
     #[must_use]
-    pub fn usage_snapshot(&self) -> &HashMap<(Vertex, Vertex), u32> {
-        &self.usage
+    pub fn usage_snapshot(&self) -> HashMap<(Vertex, Vertex), u32> {
+        let mut map = HashMap::new();
+        for (u, v, id) in self.table.iter_links() {
+            let load = self.usage[id as usize];
+            if load > 0 {
+                map.insert((u, v), load);
+            }
+        }
+        map
     }
 }
 
@@ -395,6 +481,29 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_path_hop_blocks_cleanly() {
+        let net = MaterializedNet::new(cycle(4));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        // A hop with an out-of-range endpoint is NotAnEdge, not a panic.
+        assert_eq!(
+            sim.request_path(&[0, 17]),
+            Outcome::Blocked(BlockReason::NotAnEdge((0, 17)))
+        );
+        let stats = sim.finish();
+        assert_eq!(stats.blocked, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_adaptive_request_panics_clearly() {
+        let net = MaterializedNet::new(cycle(4));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        let _ = sim.request(0, 17, 3);
+    }
+
+    #[test]
     fn stats_mean_hops() {
         let net = MaterializedNet::new(cycle(6));
         let mut sim = Engine::new(&net, 1);
@@ -434,6 +543,36 @@ mod tests {
         let stats = sim.finish();
         assert_eq!(stats.established, 3);
         assert_eq!(stats.blocked, 2);
+    }
+
+    #[test]
+    fn rolled_back_admission_leaves_no_occupancy() {
+        // Path [1,0,2,0]? not simple — use per-path multiplicity instead:
+        // a walk crossing the same star hub edge twice at dilation 1 must
+        // roll back fully, leaving both edges free.
+        let net = MaterializedNet::new(star(5));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        assert_eq!(
+            sim.request_path(&[1, 0, 2, 0, 1]),
+            Outcome::Blocked(BlockReason::Saturated),
+            "walk reuses {{0,1}} beyond capacity"
+        );
+        assert!(sim.usage_snapshot().is_empty(), "rollback left residue");
+        assert!(sim.request_path(&[1, 0, 2]).is_established());
+    }
+
+    #[test]
+    fn snapshot_reports_normalized_loads() {
+        let net = MaterializedNet::new(cycle(6));
+        let mut sim = Engine::new(&net, 2);
+        sim.begin_round();
+        assert!(sim.request_path(&[2, 1, 0]).is_established());
+        assert!(sim.request_path(&[1, 0]).is_established());
+        let snap = sim.usage_snapshot();
+        assert_eq!(snap.get(&(0, 1)), Some(&2));
+        assert_eq!(snap.get(&(1, 2)), Some(&1));
+        assert_eq!(snap.len(), 2);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`topology`] — the [`NetTopology`] interface (sparse hypercubes and
 //!   materialized graphs) plus the [`FaultedNet`] damage overlay for
 //!   fault-injection studies.
+//! * [`links`] — the frozen CSR [`LinkTable`] every topology exposes:
+//!   stable undirected link ids that key the engine's flat occupancy
+//!   vector and the fault overlay's damage bitset.
 //! * [`engine`] — the circuit engine: rounds, admission, blocking, stats,
 //!   mid-run dilation shifts.
 //! * [`traffic`] — schedule replay, competing broadcasts, permutations.
@@ -20,10 +23,12 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod links;
 pub mod topology;
 pub mod traffic;
 
 pub use engine::{BlockReason, Engine, Outcome, SimStats};
+pub use links::{LinkId, LinkTable};
 pub use topology::{FaultedNet, MaterializedNet, NetTopology};
 pub use traffic::{
     random_permutation_round, replay_competing, replay_competing_hooked, replay_schedule,

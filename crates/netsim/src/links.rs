@@ -1,0 +1,251 @@
+//! The frozen link index every [`NetTopology`](crate::NetTopology)
+//! exposes to the engine.
+//!
+//! A [`LinkTable`] is a CSR-shaped snapshot of a topology's adjacency:
+//! one offsets array, one targets array, and — parallel to the targets —
+//! a stable undirected **link id** per entry, dense in `0..num_links()`.
+//! The circuit engine keys all per-round occupancy off these ids (a flat
+//! `Vec<u32>` instead of a `HashMap<(Vertex, Vertex), u32>`), and fault
+//! overlays mask damage as a bitset over the same ids.
+//!
+//! Two properties matter for determinism:
+//! * **Native order** — `links_of(u)` lists neighbors in exactly the
+//!   order the topology's own `neighbors(u)` produced them at freeze
+//!   time (for materialized graphs that is sorted-ascending; for
+//!   rule-generated sparse hypercubes it is ascending by dimension), so
+//!   the adaptive router explores in the same order as a direct
+//!   `neighbors()` walk and produces bit-identical routes.
+//! * **Stable ids** — ids are assigned in first-encounter order over the
+//!   vertex-major walk, so the same topology always freezes to the same
+//!   table.
+
+use crate::topology::Vertex;
+use shc_graph::{CsrGraph, GraphView, Node};
+
+/// Stable identifier of an undirected link, dense in `0..num_links()`.
+pub type LinkId = u32;
+
+/// Frozen CSR link index of a topology. Built once at topology (or
+/// engine) construction; read-only and shareable across threads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkTable {
+    /// `offsets[u]..offsets[u+1]` indexes `targets`/`link_ids` for `u`.
+    offsets: Box<[u32]>,
+    /// Neighbor vertices in the topology's native neighbor order.
+    targets: Box<[u32]>,
+    /// `link_ids[i]` is the undirected link id of `{u, targets[i]}`.
+    link_ids: Box<[LinkId]>,
+    num_links: u32,
+}
+
+impl LinkTable {
+    /// Freezes a topology given its vertex count and a neighbor
+    /// enumerator. Neighbor order is preserved verbatim.
+    ///
+    /// # Panics
+    /// Panics on more than `2^32 - 1` vertices or target entries, or if
+    /// the enumeration is asymmetric (an edge listed by only one
+    /// endpoint — a malformed topology).
+    #[must_use]
+    pub fn build(num_vertices: u64, mut neighbors: impl FnMut(Vertex) -> Vec<Vertex>) -> Self {
+        assert!(
+            num_vertices < u64::from(u32::MAX),
+            "link table capped at 2^32 - 1 vertices"
+        );
+        let n = num_vertices as usize;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets: Vec<u32> = Vec::new();
+        let mut link_ids: Vec<LinkId> = Vec::new();
+        let mut next: LinkId = 0;
+        offsets.push(0u32);
+        for u in 0..num_vertices {
+            for v in neighbors(u) {
+                assert!(v < num_vertices, "neighbor {v} of {u} out of range");
+                targets.push(v as u32);
+                if v > u {
+                    link_ids.push(next);
+                    next = next.checked_add(1).expect("more than 2^32 links");
+                } else {
+                    // v < u was already frozen: find u in v's slice.
+                    let range = offsets[v as usize] as usize..offsets[v as usize + 1] as usize;
+                    let pos = targets[range.clone()]
+                        .iter()
+                        .position(|&w| u64::from(w) == u)
+                        .unwrap_or_else(|| {
+                            panic!("link ({v},{u}) missing its mirror — asymmetric topology")
+                        });
+                    link_ids.push(link_ids[range.start + pos]);
+                }
+            }
+            offsets.push(u32::try_from(targets.len()).expect("more than 2^32 - 1 link endpoints"));
+        }
+        assert_eq!(
+            targets.len(),
+            2 * next as usize,
+            "asymmetric topology: some link is listed by only one endpoint"
+        );
+        Self {
+            offsets: offsets.into_boxed_slice(),
+            targets: targets.into_boxed_slice(),
+            link_ids: link_ids.into_boxed_slice(),
+            num_links: next,
+        }
+    }
+
+    /// Freezes from a [`CsrGraph`], reusing its edge ids verbatim (CSR
+    /// adjacency is sorted, which *is* the native order of materialized
+    /// graphs).
+    #[must_use]
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(g.target_len());
+        let mut link_ids = Vec::with_capacity(g.target_len());
+        offsets.push(0u32);
+        for u in 0..n as Node {
+            targets.extend(g.neighbors(u).iter().copied());
+            link_ids.extend_from_slice(g.edge_ids_of(u));
+            offsets.push(u32::try_from(targets.len()).expect("more than 2^32 - 1 link endpoints"));
+        }
+        Self {
+            offsets: offsets.into_boxed_slice(),
+            targets: targets.into_boxed_slice(),
+            link_ids: link_ids.into_boxed_slice(),
+            num_links: u32::try_from(g.num_edges()).expect("more than 2^32 links"),
+        }
+    }
+
+    /// Number of vertices the table was frozen over.
+    #[must_use]
+    pub fn num_vertices(&self) -> u64 {
+        (self.offsets.len() - 1) as u64
+    }
+
+    /// Number of undirected links; link ids are `0..num_links()`.
+    #[must_use]
+    pub fn num_links(&self) -> usize {
+        self.num_links as usize
+    }
+
+    /// The `(neighbors, link_ids)` slices of `u`, parallel and in native
+    /// neighbor order. Empty for out-of-range `u`.
+    #[must_use]
+    pub fn links_of(&self, u: Vertex) -> (&[u32], &[LinkId]) {
+        // `offsets.len() - 1` is the vertex count (offsets is never
+        // empty); comparing against it rather than computing `u + 1`
+        // keeps `u = u64::MAX` from overflowing.
+        let Ok(u) = usize::try_from(u) else {
+            return (&[], &[]);
+        };
+        if u >= self.offsets.len() - 1 {
+            return (&[], &[]);
+        }
+        let range = self.offsets[u] as usize..self.offsets[u + 1] as usize;
+        (&self.targets[range.clone()], &self.link_ids[range])
+    }
+
+    /// Stable id of link `{u, v}`, or `None` when the topology has no
+    /// such link (including out-of-range endpoints). Linear scan of the
+    /// (short) neighbor slice — degrees in this workspace are `O(n)` for
+    /// an `n`-cube, where a scan beats binary search.
+    #[must_use]
+    pub fn link_id(&self, u: Vertex, v: Vertex) -> Option<LinkId> {
+        let (targets, ids) = self.links_of(u);
+        if v >= self.num_vertices() {
+            return None;
+        }
+        targets
+            .iter()
+            .position(|&w| u64::from(w) == v)
+            .map(|i| ids[i])
+    }
+
+    /// Iterator over all links as `(u, v, id)` with `u < v`, in
+    /// vertex-major order.
+    pub fn iter_links(&self) -> impl Iterator<Item = (Vertex, Vertex, LinkId)> + '_ {
+        (0..self.num_vertices()).flat_map(move |u| {
+            let (targets, ids) = self.links_of(u);
+            targets
+                .iter()
+                .zip(ids)
+                .filter_map(move |(&v, &id)| (u64::from(v) > u).then_some((u, u64::from(v), id)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shc_graph::builders::{cycle, star};
+
+    fn cycle_table(n: usize) -> LinkTable {
+        let g = cycle(n);
+        LinkTable::build(n as u64, |u| {
+            g.neighbors(u as Node)
+                .iter()
+                .map(|&v| u64::from(v))
+                .collect()
+        })
+    }
+
+    #[test]
+    fn ids_are_dense_and_symmetric() {
+        let t = cycle_table(5);
+        assert_eq!(t.num_links(), 5);
+        assert_eq!(t.num_vertices(), 5);
+        for (u, v, id) in t.iter_links() {
+            assert_eq!(t.link_id(u, v), Some(id));
+            assert_eq!(t.link_id(v, u), Some(id), "symmetric");
+        }
+        let mut ids: Vec<_> = t.iter_links().map(|(_, _, id)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn absent_and_out_of_range_links_are_none() {
+        let t = cycle_table(6);
+        assert_eq!(t.link_id(0, 2), None);
+        assert_eq!(t.link_id(0, 17), None);
+        assert_eq!(t.link_id(17, 0), None);
+        assert_eq!(t.links_of(17), (&[][..], &[][..]));
+        // Extreme ids must not overflow the offset arithmetic.
+        assert_eq!(t.links_of(u64::MAX), (&[][..], &[][..]));
+        assert_eq!(t.link_id(u64::MAX, 0), None);
+        assert_eq!(t.link_id(0, u64::MAX), None);
+    }
+
+    #[test]
+    fn native_order_is_preserved() {
+        // Feed a deliberately non-sorted neighbor order (as the sparse
+        // hypercube's dimension-ascending enumeration produces) and check
+        // it survives freezing verbatim.
+        let adj: Vec<Vec<Vertex>> = vec![vec![2, 1], vec![0, 2], vec![1, 0]];
+        let t = LinkTable::build(3, |u| adj[u as usize].clone());
+        let (targets, _) = t.links_of(0);
+        assert_eq!(targets, &[2, 1]);
+        assert_eq!(t.link_id(0, 2), t.link_id(2, 0));
+        assert_eq!(t.num_links(), 3);
+    }
+
+    #[test]
+    fn from_csr_matches_build() {
+        let g = star(7);
+        let csr = CsrGraph::from_view(&g);
+        let a = LinkTable::from_csr(&csr);
+        let b = LinkTable::build(7, |u| {
+            g.neighbors(u as Node)
+                .iter()
+                .map(|&v| u64::from(v))
+                .collect()
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "asymmetric")]
+    fn asymmetric_topology_is_rejected() {
+        let adj: Vec<Vec<Vertex>> = vec![vec![1], vec![]];
+        let _ = LinkTable::build(2, |u| adj[u as usize].clone());
+    }
+}

@@ -2,10 +2,18 @@
 //! neighbor enumeration (needed for adaptive routing), implemented by both
 //! rule-generated sparse hypercubes and materialized graphs, plus the
 //! [`FaultedNet`] damage overlay used for fault-injection studies.
+//!
+//! Every topology can also freeze itself into a [`LinkTable`] — the CSR
+//! link index the engine keys its flat occupancy vector off. Concrete
+//! topologies that are built once and queried hot ([`MaterializedNet`],
+//! the runtime's `BuiltTopology`) freeze at construction and hand out the
+//! shared table; [`FaultedNet`] reuses its base's table and masks damage
+//! as a bitset over the same link ids.
 
+use crate::links::{LinkId, LinkTable};
 use shc_core::SparseHypercube;
-use shc_graph::{GraphView, Node};
-use std::collections::HashSet;
+use shc_graph::{BitSet, CsrGraph, GraphView, Node};
+use std::sync::Arc;
 
 /// Vertex ids, shared with `shc-broadcast`.
 pub type Vertex = u64;
@@ -20,6 +28,25 @@ pub trait NetTopology {
 
     /// Neighbor list of `u`.
     fn neighbors(&self, u: Vertex) -> Vec<Vertex>;
+
+    /// The frozen link index of the **undamaged** topology. Implementors
+    /// that are constructed once and simulated many times should override
+    /// this with a table frozen at construction; the default freezes on
+    /// every call.
+    fn link_table(&self) -> Arc<LinkTable>
+    where
+        Self: Sized,
+    {
+        Arc::new(LinkTable::build(self.num_vertices(), |u| self.neighbors(u)))
+    }
+
+    /// `true` when the link with this id is masked out (failed link or
+    /// crashed endpoint). The engine consults this on every traversal of
+    /// a [`link_table`](Self::link_table) entry; damage overlays override
+    /// it with a bitset probe.
+    fn link_blocked(&self, _id: LinkId) -> bool {
+        false
+    }
 }
 
 impl NetTopology for SparseHypercube {
@@ -28,7 +55,8 @@ impl NetTopology for SparseHypercube {
     }
 
     fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
-        SparseHypercube::has_edge(self, u, v)
+        let n = SparseHypercube::num_vertices(self);
+        u < n && v < n && SparseHypercube::has_edge(self, u, v)
     }
 
     fn neighbors(&self, u: Vertex) -> Vec<Vertex> {
@@ -36,16 +64,19 @@ impl NetTopology for SparseHypercube {
     }
 }
 
-/// Adapter for materialized graphs.
+/// Adapter for materialized graphs. Freezes the graph into a CSR link
+/// index once at construction, so engines over it never re-enumerate.
 pub struct MaterializedNet<G: GraphView> {
     graph: G,
+    table: Arc<LinkTable>,
 }
 
 impl<G: GraphView> MaterializedNet<G> {
-    /// Wraps an owned graph.
+    /// Wraps an owned graph, freezing its CSR link index.
     #[must_use]
     pub fn new(graph: G) -> Self {
-        Self { graph }
+        let table = Arc::new(LinkTable::from_csr(&CsrGraph::from_view(&graph)));
+        Self { graph, table }
     }
 
     /// Borrow the underlying graph.
@@ -72,6 +103,10 @@ impl<G: GraphView> NetTopology for MaterializedNet<G> {
             .map(|&v| Vertex::from(v))
             .collect()
     }
+
+    fn link_table(&self) -> Arc<LinkTable> {
+        Arc::clone(&self.table)
+    }
 }
 
 /// A damage overlay on any topology: a set of failed links and crashed
@@ -79,10 +114,16 @@ impl<G: GraphView> NetTopology for MaterializedNet<G> {
 /// copying it. Replica-safe by construction — each Monte Carlo replica
 /// wraps the same shared base topology (`&T`) with its own private fault
 /// sets, so thousands of faulted views coexist across worker threads.
+///
+/// Damage is stored as a bitset over the base's link ids (crashed
+/// vertices fold in as "every incident link dead"), so the engine's
+/// per-link liveness probe is a single bit test.
 pub struct FaultedNet<'a, T: NetTopology> {
     base: &'a T,
-    dead_links: HashSet<(Vertex, Vertex)>,
-    crashed: HashSet<Vertex>,
+    table: Arc<LinkTable>,
+    dead: BitSet,
+    num_dead_links: usize,
+    crashed: Vec<Vertex>,
 }
 
 impl<'a, T: NetTopology> FaultedNet<'a, T> {
@@ -94,13 +135,34 @@ impl<'a, T: NetTopology> FaultedNet<'a, T> {
         dead_links: impl IntoIterator<Item = (Vertex, Vertex)>,
         crashed: impl IntoIterator<Item = Vertex>,
     ) -> Self {
+        let table = base.link_table();
+        let mut dead = BitSet::new(table.num_links());
+        let mut pairs: Vec<(Vertex, Vertex)> = dead_links
+            .into_iter()
+            .map(|(u, v)| if u <= v { (u, v) } else { (v, u) })
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        for &(u, v) in &pairs {
+            if let Some(id) = table.link_id(u, v) {
+                dead.insert(id as usize);
+            }
+        }
+        let mut crashed: Vec<Vertex> = crashed.into_iter().collect();
+        crashed.sort_unstable();
+        crashed.dedup();
+        for &w in &crashed {
+            let (_, ids) = table.links_of(w);
+            for &id in ids {
+                dead.insert(id as usize);
+            }
+        }
         Self {
             base,
-            dead_links: dead_links
-                .into_iter()
-                .map(|(u, v)| if u <= v { (u, v) } else { (v, u) })
-                .collect(),
-            crashed: crashed.into_iter().collect(),
+            table,
+            dead,
+            num_dead_links: pairs.len(),
+            crashed,
         }
     }
 
@@ -113,7 +175,7 @@ impl<'a, T: NetTopology> FaultedNet<'a, T> {
     /// Number of failed links.
     #[must_use]
     pub fn num_dead_links(&self) -> usize {
-        self.dead_links.len()
+        self.num_dead_links
     }
 
     /// Number of crashed vertices.
@@ -125,7 +187,7 @@ impl<'a, T: NetTopology> FaultedNet<'a, T> {
     /// `true` iff `v` has crashed.
     #[must_use]
     pub fn is_crashed(&self, v: Vertex) -> bool {
-        self.crashed.contains(&v)
+        self.crashed.binary_search(&v).is_ok()
     }
 
     /// `true` iff the (normalized) link survives: present in the base
@@ -142,22 +204,26 @@ impl<T: NetTopology> NetTopology for FaultedNet<'_, T> {
     }
 
     fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
-        let e = if u <= v { (u, v) } else { (v, u) };
-        self.base.has_edge(u, v)
-            && !self.dead_links.contains(&e)
-            && !self.crashed.contains(&u)
-            && !self.crashed.contains(&v)
+        self.table
+            .link_id(u, v)
+            .is_some_and(|id| !self.link_blocked(id))
     }
 
     fn neighbors(&self, u: Vertex) -> Vec<Vertex> {
-        if self.crashed.contains(&u) {
-            return Vec::new();
-        }
-        self.base
-            .neighbors(u)
-            .into_iter()
-            .filter(|&v| self.has_edge(u, v))
+        let (targets, ids) = self.table.links_of(u);
+        targets
+            .iter()
+            .zip(ids)
+            .filter_map(|(&v, &id)| (!self.link_blocked(id)).then_some(u64::from(v)))
             .collect()
+    }
+
+    fn link_table(&self) -> Arc<LinkTable> {
+        Arc::clone(&self.table)
+    }
+
+    fn link_blocked(&self, id: LinkId) -> bool {
+        self.dead.contains(id as usize) || self.base.link_blocked(id)
     }
 }
 
@@ -174,6 +240,11 @@ mod tests {
         assert!(!net.has_edge(0, 2));
         assert_eq!(net.neighbors(0), vec![1, 4]);
         assert!(!net.has_edge(0, 17));
+        // The frozen table agrees with the live adjacency.
+        let table = net.link_table();
+        assert_eq!(table.num_links(), 5);
+        assert!(table.link_id(0, 4).is_some());
+        assert_eq!(table.link_id(0, 2), None);
     }
 
     #[test]
@@ -182,6 +253,12 @@ mod tests {
         assert_eq!(NetTopology::num_vertices(&g), 32);
         let nbrs = NetTopology::neighbors(&g, 0);
         assert_eq!(nbrs.len(), g.degree(0));
+        // The default freeze covers every rule-generated link, in the
+        // rule's native neighbor order.
+        let table = NetTopology::link_table(&g);
+        let (targets, _) = table.links_of(0);
+        let targets: Vec<Vertex> = targets.iter().map(|&v| u64::from(v)).collect();
+        assert_eq!(targets, nbrs);
     }
 
     #[test]
@@ -230,5 +307,32 @@ mod tests {
         let damaged = FaultedNet::new(&g, [(0u64, first)], []);
         assert!(!damaged.has_edge(0, first));
         assert_eq!(damaged.neighbors(0).len(), nbrs.len() - 1);
+    }
+
+    #[test]
+    fn nested_overlays_compose() {
+        let net = MaterializedNet::new(cycle(6));
+        let inner = FaultedNet::new(&net, [(0u64, 1u64)], []);
+        let outer = FaultedNet::new(&inner, [(2u64, 3u64)], []);
+        assert!(!outer.has_edge(0, 1), "inner damage visible through outer");
+        assert!(!outer.has_edge(2, 3));
+        assert!(outer.has_edge(1, 2));
+        assert_eq!(outer.num_dead_links(), 1, "only the outer layer's own");
+    }
+
+    #[test]
+    fn duplicate_and_phantom_damage_reports() {
+        let net = MaterializedNet::new(cycle(5));
+        // Duplicates collapse; phantom (non-edge) pairs are counted as
+        // reported but mask nothing.
+        let damaged = FaultedNet::new(&net, [(0u64, 1u64), (1u64, 0u64), (0u64, 2u64)], [3u64, 3]);
+        assert_eq!(damaged.num_dead_links(), 2);
+        assert_eq!(damaged.num_crashed(), 1);
+        assert!(!damaged.has_edge(0, 1));
+        assert!(
+            !damaged.has_edge(0, 2),
+            "phantom pair is not an edge anyway"
+        );
+        assert!(damaged.has_edge(1, 2));
     }
 }

@@ -1,12 +1,252 @@
 //! Property-based tests for the circuit engine: conservation laws,
-//! capacity invariants, and schedule-replay consistency with the
-//! broadcast validator.
+//! capacity invariants, schedule-replay consistency with the broadcast
+//! validator, and exact equivalence of the flat edge-indexed load
+//! accounting with a reference `HashMap`-based model.
 
 use proptest::prelude::*;
 use shc_broadcast::schemes::sparse::broadcast_scheme;
 use shc_core::SparseHypercube;
 use shc_graph::builders::hypercube;
-use shc_netsim::{Engine, MaterializedNet, NetTopology, Outcome};
+use shc_graph::AdjGraph;
+use shc_netsim::{Engine, FaultedNet, MaterializedNet, NetTopology, Outcome, SimStats};
+use std::collections::{HashMap, VecDeque};
+
+/// Reference link-load accounting: the pre-refactor engine, verbatim —
+/// occupancy in a `HashMap<(Vertex, Vertex), u32>` keyed by normalized
+/// vertex pairs, BFS state in per-request hash maps. The flat
+/// edge-indexed engine must reproduce its outcomes and stats bit for
+/// bit.
+struct RefEngine<'a, T: NetTopology> {
+    net: &'a T,
+    dilation: u32,
+    usage: HashMap<(u64, u64), u32>,
+    round_peak: u32,
+    round_max_hops: u64,
+    stats: SimStats,
+    round_open: bool,
+}
+
+fn norm(u: u64, v: u64) -> (u64, u64) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+impl<'a, T: NetTopology> RefEngine<'a, T> {
+    fn new(net: &'a T, dilation: u32) -> Self {
+        Self {
+            net,
+            dilation,
+            usage: HashMap::new(),
+            round_peak: 0,
+            round_max_hops: 0,
+            stats: SimStats::default(),
+            round_open: false,
+        }
+    }
+
+    fn set_dilation(&mut self, dilation: u32) {
+        self.dilation = dilation;
+    }
+
+    fn begin_round(&mut self) {
+        if self.round_open {
+            self.close_round();
+        }
+        self.usage.clear();
+        self.round_peak = 0;
+        self.round_max_hops = 0;
+        self.round_open = true;
+    }
+
+    fn close_round(&mut self) {
+        if self.round_open {
+            self.stats.rounds += 1;
+            self.stats.peak_link_load = self.stats.peak_link_load.max(self.round_peak);
+            self.stats.sum_round_peak += u64::from(self.round_peak);
+            self.stats.weighted_latency += self.round_max_hops;
+            self.round_open = false;
+        }
+    }
+
+    fn available(&self, u: u64, v: u64) -> u32 {
+        let used = self.usage.get(&norm(u, v)).copied().unwrap_or(0);
+        self.dilation.saturating_sub(used)
+    }
+
+    fn occupy(&mut self, path: &[u64]) {
+        for w in path.windows(2) {
+            let e = norm(w[0], w[1]);
+            let cnt = self.usage.entry(e).or_insert(0);
+            *cnt += 1;
+            self.round_peak = self.round_peak.max(*cnt);
+        }
+        self.stats.established += 1;
+        self.stats.total_hops += path.len() - 1;
+        self.round_max_hops = self.round_max_hops.max((path.len() - 1) as u64);
+    }
+
+    fn request_path(&mut self, path: &[u64]) -> Outcome {
+        for w in path.windows(2) {
+            if !self.net.has_edge(w[0], w[1]) {
+                self.stats.blocked += 1;
+                return Outcome::Blocked(shc_netsim::BlockReason::NotAnEdge((w[0], w[1])));
+            }
+        }
+        let mut need: HashMap<(u64, u64), u32> = HashMap::new();
+        for w in path.windows(2) {
+            *need.entry(norm(w[0], w[1])).or_insert(0) += 1;
+        }
+        for (&e, &cnt) in &need {
+            if self.available(e.0, e.1) < cnt {
+                self.stats.blocked += 1;
+                return Outcome::Blocked(shc_netsim::BlockReason::Saturated);
+            }
+        }
+        self.occupy(path);
+        Outcome::Established(path.to_vec())
+    }
+
+    fn request(&mut self, src: u64, dst: u64, max_len: u32) -> Outcome {
+        let mut parent: HashMap<u64, u64> = HashMap::new();
+        let mut queue: VecDeque<(u64, u32)> = VecDeque::new();
+        parent.insert(src, src);
+        queue.push_back((src, 0));
+        let mut any_route_capacity_blind = false;
+        while let Some((x, d)) = queue.pop_front() {
+            if d == max_len {
+                continue;
+            }
+            for y in self.net.neighbors(x) {
+                if y == dst {
+                    any_route_capacity_blind = true;
+                }
+                if parent.contains_key(&y) || self.available(x, y) == 0 {
+                    continue;
+                }
+                parent.insert(y, x);
+                if y == dst {
+                    let mut path = vec![dst];
+                    let mut cur = dst;
+                    while cur != src {
+                        cur = parent[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    self.occupy(&path);
+                    return Outcome::Established(path);
+                }
+                queue.push_back((y, d + 1));
+            }
+        }
+        self.stats.blocked += 1;
+        if any_route_capacity_blind {
+            Outcome::Blocked(shc_netsim::BlockReason::Saturated)
+        } else {
+            Outcome::Blocked(shc_netsim::BlockReason::NoRoute)
+        }
+    }
+
+    fn finish(mut self) -> SimStats {
+        self.close_round();
+        self.stats
+    }
+}
+
+/// One step of a randomized engine script.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Adaptive request (indices are reduced modulo the vertex count).
+    Request { src: u64, dst: u64, max_len: u32 },
+    /// Fixed-path request along a (possibly invalid) vertex sequence.
+    Path(Vec<u64>),
+    /// Start the next round.
+    NextRound,
+    /// Mid-run dilation shift.
+    SetDilation(u32),
+}
+
+fn arb_ops(max_v: u64) -> impl Strategy<Value = Vec<Op>> {
+    // (selector, src, dst, bound, path): the selector picks the op kind
+    // with a 5/3/1/1 weighting (the shim has no `prop_oneof`).
+    let op = (
+        0u8..10,
+        0..max_v,
+        0..max_v,
+        1u32..8,
+        proptest::collection::vec(0..max_v, 2..6),
+    )
+        .prop_map(|(sel, src, dst, bound, path)| match sel {
+            0..=4 => Op::Request {
+                src,
+                dst,
+                max_len: bound,
+            },
+            5..=7 => Op::Path(path),
+            8 => Op::NextRound,
+            _ => Op::SetDilation(1 + bound % 3),
+        });
+    proptest::collection::vec(op, 1..40)
+}
+
+/// Drives the same script through both engines and asserts identical
+/// admission outcomes, identical final stats, and identical per-round
+/// usage snapshots.
+fn assert_engines_agree<T: NetTopology>(
+    net: &T,
+    dilation: u32,
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
+    let n = net.num_vertices();
+    let mut fast = Engine::new(net, dilation);
+    let mut refr = RefEngine::new(net, dilation);
+    fast.begin_round();
+    refr.begin_round();
+    for op in ops {
+        match op {
+            Op::Request { src, dst, max_len } => {
+                let (src, dst) = (src % n, dst % n);
+                if src == dst {
+                    continue;
+                }
+                let a = fast.request(src, dst, *max_len);
+                let b = refr.request(src, dst, *max_len);
+                prop_assert_eq!(a, b, "adaptive outcome diverged");
+            }
+            Op::Path(raw) => {
+                let path: Vec<u64> = raw.iter().map(|v| v % n).collect();
+                if path.windows(2).any(|w| w[0] == w[1]) {
+                    continue; // self-hop: both reject as NotAnEdge anyway
+                }
+                let a = fast.request_path(&path);
+                let b = refr.request_path(&path);
+                prop_assert_eq!(a, b, "fixed-path outcome diverged");
+            }
+            Op::NextRound => {
+                prop_assert_eq!(
+                    &fast.usage_snapshot(),
+                    &refr.usage,
+                    "round snapshot diverged"
+                );
+                fast.begin_round();
+                refr.begin_round();
+            }
+            Op::SetDilation(d) => {
+                fast.set_dilation(*d);
+                refr.set_dilation(*d);
+            }
+        }
+    }
+    prop_assert_eq!(
+        &fast.usage_snapshot(),
+        &refr.usage,
+        "final snapshot diverged"
+    );
+    prop_assert_eq!(fast.finish(), refr.finish(), "stats diverged");
+    Ok(())
+}
 
 fn arb_base_params() -> impl Strategy<Value = (u32, u32)> {
     (4u32..=9).prop_flat_map(|n| (Just(n), 1u32..n.min(5)))
@@ -81,6 +321,51 @@ proptest! {
             }
             Outcome::Blocked(r) => prop_assert!(false, "clean network blocked: {:?}", r),
         }
+    }
+
+    #[test]
+    fn flat_engine_matches_reference_on_random_graphs(
+        n in 4u64..32,
+        edges in proptest::collection::vec((0u32..32, 0u32..32), 3..80),
+        dilation in 1u32..4,
+        ops in arb_ops(32),
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .filter(|&(u, v)| u != v)
+            .collect();
+        prop_assume!(!edges.is_empty());
+        let net = MaterializedNet::new(AdjGraph::from_edges(n as usize, edges));
+        assert_engines_agree(&net, dilation, &ops)?;
+    }
+
+    #[test]
+    fn flat_engine_matches_reference_under_faults(
+        edges in proptest::collection::vec((0u32..24, 0u32..24), 8..60),
+        dead in proptest::collection::vec((0u64..24, 0u64..24), 0..8),
+        crashed in proptest::collection::vec(0u64..24, 0..4),
+        dilation in 1u32..3,
+        ops in arb_ops(24),
+    ) {
+        let edges: Vec<(u32, u32)> = edges.into_iter().filter(|&(u, v)| u != v).collect();
+        prop_assume!(!edges.is_empty());
+        let base = MaterializedNet::new(AdjGraph::from_edges(24, edges));
+        let damaged = FaultedNet::new(&base, dead, crashed);
+        assert_engines_agree(&damaged, dilation, &ops)?;
+    }
+
+    #[test]
+    fn flat_engine_matches_reference_on_sparse_hypercubes(
+        (n, m) in arb_base_params(),
+        dilation in 1u32..3,
+        ops in arb_ops(1 << 9),
+    ) {
+        // The rule-generated topology enumerates neighbors in dimension
+        // order, not sorted order — the frozen link table must preserve
+        // it so adaptive routes stay bit-identical.
+        let g = SparseHypercube::construct_base(n, m);
+        assert_engines_agree(&g, dilation, &ops)?;
     }
 
     #[test]

@@ -75,18 +75,19 @@ impl FaultPlan {
 }
 
 /// All undirected edges of `topo`, normalized and in deterministic
-/// (vertex-major) order.
+/// (vertex-major, native neighbor order) order — the same sequence the
+/// topology's frozen link table enumerates, so topologies that froze at
+/// construction (the runtime's `BuiltTopology`) answer without
+/// re-scanning their adjacency. Links a damage overlay masks out
+/// (`link_blocked`) are excluded, so sampling a second fault wave over
+/// an already-damaged topology never draws an already-dead link.
 #[must_use]
 pub fn enumerate_edges<T: NetTopology>(topo: &T) -> Vec<(Vertex, Vertex)> {
-    let mut edges = Vec::new();
-    for u in 0..topo.num_vertices() {
-        for v in topo.neighbors(u) {
-            if u < v {
-                edges.push((u, v));
-            }
-        }
-    }
-    edges
+    topo.link_table()
+        .iter_links()
+        .filter(|&(_, _, id)| !topo.link_blocked(id))
+        .map(|(u, v, _)| (u, v))
+        .collect()
 }
 
 #[cfg(test)]
@@ -104,6 +105,19 @@ mod tests {
         assert_eq!(e1, e2);
         assert_eq!(e1.len(), 5);
         assert!(e1.contains(&(0, 4)));
+    }
+
+    #[test]
+    fn edge_enumeration_excludes_overlay_damage() {
+        use shc_netsim::FaultedNet;
+        let net = MaterializedNet::new(cycle(6));
+        let damaged = FaultedNet::new(&net, [(0u64, 1u64)], [3u64]);
+        let edges = enumerate_edges(&damaged);
+        // 6 edges minus the failed link and vertex 3's two incident ones.
+        assert_eq!(edges.len(), 3);
+        assert!(!edges.contains(&(0, 1)));
+        assert!(!edges.contains(&(2, 3)));
+        assert!(!edges.contains(&(3, 4)));
     }
 
     #[test]

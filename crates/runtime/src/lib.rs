@@ -38,5 +38,6 @@ pub use executor::{available_threads, run_indexed};
 pub use faults::FaultPlan;
 pub use runner::{run_scenario, MetricRow, ReplicaOutcome, ScenarioReport};
 pub use scenario::{
-    BuiltTopology, DilationShift, FaultSpec, OriginatorPolicy, Scenario, TopologySpec, Workload,
+    BuiltTopology, DilationShift, FaultSpec, OriginatorPolicy, Scenario, TopologyKind,
+    TopologySpec, Workload,
 };

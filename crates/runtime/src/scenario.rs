@@ -10,7 +10,8 @@ use shc_broadcast::{broadcast_scheme, hypercube_broadcast, Schedule};
 use shc_core::SparseHypercube;
 use shc_graph::builders::hypercube;
 use shc_graph::AdjGraph;
-use shc_netsim::{MaterializedNet, NetTopology};
+use shc_netsim::{LinkTable, MaterializedNet, NetTopology};
+use std::sync::Arc;
 
 /// Vertex ids, shared with `shc-netsim` / `shc-broadcast`.
 pub type Vertex = u64;
@@ -33,18 +34,27 @@ pub enum TopologySpec {
 }
 
 impl TopologySpec {
-    /// Materializes the spec into a runnable topology.
+    /// Materializes the spec into a runnable topology (freezing its CSR
+    /// link table once, shared by every replica's engine and overlay).
     #[must_use]
     pub fn build(&self) -> BuiltTopology {
-        match *self {
+        let kind = match *self {
             TopologySpec::SparseBase { n, m } => {
-                BuiltTopology::Sparse(SparseHypercube::construct_base(n, m))
+                TopologyKind::Sparse(SparseHypercube::construct_base(n, m))
             }
-            TopologySpec::Hypercube { n } => BuiltTopology::Cube {
+            TopologySpec::Hypercube { n } => TopologyKind::Cube {
                 n,
                 net: MaterializedNet::new(hypercube(n)),
             },
-        }
+        };
+        let table = match &kind {
+            // The sparse hypercube is rule-generated: freeze its links
+            // here, once per scenario, in native neighbor order.
+            TopologyKind::Sparse(g) => NetTopology::link_table(g),
+            // The materialized cube froze at `MaterializedNet::new`.
+            TopologyKind::Cube { net, .. } => net.link_table(),
+        };
+        BuiltTopology { kind, table }
     }
 
     /// Human-readable label (`G_{10,3}` / `Q_10`).
@@ -57,10 +67,9 @@ impl TopologySpec {
     }
 }
 
-/// A built topology: either rule-generated (no materialization) or an
-/// adjacency-list graph. Carries enough structure to also *generate*
-/// broadcast schedules, not just answer edge queries.
-pub enum BuiltTopology {
+/// The concrete network behind a [`BuiltTopology`]: either rule-generated
+/// (no adjacency materialization) or an adjacency-list graph.
+pub enum TopologyKind {
     /// Rule-generated sparse hypercube.
     Sparse(SparseHypercube),
     /// Materialized full hypercube.
@@ -72,39 +81,68 @@ pub enum BuiltTopology {
     },
 }
 
+/// A built topology: the network plus its CSR link table, frozen once at
+/// construction and shared by every replica (engines index occupancy by
+/// its link ids; fault overlays mask damage over the same ids). Carries
+/// enough structure to also *generate* broadcast schedules, not just
+/// answer edge queries.
+pub struct BuiltTopology {
+    kind: TopologyKind,
+    table: Arc<LinkTable>,
+}
+
 impl BuiltTopology {
     /// The topology's own minimum-time broadcast schedule from `source`
     /// (the paper's constructive scheme on sparse hypercubes; recursive
     /// doubling on `Q_n`).
     #[must_use]
     pub fn schedule(&self, source: Vertex) -> Schedule {
-        match self {
-            BuiltTopology::Sparse(g) => broadcast_scheme(g, source),
-            BuiltTopology::Cube { n, .. } => hypercube_broadcast(*n, source),
+        match &self.kind {
+            TopologyKind::Sparse(g) => broadcast_scheme(g, source),
+            TopologyKind::Cube { n, .. } => hypercube_broadcast(*n, source),
+        }
+    }
+
+    /// The concrete network (for scheme-specific cross-checks).
+    #[must_use]
+    pub fn kind(&self) -> &TopologyKind {
+        &self.kind
+    }
+
+    /// The underlying sparse hypercube, when this is one.
+    #[must_use]
+    pub fn sparse(&self) -> Option<&SparseHypercube> {
+        match &self.kind {
+            TopologyKind::Sparse(g) => Some(g),
+            TopologyKind::Cube { .. } => None,
         }
     }
 }
 
 impl NetTopology for BuiltTopology {
     fn num_vertices(&self) -> u64 {
-        match self {
-            BuiltTopology::Sparse(g) => NetTopology::num_vertices(g),
-            BuiltTopology::Cube { net, .. } => net.num_vertices(),
+        match &self.kind {
+            TopologyKind::Sparse(g) => NetTopology::num_vertices(g),
+            TopologyKind::Cube { net, .. } => net.num_vertices(),
         }
     }
 
     fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
-        match self {
-            BuiltTopology::Sparse(g) => NetTopology::has_edge(g, u, v),
-            BuiltTopology::Cube { net, .. } => net.has_edge(u, v),
+        match &self.kind {
+            TopologyKind::Sparse(g) => NetTopology::has_edge(g, u, v),
+            TopologyKind::Cube { net, .. } => net.has_edge(u, v),
         }
     }
 
     fn neighbors(&self, u: Vertex) -> Vec<Vertex> {
-        match self {
-            BuiltTopology::Sparse(g) => NetTopology::neighbors(g, u),
-            BuiltTopology::Cube { net, .. } => net.neighbors(u),
+        match &self.kind {
+            TopologyKind::Sparse(g) => NetTopology::neighbors(g, u),
+            TopologyKind::Cube { net, .. } => net.neighbors(u),
         }
+    }
+
+    fn link_table(&self) -> Arc<LinkTable> {
+        Arc::clone(&self.table)
     }
 }
 

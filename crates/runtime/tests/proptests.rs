@@ -24,7 +24,7 @@ proptest! {
         let source = src_raw & ((1u64 << n) - 1);
         let schedule = topo.schedule(source);
         // The schedule is machine-verified against Definition 1 first …
-        if let shc_runtime::BuiltTopology::Sparse(g) = &topo {
+        if let Some(g) = topo.sparse() {
             prop_assert!(verify_minimum_time(g, &schedule, 2).is_ok());
         }
         // … then replayed call-by-call through the engine on an intact
