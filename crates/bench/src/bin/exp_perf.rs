@@ -3,17 +3,29 @@
 //! machine-readable `BENCH_netsim.json` so the perf trajectory has
 //! recorded points to compare refactors against.
 //!
+//! Cells (one topology × dimension, three workload rows each) execute in
+//! parallel on the `shc-runtime` work-stealing executor. Every cell is
+//! self-contained — its own topology, schedules, and seeded RNG — so the
+//! deterministic part of the output (the per-cell [`SimStats`] sample) is
+//! byte-identical for any `--threads` value; `--seed-check` proves it by
+//! running the sweep untimed at 1 and N threads and comparing JSON bytes.
+//!
 //! Flags:
 //! * `--fast`        — reduced sweep (CI / bit-rot guard sizes).
 //! * `--json PATH`   — output path (default `BENCH_netsim.json`).
-//! * `--max-n N`     — cap the cube dimension (default 16, fast: 10).
+//! * `--max-n N`     — cap the cube dimension (default 18, fast: 10).
 //! * `--target-ms M` — measurement budget per cell (default 300).
+//! * `--threads T`   — worker threads for the cell sweep (0 = all cores).
+//! * `--seed-check`  — skip timing; assert 1-thread and T-thread runs
+//!   produce byte-identical deterministic output, then exit.
 //!
 //! Measurement follows the criterion-shim pattern (one warmup, then
 //! geometric batch growth until the time budget is spent), but reports
 //! domain throughput — rounds/sec and requests/sec — rather than raw
 //! time per iteration, plus a peak-RSS proxy read from
-//! `/proc/self/status` where available.
+//! `/proc/self/status` where available. Timed cells sharing cores contend
+//! with each other, so treat parallel-run throughput as a smoke signal;
+//! record trajectory numbers with `--threads 1`.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,6 +55,8 @@ struct BenchRow {
     iters: u64,
     /// Total measured wall-clock milliseconds.
     elapsed_ms: f64,
+    /// Deterministic single-iteration stats (same for any thread count).
+    sample: SimStats,
 }
 
 /// Whole-run artifact: the sweep plus a peak-RSS proxy.
@@ -52,6 +66,8 @@ struct BenchReport {
     bench: &'static str,
     /// `--fast` sizes in effect.
     fast: bool,
+    /// Worker threads the cell sweep ran on (0 = all cores).
+    threads: usize,
     /// Peak resident set size in kilobytes (`VmHWM`; 0 if unavailable).
     peak_rss_kb: u64,
     /// Measured cells.
@@ -60,6 +76,8 @@ struct BenchReport {
 
 /// Times `routine` with warmup + geometric batch growth until `target`
 /// is spent; returns (per-iteration stats sample, iterations, elapsed).
+/// With `target == ZERO` only the deterministic sample runs (seed-check
+/// mode).
 fn measure<F: FnMut() -> SimStats>(target: Duration, mut routine: F) -> (SimStats, u64, Duration) {
     let sample = black_box(routine()); // warmup + shape sample
     let mut total = Duration::ZERO;
@@ -85,31 +103,30 @@ fn row(
     target: Duration,
     routine: impl FnMut() -> SimStats,
 ) -> BenchRow {
-    let (stats, iters, elapsed) = measure(target, routine);
-    let secs = elapsed.as_secs_f64().max(1e-9);
-    let requests = (stats.established + stats.blocked) as u64 * iters;
-    let rounds = stats.rounds as u64 * iters;
-    let row = BenchRow {
+    let (sample, iters, elapsed) = measure(target, routine);
+    let secs = elapsed.as_secs_f64();
+    let requests = (sample.established + sample.blocked) as u64 * iters;
+    let rounds = sample.rounds as u64 * iters;
+    // iters == 0 (seed-check mode) reports 0 throughput, 0 elapsed —
+    // deterministic by construction.
+    let per_sec = |count: u64| {
+        if iters == 0 {
+            0.0
+        } else {
+            count as f64 / secs.max(1e-9)
+        }
+    };
+    BenchRow {
         topology: topology.to_string(),
         workload: workload.to_string(),
         n,
         num_vertices,
-        rounds_per_sec: rounds as f64 / secs,
-        requests_per_sec: requests as f64 / secs,
+        rounds_per_sec: per_sec(rounds),
+        requests_per_sec: per_sec(requests),
         iters,
         elapsed_ms: secs * 1e3,
-    };
-    println!(
-        "{:<10} {:<14} n={:<2} {:>12.0} rounds/s {:>14.0} req/s   ({} iters, {:.0} ms)",
-        row.topology,
-        row.workload,
-        n,
-        row.rounds_per_sec,
-        row.requests_per_sec,
-        iters,
-        secs * 1e3
-    );
-    row
+        sample,
+    }
 }
 
 /// `VmHWM` (peak RSS) in kB from `/proc/self/status`; 0 when unavailable.
@@ -125,24 +142,26 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
-/// The three runtime workloads over one topology.
-fn sweep_topology<T: NetTopology>(
-    rows: &mut Vec<BenchRow>,
-    label: &str,
-    n: u32,
-    net: &T,
-    schedules: &[Schedule],
-    target: Duration,
-) {
-    let nv = net.num_vertices();
+/// One parallel cell: builds the topology (freezing its link table once,
+/// shared by every engine constructed inside the timed loops), then runs
+/// the three runtime workloads over it.
+fn run_cell(spec: &TopologySpec, n: u32, target: Duration) -> Vec<BenchRow> {
+    let topo = spec.build();
+    let label = spec.label();
+    let nv = topo.num_vertices();
+    let schedules: Vec<Schedule> = [0u64, 1, (1 << n) / 2, (1 << n) - 1]
+        .iter()
+        .map(|&s| topo.schedule(s))
+        .collect();
+    let mut rows = Vec::with_capacity(3);
     // Broadcast: 4 competing minimum-time broadcasts share the network.
-    rows.push(row(label, "broadcast_x4", n, nv, target, || {
-        replay_competing(net, schedules, 1)
+    rows.push(row(&label, "broadcast_x4", n, nv, target, || {
+        replay_competing(&topo, &schedules, 1)
     }));
     // Hot-spot: every sender wants vertex 0, adaptively routed.
     let senders: Vec<u64> = (1..nv.min(1025)).collect();
-    rows.push(row(label, "hot_spot", n, nv, target, || {
-        let mut sim = Engine::new(net, 1);
+    rows.push(row(&label, "hot_spot", n, nv, target, || {
+        let mut sim = Engine::new(&topo, 1);
         sim.begin_round();
         for &s in &senders {
             let _ = sim.request(s, 0, n + 2);
@@ -152,21 +171,49 @@ fn sweep_topology<T: NetTopology>(
     // Permutation: random pairwise adaptive traffic, one round per iter.
     let pairs = nv.min(2048) as usize;
     let mut rng = StdRng::seed_from_u64(0xBE9C);
-    rows.push(row(label, "permutation", n, nv, target, move || {
-        random_permutation_round(net, pairs, n + 2, 1, &mut rng)
+    rows.push(row(&label, "permutation", n, nv, target, move || {
+        random_permutation_round(&topo, pairs, n + 2, 1, &mut rng)
     }));
+    rows
+}
+
+/// Runs the whole sweep across cells on `threads` workers, returning
+/// rows in deterministic (dimension-major, spec-minor, workload) order.
+fn run_sweep(dims: &[u32], target: Duration, threads: usize) -> Vec<BenchRow> {
+    let cells: Vec<(u32, TopologySpec)> = dims
+        .iter()
+        .flat_map(|&n| {
+            [
+                (n, TopologySpec::Hypercube { n }),
+                (n, TopologySpec::SparseBase { n, m: 3.min(n - 1) }),
+            ]
+        })
+        .collect();
+    shc_runtime::map_cells(&cells, threads, |(n, spec)| run_cell(spec, *n, target))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// The deterministic projection of a sweep: JSON of the rows only (the
+/// report header carries RSS, which legitimately differs run to run).
+fn det_json(rows: &[BenchRow]) -> String {
+    serde_json::to_string_pretty(&rows).expect("rows serialize")
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fast = false;
+    let mut seed_check = false;
     let mut json_path = String::from("BENCH_netsim.json");
     let mut max_n: Option<u32> = None;
     let mut target_ms = 300u64;
+    let mut threads = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--fast" => fast = true,
+            "--seed-check" => seed_check = true,
             "--json" => {
                 i += 1;
                 json_path = args.get(i).cloned().unwrap_or_else(|| {
@@ -188,6 +235,13 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--threads" => {
+                i += 1;
+                threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -195,41 +249,59 @@ fn main() {
         }
         i += 1;
     }
-    let cap = max_n.unwrap_or(if fast { 10 } else { 16 });
-    let dims: Vec<u32> = [8u32, 10, 12, 14, 16]
+    let cap = max_n.unwrap_or(if fast { 10 } else { 18 });
+    let dims: Vec<u32> = [8u32, 10, 12, 14, 16, 18]
         .into_iter()
         .filter(|&n| n <= cap)
         .collect();
     let target = Duration::from_millis(if fast { target_ms.min(60) } else { target_ms });
+
+    if seed_check {
+        let many_threads = if threads == 0 {
+            shc_runtime::available_threads()
+        } else {
+            threads
+        };
+        println!("exp_perf seed check: n in {dims:?}, untimed, 1 vs {many_threads} threads");
+        let one = det_json(&run_sweep(&dims, Duration::ZERO, 1));
+        let many = det_json(&run_sweep(&dims, Duration::ZERO, many_threads));
+        if one == many {
+            println!("seed check OK: deterministic output byte-identical across thread counts");
+            return;
+        }
+        eprintln!("seed check FAILED: 1-thread and {many_threads}-thread sweeps diverge");
+        std::process::exit(1);
+    }
+
     println!(
-        "exp_perf sweep: n in {dims:?}, {} ms budget per cell{}",
+        "exp_perf sweep: n in {dims:?}, {} ms budget per cell, {} threads{}",
         target.as_millis(),
+        if threads == 0 {
+            "all".to_string()
+        } else {
+            threads.to_string()
+        },
         if fast { " (fast)" } else { "" }
     );
 
-    let mut rows = Vec::new();
-    for &n in &dims {
-        // Both sides of the sweep go through the runtime's BuiltTopology,
-        // which freezes its link table once at construction — engines
-        // constructed inside the timed loops share the frozen table, so
-        // neither side pays per-iteration freeze cost.
-        let specs = [
-            TopologySpec::Hypercube { n },
-            TopologySpec::SparseBase { n, m: 3.min(n - 1) },
-        ];
-        for spec in specs {
-            let topo = spec.build();
-            let schedules: Vec<Schedule> = [0u64, 1, (1 << n) / 2, (1 << n) - 1]
-                .iter()
-                .map(|&s| topo.schedule(s))
-                .collect();
-            sweep_topology(&mut rows, &spec.label(), n, &topo, &schedules, target);
-        }
+    let rows = run_sweep(&dims, target, threads);
+    for r in &rows {
+        println!(
+            "{:<10} {:<14} n={:<2} {:>12.0} rounds/s {:>14.0} req/s   ({} iters, {:.0} ms)",
+            r.topology,
+            r.workload,
+            r.n,
+            r.rounds_per_sec,
+            r.requests_per_sec,
+            r.iters,
+            r.elapsed_ms
+        );
     }
 
     let report = BenchReport {
         bench: "netsim_engine",
         fast,
+        threads,
         peak_rss_kb: peak_rss_kb(),
         rows,
     };

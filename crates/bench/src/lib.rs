@@ -13,6 +13,21 @@
 //! * `exp_scenarios` — the `shc-runtime` built-in scenario catalog:
 //!   originator sweeps, Monte Carlo fault injection, hot-spot traffic,
 //!   dilated networks, executed across all cores.
+//! * `exp_perf` — the netsim engine throughput sweep behind
+//!   `BENCH_netsim.json` (cells parallelized on the runtime executor;
+//!   see `docs/BENCHMARKS.md`).
+//!
+//! ## Example
+//!
+//! Run one registered experiment programmatically:
+//!
+//! ```
+//! use shc_bench::{run_one, RunConfig};
+//!
+//! let e1 = run_one("E1", &RunConfig::fast()).unwrap();
+//! assert_eq!(e1.id, "E1");
+//! assert!(e1.pass);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

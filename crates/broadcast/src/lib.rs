@@ -8,6 +8,22 @@
 //! search ([`solver`]) cross-checks tiny instances independently of the
 //! constructions, and [`degrade`] replays fixed schedules over damaged
 //! topologies for the robustness/fault-injection studies.
+//!
+//! ## Example
+//!
+//! Generate the paper's 2-line broadcast scheme on a sparse hypercube
+//! and machine-check Definition 1 (edge-disjoint, receiver-disjoint,
+//! length ≤ k, informed callers, minimum time):
+//!
+//! ```
+//! use shc_broadcast::{broadcast_scheme, verify_minimum_time};
+//! use shc_core::SparseHypercube;
+//!
+//! let g = SparseHypercube::construct_base(7, 3);
+//! let schedule = broadcast_scheme(&g, 5);
+//! let report = verify_minimum_time(&g, &schedule, 2).unwrap();
+//! assert_eq!(report.rounds, 7); // = log2 |V|, the minimum
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

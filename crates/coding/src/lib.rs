@@ -10,6 +10,23 @@
 //! * [`bitmat`] — dense GF(2) matrices: rank, RREF, kernel, solve.
 //! * [`hamming`] — perfect `[2^p − 1, 2^p − 1 − p, 3]` codes.
 //! * [`covering`] — covering radii and sphere bounds.
+//!
+//! ## Example
+//!
+//! The `[7, 4, 3]` Hamming code corrects any single-bit error — the
+//! property Lemma 2 turns into a maximal Condition-A labeling:
+//!
+//! ```
+//! use shc_coding::HammingCode;
+//!
+//! let code = HammingCode::new(3);
+//! assert_eq!(code.block_len(), 7);
+//! assert_eq!(code.num_codewords(), 16);
+//! let sent = code.codewords().nth(5).unwrap();
+//! assert!(code.is_codeword(sent));
+//! // Flip one bit in transit: decoding recovers the codeword.
+//! assert_eq!(code.decode(sent ^ 0b100), sent);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

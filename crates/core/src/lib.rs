@@ -18,6 +18,22 @@
 //!   parameter search.
 //! * [`validate`] — structural invariants, rule-level and materialized.
 //! * [`stats`] — comparison against the full hypercube baseline.
+//!
+//! ## Example
+//!
+//! The paper's Example 3: `Construct_BASE(15, 3)` keeps all `2^15` cube
+//! vertices but cuts the maximum degree from 15 to 6, with `O(1)`
+//! rule-based edge oracles (no adjacency is materialized):
+//!
+//! ```
+//! use shc_core::SparseHypercube;
+//!
+//! let g = SparseHypercube::construct_base(15, 3);
+//! assert_eq!(g.num_vertices(), 1 << 15);
+//! assert_eq!(g.max_degree(), 6);
+//! // Base-cube edges survive; higher cross dimensions are sparsified.
+//! assert!(g.has_edge(0, 1));
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

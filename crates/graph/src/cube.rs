@@ -1,0 +1,104 @@
+//! Cube-metric helpers: treating vertex ids as binary-cube coordinates.
+//!
+//! Every graph in this workspace that descends from the binary `n`-cube —
+//! `Q_n` itself, the paper's sparse hypercubes, and any damaged overlay of
+//! either — labels vertex `u` with its cube coordinate, so the Hamming
+//! distance between two ids is a *lower bound* on their graph distance
+//! whenever every edge flips exactly one bit (each hop changes the Hamming
+//! distance to a fixed target by exactly ±1). That lower bound is what
+//! makes Hamming distance an admissible, consistent A* heuristic for
+//! shortest-path search on these topologies; `shc-netsim` keys its
+//! distance-capped A* fast path off [`is_cube_labeled`].
+//!
+//! ```
+//! use shc_graph::builders::hypercube;
+//! use shc_graph::cube::{cube_dimension, hamming_distance, is_cube_labeled};
+//!
+//! assert_eq!(hamming_distance(0b0110, 0b0011), 2);
+//! let q4 = hypercube(4);
+//! assert!(is_cube_labeled(&q4));
+//! assert_eq!(cube_dimension(&q4), Some(4));
+//! ```
+
+use crate::view::GraphView;
+
+/// Hamming distance between two cube coordinates — the number of bit
+/// positions where `u` and `v` differ.
+#[must_use]
+pub fn hamming_distance(u: u64, v: u64) -> u32 {
+    (u ^ v).count_ones()
+}
+
+/// `true` when every edge of `g` joins vertices at Hamming distance
+/// exactly 1 — i.e. the vertex ids are coordinates of a subgraph of some
+/// binary cube. On such graphs [`hamming_distance`] lower-bounds the
+/// graph distance between any two vertices (and exactly equals it on the
+/// full cube), so it is an admissible and consistent shortest-path
+/// heuristic. Vacuously `true` for edgeless graphs.
+#[must_use]
+pub fn is_cube_labeled<G: GraphView>(g: &G) -> bool {
+    g.edge_iter()
+        .all(|(u, v)| hamming_distance(u64::from(u), u64::from(v)) == 1)
+}
+
+/// The dimension `d` of the smallest binary cube `Q_d` that `g` is a
+/// spanning subgraph of: requires `num_vertices == 2^d` and every edge at
+/// Hamming distance 1. `None` when either condition fails (the Hamming
+/// heuristic may still apply — see [`is_cube_labeled`] — but the graph is
+/// not a spanning cube subgraph). `Q_0` (a single vertex) has dimension 0.
+#[must_use]
+pub fn cube_dimension<G: GraphView>(g: &G) -> Option<u32> {
+    let n = g.num_vertices();
+    if n == 0 || !n.is_power_of_two() || !is_cube_labeled(g) {
+        return None;
+    }
+    Some(n.trailing_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{cycle, hypercube, star};
+
+    #[test]
+    fn hamming_distance_basics() {
+        assert_eq!(hamming_distance(0, 0), 0);
+        assert_eq!(hamming_distance(0, u64::MAX), 64);
+        assert_eq!(hamming_distance(0b1010, 0b0101), 4);
+        assert_eq!(hamming_distance(7, 6), 1);
+    }
+
+    #[test]
+    fn cubes_and_cube_subgraphs_are_cube_labeled() {
+        for n in 1..=6 {
+            let q = hypercube(n);
+            assert!(is_cube_labeled(&q), "Q_{n}");
+            assert_eq!(cube_dimension(&q), Some(n));
+        }
+        // C_4 with vertices 0,1,2,3: edge (1,2) flips two bits.
+        assert!(!is_cube_labeled(&cycle(4)));
+        assert_eq!(cube_dimension(&cycle(4)), None);
+        // The star's hub 0 connects to 3 = 0b11: two bits.
+        assert!(!is_cube_labeled(&star(5)));
+    }
+
+    #[test]
+    fn dimension_requires_power_of_two_vertex_count() {
+        // A single edge {0, 1} over 3 vertices is cube-labeled but not a
+        // spanning subgraph of any cube.
+        let g = crate::AdjGraph::from_edges(3, [(0, 1)]);
+        assert!(is_cube_labeled(&g));
+        assert_eq!(cube_dimension(&g), None);
+        // Over 2 vertices it is exactly Q_1.
+        let q1 = crate::AdjGraph::from_edges(2, [(0, 1)]);
+        assert_eq!(cube_dimension(&q1), Some(1));
+    }
+
+    #[test]
+    fn edgeless_graphs() {
+        let empty = crate::AdjGraph::with_vertices(4);
+        assert!(is_cube_labeled(&empty), "vacuous");
+        assert_eq!(cube_dimension(&empty), Some(2));
+        assert_eq!(cube_dimension(&crate::AdjGraph::with_vertices(0)), None);
+    }
+}

@@ -14,9 +14,30 @@
 //! * [`builders`] — hypercubes, the Theorem-1 tree, and classical families.
 //! * [`traversal`] — BFS, bounded BFS, shortest paths, components.
 //! * [`metrics`] — eccentricity/diameter/radius, degree stats, bipartiteness.
+//! * [`cube`] — the cube metric on vertex labels (Hamming distance as an
+//!   admissible routing heuristic).
 //! * [`parallel`] — crossbeam-parallel sweeps (diameter, generic fan-out).
 //! * [`domination`] — dominating sets and exact domatic partitions.
 //! * [`dot`] / [`edgelist`] — interchange formats.
+//!
+//! ## Example
+//!
+//! Build `Q_4`, freeze it to CSR, and query the structural basics every
+//! upper layer relies on:
+//!
+//! ```
+//! use shc_graph::{builders::hypercube, metrics, CsrGraph, GraphView};
+//!
+//! let q4 = hypercube(4);
+//! assert_eq!(q4.num_vertices(), 16);
+//! assert_eq!(q4.max_degree(), 4);
+//! assert_eq!(metrics::diameter(&q4), Some(4));
+//!
+//! // The frozen CSR view answers the same queries, plus stable edge ids.
+//! let csr = CsrGraph::from_view(&q4);
+//! assert_eq!(csr.num_edges(), 32);
+//! assert!(csr.has_edge(0, 8) && !csr.has_edge(0, 3));
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,6 +46,7 @@ pub mod adjacency;
 pub mod bitset;
 pub mod builders;
 pub mod csr;
+pub mod cube;
 pub mod domination;
 pub mod dot;
 pub mod edgelist;

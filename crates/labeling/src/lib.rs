@@ -10,6 +10,20 @@
 //! * [`verify`] — machine check of Condition A, with witnesses.
 //! * [`constructions`] — trivial / Hamming / Lemma-2 tiling labelings.
 //! * [`search`] — exact `λ_m` for small `m` by domatic backtracking.
+//!
+//! ## Example
+//!
+//! Build the best constructive labeling of `Q_3` and machine-check
+//! Condition A (every closed neighborhood sees every label):
+//!
+//! ```
+//! use shc_labeling::{best_labeling, constructed_lambda, satisfies_condition_a};
+//!
+//! let lab = best_labeling(3);
+//! assert_eq!(lab.num_vertices(), 8);
+//! assert_eq!(lab.num_labels(), constructed_lambda(3));
+//! assert!(satisfies_condition_a(&lab));
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

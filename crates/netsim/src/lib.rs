@@ -16,8 +16,27 @@
 //!   stable undirected link ids that key the engine's flat occupancy
 //!   vector and the fault overlay's damage bitset.
 //! * [`engine`] — the circuit engine: rounds, admission, blocking, stats,
+//!   adaptive routing (A* on the cube metric / bidirectional BFS),
 //!   mid-run dilation shifts.
 //! * [`traffic`] — schedule replay, competing broadcasts, permutations.
+//!
+//! ## Example
+//!
+//! Route adaptively on `Q_4`: the cube labeling activates the engine's
+//! A* fast path, and the route is Hamming-shortest:
+//!
+//! ```
+//! use shc_graph::builders::hypercube;
+//! use shc_netsim::{Engine, MaterializedNet, NetTopology};
+//!
+//! let net = MaterializedNet::new(hypercube(4));
+//! assert!(net.cube_labeled()); // unlocks A* routing
+//! let mut sim = Engine::new(&net, 1);
+//! sim.begin_round();
+//! assert!(sim.request(0b0000, 0b1011, 6).is_established());
+//! let stats = sim.finish();
+//! assert_eq!((stats.established, stats.total_hops), (1, 3));
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,7 +46,7 @@ pub mod links;
 pub mod topology;
 pub mod traffic;
 
-pub use engine::{BlockReason, Engine, Outcome, SimStats};
+pub use engine::{BlockReason, Engine, Outcome, RouteSearch, SimStats};
 pub use links::{LinkId, LinkTable};
 pub use topology::{FaultedNet, MaterializedNet, NetTopology};
 pub use traffic::{

@@ -47,6 +47,19 @@ pub trait NetTopology {
     fn link_blocked(&self, _id: LinkId) -> bool {
         false
     }
+
+    /// `true` when vertex ids are binary-cube coordinates: every live
+    /// link joins ids at Hamming distance exactly 1, so
+    /// [`shc_graph::cube::hamming_distance`] is an admissible, consistent
+    /// lower bound on route length. The engine keys its distance-capped
+    /// A* routing fast path off this; the conservative default (`false`)
+    /// falls back to bidirectional BFS. Rule-generated sparse hypercubes
+    /// and materialized cube subgraphs report `true`; damage overlays
+    /// inherit their base's answer (removing links never invalidates a
+    /// lower bound).
+    fn cube_labeled(&self) -> bool {
+        false
+    }
 }
 
 impl NetTopology for SparseHypercube {
@@ -62,6 +75,12 @@ impl NetTopology for SparseHypercube {
     fn neighbors(&self, u: Vertex) -> Vec<Vertex> {
         SparseHypercube::neighbors(self, u)
     }
+
+    fn cube_labeled(&self) -> bool {
+        // Every rule-generated edge flips exactly one bit (`has_edge`
+        // demands `u ^ v` be a power of two): a spanning cube subgraph.
+        true
+    }
 }
 
 /// Adapter for materialized graphs. Freezes the graph into a CSR link
@@ -69,14 +88,18 @@ impl NetTopology for SparseHypercube {
 pub struct MaterializedNet<G: GraphView> {
     graph: G,
     table: Arc<LinkTable>,
+    cube: bool,
 }
 
 impl<G: GraphView> MaterializedNet<G> {
-    /// Wraps an owned graph, freezing its CSR link index.
+    /// Wraps an owned graph, freezing its CSR link index and detecting
+    /// (one `O(E)` popcount scan) whether the vertex ids form a cube
+    /// labeling — which unlocks the engine's A* routing fast path.
     #[must_use]
     pub fn new(graph: G) -> Self {
         let table = Arc::new(LinkTable::from_csr(&CsrGraph::from_view(&graph)));
-        Self { graph, table }
+        let cube = shc_graph::cube::is_cube_labeled(&graph);
+        Self { graph, table, cube }
     }
 
     /// Borrow the underlying graph.
@@ -106,6 +129,10 @@ impl<G: GraphView> NetTopology for MaterializedNet<G> {
 
     fn link_table(&self) -> Arc<LinkTable> {
         Arc::clone(&self.table)
+    }
+
+    fn cube_labeled(&self) -> bool {
+        self.cube
     }
 }
 
@@ -224,6 +251,12 @@ impl<T: NetTopology> NetTopology for FaultedNet<'_, T> {
 
     fn link_blocked(&self, id: LinkId) -> bool {
         self.dead.contains(id as usize) || self.base.link_blocked(id)
+    }
+
+    fn cube_labeled(&self) -> bool {
+        // Damage only removes links; a distance lower bound that held on
+        // the base holds a fortiori on the subgraph.
+        self.base.cube_labeled()
     }
 }
 

@@ -8,7 +8,9 @@ use shc_broadcast::schemes::sparse::broadcast_scheme;
 use shc_core::SparseHypercube;
 use shc_graph::builders::hypercube;
 use shc_graph::AdjGraph;
-use shc_netsim::{Engine, FaultedNet, MaterializedNet, NetTopology, Outcome, SimStats};
+use shc_netsim::{
+    Engine, FaultedNet, MaterializedNet, NetTopology, Outcome, RouteSearch, SimStats,
+};
 use std::collections::{HashMap, VecDeque};
 
 /// Reference link-load accounting: the pre-refactor engine, verbatim —
@@ -211,7 +213,13 @@ fn assert_engines_agree<T: NetTopology>(
                 if src == dst {
                     continue;
                 }
-                let a = fast.request(src, dst, *max_len);
+                // Pinned to the legacy search: the reference model
+                // reproduces its exploration order (and so its exact
+                // routes) — the accounting equivalence being tested here
+                // needs both sides to occupy identical links. The new
+                // searches are compared against this same legacy search
+                // in `search_strategies` below.
+                let a = fast.request_with(RouteSearch::Unidirectional, src, dst, *max_len);
                 let b = refr.request(src, dst, *max_len);
                 prop_assert_eq!(a, b, "adaptive outcome diverged");
             }
@@ -250,6 +258,155 @@ fn assert_engines_agree<T: NetTopology>(
 
 fn arb_base_params() -> impl Strategy<Value = (u32, u32)> {
     (4u32..=9).prop_flat_map(|n| (Just(n), 1u32..n.min(5)))
+}
+
+/// Independent shortest-path oracle for the search-equivalence tests:
+/// BFS over links with spare capacity (`usage` is an engine snapshot),
+/// returning the distance from `src` to `dst` within `max_len` and the
+/// number of distinct shortest routes (saturating; only `== 1` matters).
+fn shortest_route_census<T: NetTopology>(
+    net: &T,
+    usage: &HashMap<(u64, u64), u32>,
+    dilation: u32,
+    src: u64,
+    dst: u64,
+    max_len: u32,
+) -> Option<(u32, u64)> {
+    let mut dist: HashMap<u64, u32> = HashMap::new();
+    let mut count: HashMap<u64, u64> = HashMap::new();
+    let mut queue: VecDeque<u64> = VecDeque::new();
+    dist.insert(src, 0);
+    count.insert(src, 1);
+    queue.push_back(src);
+    while let Some(x) = queue.pop_front() {
+        let d = dist[&x];
+        if d == max_len {
+            continue;
+        }
+        let c = count[&x];
+        for y in net.neighbors(x) {
+            if usage.get(&norm(x, y)).copied().unwrap_or(0) >= dilation {
+                continue;
+            }
+            match dist.get(&y) {
+                None => {
+                    dist.insert(y, d + 1);
+                    count.insert(y, c);
+                    queue.push_back(y);
+                }
+                Some(&dy) if dy == d + 1 => {
+                    let cy = count.get_mut(&y).unwrap();
+                    *cy = cy.saturating_add(c);
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    dist.get(&dst).map(|&d| (d, count[&dst]))
+}
+
+/// Preloads identical congestion into an engine (fixed paths behave
+/// identically under every search strategy), then issues one adaptive
+/// request with the given strategy.
+fn preload_and_request<T: NetTopology>(
+    net: &T,
+    dilation: u32,
+    preload: &[Vec<u64>],
+    strategy: RouteSearch,
+    src: u64,
+    dst: u64,
+    max_len: u32,
+) -> (Outcome, HashMap<(u64, u64), u32>) {
+    let mut sim = Engine::new(net, dilation);
+    sim.begin_round();
+    for path in preload {
+        if path.len() >= 2 && path.windows(2).all(|w| w[0] != w[1]) {
+            let _ = sim.request_path(path);
+        }
+    }
+    let before = sim.usage_snapshot();
+    (sim.request_with(strategy, src, dst, max_len), before)
+}
+
+/// The PR-4 search-equivalence property: every strategy agrees with the
+/// independent census on routability and route *length*; established
+/// routes are real, capacity-respecting paths; and where the shortest
+/// route is unique, every strategy returns the legacy search's exact
+/// route.
+fn assert_searches_agree<T: NetTopology>(
+    net: &T,
+    dilation: u32,
+    preload: &[Vec<u64>],
+    src: u64,
+    dst: u64,
+    max_len: u32,
+    strategies: &[RouteSearch],
+) -> Result<(), TestCaseError> {
+    let (legacy, before) = preload_and_request(
+        net,
+        dilation,
+        preload,
+        RouteSearch::Unidirectional,
+        src,
+        dst,
+        max_len,
+    );
+    let census = shortest_route_census(net, &before, dilation, src, dst, max_len);
+    for &strategy in strategies {
+        let (outcome, before2) =
+            preload_and_request(net, dilation, preload, strategy, src, dst, max_len);
+        prop_assert_eq!(&before2, &before, "preload must be strategy-independent");
+        match (&outcome, &census) {
+            (Outcome::Established(path), Some((d, routes))) => {
+                prop_assert!(legacy.is_established(), "legacy disagrees on routability");
+                prop_assert_eq!(
+                    path.len() as u32 - 1,
+                    *d,
+                    "{:?}: not a shortest route",
+                    strategy
+                );
+                prop_assert_eq!(*path.first().unwrap(), src);
+                prop_assert_eq!(*path.last().unwrap(), dst);
+                let mut load: HashMap<(u64, u64), u32> = HashMap::new();
+                for w in path.windows(2) {
+                    prop_assert!(net.has_edge(w[0], w[1]), "{:?}: phantom hop", strategy);
+                    *load.entry(norm(w[0], w[1])).or_insert(0) += 1;
+                }
+                for (&e, &extra) in &load {
+                    let used = before.get(&e).copied().unwrap_or(0);
+                    prop_assert!(
+                        used + extra <= dilation,
+                        "{:?}: link {:?} over capacity",
+                        strategy,
+                        e
+                    );
+                }
+                if *routes == 1 {
+                    if let Outcome::Established(ref legacy_path) = legacy {
+                        prop_assert_eq!(
+                            path,
+                            legacy_path,
+                            "{:?}: unique shortest route must match legacy",
+                            strategy
+                        );
+                    }
+                }
+            }
+            (Outcome::Blocked(_), None) => {
+                prop_assert!(!legacy.is_established(), "legacy disagrees on routability");
+            }
+            (got, want) => {
+                return Err(TestCaseError::fail(format!(
+                    "{strategy:?} returned {got:?} but census says {want:?}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn arb_preload(max_v: u64) -> impl Strategy<Value = Vec<Vec<u64>>> {
+    proptest::collection::vec(proptest::collection::vec(0..max_v, 2..6), 0..12)
 }
 
 proptest! {
@@ -366,6 +523,122 @@ proptest! {
         // it so adaptive routes stay bit-identical.
         let g = SparseHypercube::construct_base(n, m);
         assert_engines_agree(&g, dilation, &ops)?;
+    }
+
+    #[test]
+    fn search_strategies_agree_on_random_graphs(
+        n in 4u64..32,
+        edges in proptest::collection::vec((0u32..32, 0u32..32), 3..80),
+        dilation in 1u32..4,
+        preload in arb_preload(32),
+        src_raw in 0u64..32,
+        dst_raw in 0u64..32,
+        max_len in 1u32..8,
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .filter(|&(u, v)| u != v)
+            .collect();
+        prop_assume!(!edges.is_empty());
+        let net = MaterializedNet::new(AdjGraph::from_edges(n as usize, edges));
+        let (src, dst) = (src_raw % n, dst_raw % n);
+        prop_assume!(src != dst);
+        let preload: Vec<Vec<u64>> = preload
+            .iter()
+            .map(|p| p.iter().map(|v| v % n).collect())
+            .collect();
+        // Arbitrary graphs rarely carry cube labels; when one does, the
+        // A* path is exercised too.
+        let mut strategies = vec![RouteSearch::Bidirectional];
+        if net.cube_labeled() {
+            strategies.push(RouteSearch::AStarCube);
+        }
+        assert_searches_agree(&net, dilation, &preload, src, dst, max_len, &strategies)?;
+    }
+
+    #[test]
+    fn search_strategies_agree_on_cubes(
+        n in 3u32..7,
+        dilation in 1u32..3,
+        preload in arb_preload(64),
+        src_raw in 0u64..64,
+        dst_raw in 0u64..64,
+        max_len in 1u32..10,
+    ) {
+        let nv = 1u64 << n;
+        let net = MaterializedNet::new(hypercube(n));
+        let (src, dst) = (src_raw % nv, dst_raw % nv);
+        prop_assume!(src != dst);
+        let preload: Vec<Vec<u64>> = preload
+            .iter()
+            .map(|p| p.iter().map(|v| v % nv).collect())
+            .collect();
+        assert_searches_agree(
+            &net,
+            dilation,
+            &preload,
+            src,
+            dst,
+            max_len,
+            &[RouteSearch::Bidirectional, RouteSearch::AStarCube],
+        )?;
+    }
+
+    #[test]
+    fn search_strategies_agree_on_sparse_hypercubes(
+        (n, m) in arb_base_params(),
+        dilation in 1u32..3,
+        preload in arb_preload(1 << 9),
+        src_raw: u64,
+        dst_raw: u64,
+        max_len in 1u32..12,
+    ) {
+        let g = SparseHypercube::construct_base(n, m);
+        let nv = 1u64 << n;
+        let (src, dst) = (src_raw % nv, dst_raw % nv);
+        prop_assume!(src != dst);
+        let preload: Vec<Vec<u64>> = preload
+            .iter()
+            .map(|p| p.iter().map(|v| v % nv).collect())
+            .collect();
+        assert_searches_agree(
+            &g,
+            dilation,
+            &preload,
+            src,
+            dst,
+            max_len,
+            &[RouteSearch::Bidirectional, RouteSearch::AStarCube],
+        )?;
+    }
+
+    #[test]
+    fn search_strategies_agree_under_faults(
+        edges in proptest::collection::vec((0u32..24, 0u32..24), 8..60),
+        dead in proptest::collection::vec((0u64..24, 0u64..24), 0..8),
+        crashed in proptest::collection::vec(0u64..24, 0..4),
+        dilation in 1u32..3,
+        preload in arb_preload(24),
+        src_raw in 0u64..24,
+        dst_raw in 0u64..24,
+        max_len in 1u32..8,
+    ) {
+        let edges: Vec<(u32, u32)> = edges.into_iter().filter(|&(u, v)| u != v).collect();
+        prop_assume!(!edges.is_empty());
+        let base = MaterializedNet::new(AdjGraph::from_edges(24, edges));
+        let damaged = FaultedNet::new(&base, dead, crashed);
+        let (src, dst) = (src_raw % 24, dst_raw % 24);
+        prop_assume!(src != dst);
+        let preload: Vec<Vec<u64>> = preload
+            .iter()
+            .map(|p| p.iter().map(|v| v % 24).collect())
+            .collect();
+        let mut strategies = vec![RouteSearch::Bidirectional];
+        if damaged.cube_labeled() {
+            strategies.push(RouteSearch::AStarCube);
+        }
+        assert_searches_agree(&damaged, dilation, &preload, src, dst, max_len, &strategies)?;
     }
 
     #[test]

@@ -70,6 +70,28 @@ where
         .collect()
 }
 
+/// Runs `f` over every cell of a work list on the work-stealing
+/// executor, returning results **in cell order** regardless of which
+/// worker ran what — the cell-level task API benchmark sweeps (and any
+/// caller with a heterogeneous work list) build on. `f` must be pure per
+/// cell; `threads = 0` uses all cores.
+///
+/// ```
+/// use shc_runtime::map_cells;
+///
+/// let dims = [8u32, 10, 12, 14];
+/// let squares = map_cells(&dims, 0, |&n| u64::from(n) * u64::from(n));
+/// assert_eq!(squares, vec![64, 100, 144, 196]);
+/// ```
+pub fn map_cells<I, T, F>(cells: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    run_indexed(cells.len(), threads, |i| f(&cells[i]))
+}
+
 /// Pop local work, else grab a batch from the global injector, else steal
 /// from a sibling; `None` when everything is drained.
 fn next_task(
@@ -152,5 +174,15 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn map_cells_preserves_cell_order() {
+        let cells: Vec<String> = (0..40).map(|i| format!("cell-{i}")).collect();
+        let seq = map_cells(&cells, 1, |c| c.len());
+        let par = map_cells(&cells, 4, |c| c.len());
+        assert_eq!(seq, par);
+        assert_eq!(seq[0], 6);
+        assert_eq!(map_cells::<String, usize, _>(&[], 4, |c| c.len()), vec![]);
     }
 }

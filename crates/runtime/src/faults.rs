@@ -1,4 +1,4 @@
-//! Sampling a [`FaultSpec`](crate::scenario::FaultSpec) into a concrete
+//! Sampling a [`FaultSpec`] into a concrete
 //! per-replica [`FaultPlan`]: which links die, which nodes crash, all
 //! drawn from the replica's private deterministic stream.
 

@@ -20,6 +20,26 @@
 //! report — including its JSON bytes — is identical for 1 or N worker
 //! threads. `tests/runtime_determinism.rs` (tier 1) pins this.
 //!
+//! ## Example
+//!
+//! Declare a scenario, execute it on 2 worker threads, and observe the
+//! determinism contract:
+//!
+//! ```
+//! use shc_runtime::{run_scenario, Scenario, TopologySpec, Workload};
+//!
+//! let scenario = Scenario::new(
+//!     "doc",
+//!     TopologySpec::SparseBase { n: 5, m: 2 },
+//!     Workload::Broadcast { competing: 1 },
+//! )
+//! .replications(4)
+//! .seed(7);
+//! let report = run_scenario(&scenario, 2);
+//! assert_eq!(report.total_blocked, 0); // lossless without faults
+//! assert_eq!(report, run_scenario(&scenario, 1)); // any worker count
+//! ```
+//!
 //! [`SimStats`]: shc_netsim::SimStats
 
 #![warn(missing_docs)]
@@ -34,7 +54,7 @@ pub mod scenario;
 
 pub use aggregate::MetricSummary;
 pub use catalog::builtin_catalog;
-pub use executor::{available_threads, run_indexed};
+pub use executor::{available_threads, map_cells, run_indexed};
 pub use faults::FaultPlan;
 pub use runner::{run_scenario, MetricRow, ReplicaOutcome, ScenarioReport};
 pub use scenario::{

@@ -144,6 +144,13 @@ impl NetTopology for BuiltTopology {
     fn link_table(&self) -> Arc<LinkTable> {
         Arc::clone(&self.table)
     }
+
+    fn cube_labeled(&self) -> bool {
+        match &self.kind {
+            TopologyKind::Sparse(g) => NetTopology::cube_labeled(g),
+            TopologyKind::Cube { net, .. } => net.cube_labeled(),
+        }
+    }
 }
 
 /// The traffic a replica drives through the engine.

@@ -1,8 +1,8 @@
 //! Offline stand-in for `proptest`.
 //!
-//! Implements the workspace's property-testing surface — the [`Strategy`]
+//! Implements the workspace's property-testing surface — the [`strategy::Strategy`]
 //! trait with `prop_map` / `prop_flat_map` / `prop_filter` /
-//! `prop_filter_map`, range and tuple strategies, [`Just`],
+//! `prop_filter_map`, range and tuple strategies, [`strategy::Just`],
 //! `collection::{vec, btree_set}`, implicit `arg: Type` arbitrary
 //! parameters, `#![proptest_config]`, and the `proptest!` /
 //! `prop_assert*!` / `prop_assume!` macros — over a deterministic seeded
@@ -269,7 +269,7 @@ pub mod collection {
     use rand::Rng;
     use std::collections::BTreeSet;
 
-    /// Element-count specification accepted by [`vec`] and [`btree_set`].
+    /// Element-count specification accepted by [`vec()`] and [`btree_set()`].
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -311,7 +311,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
