@@ -13,7 +13,8 @@
 //! Flags:
 //! * `--fast`        — reduced sweep (CI / bit-rot guard sizes).
 //! * `--json PATH`   — output path (default `BENCH_netsim.json`).
-//! * `--max-n N`     — cap the cube dimension (default 18, fast: 10).
+//! * `--max-n N`     — cap the cube dimension (default 20, fast: 10;
+//!   pass `21` to opportunistically include the `n = 21` cells).
 //! * `--target-ms M` — measurement budget per cell (default 300).
 //! * `--threads T`   — worker threads for the cell sweep (0 = all cores).
 //! * `--seed-check`  — skip timing; assert 1-thread and T-thread runs
@@ -31,7 +32,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use shc_broadcast::Schedule;
-use shc_netsim::{random_permutation_round, replay_competing, Engine, NetTopology, SimStats};
+use shc_netsim::{random_permutation_round_with, replay_competing, Engine, NetTopology, SimStats};
 use shc_runtime::TopologySpec;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -158,21 +159,26 @@ fn run_cell(spec: &TopologySpec, n: u32, target: Duration) -> Vec<BenchRow> {
     rows.push(row(&label, "broadcast_x4", n, nv, target, || {
         replay_competing(&topo, &schedules, 1)
     }));
-    // Hot-spot: every sender wants vertex 0, adaptively routed.
+    // Hot-spot: every sender wants vertex 0, adaptively routed. One
+    // engine serves every iteration (`take_stats` windows) so the row
+    // times routing, not per-iteration construction — at n = 20 a fresh
+    // engine is ~80 MB of allocation + zeroing per round.
     let senders: Vec<u64> = (1..nv.min(1025)).collect();
-    rows.push(row(&label, "hot_spot", n, nv, target, || {
-        let mut sim = Engine::new(&topo, 1);
-        sim.begin_round();
+    let mut hot = Engine::new(&topo, 1);
+    rows.push(row(&label, "hot_spot", n, nv, target, move || {
+        hot.begin_round();
         for &s in &senders {
-            let _ = sim.request(s, 0, n + 2);
+            let _ = hot.request(s, 0, n + 2);
         }
-        sim.finish()
+        hot.take_stats()
     }));
-    // Permutation: random pairwise adaptive traffic, one round per iter.
+    // Permutation: random pairwise adaptive traffic, one round per iter,
+    // same amortized-engine pattern.
     let pairs = nv.min(2048) as usize;
     let mut rng = StdRng::seed_from_u64(0xBE9C);
+    let mut perm = Engine::new(&topo, 1);
     rows.push(row(&label, "permutation", n, nv, target, move || {
-        random_permutation_round(&topo, pairs, n + 2, 1, &mut rng)
+        random_permutation_round_with(&mut perm, pairs, n + 2, &mut rng)
     }));
     rows
 }
@@ -249,8 +255,13 @@ fn main() {
         }
         i += 1;
     }
-    let cap = max_n.unwrap_or(if fast { 10 } else { 18 });
-    let dims: Vec<u32> = [8u32, 10, 12, 14, 16, 18]
+    // Both topologies are rule-generated (implicit link substrate), so
+    // the sweep reaches n = 20 — 1 048 576 vertices — without the CSR
+    // memory wall that capped the frozen-table era at n = 18; n = 21 is
+    // opportunistic (--max-n 21) since its four-schedule broadcast cell
+    // wants a few extra GB of schedule storage.
+    let cap = max_n.unwrap_or(if fast { 10 } else { 20 });
+    let dims: Vec<u32> = [8u32, 10, 12, 14, 16, 18, 20, 21]
         .into_iter()
         .filter(|&n| n <= cap)
         .collect();

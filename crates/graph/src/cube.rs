@@ -29,6 +29,25 @@ pub fn hamming_distance(u: u64, v: u64) -> u32 {
     (u ^ v).count_ones()
 }
 
+/// Rank of the dimension-`d` cube edge at `v` among all dimension-`d`
+/// edges: `v` with bit `d` deleted, i.e. the index of the edge's lower
+/// endpoint among the `2^(n-1)` vertices whose bit `d` is clear. Either
+/// endpoint of the edge gives the same rank (the differing bit is the
+/// one deleted). This is the `rank(v, d)` of the arithmetic link-id
+/// scheme `id = d · 2^(n-1) + rank(v, d)` that lets `shc-netsim` index
+/// cube links without materializing `Q_n`.
+///
+/// ```
+/// use shc_graph::cube::edge_rank;
+/// assert_eq!(edge_rank(0b1011, 1), 0b101);
+/// assert_eq!(edge_rank(0b1001, 1), edge_rank(0b1011, 1), "endpoint-free");
+/// ```
+#[inline]
+#[must_use]
+pub fn edge_rank(v: u64, d: u32) -> u64 {
+    ((v >> (d + 1)) << d) | (v & ((1u64 << d) - 1))
+}
+
 /// `true` when every edge of `g` joins vertices at Hamming distance
 /// exactly 1 — i.e. the vertex ids are coordinates of a subgraph of some
 /// binary cube. On such graphs [`hamming_distance`] lower-bounds the
@@ -92,6 +111,24 @@ mod tests {
         // Over 2 vertices it is exactly Q_1.
         let q1 = crate::AdjGraph::from_edges(2, [(0, 1)]);
         assert_eq!(cube_dimension(&q1), Some(1));
+    }
+
+    #[test]
+    fn edge_rank_is_a_bijection_per_dimension() {
+        // For each dimension of Q_5, ranks over the lower endpoints are a
+        // permutation of 0..2^4, and both endpoints agree.
+        for d in 0..5u32 {
+            let mut seen = [false; 16];
+            for v in 0..32u64 {
+                if (v >> d) & 1 == 0 {
+                    let r = edge_rank(v, d);
+                    assert_eq!(r, edge_rank(v | (1 << d), d), "endpoint-free");
+                    assert!(!seen[r as usize], "rank collision at v={v}, d={d}");
+                    seen[r as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
     }
 
     #[test]

@@ -25,16 +25,18 @@
 //! tests compare the new searches against.
 //!
 //! The hot path is allocation-free in steady state: link occupancy is a
-//! flat `Vec<u32>` indexed by the topology's frozen [`LinkTable`] ids
-//! (reset per round through a dirty list, not by clearing a map), and all
-//! three searches reuse epoch-stamped visited/parent/distance scratch —
-//! one set per frontier direction — across requests.
+//! flat `Vec<u32>` indexed by the topology's [`LinkIndex`] ids — a frozen
+//! CSR table for materialized graphs, closed-form cube arithmetic for
+//! rule-generated ones — reset per round through a dirty list, not by
+//! clearing a map. All three searches walk neighbors through the
+//! topology's allocation-free [`NetTopology::for_each_link`] and reuse
+//! epoch-stamped visited/parent/distance scratch — one set per frontier
+//! direction — across requests.
 
-use crate::links::{LinkId, LinkTable};
+use crate::links::{LinkId, LinkIndex};
 use crate::topology::{NetTopology, Vertex};
 use shc_graph::cube::hamming_distance;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
 
 /// Why a circuit was refused.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -106,6 +108,15 @@ pub struct SimStats {
     /// wormhole-style latency proxy: a round costs as long as its longest
     /// circuit takes to set up and traverse.
     pub weighted_latency: u64,
+    /// Circuit requests the **traffic generator** was asked for —
+    /// including draws it skipped before reaching the engine. Filled in
+    /// by the `traffic` generators (`requested == established + blocked
+    /// + skipped`); 0 when the engine is driven directly.
+    pub requested: usize,
+    /// Generator draws skipped without reaching the engine (e.g.
+    /// `src == dst` pairs in permutation traffic). Previously these were
+    /// dropped silently, under-reporting requested traffic.
+    pub skipped: usize,
 }
 
 impl SimStats {
@@ -152,11 +163,12 @@ impl SimStats {
     }
 }
 
-/// The simulator. Holds the topology by reference, its frozen link
-/// table, and flat per-link occupancy plus reusable routing scratch.
+/// The simulator. Holds the topology by reference, its link index
+/// (frozen table or implicit arithmetic), and flat per-link occupancy
+/// plus reusable routing scratch.
 pub struct Engine<'a, T: NetTopology> {
     net: &'a T,
-    table: Arc<LinkTable>,
+    index: LinkIndex,
     dilation: u32,
     /// Circuits currently on each link this round, indexed by link id.
     usage: Vec<u32>,
@@ -206,21 +218,22 @@ pub struct Engine<'a, T: NetTopology> {
 
 impl<'a, T: NetTopology> Engine<'a, T> {
     /// Creates an engine over `net` with per-link capacity `dilation`.
-    /// Obtains the topology's frozen link table once (topologies frozen
-    /// at construction hand out a shared table; others freeze here).
+    /// Obtains the topology's link index once — a shared frozen table
+    /// for materialized topologies, a copyable arithmetic index for
+    /// rule-generated ones (no adjacency is materialized either way).
     ///
     /// # Panics
     /// Panics if `dilation == 0`.
     #[must_use]
     pub fn new(net: &'a T, dilation: u32) -> Self {
         assert!(dilation >= 1, "links need capacity >= 1");
-        let table = net.link_table();
-        let n = usize::try_from(table.num_vertices()).expect("vertex count fits usize");
+        let index = net.link_index();
+        let n = usize::try_from(index.num_vertices()).expect("vertex count fits usize");
         let use_cube_metric = net.cube_labeled();
         Self {
             net,
             dilation,
-            usage: vec![0; table.num_links()],
+            usage: vec![0; index.num_links()],
             dirty: Vec::new(),
             path_ids: Vec::new(),
             seen: vec![0; n],
@@ -240,7 +253,7 @@ impl<'a, T: NetTopology> Engine<'a, T> {
             fr_b: Vec::new(),
             fr_b_next: Vec::new(),
             use_cube_metric,
-            table,
+            index,
             round_peak: 0,
             round_max_hops: 0,
             stats: SimStats::default(),
@@ -264,6 +277,12 @@ impl<'a, T: NetTopology> Engine<'a, T> {
     #[must_use]
     pub fn dilation(&self) -> u32 {
         self.dilation
+    }
+
+    /// Number of vertices of the simulated topology.
+    #[must_use]
+    pub fn num_vertices(&self) -> u64 {
+        self.index.num_vertices()
     }
 
     /// Starts a new time unit: all circuits from the previous round are
@@ -326,9 +345,9 @@ impl<'a, T: NetTopology> Engine<'a, T> {
         assert!(path.len() >= 2, "a circuit needs two endpoints");
         self.path_ids.clear();
         for w in path.windows(2) {
-            // Live-edge test: present in the frozen table and not masked
-            // by a damage overlay.
-            match self.table.link_id(w[0], w[1]) {
+            // Live-edge test: an edge the topology's rule (or frozen
+            // table) admits and no damage overlay masks.
+            match self.net.link_id(w[0], w[1]) {
                 Some(id) if !self.net.link_blocked(id) => self.path_ids.push(id),
                 _ => {
                     self.stats.blocked += 1;
@@ -397,7 +416,7 @@ impl<'a, T: NetTopology> Engine<'a, T> {
     ) -> Outcome {
         assert!(self.round_open, "begin_round first");
         assert_ne!(src, dst, "self-circuit");
-        let n = self.table.num_vertices();
+        let n = self.index.num_vertices();
         assert!(
             src < n && dst < n,
             "request endpoints ({src}, {dst}) out of range for {n} vertices"
@@ -424,34 +443,43 @@ impl<'a, T: NetTopology> Engine<'a, T> {
         }
     }
 
-    /// The legacy single-frontier BFS (pre-PR-4 `request`, verbatim).
+    /// The legacy single-frontier BFS (pre-PR-4 `request`; exploration
+    /// order and block reasons kept verbatim, now walking neighbors
+    /// through the allocation-free `for_each_link`).
     fn search_unidirectional(&mut self, src: Vertex, dst: Vertex, max_len: u32) -> Outcome {
         self.queue.clear();
         self.seen[src as usize] = self.epoch;
         self.queue.push_back((src as u32, 0));
         let mut any_route_capacity_blind = false;
+        let net = self.net;
         while let Some((x, d)) = self.queue.pop_front() {
             if d == max_len {
                 continue;
             }
-            let (targets, ids) = self.table.links_of(u64::from(x));
-            for (&y, &id) in targets.iter().zip(ids) {
-                if self.net.link_blocked(id) {
-                    continue;
+            let mut found = false;
+            net.for_each_link(u64::from(x), |y, id| {
+                if net.link_blocked(id) {
+                    return true;
                 }
-                if u64::from(y) == dst {
+                if y == dst {
                     any_route_capacity_blind = true;
                 }
-                if self.seen[y as usize] == self.epoch || self.usage[id as usize] >= self.dilation {
-                    continue;
+                let yi = y as usize;
+                if self.seen[yi] == self.epoch || self.usage[id as usize] >= self.dilation {
+                    return true;
                 }
-                self.seen[y as usize] = self.epoch;
-                self.parent[y as usize] = x;
-                self.parent_link[y as usize] = id;
-                if u64::from(y) == dst {
-                    return self.establish_found(src, dst);
+                self.seen[yi] = self.epoch;
+                self.parent[yi] = x;
+                self.parent_link[yi] = id;
+                if y == dst {
+                    found = true;
+                    return false;
                 }
-                self.queue.push_back((y, d + 1));
+                self.queue.push_back((y as u32, d + 1));
+                true
+            });
+            if found {
+                return self.establish_found(src, dst);
             }
         }
         self.stats.blocked += 1;
@@ -467,18 +495,20 @@ impl<'a, T: NetTopology> Engine<'a, T> {
     /// link still has spare capacity. `(any_live, !any_free)` maps to
     /// the [`BlockReason::Saturated`] / [`BlockReason::NoRoute`] split.
     fn endpoint_link_census(&self, v: Vertex) -> (bool, bool) {
-        let (_, ids) = self.table.links_of(v);
         let mut any_live = false;
-        for &id in ids {
+        let mut any_free = false;
+        self.net.for_each_link(v, |_, id| {
             if self.net.link_blocked(id) {
-                continue;
+                return true;
             }
             any_live = true;
             if self.usage[id as usize] < self.dilation {
-                return (true, true);
+                any_free = true;
+                return false;
             }
-        }
-        (any_live, false)
+            true
+        });
+        (any_live, any_free)
     }
 
     /// Distance-capped A\* on the cube metric. `h(v) = hamming(v, dst)`
@@ -508,6 +538,7 @@ impl<'a, T: NetTopology> Engine<'a, T> {
         self.queue.push_back((src as u32, 0));
         let mut f = h0;
         let mut capacity_skip = false;
+        let net = self.net;
         loop {
             let Some((x, g)) = self.queue.pop_front() else {
                 if self.queue_next.is_empty() || f + 2 > max_len {
@@ -524,41 +555,46 @@ impl<'a, T: NetTopology> Engine<'a, T> {
                 continue;
             }
             self.done[xi] = self.epoch;
-            let (targets, ids) = self.table.links_of(u64::from(x));
-            for (&y, &id) in targets.iter().zip(ids) {
-                if self.net.link_blocked(id) {
-                    continue;
+            let mut found = false;
+            net.for_each_link(u64::from(x), |y, id| {
+                if net.link_blocked(id) {
+                    return true;
                 }
                 if self.usage[id as usize] >= self.dilation {
                     capacity_skip = true;
-                    continue;
+                    return true;
                 }
-                if u64::from(y) == dst {
+                if y == dst {
                     // h(x) = 1, so this route has length f <= max_len and
                     // no shorter one remains undiscovered.
                     self.parent[y as usize] = x;
                     self.parent_link[y as usize] = id;
-                    return self.establish_found(src, dst);
+                    found = true;
+                    return false;
                 }
                 let g2 = g + 1;
                 let yi = y as usize;
                 if self.seen[yi] == self.epoch && g2 >= self.dist[yi] {
-                    continue;
+                    return true;
                 }
-                let f2 = g2 + hamming_distance(u64::from(y), dst);
+                let f2 = g2 + hamming_distance(y, dst);
                 if f2 > max_len {
-                    continue;
+                    return true;
                 }
                 self.seen[yi] = self.epoch;
                 self.dist[yi] = g2;
                 self.parent[yi] = x;
                 self.parent_link[yi] = id;
                 if f2 == f {
-                    self.queue.push_back((y, g2));
+                    self.queue.push_back((y as u32, g2));
                 } else {
                     debug_assert_eq!(f2, f + 2, "cube metric keeps f-parity");
-                    self.queue_next.push_back((y, g2));
+                    self.queue_next.push_back((y as u32, g2));
                 }
+                true
+            });
+            if found {
+                return self.establish_found(src, dst);
             }
         }
         self.stats.blocked += 1;
@@ -603,6 +639,7 @@ impl<'a, T: NetTopology> Engine<'a, T> {
         let mut best = u32::MAX;
         let mut meet = 0u32;
         let mut capacity_skip = false;
+        let net = self.net;
         loop {
             let sum = lvl_f + lvl_b;
             // Every route of length <= lvl_f + lvl_b has produced a
@@ -625,18 +662,17 @@ impl<'a, T: NetTopology> Engine<'a, T> {
                 self.fr_f_next.clear();
                 for i in 0..self.fr_f.len() {
                     let x = self.fr_f[i];
-                    let (targets, ids) = self.table.links_of(u64::from(x));
-                    for (&y, &id) in targets.iter().zip(ids) {
-                        if self.net.link_blocked(id) {
-                            continue;
+                    net.for_each_link(u64::from(x), |y, id| {
+                        if net.link_blocked(id) {
+                            return true;
                         }
                         if self.usage[id as usize] >= self.dilation {
                             capacity_skip = true;
-                            continue;
+                            return true;
                         }
                         let yi = y as usize;
                         if self.seen[yi] == self.epoch {
-                            continue;
+                            return true;
                         }
                         self.seen[yi] = self.epoch;
                         self.dist[yi] = lvl_f + 1;
@@ -646,11 +682,12 @@ impl<'a, T: NetTopology> Engine<'a, T> {
                             let total = lvl_f + 1 + self.dist_b[yi];
                             if total < best {
                                 best = total;
-                                meet = y;
+                                meet = y as u32;
                             }
                         }
-                        self.fr_f_next.push(y);
-                    }
+                        self.fr_f_next.push(y as u32);
+                        true
+                    });
                 }
                 lvl_f += 1;
                 std::mem::swap(&mut self.fr_f, &mut self.fr_f_next);
@@ -658,18 +695,17 @@ impl<'a, T: NetTopology> Engine<'a, T> {
                 self.fr_b_next.clear();
                 for i in 0..self.fr_b.len() {
                     let x = self.fr_b[i];
-                    let (targets, ids) = self.table.links_of(u64::from(x));
-                    for (&y, &id) in targets.iter().zip(ids) {
-                        if self.net.link_blocked(id) {
-                            continue;
+                    net.for_each_link(u64::from(x), |y, id| {
+                        if net.link_blocked(id) {
+                            return true;
                         }
                         if self.usage[id as usize] >= self.dilation {
                             capacity_skip = true;
-                            continue;
+                            return true;
                         }
                         let yi = y as usize;
                         if self.seen_b[yi] == self.epoch {
-                            continue;
+                            return true;
                         }
                         self.seen_b[yi] = self.epoch;
                         self.dist_b[yi] = lvl_b + 1;
@@ -679,11 +715,12 @@ impl<'a, T: NetTopology> Engine<'a, T> {
                             let total = lvl_b + 1 + self.dist[yi];
                             if total < best {
                                 best = total;
-                                meet = y;
+                                meet = y as u32;
                             }
                         }
-                        self.fr_b_next.push(y);
-                    }
+                        self.fr_b_next.push(y as u32);
+                        true
+                    });
                 }
                 lvl_b += 1;
                 std::mem::swap(&mut self.fr_b, &mut self.fr_b_next);
@@ -763,17 +800,39 @@ impl<'a, T: NetTopology> Engine<'a, T> {
         self.stats
     }
 
+    /// Closes the open round (if any), returns the statistics
+    /// accumulated since construction or the last `take_stats`, and
+    /// resets the counters — leaving the engine ready for the next
+    /// independent measurement window **without reallocating** its
+    /// occupancy vector or search scratch. Callers that simulate many
+    /// rounds/windows over one topology (benchmark loops, Monte Carlo
+    /// drivers) should construct one engine and drain it with this
+    /// instead of paying a construction (multi-megabyte allocation +
+    /// zeroing at `n = 20`) per window; the results are identical —
+    /// every piece of round state is already reset by `begin_round`.
+    #[must_use]
+    pub fn take_stats(&mut self) -> SimStats {
+        self.close_round();
+        std::mem::take(&mut self.stats)
+    }
+
     /// Current per-link usage snapshot (normalized edge → circuits),
-    /// reconstructed from the flat occupancy vector. Diagnostic /
-    /// cross-check API — not on the hot path.
+    /// reconstructed from the flat occupancy vector by walking the
+    /// topology (works identically over frozen-table and implicit
+    /// indexes). Diagnostic / cross-check API — not on the hot path.
     #[must_use]
     pub fn usage_snapshot(&self) -> HashMap<(Vertex, Vertex), u32> {
         let mut map = HashMap::new();
-        for (u, v, id) in self.table.iter_links() {
-            let load = self.usage[id as usize];
-            if load > 0 {
-                map.insert((u, v), load);
-            }
+        for u in 0..self.index.num_vertices() {
+            self.net.for_each_link(u, |v, id| {
+                if v > u {
+                    let load = self.usage[id as usize];
+                    if load > 0 {
+                        map.insert((u, v), load);
+                    }
+                }
+                true
+            });
         }
         map
     }
@@ -956,6 +1015,33 @@ mod tests {
         );
         assert!(sim.usage_snapshot().is_empty(), "rollback left residue");
         assert!(sim.request_path(&[1, 0, 2]).is_established());
+    }
+
+    #[test]
+    fn take_stats_resets_and_reuses_without_reallocation() {
+        let net = MaterializedNet::new(cycle(6));
+        let mut reused = Engine::new(&net, 1);
+        let mut windows = Vec::new();
+        for _ in 0..3 {
+            reused.begin_round();
+            assert!(reused.request_path(&[0, 1, 2]).is_established());
+            assert!(!reused.request_path(&[1, 2]).is_established());
+            reused.begin_round();
+            assert!(reused.request(3, 5, 3).is_established());
+            windows.push(reused.take_stats());
+        }
+        // Every window is independent and identical to a fresh engine.
+        let mut fresh = Engine::new(&net, 1);
+        fresh.begin_round();
+        assert!(fresh.request_path(&[0, 1, 2]).is_established());
+        assert!(!fresh.request_path(&[1, 2]).is_established());
+        fresh.begin_round();
+        assert!(fresh.request(3, 5, 3).is_established());
+        let expect = fresh.finish();
+        for w in &windows {
+            assert_eq!(w, &expect, "reused engine must match fresh engine");
+        }
+        assert_eq!(expect.rounds, 2);
     }
 
     #[test]

@@ -9,12 +9,14 @@
 //! plus traffic generators for competing broadcasts and random
 //! permutations.
 //!
-//! * [`topology`] — the [`NetTopology`] interface (sparse hypercubes and
-//!   materialized graphs) plus the [`FaultedNet`] damage overlay for
-//!   fault-injection studies.
-//! * [`links`] — the frozen CSR [`LinkTable`] every topology exposes:
-//!   stable undirected link ids that key the engine's flat occupancy
-//!   vector and the fault overlay's damage bitset.
+//! * [`topology`] — the [`NetTopology`] interface (implicit cubes,
+//!   sparse hypercubes, and materialized graphs) plus the [`FaultedNet`]
+//!   damage overlay for fault-injection studies.
+//! * [`links`] — the [`LinkIndex`] substrate: stable undirected link ids
+//!   that key the engine's flat occupancy vector and the fault overlay's
+//!   damage bitset, backed by either a frozen CSR [`LinkTable`] or the
+//!   storage-free arithmetic [`CubeLinks`] (rule-generated `Q_n` to
+//!   `n = 20+` without materializing adjacency).
 //! * [`engine`] — the circuit engine: rounds, admission, blocking, stats,
 //!   adaptive routing (A* on the cube metric / bidirectional BFS),
 //!   mid-run dilation shifts.
@@ -47,8 +49,9 @@ pub mod topology;
 pub mod traffic;
 
 pub use engine::{BlockReason, Engine, Outcome, RouteSearch, SimStats};
-pub use links::{LinkId, LinkTable};
-pub use topology::{FaultedNet, MaterializedNet, NetTopology};
+pub use links::{CubeLinks, LinkId, LinkIndex, LinkIndexError, LinkTable};
+pub use topology::{FaultedNet, ImplicitCubeNet, MaterializedNet, NetTopology};
 pub use traffic::{
-    random_permutation_round, replay_competing, replay_competing_hooked, replay_schedule,
+    random_permutation_round, random_permutation_round_with, replay_competing,
+    replay_competing_hooked, replay_schedule,
 };

@@ -1,29 +1,233 @@
-//! The frozen link index every [`NetTopology`](crate::NetTopology)
-//! exposes to the engine.
+//! The link-id substrate every [`NetTopology`](crate::NetTopology)
+//! exposes to the engine, in two backends behind [`LinkIndex`]:
 //!
-//! A [`LinkTable`] is a CSR-shaped snapshot of a topology's adjacency:
-//! one offsets array, one targets array, and — parallel to the targets —
-//! a stable undirected **link id** per entry, dense in `0..num_links()`.
+//! * [`LinkTable`] — a frozen CSR snapshot of a topology's adjacency:
+//!   one offsets array, one targets array, and — parallel to the targets —
+//!   a stable undirected **link id** per entry, dense in `0..num_links()`.
+//! * [`CubeLinks`] — a purely arithmetic index over binary-cube geometry:
+//!   the link id of the cube edge `{v, v ^ (1 << d)}` is computed in
+//!   closed form (`id = d · 2^(n-1) + rank(v, d)`, see
+//!   [`CubeLinks::id_of_dim`]) with **no per-vertex storage at all**, so
+//!   rule-generated topologies (`Q_n` itself, the paper's sparse
+//!   hypercubes) scale to `n = 20+` without materializing adjacency.
+//!
 //! The circuit engine keys all per-round occupancy off these ids (a flat
 //! `Vec<u32>` instead of a `HashMap<(Vertex, Vertex), u32>`), and fault
 //! overlays mask damage as a bitset over the same ids.
 //!
 //! Two properties matter for determinism:
-//! * **Native order** — `links_of(u)` lists neighbors in exactly the
-//!   order the topology's own `neighbors(u)` produced them at freeze
-//!   time (for materialized graphs that is sorted-ascending; for
-//!   rule-generated sparse hypercubes it is ascending by dimension), so
-//!   the adaptive router explores in the same order as a direct
-//!   `neighbors()` walk and produces bit-identical routes.
-//! * **Stable ids** — ids are assigned in first-encounter order over the
-//!   vertex-major walk, so the same topology always freezes to the same
-//!   table.
+//! * **Native order** — a topology's `for_each_link(u)` yields neighbors
+//!   in exactly the order its own `neighbors(u)` produces them (for
+//!   materialized graphs that is sorted-ascending; for rule-generated
+//!   sparse hypercubes it is ascending by dimension; [`CubeLinks`]
+//!   enumerates full-cube neighbors in ascending vertex order, which is
+//!   exactly the CSR order of a materialized `Q_n`), so the adaptive
+//!   router explores in the same order either way and produces
+//!   bit-identical routes.
+//! * **Stable ids** — table ids are assigned in first-encounter order
+//!   over the vertex-major walk; cube ids are a closed-form function of
+//!   the edge. The same topology always indexes to the same ids.
 
 use crate::topology::Vertex;
+use shc_graph::cube::hamming_distance;
 use shc_graph::{CsrGraph, GraphView, Node};
+use std::sync::Arc;
 
 /// Stable identifier of an undirected link, dense in `0..num_links()`.
 pub type LinkId = u32;
+
+/// Why a link index could not be built: the requested topology exceeds
+/// the `u32` id space the engine's flat occupancy vector is keyed by.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkIndexError {
+    /// More vertices than the `u32` vertex/offset space can address.
+    TooManyVertices(u64),
+    /// More links (or link endpoints) than the `u32` id space can hold.
+    TooManyLinks(u64),
+}
+
+impl std::fmt::Display for LinkIndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooManyVertices(n) => {
+                write!(f, "{n} vertices overflow the u32 link-index space")
+            }
+            Self::TooManyLinks(m) => write!(f, "{m} links overflow the u32 link-id space"),
+        }
+    }
+}
+
+impl std::error::Error for LinkIndexError {}
+
+/// The link-id backend a topology hands the engine: a frozen CSR table,
+/// or closed-form cube arithmetic with no storage. Cheap to clone (an
+/// `Arc` bump or a `Copy`), so every engine and fault overlay carries its
+/// own handle.
+///
+/// Note that [`LinkIndex::link_id`] is *geometric*: the `Cube` backend
+/// assigns an id to **every** edge of the full cube, including ones a
+/// sparse rule-generated topology does not contain. Edge-aware lookup is
+/// [`NetTopology::link_id`](crate::NetTopology::link_id), which consults
+/// the topology's rule first.
+#[derive(Clone, Debug)]
+pub enum LinkIndex {
+    /// Frozen CSR link table (materialized topologies).
+    Table(Arc<LinkTable>),
+    /// Arithmetic ids over binary-cube geometry (rule-generated
+    /// topologies: implicit `Q_n` and sparse hypercubes).
+    Cube(CubeLinks),
+}
+
+impl LinkIndex {
+    /// Number of vertices the index spans.
+    #[must_use]
+    pub fn num_vertices(&self) -> u64 {
+        match self {
+            Self::Table(t) => t.num_vertices(),
+            Self::Cube(c) => c.num_vertices(),
+        }
+    }
+
+    /// Size of the link-id space: ids are `0..num_links()`. For the cube
+    /// backend this is the full cube's `n · 2^(n-1)` even when the
+    /// topology using it is a sparse subgraph — absent links simply never
+    /// have their slot touched.
+    #[must_use]
+    pub fn num_links(&self) -> usize {
+        match self {
+            Self::Table(t) => t.num_links(),
+            Self::Cube(c) => c.num_links(),
+        }
+    }
+
+    /// Geometric id of link `{u, v}` (see the type-level caveat: for the
+    /// cube backend this answers for every cube edge, present or not).
+    #[must_use]
+    pub fn link_id(&self, u: Vertex, v: Vertex) -> Option<LinkId> {
+        match self {
+            Self::Table(t) => t.link_id(u, v),
+            Self::Cube(c) => c.link_id(u, v),
+        }
+    }
+}
+
+/// Closed-form link ids over the binary `n`-cube: no adjacency, no
+/// offsets, no per-vertex anything — the whole index is the dimension.
+///
+/// The id of the edge along dimension `d` at vertex `v` is
+/// `d · 2^(n-1) + rank(v, d)`, where `rank(v, d)` is `v` with bit `d`
+/// deleted (the rank of the edge's lower endpoint among the `2^(n-1)`
+/// vertices whose bit `d` is clear). Ids are dense in `0..n · 2^(n-1)`.
+///
+/// ```
+/// use shc_netsim::CubeLinks;
+/// let c = CubeLinks::new(4).unwrap();
+/// assert_eq!(c.num_links(), 4 * 8);
+/// // Edge {5, 7} flips dimension 1: id = 1 * 8 + rank(5 without bit 1).
+/// assert_eq!(c.link_id(5, 7), Some(8 + 0b01 + 0b10));
+/// assert_eq!(c.link_id(5, 6), None, "not a cube edge");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CubeLinks {
+    n: u32,
+}
+
+impl CubeLinks {
+    /// Largest dimension whose id space `n · 2^(n-1)` fits [`LinkId`]
+    /// (`28 · 2^27 < 2^32 ≤ 29 · 2^28`).
+    pub const MAX_DIMENSION: u32 = 28;
+
+    /// Arithmetic link index for `Q_n`. Rejects dimensions whose link
+    /// count overflows the `u32` id space instead of silently wrapping
+    /// (`n = 21` — the sweep's opportunistic ceiling — is well within
+    /// range; `n = 29` is the first to overflow).
+    pub fn new(n: u32) -> Result<Self, LinkIndexError> {
+        if n > Self::MAX_DIMENSION {
+            let links = u64::from(n) << (n.min(63) - 1);
+            return Err(LinkIndexError::TooManyLinks(links));
+        }
+        Ok(Self { n })
+    }
+
+    /// Cube dimension `n`.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of vertices, `2^n`.
+    #[must_use]
+    pub fn num_vertices(&self) -> u64 {
+        1u64 << self.n
+    }
+
+    /// Number of links, `n · 2^(n-1)`; ids are `0..num_links()`.
+    #[must_use]
+    pub fn num_links(&self) -> usize {
+        if self.n == 0 {
+            0
+        } else {
+            (self.n as usize) << (self.n - 1)
+        }
+    }
+
+    /// Closed-form id of the dimension-`d` edge at `v` (either endpoint
+    /// gives the same id — the formula deletes bit `d` first).
+    #[inline]
+    #[must_use]
+    pub fn id_of_dim(&self, v: Vertex, d: u32) -> LinkId {
+        debug_assert!(d < self.n && v < self.num_vertices());
+        ((u64::from(d) << (self.n - 1)) + shc_graph::cube::edge_rank(v, d)) as LinkId
+    }
+
+    /// Id of link `{u, v}` when it is an in-range cube edge.
+    #[inline]
+    #[must_use]
+    pub fn link_id(&self, u: Vertex, v: Vertex) -> Option<LinkId> {
+        let nv = self.num_vertices();
+        if u >= nv || v >= nv {
+            return None;
+        }
+        let diff = u ^ v;
+        if !diff.is_power_of_two() {
+            return None;
+        }
+        Some(self.id_of_dim(u, diff.trailing_zeros()))
+    }
+
+    /// Enumerates the full-cube neighbors of `v` with their link ids, in
+    /// **ascending vertex order** — exactly the order a materialized
+    /// `Q_n`'s sorted CSR adjacency yields, so routes stay bit-identical
+    /// between the implicit and materialized substrates. The callback
+    /// returns `false` to stop early; the method reports whether the
+    /// enumeration ran to completion.
+    #[inline]
+    pub fn for_each_link(&self, v: Vertex, mut f: impl FnMut(Vertex, LinkId) -> bool) -> bool {
+        debug_assert!(v < self.num_vertices());
+        // Neighbors below v: clear one set bit; clearing a higher bit
+        // gives a smaller neighbor, so extract set bits high → low.
+        let mut bits = v;
+        while bits != 0 {
+            let d = 63 - bits.leading_zeros();
+            bits ^= 1u64 << d;
+            if !f(v ^ (1u64 << d), self.id_of_dim(v, d)) {
+                return false;
+            }
+        }
+        // Neighbors above v: set one clear bit; setting a lower bit gives
+        // a smaller neighbor, so extract clear bits low → high. (`n` is
+        // capped at MAX_DIMENSION = 28, so the mask shift cannot wrap.)
+        let mut bits = !v & ((1u64 << self.n) - 1);
+        while bits != 0 {
+            let d = bits.trailing_zeros();
+            bits &= bits - 1;
+            if !f(v ^ (1u64 << d), self.id_of_dim(v, d)) {
+                return false;
+            }
+        }
+        true
+    }
+}
 
 /// Frozen CSR link index of a topology. Built once at topology (or
 /// engine) construction; read-only and shareable across threads.
@@ -36,6 +240,11 @@ pub struct LinkTable {
     /// `link_ids[i]` is the undirected link id of `{u, targets[i]}`.
     link_ids: Box<[LinkId]>,
     num_links: u32,
+    /// Whether every frozen link joins ids at Hamming distance 1 —
+    /// computed during the freeze (not a second `O(E)` scan) and cached
+    /// here so `Engine::new` / Monte Carlo replicas read a bool instead
+    /// of re-deriving the cube-labeling verdict per construction.
+    cube_labeled: bool,
 }
 
 impl LinkTable {
@@ -43,28 +252,47 @@ impl LinkTable {
     /// enumerator. Neighbor order is preserved verbatim.
     ///
     /// # Panics
-    /// Panics on more than `2^32 - 1` vertices or target entries, or if
+    /// Panics when [`Self::try_build`] reports a capacity overflow, or if
     /// the enumeration is asymmetric (an edge listed by only one
     /// endpoint — a malformed topology).
     #[must_use]
-    pub fn build(num_vertices: u64, mut neighbors: impl FnMut(Vertex) -> Vec<Vertex>) -> Self {
-        assert!(
-            num_vertices < u64::from(u32::MAX),
-            "link table capped at 2^32 - 1 vertices"
-        );
+    pub fn build(num_vertices: u64, neighbors: impl FnMut(Vertex) -> Vec<Vertex>) -> Self {
+        Self::try_build(num_vertices, neighbors).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::build`] with the `u32` capacity limits surfaced as a
+    /// checked [`LinkIndexError`] instead of a panic. The vertex bound is
+    /// validated **before** any allocation, so an absurd `num_vertices`
+    /// fails fast rather than aborting on an allocation.
+    ///
+    /// # Panics
+    /// Still panics on an asymmetric enumeration (an edge listed by only
+    /// one endpoint) — that is a malformed topology, not a capacity.
+    pub fn try_build(
+        num_vertices: u64,
+        mut neighbors: impl FnMut(Vertex) -> Vec<Vertex>,
+    ) -> Result<Self, LinkIndexError> {
+        if num_vertices >= u64::from(u32::MAX) {
+            return Err(LinkIndexError::TooManyVertices(num_vertices));
+        }
         let n = num_vertices as usize;
         let mut offsets = Vec::with_capacity(n + 1);
         let mut targets: Vec<u32> = Vec::new();
         let mut link_ids: Vec<LinkId> = Vec::new();
         let mut next: LinkId = 0;
+        let mut cube = true;
         offsets.push(0u32);
         for u in 0..num_vertices {
             for v in neighbors(u) {
                 assert!(v < num_vertices, "neighbor {v} of {u} out of range");
                 targets.push(v as u32);
                 if v > u {
+                    cube &= hamming_distance(u, v) == 1;
                     link_ids.push(next);
-                    next = next.checked_add(1).expect("more than 2^32 links");
+                    next = match next.checked_add(1) {
+                        Some(next) => next,
+                        None => return Err(LinkIndexError::TooManyLinks(u64::from(u32::MAX) + 1)),
+                    };
                 } else {
                     // v < u was already frozen: find u in v's slice.
                     let range = offsets[v as usize] as usize..offsets[v as usize + 1] as usize;
@@ -77,19 +305,22 @@ impl LinkTable {
                     link_ids.push(link_ids[range.start + pos]);
                 }
             }
-            offsets.push(u32::try_from(targets.len()).expect("more than 2^32 - 1 link endpoints"));
+            let end = u32::try_from(targets.len())
+                .map_err(|_| LinkIndexError::TooManyLinks(targets.len() as u64))?;
+            offsets.push(end);
         }
         assert_eq!(
             targets.len(),
             2 * next as usize,
             "asymmetric topology: some link is listed by only one endpoint"
         );
-        Self {
+        Ok(Self {
             offsets: offsets.into_boxed_slice(),
             targets: targets.into_boxed_slice(),
             link_ids: link_ids.into_boxed_slice(),
             num_links: next,
-        }
+            cube_labeled: cube,
+        })
     }
 
     /// Freezes from a [`CsrGraph`], reusing its edge ids verbatim (CSR
@@ -101,9 +332,15 @@ impl LinkTable {
         let mut offsets = Vec::with_capacity(n + 1);
         let mut targets = Vec::with_capacity(g.target_len());
         let mut link_ids = Vec::with_capacity(g.target_len());
+        let mut cube = true;
         offsets.push(0u32);
         for u in 0..n as Node {
-            targets.extend(g.neighbors(u).iter().copied());
+            for &v in g.neighbors(u) {
+                if v > u {
+                    cube &= hamming_distance(u64::from(u), u64::from(v)) == 1;
+                }
+                targets.push(v);
+            }
             link_ids.extend_from_slice(g.edge_ids_of(u));
             offsets.push(u32::try_from(targets.len()).expect("more than 2^32 - 1 link endpoints"));
         }
@@ -112,6 +349,7 @@ impl LinkTable {
             targets: targets.into_boxed_slice(),
             link_ids: link_ids.into_boxed_slice(),
             num_links: u32::try_from(g.num_edges()).expect("more than 2^32 links"),
+            cube_labeled: cube,
         }
     }
 
@@ -125,6 +363,14 @@ impl LinkTable {
     #[must_use]
     pub fn num_links(&self) -> usize {
         self.num_links as usize
+    }
+
+    /// Whether every frozen link joins ids at Hamming distance exactly 1
+    /// (the verdict `shc_graph::cube::is_cube_labeled` would reach),
+    /// cached at freeze time. Vacuously `true` for linkless tables.
+    #[must_use]
+    pub fn cube_labeled(&self) -> bool {
+        self.cube_labeled
     }
 
     /// The `(neighbors, link_ids)` slices of `u`, parallel and in native
@@ -142,6 +388,20 @@ impl LinkTable {
         }
         let range = self.offsets[u] as usize..self.offsets[u + 1] as usize;
         (&self.targets[range.clone()], &self.link_ids[range])
+    }
+
+    /// Enumerates the frozen links of `u` in native order; the callback
+    /// returns `false` to stop early. Reports whether the enumeration ran
+    /// to completion.
+    #[inline]
+    pub fn for_each_link(&self, u: Vertex, mut f: impl FnMut(Vertex, LinkId) -> bool) -> bool {
+        let (targets, ids) = self.links_of(u);
+        for (&v, &id) in targets.iter().zip(ids) {
+            if !f(u64::from(v), id) {
+                return false;
+            }
+        }
+        true
     }
 
     /// Stable id of link `{u, v}`, or `None` when the topology has no
@@ -176,7 +436,7 @@ impl LinkTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shc_graph::builders::{cycle, star};
+    use shc_graph::builders::{cycle, hypercube, star};
 
     fn cycle_table(n: usize) -> LinkTable {
         let g = cycle(n);
@@ -247,5 +507,122 @@ mod tests {
     fn asymmetric_topology_is_rejected() {
         let adj: Vec<Vec<Vertex>> = vec![vec![1], vec![]];
         let _ = LinkTable::build(2, |u| adj[u as usize].clone());
+    }
+
+    #[test]
+    fn cube_verdict_is_cached_at_freeze() {
+        let q = hypercube(4);
+        let t = LinkTable::from_csr(&CsrGraph::from_view(&q));
+        assert!(t.cube_labeled());
+        assert!(!cycle_table(5).cube_labeled(), "C_5 flips two bits");
+        // Via `build` too, and vacuously for linkless tables.
+        let b = LinkTable::build(16, |u| {
+            q.neighbors(u as Node)
+                .iter()
+                .map(|&v| u64::from(v))
+                .collect::<Vec<_>>()
+        });
+        assert!(b.cube_labeled());
+        assert!(LinkTable::build(3, |_| vec![]).cube_labeled());
+    }
+
+    #[test]
+    fn try_build_rejects_oversized_vertex_counts_before_allocating() {
+        assert_eq!(
+            LinkTable::try_build(u64::MAX, |_| vec![]),
+            Err(LinkIndexError::TooManyVertices(u64::MAX))
+        );
+        assert_eq!(
+            LinkTable::try_build(u64::from(u32::MAX), |_| vec![]),
+            Err(LinkIndexError::TooManyVertices(u64::from(u32::MAX)))
+        );
+    }
+
+    #[test]
+    fn cube_links_id_space_boundary() {
+        // n = 21 (the sweep's opportunistic ceiling) is comfortably in
+        // range; the id space only overflows u32 at n = 29.
+        assert!(CubeLinks::new(21).is_ok());
+        assert_eq!(
+            CubeLinks::new(21).unwrap().num_links(),
+            21 * (1 << 20),
+            "Q_21 has 21 * 2^20 links"
+        );
+        assert!(CubeLinks::new(CubeLinks::MAX_DIMENSION).is_ok());
+        assert!(matches!(
+            CubeLinks::new(29),
+            Err(LinkIndexError::TooManyLinks(_))
+        ));
+    }
+
+    #[test]
+    fn cube_ids_are_dense_symmetric_and_match_the_formula() {
+        for n in [0u32, 1, 2, 5, 7] {
+            let c = CubeLinks::new(n).unwrap();
+            let mut seen = vec![false; c.num_links()];
+            for v in 0..c.num_vertices() {
+                for d in 0..n {
+                    let w = v ^ (1u64 << d);
+                    let id = c.link_id(v, w).unwrap();
+                    assert_eq!(c.link_id(w, v), Some(id), "symmetric");
+                    assert_eq!(id, c.id_of_dim(v, d));
+                    seen[id as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "ids dense in 0..n*2^(n-1)");
+        }
+    }
+
+    #[test]
+    fn cube_link_id_rejects_non_edges() {
+        let c = CubeLinks::new(4).unwrap();
+        assert_eq!(c.link_id(0, 3), None, "two bits");
+        assert_eq!(c.link_id(7, 7), None, "self");
+        assert_eq!(c.link_id(0, 16), None, "out of range");
+        assert_eq!(c.link_id(16, 0), None);
+        assert_eq!(c.link_id(0, u64::MAX), None);
+    }
+
+    #[test]
+    fn cube_enumeration_matches_materialized_csr_order() {
+        let n = 5;
+        let c = CubeLinks::new(n).unwrap();
+        let t = LinkTable::from_csr(&CsrGraph::from_view(&hypercube(n)));
+        for v in 0..c.num_vertices() {
+            let mut implicit = Vec::new();
+            c.for_each_link(v, |w, _| {
+                implicit.push(w as u32);
+                true
+            });
+            let (targets, _) = t.links_of(v);
+            assert_eq!(implicit, targets, "vertex {v}: order must match CSR");
+        }
+    }
+
+    #[test]
+    fn cube_enumeration_early_exit() {
+        let c = CubeLinks::new(6).unwrap();
+        let mut count = 0;
+        let completed = c.for_each_link(0, |_, _| {
+            count += 1;
+            count < 3
+        });
+        assert!(!completed);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn link_index_dispatches_to_both_backends() {
+        let table = Arc::new(cycle_table(5));
+        let a = LinkIndex::Table(Arc::clone(&table));
+        assert_eq!(a.num_vertices(), 5);
+        assert_eq!(a.num_links(), 5);
+        assert_eq!(a.link_id(0, 4), table.link_id(0, 4));
+
+        let b = LinkIndex::Cube(CubeLinks::new(3).unwrap());
+        assert_eq!(b.num_vertices(), 8);
+        assert_eq!(b.num_links(), 12);
+        assert!(b.link_id(0, 4).is_some());
+        assert_eq!(b.link_id(0, 5), None);
     }
 }

@@ -1,16 +1,19 @@
-//! Topology interface for the circuit-switching simulator: edge tests plus
-//! neighbor enumeration (needed for adaptive routing), implemented by both
-//! rule-generated sparse hypercubes and materialized graphs, plus the
-//! [`FaultedNet`] damage overlay used for fault-injection studies.
+//! Topology interface for the circuit-switching simulator: edge tests
+//! plus allocation-free neighbor/link enumeration (the adaptive-routing
+//! hot path), implemented by rule-generated topologies
+//! ([`ImplicitCubeNet`], [`SparseHypercube`]) and materialized graphs
+//! ([`MaterializedNet`]), plus the [`FaultedNet`] damage overlay used for
+//! fault-injection studies.
 //!
-//! Every topology can also freeze itself into a [`LinkTable`] — the CSR
-//! link index the engine keys its flat occupancy vector off. Concrete
-//! topologies that are built once and queried hot ([`MaterializedNet`],
-//! the runtime's `BuiltTopology`) freeze at construction and hand out the
-//! shared table; [`FaultedNet`] reuses its base's table and masks damage
-//! as a bitset over the same link ids.
+//! Every topology hands the engine a [`LinkIndex`] — either a frozen CSR
+//! [`LinkTable`] (materialized graphs freeze once at construction and
+//! share the table) or arithmetic [`CubeLinks`] (rule-generated
+//! topologies compute link ids in closed form and store **nothing** per
+//! vertex, which is what lets the sweep reach `n = 20+`). [`FaultedNet`]
+//! reuses its base's index and masks damage as a bitset over the same
+//! link ids.
 
-use crate::links::{LinkId, LinkTable};
+use crate::links::{CubeLinks, LinkId, LinkIndex, LinkIndexError, LinkTable};
 use shc_core::SparseHypercube;
 use shc_graph::{BitSet, CsrGraph, GraphView, Node};
 use std::sync::Arc;
@@ -19,6 +22,11 @@ use std::sync::Arc;
 pub type Vertex = u64;
 
 /// A routable network topology.
+///
+/// The engine's searches never call [`neighbors`](Self::neighbors) (it
+/// allocates); they drive [`for_each_link`](Self::for_each_link), which
+/// every implementor provides without per-call allocation — slice walks
+/// for frozen tables, rule evaluation for implicit topologies.
 pub trait NetTopology {
     /// Number of vertices.
     fn num_vertices(&self) -> u64;
@@ -26,24 +34,47 @@ pub trait NetTopology {
     /// Undirected edge test.
     fn has_edge(&self, u: Vertex, v: Vertex) -> bool;
 
-    /// Neighbor list of `u`.
-    fn neighbors(&self, u: Vertex) -> Vec<Vertex>;
+    /// Enumerates the links of `u` as `(neighbor, link_id)` pairs in the
+    /// topology's **native neighbor order** (the order
+    /// [`neighbors`](Self::neighbors) lists them), without allocating.
+    /// The callback returns `false` to stop early; the method reports
+    /// whether the enumeration ran to completion. Out-of-range `u`
+    /// enumerates nothing.
+    ///
+    /// Damage overlays do **not** filter here — they yield every base
+    /// link and flag the dead ones through
+    /// [`link_blocked`](Self::link_blocked), which the engine probes per
+    /// link anyway.
+    fn for_each_link(&self, u: Vertex, f: impl FnMut(Vertex, LinkId) -> bool) -> bool;
 
-    /// The frozen link index of the **undamaged** topology. Implementors
-    /// that are constructed once and simulated many times should override
-    /// this with a table frozen at construction; the default freezes on
-    /// every call.
-    fn link_table(&self) -> Arc<LinkTable>
-    where
-        Self: Sized,
-    {
-        Arc::new(LinkTable::build(self.num_vertices(), |u| self.neighbors(u)))
+    /// Stable id of link `{u, v}`, or `None` when the topology has no
+    /// such link (including out-of-range endpoints). Unlike
+    /// [`LinkIndex::link_id`], this is edge-aware: a sparse rule-generated
+    /// topology answers `None` for cube edges it does not contain even
+    /// though its arithmetic index could assign them an id.
+    fn link_id(&self, u: Vertex, v: Vertex) -> Option<LinkId>;
+
+    /// The link-id backend of the **undamaged** topology: a shared frozen
+    /// table or a copyable arithmetic index. Cheap to call (topologies
+    /// constructed once hand out a cached handle).
+    fn link_index(&self) -> LinkIndex;
+
+    /// Neighbor list of `u`. Diagnostic / reference-model API — the
+    /// engine's hot path uses [`for_each_link`](Self::for_each_link).
+    fn neighbors(&self, u: Vertex) -> Vec<Vertex> {
+        let mut out = Vec::new();
+        self.for_each_link(u, |v, _| {
+            out.push(v);
+            true
+        });
+        out
     }
 
     /// `true` when the link with this id is masked out (failed link or
     /// crashed endpoint). The engine consults this on every traversal of
-    /// a [`link_table`](Self::link_table) entry; damage overlays override
-    /// it with a bitset probe.
+    /// a [`for_each_link`](Self::for_each_link) entry; damage overlays
+    /// override it with a bitset probe.
+    #[inline]
     fn link_blocked(&self, _id: LinkId) -> bool {
         false
     }
@@ -53,29 +84,167 @@ pub trait NetTopology {
     /// [`shc_graph::cube::hamming_distance`] is an admissible, consistent
     /// lower bound on route length. The engine keys its distance-capped
     /// A* routing fast path off this; the conservative default (`false`)
-    /// falls back to bidirectional BFS. Rule-generated sparse hypercubes
-    /// and materialized cube subgraphs report `true`; damage overlays
-    /// inherit their base's answer (removing links never invalidates a
-    /// lower bound).
+    /// falls back to bidirectional BFS. Rule-generated cube topologies
+    /// answer by construction; materialized graphs cache the verdict
+    /// computed during their link-table freeze; damage overlays inherit
+    /// their base's answer (removing links never invalidates a lower
+    /// bound).
+    #[inline]
     fn cube_labeled(&self) -> bool {
         false
     }
 }
 
+/// The full binary `n`-cube `Q_n` as a purely rule-generated topology:
+/// edge tests, neighbor enumeration, and link ids are all closed-form
+/// arithmetic over [`CubeLinks`] — **no adjacency is ever materialized**,
+/// so an engine over `Q_20` (1 048 576 vertices, ~10.5 M links) costs
+/// only its own occupancy vector and scratch instead of the hundreds of
+/// megabytes a frozen CSR table would pin.
+///
+/// Neighbor order is ascending by vertex id — exactly the sorted CSR
+/// order of a materialized `Q_n` — so routes, stats, and snapshots are
+/// byte-identical with [`MaterializedNet`] over
+/// `shc_graph::builders::hypercube(n)` (property-tested in
+/// `crates/netsim/tests/proptests.rs`).
+///
+/// ```
+/// use shc_netsim::{Engine, ImplicitCubeNet, NetTopology};
+/// let net = ImplicitCubeNet::new(10);
+/// assert_eq!(net.num_vertices(), 1024);
+/// let mut sim = Engine::new(&net, 1);
+/// sim.begin_round();
+/// assert!(sim.request(0, 1023, 12).is_established());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImplicitCubeNet {
+    links: CubeLinks,
+}
+
+impl ImplicitCubeNet {
+    /// Rule-generated `Q_n`.
+    ///
+    /// # Panics
+    /// Panics when `n` exceeds [`CubeLinks::MAX_DIMENSION`] (the `u32`
+    /// link-id space); use [`Self::try_new`] for a checked construction.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        Self::try_new(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::new`] with the id-space overflow surfaced as an error.
+    pub fn try_new(n: u32) -> Result<Self, LinkIndexError> {
+        Ok(Self {
+            links: CubeLinks::new(n)?,
+        })
+    }
+
+    /// Cube dimension `n`.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.links.n()
+    }
+}
+
+impl NetTopology for ImplicitCubeNet {
+    #[inline]
+    fn num_vertices(&self) -> u64 {
+        self.links.num_vertices()
+    }
+
+    #[inline]
+    fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        let nv = self.links.num_vertices();
+        u < nv && v < nv && (u ^ v).is_power_of_two()
+    }
+
+    #[inline]
+    fn for_each_link(&self, u: Vertex, f: impl FnMut(Vertex, LinkId) -> bool) -> bool {
+        if u >= self.links.num_vertices() {
+            return true;
+        }
+        self.links.for_each_link(u, f)
+    }
+
+    #[inline]
+    fn link_id(&self, u: Vertex, v: Vertex) -> Option<LinkId> {
+        self.links.link_id(u, v)
+    }
+
+    fn link_index(&self) -> LinkIndex {
+        LinkIndex::Cube(self.links)
+    }
+
+    #[inline]
+    fn cube_labeled(&self) -> bool {
+        true
+    }
+}
+
+/// The arithmetic index a sparse hypercube keys its links by — the
+/// enclosing cube's, since every rule edge is a cube edge. Ids are
+/// sparse in the cube's `0..n·2^(n-1)` space; absent edges simply never
+/// have their slot touched. The trade, accepted for the zero-storage
+/// substrate: engine occupancy and fault bitsets are sized to the dense
+/// cube id space (`4n·2^(n-1)` bytes of occupancy — ~88 MB at n = 21)
+/// rather than the sparse link count, and simulating a sparse hypercube
+/// beyond [`CubeLinks::MAX_DIMENSION`] panics here even though the
+/// construction itself allows `n ≤ 60`.
+fn sparse_cube_links(g: &SparseHypercube) -> CubeLinks {
+    CubeLinks::new(g.n())
+        .unwrap_or_else(|e| panic!("sparse hypercube n = {} has no u32 link index: {e}", g.n()))
+}
+
 impl NetTopology for SparseHypercube {
+    #[inline]
     fn num_vertices(&self) -> u64 {
         SparseHypercube::num_vertices(self)
     }
 
+    #[inline]
     fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
         let n = SparseHypercube::num_vertices(self);
         u < n && v < n && SparseHypercube::has_edge(self, u, v)
+    }
+
+    #[inline]
+    fn for_each_link(&self, u: Vertex, mut f: impl FnMut(Vertex, LinkId) -> bool) -> bool {
+        if u >= SparseHypercube::num_vertices(self) {
+            return true;
+        }
+        let links = sparse_cube_links(self);
+        // The rule walk yields (paper dimension, neighbor) ascending by
+        // dimension — the graph's native neighbor order, preserved so
+        // adaptive routes stay bit-identical with the frozen-table era.
+        // `for_each_neighbor` has no early exit, so thread a live flag.
+        let mut alive = true;
+        self.for_each_neighbor(u, |dim, v| {
+            if alive {
+                alive = f(v, links.id_of_dim(u, dim - 1));
+            }
+        });
+        alive
+    }
+
+    #[inline]
+    fn link_id(&self, u: Vertex, v: Vertex) -> Option<LinkId> {
+        // Edge-aware: the arithmetic index covers every cube edge, but
+        // only rule-admitted ones exist here.
+        if !NetTopology::has_edge(self, u, v) {
+            return None;
+        }
+        sparse_cube_links(self).link_id(u, v)
+    }
+
+    fn link_index(&self) -> LinkIndex {
+        LinkIndex::Cube(sparse_cube_links(self))
     }
 
     fn neighbors(&self, u: Vertex) -> Vec<Vertex> {
         SparseHypercube::neighbors(self, u)
     }
 
+    #[inline]
     fn cube_labeled(&self) -> bool {
         // Every rule-generated edge flips exactly one bit (`has_edge`
         // demands `u ^ v` be a power of two): a spanning cube subgraph.
@@ -88,18 +257,18 @@ impl NetTopology for SparseHypercube {
 pub struct MaterializedNet<G: GraphView> {
     graph: G,
     table: Arc<LinkTable>,
-    cube: bool,
 }
 
 impl<G: GraphView> MaterializedNet<G> {
-    /// Wraps an owned graph, freezing its CSR link index and detecting
-    /// (one `O(E)` popcount scan) whether the vertex ids form a cube
-    /// labeling — which unlocks the engine's A* routing fast path.
+    /// Wraps an owned graph, freezing its CSR link index. Whether the
+    /// vertex ids form a cube labeling — which unlocks the engine's A*
+    /// routing fast path — is detected **during** the freeze and cached
+    /// on the table, so construction makes one adjacency pass, not two,
+    /// and Monte Carlo replicas never re-derive it.
     #[must_use]
     pub fn new(graph: G) -> Self {
         let table = Arc::new(LinkTable::from_csr(&CsrGraph::from_view(&graph)));
-        let cube = shc_graph::cube::is_cube_labeled(&graph);
-        Self { graph, table, cube }
+        Self { graph, table }
     }
 
     /// Borrow the underlying graph.
@@ -110,13 +279,29 @@ impl<G: GraphView> MaterializedNet<G> {
 }
 
 impl<G: GraphView> NetTopology for MaterializedNet<G> {
+    #[inline]
     fn num_vertices(&self) -> u64 {
         self.graph.num_vertices() as u64
     }
 
+    #[inline]
     fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
         let n = self.graph.num_vertices() as u64;
         u < n && v < n && self.graph.has_edge(u as Node, v as Node)
+    }
+
+    #[inline]
+    fn for_each_link(&self, u: Vertex, f: impl FnMut(Vertex, LinkId) -> bool) -> bool {
+        self.table.for_each_link(u, f)
+    }
+
+    #[inline]
+    fn link_id(&self, u: Vertex, v: Vertex) -> Option<LinkId> {
+        self.table.link_id(u, v)
+    }
+
+    fn link_index(&self) -> LinkIndex {
+        LinkIndex::Table(Arc::clone(&self.table))
     }
 
     fn neighbors(&self, u: Vertex) -> Vec<Vertex> {
@@ -127,12 +312,9 @@ impl<G: GraphView> NetTopology for MaterializedNet<G> {
             .collect()
     }
 
-    fn link_table(&self) -> Arc<LinkTable> {
-        Arc::clone(&self.table)
-    }
-
+    #[inline]
     fn cube_labeled(&self) -> bool {
-        self.cube
+        self.table.cube_labeled()
     }
 }
 
@@ -142,12 +324,13 @@ impl<G: GraphView> NetTopology for MaterializedNet<G> {
 /// wraps the same shared base topology (`&T`) with its own private fault
 /// sets, so thousands of faulted views coexist across worker threads.
 ///
-/// Damage is stored as a bitset over the base's link ids (crashed
+/// Damage is stored as a bitset over the base's link-id space (crashed
 /// vertices fold in as "every incident link dead"), so the engine's
-/// per-link liveness probe is a single bit test.
+/// per-link liveness probe is a single bit test. Works identically over
+/// frozen-table and arithmetic (implicit) link indexes.
 pub struct FaultedNet<'a, T: NetTopology> {
     base: &'a T,
-    table: Arc<LinkTable>,
+    index: LinkIndex,
     dead: BitSet,
     num_dead_links: usize,
     crashed: Vec<Vertex>,
@@ -162,8 +345,8 @@ impl<'a, T: NetTopology> FaultedNet<'a, T> {
         dead_links: impl IntoIterator<Item = (Vertex, Vertex)>,
         crashed: impl IntoIterator<Item = Vertex>,
     ) -> Self {
-        let table = base.link_table();
-        let mut dead = BitSet::new(table.num_links());
+        let index = base.link_index();
+        let mut dead = BitSet::new(index.num_links());
         let mut pairs: Vec<(Vertex, Vertex)> = dead_links
             .into_iter()
             .map(|(u, v)| if u <= v { (u, v) } else { (v, u) })
@@ -171,7 +354,9 @@ impl<'a, T: NetTopology> FaultedNet<'a, T> {
         pairs.sort_unstable();
         pairs.dedup();
         for &(u, v) in &pairs {
-            if let Some(id) = table.link_id(u, v) {
+            // Edge-aware lookup: phantom pairs (not edges of the base)
+            // mask nothing, exactly as with a frozen table.
+            if let Some(id) = base.link_id(u, v) {
                 dead.insert(id as usize);
             }
         }
@@ -179,14 +364,14 @@ impl<'a, T: NetTopology> FaultedNet<'a, T> {
         crashed.sort_unstable();
         crashed.dedup();
         for &w in &crashed {
-            let (_, ids) = table.links_of(w);
-            for &id in ids {
+            base.for_each_link(w, |_, id| {
                 dead.insert(id as usize);
-            }
+                true
+            });
         }
         Self {
             base,
-            table,
+            index,
             dead,
             num_dead_links: pairs.len(),
             crashed,
@@ -226,33 +411,51 @@ impl<'a, T: NetTopology> FaultedNet<'a, T> {
 }
 
 impl<T: NetTopology> NetTopology for FaultedNet<'_, T> {
+    #[inline]
     fn num_vertices(&self) -> u64 {
         self.base.num_vertices()
     }
 
+    #[inline]
     fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
-        self.table
+        self.base
             .link_id(u, v)
             .is_some_and(|id| !self.link_blocked(id))
     }
 
+    #[inline]
+    fn for_each_link(&self, u: Vertex, f: impl FnMut(Vertex, LinkId) -> bool) -> bool {
+        // Unfiltered by contract: dead links surface through
+        // `link_blocked`, which the engine probes per entry.
+        self.base.for_each_link(u, f)
+    }
+
+    #[inline]
+    fn link_id(&self, u: Vertex, v: Vertex) -> Option<LinkId> {
+        self.base.link_id(u, v)
+    }
+
+    fn link_index(&self) -> LinkIndex {
+        self.index.clone()
+    }
+
     fn neighbors(&self, u: Vertex) -> Vec<Vertex> {
-        let (targets, ids) = self.table.links_of(u);
-        targets
-            .iter()
-            .zip(ids)
-            .filter_map(|(&v, &id)| (!self.link_blocked(id)).then_some(u64::from(v)))
-            .collect()
+        let mut out = Vec::new();
+        self.base.for_each_link(u, |v, id| {
+            if !self.link_blocked(id) {
+                out.push(v);
+            }
+            true
+        });
+        out
     }
 
-    fn link_table(&self) -> Arc<LinkTable> {
-        Arc::clone(&self.table)
-    }
-
+    #[inline]
     fn link_blocked(&self, id: LinkId) -> bool {
         self.dead.contains(id as usize) || self.base.link_blocked(id)
     }
 
+    #[inline]
     fn cube_labeled(&self) -> bool {
         // Damage only removes links; a distance lower bound that held on
         // the base holds a fortiori on the subgraph.
@@ -263,7 +466,7 @@ impl<T: NetTopology> NetTopology for FaultedNet<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shc_graph::builders::cycle;
+    use shc_graph::builders::{cycle, hypercube};
 
     #[test]
     fn materialized_adapter() {
@@ -273,11 +476,12 @@ mod tests {
         assert!(!net.has_edge(0, 2));
         assert_eq!(net.neighbors(0), vec![1, 4]);
         assert!(!net.has_edge(0, 17));
-        // The frozen table agrees with the live adjacency.
-        let table = net.link_table();
-        assert_eq!(table.num_links(), 5);
-        assert!(table.link_id(0, 4).is_some());
-        assert_eq!(table.link_id(0, 2), None);
+        // The frozen index agrees with the live adjacency.
+        let index = net.link_index();
+        assert_eq!(index.num_links(), 5);
+        assert!(net.link_id(0, 4).is_some());
+        assert_eq!(net.link_id(0, 2), None);
+        assert!(!net.cube_labeled());
     }
 
     #[test]
@@ -286,12 +490,67 @@ mod tests {
         assert_eq!(NetTopology::num_vertices(&g), 32);
         let nbrs = NetTopology::neighbors(&g, 0);
         assert_eq!(nbrs.len(), g.degree(0));
-        // The default freeze covers every rule-generated link, in the
-        // rule's native neighbor order.
-        let table = NetTopology::link_table(&g);
-        let (targets, _) = table.links_of(0);
-        let targets: Vec<Vertex> = targets.iter().map(|&v| u64::from(v)).collect();
-        assert_eq!(targets, nbrs);
+        // The implicit walk covers every rule-generated link, in the
+        // rule's native neighbor order, with arithmetic ids.
+        let mut walked = Vec::new();
+        let mut ids = Vec::new();
+        NetTopology::for_each_link(&g, 0, |v, id| {
+            walked.push(v);
+            ids.push(id);
+            true
+        });
+        assert_eq!(walked, nbrs);
+        for (&v, &id) in walked.iter().zip(&ids) {
+            assert_eq!(NetTopology::link_id(&g, 0, v), Some(id));
+            assert_eq!(NetTopology::link_id(&g, v, 0), Some(id), "symmetric");
+        }
+        // The index is arithmetic — no table frozen anywhere.
+        assert!(matches!(NetTopology::link_index(&g), LinkIndex::Cube(_)));
+    }
+
+    #[test]
+    fn sparse_link_id_is_edge_aware() {
+        // G_{5,2}: cube edges the rule omits exist in the arithmetic
+        // index's geometry but must not get a link id from the topology.
+        let g = SparseHypercube::construct_base(5, 2);
+        let LinkIndex::Cube(cube) = NetTopology::link_index(&g) else {
+            panic!("sparse hypercube must use the arithmetic index");
+        };
+        let mut absent = None;
+        for u in 0..32u64 {
+            for d in 0..5u32 {
+                let v = u ^ (1 << d);
+                if !SparseHypercube::has_edge(&g, u, v) {
+                    absent = Some((u, v));
+                }
+            }
+        }
+        let (u, v) = absent.expect("a sparse hypercube omits some cube edge");
+        assert!(cube.link_id(u, v).is_some(), "geometrically a cube edge");
+        assert_eq!(NetTopology::link_id(&g, u, v), None, "but not a rule edge");
+    }
+
+    #[test]
+    fn implicit_cube_matches_materialized() {
+        let n = 6;
+        let implicit = ImplicitCubeNet::new(n);
+        let mat = MaterializedNet::new(hypercube(n));
+        assert_eq!(implicit.num_vertices(), mat.num_vertices());
+        assert!(implicit.cube_labeled());
+        for u in 0..implicit.num_vertices() {
+            assert_eq!(implicit.neighbors(u), mat.neighbors(u), "vertex {u}");
+            for v in 0..implicit.num_vertices() {
+                assert_eq!(implicit.has_edge(u, v), mat.has_edge(u, v));
+            }
+        }
+        assert!(!implicit.has_edge(0, 1 << n), "out of range");
+        assert!(implicit.neighbors(1 << n).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow the u32 link-id space")]
+    fn implicit_cube_rejects_oversized_dimensions() {
+        let _ = ImplicitCubeNet::new(29);
     }
 
     #[test]
@@ -333,13 +592,27 @@ mod tests {
     #[test]
     fn faulted_sparse_hypercube_rule_generated() {
         // The overlay composes with the rule-generated topology too (no
-        // materialization needed).
+        // materialization needed — the damage bitset spans the arithmetic
+        // id space).
         let g = SparseHypercube::construct_base(5, 2);
         let nbrs = NetTopology::neighbors(&g, 0);
         let first = nbrs[0];
         let damaged = FaultedNet::new(&g, [(0u64, first)], []);
         assert!(!damaged.has_edge(0, first));
         assert_eq!(damaged.neighbors(0).len(), nbrs.len() - 1);
+    }
+
+    #[test]
+    fn faulted_implicit_cube() {
+        let net = ImplicitCubeNet::new(4);
+        let damaged = FaultedNet::new(&net, [(0u64, 1u64)], [5u64]);
+        assert!(!damaged.has_edge(0, 1));
+        assert!(damaged.has_edge(0, 2));
+        assert!(damaged.neighbors(5).is_empty());
+        assert!(!damaged.has_edge(5, 7));
+        assert_eq!(damaged.num_dead_links(), 1);
+        assert_eq!(damaged.num_crashed(), 1);
+        assert!(damaged.cube_labeled());
     }
 
     #[test]

@@ -4,7 +4,6 @@
 
 use crate::engine::{Engine, SimStats};
 use crate::topology::{NetTopology, Vertex};
-use rand::seq::SliceRandom;
 use rand::Rng;
 use shc_broadcast::Schedule;
 
@@ -19,7 +18,10 @@ pub fn replay_schedule<T: NetTopology>(net: &T, schedule: &Schedule, dilation: u
             let _ = sim.request_path(&call.path);
         }
     }
-    sim.finish()
+    let mut stats = sim.finish();
+    // Every scheduled call reaches the engine: nothing is skipped.
+    stats.requested = stats.established + stats.blocked;
+    stats
 }
 
 /// Runs several broadcast schedules *simultaneously* (round `t` of every
@@ -61,11 +63,24 @@ where
             }
         }
     }
-    sim.finish()
+    let mut stats = sim.finish();
+    stats.requested = stats.established + stats.blocked;
+    stats
 }
 
 /// One round of random permutation traffic with adaptive routing: each of
-/// `pairs` random (src, dst) requests is routed within `max_len` hops.
+/// `pairs` uniform `(src, dst)` draws is routed within `max_len` hops.
+///
+/// Pairs are sampled **directly** from the rng stream (two draws per
+/// pair), in `O(pairs)` time and `O(1)` memory — not by shuffling two
+/// full `0..n` vectors, which made every round `O(N)` at `n = 20+`
+/// regardless of how few pairs it asked for. Exactly `pairs` draws are
+/// made: nothing is truncated to the vertex count, and self-pairs
+/// (`src == dst`) are counted in [`SimStats::skipped`] instead of
+/// vanishing, so `requested == established + blocked + skipped` holds
+/// and the stats no longer under-report requested traffic. Same-seed
+/// runs are deterministic (the engine and topology consume no
+/// randomness).
 pub fn random_permutation_round<T: NetTopology, R: Rng>(
     net: &T,
     pairs: usize,
@@ -73,21 +88,44 @@ pub fn random_permutation_round<T: NetTopology, R: Rng>(
     dilation: u32,
     rng: &mut R,
 ) -> SimStats {
-    let n = net.num_vertices();
-    assert!(n >= 2, "need at least two vertices");
-    let mut sources: Vec<Vertex> = (0..n).collect();
-    let mut dests: Vec<Vertex> = (0..n).collect();
-    sources.shuffle(rng);
-    dests.shuffle(rng);
     let mut sim = Engine::new(net, dilation);
+    random_permutation_round_with(&mut sim, pairs, max_len, rng)
+}
+
+/// [`random_permutation_round`] over a caller-supplied engine — the
+/// amortized form for loops that simulate many rounds on one topology:
+/// the engine's occupancy vector and search scratch (multi-megabyte at
+/// `n = 20`) are allocated once by the caller instead of per round, and
+/// the per-round stats come out of [`Engine::take_stats`]. Results are
+/// identical to the one-shot form **provided the engine carries no
+/// undrained statistics** — freshly constructed, or drained by
+/// [`Engine::take_stats`] / a previous call to this function. Anything
+/// still accumulated on entry would be folded into (and mis-attributed
+/// by) the returned round stats.
+pub fn random_permutation_round_with<T: NetTopology, R: Rng>(
+    sim: &mut Engine<'_, T>,
+    pairs: usize,
+    max_len: u32,
+    rng: &mut R,
+) -> SimStats {
+    let n = sim.num_vertices();
+    assert!(n >= 2, "need at least two vertices");
     sim.begin_round();
-    for i in 0..pairs.min(n as usize) {
-        let (src, dst) = (sources[i], dests[i]);
-        if src != dst {
-            let _ = sim.request(src, dst, max_len);
+    let mut skipped = 0usize;
+    for _ in 0..pairs {
+        let src: Vertex = rng.gen_range(0..n);
+        let dst: Vertex = rng.gen_range(0..n);
+        if src == dst {
+            skipped += 1;
+            continue;
         }
+        let _ = sim.request(src, dst, max_len);
     }
-    sim.finish()
+    let mut stats = sim.take_stats();
+    stats.requested = pairs;
+    stats.skipped = skipped;
+    debug_assert_eq!(stats.established + stats.blocked + stats.skipped, pairs);
+    stats
 }
 
 #[cfg(test)]
@@ -144,6 +182,99 @@ mod tests {
         let stats = random_permutation_round(&net, 64, 6, 1, &mut rng);
         assert_eq!(stats.rounds, 1);
         assert!(stats.established + stats.blocked > 0);
+        assert_eq!(stats.requested, 64);
+        assert_eq!(stats.established + stats.blocked + stats.skipped, 64);
+    }
+
+    /// The pre-PR-5 permutation sampler, verbatim: shuffle two full
+    /// `0..n` vectors, truncate to `pairs.min(n)`, silently drop
+    /// self-pairs. Kept only as the statistical reference for the direct
+    /// sampler.
+    fn legacy_permutation_round<T: NetTopology, R: rand::Rng>(
+        net: &T,
+        pairs: usize,
+        max_len: u32,
+        dilation: u32,
+        rng: &mut R,
+    ) -> SimStats {
+        use rand::seq::SliceRandom;
+        let n = net.num_vertices();
+        let mut sources: Vec<Vertex> = (0..n).collect();
+        let mut dests: Vec<Vertex> = (0..n).collect();
+        sources.shuffle(rng);
+        dests.shuffle(rng);
+        let mut sim = Engine::new(net, dilation);
+        sim.begin_round();
+        for i in 0..pairs.min(n as usize) {
+            let (src, dst) = (sources[i], dests[i]);
+            if src != dst {
+                let _ = sim.request(src, dst, max_len);
+            }
+        }
+        sim.finish()
+    }
+
+    #[test]
+    fn direct_sampler_matches_legacy_sampler_statistics() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // Q_6, 32 pairs/round, generous dilation so blocking is rare and
+        // both samplers reduce to their pure sampling statistics. Both
+        // draw uniform (src, dst); per-position the legacy permutation
+        // pair collides with probability 1/n, exactly the direct
+        // sampler's self-pair rate — so issued counts and mean hops must
+        // agree up to sampling noise over many rounds.
+        let net = MaterializedNet::new(shc_graph::builders::hypercube(6));
+        let (pairs, rounds) = (32usize, 100usize);
+        let mut rng_new = StdRng::seed_from_u64(0xFEED);
+        let mut rng_old = StdRng::seed_from_u64(0xBEEF);
+        let mut agg_new = (0usize, 0usize); // (issued, hops)
+        let mut agg_old = (0usize, 0usize);
+        for _ in 0..rounds {
+            let s = random_permutation_round(&net, pairs, 8, 8, &mut rng_new);
+            assert_eq!(s.requested, pairs);
+            assert_eq!(s.established + s.blocked + s.skipped, pairs);
+            agg_new.0 += s.established + s.blocked;
+            agg_new.1 += s.total_hops;
+            let l = legacy_permutation_round(&net, pairs, 8, 8, &mut rng_old);
+            agg_old.0 += l.established + l.blocked;
+            agg_old.1 += l.total_hops;
+        }
+        let total = (pairs * rounds) as f64;
+        // Issued fraction: both expect 1 - 1/64 ≈ 0.984.
+        let frac_new = agg_new.0 as f64 / total;
+        let frac_old = agg_old.0 as f64 / total;
+        assert!(
+            (frac_new - frac_old).abs() < 0.02,
+            "{frac_new} vs {frac_old}"
+        );
+        // Mean hops: uniform pairs on Q_6 average n/2 = 3 Hamming hops.
+        let hops_new = agg_new.1 as f64 / agg_new.0 as f64;
+        let hops_old = agg_old.1 as f64 / agg_old.0 as f64;
+        assert!((hops_new - 3.0).abs() < 0.25, "mean hops {hops_new}");
+        assert!(
+            (hops_new - hops_old).abs() < 0.25,
+            "{hops_new} vs {hops_old}"
+        );
+    }
+
+    #[test]
+    fn direct_sampler_never_truncates_and_accounts_every_draw() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // pairs >> n: the legacy sampler silently truncated to n draws;
+        // the direct sampler must issue all of them and account for the
+        // self-pairs it skips.
+        let net = MaterializedNet::new(shc_graph::builders::hypercube(3));
+        let mut rng = StdRng::seed_from_u64(42);
+        let stats = random_permutation_round(&net, 50, 4, 64, &mut rng);
+        assert_eq!(stats.requested, 50, "no truncation at n = 8");
+        assert_eq!(stats.established + stats.blocked + stats.skipped, 50);
+        assert!(stats.skipped > 0, "seeded run draws some self-pairs");
+        assert!(
+            stats.established + stats.blocked > 8,
+            "issues more than the legacy n-cap"
+        );
     }
 
     #[test]

@@ -9,7 +9,8 @@ use shc_core::SparseHypercube;
 use shc_graph::builders::hypercube;
 use shc_graph::AdjGraph;
 use shc_netsim::{
-    Engine, FaultedNet, MaterializedNet, NetTopology, Outcome, RouteSearch, SimStats,
+    Engine, FaultedNet, ImplicitCubeNet, MaterializedNet, NetTopology, Outcome, RouteSearch,
+    SimStats,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -409,6 +410,112 @@ fn arb_preload(max_v: u64) -> impl Strategy<Value = Vec<Vec<u64>>> {
     proptest::collection::vec(proptest::collection::vec(0..max_v, 2..6), 0..12)
 }
 
+/// Drives the same op script through engines over two topologies that
+/// claim to be the *same network* on different link substrates (implicit
+/// arithmetic vs materialized CSR) and demands **byte-identical**
+/// behavior: outcomes (including exact routes), final stats, and every
+/// per-round usage snapshot. `strategy` pins the search so tie-breaks
+/// are comparable — neighbor enumeration order is part of the substrate
+/// contract.
+fn assert_substrates_identical<A: NetTopology, B: NetTopology>(
+    a: &A,
+    b: &B,
+    dilation: u32,
+    strategy: RouteSearch,
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.num_vertices(), b.num_vertices());
+    let n = a.num_vertices();
+    let mut ea = Engine::new(a, dilation);
+    let mut eb = Engine::new(b, dilation);
+    ea.begin_round();
+    eb.begin_round();
+    for op in ops {
+        match op {
+            Op::Request { src, dst, max_len } => {
+                let (src, dst) = (src % n, dst % n);
+                if src == dst {
+                    continue;
+                }
+                let ra = ea.request_with(strategy, src, dst, *max_len);
+                let rb = eb.request_with(strategy, src, dst, *max_len);
+                prop_assert_eq!(ra, rb, "route diverged between substrates");
+            }
+            Op::Path(raw) => {
+                let path: Vec<u64> = raw.iter().map(|v| v % n).collect();
+                if path.windows(2).any(|w| w[0] == w[1]) {
+                    continue;
+                }
+                let ra = ea.request_path(&path);
+                let rb = eb.request_path(&path);
+                prop_assert_eq!(ra, rb, "fixed-path outcome diverged");
+            }
+            Op::NextRound => {
+                prop_assert_eq!(
+                    &ea.usage_snapshot(),
+                    &eb.usage_snapshot(),
+                    "round snapshot diverged"
+                );
+                ea.begin_round();
+                eb.begin_round();
+            }
+            Op::SetDilation(d) => {
+                ea.set_dilation(*d);
+                eb.set_dilation(*d);
+            }
+        }
+    }
+    prop_assert_eq!(
+        &ea.usage_snapshot(),
+        &eb.usage_snapshot(),
+        "final snapshot diverged"
+    );
+    prop_assert_eq!(ea.finish(), eb.finish(), "stats diverged");
+    Ok(())
+}
+
+/// A topology served purely from a frozen [`shc_netsim::LinkTable`] —
+/// the pre-PR-5 substrate for rule-generated graphs, reconstructed here
+/// (in the rule's native neighbor order) as the reference the implicit
+/// sparse-hypercube path is pinned against.
+struct TableBacked {
+    table: std::sync::Arc<shc_netsim::LinkTable>,
+}
+
+impl NetTopology for TableBacked {
+    fn num_vertices(&self) -> u64 {
+        self.table.num_vertices()
+    }
+
+    fn has_edge(&self, u: u64, v: u64) -> bool {
+        self.table.link_id(u, v).is_some()
+    }
+
+    fn for_each_link(&self, u: u64, f: impl FnMut(u64, shc_netsim::LinkId) -> bool) -> bool {
+        self.table.for_each_link(u, f)
+    }
+
+    fn link_id(&self, u: u64, v: u64) -> Option<shc_netsim::LinkId> {
+        self.table.link_id(u, v)
+    }
+
+    fn link_index(&self) -> shc_netsim::LinkIndex {
+        shc_netsim::LinkIndex::Table(std::sync::Arc::clone(&self.table))
+    }
+
+    fn cube_labeled(&self) -> bool {
+        self.table.cube_labeled()
+    }
+}
+
+fn arb_strategy() -> impl Strategy<Value = RouteSearch> {
+    (0u8..3).prop_map(|s| match s {
+        0 => RouteSearch::Unidirectional,
+        1 => RouteSearch::Bidirectional,
+        _ => RouteSearch::AStarCube,
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -639,6 +746,63 @@ proptest! {
             strategies.push(RouteSearch::AStarCube);
         }
         assert_searches_agree(&damaged, dilation, &preload, src, dst, max_len, &strategies)?;
+    }
+
+    #[test]
+    fn implicit_cube_is_byte_identical_to_materialized(
+        n in 3u32..=10,
+        dilation in 1u32..4,
+        strategy in arb_strategy(),
+        ops in arb_ops(1 << 10),
+    ) {
+        // The tentpole contract: the storage-free arithmetic substrate
+        // and the frozen CSR table are indistinguishable — identical
+        // routes (all three searches, so enumeration order matches too),
+        // stats, and snapshots.
+        let implicit = ImplicitCubeNet::new(n);
+        let materialized = MaterializedNet::new(hypercube(n));
+        assert_substrates_identical(&implicit, &materialized, dilation, strategy, &ops)?;
+    }
+
+    #[test]
+    fn implicit_cube_matches_materialized_under_faults(
+        n in 3u32..=8,
+        dead in proptest::collection::vec((0u64..256, 0u64..256), 0..10),
+        crashed in proptest::collection::vec(0u64..256, 0..4),
+        dilation in 1u32..3,
+        strategy in arb_strategy(),
+        ops in arb_ops(1 << 8),
+    ) {
+        // Identical damage reports over both substrates: the bitset over
+        // arithmetic ids must mask exactly what the table-backed overlay
+        // masks, including crash fan-outs.
+        let nv = 1u64 << n;
+        let dead: Vec<(u64, u64)> = dead.into_iter().map(|(u, v)| (u % nv, v % nv)).collect();
+        let crashed: Vec<u64> = crashed.into_iter().map(|v| v % nv).collect();
+        let implicit = ImplicitCubeNet::new(n);
+        let materialized = MaterializedNet::new(hypercube(n));
+        let fa = FaultedNet::new(&implicit, dead.iter().copied(), crashed.iter().copied());
+        let fb = FaultedNet::new(&materialized, dead.iter().copied(), crashed.iter().copied());
+        prop_assert_eq!(fa.num_dead_links(), fb.num_dead_links());
+        prop_assert_eq!(fa.num_crashed(), fb.num_crashed());
+        assert_substrates_identical(&fa, &fb, dilation, strategy, &ops)?;
+    }
+
+    #[test]
+    fn implicit_sparse_hypercube_matches_frozen_table(
+        (n, m) in arb_base_params(),
+        dilation in 1u32..3,
+        strategy in arb_strategy(),
+        ops in arb_ops(1 << 9),
+    ) {
+        // The rule-generated sparse hypercube now keys links off cube
+        // arithmetic; a table frozen from its own neighbor enumeration —
+        // the pre-PR-5 substrate, native (dimension) order preserved —
+        // must behave byte-identically.
+        let g = SparseHypercube::construct_base(n, m);
+        let native = shc_netsim::LinkTable::build(1u64 << n, |u| NetTopology::neighbors(&g, u));
+        let native = TableBacked { table: std::sync::Arc::new(native) };
+        assert_substrates_identical(&g, &native, dilation, strategy, &ops)?;
     }
 
     #[test]

@@ -75,19 +75,24 @@ impl FaultPlan {
 }
 
 /// All undirected edges of `topo`, normalized and in deterministic
-/// (vertex-major, native neighbor order) order — the same sequence the
-/// topology's frozen link table enumerates, so topologies that froze at
-/// construction (the runtime's `BuiltTopology`) answer without
-/// re-scanning their adjacency. Links a damage overlay masks out
-/// (`link_blocked`) are excluded, so sampling a second fault wave over
-/// an already-damaged topology never draws an already-dead link.
+/// (vertex-major, native neighbor order) order — the walk works
+/// identically over frozen-table and implicit (rule-generated) link
+/// substrates, and yields the same sequence a frozen table would.
+/// Links a damage overlay masks out (`link_blocked`) are excluded, so
+/// sampling a second fault wave over an already-damaged topology never
+/// draws an already-dead link.
 #[must_use]
 pub fn enumerate_edges<T: NetTopology>(topo: &T) -> Vec<(Vertex, Vertex)> {
-    topo.link_table()
-        .iter_links()
-        .filter(|&(_, _, id)| !topo.link_blocked(id))
-        .map(|(u, v, _)| (u, v))
-        .collect()
+    let mut edges = Vec::new();
+    for u in 0..topo.num_vertices() {
+        topo.for_each_link(u, |v, id| {
+            if v > u && !topo.link_blocked(id) {
+                edges.push((u, v));
+            }
+            true
+        });
+    }
+    edges
 }
 
 #[cfg(test)]

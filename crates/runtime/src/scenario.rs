@@ -8,10 +8,7 @@
 
 use shc_broadcast::{broadcast_scheme, hypercube_broadcast, Schedule};
 use shc_core::SparseHypercube;
-use shc_graph::builders::hypercube;
-use shc_graph::AdjGraph;
-use shc_netsim::{LinkTable, MaterializedNet, NetTopology};
-use std::sync::Arc;
+use shc_netsim::{ImplicitCubeNet, LinkId, LinkIndex, NetTopology};
 
 /// Vertex ids, shared with `shc-netsim` / `shc-broadcast`.
 pub type Vertex = u64;
@@ -34,8 +31,12 @@ pub enum TopologySpec {
 }
 
 impl TopologySpec {
-    /// Materializes the spec into a runnable topology (freezing its CSR
-    /// link table once, shared by every replica's engine and overlay).
+    /// Builds the spec into a runnable topology. Both kinds are
+    /// rule-generated end to end: no adjacency is materialized and the
+    /// link index is closed-form cube arithmetic (shared by every
+    /// replica's engine and overlay), so `Q_20`-scale scenarios cost
+    /// per-engine scratch rather than hundreds of megabytes of frozen
+    /// CSR tables.
     #[must_use]
     pub fn build(&self) -> BuiltTopology {
         let kind = match *self {
@@ -44,17 +45,14 @@ impl TopologySpec {
             }
             TopologySpec::Hypercube { n } => TopologyKind::Cube {
                 n,
-                net: MaterializedNet::new(hypercube(n)),
+                net: ImplicitCubeNet::new(n),
             },
         };
-        let table = match &kind {
-            // The sparse hypercube is rule-generated: freeze its links
-            // here, once per scenario, in native neighbor order.
-            TopologyKind::Sparse(g) => NetTopology::link_table(g),
-            // The materialized cube froze at `MaterializedNet::new`.
-            TopologyKind::Cube { net, .. } => net.link_table(),
+        let index = match &kind {
+            TopologyKind::Sparse(g) => NetTopology::link_index(g),
+            TopologyKind::Cube { net, .. } => net.link_index(),
         };
-        BuiltTopology { kind, table }
+        BuiltTopology { kind, index }
     }
 
     /// Human-readable label (`G_{10,3}` / `Q_10`).
@@ -67,28 +65,28 @@ impl TopologySpec {
     }
 }
 
-/// The concrete network behind a [`BuiltTopology`]: either rule-generated
-/// (no adjacency materialization) or an adjacency-list graph.
+/// The concrete network behind a [`BuiltTopology`] — rule-generated
+/// either way (no adjacency materialization).
 pub enum TopologyKind {
     /// Rule-generated sparse hypercube.
     Sparse(SparseHypercube),
-    /// Materialized full hypercube.
+    /// Rule-generated full hypercube (implicit `Q_n`).
     Cube {
         /// Cube dimension.
         n: u32,
-        /// The materialized graph behind the [`NetTopology`] interface.
-        net: MaterializedNet<AdjGraph>,
+        /// The implicit cube behind the [`NetTopology`] interface.
+        net: ImplicitCubeNet,
     },
 }
 
-/// A built topology: the network plus its CSR link table, frozen once at
+/// A built topology: the network plus its link index, obtained once at
 /// construction and shared by every replica (engines index occupancy by
 /// its link ids; fault overlays mask damage over the same ids). Carries
 /// enough structure to also *generate* broadcast schedules, not just
 /// answer edge queries.
 pub struct BuiltTopology {
     kind: TopologyKind,
-    table: Arc<LinkTable>,
+    index: LinkIndex,
 }
 
 impl BuiltTopology {
@@ -120,6 +118,7 @@ impl BuiltTopology {
 }
 
 impl NetTopology for BuiltTopology {
+    #[inline]
     fn num_vertices(&self) -> u64 {
         match &self.kind {
             TopologyKind::Sparse(g) => NetTopology::num_vertices(g),
@@ -127,10 +126,27 @@ impl NetTopology for BuiltTopology {
         }
     }
 
+    #[inline]
     fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
         match &self.kind {
             TopologyKind::Sparse(g) => NetTopology::has_edge(g, u, v),
             TopologyKind::Cube { net, .. } => net.has_edge(u, v),
+        }
+    }
+
+    #[inline]
+    fn for_each_link(&self, u: Vertex, f: impl FnMut(Vertex, LinkId) -> bool) -> bool {
+        match &self.kind {
+            TopologyKind::Sparse(g) => NetTopology::for_each_link(g, u, f),
+            TopologyKind::Cube { net, .. } => net.for_each_link(u, f),
+        }
+    }
+
+    #[inline]
+    fn link_id(&self, u: Vertex, v: Vertex) -> Option<LinkId> {
+        match &self.kind {
+            TopologyKind::Sparse(g) => NetTopology::link_id(g, u, v),
+            TopologyKind::Cube { net, .. } => net.link_id(u, v),
         }
     }
 
@@ -141,10 +157,11 @@ impl NetTopology for BuiltTopology {
         }
     }
 
-    fn link_table(&self) -> Arc<LinkTable> {
-        Arc::clone(&self.table)
+    fn link_index(&self) -> LinkIndex {
+        self.index.clone()
     }
 
+    #[inline]
     fn cube_labeled(&self) -> bool {
         match &self.kind {
             TopologyKind::Sparse(g) => NetTopology::cube_labeled(g),
