@@ -1,0 +1,155 @@
+//! Long-lived flow service sweep: drives the `shc-runtime` service layer
+//! (open-loop Poisson arrivals, holding times, admission policies) over
+//! the built-in serve catalog and writes a machine-readable
+//! `BENCH_serve.json` of per-window latency / blocking / occupancy
+//! percentiles — the operational counterpart of `exp_perf`'s throughput
+//! sweep. `docs/SERVICE.md` documents every metric in the artifact.
+//!
+//! Cells (topology × admission policy, plus one diurnal stress cell per
+//! topology) execute in parallel on the work-stealing executor; each
+//! cell's simulation is sequential from its own seed, so the reports —
+//! including their JSON bytes — are identical for any `--threads` value.
+//! `--seed-check` proves it by running the sweep at 1 and N threads and
+//! comparing bytes, the same contract `exp_perf --seed-check` enforces.
+//!
+//! Flags:
+//! * `--fast`      — reduced sweep (CI sizes: `n = 6`, 120 rounds).
+//! * `--json PATH` — output path (default `BENCH_serve.json`).
+//! * `--threads T` — worker threads for the cell sweep (0 = all cores).
+//! * `--seed-check` — assert 1-thread and T-thread runs produce
+//!   byte-identical reports, then exit.
+
+use serde::Serialize;
+use shc_runtime::{builtin_service_catalog, run_service, ServiceReport, ServiceSpec};
+use std::time::Instant;
+
+/// Whole-run artifact: cell reports plus run header.
+#[derive(Debug, Serialize)]
+struct ServeArtifact {
+    /// Artifact schema/bench name.
+    bench: &'static str,
+    /// `--fast` sizes in effect.
+    fast: bool,
+    /// Worker threads the sweep ran on (0 = all cores).
+    threads: usize,
+    /// Wall-clock milliseconds for the whole sweep (not deterministic;
+    /// excluded from the seed-check projection).
+    elapsed_ms: f64,
+    /// One deterministic report per catalog cell, in catalog order.
+    reports: Vec<ServiceReport>,
+}
+
+/// The deterministic projection of a sweep: JSON of the reports only.
+fn det_json(reports: &[ServiceReport]) -> String {
+    serde_json::to_string_pretty(reports).expect("reports serialize")
+}
+
+fn run_sweep(cells: &[ServiceSpec], threads: usize) -> Vec<ServiceReport> {
+    shc_runtime::map_cells(cells, threads, run_service)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fast = false;
+    let mut seed_check = false;
+    let mut json_path = String::from("BENCH_serve.json");
+    let mut threads = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fast" => fast = true,
+            "--seed-check" => seed_check = true,
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--threads" => {
+                i += 1;
+                threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let cells = builtin_service_catalog(fast);
+
+    if seed_check {
+        let many_threads = if threads == 0 {
+            shc_runtime::available_threads()
+        } else {
+            threads
+        };
+        println!(
+            "exp_serve seed check: {} cells, 1 vs {many_threads} threads",
+            cells.len()
+        );
+        let one = det_json(&run_sweep(&cells, 1));
+        let many = det_json(&run_sweep(&cells, many_threads));
+        if one == many {
+            println!("seed check OK: service reports byte-identical across thread counts");
+            return;
+        }
+        eprintln!("seed check FAILED: 1-thread and {many_threads}-thread sweeps diverge");
+        std::process::exit(1);
+    }
+
+    println!(
+        "exp_serve sweep: {} cells, {} threads{}",
+        cells.len(),
+        if threads == 0 {
+            "all".to_string()
+        } else {
+            threads.to_string()
+        },
+        if fast { " (fast)" } else { "" }
+    );
+
+    let start = Instant::now();
+    let reports = run_sweep(&cells, threads);
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    for r in &reports {
+        let last = r.windows.last().expect("at least one window");
+        let arrivals: u64 = r.windows.iter().map(|w| w.arrivals).sum();
+        let rejected: u64 = r.windows.iter().map(|w| w.rejected).sum();
+        let loss = if arrivals == 0 {
+            0.0
+        } else {
+            rejected as f64 / arrivals as f64
+        };
+        println!(
+            "{:<28} {:<16} arrivals={:<6} loss={:>6.3} p99_hops={:<3} p99_wait={:<3} active_end={}",
+            r.service,
+            r.policy,
+            arrivals,
+            loss,
+            last.latency_hops.p99,
+            last.queue_wait_rounds.p99,
+            last.active_flows_end
+        );
+    }
+
+    let artifact = ServeArtifact {
+        bench: "flow_service",
+        fast,
+        threads,
+        elapsed_ms,
+        reports,
+    };
+    let json = serde_json::to_string_pretty(&artifact).unwrap();
+    if let Err(e) = std::fs::write(&json_path, &json) {
+        eprintln!("cannot write {json_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("BENCH artifact written to {json_path} ({elapsed_ms:.0} ms)");
+}

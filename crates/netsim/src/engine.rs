@@ -90,6 +90,14 @@ pub enum RouteSearch {
 }
 
 /// Aggregate counters over a simulation run.
+///
+/// Accounting invariant (PR 5): whenever a traffic generator fills in
+/// [`requested`](Self::requested), it holds that
+/// `requested == established + blocked + skipped` — every draw the
+/// generator was asked for either reached the engine (and was counted
+/// established or blocked) or was skipped before the engine saw it
+/// (and is counted in [`skipped`](Self::skipped)). Engine-direct
+/// drivers leave `requested == 0`.
 #[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SimStats {
     /// Rounds simulated.
@@ -163,6 +171,58 @@ impl SimStats {
     }
 }
 
+/// Handle to a circuit held **across** rounds (a *flow*), returned by
+/// [`Engine::request_flow`] and consumed by [`Engine::release_flow`].
+/// Handles are engine-scoped slab indices: releasing a flow invalidates
+/// its handle (the slot is recycled for a later flow), and using a stale
+/// handle panics rather than silently touching the wrong circuit.
+///
+/// ```
+/// use shc_graph::builders::cycle;
+/// use shc_netsim::{Engine, FlowOutcome, MaterializedNet};
+///
+/// let net = MaterializedNet::new(cycle(6));
+/// let mut sim = Engine::new(&net, 1);
+/// sim.begin_round();
+/// let flow = match sim.request_flow(0, 2, 4) {
+///     FlowOutcome::Established { flow, hops } => {
+///         assert_eq!(hops, 2); // 0-1-2
+///         flow
+///     }
+///     FlowOutcome::Blocked(reason) => panic!("clean ring blocked: {reason:?}"),
+/// };
+/// sim.begin_round(); // the flow survives the round boundary …
+/// assert_eq!(sim.active_flows(), 1);
+/// sim.release_flow(flow); // … until released
+/// assert_eq!(sim.active_flows(), 0);
+/// assert!(sim.usage_snapshot().is_empty(), "no residual occupancy");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FlowId(u32);
+
+/// Outcome of one flow request ([`Engine::request_flow`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlowOutcome {
+    /// The flow was admitted along a shortest available route and now
+    /// holds its links until [`Engine::release_flow`].
+    Established {
+        /// Handle for the eventual release.
+        flow: FlowId,
+        /// Route length in links (the circuit's setup latency proxy).
+        hops: u32,
+    },
+    /// The flow was refused; no state was retained.
+    Blocked(BlockReason),
+}
+
+impl FlowOutcome {
+    /// `true` when established.
+    #[must_use]
+    pub fn is_established(&self) -> bool {
+        matches!(self, Self::Established { .. })
+    }
+}
+
 /// The simulator. Holds the topology by reference, its link index
 /// (frozen table or implicit arithmetic), and flat per-link occupancy
 /// plus reusable routing scratch.
@@ -172,9 +232,22 @@ pub struct Engine<'a, T: NetTopology> {
     dilation: u32,
     /// Circuits currently on each link this round, indexed by link id.
     usage: Vec<u32>,
-    /// Link ids with nonzero usage this round (may contain benign
-    /// duplicates after a rolled-back admission); zeroed on round reset.
+    /// Link ids whose usage may exceed the held base load this round
+    /// (may contain benign duplicates after a rolled-back admission or a
+    /// mid-round flow release); reset to the held level on round reset.
     dirty: Vec<LinkId>,
+    /// Per-link circuits held **across** rounds by active flows.
+    /// Lazily sized on the first flow admission, so memoryless
+    /// (round-by-round) workloads pay nothing for the flow layer.
+    held: Vec<u32>,
+    /// Active-flow slab: slot `i` holds flow `i`'s link ids.
+    flow_slots: Vec<Option<Vec<LinkId>>>,
+    /// Recycled slab slots.
+    free_flows: Vec<u32>,
+    /// Active flow count (slab slots currently occupied).
+    active_flows: usize,
+    /// Total links currently held by active flows (occupancy gauge).
+    held_link_hops: u64,
     /// Scratch: link ids of the path under admission.
     path_ids: Vec<LinkId>,
     /// Scratch: forward visited stamp per vertex (`== epoch` means seen).
@@ -235,6 +308,11 @@ impl<'a, T: NetTopology> Engine<'a, T> {
             dilation,
             usage: vec![0; index.num_links()],
             dirty: Vec::new(),
+            held: Vec::new(),
+            flow_slots: Vec::new(),
+            free_flows: Vec::new(),
+            active_flows: 0,
+            held_link_hops: 0,
             path_ids: Vec::new(),
             seen: vec![0; n],
             parent: vec![0; n],
@@ -285,14 +363,26 @@ impl<'a, T: NetTopology> Engine<'a, T> {
         self.index.num_vertices()
     }
 
-    /// Starts a new time unit: all circuits from the previous round are
-    /// torn down (only the links actually used are reset).
+    /// Starts a new time unit: all **round-scoped** circuits from the
+    /// previous round are torn down (only the links actually used are
+    /// reset), while circuits held by active flows
+    /// ([`request_flow`](Self::request_flow)) keep their links occupied.
+    /// Without flows this is exactly the pre-flow behavior: every link
+    /// resets to zero.
     pub fn begin_round(&mut self) {
         if self.round_open {
             self.close_round();
         }
-        for &id in &self.dirty {
-            self.usage[id as usize] = 0;
+        if self.held.is_empty() {
+            for &id in &self.dirty {
+                self.usage[id as usize] = 0;
+            }
+        } else {
+            // Round reset tears down transients only: usage falls back
+            // to the held base load, not to zero.
+            for &id in &self.dirty {
+                self.usage[id as usize] = self.held[id as usize];
+            }
         }
         self.dirty.clear();
         self.round_peak = 0;
@@ -322,15 +412,29 @@ impl<'a, T: NetTopology> Engine<'a, T> {
         self.round_max_hops = self.round_max_hops.max(hops as u64);
     }
 
+    /// Circuits held on `id` by active flows (0 when the flow layer has
+    /// never been used — `held` is lazily allocated).
+    #[inline]
+    fn held_base(&self, id: LinkId) -> u32 {
+        if self.held.is_empty() {
+            0
+        } else {
+            self.held[id as usize]
+        }
+    }
+
     /// Increments occupancy for one link; returns `false` (over capacity)
-    /// without recording when the link is already saturated.
+    /// without recording when the link is already saturated. A link joins
+    /// the dirty list the first time its usage rises above the held base
+    /// load (so round reset can restore exactly that base).
     fn try_occupy(&mut self, id: LinkId) -> bool {
+        let base = self.held_base(id);
         let slot = &mut self.usage[id as usize];
         if *slot >= self.dilation {
             return false;
         }
         *slot += 1;
-        if *slot == 1 {
+        if *slot == base + 1 {
             self.dirty.push(id);
         }
         true
@@ -385,6 +489,87 @@ impl<'a, T: NetTopology> Engine<'a, T> {
             RouteSearch::Bidirectional
         };
         self.request_with(search, src, dst, max_len)
+    }
+
+    /// Requests a **flow**: a circuit that, once admitted, holds every
+    /// link of its route across round boundaries until
+    /// [`release_flow`](Self::release_flow) tears it down. Admission is
+    /// exactly [`request`](Self::request) — same adaptive search, same
+    /// capacity rules, same [`SimStats`] accounting (a flow is one
+    /// established circuit) — plus promotion of the route's links into
+    /// the engine's held base load, which
+    /// [`begin_round`](Self::begin_round) restores instead of zero.
+    ///
+    /// # Panics
+    /// Panics if called outside a round, if `src == dst`, or if either
+    /// endpoint is out of range (as [`request`](Self::request)).
+    pub fn request_flow(&mut self, src: Vertex, dst: Vertex, max_len: u32) -> FlowOutcome {
+        match self.request(src, dst, max_len) {
+            Outcome::Established(path) => {
+                // `establish_*` left the route's link ids in `path_ids`;
+                // promote them into the held base load.
+                if self.held.is_empty() {
+                    self.held = vec![0; self.usage.len()];
+                }
+                let links = self.path_ids.clone();
+                for &id in &links {
+                    self.held[id as usize] += 1;
+                }
+                let hops = u32::try_from(path.len() - 1).expect("route length fits u32");
+                self.held_link_hops += u64::from(hops);
+                self.active_flows += 1;
+                let slot = match self.free_flows.pop() {
+                    Some(s) => {
+                        self.flow_slots[s as usize] = Some(links);
+                        s
+                    }
+                    None => {
+                        self.flow_slots.push(Some(links));
+                        u32::try_from(self.flow_slots.len() - 1).expect("flow count fits u32")
+                    }
+                };
+                FlowOutcome::Established {
+                    flow: FlowId(slot),
+                    hops,
+                }
+            }
+            Outcome::Blocked(reason) => FlowOutcome::Blocked(reason),
+        }
+    }
+
+    /// Releases an active flow: every link of its route sheds one held
+    /// circuit **immediately** (current-round requests admitted after the
+    /// release already see the freed capacity), and the handle's slab
+    /// slot is recycled. Valid inside or between rounds.
+    ///
+    /// # Panics
+    /// Panics on a stale or already-released handle.
+    pub fn release_flow(&mut self, flow: FlowId) {
+        let links = self
+            .flow_slots
+            .get_mut(flow.0 as usize)
+            .and_then(Option::take)
+            .expect("release of an unknown or already-released flow");
+        for &id in &links {
+            self.held[id as usize] -= 1;
+            self.usage[id as usize] -= 1;
+        }
+        self.held_link_hops -= links.len() as u64;
+        self.active_flows -= 1;
+        self.free_flows.push(flow.0);
+    }
+
+    /// Number of currently active (admitted, unreleased) flows.
+    #[must_use]
+    pub fn active_flows(&self) -> usize {
+        self.active_flows
+    }
+
+    /// Total links currently held by active flows — the engine's
+    /// occupancy gauge (each flow contributes its hop count).
+    #[must_use]
+    pub fn held_link_hops(&self) -> u64 {
+        self.held_link_hops
     }
 
     /// [`request`](Self::request) with an explicit search strategy — the
@@ -1149,6 +1334,115 @@ mod tests {
             Outcome::Established(p) => assert_eq!(p, vec![0, 1, 2]),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn flows_hold_links_across_rounds() {
+        let net = MaterializedNet::new(cycle(4));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        let flow = match sim.request_flow(0, 1, 3) {
+            FlowOutcome::Established { flow, hops } => {
+                assert_eq!(hops, 1);
+                flow
+            }
+            other => panic!("clean ring blocked: {other:?}"),
+        };
+        assert_eq!(sim.active_flows(), 1);
+        assert_eq!(sim.held_link_hops(), 1);
+        // Next round: the held link is still occupied — a round-scoped
+        // circuit over it must detour (0-3-2-1).
+        sim.begin_round();
+        match sim.request(0, 1, 3) {
+            Outcome::Established(p) => assert_eq!(p, vec![0, 3, 2, 1]),
+            other => panic!("expected detour, got {other:?}"),
+        }
+        // Release mid-round: capacity frees immediately.
+        sim.release_flow(flow);
+        assert_eq!(sim.active_flows(), 0);
+        assert_eq!(sim.held_link_hops(), 0);
+        match sim.request(0, 1, 3) {
+            Outcome::Established(p) => assert_eq!(p, vec![0, 1], "freed direct link"),
+            other => panic!("release did not free capacity: {other:?}"),
+        }
+        let stats = sim.finish();
+        assert_eq!(stats.established, 3);
+    }
+
+    #[test]
+    fn released_flows_leave_no_residual_occupancy() {
+        let net = MaterializedNet::new(cycle(6));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        let mut flows = Vec::new();
+        for (s, d) in [(0u64, 2u64), (3, 5)] {
+            match sim.request_flow(s, d, 4) {
+                FlowOutcome::Established { flow, .. } => flows.push(flow),
+                other => panic!("{other:?}"),
+            }
+        }
+        sim.begin_round();
+        assert!(!sim.usage_snapshot().is_empty());
+        for f in flows {
+            sim.release_flow(f);
+        }
+        assert!(sim.usage_snapshot().is_empty(), "residual held occupancy");
+        // The next round reset (dirty-list path) must not resurrect load.
+        sim.begin_round();
+        assert!(sim.usage_snapshot().is_empty());
+        assert!(sim.request_path(&[0, 1, 2]).is_established());
+    }
+
+    #[test]
+    #[should_panic(expected = "already-released")]
+    fn double_release_panics() {
+        let net = MaterializedNet::new(cycle(4));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        let FlowOutcome::Established { flow, .. } = sim.request_flow(0, 1, 3) else {
+            panic!("clean ring blocked");
+        };
+        sim.release_flow(flow);
+        sim.release_flow(flow);
+    }
+
+    #[test]
+    fn flow_slots_are_recycled() {
+        let net = MaterializedNet::new(star(5));
+        let mut sim = Engine::new(&net, 2);
+        sim.begin_round();
+        let FlowOutcome::Established { flow: a, .. } = sim.request_flow(1, 2, 2) else {
+            panic!()
+        };
+        sim.release_flow(a);
+        let FlowOutcome::Established { flow: b, .. } = sim.request_flow(3, 4, 2) else {
+            panic!()
+        };
+        assert_eq!(a, b, "slab recycles the freed slot");
+        assert_eq!(sim.active_flows(), 1);
+    }
+
+    #[test]
+    fn flows_and_transients_share_capacity() {
+        // Dilation 2 on the star hub edge {0,2}: one held flow + one
+        // transient fill it; a third circuit blocks; after the round the
+        // transient is gone but the flow still holds one slot.
+        let net = MaterializedNet::new(star(5));
+        let mut sim = Engine::new(&net, 2);
+        sim.begin_round();
+        assert!(sim.request_flow(1, 2, 2).is_established());
+        assert!(sim.request_path(&[3, 0, 2]).is_established());
+        assert_eq!(
+            sim.request_path(&[4, 0, 2]),
+            Outcome::Blocked(BlockReason::Saturated)
+        );
+        sim.begin_round();
+        // Transient torn down, held circuit persists: one slot free.
+        assert!(sim.request_path(&[4, 0, 2]).is_established());
+        assert_eq!(
+            sim.request_path(&[3, 0, 2]),
+            Outcome::Blocked(BlockReason::Saturated)
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //!   `n = 20+` without materializing adjacency).
 //! * [`engine`] — the circuit engine: rounds, admission, blocking, stats,
 //!   adaptive routing (A* on the cube metric / bidirectional BFS),
-//!   mid-run dilation shifts.
+//!   mid-run dilation shifts, and **flows** — circuits held across
+//!   rounds ([`Engine::request_flow`] / [`Engine::release_flow`]), the
+//!   substrate of the `shc-runtime` service layer.
 //! * [`traffic`] — schedule replay, competing broadcasts, permutations.
 //!
 //! ## Example
@@ -48,7 +50,7 @@ pub mod links;
 pub mod topology;
 pub mod traffic;
 
-pub use engine::{BlockReason, Engine, Outcome, RouteSearch, SimStats};
+pub use engine::{BlockReason, Engine, FlowId, FlowOutcome, Outcome, RouteSearch, SimStats};
 pub use links::{CubeLinks, LinkId, LinkIndex, LinkIndexError, LinkTable};
 pub use topology::{FaultedNet, ImplicitCubeNet, MaterializedNet, NetTopology};
 pub use traffic::{

@@ -1,0 +1,163 @@
+//! Property tests for the flow layer: circuits held across rounds must
+//! be exactly "the memoryless engine with the held circuit set replayed
+//! every round" — no more, no less — and teardown must leave zero
+//! residue in the occupancy vector or the dirty list.
+
+use proptest::prelude::*;
+use shc_graph::builders::hypercube;
+use shc_graph::AdjGraph;
+use shc_netsim::{Engine, FlowId, FlowOutcome, MaterializedNet, NetTopology, Outcome};
+
+const DIM: u32 = 4;
+const MAX_LEN: u32 = 10;
+
+fn net() -> MaterializedNet<AdjGraph> {
+    MaterializedNet::new(hypercube(DIM))
+}
+
+fn pairs(reqs: &[(u64, u64)]) -> impl Iterator<Item = (u64, u64)> + '_ {
+    let nv = 1u64 << DIM;
+    reqs.iter()
+        .map(move |&(s, d)| (s % nv, d % nv))
+        .filter(|&(s, d)| s != d)
+}
+
+proptest! {
+    /// Zero-churn degeneration: flows admitted and released within their
+    /// own round are transient circuits. Driving `request_flow` +
+    /// same-round release over an arbitrary request stream reproduces
+    /// the plain `request` engine's stats **byte-identically**, and
+    /// leaves the occupancy vector empty.
+    #[test]
+    fn same_round_flows_degenerate_to_memoryless(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec((0u64..16, 0u64..16), 0..12),
+            1..8,
+        ),
+        dilation in 1u32..3,
+    ) {
+        let topo = net();
+        let mut memoryless = Engine::new(&topo, dilation);
+        let mut flows = Engine::new(&topo, dilation);
+        for round in &rounds {
+            memoryless.begin_round();
+            flows.begin_round();
+            let mut admitted: Vec<FlowId> = Vec::new();
+            for (src, dst) in pairs(round) {
+                let a = memoryless.request(src, dst, MAX_LEN);
+                let b = flows.request_flow(src, dst, MAX_LEN);
+                match (&a, &b) {
+                    (Outcome::Established(path), FlowOutcome::Established { flow, hops }) => {
+                        prop_assert_eq!(path.len() as u32 - 1, *hops);
+                        admitted.push(*flow);
+                    }
+                    (Outcome::Blocked(ra), FlowOutcome::Blocked(rb)) => {
+                        prop_assert_eq!(ra, rb);
+                    }
+                    _ => prop_assert!(false, "engines diverged: {a:?} vs {b:?}"),
+                }
+            }
+            // Zero churn: every flow of the round dies with the round.
+            for flow in admitted {
+                flows.release_flow(flow);
+            }
+        }
+        prop_assert_eq!(flows.active_flows(), 0);
+        prop_assert_eq!(flows.held_link_hops(), 0);
+        prop_assert!(flows.usage_snapshot().is_empty());
+        // The stats fold is identical to the byte.
+        let a = format!("{:?}", memoryless.finish());
+        let b = format!("{:?}", flows.finish());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Zero-churn accumulation: one hot-spot flow per round with
+    /// infinite holding time is exactly the memoryless engine that
+    /// replays every previously-admitted route each round before the new
+    /// request — same admission outcomes, byte-identical link loads.
+    #[test]
+    fn held_flows_equal_replayed_circuits(
+        sources in proptest::collection::vec(1u64..16, 1..14),
+        dilation in 1u32..3,
+    ) {
+        let topo = net();
+        let hot = 0u64;
+        let mut flows = Engine::new(&topo, dilation);
+        let mut replay = Engine::new(&topo, dilation);
+        let mut routes: Vec<Vec<u64>> = Vec::new();
+        for &src in &sources {
+            flows.begin_round();
+            replay.begin_round();
+            // The memoryless twin re-establishes the held circuit set.
+            for route in &routes {
+                prop_assert!(replay.request_path(route).is_established());
+            }
+            let a = flows.request_flow(src, hot, MAX_LEN);
+            let b = replay.request(src, hot, MAX_LEN);
+            match (&a, &b) {
+                (FlowOutcome::Established { hops, .. }, Outcome::Established(path)) => {
+                    prop_assert_eq!(*hops, path.len() as u32 - 1);
+                    routes.push(path.clone());
+                }
+                (FlowOutcome::Blocked(ra), Outcome::Blocked(rb)) => {
+                    prop_assert_eq!(ra, rb);
+                }
+                _ => prop_assert!(false, "engines diverged: {a:?} vs {b:?}"),
+            }
+            // Identical per-link loads, including across the round
+            // boundary that tears transients down but keeps flows up.
+            prop_assert_eq!(flows.usage_snapshot(), replay.usage_snapshot());
+        }
+        prop_assert_eq!(flows.active_flows(), routes.len());
+    }
+
+    /// Teardown residue: after an arbitrary admit/release interleaving
+    /// ends with every flow released, the engine is indistinguishable
+    /// from a fresh one — empty occupancy snapshot, and a fixed probe
+    /// round admits exactly what a brand-new engine admits (the
+    /// dirty-list reset covered every link flows ever touched).
+    #[test]
+    fn full_release_leaves_a_fresh_engine(
+        reqs in proptest::collection::vec((0u64..16, 0u64..16, 0u8..4), 1..24),
+        dilation in 1u32..3,
+    ) {
+        let topo = net();
+        let mut sim = Engine::new(&topo, dilation);
+        let mut live: Vec<FlowId> = Vec::new();
+        sim.begin_round();
+        for &(s, d, act) in &reqs {
+            let (src, dst) = (s % 16, d % 16);
+            if src == dst {
+                continue;
+            }
+            if act == 0 {
+                sim.begin_round(); // round churn mid-stream
+            }
+            if let FlowOutcome::Established { flow, .. } = sim.request_flow(src, dst, MAX_LEN) {
+                live.push(flow);
+            }
+            if act == 1 && !live.is_empty() {
+                sim.release_flow(live.swap_remove(0));
+            }
+        }
+        for flow in live.drain(..) {
+            sim.release_flow(flow);
+        }
+        prop_assert_eq!(sim.active_flows(), 0);
+        prop_assert!(sim.usage_snapshot().is_empty(), "residual occupancy");
+
+        // Probe: saturate toward the hot spot from every vertex.
+        let mut fresh = Engine::new(&topo, dilation);
+        sim.begin_round();
+        fresh.begin_round();
+        for src in 1..topo.num_vertices() {
+            prop_assert_eq!(
+                sim.request(src, 0, MAX_LEN),
+                fresh.request(src, 0, MAX_LEN),
+                "probe diverged from a fresh engine at src {}",
+                src
+            );
+        }
+        prop_assert_eq!(sim.usage_snapshot(), fresh.usage_snapshot());
+    }
+}

@@ -14,6 +14,10 @@
 //! * [`runner`] — replica bodies, the Monte Carlo loop, report folding.
 //! * [`aggregate`] — integer-exact distribution summaries.
 //! * [`catalog`] — the built-in scenario catalog behind `exp_scenarios`.
+//! * [`metrics`] — zero-dependency counters / gauges / fixed-bucket
+//!   histograms with integer-exact percentiles and a JSON snapshot.
+//! * [`service`] — the long-lived flow service layer: open-loop arrivals,
+//!   holding times, admission policies, windowed reports (`exp_serve`).
 //!
 //! Determinism is a hard invariant: replica `r` runs on the `r`-th split
 //! of the scenario seed and the fold is order-exact over integers, so a
@@ -49,15 +53,22 @@ pub mod aggregate;
 pub mod catalog;
 pub mod executor;
 pub mod faults;
+pub mod metrics;
 pub mod runner;
 pub mod scenario;
+pub mod service;
 
 pub use aggregate::MetricSummary;
 pub use catalog::builtin_catalog;
 pub use executor::{available_threads, map_cells, run_indexed};
 pub use faults::FaultPlan;
+pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, Metrics, MetricsSnapshot};
 pub use runner::{run_scenario, MetricRow, ReplicaOutcome, ScenarioReport};
 pub use scenario::{
     BuiltTopology, DilationShift, FaultSpec, OriginatorPolicy, Scenario, TopologyKind,
     TopologySpec, Workload,
+};
+pub use service::{
+    builtin_service_catalog, run_service, AdmissionPolicy, ArrivalSpec, DiurnalCurve, HoldingSpec,
+    PopularitySpec, ServiceReport, ServiceSpec, WindowRow,
 };

@@ -1,0 +1,522 @@
+//! Zero-dependency metrics façade: monotonic counters, gauges, and
+//! fixed-bucket integer histograms behind a named registry with a JSON
+//! snapshot — the observability surface of the long-lived service layer.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism** — everything is integer arithmetic (the only float
+//!    is the final mean division, shared with [`MetricSummary`]), names
+//!    are reported in registration order, and snapshots of equal state
+//!    serialize to identical JSON bytes. Metrics therefore ride the same
+//!    same-seed byte-identical contract as scenario reports.
+//! 2. **Cheap on the hot path** — instruments are pre-registered and
+//!    addressed by copyable ids (a `Vec` index), so recording is an
+//!    array increment, never a string lookup or an allocation.
+//! 3. **Integer-exact percentiles** — [`Histogram`] buckets are
+//!    unit-width up to a saturation cap, so its nearest-rank percentiles
+//!    equal [`MetricSummary::from_samples`] over the same (clamped)
+//!    samples *exactly*, not approximately. The property tests pin this
+//!    against an exact-sort reference.
+//!
+//! ```
+//! use shc_runtime::metrics::Metrics;
+//!
+//! let mut m = Metrics::new();
+//! let admitted = m.counter("flows_admitted_total");
+//! let active = m.gauge("flows_active");
+//! let latency = m.histogram("flow_path_hops", "hops", 64);
+//! m.inc(admitted);
+//! m.set(active, 1);
+//! m.record(latency, 3);
+//! let snap = m.snapshot();
+//! assert_eq!(snap.counters[0].value, 1);
+//! assert_eq!(snap.histograms[0].summary.p50, 3);
+//! assert!(snap.to_json().contains("flow_path_hops"));
+//! ```
+
+use crate::aggregate::MetricSummary;
+use serde::{Deserialize, Serialize};
+
+/// Fixed-bucket histogram of `u64` samples with **unit-width** buckets
+/// `0, 1, …, cap`; values above `cap` saturate into the top bucket (the
+/// snapshot reports how many did). Within the cap, every statistic is
+/// integer-exact: [`Histogram::summary`] equals
+/// [`MetricSummary::from_samples`] over the clamped sample multiset.
+///
+/// ```
+/// use shc_runtime::metrics::Histogram;
+///
+/// let mut h = Histogram::new(100);
+/// for v in 1..=100u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.percentile(50), 50);
+/// assert_eq!(h.percentile(99), 99);
+/// assert_eq!(h.summary().max, 100);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Saturation cap: the largest exactly-representable value.
+    cap: u64,
+    /// `counts[v]` = samples with (clamped) value `v`; length `cap + 1`.
+    counts: Vec<u64>,
+    /// Total samples recorded.
+    count: u64,
+    /// Exact integer sum of clamped samples.
+    sum: u128,
+    /// Smallest clamped sample (0 when empty).
+    min: u64,
+    /// Largest clamped sample (0 when empty).
+    max: u64,
+    /// Samples that exceeded the cap and saturated.
+    saturated: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with unit buckets `0..=cap`.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0` or `cap > 1 << 22` (the dense bucket vector
+    /// is meant for bounded integer domains — hops, rounds, queue
+    /// depths — not arbitrary magnitudes).
+    #[must_use]
+    pub fn new(cap: u64) -> Self {
+        assert!(cap >= 1, "a histogram needs at least buckets 0 and 1");
+        assert!(cap <= 1 << 22, "dense unit buckets cap out at 2^22");
+        Self {
+            cap,
+            counts: vec![0; usize::try_from(cap + 1).expect("cap fits usize")],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            saturated: 0,
+        }
+    }
+
+    /// Records one sample (values above the cap saturate).
+    pub fn record(&mut self, value: u64) {
+        if value > self.cap {
+            self.saturated += 1;
+        }
+        let v = value.min(self.cap);
+        self.counts[v as usize] += 1;
+        self.sum += u128::from(v);
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Samples that exceeded the cap and were clamped.
+    #[must_use]
+    pub fn saturated(&self) -> u64 {
+        self.saturated
+    }
+
+    /// Nearest-rank percentile over the recorded (clamped) samples —
+    /// the same rank rule as [`MetricSummary`], computed from the bucket
+    /// prefix sum instead of a sort. 0 when empty.
+    ///
+    /// # Panics
+    /// Panics if `pct` is not in `1..=100`.
+    #[must_use]
+    pub fn percentile(&self, pct: u32) -> u64 {
+        assert!((1..=100).contains(&pct), "percentile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        // rank = ceil(count · pct / 100), 1-based — identical to the
+        // aggregate::nearest_rank fold over sorted samples.
+        let rank = (u128::from(self.count) * u128::from(pct)).div_ceil(100);
+        let mut seen: u128 = 0;
+        for (v, &c) in self.counts.iter().enumerate() {
+            seen += u128::from(c);
+            if seen >= rank {
+                return v as u64;
+            }
+        }
+        self.max
+    }
+
+    /// Folds the histogram into the workspace-standard summary type —
+    /// byte-identical to [`MetricSummary::from_samples`] over the
+    /// clamped sample multiset.
+    #[must_use]
+    pub fn summary(&self) -> MetricSummary {
+        if self.count == 0 {
+            return MetricSummary::from_samples(&mut []);
+        }
+        MetricSummary {
+            count: usize::try_from(self.count).expect("sample count fits usize"),
+            min: self.min,
+            max: self.max,
+            mean: self.sum as f64 / self.count as f64,
+            p50: self.percentile(50),
+            p90: self.percentile(90),
+            p99: self.percentile(99),
+        }
+    }
+
+    /// Clears all samples, keeping the bucket layout (the per-window
+    /// reset of the service layer).
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = 0;
+        self.max = 0;
+        self.saturated = 0;
+    }
+}
+
+/// Handle to a registered counter (a `Metrics` array index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// The metrics registry: named instruments registered once, recorded by
+/// id, snapshotted as JSON. See the [module docs](self) for an example.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, i64)>,
+    histograms: Vec<(String, String, Histogram)>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Panics if `name` is already registered on any instrument kind —
+    /// metric names are a single flat namespace.
+    fn assert_fresh(&self, name: &str) {
+        let clash = self.counters.iter().any(|(n, _)| n == name)
+            || self.gauges.iter().any(|(n, _)| n == name)
+            || self.histograms.iter().any(|(n, _, _)| n == name);
+        assert!(!clash, "metric name {name:?} registered twice");
+    }
+
+    /// Registers a monotonic counter (initial value 0).
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        self.assert_fresh(name);
+        self.counters.push((name.to_string(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Increments a counter by 1.
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0].1 += 1;
+    }
+
+    /// Increments a counter by `delta`.
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        self.counters[id.0].1 += delta;
+    }
+
+    /// Current counter value.
+    #[must_use]
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Registers a gauge (initial value 0).
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        self.assert_fresh(name);
+        self.gauges.push((name.to_string(), 0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Sets a gauge to an absolute value.
+    pub fn set(&mut self, id: GaugeId, value: i64) {
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Current gauge value.
+    #[must_use]
+    pub fn gauge_value(&self, id: GaugeId) -> i64 {
+        self.gauges[id.0].1
+    }
+
+    /// Registers a unit-bucket histogram saturating at `cap`, with a
+    /// human-readable `unit` (reported in snapshots).
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered, or on an invalid `cap`
+    /// (see [`Histogram::new`]).
+    pub fn histogram(&mut self, name: &str, unit: &str, cap: u64) -> HistogramId {
+        self.assert_fresh(name);
+        self.histograms
+            .push((name.to_string(), unit.to_string(), Histogram::new(cap)));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Records one histogram sample.
+    pub fn record(&mut self, id: HistogramId, value: u64) {
+        self.histograms[id.0].2.record(value);
+    }
+
+    /// Read access to a histogram (percentiles, counts).
+    #[must_use]
+    pub fn histogram_ref(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0].2
+    }
+
+    /// Clears one histogram's samples (per-window reset).
+    pub fn reset_histogram(&mut self, id: HistogramId) {
+        self.histograms[id.0].2.reset();
+    }
+
+    /// A point-in-time snapshot of every instrument, in registration
+    /// order — the JSON endpoint of the façade.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(name, value)| CounterSnapshot {
+                    name: name.clone(),
+                    value: *value,
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(name, value)| GaugeSnapshot {
+                    name: name.clone(),
+                    value: *value,
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, unit, h)| HistogramSnapshot {
+                    name: name.clone(),
+                    unit: unit.clone(),
+                    bucket_cap: h.cap,
+                    saturated: h.saturated,
+                    summary: h.summary(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One counter in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Monotonic value.
+    pub value: u64,
+}
+
+/// One gauge in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Last set value.
+    pub value: i64,
+}
+
+/// One histogram in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Sample unit (`"hops"`, `"rounds"`, `"flows"`, …).
+    pub unit: String,
+    /// Saturation cap of the unit-width bucket layout.
+    pub bucket_cap: u64,
+    /// Samples that exceeded the cap and were clamped into the top
+    /// bucket (nonzero means the top-end percentiles are lower bounds).
+    pub saturated: u64,
+    /// Integer-exact distribution summary of the clamped samples.
+    pub summary: MetricSummary,
+}
+
+/// Serializable snapshot of a whole [`Metrics`] registry.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counters, in registration order.
+    pub counters: Vec<CounterSnapshot>,
+    /// Gauges, in registration order.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histograms, in registration order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Pretty JSON rendering (deterministic: registration order, integer
+    /// fields, one final mean division per histogram).
+    ///
+    /// # Panics
+    /// Never panics in practice; the snapshot is a plain data tree.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_matches_exact_sort_reference() {
+        let mut h = Histogram::new(1000);
+        let samples: Vec<u64> = (0..500).map(|i| (i * 37) % 997).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        let reference = MetricSummary::from_samples(&mut sorted);
+        assert_eq!(h.summary(), reference);
+        for pct in 1..=100 {
+            let rank = (samples.len() as u64 * u64::from(pct)).div_ceil(100);
+            let expect = sorted[(rank.max(1) - 1) as usize];
+            assert_eq!(h.percentile(pct), expect, "p{pct}");
+        }
+    }
+
+    #[test]
+    fn saturation_clamps_into_the_top_bucket() {
+        let mut h = Histogram::new(10);
+        h.record(5);
+        h.record(11);
+        h.record(10_000);
+        assert_eq!(h.saturated(), 2);
+        assert_eq!(h.summary().max, 10);
+        assert_eq!(h.percentile(100), 10);
+        // Equal to the exact fold over the clamped multiset {5, 10, 10}.
+        assert_eq!(h.summary(), MetricSummary::from_samples(&mut [5, 10, 10]));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new(8);
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50), 0);
+        assert_eq!(h.summary(), MetricSummary::from_samples(&mut []));
+    }
+
+    #[test]
+    fn reset_clears_samples_but_keeps_layout() {
+        let mut h = Histogram::new(16);
+        h.record(3);
+        h.record(99);
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h.saturated(), 0);
+        h.record(7);
+        assert_eq!(h.summary(), MetricSummary::from_samples(&mut [7]));
+    }
+
+    #[test]
+    fn registry_records_and_snapshots_in_registration_order() {
+        let mut m = Metrics::new();
+        let a = m.counter("alpha_total");
+        let b = m.counter("beta_total");
+        let g = m.gauge("active");
+        let h = m.histogram("wait_rounds", "rounds", 32);
+        m.inc(a);
+        m.add(b, 5);
+        m.set(g, -3);
+        m.record(h, 4);
+        m.record(h, 40); // saturates
+        let snap = m.snapshot();
+        assert_eq!(snap.counters[0].name, "alpha_total");
+        assert_eq!(snap.counters[1].value, 5);
+        assert_eq!(snap.gauges[0].value, -3);
+        assert_eq!(snap.histograms[0].saturated, 1);
+        assert_eq!(snap.histograms[0].summary.count, 2);
+        assert_eq!(snap.histograms[0].unit, "rounds");
+        assert_eq!(m.counter_value(a), 1);
+        assert_eq!(m.gauge_value(g), -3);
+        assert_eq!(m.histogram_ref(h).count(), 2);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_and_is_stable() {
+        let mut m = Metrics::new();
+        let c = m.counter("requests_total");
+        m.add(c, 7);
+        m.histogram("hops", "hops", 8);
+        let snap = m.snapshot();
+        let json = snap.to_json();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+        // Equal state ⇒ identical bytes (the determinism contract).
+        assert_eq!(json, m.snapshot().to_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_panic_across_kinds() {
+        let mut m = Metrics::new();
+        m.counter("x");
+        m.gauge("x");
+    }
+
+    proptest::proptest! {
+        /// The bucketed fold is not an approximation: for arbitrary
+        /// samples and caps, every summary field equals the exact-sort
+        /// reference over the clamped multiset.
+        #[test]
+        fn prop_histogram_equals_exact_sort(
+            samples in proptest::collection::vec(0u64..5000, 0..200),
+            cap in 1u64..4096,
+        ) {
+            let mut h = Histogram::new(cap);
+            for &s in &samples {
+                h.record(s);
+            }
+            let mut clamped: Vec<u64> = samples.iter().map(|&s| s.min(cap)).collect();
+            let reference = MetricSummary::from_samples(&mut clamped);
+            proptest::prop_assert_eq!(h.summary(), reference);
+            for pct in [1u32, 25, 50, 75, 90, 99, 100] {
+                let rank = (clamped.len() as u64 * u64::from(pct)).div_ceil(100);
+                let expect = if clamped.is_empty() {
+                    0
+                } else {
+                    clamped[(rank.max(1) - 1) as usize]
+                };
+                proptest::prop_assert_eq!(h.percentile(pct), expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,1177 @@
+//! Long-lived flow service: open-loop arrivals, holding times, admission
+//! control, and windowed service-level reports over a live engine.
+//!
+//! Everything before this module is **memoryless** — each round's
+//! circuits vanish at the next [`begin_round`]. A service, by contrast,
+//! carries *sessions*: circuits admitted in one round stay up for a
+//! holding time measured in rounds, new sessions arrive open-loop (the
+//! offered load does not slow down because the network is full), and
+//! operators choose what happens to arrivals the network cannot route —
+//! reject them, queue them with a timeout, or degrade them onto longer
+//! detour routes. This module is that layer:
+//!
+//! * [`ServiceSpec`] — the declarative cell: topology × arrival process
+//!   ([`ArrivalSpec`], optionally diurnal) × holding time
+//!   ([`HoldingSpec`]) × destination popularity ([`PopularitySpec`]) ×
+//!   admission policy ([`AdmissionPolicy`]).
+//! * [`run_service`] — the simulation loop: drives
+//!   [`Engine::request_flow`] / [`Engine::release_flow`] over simulated
+//!   rounds, records every event into the [`metrics`](crate::metrics)
+//!   façade, and folds per-window [`WindowRow`]s plus a final cumulative
+//!   snapshot into a [`ServiceReport`].
+//! * [`builtin_service_catalog`] — the cells behind `exp_serve`.
+//!
+//! # Determinism contract
+//!
+//! A cell is simulated **sequentially** from a single [`StdRng`] seeded
+//! with `spec.seed`; parallelism (in `exp_serve`) is across independent
+//! cells via [`map_cells`](crate::executor::map_cells), which returns
+//! results in cell order. A [`ServiceReport`] — including its JSON bytes
+//! — is therefore identical for 1 or N worker threads, the same contract
+//! `tests/runtime_determinism.rs` pins for scenario reports.
+//!
+//! # Per-round event order
+//!
+//! The loop body is the determinism-relevant part of the spec. Round `t`
+//! processes, in order: (1) [`begin_round`] (transients torn down, held
+//! flows keep their links); (2) departures scheduled for `t`, in
+//! admission order; (3) queued arrivals retried FIFO — timeouts counted
+//! as rejections, still-blocked entries re-queued in order; (4) fresh
+//! Poisson arrivals, each drawing a destination (popularity law) then a
+//! uniform source ≠ destination, admitted / queued / detoured / rejected
+//! per the policy; (5) end-of-round gauge + occupancy/blocking samples.
+//!
+//! [`begin_round`]: shc_netsim::Engine::begin_round
+//! [`Engine::request_flow`]: shc_netsim::Engine::request_flow
+//! [`Engine::release_flow`]: shc_netsim::Engine::release_flow
+//!
+//! ## Example
+//!
+//! ```
+//! use shc_runtime::service::{run_service, AdmissionPolicy, ServiceSpec};
+//! use shc_runtime::TopologySpec;
+//!
+//! let spec = ServiceSpec::new("doc", TopologySpec::Hypercube { n: 3 })
+//!     .policy(AdmissionPolicy::QueueWithTimeout {
+//!         max_wait_rounds: 4,
+//!         capacity: 32,
+//!     })
+//!     .rounds(40)
+//!     .window_rounds(20)
+//!     .seed(11);
+//! let report = run_service(&spec);
+//! assert_eq!(report.windows.len(), 2);
+//! // Conservation: every arrival is admitted, rejected, or still queued.
+//! let c = |name: &str| {
+//!     report.totals.counters.iter().find(|c| c.name == name).unwrap().value
+//! };
+//! let last = report.windows.last().unwrap();
+//! assert_eq!(
+//!     c("flow_arrivals_total"),
+//!     c("flow_admitted_total") + c("flow_rejected_total") + last.queue_depth_end
+//! );
+//! assert_eq!(report, run_service(&spec)); // same seed ⇒ same report
+//! ```
+
+use crate::aggregate::MetricSummary;
+use crate::metrics::{CounterId, GaugeId, Histogram, HistogramId, Metrics, MetricsSnapshot};
+use crate::scenario::{TopologySpec, Vertex};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use shc_netsim::{Engine, FlowId, FlowOutcome, NetTopology};
+use std::collections::VecDeque;
+
+/// Open-loop arrival process: a Poisson round rate, optionally modulated
+/// by a sinusoidal [`DiurnalCurve`]. Open-loop means the offered load is
+/// independent of network state — blocked arrivals do not throttle the
+/// source, which is what makes admission control interesting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArrivalSpec {
+    /// Mean arrivals per round (λ of the per-round Poisson draw).
+    pub rate_per_round: f64,
+    /// Optional diurnal modulation of the rate.
+    pub diurnal: Option<DiurnalCurve>,
+}
+
+impl ArrivalSpec {
+    /// A flat Poisson process at `rate_per_round`.
+    #[must_use]
+    pub fn poisson(rate_per_round: f64) -> Self {
+        Self {
+            rate_per_round,
+            diurnal: None,
+        }
+    }
+
+    /// Adds a diurnal curve to this arrival process.
+    #[must_use]
+    pub fn with_diurnal(mut self, curve: DiurnalCurve) -> Self {
+        self.diurnal = Some(curve);
+        self
+    }
+
+    /// The effective Poisson rate at `round`:
+    /// `rate · (1 + amplitude · sin(2π · round / period))`, floored at 0.
+    ///
+    /// ```
+    /// use shc_runtime::service::{ArrivalSpec, DiurnalCurve};
+    ///
+    /// let flat = ArrivalSpec::poisson(8.0);
+    /// assert_eq!(flat.rate_at(17), 8.0);
+    /// let tide = flat.with_diurnal(DiurnalCurve {
+    ///     amplitude: 0.5,
+    ///     period_rounds: 100,
+    /// });
+    /// assert_eq!(tide.rate_at(0), 8.0); // phase 0: baseline
+    /// assert!(tide.rate_at(25) > 11.9); // peak: 8 · 1.5
+    /// assert!(tide.rate_at(75) < 4.1); // trough: 8 · 0.5
+    /// ```
+    #[must_use]
+    pub fn rate_at(&self, round: usize) -> f64 {
+        match self.diurnal {
+            None => self.rate_per_round,
+            Some(DiurnalCurve {
+                amplitude,
+                period_rounds,
+            }) => {
+                let period = f64::from(period_rounds);
+                let phase =
+                    2.0 * std::f64::consts::PI * ((round as u64 % u64::from(period_rounds)) as f64)
+                        / period;
+                (self.rate_per_round * amplitude.mul_add(phase.sin(), 1.0)).max(0.0)
+            }
+        }
+    }
+}
+
+/// Sinusoidal load modulation — the service-layer stand-in for a daily
+/// traffic cycle, in simulated rounds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiurnalCurve {
+    /// Peak-to-baseline swing in `[0, 1]`: rate varies by `±amplitude`
+    /// around the base rate.
+    pub amplitude: f64,
+    /// Rounds per full cycle.
+    pub period_rounds: u32,
+}
+
+/// How long an admitted flow holds its circuit, in rounds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HoldingSpec {
+    /// Geometric holding time on `{1, 2, …}` with the given mean — the
+    /// discrete memoryless law (round-sampled exponential).
+    Geometric {
+        /// Mean holding time in rounds (≥ 1).
+        mean_rounds: f64,
+    },
+    /// Flows never depart (pure accumulation — the zero-churn regime).
+    Infinite,
+}
+
+/// Which destinations arrivals ask for.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PopularitySpec {
+    /// Every vertex equally likely.
+    Uniform,
+    /// Zipf popularity: vertex `v` drawn with weight `(v + 1)^-exponent`
+    /// — vertex 0 is the hottest destination, producing the sustained
+    /// hot-spot contention the paper's §5 asks about.
+    Zipf {
+        /// Skew exponent (0 = uniform; ~1 = classic web-like skew).
+        exponent: f64,
+    },
+}
+
+/// What to do with an arrival the engine cannot route right now.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AdmissionPolicy {
+    /// Drop blocked arrivals immediately (pure loss system).
+    Reject,
+    /// Park blocked arrivals in a bounded FIFO queue and retry them at
+    /// the start of each following round; entries time out after waiting
+    /// more than `max_wait_rounds` rounds, and arrivals beyond
+    /// `capacity` overflow — both count as rejections.
+    QueueWithTimeout {
+        /// Longest tolerated wait, in rounds.
+        max_wait_rounds: u32,
+        /// Queue slots (arrivals beyond this overflow).
+        capacity: usize,
+    },
+    /// Retry blocked arrivals once with a relaxed length budget
+    /// (`max_len + extra_hops`) — admit a longer detour route rather
+    /// than dropping the session.
+    DegradeToDetour {
+        /// Extra hops allowed on the degraded attempt.
+        extra_hops: u32,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Short human-readable label (`reject` / `queue(w=8,c=64)` /
+    /// `detour(+2)`), used in report rows and artifact names.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            AdmissionPolicy::Reject => "reject".to_string(),
+            AdmissionPolicy::QueueWithTimeout {
+                max_wait_rounds,
+                capacity,
+            } => format!("queue(w={max_wait_rounds},c={capacity})"),
+            AdmissionPolicy::DegradeToDetour { extra_hops } => format!("detour(+{extra_hops})"),
+        }
+    }
+}
+
+/// One service cell: everything [`run_service`] needs to simulate a
+/// long-lived flow workload deterministically. Built with chained
+/// setters, like [`Scenario`](crate::Scenario).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceSpec {
+    /// Cell name (report / artifact key).
+    pub name: String,
+    /// Network under service.
+    pub topology: TopologySpec,
+    /// Arrival process.
+    pub arrivals: ArrivalSpec,
+    /// Holding-time law.
+    pub holding: HoldingSpec,
+    /// Destination popularity law.
+    pub popularity: PopularitySpec,
+    /// Admission policy for blocked arrivals.
+    pub policy: AdmissionPolicy,
+    /// Link dilation (circuits per link).
+    pub dilation: u32,
+    /// Route length budget per request; `0` = auto (`2n + 2` for cube
+    /// dimension `n` — comfortably above the sparse-hypercube detour
+    /// diameter).
+    pub max_len: u32,
+    /// Simulated rounds.
+    pub rounds: usize,
+    /// Rounds per reporting window.
+    pub window_rounds: usize,
+    /// Base seed of the cell's single RNG stream.
+    pub seed: u64,
+}
+
+impl ServiceSpec {
+    /// A spec with workload defaults: Poisson(4)/round, geometric holding
+    /// with mean 8, Zipf(1.0) popularity, [`AdmissionPolicy::Reject`],
+    /// dilation 1, auto `max_len`, 200 rounds in windows of 50, seed 1.
+    #[must_use]
+    pub fn new(name: &str, topology: TopologySpec) -> Self {
+        Self {
+            name: name.to_string(),
+            topology,
+            arrivals: ArrivalSpec::poisson(4.0),
+            holding: HoldingSpec::Geometric { mean_rounds: 8.0 },
+            popularity: PopularitySpec::Zipf { exponent: 1.0 },
+            policy: AdmissionPolicy::Reject,
+            dilation: 1,
+            max_len: 0,
+            rounds: 200,
+            window_rounds: 50,
+            seed: 1,
+        }
+    }
+
+    /// Sets the arrival process.
+    #[must_use]
+    pub fn arrivals(mut self, arrivals: ArrivalSpec) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the holding-time law.
+    #[must_use]
+    pub fn holding(mut self, holding: HoldingSpec) -> Self {
+        self.holding = holding;
+        self
+    }
+
+    /// Sets the destination popularity law.
+    #[must_use]
+    pub fn popularity(mut self, popularity: PopularitySpec) -> Self {
+        self.popularity = popularity;
+        self
+    }
+
+    /// Sets the admission policy.
+    #[must_use]
+    pub fn policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the link dilation.
+    #[must_use]
+    pub fn dilation(mut self, dilation: u32) -> Self {
+        self.dilation = dilation;
+        self
+    }
+
+    /// Sets the route length budget (0 = auto).
+    #[must_use]
+    pub fn max_len(mut self, max_len: u32) -> Self {
+        self.max_len = max_len;
+        self
+    }
+
+    /// Sets the simulated round count.
+    #[must_use]
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the reporting window length.
+    #[must_use]
+    pub fn window_rounds(mut self, window_rounds: usize) -> Self {
+        self.window_rounds = window_rounds;
+        self
+    }
+
+    /// Sets the base seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The effective route length budget (resolves `max_len == 0`).
+    #[must_use]
+    pub fn effective_max_len(&self) -> u32 {
+        if self.max_len > 0 {
+            return self.max_len;
+        }
+        let n = match self.topology {
+            TopologySpec::SparseBase { n, .. } | TopologySpec::Hypercube { n } => n,
+        };
+        2 * n + 2
+    }
+
+    fn validate(&self) {
+        assert!(self.rounds >= 1, "a service needs at least one round");
+        assert!(self.window_rounds >= 1, "windows need at least one round");
+        assert!(
+            self.arrivals.rate_per_round.is_finite() && self.arrivals.rate_per_round >= 0.0,
+            "arrival rate must be finite and non-negative"
+        );
+        if let Some(curve) = self.arrivals.diurnal {
+            assert!(
+                (0.0..=1.0).contains(&curve.amplitude),
+                "diurnal amplitude must be in [0, 1]"
+            );
+            assert!(
+                curve.period_rounds >= 1,
+                "diurnal period must be >= 1 round"
+            );
+        }
+        if let HoldingSpec::Geometric { mean_rounds } = self.holding {
+            assert!(
+                mean_rounds.is_finite() && mean_rounds >= 1.0,
+                "geometric holding mean must be >= 1 round"
+            );
+        }
+        if let PopularitySpec::Zipf { exponent } = self.popularity {
+            assert!(
+                exponent.is_finite() && exponent >= 0.0,
+                "Zipf exponent must be finite and non-negative"
+            );
+        }
+        if let AdmissionPolicy::QueueWithTimeout { capacity, .. } = self.policy {
+            assert!(capacity >= 1, "queue capacity must be >= 1");
+        }
+    }
+}
+
+/// One reporting window of a [`ServiceReport`]: event counts over the
+/// window plus integer-exact distribution summaries folded from the
+/// window-scoped histograms (reset at each boundary).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WindowRow {
+    /// Window index (0-based).
+    pub window: usize,
+    /// First round of the window (inclusive).
+    pub start_round: usize,
+    /// One past the last round of the window.
+    pub end_round: usize,
+    /// Arrivals offered during the window.
+    pub arrivals: u64,
+    /// Flows admitted during the window (fresh + queued + detoured).
+    pub admitted: u64,
+    /// Arrivals conclusively lost during the window (policy drops,
+    /// queue overflows, queue timeouts).
+    pub rejected: u64,
+    /// Queued arrivals that timed out during the window (⊆ `rejected`).
+    pub timeouts: u64,
+    /// Flows released (holding time expired) during the window.
+    pub released: u64,
+    /// Active flows at the window's last round.
+    pub active_flows_end: u64,
+    /// Queue occupancy at the window's last round.
+    pub queue_depth_end: u64,
+    /// Route length (hops) of admissions in the window.
+    pub latency_hops: MetricSummary,
+    /// Rounds waited in queue per admission (0 = admitted on arrival).
+    pub queue_wait_rounds: MetricSummary,
+    /// Active-flow count sampled at each round end.
+    pub occupancy_flows: MetricSummary,
+    /// Engine-level admission denials per round (includes retries).
+    pub blocked_per_round: MetricSummary,
+}
+
+/// Engine-level totals for the whole run, lifted out of
+/// [`SimStats`](shc_netsim::SimStats) into a serializable row. The
+/// service drives the engine directly, so `SimStats::requested` /
+/// `skipped` stay 0 and are not reported here; `established` counts
+/// every accepted circuit attempt (admissions, including queue retries
+/// and detour second attempts).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineTotals {
+    /// Circuits established over the run.
+    pub established: u64,
+    /// Circuit attempts the engine blocked over the run.
+    pub blocked: u64,
+    /// Total hops across established circuits.
+    pub total_hops: u64,
+    /// Peak per-link occupancy observed in any round.
+    pub peak_link_load: u32,
+}
+
+/// The result of [`run_service`] on one [`ServiceSpec`]: identifying
+/// fields, per-window rows, the final cumulative metrics snapshot, and
+/// engine totals. Byte-identical JSON for the same spec regardless of
+/// worker count.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Cell name from the spec.
+    pub service: String,
+    /// Topology label (`G_{n,m}` / `Q_n`).
+    pub topology: String,
+    /// Admission policy label.
+    pub policy: String,
+    /// Vertices in the topology.
+    pub num_vertices: u64,
+    /// Link dilation.
+    pub dilation: u32,
+    /// Rounds simulated.
+    pub rounds: usize,
+    /// Rounds per window.
+    pub window_rounds: usize,
+    /// Seed the cell ran with.
+    pub seed: u64,
+    /// Per-window service-level rows.
+    pub windows: Vec<WindowRow>,
+    /// Cumulative whole-run snapshot of every metric (the façade's JSON
+    /// endpoint; every name is documented in `docs/SERVICE.md`).
+    pub totals: MetricsSnapshot,
+    /// Engine-level totals.
+    pub engine: EngineTotals,
+}
+
+/// Draws a Poisson(λ) variate by thinning: λ is split into ≤ 8-sized
+/// parts (a Poisson sum is Poisson in the summed rate) and each part is
+/// drawn with Knuth's product-of-uniforms loop, keeping the expected
+/// uniform draws bounded per part. Deterministic in the RNG stream.
+fn sample_poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let parts = (lambda / 8.0).ceil().max(1.0) as u64;
+    let rate = lambda / parts as f64;
+    let floor = (-rate).exp();
+    let mut total = 0u64;
+    for _ in 0..parts {
+        let mut p = 1.0f64;
+        let mut k = 0u64;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= floor {
+                break;
+            }
+            k += 1;
+        }
+        total += k;
+    }
+    total
+}
+
+/// Draws a geometric holding time on `{1, 2, …}` with the given mean via
+/// the inverse CDF (`1 + ⌊ln(1 − u) / ln(1 − 1/mean)⌋`).
+fn sample_geometric(rng: &mut StdRng, mean_rounds: f64) -> u64 {
+    if mean_rounds <= 1.0 {
+        return 1;
+    }
+    let p = 1.0 / mean_rounds;
+    let u: f64 = rng.gen(); // in [0, 1)
+    let k = 1.0 + (1.0 - u).ln() / (1.0 - p).ln();
+    (k.floor() as u64).max(1)
+}
+
+/// Zipf sampler over vertices `0..n`: a normalized CDF table built once,
+/// sampled by binary search on one uniform draw.
+struct ZipfCdf {
+    cdf: Vec<f64>,
+}
+
+impl ZipfCdf {
+    fn new(n: u64, exponent: f64) -> Self {
+        let n = usize::try_from(n).expect("vertex count fits usize");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for v in 0..n {
+            acc += ((v + 1) as f64).powf(-exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> Vertex {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c <= u);
+        idx.min(self.cdf.len() - 1) as Vertex
+    }
+}
+
+/// Metric handles, registered once per run in a fixed order (the
+/// snapshot reports them in exactly this order).
+struct Instruments {
+    c_arrivals: CounterId,
+    c_admitted: CounterId,
+    c_detour: CounterId,
+    c_queued: CounterId,
+    c_rejected: CounterId,
+    c_timeout: CounterId,
+    c_overflow: CounterId,
+    c_released: CounterId,
+    g_active: GaugeId,
+    g_held: GaugeId,
+    g_queue: GaugeId,
+    h_latency: HistogramId,
+    h_wait: HistogramId,
+    h_occupancy: HistogramId,
+    h_blocked: HistogramId,
+}
+
+impl Instruments {
+    fn register(m: &mut Metrics) -> Self {
+        Self {
+            c_arrivals: m.counter("flow_arrivals_total"),
+            c_admitted: m.counter("flow_admitted_total"),
+            c_detour: m.counter("flow_admitted_detour_total"),
+            c_queued: m.counter("flow_queued_total"),
+            c_rejected: m.counter("flow_rejected_total"),
+            c_timeout: m.counter("flow_timeout_total"),
+            c_overflow: m.counter("flow_queue_overflow_total"),
+            c_released: m.counter("flow_released_total"),
+            g_active: m.gauge("flows_active"),
+            g_held: m.gauge("links_held"),
+            g_queue: m.gauge("queue_depth"),
+            h_latency: m.histogram("flow_path_hops", "hops", 64),
+            h_wait: m.histogram("flow_queue_wait_rounds", "rounds", 256),
+            h_occupancy: m.histogram("flows_active_per_round", "flows", 1 << 16),
+            h_blocked: m.histogram("flows_blocked_per_round", "flows", 1 << 16),
+        }
+    }
+}
+
+/// Window-scoped histograms (reset at each window boundary); the
+/// registry's histograms of the same shape stay cumulative.
+struct WindowHists {
+    latency: Histogram,
+    wait: Histogram,
+    occupancy: Histogram,
+    blocked: Histogram,
+}
+
+impl WindowHists {
+    fn new() -> Self {
+        Self {
+            latency: Histogram::new(64),
+            wait: Histogram::new(256),
+            occupancy: Histogram::new(1 << 16),
+            blocked: Histogram::new(1 << 16),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.latency.reset();
+        self.wait.reset();
+        self.occupancy.reset();
+        self.blocked.reset();
+    }
+}
+
+/// An arrival parked by [`AdmissionPolicy::QueueWithTimeout`].
+struct Queued {
+    src: Vertex,
+    dst: Vertex,
+    enqueued: usize,
+}
+
+/// Shared admission bookkeeping: counters, latency/wait samples, and the
+/// departure draw (one spot in the RNG stream per admission).
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    m: &mut Metrics,
+    ins: &Instruments,
+    wnd: &mut WindowHists,
+    departures: &mut [Vec<FlowId>],
+    rng: &mut StdRng,
+    holding: HoldingSpec,
+    t: usize,
+    flow: FlowId,
+    hops: u32,
+    wait: u64,
+) {
+    m.inc(ins.c_admitted);
+    m.record(ins.h_latency, u64::from(hops));
+    wnd.latency.record(u64::from(hops));
+    m.record(ins.h_wait, wait);
+    wnd.wait.record(wait);
+    if let HoldingSpec::Geometric { mean_rounds } = holding {
+        let hold = sample_geometric(rng, mean_rounds);
+        let depart = t.saturating_add(usize::try_from(hold).unwrap_or(usize::MAX));
+        if depart < departures.len() {
+            // Flows departing after the horizon simply stay active.
+            departures[depart].push(flow);
+        }
+    }
+}
+
+/// Simulates one service cell to completion. Sequential and
+/// deterministic: see the [module docs](self) for the event order and
+/// the determinism contract, and `docs/SERVICE.md` for every metric the
+/// report carries.
+///
+/// # Panics
+/// Panics on an invalid spec (zero rounds/window, negative rates,
+/// geometric mean < 1, diurnal amplitude outside `[0, 1]`, zero queue
+/// capacity).
+#[must_use]
+pub fn run_service(spec: &ServiceSpec) -> ServiceReport {
+    spec.validate();
+    let built = spec.topology.build();
+    let n = NetTopology::num_vertices(&built);
+    assert!(n >= 2, "a service needs at least two vertices");
+    let max_len = spec.effective_max_len();
+    let mut engine = Engine::new(&built, spec.dilation);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let zipf = match spec.popularity {
+        PopularitySpec::Zipf { exponent } => Some(ZipfCdf::new(n, exponent)),
+        PopularitySpec::Uniform => None,
+    };
+
+    let mut m = Metrics::new();
+    let ins = Instruments::register(&mut m);
+    let mut wnd = WindowHists::new();
+    let mut windows: Vec<WindowRow> = Vec::new();
+    // Counter values at the current window's start, for per-window deltas.
+    let mut base_arrivals = 0u64;
+    let mut base_admitted = 0u64;
+    let mut base_rejected = 0u64;
+    let mut base_timeouts = 0u64;
+    let mut base_released = 0u64;
+    let mut window_start = 0usize;
+
+    let mut departures: Vec<Vec<FlowId>> = vec![Vec::new(); spec.rounds];
+    let mut queue: VecDeque<Queued> = VecDeque::new();
+
+    for t in 0..spec.rounds {
+        engine.begin_round();
+        let mut blocked_round = 0u64;
+
+        // (2) Departures scheduled for this round, in admission order.
+        let departing = std::mem::take(&mut departures[t]);
+        for flow in departing {
+            engine.release_flow(flow);
+            m.inc(ins.c_released);
+        }
+
+        // (3) FIFO retry of queued arrivals; timeouts reject.
+        if let AdmissionPolicy::QueueWithTimeout {
+            max_wait_rounds, ..
+        } = spec.policy
+        {
+            for _ in 0..queue.len() {
+                let q = queue.pop_front().expect("queue length checked");
+                let waited = (t - q.enqueued) as u64;
+                if waited > u64::from(max_wait_rounds) {
+                    m.inc(ins.c_timeout);
+                    m.inc(ins.c_rejected);
+                    continue;
+                }
+                match engine.request_flow(q.src, q.dst, max_len) {
+                    FlowOutcome::Established { flow, hops } => {
+                        admit(
+                            &mut m,
+                            &ins,
+                            &mut wnd,
+                            &mut departures,
+                            &mut rng,
+                            spec.holding,
+                            t,
+                            flow,
+                            hops,
+                            waited,
+                        );
+                    }
+                    FlowOutcome::Blocked(_) => {
+                        blocked_round += 1;
+                        queue.push_back(q);
+                    }
+                }
+            }
+        }
+
+        // (4) Fresh open-loop arrivals.
+        let k = sample_poisson(&mut rng, spec.arrivals.rate_at(t));
+        for _ in 0..k {
+            m.inc(ins.c_arrivals);
+            let dst = match &zipf {
+                Some(z) => z.sample(&mut rng),
+                None => rng.gen_range(0..n),
+            };
+            let src = loop {
+                let s = rng.gen_range(0..n);
+                if s != dst {
+                    break s;
+                }
+            };
+            match engine.request_flow(src, dst, max_len) {
+                FlowOutcome::Established { flow, hops } => {
+                    admit(
+                        &mut m,
+                        &ins,
+                        &mut wnd,
+                        &mut departures,
+                        &mut rng,
+                        spec.holding,
+                        t,
+                        flow,
+                        hops,
+                        0,
+                    );
+                }
+                FlowOutcome::Blocked(_) => {
+                    blocked_round += 1;
+                    match spec.policy {
+                        AdmissionPolicy::Reject => m.inc(ins.c_rejected),
+                        AdmissionPolicy::QueueWithTimeout { capacity, .. } => {
+                            if queue.len() < capacity {
+                                queue.push_back(Queued {
+                                    src,
+                                    dst,
+                                    enqueued: t,
+                                });
+                                m.inc(ins.c_queued);
+                            } else {
+                                m.inc(ins.c_overflow);
+                                m.inc(ins.c_rejected);
+                            }
+                        }
+                        AdmissionPolicy::DegradeToDetour { extra_hops } => {
+                            match engine.request_flow(src, dst, max_len + extra_hops) {
+                                FlowOutcome::Established { flow, hops } => {
+                                    m.inc(ins.c_detour);
+                                    admit(
+                                        &mut m,
+                                        &ins,
+                                        &mut wnd,
+                                        &mut departures,
+                                        &mut rng,
+                                        spec.holding,
+                                        t,
+                                        flow,
+                                        hops,
+                                        0,
+                                    );
+                                }
+                                FlowOutcome::Blocked(_) => {
+                                    blocked_round += 1;
+                                    m.inc(ins.c_rejected);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // (5) End-of-round samples.
+        let active = engine.active_flows() as u64;
+        m.record(ins.h_occupancy, active);
+        wnd.occupancy.record(active);
+        m.record(ins.h_blocked, blocked_round);
+        wnd.blocked.record(blocked_round);
+        m.set(ins.g_active, i64::try_from(active).expect("gauge fits i64"));
+        m.set(
+            ins.g_held,
+            i64::try_from(engine.held_link_hops()).expect("gauge fits i64"),
+        );
+        m.set(
+            ins.g_queue,
+            i64::try_from(queue.len()).expect("gauge fits i64"),
+        );
+
+        // Window boundary (also closes the final partial window).
+        if (t + 1) % spec.window_rounds == 0 || t + 1 == spec.rounds {
+            let arrivals = m.counter_value(ins.c_arrivals);
+            let admitted = m.counter_value(ins.c_admitted);
+            let rejected = m.counter_value(ins.c_rejected);
+            let timeouts = m.counter_value(ins.c_timeout);
+            let released = m.counter_value(ins.c_released);
+            windows.push(WindowRow {
+                window: windows.len(),
+                start_round: window_start,
+                end_round: t + 1,
+                arrivals: arrivals - base_arrivals,
+                admitted: admitted - base_admitted,
+                rejected: rejected - base_rejected,
+                timeouts: timeouts - base_timeouts,
+                released: released - base_released,
+                active_flows_end: active,
+                queue_depth_end: queue.len() as u64,
+                latency_hops: wnd.latency.summary(),
+                queue_wait_rounds: wnd.wait.summary(),
+                occupancy_flows: wnd.occupancy.summary(),
+                blocked_per_round: wnd.blocked.summary(),
+            });
+            base_arrivals = arrivals;
+            base_admitted = admitted;
+            base_rejected = rejected;
+            base_timeouts = timeouts;
+            base_released = released;
+            window_start = t + 1;
+            wnd.reset();
+        }
+    }
+
+    // Conservation: every offered arrival ends admitted, rejected, or
+    // still waiting in the queue — the service-level twin of the
+    // engine's `requested == established + blocked + skipped`.
+    debug_assert_eq!(
+        m.counter_value(ins.c_arrivals),
+        m.counter_value(ins.c_admitted) + m.counter_value(ins.c_rejected) + queue.len() as u64,
+    );
+
+    let stats = engine.finish();
+    ServiceReport {
+        service: spec.name.clone(),
+        topology: spec.topology.label(),
+        policy: spec.policy.label(),
+        num_vertices: n,
+        dilation: spec.dilation,
+        rounds: spec.rounds,
+        window_rounds: spec.window_rounds,
+        seed: spec.seed,
+        windows,
+        totals: m.snapshot(),
+        engine: EngineTotals {
+            established: stats.established as u64,
+            blocked: stats.blocked as u64,
+            total_hops: stats.total_hops as u64,
+            peak_link_load: stats.peak_link_load,
+        },
+    }
+}
+
+/// The built-in service catalog behind `exp_serve`: sparse hypercube vs
+/// dense cube, crossed with all three admission policies, plus one
+/// diurnal stress cell per topology. `fast` shrinks dimensions and
+/// horizons for CI.
+#[must_use]
+pub fn builtin_service_catalog(fast: bool) -> Vec<ServiceSpec> {
+    let (n, m, rounds, window, rate) = if fast {
+        (6u32, 2u32, 120usize, 40usize, 6.0)
+    } else {
+        (10, 3, 1200, 200, 48.0)
+    };
+    let topologies = [
+        TopologySpec::SparseBase { n, m },
+        TopologySpec::Hypercube { n },
+    ];
+    let policies = [
+        AdmissionPolicy::Reject,
+        AdmissionPolicy::QueueWithTimeout {
+            max_wait_rounds: 8,
+            capacity: 256,
+        },
+        AdmissionPolicy::DegradeToDetour { extra_hops: 2 },
+    ];
+    let mut cells = Vec::new();
+    for topology in topologies {
+        for policy in policies {
+            let name = format!("serve_{}_{}", topology.label(), policy.label());
+            cells.push(
+                ServiceSpec::new(&name, topology)
+                    .arrivals(ArrivalSpec::poisson(rate))
+                    .policy(policy)
+                    .rounds(rounds)
+                    .window_rounds(window)
+                    .seed(0xF1_0805),
+            );
+        }
+        let name = format!("serve_{}_diurnal", topology.label());
+        cells.push(
+            ServiceSpec::new(&name, topology)
+                .arrivals(ArrivalSpec::poisson(rate).with_diurnal(DiurnalCurve {
+                    amplitude: 0.8,
+                    period_rounds: u32::try_from(window).expect("window fits u32"),
+                }))
+                .policy(AdmissionPolicy::QueueWithTimeout {
+                    max_wait_rounds: 8,
+                    capacity: 256,
+                })
+                .rounds(rounds)
+                .window_rounds(window)
+                .seed(0xF1_0806),
+        );
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn counter(report: &ServiceReport, name: &str) -> u64 {
+        report
+            .totals
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+            .value
+    }
+
+    fn base_spec(policy: AdmissionPolicy) -> ServiceSpec {
+        ServiceSpec::new("t", TopologySpec::Hypercube { n: 4 })
+            .arrivals(ArrivalSpec::poisson(5.0))
+            .policy(policy)
+            .rounds(80)
+            .window_rounds(20)
+            .seed(42)
+    }
+
+    #[test]
+    fn conservation_holds_for_every_policy() {
+        for policy in [
+            AdmissionPolicy::Reject,
+            AdmissionPolicy::QueueWithTimeout {
+                max_wait_rounds: 4,
+                capacity: 16,
+            },
+            AdmissionPolicy::DegradeToDetour { extra_hops: 2 },
+        ] {
+            let report = run_service(&base_spec(policy));
+            let queue_end = report.windows.last().unwrap().queue_depth_end;
+            assert_eq!(
+                counter(&report, "flow_arrivals_total"),
+                counter(&report, "flow_admitted_total")
+                    + counter(&report, "flow_rejected_total")
+                    + queue_end,
+                "policy {:?}",
+                policy
+            );
+            // Flow lifecycle: active = admitted − released.
+            let active = report
+                .totals
+                .gauges
+                .iter()
+                .find(|g| g.name == "flows_active")
+                .unwrap()
+                .value;
+            assert_eq!(
+                active as u64,
+                counter(&report, "flow_admitted_total") - counter(&report, "flow_released_total"),
+            );
+            // Subset counters stay subsets.
+            assert!(
+                counter(&report, "flow_admitted_detour_total")
+                    <= counter(&report, "flow_admitted_total")
+            );
+            assert!(
+                counter(&report, "flow_timeout_total")
+                    + counter(&report, "flow_queue_overflow_total")
+                    <= counter(&report, "flow_rejected_total")
+            );
+        }
+    }
+
+    #[test]
+    fn reports_are_deterministic_to_the_byte() {
+        for spec in builtin_service_catalog(true).iter().take(2) {
+            let a = run_service(spec);
+            let b = run_service(spec);
+            assert_eq!(a, b);
+            assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn patient_unbounded_queue_never_rejects() {
+        let spec = base_spec(AdmissionPolicy::QueueWithTimeout {
+            max_wait_rounds: u32::MAX,
+            capacity: usize::MAX >> 1,
+        });
+        let report = run_service(&spec);
+        assert_eq!(counter(&report, "flow_rejected_total"), 0);
+        assert_eq!(counter(&report, "flow_timeout_total"), 0);
+        assert_eq!(counter(&report, "flow_queue_overflow_total"), 0);
+    }
+
+    #[test]
+    fn infinite_holding_never_releases() {
+        let spec = base_spec(AdmissionPolicy::Reject).holding(HoldingSpec::Infinite);
+        let report = run_service(&spec);
+        assert_eq!(counter(&report, "flow_released_total"), 0);
+        let last = report.windows.last().unwrap();
+        assert_eq!(
+            last.active_flows_end,
+            counter(&report, "flow_admitted_total")
+        );
+        // Occupancy is monotone under pure accumulation.
+        let maxes: Vec<u64> = report
+            .windows
+            .iter()
+            .map(|w| w.occupancy_flows.max)
+            .collect();
+        assert!(maxes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn diurnal_peak_windows_offer_more_traffic() {
+        // Period == 2 windows: window 0 covers the sine's positive hump,
+        // window 1 the negative one.
+        let spec = ServiceSpec::new("tide", TopologySpec::Hypercube { n: 4 })
+            .arrivals(ArrivalSpec::poisson(20.0).with_diurnal(DiurnalCurve {
+                amplitude: 1.0,
+                period_rounds: 80,
+            }))
+            .rounds(80)
+            .window_rounds(40)
+            .seed(7);
+        let report = run_service(&spec);
+        assert_eq!(report.windows.len(), 2);
+        assert!(report.windows[0].arrivals > report.windows[1].arrivals);
+    }
+
+    #[test]
+    fn detour_admissions_ride_longer_routes() {
+        // Budget pinned to the Q_4 diameter: when every shortest route
+        // is saturated, only the +4 detour attempt can still land.
+        let spec = base_spec(AdmissionPolicy::DegradeToDetour { extra_hops: 4 })
+            .arrivals(ArrivalSpec::poisson(12.0))
+            .popularity(PopularitySpec::Zipf { exponent: 1.5 })
+            .max_len(4);
+        let report = run_service(&spec);
+        // Under heavy skew the detour path actually fires.
+        assert!(counter(&report, "flow_admitted_detour_total") > 0);
+    }
+
+    #[test]
+    fn window_rows_tile_the_horizon() {
+        let spec = base_spec(AdmissionPolicy::Reject)
+            .rounds(50)
+            .window_rounds(20);
+        let report = run_service(&spec);
+        let bounds: Vec<(usize, usize)> = report
+            .windows
+            .iter()
+            .map(|w| (w.start_round, w.end_round))
+            .collect();
+        assert_eq!(bounds, vec![(0, 20), (20, 40), (40, 50)]);
+        let total_arrivals: u64 = report.windows.iter().map(|w| w.arrivals).sum();
+        assert_eq!(total_arrivals, counter(&report, "flow_arrivals_total"));
+    }
+
+    #[test]
+    fn poisson_sampler_hits_the_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for lambda in [0.5, 4.0, 40.0] {
+            let draws = 4000;
+            let total: u64 = (0..draws).map(|_| sample_poisson(&mut rng, lambda)).sum();
+            let mean = total as f64 / f64::from(draws);
+            assert!(
+                (mean - lambda).abs() < lambda.sqrt() * 0.2 + 0.05,
+                "λ={lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn geometric_sampler_hits_the_mean_and_floor() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let draws = 4000;
+        let total: u64 = (0..draws).map(|_| sample_geometric(&mut rng, 8.0)).sum();
+        let mean = total as f64 / f64::from(draws);
+        assert!((mean - 8.0).abs() < 0.5, "mean {mean}");
+        assert!((0..100).all(|_| sample_geometric(&mut rng, 1.0) == 1));
+    }
+
+    #[test]
+    fn zipf_sampler_prefers_low_ranks() {
+        let z = ZipfCdf::new(16, 1.2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 16];
+        for _ in 0..4000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[4] > counts[15]);
+        // Exponent 0 degenerates to uniform: all vertices reachable.
+        let flat = ZipfCdf::new(4, 0.0);
+        let mut hit = [false; 4];
+        for _ in 0..200 {
+            hit[flat.sample(&mut rng) as usize] = true;
+        }
+        assert!(hit.iter().all(|&h| h));
+    }
+
+    proptest! {
+        /// Conservation + determinism over arbitrary small cells: the
+        /// arrival ledger always balances and same seed ⇒ same bytes.
+        #[test]
+        fn prop_ledger_balances(
+            seed in 0u64..1000,
+            rate_tenths in 0u32..100,
+            policy_pick in 0usize..3,
+            mean_halves in 2u32..24,
+        ) {
+            let rate = f64::from(rate_tenths) / 10.0;
+            let mean = f64::from(mean_halves) / 2.0;
+            let policy = [
+                AdmissionPolicy::Reject,
+                AdmissionPolicy::QueueWithTimeout { max_wait_rounds: 3, capacity: 8 },
+                AdmissionPolicy::DegradeToDetour { extra_hops: 2 },
+            ][policy_pick];
+            let spec = ServiceSpec::new("p", TopologySpec::Hypercube { n: 3 })
+                .arrivals(ArrivalSpec::poisson(rate))
+                .holding(HoldingSpec::Geometric { mean_rounds: mean })
+                .policy(policy)
+                .rounds(30)
+                .window_rounds(10)
+                .seed(seed);
+            let report = run_service(&spec);
+            let queue_end = report.windows.last().unwrap().queue_depth_end;
+            prop_assert_eq!(
+                counter(&report, "flow_arrivals_total"),
+                counter(&report, "flow_admitted_total")
+                    + counter(&report, "flow_rejected_total")
+                    + queue_end
+            );
+            let again = run_service(&spec);
+            prop_assert_eq!(report, again);
+        }
+    }
+}

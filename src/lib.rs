@@ -21,7 +21,7 @@
 //! | [`core`] | `shc-core` | `Construct_BASE` / `Construct(k;…)`, bounds, routing |
 //! | [`broadcast`] | `shc-broadcast` | schedules, validator, schemes, exact solver |
 //! | [`netsim`] | `shc-netsim` | circuit-switching simulator (§5 extension) |
-//! | [`runtime`] | `shc-runtime` | parallel scenario engine: fault injection, Monte Carlo replication |
+//! | [`runtime`] | `shc-runtime` | parallel scenario engine: fault injection, Monte Carlo replication, flow service layer + metrics façade |
 //!
 //! ## Quickstart
 //!
@@ -58,9 +58,12 @@ pub mod prelude {
     pub use shc_core::{bounds, params, DimPartition, ShcStats, SparseHypercube};
     pub use shc_graph::prelude::*;
     pub use shc_labeling::{best_labeling, constructed_lambda, Labeling};
-    pub use shc_netsim::{replay_competing, replay_schedule, Engine, FaultedNet, MaterializedNet};
+    pub use shc_netsim::{
+        replay_competing, replay_schedule, Engine, FaultedNet, FlowId, FlowOutcome, MaterializedNet,
+    };
     pub use shc_runtime::{
-        builtin_catalog, run_scenario, FaultSpec, OriginatorPolicy, Scenario, ScenarioReport,
-        TopologySpec, Workload,
+        builtin_catalog, builtin_service_catalog, run_scenario, run_service, AdmissionPolicy,
+        ArrivalSpec, FaultSpec, Metrics, OriginatorPolicy, Scenario, ScenarioReport, ServiceReport,
+        ServiceSpec, TopologySpec, Workload,
     };
 }

@@ -61,6 +61,28 @@ fn report_json_round_trips() {
 }
 
 #[test]
+fn service_cells_are_deterministic_across_worker_counts() {
+    // The flow service layer rides the same contract: each cell is
+    // sequential from its own seed, cells fan out via map_cells, and the
+    // assembled reports — bytes included — match for any worker count.
+    let cells: Vec<ServiceSpec> = builtin_service_catalog(true).into_iter().take(3).collect();
+    let single = sparse_hypercube::runtime::map_cells(&cells, 1, run_service);
+    let json_single = serde_json::to_string_pretty(&single).unwrap();
+    for threads in [2, 4] {
+        let parallel = sparse_hypercube::runtime::map_cells(&cells, threads, run_service);
+        assert_eq!(single, parallel, "reports diverged at {threads} threads");
+        assert_eq!(
+            json_single,
+            serde_json::to_string_pretty(&parallel).unwrap(),
+            "JSON bytes diverged at {threads} threads"
+        );
+    }
+    // And the seed matters: a reseeded cell reports different traffic.
+    let reseeded = cells[0].clone().seed(cells[0].seed + 1);
+    assert_ne!(single[0], run_service(&reseeded));
+}
+
+#[test]
 fn undamaged_sweep_blocks_nothing() {
     // The smallest catalog-style originator sweep: Theorem 4's
     // edge-disjointness re-checked physically through the runtime stack.
