@@ -17,8 +17,14 @@
 //!   pass `21` to opportunistically include the `n = 21` cells).
 //! * `--target-ms M` — measurement budget per cell (default 300).
 //! * `--threads T`   — worker threads for the cell sweep (0 = all cores).
+//! * `--trace PATH`  — run one extra *untimed* traced pass per cell (a
+//!   `TraceJournal` engine probe; the timed loops stay probe-free) and
+//!   write all journals as JSONL after auditing them. See
+//!   `docs/OBSERVABILITY.md`.
 //! * `--seed-check`  — skip timing; assert 1-thread and T-thread runs
-//!   produce byte-identical deterministic output, then exit.
+//!   produce byte-identical deterministic output — including the trace
+//!   journals, which are also replayed through `trace::audit` — then
+//!   exit.
 //!
 //! Measurement follows the criterion-shim pattern (one warmup, then
 //! geometric batch growth until the time budget is spent), but reports
@@ -32,8 +38,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use shc_broadcast::Schedule;
-use shc_netsim::{random_permutation_round_with, replay_competing, Engine, NetTopology, SimStats};
-use shc_runtime::TopologySpec;
+use shc_netsim::{
+    random_permutation_round_with, replay_competing, replay_competing_probed, Engine, NetTopology,
+    SimStats,
+};
+use shc_runtime::trace::audit::audit_journals;
+use shc_runtime::{TopologySpec, TraceJournal};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -201,6 +211,84 @@ fn run_sweep(dims: &[u32], target: Duration, threads: usize) -> Vec<BenchRow> {
         .collect()
 }
 
+/// Journal capacity for one traced workload row: the broadcast row emits
+/// ~4 calls per vertex plus flow/round bookkeeping, so 8 × vertices
+/// (floored for tiny cells) keeps `dropped` at 0 and the audit honest.
+fn trace_capacity(num_vertices: u64) -> usize {
+    usize::try_from(num_vertices.saturating_mul(8))
+        .unwrap_or(usize::MAX)
+        .max(1 << 16)
+}
+
+/// One *untimed* traced pass over a cell: each workload row runs its
+/// deterministic sample once with a [`TraceJournal`] attached (cell ids
+/// `base`, `base + 1`, `base + 2` for broadcast / hot-spot /
+/// permutation). The timed loops in [`run_cell`] stay probe-free.
+fn traced_cell(spec: &TopologySpec, n: u32, base: u32) -> Vec<TraceJournal> {
+    let topo = spec.build();
+    let nv = topo.num_vertices();
+    let cap = trace_capacity(nv);
+    let schedules: Vec<Schedule> = [0u64, 1, (1 << n) / 2, (1 << n) - 1]
+        .iter()
+        .map(|&s| topo.schedule(s))
+        .collect();
+    let mut journals = Vec::with_capacity(3);
+    let (_, j) = replay_competing_probed(
+        &topo,
+        &schedules,
+        1,
+        TraceJournal::new(base, cap),
+        |_, _| {},
+    );
+    journals.push(j);
+    let senders: Vec<u64> = (1..nv.min(1025)).collect();
+    let mut hot = Engine::with_probe(&topo, 1, TraceJournal::new(base + 1, cap));
+    hot.begin_round();
+    for &s in &senders {
+        let _ = hot.request(s, 0, n + 2);
+    }
+    let (_, j) = hot.finish_with_probe();
+    journals.push(j);
+    let pairs = nv.min(2048) as usize;
+    let mut rng = StdRng::seed_from_u64(0xBE9C);
+    let mut perm = Engine::with_probe(&topo, 1, TraceJournal::new(base + 2, cap));
+    let _ = random_permutation_round_with(&mut perm, pairs, n + 2, &mut rng);
+    let (_, j) = perm.finish_with_probe();
+    journals.push(j);
+    journals
+}
+
+/// Traced counterpart of [`run_sweep`]: same deterministic cell order,
+/// one journal per workload row, independent of `threads`.
+fn run_sweep_traced(dims: &[u32], threads: usize) -> Vec<TraceJournal> {
+    let cells: Vec<(u32, TopologySpec)> = dims
+        .iter()
+        .flat_map(|&n| {
+            [
+                (n, TopologySpec::Hypercube { n }),
+                (n, TopologySpec::SparseBase { n, m: 3.min(n - 1) }),
+            ]
+        })
+        .collect();
+    shc_runtime::run_indexed(cells.len(), threads, |i| {
+        let (n, spec) = &cells[i];
+        let base = u32::try_from(i * 3).expect("cell index fits u32");
+        traced_cell(spec, *n, base)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Renders journals as one JSONL stream, in sweep order.
+fn render_journals(journals: &[TraceJournal]) -> String {
+    let mut out = String::new();
+    for j in journals {
+        j.render_jsonl_into(&mut out);
+    }
+    out
+}
+
 /// The deterministic projection of a sweep: JSON of the rows only (the
 /// report header carries RSS, which legitimately differs run to run).
 fn det_json(rows: &[BenchRow]) -> String {
@@ -212,6 +300,7 @@ fn main() {
     let mut fast = false;
     let mut seed_check = false;
     let mut json_path = String::from("BENCH_netsim.json");
+    let mut trace_path: Option<String> = None;
     let mut max_n: Option<u32> = None;
     let mut target_ms = 300u64;
     let mut threads = 0usize;
@@ -226,6 +315,13 @@ fn main() {
                     eprintln!("--json needs a path");
                     std::process::exit(2);
                 });
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--trace needs a path");
+                    std::process::exit(2);
+                }));
             }
             "--max-n" => {
                 i += 1;
@@ -276,12 +372,33 @@ fn main() {
         println!("exp_perf seed check: n in {dims:?}, untimed, 1 vs {many_threads} threads");
         let one = det_json(&run_sweep(&dims, Duration::ZERO, 1));
         let many = det_json(&run_sweep(&dims, Duration::ZERO, many_threads));
-        if one == many {
-            println!("seed check OK: deterministic output byte-identical across thread counts");
-            return;
+        if one != many {
+            eprintln!("seed check FAILED: 1-thread and {many_threads}-thread sweeps diverge");
+            std::process::exit(1);
         }
-        eprintln!("seed check FAILED: 1-thread and {many_threads}-thread sweeps diverge");
-        std::process::exit(1);
+        let j1 = run_sweep_traced(&dims, 1);
+        let jn = run_sweep_traced(&dims, many_threads);
+        if render_journals(&j1) != render_journals(&jn) {
+            eprintln!("seed check FAILED: trace journals diverge across thread counts");
+            std::process::exit(1);
+        }
+        match audit_journals(&j1) {
+            Ok(audit) => println!(
+                "trace audit OK: {} events, {} requests across {} journals",
+                audit.events,
+                audit.requests,
+                j1.len()
+            ),
+            Err(e) => {
+                eprintln!("seed check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        println!(
+            "seed check OK: deterministic output and trace journals byte-identical \
+             across thread counts"
+        );
+        return;
     }
 
     println!(
@@ -294,6 +411,28 @@ fn main() {
         },
         if fast { " (fast)" } else { "" }
     );
+
+    if let Some(path) = &trace_path {
+        // Untimed traced pass, before the timed loops so probe work
+        // cannot contaminate the throughput numbers.
+        let journals = run_sweep_traced(&dims, threads);
+        match audit_journals(&journals) {
+            Ok(audit) => println!(
+                "trace audit OK: {} events across {} journals",
+                audit.events,
+                journals.len()
+            ),
+            Err(e) => {
+                eprintln!("trace audit FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Err(e) = std::fs::write(path, render_journals(&journals)) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("trace journal written to {path}");
+    }
 
     let rows = run_sweep(&dims, target, threads);
     for r in &rows {

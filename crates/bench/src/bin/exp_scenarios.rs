@@ -8,10 +8,33 @@
 //! * `--fast`          — reduced sizes (debug-build / CI friendly).
 //! * `--threads N`     — worker threads (default: all cores).
 //! * `--json PATH`     — dump all reports as JSON.
+//! * `--trace PATH`    — attach a deterministic `TraceJournal` per
+//!   replica and write every journal as JSONL (scenarios in catalog
+//!   order, replicas in index order; the `cell` stamp is the replica
+//!   index within its scenario). Journals are audited before writing.
 //! * `--seed-check`    — re-run everything single-threaded and fail if
-//!   any aggregate differs (the determinism guarantee, end to end).
+//!   any aggregate differs (the determinism guarantee, end to end);
+//!   with tracing on, journals must also match byte-for-byte and pass
+//!   the `trace::audit` invariant replay.
 
-use shc_runtime::{available_threads, builtin_catalog, run_scenario, ScenarioReport};
+use shc_runtime::trace::audit::audit_journals;
+use shc_runtime::{
+    available_threads, builtin_catalog, run_scenario, run_scenario_traced, ScenarioReport,
+    TraceJournal,
+};
+
+/// Per-replica journal ring capacity; far above any catalog scenario's
+/// event volume, so audits see complete streams.
+const TRACE_CAPACITY: usize = 1 << 20;
+
+/// Renders journals as one JSONL stream, in replica order.
+fn render_journals(journals: &[TraceJournal]) -> String {
+    let mut out = String::new();
+    for j in journals {
+        j.render_jsonl_into(&mut out);
+    }
+    out
+}
 
 fn print_report(report: &ScenarioReport, elapsed: std::time::Duration) {
     let rounds = report.metric("rounds").expect("rounds metric");
@@ -41,6 +64,7 @@ fn main() {
     let mut threads = 0usize; // 0 = all cores
     let mut only: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -65,6 +89,13 @@ fn main() {
                 i += 1;
                 json_path = Some(args.get(i).cloned().unwrap_or_else(|| {
                     eprintln!("--json needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--trace needs a path");
                     std::process::exit(2);
                 }));
             }
@@ -128,19 +159,63 @@ fn main() {
     );
 
     let mut reports: Vec<ScenarioReport> = Vec::new();
+    let mut journals: Vec<TraceJournal> = Vec::new();
     let mut determinism_ok = true;
     for scenario in &catalog {
         let started = std::time::Instant::now();
-        let report = run_scenario(scenario, threads);
-        print_report(&report, started.elapsed());
-        if seed_check {
-            let single = run_scenario(scenario, 1);
-            if single != report {
-                eprintln!("DETERMINISM VIOLATION in `{}`", scenario.name);
-                determinism_ok = false;
+        let report = if trace_path.is_some() {
+            let (report, js) = run_scenario_traced(scenario, threads, TRACE_CAPACITY);
+            if seed_check {
+                let (single, js1) = run_scenario_traced(scenario, 1, TRACE_CAPACITY);
+                if single != report {
+                    eprintln!("DETERMINISM VIOLATION in `{}`", scenario.name);
+                    determinism_ok = false;
+                }
+                if render_journals(&js1) != render_journals(&js) {
+                    eprintln!(
+                        "TRACE DIVERGENCE in `{}`: journals differ by thread count",
+                        scenario.name
+                    );
+                    determinism_ok = false;
+                }
             }
-        }
+            match audit_journals(&js) {
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("TRACE AUDIT FAILED in `{}`: {e}", scenario.name);
+                    determinism_ok = false;
+                }
+            }
+            journals.extend(js);
+            report
+        } else {
+            let report = run_scenario(scenario, threads);
+            if seed_check {
+                let single = run_scenario(scenario, 1);
+                if single != report {
+                    eprintln!("DETERMINISM VIOLATION in `{}`", scenario.name);
+                    determinism_ok = false;
+                }
+            }
+            report
+        };
+        print_report(&report, started.elapsed());
         reports.push(report);
+    }
+
+    if let Some(path) = &trace_path {
+        if let Err(e) = std::fs::write(path, render_journals(&journals)) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!(
+            "trace journal written to {path} ({} journals, {} records)",
+            journals.len(),
+            journals
+                .iter()
+                .map(shc_runtime::TraceJournal::len)
+                .sum::<usize>()
+        );
     }
 
     if let Some(path) = json_path {

@@ -10,18 +10,32 @@
 //! cell's simulation is sequential from its own seed, so the reports —
 //! including their JSON bytes — are identical for any `--threads` value.
 //! `--seed-check` proves it by running the sweep at 1 and N threads and
-//! comparing bytes, the same contract `exp_perf --seed-check` enforces.
+//! comparing bytes — and repeats the proof for the trace journals, which
+//! it also replays through the `trace::audit` invariant checker.
 //!
 //! Flags:
-//! * `--fast`      — reduced sweep (CI sizes: `n = 6`, 120 rounds).
-//! * `--json PATH` — output path (default `BENCH_serve.json`).
-//! * `--threads T` — worker threads for the cell sweep (0 = all cores).
+//! * `--fast`       — reduced sweep (CI sizes: `n = 6`, 120 rounds).
+//! * `--json PATH`  — output path (default `BENCH_serve.json`).
+//! * `--threads T`  — worker threads for the cell sweep (0 = all cores).
+//! * `--trace PATH` — attach a deterministic `TraceJournal` per cell and
+//!   write all journals as JSONL (cells in catalog order); the journals
+//!   are audited before writing. See `docs/OBSERVABILITY.md`.
 //! * `--seed-check` — assert 1-thread and T-thread runs produce
-//!   byte-identical reports, then exit.
+//!   byte-identical reports *and* byte-identical trace journals, audit
+//!   the journals, then exit.
 
 use serde::Serialize;
-use shc_runtime::{builtin_service_catalog, run_service, ServiceReport, ServiceSpec};
+use shc_runtime::trace::audit::audit_journals;
+use shc_runtime::{
+    builtin_service_catalog, run_indexed_timed, run_service, run_service_traced, Metrics,
+    MetricsSnapshot, ServiceReport, ServiceSpec, TraceJournal,
+};
 use std::time::Instant;
+
+/// Per-cell journal ring capacity: comfortably above the event volume of
+/// the full-size catalog cells, so `dropped` stays 0 and the audit can
+/// certify conservation from a complete stream.
+const TRACE_CAPACITY: usize = 1 << 20;
 
 /// Whole-run artifact: cell reports plus run header.
 #[derive(Debug, Serialize)]
@@ -35,6 +49,14 @@ struct ServeArtifact {
     /// Wall-clock milliseconds for the whole sweep (not deterministic;
     /// excluded from the seed-check projection).
     elapsed_ms: f64,
+    /// Deterministic whole-sweep fold of every cell's `totals` snapshot
+    /// under `Metrics::merge` semantics (counters add, gauges keep the
+    /// high-water mark, histograms add bucket-wise).
+    run_totals: MetricsSnapshot,
+    /// Wall-clock executor utilization report (steal counters, queue
+    /// gauges, per-task wall-time histograms). Scheduler-dependent, so
+    /// excluded from the seed-check projection like `elapsed_ms`.
+    executor: MetricsSnapshot,
     /// One deterministic report per catalog cell, in catalog order.
     reports: Vec<ServiceReport>,
 }
@@ -48,11 +70,41 @@ fn run_sweep(cells: &[ServiceSpec], threads: usize) -> Vec<ServiceReport> {
     shc_runtime::map_cells(cells, threads, run_service)
 }
 
+fn run_sweep_traced(
+    cells: &[ServiceSpec],
+    threads: usize,
+) -> (Vec<ServiceReport>, Vec<TraceJournal>) {
+    let (pairs, _) = run_indexed_timed(cells.len(), threads, |i| {
+        let cell = u32::try_from(i).expect("cell index fits u32");
+        run_service_traced(&cells[i], cell, TRACE_CAPACITY)
+    });
+    pairs.into_iter().unzip()
+}
+
+/// Folds every cell's cumulative snapshot into one sweep-wide snapshot.
+fn fold_totals(reports: &[ServiceReport]) -> MetricsSnapshot {
+    let mut m = Metrics::new();
+    for r in reports {
+        m.merge(&r.totals);
+    }
+    m.snapshot()
+}
+
+/// Renders all journals as one JSONL stream, cells in catalog order.
+fn render_journals(journals: &[TraceJournal]) -> String {
+    let mut out = String::new();
+    for j in journals {
+        j.render_jsonl_into(&mut out);
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fast = false;
     let mut seed_check = false;
     let mut json_path = String::from("BENCH_serve.json");
+    let mut trace_path: Option<String> = None;
     let mut threads = 0usize;
     let mut i = 0;
     while i < args.len() {
@@ -65,6 +117,13 @@ fn main() {
                     eprintln!("--json needs a path");
                     std::process::exit(2);
                 });
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--trace needs a path");
+                    std::process::exit(2);
+                }));
             }
             "--threads" => {
                 i += 1;
@@ -95,27 +154,71 @@ fn main() {
         );
         let one = det_json(&run_sweep(&cells, 1));
         let many = det_json(&run_sweep(&cells, many_threads));
-        if one == many {
-            println!("seed check OK: service reports byte-identical across thread counts");
-            return;
+        if one != many {
+            eprintln!("seed check FAILED: 1-thread and {many_threads}-thread sweeps diverge");
+            std::process::exit(1);
         }
-        eprintln!("seed check FAILED: 1-thread and {many_threads}-thread sweeps diverge");
-        std::process::exit(1);
+        let (traced_reports, j1) = run_sweep_traced(&cells, 1);
+        let (_, jn) = run_sweep_traced(&cells, many_threads);
+        if det_json(&traced_reports) != one {
+            eprintln!("seed check FAILED: attaching the trace probe perturbed the reports");
+            std::process::exit(1);
+        }
+        if render_journals(&j1) != render_journals(&jn) {
+            eprintln!("seed check FAILED: trace journals diverge across thread counts");
+            std::process::exit(1);
+        }
+        match audit_journals(&j1) {
+            Ok(audit) => println!(
+                "trace audit OK: {} events, {} requests, {} flows opened / {} released, \
+                 {} rounds checked",
+                audit.events,
+                audit.requests,
+                audit.flows_opened,
+                audit.flows_released,
+                audit.rounds_checked
+            ),
+            Err(e) => {
+                eprintln!("seed check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        println!(
+            "seed check OK: service reports and trace journals byte-identical \
+             across thread counts"
+        );
+        return;
     }
 
     println!(
-        "exp_serve sweep: {} cells, {} threads{}",
+        "exp_serve sweep: {} cells, {} threads{}{}",
         cells.len(),
         if threads == 0 {
             "all".to_string()
         } else {
             threads.to_string()
         },
-        if fast { " (fast)" } else { "" }
+        if fast { " (fast)" } else { "" },
+        if trace_path.is_some() {
+            " (traced)"
+        } else {
+            ""
+        }
     );
 
     let start = Instant::now();
-    let reports = run_sweep(&cells, threads);
+    let (reports, journals, telemetry) = if trace_path.is_some() {
+        let (pairs, telemetry) = run_indexed_timed(cells.len(), threads, |i| {
+            let cell = u32::try_from(i).expect("cell index fits u32");
+            run_service_traced(&cells[i], cell, TRACE_CAPACITY)
+        });
+        let (reports, journals): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        (reports, Some(journals), telemetry)
+    } else {
+        let (reports, telemetry) =
+            run_indexed_timed(cells.len(), threads, |i| run_service(&cells[i]));
+        (reports, None, telemetry)
+    };
     let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
 
     for r in &reports {
@@ -138,12 +241,40 @@ fn main() {
             last.active_flows_end
         );
     }
+    println!(
+        "executor: {} tasks on {} workers, utilization {:.2}",
+        telemetry.tasks,
+        telemetry.threads,
+        telemetry.utilization()
+    );
+
+    if let (Some(path), Some(journals)) = (&trace_path, &journals) {
+        match audit_journals(journals) {
+            Ok(audit) => println!(
+                "trace audit OK: {} events across {} journals, {} rounds checked",
+                audit.events,
+                journals.len(),
+                audit.rounds_checked
+            ),
+            Err(e) => {
+                eprintln!("trace audit FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Err(e) = std::fs::write(path, render_journals(journals)) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("trace journal written to {path}");
+    }
 
     let artifact = ServeArtifact {
         bench: "flow_service",
         fast,
         threads,
         elapsed_ms,
+        run_totals: fold_totals(&reports),
+        executor: telemetry.utilization_report(),
         reports,
     };
     let json = serde_json::to_string_pretty(&artifact).unwrap();

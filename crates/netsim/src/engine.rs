@@ -34,6 +34,7 @@
 //! direction — across requests.
 
 use crate::links::{LinkId, LinkIndex};
+use crate::probe::{EngineProbe, NoProbe, RequestProbe, SearchStats};
 use crate::topology::{NetTopology, Vertex};
 use shc_graph::cube::hamming_distance;
 use std::collections::{HashMap, VecDeque};
@@ -226,7 +227,13 @@ impl FlowOutcome {
 /// The simulator. Holds the topology by reference, its link index
 /// (frozen table or implicit arithmetic), and flat per-link occupancy
 /// plus reusable routing scratch.
-pub struct Engine<'a, T: NetTopology> {
+///
+/// The third parameter is the observability hook: an [`EngineProbe`]
+/// receiving per-decision events. It defaults to [`NoProbe`], whose
+/// `ENABLED = false` constant compiles every instrumentation site out —
+/// `Engine::new` builds exactly the uninstrumented engine. Attach a
+/// recording probe with [`Engine::with_probe`].
+pub struct Engine<'a, T: NetTopology, P: EngineProbe = NoProbe> {
     net: &'a T,
     index: LinkIndex,
     dilation: u32,
@@ -287,6 +294,16 @@ pub struct Engine<'a, T: NetTopology> {
     round_max_hops: u64,
     stats: SimStats,
     round_open: bool,
+    /// Rounds opened so far (the open round's index is this minus one).
+    round_index: u64,
+    /// Attached observability sink (zero-sized [`NoProbe`] by default).
+    probe: P,
+    /// Probe scratch: vertices expanded by the current search.
+    probe_expanded: u32,
+    /// Probe scratch: peak frontier size of the current search.
+    probe_frontier_peak: u32,
+    /// Probe scratch: first link skipped for capacity this request.
+    probe_reject_link: Option<LinkId>,
 }
 
 impl<'a, T: NetTopology> Engine<'a, T> {
@@ -299,6 +316,19 @@ impl<'a, T: NetTopology> Engine<'a, T> {
     /// Panics if `dilation == 0`.
     #[must_use]
     pub fn new(net: &'a T, dilation: u32) -> Self {
+        Engine::with_probe(net, dilation, NoProbe)
+    }
+}
+
+impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
+    /// Creates an engine with an attached [`EngineProbe`] receiving
+    /// per-decision events. Identical to [`Engine::new`] in every
+    /// simulated outcome — probes observe, they never steer.
+    ///
+    /// # Panics
+    /// Panics if `dilation == 0`.
+    #[must_use]
+    pub fn with_probe(net: &'a T, dilation: u32, probe: P) -> Self {
         assert!(dilation >= 1, "links need capacity >= 1");
         let index = net.link_index();
         let n = usize::try_from(index.num_vertices()).expect("vertex count fits usize");
@@ -336,7 +366,28 @@ impl<'a, T: NetTopology> Engine<'a, T> {
             round_max_hops: 0,
             stats: SimStats::default(),
             round_open: false,
+            round_index: 0,
+            probe,
+            probe_expanded: 0,
+            probe_frontier_peak: 0,
+            probe_reject_link: None,
         }
+    }
+
+    /// Mutable access to the attached probe — the seam drivers use to
+    /// push their own (service-level) events into the same sink between
+    /// engine calls.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Closes the open round (if any) and returns the statistics
+    /// together with the attached probe — the traced counterpart of
+    /// [`finish`](Self::finish).
+    #[must_use]
+    pub fn finish_with_probe(mut self) -> (SimStats, P) {
+        self.close_round();
+        (self.stats, self.probe)
     }
 
     /// Changes the per-link capacity from the next admission on — the
@@ -388,6 +439,11 @@ impl<'a, T: NetTopology> Engine<'a, T> {
         self.round_peak = 0;
         self.round_max_hops = 0;
         self.round_open = true;
+        if P::ENABLED {
+            let round = self.round_index;
+            self.probe.on_round_begin(round);
+        }
+        self.round_index += 1;
     }
 
     /// Finishes the current round, folding its counters into the stats.
@@ -447,31 +503,49 @@ impl<'a, T: NetTopology> Engine<'a, T> {
     pub fn request_path(&mut self, path: &[Vertex]) -> Outcome {
         assert!(self.round_open, "begin_round first");
         assert!(path.len() >= 2, "a circuit needs two endpoints");
-        self.path_ids.clear();
-        for w in path.windows(2) {
-            // Live-edge test: an edge the topology's rule (or frozen
-            // table) admits and no damage overlay masks.
-            match self.net.link_id(w[0], w[1]) {
-                Some(id) if !self.net.link_blocked(id) => self.path_ids.push(id),
-                _ => {
-                    self.stats.blocked += 1;
-                    return Outcome::Blocked(BlockReason::NotAnEdge((w[0], w[1])));
+        if P::ENABLED {
+            self.probe_reject_link = None;
+        }
+        let outcome = 'admit: {
+            self.path_ids.clear();
+            for w in path.windows(2) {
+                // Live-edge test: an edge the topology's rule (or frozen
+                // table) admits and no damage overlay masks.
+                match self.net.link_id(w[0], w[1]) {
+                    Some(id) if !self.net.link_blocked(id) => self.path_ids.push(id),
+                    _ => {
+                        self.stats.blocked += 1;
+                        break 'admit Outcome::Blocked(BlockReason::NotAnEdge((w[0], w[1])));
+                    }
                 }
             }
-        }
-        // Tentatively occupy hop by hop so per-path multiplicity counts
-        // toward capacity too; roll back on the first saturated link.
-        for k in 0..self.path_ids.len() {
-            if !self.try_occupy(self.path_ids[k]) {
+            // Tentatively occupy hop by hop so per-path multiplicity
+            // counts toward capacity too; roll back on the first
+            // saturated link.
+            let mut blocked_at = None;
+            for k in 0..self.path_ids.len() {
+                if !self.try_occupy(self.path_ids[k]) {
+                    blocked_at = Some(k);
+                    break;
+                }
+            }
+            if let Some(k) = blocked_at {
                 for i in 0..k {
                     self.usage[self.path_ids[i] as usize] -= 1;
                 }
+                if P::ENABLED {
+                    self.probe_reject_link = Some(self.path_ids[k]);
+                }
                 self.stats.blocked += 1;
-                return Outcome::Blocked(BlockReason::Saturated);
+                break 'admit Outcome::Blocked(BlockReason::Saturated);
             }
+            self.commit(path.len() - 1);
+            Outcome::Established(path.to_vec())
+        };
+        if P::ENABLED {
+            self.emit_request(path[0], path[path.len() - 1], &outcome, None);
         }
-        self.commit(path.len() - 1);
-        Outcome::Established(path.to_vec())
+        outcome
     }
 
     /// Requests a circuit from `src` to `dst`, adaptively routed along a
@@ -528,6 +602,9 @@ impl<'a, T: NetTopology> Engine<'a, T> {
                         u32::try_from(self.flow_slots.len() - 1).expect("flow count fits u32")
                     }
                 };
+                if P::ENABLED {
+                    self.probe.on_flow_established(slot, hops);
+                }
                 FlowOutcome::Established {
                     flow: FlowId(slot),
                     hops,
@@ -557,6 +634,10 @@ impl<'a, T: NetTopology> Engine<'a, T> {
         self.held_link_hops -= links.len() as u64;
         self.active_flows -= 1;
         self.free_flows.push(flow.0);
+        if P::ENABLED {
+            let hops = u32::try_from(links.len()).expect("route length fits u32");
+            self.probe.on_flow_released(flow.0, hops);
+        }
     }
 
     /// Number of currently active (admitted, unreleased) flows.
@@ -615,7 +696,12 @@ impl<'a, T: NetTopology> Engine<'a, T> {
             self.epoch = 0;
         }
         self.epoch += 1;
-        match search {
+        if P::ENABLED {
+            self.probe_expanded = 0;
+            self.probe_frontier_peak = 0;
+            self.probe_reject_link = None;
+        }
+        let outcome = match search {
             RouteSearch::Unidirectional => self.search_unidirectional(src, dst, max_len),
             RouteSearch::Bidirectional => self.search_bidirectional(src, dst, max_len),
             RouteSearch::AStarCube => {
@@ -625,7 +711,60 @@ impl<'a, T: NetTopology> Engine<'a, T> {
                 );
                 self.search_astar_cube(src, dst, max_len)
             }
+        };
+        if P::ENABLED {
+            let stats = SearchStats {
+                strategy: search,
+                nodes_expanded: self.probe_expanded,
+                frontier_peak: self.probe_frontier_peak,
+            };
+            self.emit_request(src, dst, &outcome, Some(stats));
         }
+        outcome
+    }
+
+    /// Builds and fires the [`RequestProbe`] for one concluded admission
+    /// decision (only reached when `P::ENABLED`).
+    fn emit_request(
+        &mut self,
+        src: Vertex,
+        dst: Vertex,
+        outcome: &Outcome,
+        search: Option<SearchStats>,
+    ) {
+        let (hops, reason) = match outcome {
+            Outcome::Established(p) => (
+                Some(u32::try_from(p.len() - 1).expect("route length fits u32")),
+                None,
+            ),
+            Outcome::Blocked(r) => (None, Some(r)),
+        };
+        let req = RequestProbe {
+            src,
+            dst,
+            hops,
+            reason,
+            // The search scratch remembers any saturated link it skipped;
+            // attribution only makes sense when the request was denied.
+            rejecting_link: reason.and(self.probe_reject_link),
+            search,
+        };
+        self.probe.on_request(&req);
+    }
+
+    /// First live-but-saturated link at `v` — probe attribution for the
+    /// `O(deg)` endpoint-guard rejections, which otherwise never name a
+    /// link. Only called with a probe attached.
+    fn first_saturated_link(&self, v: Vertex) -> Option<LinkId> {
+        let mut hit = None;
+        self.net.for_each_link(v, |_, id| {
+            if !self.net.link_blocked(id) && self.usage[id as usize] >= self.dilation {
+                hit = Some(id);
+                return false;
+            }
+            true
+        });
+        hit
     }
 
     /// The legacy single-frontier BFS (pre-PR-4 `request`; exploration
@@ -641,6 +780,9 @@ impl<'a, T: NetTopology> Engine<'a, T> {
             if d == max_len {
                 continue;
             }
+            if P::ENABLED {
+                self.probe_expanded += 1;
+            }
             let mut found = false;
             net.for_each_link(u64::from(x), |y, id| {
                 if net.link_blocked(id) {
@@ -650,7 +792,13 @@ impl<'a, T: NetTopology> Engine<'a, T> {
                     any_route_capacity_blind = true;
                 }
                 let yi = y as usize;
-                if self.seen[yi] == self.epoch || self.usage[id as usize] >= self.dilation {
+                if self.seen[yi] == self.epoch {
+                    return true;
+                }
+                if self.usage[id as usize] >= self.dilation {
+                    if P::ENABLED && self.probe_reject_link.is_none() {
+                        self.probe_reject_link = Some(id);
+                    }
                     return true;
                 }
                 self.seen[yi] = self.epoch;
@@ -663,6 +811,9 @@ impl<'a, T: NetTopology> Engine<'a, T> {
                 self.queue.push_back((y as u32, d + 1));
                 true
             });
+            if P::ENABLED {
+                self.probe_frontier_peak = self.probe_frontier_peak.max(self.queue.len() as u32);
+            }
             if found {
                 return self.establish_found(src, dst);
             }
@@ -710,7 +861,11 @@ impl<'a, T: NetTopology> Engine<'a, T> {
         let h0 = hamming_distance(src, dst);
         if !any_free || h0 > max_len {
             self.stats.blocked += 1;
-            return Outcome::Blocked(if any_live && !any_free {
+            let saturated = any_live && !any_free;
+            if P::ENABLED && saturated {
+                self.probe_reject_link = self.first_saturated_link(dst);
+            }
+            return Outcome::Blocked(if saturated {
                 BlockReason::Saturated
             } else {
                 BlockReason::NoRoute
@@ -740,6 +895,9 @@ impl<'a, T: NetTopology> Engine<'a, T> {
                 continue;
             }
             self.done[xi] = self.epoch;
+            if P::ENABLED {
+                self.probe_expanded += 1;
+            }
             let mut found = false;
             net.for_each_link(u64::from(x), |y, id| {
                 if net.link_blocked(id) {
@@ -747,6 +905,9 @@ impl<'a, T: NetTopology> Engine<'a, T> {
                 }
                 if self.usage[id as usize] >= self.dilation {
                     capacity_skip = true;
+                    if P::ENABLED && self.probe_reject_link.is_none() {
+                        self.probe_reject_link = Some(id);
+                    }
                     return true;
                 }
                 if y == dst {
@@ -778,6 +939,11 @@ impl<'a, T: NetTopology> Engine<'a, T> {
                 }
                 true
             });
+            if P::ENABLED {
+                self.probe_frontier_peak = self
+                    .probe_frontier_peak
+                    .max((self.queue.len() + self.queue_next.len()) as u32);
+            }
             if found {
                 return self.establish_found(src, dst);
             }
@@ -804,6 +970,9 @@ impl<'a, T: NetTopology> Engine<'a, T> {
             let (any_live, any_free) = self.endpoint_link_census(end);
             if !any_free {
                 self.stats.blocked += 1;
+                if P::ENABLED && any_live {
+                    self.probe_reject_link = self.first_saturated_link(end);
+                }
                 return Outcome::Blocked(if any_live {
                     BlockReason::Saturated
                 } else {
@@ -847,12 +1016,18 @@ impl<'a, T: NetTopology> Engine<'a, T> {
                 self.fr_f_next.clear();
                 for i in 0..self.fr_f.len() {
                     let x = self.fr_f[i];
+                    if P::ENABLED {
+                        self.probe_expanded += 1;
+                    }
                     net.for_each_link(u64::from(x), |y, id| {
                         if net.link_blocked(id) {
                             return true;
                         }
                         if self.usage[id as usize] >= self.dilation {
                             capacity_skip = true;
+                            if P::ENABLED && self.probe_reject_link.is_none() {
+                                self.probe_reject_link = Some(id);
+                            }
                             return true;
                         }
                         let yi = y as usize;
@@ -876,16 +1051,27 @@ impl<'a, T: NetTopology> Engine<'a, T> {
                 }
                 lvl_f += 1;
                 std::mem::swap(&mut self.fr_f, &mut self.fr_f_next);
+                if P::ENABLED {
+                    self.probe_frontier_peak = self
+                        .probe_frontier_peak
+                        .max((self.fr_f.len() + self.fr_b.len()) as u32);
+                }
             } else {
                 self.fr_b_next.clear();
                 for i in 0..self.fr_b.len() {
                     let x = self.fr_b[i];
+                    if P::ENABLED {
+                        self.probe_expanded += 1;
+                    }
                     net.for_each_link(u64::from(x), |y, id| {
                         if net.link_blocked(id) {
                             return true;
                         }
                         if self.usage[id as usize] >= self.dilation {
                             capacity_skip = true;
+                            if P::ENABLED && self.probe_reject_link.is_none() {
+                                self.probe_reject_link = Some(id);
+                            }
                             return true;
                         }
                         let yi = y as usize;
@@ -909,6 +1095,11 @@ impl<'a, T: NetTopology> Engine<'a, T> {
                 }
                 lvl_b += 1;
                 std::mem::swap(&mut self.fr_b, &mut self.fr_b_next);
+                if P::ENABLED {
+                    self.probe_frontier_peak = self
+                        .probe_frontier_peak
+                        .max((self.fr_f.len() + self.fr_b.len()) as u32);
+                }
             }
         }
         if best <= max_len {

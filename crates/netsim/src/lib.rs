@@ -23,6 +23,9 @@
 //!   rounds ([`Engine::request_flow`] / [`Engine::release_flow`]), the
 //!   substrate of the `shc-runtime` service layer.
 //! * [`traffic`] — schedule replay, competing broadcasts, permutations.
+//! * [`probe`] — zero-cost [`EngineProbe`] hooks: per-decision admission,
+//!   flow-lifecycle, and search-effort events for the `shc-runtime`
+//!   tracing layer, compiled out entirely when unattached ([`NoProbe`]).
 //!
 //! ## Example
 //!
@@ -47,13 +50,15 @@
 
 pub mod engine;
 pub mod links;
+pub mod probe;
 pub mod topology;
 pub mod traffic;
 
 pub use engine::{BlockReason, Engine, FlowId, FlowOutcome, Outcome, RouteSearch, SimStats};
 pub use links::{CubeLinks, LinkId, LinkIndex, LinkIndexError, LinkTable};
+pub use probe::{EngineProbe, NoProbe, RequestProbe, SearchStats};
 pub use topology::{FaultedNet, ImplicitCubeNet, MaterializedNet, NetTopology};
 pub use traffic::{
     random_permutation_round, random_permutation_round_with, replay_competing,
-    replay_competing_hooked, replay_schedule,
+    replay_competing_hooked, replay_competing_probed, replay_schedule,
 };

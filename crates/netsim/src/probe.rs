@@ -1,0 +1,130 @@
+//! Zero-cost observability hooks for the [`Engine`](crate::Engine).
+//!
+//! The engine is generic over an [`EngineProbe`] — a sink for per-decision
+//! events (admissions, blocks, flow lifecycle, search effort). The default
+//! probe is [`NoProbe`], whose `ENABLED` flag is `false`: every
+//! instrumentation site in the engine is guarded by `if P::ENABLED`, a
+//! monomorphization-time constant, so an unattached engine compiles to
+//! exactly the pre-probe machine code. Attaching a probe
+//! ([`Engine::with_probe`](crate::Engine::with_probe)) pays only for what
+//! the probe records.
+//!
+//! Probes observe **simulated time only**: round indices and in-round
+//! event order. Nothing here reads a wall clock, so a probe's output is a
+//! pure function of the engine's (deterministic) decision sequence —
+//! the property `shc_runtime::trace` builds its byte-identical journal
+//! contract on.
+
+use crate::engine::{BlockReason, RouteSearch};
+use crate::links::LinkId;
+use crate::topology::Vertex;
+
+/// Per-request search effort, reported alongside every adaptive
+/// admission decision when a probe is attached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Which search ran (explicit or auto-dispatched).
+    pub strategy: RouteSearch,
+    /// Vertices expanded (popped/scanned) before the search concluded.
+    pub nodes_expanded: u32,
+    /// Peak frontier size (sum over live frontiers for bidirectional).
+    pub frontier_peak: u32,
+}
+
+/// One admission decision, borrowed from the engine at the decision site.
+///
+/// `hops`/`reason` mirror the returned outcome: exactly one is `Some`.
+/// `rejecting_link` is the first live link the failed search (or fixed
+/// path) skipped for lack of capacity — deterministic in search order —
+/// or `None` when the block had nothing to do with capacity.
+/// `search` is `None` for fixed-path requests
+/// ([`Engine::request_path`](crate::Engine::request_path)), which run no
+/// search.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestProbe<'a> {
+    /// Requested source vertex.
+    pub src: Vertex,
+    /// Requested destination vertex.
+    pub dst: Vertex,
+    /// Route length in links when established.
+    pub hops: Option<u32>,
+    /// Refusal reason when blocked.
+    pub reason: Option<&'a BlockReason>,
+    /// First link skipped for lack of capacity, when any.
+    pub rejecting_link: Option<LinkId>,
+    /// Search effort (adaptive requests only).
+    pub search: Option<SearchStats>,
+}
+
+/// Event sink the engine drives. All methods have empty defaults, so a
+/// probe implements only what it cares about. Implementors that record
+/// anything must keep the default `ENABLED = true`; the engine skips
+/// every call site (and all bookkeeping feeding it) when `ENABLED` is
+/// `false`.
+pub trait EngineProbe {
+    /// Monomorphization-time switch: when `false` the engine compiles
+    /// all instrumentation out (see [`NoProbe`]).
+    const ENABLED: bool = true;
+
+    /// A new round opened; `round` counts from 0 per engine.
+    fn on_round_begin(&mut self, round: u64) {
+        let _ = round;
+    }
+
+    /// One admission decision concluded (adaptive or fixed-path).
+    fn on_request(&mut self, req: &RequestProbe<'_>) {
+        let _ = req;
+    }
+
+    /// A flow was admitted into slab slot `flow` holding `hops` links.
+    fn on_flow_established(&mut self, flow: u32, hops: u32) {
+        let _ = (flow, hops);
+    }
+
+    /// The flow in slab slot `flow` released its `hops` links.
+    fn on_flow_released(&mut self, flow: u32, hops: u32) {
+        let _ = (flow, hops);
+    }
+}
+
+/// The default, absent probe: `ENABLED = false` erases every
+/// instrumentation site at compile time, so `Engine<T>` (without an
+/// explicit probe parameter) is bit-for-bit the uninstrumented engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoProbe;
+
+impl EngineProbe for NoProbe {
+    const ENABLED: bool = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A probe with all-default methods must be constructible and
+    /// callable (the defaults are the no-op contract).
+    #[test]
+    fn default_methods_are_noops() {
+        struct Inert;
+        impl EngineProbe for Inert {}
+        const { assert!(Inert::ENABLED) };
+        let mut p = Inert;
+        p.on_round_begin(3);
+        p.on_flow_established(0, 2);
+        p.on_flow_released(0, 2);
+        let req = RequestProbe {
+            src: 0,
+            dst: 1,
+            hops: Some(1),
+            reason: None,
+            rejecting_link: None,
+            search: None,
+        };
+        p.on_request(&req);
+    }
+
+    #[test]
+    fn no_probe_is_disabled() {
+        const { assert!(!NoProbe::ENABLED) };
+    }
+}

@@ -3,6 +3,7 @@
 //! (the paper's §5 congestion discussion), and random permutation traffic.
 
 use crate::engine::{Engine, SimStats};
+use crate::probe::{EngineProbe, NoProbe};
 use crate::topology::{NetTopology, Vertex};
 use rand::Rng;
 use shc_broadcast::Schedule;
@@ -44,14 +45,33 @@ pub fn replay_competing_hooked<T, F>(
     net: &T,
     schedules: &[Schedule],
     dilation: u32,
-    mut before_round: F,
+    before_round: F,
 ) -> SimStats
 where
     T: NetTopology,
     F: FnMut(usize, &mut Engine<'_, T>),
 {
+    replay_competing_probed(net, schedules, dilation, NoProbe, before_round).0
+}
+
+/// [`replay_competing_hooked`] with an attached [`EngineProbe`] — the
+/// traced replay the observability layer uses. Returns the stats
+/// together with the probe (which accumulated the event journal).
+/// With [`NoProbe`] this is exactly [`replay_competing_hooked`].
+pub fn replay_competing_probed<T, P, F>(
+    net: &T,
+    schedules: &[Schedule],
+    dilation: u32,
+    probe: P,
+    mut before_round: F,
+) -> (SimStats, P)
+where
+    T: NetTopology,
+    P: EngineProbe,
+    F: FnMut(usize, &mut Engine<'_, T, P>),
+{
     let max_rounds = schedules.iter().map(|s| s.rounds.len()).max().unwrap_or(0);
-    let mut sim = Engine::new(net, dilation);
+    let mut sim = Engine::with_probe(net, dilation, probe);
     for t in 0..max_rounds {
         before_round(t, &mut sim);
         sim.begin_round();
@@ -63,9 +83,9 @@ where
             }
         }
     }
-    let mut stats = sim.finish();
+    let (mut stats, probe) = sim.finish_with_probe();
     stats.requested = stats.established + stats.blocked;
-    stats
+    (stats, probe)
 }
 
 /// One round of random permutation traffic with adaptive routing: each of
@@ -102,8 +122,8 @@ pub fn random_permutation_round<T: NetTopology, R: Rng>(
 /// [`Engine::take_stats`] / a previous call to this function. Anything
 /// still accumulated on entry would be folded into (and mis-attributed
 /// by) the returned round stats.
-pub fn random_permutation_round_with<T: NetTopology, R: Rng>(
-    sim: &mut Engine<'_, T>,
+pub fn random_permutation_round_with<T: NetTopology, P: EngineProbe, R: Rng>(
+    sim: &mut Engine<'_, T, P>,
     pairs: usize,
     max_len: u32,
     rng: &mut R,

@@ -11,8 +11,10 @@
 //! 3. **Zero `unsafe`** — results land in per-slot `parking_lot` mutexes,
 //!    written exactly once each.
 
+use crate::metrics::{Metrics, MetricsSnapshot};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::Mutex;
+use std::time::Instant;
 
 /// Worker threads to use when the caller passes `threads = 0`.
 #[must_use]
@@ -92,20 +94,221 @@ where
     run_indexed(cells.len(), threads, |i| f(&cells[i]))
 }
 
-/// Pop local work, else grab a batch from the global injector, else steal
-/// from a sibling; `None` when everything is drained.
-fn next_task(
+/// Per-worker wall-clock counters from one [`run_indexed_timed`] call.
+///
+/// **Wall-clock side**: unlike results (and trace journals), these
+/// numbers depend on the OS scheduler and are **not** deterministic —
+/// they exist for utilization reporting and must never feed a
+/// deterministic artifact projection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks this worker completed.
+    pub tasks_run: u64,
+    /// Tasks obtained by stealing from a sibling's deque.
+    pub steals: u64,
+    /// Batches grabbed from the global injector.
+    pub injector_batches: u64,
+    /// Wall time this worker spent inside task bodies, in microseconds.
+    pub busy_micros: u64,
+}
+
+/// Wall-clock telemetry from one [`run_indexed_timed`] call: where
+/// executor time went, per worker and per task. See [`WorkerStats`] for
+/// the determinism caveat.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecutorTelemetry {
+    /// Worker threads that ran.
+    pub threads: usize,
+    /// Tasks executed.
+    pub tasks: usize,
+    /// End-to-end wall time of the call, in microseconds.
+    pub wall_micros: u64,
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+    /// Per-task wall time in **task order** (not completion order).
+    pub task_micros: Vec<u64>,
+}
+
+impl ExecutorTelemetry {
+    /// Sum of per-worker busy time — the numerator of utilization.
+    #[must_use]
+    pub fn busy_micros(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_micros).sum()
+    }
+
+    /// Busy time over `threads × wall` — 1.0 means every worker was
+    /// inside a task body for the whole call.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let denom = self.wall_micros.saturating_mul(self.threads as u64);
+        if denom == 0 {
+            0.0
+        } else {
+            self.busy_micros() as f64 / denom as f64
+        }
+    }
+
+    /// Folds the telemetry through the [`Metrics`] façade into a
+    /// utilization report: steal/batch counters, thread/task gauges, and
+    /// per-task + per-worker-busy wall-time histograms (microseconds,
+    /// saturating at ~4.19 s). Wall-clock side — keep it out of
+    /// deterministic artifact projections.
+    #[must_use]
+    pub fn utilization_report(&self) -> MetricsSnapshot {
+        const CAP_US: u64 = 1 << 22;
+        let mut m = Metrics::new();
+        let tasks = m.counter("executor_tasks_total");
+        let steals = m.counter("executor_steals_total");
+        let batches = m.counter("executor_injector_batches_total");
+        let threads = m.gauge("executor_threads");
+        let wall = m.gauge("executor_wall_micros");
+        let busy = m.gauge("executor_busy_micros");
+        let per_task = m.histogram("executor_task_micros", "us", CAP_US);
+        let per_worker = m.histogram("executor_worker_busy_micros", "us", CAP_US);
+        m.add(tasks, self.tasks as u64);
+        for w in &self.workers {
+            m.add(steals, w.steals);
+            m.add(batches, w.injector_batches);
+            m.record(per_worker, w.busy_micros);
+        }
+        m.set(threads, i64::try_from(self.threads).unwrap_or(i64::MAX));
+        m.set(wall, i64::try_from(self.wall_micros).unwrap_or(i64::MAX));
+        m.set(busy, i64::try_from(self.busy_micros()).unwrap_or(i64::MAX));
+        for &t in &self.task_micros {
+            m.record(per_task, t);
+        }
+        m.snapshot()
+    }
+}
+
+/// [`run_indexed`] plus wall-clock telemetry: identical results (task
+/// order, one run per task), with per-worker steal/busy counters and
+/// per-task wall times on the side. The timing adds one `Instant` pair
+/// per task, so prefer plain [`run_indexed`] for micro-tasks where that
+/// overhead could register.
+pub fn run_indexed_timed<T, F>(tasks: usize, threads: usize, f: F) -> (Vec<T>, ExecutorTelemetry)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let started = Instant::now();
+    let threads = if threads == 0 {
+        available_threads()
+    } else {
+        threads
+    };
+    let threads = threads.min(tasks.max(1));
+    if tasks == 0 {
+        return (Vec::new(), ExecutorTelemetry::default());
+    }
+    if threads <= 1 {
+        let mut task_micros = Vec::with_capacity(tasks);
+        let results = (0..tasks)
+            .map(|t| {
+                let t0 = Instant::now();
+                let r = f(t);
+                task_micros.push(elapsed_micros(t0));
+                r
+            })
+            .collect();
+        let busy: u64 = task_micros.iter().sum();
+        let telemetry = ExecutorTelemetry {
+            threads: 1,
+            tasks,
+            wall_micros: elapsed_micros(started),
+            workers: vec![WorkerStats {
+                tasks_run: tasks as u64,
+                steals: 0,
+                injector_batches: 0,
+                busy_micros: busy,
+            }],
+            task_micros,
+        };
+        return (results, telemetry);
+    }
+
+    let injector: Injector<usize> = Injector::new();
+    for t in 0..tasks {
+        injector.push(t);
+    }
+    let slots: Vec<Mutex<Option<(T, u64)>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    let locals: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<usize>> = locals.iter().map(Worker::stealer).collect();
+    let worker_slots: Vec<Mutex<WorkerStats>> = (0..threads)
+        .map(|_| Mutex::new(WorkerStats::default()))
+        .collect();
+
+    crossbeam::scope(|scope| {
+        for (me, local) in locals.iter().enumerate() {
+            let injector = &injector;
+            let stealers = &stealers;
+            let slots = &slots;
+            let worker_slots = &worker_slots;
+            let f = &f;
+            scope.spawn(move |_| {
+                let mut stats = WorkerStats::default();
+                while let Some((task, source)) = next_task_traced(local, injector, stealers, me) {
+                    match source {
+                        TaskSource::Local => {}
+                        TaskSource::Injector => stats.injector_batches += 1,
+                        TaskSource::Stolen => stats.steals += 1,
+                    }
+                    let t0 = Instant::now();
+                    let r = f(task);
+                    let micros = elapsed_micros(t0);
+                    stats.tasks_run += 1;
+                    stats.busy_micros += micros;
+                    *slots[task].lock() = Some((r, micros));
+                }
+                *worker_slots[me].lock() = stats;
+            });
+        }
+    })
+    .expect("executor worker panicked");
+
+    let mut task_micros = Vec::with_capacity(tasks);
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            let (r, micros) = slot.into_inner().expect("every task ran to completion");
+            task_micros.push(micros);
+            r
+        })
+        .collect();
+    let telemetry = ExecutorTelemetry {
+        threads,
+        tasks,
+        wall_micros: elapsed_micros(started),
+        workers: worker_slots.into_iter().map(Mutex::into_inner).collect(),
+        task_micros,
+    };
+    (results, telemetry)
+}
+
+fn elapsed_micros(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Where [`next_task_traced`] found a task (telemetry attribution).
+enum TaskSource {
+    Local,
+    Injector,
+    Stolen,
+}
+
+/// [`next_task`] with source attribution for the telemetry path.
+fn next_task_traced(
     local: &Worker<usize>,
     injector: &Injector<usize>,
     stealers: &[Stealer<usize>],
     me: usize,
-) -> Option<usize> {
+) -> Option<(usize, TaskSource)> {
     if let Some(task) = local.pop() {
-        return Some(task);
+        return Some((task, TaskSource::Local));
     }
     loop {
         match injector.steal_batch_and_pop(local) {
-            Steal::Success(task) => return Some(task),
+            Steal::Success(task) => return Some((task, TaskSource::Injector)),
             Steal::Empty => break,
             Steal::Retry => {}
         }
@@ -116,13 +319,24 @@ fn next_task(
         }
         loop {
             match stealer.steal() {
-                Steal::Success(task) => return Some(task),
+                Steal::Success(task) => return Some((task, TaskSource::Stolen)),
                 Steal::Empty => break,
                 Steal::Retry => {}
             }
         }
     }
     None
+}
+
+/// Pop local work, else grab a batch from the global injector, else steal
+/// from a sibling; `None` when everything is drained.
+fn next_task(
+    local: &Worker<usize>,
+    injector: &Injector<usize>,
+    stealers: &[Stealer<usize>],
+    me: usize,
+) -> Option<usize> {
+    next_task_traced(local, injector, stealers, me).map(|(task, _)| task)
 }
 
 #[cfg(test)]
@@ -174,6 +388,57 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn timed_results_match_untimed_and_account_every_task() {
+        let (out, telemetry) = run_indexed_timed(80, 4, |i| i * 3);
+        assert_eq!(out, run_indexed(80, 4, |i| i * 3));
+        assert_eq!(telemetry.tasks, 80);
+        assert_eq!(telemetry.task_micros.len(), 80);
+        assert_eq!(telemetry.threads, 4);
+        assert_eq!(telemetry.workers.len(), 4);
+        let run: u64 = telemetry.workers.iter().map(|w| w.tasks_run).sum();
+        assert_eq!(run, 80, "every task attributed to exactly one worker");
+        assert!(telemetry.busy_micros() <= telemetry.wall_micros * 4 + 4);
+    }
+
+    #[test]
+    fn timed_sequential_path_reports_one_worker() {
+        let (out, telemetry) = run_indexed_timed(10, 1, |i| i);
+        assert_eq!(out.len(), 10);
+        assert_eq!(telemetry.threads, 1);
+        assert_eq!(telemetry.workers.len(), 1);
+        assert_eq!(telemetry.workers[0].tasks_run, 10);
+        assert_eq!(telemetry.workers[0].steals, 0);
+        let (empty, t0) = run_indexed_timed(0, 4, |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(t0.tasks, 0);
+    }
+
+    #[test]
+    fn utilization_report_folds_through_the_metrics_facade() {
+        let (_, telemetry) = run_indexed_timed(32, 2, |i| {
+            (0..2_000).fold(i as u64, |acc, x| acc.wrapping_add(x))
+        });
+        let report = telemetry.utilization_report();
+        let tasks = report
+            .counters
+            .iter()
+            .find(|c| c.name == "executor_tasks_total")
+            .expect("tasks counter");
+        assert_eq!(tasks.value, 32);
+        let per_task = report
+            .histograms
+            .iter()
+            .find(|h| h.name == "executor_task_micros")
+            .expect("per-task histogram");
+        assert_eq!(per_task.summary.count, 32);
+        assert!(report.gauges.iter().any(|g| g.name == "executor_threads"));
+        // Truncation of the per-task micros can nudge the ratio a hair
+        // past 1.0 on very short runs; it must stay in that ballpark.
+        let u = telemetry.utilization();
+        assert!((0.0..=1.5).contains(&u), "utilization {u} out of range");
     }
 
     #[test]

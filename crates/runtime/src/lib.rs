@@ -18,6 +18,10 @@
 //!   histograms with integer-exact percentiles and a JSON snapshot.
 //! * [`service`] — the long-lived flow service layer: open-loop arrivals,
 //!   holding times, admission policies, windowed reports (`exp_serve`).
+//! * [`trace`] — the deterministic structured-event journal
+//!   ([`TraceJournal`]): per-decision admission/flow/fault events stamped
+//!   with simulated time only, a JSONL exporter, and the
+//!   [`trace::audit`] invariant checker that replays a journal.
 //!
 //! Determinism is a hard invariant: replica `r` runs on the `r`-th split
 //! of the scenario seed and the fold is order-exact over integers, so a
@@ -57,18 +61,24 @@ pub mod metrics;
 pub mod runner;
 pub mod scenario;
 pub mod service;
+pub mod trace;
 
 pub use aggregate::MetricSummary;
 pub use catalog::builtin_catalog;
-pub use executor::{available_threads, map_cells, run_indexed};
+pub use executor::{
+    available_threads, map_cells, run_indexed, run_indexed_timed, ExecutorTelemetry, WorkerStats,
+};
 pub use faults::FaultPlan;
-pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, Metrics, MetricsSnapshot};
-pub use runner::{run_scenario, MetricRow, ReplicaOutcome, ScenarioReport};
+pub use metrics::{
+    BucketCount, CounterId, GaugeId, Histogram, HistogramId, Metrics, MetricsSnapshot,
+};
+pub use runner::{run_scenario, run_scenario_traced, MetricRow, ReplicaOutcome, ScenarioReport};
 pub use scenario::{
     BuiltTopology, DilationShift, FaultSpec, OriginatorPolicy, Scenario, TopologyKind,
     TopologySpec, Workload,
 };
 pub use service::{
-    builtin_service_catalog, run_service, AdmissionPolicy, ArrivalSpec, DiurnalCurve, HoldingSpec,
-    PopularitySpec, ServiceReport, ServiceSpec, WindowRow,
+    builtin_service_catalog, run_service, run_service_probed, run_service_traced, AdmissionPolicy,
+    ArrivalSpec, DiurnalCurve, HoldingSpec, PopularitySpec, ServiceReport, ServiceSpec, WindowRow,
 };
+pub use trace::{RoundEndInfo, RunProbe, TraceEvent, TraceJournal, TraceRecord};

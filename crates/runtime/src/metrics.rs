@@ -184,6 +184,69 @@ impl Histogram {
         self.max = 0;
         self.saturated = 0;
     }
+
+    /// The sparse bucket occupancy: `(value, count)` for every non-empty
+    /// bucket, in ascending value order — the lossless serialization of
+    /// the sample multiset that [`Metrics::merge`] folds bucket-wise.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<BucketCount> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| BucketCount {
+                value: v as u64,
+                count: c,
+            })
+            .collect()
+    }
+
+    /// Folds a snapshotted histogram into this one bucket-wise: exactly
+    /// equivalent to replaying every clamped sample of the snapshot into
+    /// this histogram ([`Metrics::merge`]'s property-tested contract).
+    ///
+    /// # Panics
+    /// Panics if the bucket layouts differ (`cap` mismatch) or a bucket
+    /// value exceeds the cap — merging across layouts would silently
+    /// re-clamp and break the exactness contract.
+    pub fn merge_snapshot(&mut self, snap: &HistogramSnapshot) {
+        assert_eq!(
+            self.cap, snap.bucket_cap,
+            "histogram {:?}: merge across bucket caps",
+            snap.name
+        );
+        let mut added: u64 = 0;
+        let mut merged_min = u64::MAX;
+        let mut merged_max = 0u64;
+        for b in &snap.buckets {
+            assert!(
+                b.value <= self.cap,
+                "histogram {:?}: bucket {} above cap {}",
+                snap.name,
+                b.value,
+                self.cap
+            );
+            if b.count == 0 {
+                continue;
+            }
+            self.counts[usize::try_from(b.value).expect("bucket fits usize")] += b.count;
+            self.sum += u128::from(b.value) * u128::from(b.count);
+            added += b.count;
+            merged_min = merged_min.min(b.value);
+            merged_max = merged_max.max(b.value);
+        }
+        if added > 0 {
+            if self.count == 0 {
+                self.min = merged_min;
+                self.max = merged_max;
+            } else {
+                self.min = self.min.min(merged_min);
+                self.max = self.max.max(merged_max);
+            }
+            self.count += added;
+        }
+        self.saturated += snap.saturated;
+    }
 }
 
 /// Handle to a registered counter (a `Metrics` array index).
@@ -329,8 +392,54 @@ impl Metrics {
                     bucket_cap: h.cap,
                     saturated: h.saturated,
                     summary: h.summary(),
+                    buckets: h.nonzero_buckets(),
                 })
                 .collect(),
+        }
+    }
+
+    /// Folds a snapshot into this registry with a deterministic
+    /// name-keyed rule per instrument kind:
+    ///
+    /// * **counters** add;
+    /// * **gauges** keep the maximum (high-water semantics — the fold of
+    ///   per-cell point-in-time gauges that makes sense run-wide);
+    /// * **histograms** add bucket-wise via [`Histogram::merge_snapshot`],
+    ///   which is property-tested equal to recording every sample into
+    ///   one registry.
+    ///
+    /// Names missing from this registry are registered on first contact
+    /// (in the snapshot's order), so folding N homogeneous per-cell
+    /// snapshots into an empty registry yields instruments in the cells'
+    /// registration order.
+    ///
+    /// # Panics
+    /// Panics if a name is registered here as a *different* instrument
+    /// kind (the flat-namespace rule), or on a histogram bucket-layout
+    /// mismatch.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for c in &other.counters {
+            let id = match self.counters.iter().position(|(n, _)| n == &c.name) {
+                Some(i) => CounterId(i),
+                None => self.counter(&c.name),
+            };
+            self.add(id, c.value);
+        }
+        for g in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| n == &g.name) {
+                Some((_, v)) => *v = (*v).max(g.value),
+                None => {
+                    let id = self.gauge(&g.name);
+                    self.set(id, g.value);
+                }
+            }
+        }
+        for h in &other.histograms {
+            let id = match self.histograms.iter().position(|(n, _, _)| n == &h.name) {
+                Some(i) => HistogramId(i),
+                None => self.histogram(&h.name, &h.unit, h.bucket_cap),
+            };
+            self.histograms[id.0].2.merge_snapshot(h);
         }
     }
 }
@@ -353,6 +462,16 @@ pub struct GaugeSnapshot {
     pub value: i64,
 }
 
+/// One non-empty unit bucket in a [`HistogramSnapshot`]: `count`
+/// samples recorded (clamped) value `value`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Bucket value (`0..=bucket_cap`).
+    pub value: u64,
+    /// Samples in the bucket (always ≥ 1 in snapshots).
+    pub count: u64,
+}
+
 /// One histogram in a [`MetricsSnapshot`].
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
@@ -367,6 +486,10 @@ pub struct HistogramSnapshot {
     pub saturated: u64,
     /// Integer-exact distribution summary of the clamped samples.
     pub summary: MetricSummary,
+    /// Sparse bucket occupancy (non-empty buckets, ascending value) —
+    /// lossless, so snapshots can be re-merged ([`Metrics::merge`])
+    /// without losing percentile exactness.
+    pub buckets: Vec<BucketCount>,
 }
 
 /// Serializable snapshot of a whole [`Metrics`] registry.
@@ -490,6 +613,202 @@ mod tests {
         let mut m = Metrics::new();
         m.counter("x");
         m.gauge("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least buckets 0 and 1")]
+    fn cap_zero_construction_panics() {
+        let _ = Histogram::new(0);
+    }
+
+    #[test]
+    fn cap_one_is_the_smallest_valid_layout() {
+        let mut h = Histogram::new(1);
+        h.record(0);
+        h.record(1);
+        h.record(7); // saturates into bucket 1
+        assert_eq!(h.saturated(), 1);
+        assert_eq!(h.percentile(1), 0);
+        assert_eq!(h.percentile(100), 1);
+        assert_eq!(h.summary(), MetricSummary::from_samples(&mut [0, 1, 1]));
+    }
+
+    #[test]
+    fn empty_histogram_percentile_bounds_are_zero() {
+        let h = Histogram::new(32);
+        assert_eq!(h.percentile(1), 0);
+        assert_eq!(h.percentile(100), 0);
+        assert_eq!(h.saturated(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_zero_panics() {
+        let _ = Histogram::new(8).percentile(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_above_100_panics() {
+        let _ = Histogram::new(8).percentile(101);
+    }
+
+    #[test]
+    fn all_saturated_recordings_collapse_to_the_cap() {
+        let mut h = Histogram::new(4);
+        for v in [5u64, 100, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.saturated(), 3);
+        assert_eq!(h.count(), 3);
+        // Every statistic equals the exact fold over {4, 4, 4}.
+        assert_eq!(h.summary(), MetricSummary::from_samples(&mut [4, 4, 4]));
+        assert_eq!(h.percentile(1), 4);
+        assert_eq!(h.percentile(100), 4);
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![BucketCount { value: 4, count: 3 }]
+        );
+    }
+
+    #[test]
+    fn percentile_bounds_match_exact_sort_extremes() {
+        // p100 is always the max; p1 is the min whenever count <= 100
+        // (nearest rank: ceil(count/100) = 1).
+        let mut h = Histogram::new(500);
+        let mut samples: Vec<u64> = (0..90).map(|i| (i * 61) % 450 + 3).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        assert_eq!(h.percentile(100), *samples.last().unwrap());
+        assert_eq!(h.percentile(100), h.summary().max);
+        assert_eq!(h.percentile(1), samples[0]);
+        assert_eq!(h.percentile(1), h.summary().min);
+    }
+
+    #[test]
+    fn snapshot_buckets_are_sparse_ascending_and_lossless() {
+        let mut m = Metrics::new();
+        let h = m.histogram("hops", "hops", 64);
+        for v in [3u64, 3, 9, 70] {
+            m.record(h, v);
+        }
+        let snap = &m.snapshot().histograms[0];
+        assert_eq!(
+            snap.buckets,
+            vec![
+                BucketCount { value: 3, count: 2 },
+                BucketCount { value: 9, count: 1 },
+                BucketCount {
+                    value: 64,
+                    count: 1
+                },
+            ]
+        );
+        // Lossless: rebuilding from the buckets reproduces the summary.
+        let mut rebuilt = Histogram::new(64);
+        rebuilt.merge_snapshot(snap);
+        assert_eq!(rebuilt.summary(), snap.summary);
+        assert_eq!(rebuilt.saturated(), snap.saturated);
+    }
+
+    #[test]
+    fn merge_folds_counters_gauges_and_histograms() {
+        let mut a = Metrics::new();
+        let ca = a.counter("requests_total");
+        let ga = a.gauge("active");
+        let ha = a.histogram("hops", "hops", 16);
+        a.add(ca, 10);
+        a.set(ga, 5);
+        a.record(ha, 2);
+
+        let mut b = Metrics::new();
+        let cb = b.counter("requests_total");
+        let gb = b.gauge("active");
+        let hb = b.histogram("hops", "hops", 16);
+        b.add(cb, 7);
+        b.set(gb, 3);
+        b.record(hb, 9);
+        // A name only `b` has is registered on first contact.
+        let only_b = b.counter("timeouts_total");
+        b.inc(only_b);
+
+        a.merge(&b.snapshot());
+        let snap = a.snapshot();
+        assert_eq!(snap.counters[0].value, 17, "counters add");
+        assert_eq!(snap.counters[1].name, "timeouts_total");
+        assert_eq!(snap.counters[1].value, 1);
+        assert_eq!(snap.gauges[0].value, 5, "gauges keep the high-water");
+        assert_eq!(snap.histograms[0].summary.count, 2);
+        assert_eq!(snap.histograms[0].summary.max, 9);
+
+        // Max semantics is symmetric: merging a higher gauge raises it.
+        let mut c = Metrics::new();
+        let gc = c.gauge("active");
+        c.set(gc, 42);
+        a.merge(&c.snapshot());
+        assert_eq!(a.snapshot().gauges[0].value, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge across bucket caps")]
+    fn merge_rejects_bucket_layout_mismatch() {
+        let mut a = Metrics::new();
+        a.histogram("hops", "hops", 16);
+        let mut b = Metrics::new();
+        b.histogram("hops", "hops", 32);
+        a.merge(&b.snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn merge_rejects_cross_kind_name_clash() {
+        let mut a = Metrics::new();
+        a.counter("x");
+        let mut b = Metrics::new();
+        b.gauge("x");
+        a.merge(&b.snapshot());
+    }
+
+    proptest::proptest! {
+        /// [`Metrics::merge`] is exactly "record everything into one
+        /// registry": splitting arbitrary samples across two registries
+        /// and merging their snapshots into a third equals recording the
+        /// concatenation directly (counters and histograms; gauges have
+        /// max semantics, pinned deterministically above).
+        #[test]
+        fn prop_merge_equals_single_registry(
+            left in proptest::collection::vec(0u64..300, 0..80),
+            right in proptest::collection::vec(0u64..300, 0..80),
+            cap in 1u64..256,
+        ) {
+            let mut combined = Metrics::new();
+            let cc = combined.counter("samples_total");
+            let hc = combined.histogram("values", "v", cap);
+            for &s in left.iter().chain(&right) {
+                combined.add(cc, 1);
+                combined.record(hc, s);
+            }
+
+            let mut fold = Metrics::new();
+            for part in [&left, &right] {
+                let mut m = Metrics::new();
+                let c = m.counter("samples_total");
+                let h = m.histogram("values", "v", cap);
+                for &s in part.iter() {
+                    m.add(c, 1);
+                    m.record(h, s);
+                }
+                fold.merge(&m.snapshot());
+            }
+            proptest::prop_assert_eq!(fold.snapshot(), combined.snapshot());
+            proptest::prop_assert_eq!(
+                fold.snapshot().to_json(),
+                combined.snapshot().to_json()
+            );
+        }
     }
 
     proptest::proptest! {

@@ -10,12 +10,13 @@ use crate::aggregate::MetricSummary;
 use crate::executor;
 use crate::faults::FaultPlan;
 use crate::scenario::{BuiltTopology, OriginatorPolicy, Scenario, Vertex, Workload};
+use crate::trace::{RoundEndInfo, RunProbe, TraceJournal};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use shc_broadcast::{replay_degraded, Schedule};
-use shc_netsim::{replay_competing_hooked, Engine, NetTopology};
+use shc_netsim::{replay_competing_probed, Engine, NetTopology, NoProbe};
 use std::collections::BTreeSet;
 
 /// Integer counters from one replica. Everything downstream (summaries,
@@ -134,18 +135,66 @@ pub fn run_replica_outcomes(
         Vec::new()
     };
     executor::run_indexed(scenario.replications, threads, |r| {
-        run_replica(scenario, topo, &edges, r, rngs[r].clone())
+        run_replica(scenario, topo, &edges, r, rngs[r].clone(), NoProbe).0
     })
 }
 
-/// Executes one replica.
-fn run_replica(
+/// [`run_scenario`] with a deterministic trace attached: every replica
+/// runs with its own [`TraceJournal`] probe (`cell` = replica index,
+/// ring capacity `capacity` events per replica). Returns the report —
+/// byte-identical to an untraced run — together with the journals in
+/// replica order. Journals depend only on the scenario spec, never on
+/// `threads`; see `docs/OBSERVABILITY.md`.
+///
+/// # Panics
+/// Panics when `capacity == 0` or the replica count overflows the
+/// journal's `u32` cell id.
+#[must_use]
+pub fn run_scenario_traced(
+    scenario: &Scenario,
+    threads: usize,
+    capacity: usize,
+) -> (ScenarioReport, Vec<TraceJournal>) {
+    let topo = scenario.topology.build();
+    let mut base = StdRng::seed_from_u64(scenario.seed);
+    let rngs: Vec<StdRng> = (0..scenario.replications).map(|_| base.split()).collect();
+    let edges = if scenario.faults.link_failures > 0 {
+        crate::faults::enumerate_edges(&topo)
+    } else {
+        Vec::new()
+    };
+    let results = executor::run_indexed(scenario.replications, threads, |r| {
+        let journal = TraceJournal::new(u32::try_from(r).expect("replica fits u32"), capacity);
+        run_replica(scenario, &topo, &edges, r, rngs[r].clone(), journal)
+    });
+    let (outcomes, journals): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    (fold_report(scenario, &topo, &outcomes), journals)
+}
+
+/// Replays the fault draw into the probe before the engine runs, so a
+/// trace explains *why* later calls sever (dead link) or void (crashed
+/// caller). Plan order is the sample order — deterministic per seed.
+fn emit_fault_plan<P: RunProbe>(probe: &mut P, plan: &FaultPlan) {
+    if P::ENABLED {
+        for &(u, v) in &plan.dead_links {
+            probe.on_fault_link(u, v);
+        }
+        for &v in &plan.crashed {
+            probe.on_fault_node(v);
+        }
+    }
+}
+
+/// Executes one replica with an attached probe. With [`NoProbe`] every
+/// instrumentation branch compiles out.
+fn run_replica<P: RunProbe>(
     scenario: &Scenario,
     topo: &BuiltTopology,
     edges: &[(Vertex, Vertex)],
     replica: usize,
     mut rng: StdRng,
-) -> ReplicaOutcome {
+    mut probe: P,
+) -> (ReplicaOutcome, P) {
     let n = topo.num_vertices();
     let originator = match scenario.originators {
         OriginatorPolicy::Fixed(v) => v,
@@ -171,13 +220,24 @@ fn run_replica(
                 }
             }
             let plan = FaultPlan::sample(&scenario.faults, edges, n, &sources, &mut rng);
+            emit_fault_plan(&mut probe, &plan);
             let net = plan.overlay(topo);
             let schedules: Vec<Schedule> = sources.iter().map(|&s| topo.schedule(s)).collect();
             // Shares `replay_competing`'s admission semantics exactly —
-            // the hook only adds the mid-run dilation shift.
-            let stats = replay_competing_hooked(&net, &schedules, scenario.dilation, |t, sim| {
-                apply_dilation_shift(scenario, sim, t);
-            });
+            // the hook only adds the mid-run dilation shift (and, when
+            // traced, closes the previous round in the journal; the
+            // final round is closed after the replay returns).
+            let (stats, p) =
+                replay_competing_probed(&net, &schedules, scenario.dilation, probe, |t, sim| {
+                    if P::ENABLED && t > 0 {
+                        emit_round_end(sim, 0);
+                    }
+                    apply_dilation_shift(scenario, sim, t);
+                });
+            probe = p;
+            if P::ENABLED && stats.rounds > 0 {
+                probe.on_round_end(&RoundEndInfo::default());
+            }
             record_stats(&mut outcome, stats);
 
             // Information accounting for the primary broadcast: which
@@ -196,18 +256,24 @@ fn run_replica(
         } => {
             assert!(target < n, "hot-spot target out of range");
             let plan = FaultPlan::sample(&scenario.faults, edges, n, &[target], &mut rng);
+            emit_fault_plan(&mut probe, &plan);
             let net = plan.overlay(topo);
             let mut pool: Vec<Vertex> = (0..n)
                 .filter(|&v| v != target && !plan.crashed.contains(&v))
                 .collect();
             let (chosen, _) = pool.partial_shuffle(&mut rng, senders);
-            let mut sim = Engine::new(&net, scenario.dilation);
+            let mut sim = Engine::with_probe(&net, scenario.dilation, probe);
             apply_dilation_shift(scenario, &mut sim, 0);
             sim.begin_round();
             for &src in chosen.iter() {
                 let _ = sim.request(src, target, max_len);
             }
-            record_stats(&mut outcome, sim.finish());
+            if P::ENABLED {
+                emit_round_end(&mut sim, 0);
+            }
+            let (stats, p) = sim.finish_with_probe();
+            probe = p;
+            record_stats(&mut outcome, stats);
             outcome.informed = outcome.established;
             outcome.dead_links = plan.dead_links.len() as u64;
             outcome.crashed_nodes = plan.crashed.len() as u64;
@@ -218,9 +284,10 @@ fn run_replica(
             max_len,
         } => {
             let plan = FaultPlan::sample(&scenario.faults, edges, n, &[], &mut rng);
+            emit_fault_plan(&mut probe, &plan);
             let net = plan.overlay(topo);
             let alive: Vec<Vertex> = (0..n).filter(|v| !plan.crashed.contains(v)).collect();
-            let mut sim = Engine::new(&net, scenario.dilation);
+            let mut sim = Engine::with_probe(&net, scenario.dilation, probe);
             for t in 0..rounds {
                 apply_dilation_shift(scenario, &mut sim, t);
                 sim.begin_round();
@@ -235,24 +302,45 @@ fn run_replica(
                         }
                     }
                 }
+                if P::ENABLED {
+                    emit_round_end(&mut sim, 0);
+                }
             }
-            record_stats(&mut outcome, sim.finish());
+            let (stats, p) = sim.finish_with_probe();
+            probe = p;
+            record_stats(&mut outcome, stats);
             outcome.informed = outcome.established;
             outcome.dead_links = plan.dead_links.len() as u64;
             outcome.crashed_nodes = plan.crashed.len() as u64;
         }
     }
-    outcome
+    (outcome, probe)
 }
 
-fn apply_dilation_shift<T: NetTopology>(
+/// Closes the engine's current round in the journal: scenario workloads
+/// hold no cross-round flows, so the gauges come straight from the
+/// engine (all zero unless a flow workload is added later) plus the
+/// driver-side queue depth.
+fn emit_round_end<T: NetTopology, P: RunProbe>(sim: &mut Engine<'_, T, P>, queue_depth: u64) {
+    let info = RoundEndInfo {
+        active_flows: sim.active_flows() as u64,
+        held_link_hops: sim.held_link_hops(),
+        queue_depth,
+    };
+    sim.probe_mut().on_round_end(&info);
+}
+
+fn apply_dilation_shift<T: NetTopology, P: RunProbe>(
     scenario: &Scenario,
-    sim: &mut Engine<'_, T>,
+    sim: &mut Engine<'_, T, P>,
     round: usize,
 ) {
     if let Some(shift) = scenario.faults.dilation_shift {
         if shift.at_round == round {
             sim.set_dilation(shift.dilation);
+            if P::ENABLED {
+                sim.probe_mut().on_dilation_shift(shift.dilation);
+            }
         }
     }
 }
@@ -466,6 +554,88 @@ mod tests {
         assert!(report.total_established > 0);
         // Same-seed determinism holds with the mid-run shift too.
         assert_eq!(report, run_scenario(&scenario, 1));
+    }
+
+    #[test]
+    fn traced_scenarios_match_untraced_and_audit_clean() {
+        // One scenario per workload arm, all with faults and a mid-run
+        // dilation shift so every event variant can fire.
+        let scenarios = [
+            base_scenario()
+                .faults(FaultSpec {
+                    link_failures: 4,
+                    node_crashes: 1,
+                    dilation_shift: Some(DilationShift {
+                        at_round: 2,
+                        dilation: 3,
+                    }),
+                })
+                .replications(6),
+            Scenario::new(
+                "hot",
+                TopologySpec::Hypercube { n: 4 },
+                Workload::HotSpot {
+                    target: 0,
+                    senders: 15,
+                    max_len: 4,
+                },
+            )
+            .replications(4)
+            .seed(5),
+            Scenario::new(
+                "perm",
+                TopologySpec::Hypercube { n: 4 },
+                Workload::Permutation {
+                    rounds: 5,
+                    pairs: 10,
+                    max_len: 6,
+                },
+            )
+            .replications(4)
+            .seed(9),
+        ];
+        for scenario in scenarios {
+            let plain = run_scenario(&scenario, 2);
+            let (traced, journals) = run_scenario_traced(&scenario, 2, 1 << 16);
+            // Attaching probes must not perturb the simulation.
+            assert_eq!(plain, traced, "{}", scenario.name);
+            assert_eq!(journals.len(), scenario.replications);
+            let audit = crate::trace::audit::audit_journals(&journals)
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+            assert_eq!(
+                audit.established, traced.total_established,
+                "{}: every established circuit is journaled",
+                scenario.name
+            );
+            assert_eq!(audit.blocked, traced.total_blocked, "{}", scenario.name);
+        }
+    }
+
+    #[test]
+    fn trace_journals_are_identical_across_thread_counts() {
+        let scenario = base_scenario()
+            .originators(OriginatorPolicy::Random)
+            .faults(FaultSpec {
+                link_failures: 5,
+                node_crashes: 2,
+                dilation_shift: None,
+            })
+            .replications(12);
+        let (r1, j1) = run_scenario_traced(&scenario, 1, 1 << 16);
+        let (r4, j4) = run_scenario_traced(&scenario, 4, 1 << 16);
+        assert_eq!(r1, r4);
+        let render = |js: &[crate::trace::TraceJournal]| {
+            let mut out = String::new();
+            for j in js {
+                j.render_jsonl_into(&mut out);
+            }
+            out
+        };
+        assert_eq!(render(&j1), render(&j4));
+        // Fault draws actually reached the journals.
+        assert!(j1.iter().any(|j| j
+            .records()
+            .any(|r| matches!(r.event, crate::trace::TraceEvent::FaultLink { .. }))));
     }
 
     #[test]

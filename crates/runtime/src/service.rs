@@ -76,9 +76,10 @@
 use crate::aggregate::MetricSummary;
 use crate::metrics::{CounterId, GaugeId, Histogram, HistogramId, Metrics, MetricsSnapshot};
 use crate::scenario::{TopologySpec, Vertex};
+use crate::trace::{RoundEndInfo, RunProbe, TraceJournal};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use shc_netsim::{Engine, FlowId, FlowOutcome, NetTopology};
+use shc_netsim::{Engine, FlowId, FlowOutcome, NetTopology, NoProbe};
 use std::collections::VecDeque;
 
 /// Open-loop arrival process: a Poisson round rate, optionally modulated
@@ -654,12 +655,44 @@ fn admit(
 /// capacity).
 #[must_use]
 pub fn run_service(spec: &ServiceSpec) -> ServiceReport {
+    run_service_probed(spec, NoProbe).0
+}
+
+/// [`run_service`] with a deterministic trace attached: simulates the
+/// cell with a [`TraceJournal`] probe (identified as `cell`, ring
+/// capacity `capacity` events) and returns the report together with the
+/// filled journal. The report is byte-identical to an untraced run of
+/// the same spec, and the journal depends only on the spec — see
+/// `docs/OBSERVABILITY.md`.
+///
+/// # Panics
+/// Panics on an invalid spec or `capacity == 0`.
+#[must_use]
+pub fn run_service_traced(
+    spec: &ServiceSpec,
+    cell: u32,
+    capacity: usize,
+) -> (ServiceReport, TraceJournal) {
+    run_service_probed(spec, TraceJournal::new(cell, capacity))
+}
+
+/// Generic core of [`run_service`]: simulates one cell with an attached
+/// [`RunProbe`], returning the report and the probe. With [`NoProbe`]
+/// every probe call compiles out (`P::ENABLED == false`), so the
+/// untraced path pays nothing.
+///
+/// # Panics
+/// Panics on an invalid spec (zero rounds/window, negative rates,
+/// geometric mean < 1, diurnal amplitude outside `[0, 1]`, zero queue
+/// capacity).
+#[must_use]
+pub fn run_service_probed<P: RunProbe>(spec: &ServiceSpec, probe: P) -> (ServiceReport, P) {
     spec.validate();
     let built = spec.topology.build();
     let n = NetTopology::num_vertices(&built);
     assert!(n >= 2, "a service needs at least two vertices");
     let max_len = spec.effective_max_len();
-    let mut engine = Engine::new(&built, spec.dilation);
+    let mut engine = Engine::with_probe(&built, spec.dilation, probe);
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let zipf = match spec.popularity {
         PopularitySpec::Zipf { exponent } => Some(ZipfCdf::new(n, exponent)),
@@ -701,12 +734,18 @@ pub fn run_service(spec: &ServiceSpec) -> ServiceReport {
                 let q = queue.pop_front().expect("queue length checked");
                 let waited = (t - q.enqueued) as u64;
                 if waited > u64::from(max_wait_rounds) {
+                    if P::ENABLED {
+                        engine.probe_mut().on_flow_timeout(waited);
+                    }
                     m.inc(ins.c_timeout);
                     m.inc(ins.c_rejected);
                     continue;
                 }
                 match engine.request_flow(q.src, q.dst, max_len) {
                     FlowOutcome::Established { flow, hops } => {
+                        if P::ENABLED {
+                            engine.probe_mut().on_queue_admit(waited);
+                        }
                         admit(
                             &mut m,
                             &ins,
@@ -763,6 +802,9 @@ pub fn run_service(spec: &ServiceSpec) -> ServiceReport {
                         AdmissionPolicy::Reject => m.inc(ins.c_rejected),
                         AdmissionPolicy::QueueWithTimeout { capacity, .. } => {
                             if queue.len() < capacity {
+                                if P::ENABLED {
+                                    engine.probe_mut().on_flow_queued(src, dst);
+                                }
                                 queue.push_back(Queued {
                                     src,
                                     dst,
@@ -770,6 +812,9 @@ pub fn run_service(spec: &ServiceSpec) -> ServiceReport {
                                 });
                                 m.inc(ins.c_queued);
                             } else {
+                                if P::ENABLED {
+                                    engine.probe_mut().on_queue_overflow();
+                                }
                                 m.inc(ins.c_overflow);
                                 m.inc(ins.c_rejected);
                             }
@@ -817,6 +862,14 @@ pub fn run_service(spec: &ServiceSpec) -> ServiceReport {
             ins.g_queue,
             i64::try_from(queue.len()).expect("gauge fits i64"),
         );
+        if P::ENABLED {
+            let info = RoundEndInfo {
+                active_flows: active,
+                held_link_hops: engine.held_link_hops(),
+                queue_depth: queue.len() as u64,
+            };
+            engine.probe_mut().on_round_end(&info);
+        }
 
         // Window boundary (also closes the final partial window).
         if (t + 1) % spec.window_rounds == 0 || t + 1 == spec.rounds {
@@ -859,8 +912,8 @@ pub fn run_service(spec: &ServiceSpec) -> ServiceReport {
         m.counter_value(ins.c_admitted) + m.counter_value(ins.c_rejected) + queue.len() as u64,
     );
 
-    let stats = engine.finish();
-    ServiceReport {
+    let (stats, probe) = engine.finish_with_probe();
+    let report = ServiceReport {
         service: spec.name.clone(),
         topology: spec.topology.label(),
         policy: spec.policy.label(),
@@ -877,7 +930,8 @@ pub fn run_service(spec: &ServiceSpec) -> ServiceReport {
             total_hops: stats.total_hops as u64,
             peak_link_load: stats.peak_link_load,
         },
-    }
+    };
+    (report, probe)
 }
 
 /// The built-in service catalog behind `exp_serve`: sparse hypercube vs
@@ -1092,6 +1146,66 @@ mod tests {
         assert_eq!(bounds, vec![(0, 20), (20, 40), (40, 50)]);
         let total_arrivals: u64 = report.windows.iter().map(|w| w.arrivals).sum();
         assert_eq!(total_arrivals, counter(&report, "flow_arrivals_total"));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_audits_clean() {
+        for policy in [
+            AdmissionPolicy::QueueWithTimeout {
+                max_wait_rounds: 4,
+                capacity: 16,
+            },
+            AdmissionPolicy::DegradeToDetour { extra_hops: 2 },
+        ] {
+            let spec = base_spec(policy).arrivals(ArrivalSpec::poisson(10.0));
+            let plain = run_service(&spec);
+            let (traced, journal) = run_service_traced(&spec, 3, 1 << 18);
+            // Attaching the probe must not perturb the simulation.
+            assert_eq!(plain, traced);
+            assert_eq!(journal.cell(), 3);
+            assert_eq!(journal.dropped(), 0);
+            let audit = crate::trace::audit::audit_journal(&journal)
+                .unwrap_or_else(|e| panic!("policy {policy:?}: {e}"));
+            assert_eq!(audit.rounds_checked, spec.rounds as u64);
+            assert_eq!(audit.flows_opened, counter(&traced, "flow_admitted_total"));
+            assert_eq!(
+                audit.flows_released,
+                counter(&traced, "flow_released_total")
+            );
+            // The journal is a pure function of the spec.
+            let (_, again) = run_service_traced(&spec, 3, 1 << 18);
+            assert_eq!(journal.render_jsonl(), again.render_jsonl());
+        }
+    }
+
+    #[test]
+    fn traced_run_journals_queue_lifecycle_events() {
+        let spec = base_spec(AdmissionPolicy::QueueWithTimeout {
+            max_wait_rounds: 2,
+            capacity: 4,
+        })
+        .arrivals(ArrivalSpec::poisson(20.0))
+        .popularity(PopularitySpec::Zipf { exponent: 1.5 });
+        let (report, journal) = run_service_traced(&spec, 0, 1 << 18);
+        let count = |pred: &dyn Fn(&TraceEvent) -> bool| {
+            journal.records().filter(|r| pred(&r.event)).count() as u64
+        };
+        use crate::trace::TraceEvent;
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::FlowQueued { .. })),
+            counter(&report, "flow_queued_total")
+        );
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::FlowTimeout { .. })),
+            counter(&report, "flow_timeout_total")
+        );
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::QueueOverflow)),
+            counter(&report, "flow_queue_overflow_total")
+        );
+        // Under this overload the queue actually exercises all paths.
+        assert!(counter(&report, "flow_queued_total") > 0);
+        assert!(counter(&report, "flow_queue_overflow_total") > 0);
     }
 
     #[test]

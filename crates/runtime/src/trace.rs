@@ -1,0 +1,1058 @@
+//! Deterministic structured-event tracing: the journal every layer of
+//! the stack (engine admissions, flow lifecycle, service queueing, fault
+//! activation) reports through, and the audit that replays it.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Simulated time only.** Records are stamped `(cell, round, seq)` —
+//!    a cell id chosen by the driver, the engine's round index, and a
+//!    per-round event sequence number. No wall clock is ever read, so a
+//!    journal is a pure function of the (deterministic) decision
+//!    sequence: same seed ⇒ byte-identical JSONL for 1 or N worker
+//!    threads. This is the same contract `tests/runtime_determinism.rs`
+//!    pins for reports, extended to per-decision granularity. Wall-clock
+//!    telemetry lives elsewhere ([`executor`](crate::executor)
+//!    utilization) and never enters a journal.
+//! 2. **Zero dependencies.** The JSONL exporter is hand-rolled string
+//!    building over integer fields — no serde round trip, no float
+//!    formatting, fixed field order.
+//! 3. **Bounded memory.** [`TraceJournal`] is a ring: beyond `capacity`
+//!    the oldest records are dropped **with explicit accounting**
+//!    ([`TraceJournal::dropped`]) — never silently, and the audit refuses
+//!    to certify an incomplete journal.
+//!
+//! [`TraceJournal`] implements the engine-side
+//! [`EngineProbe`] (admission decisions, flow
+//! lifecycle, search effort arrive automatically once attached via
+//! [`Engine::with_probe`](shc_netsim::Engine::with_probe)) and the
+//! runtime-side [`RunProbe`] extension (queueing, faults, round
+//! summaries, pushed by the service/runner drivers).
+//!
+//! ```
+//! use shc_netsim::{Engine, MaterializedNet};
+//! use shc_graph::builders::cycle;
+//! use shc_runtime::trace::{audit, TraceJournal};
+//!
+//! let net = MaterializedNet::new(cycle(6));
+//! let mut sim = Engine::with_probe(&net, 1, TraceJournal::new(0, 1024));
+//! sim.begin_round();
+//! assert!(sim.request(0, 2, 4).is_established());
+//! let (_stats, journal) = sim.finish_with_probe();
+//! assert_eq!(journal.len(), 1);
+//! assert_eq!(journal.dropped(), 0);
+//! let report = audit::audit_journal(&journal).expect("consistent journal");
+//! assert_eq!(report.requests, 1);
+//! assert!(journal.render_jsonl().contains("\"decision\":\"established\""));
+//! ```
+
+use shc_netsim::topology::Vertex;
+use shc_netsim::{BlockReason, EngineProbe, LinkId, NoProbe, RequestProbe, RouteSearch};
+use std::collections::VecDeque;
+
+/// How an admission decision concluded, flattened for the journal
+/// (carries the [`BlockReason`] payload where one exists).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestDecision {
+    /// Circuit established.
+    Established,
+    /// Blocked: some candidate link had no spare capacity.
+    Saturated,
+    /// Blocked: no route within the length bound.
+    NoRoute,
+    /// Blocked: a supplied path hop is not a live edge.
+    NotAnEdge {
+        /// Offending hop's tail.
+        u: Vertex,
+        /// Offending hop's head.
+        v: Vertex,
+    },
+}
+
+impl RequestDecision {
+    fn from_outcome(hops: Option<u32>, reason: Option<&BlockReason>) -> Self {
+        match (hops, reason) {
+            (Some(_), _) => Self::Established,
+            (None, Some(BlockReason::Saturated)) => Self::Saturated,
+            (None, Some(BlockReason::NoRoute)) => Self::NoRoute,
+            (None, Some(BlockReason::NotAnEdge((u, v)))) => Self::NotAnEdge { u: *u, v: *v },
+            (None, None) => unreachable!("an admission is established or blocked"),
+        }
+    }
+
+    /// The journal's stable wire name for this decision.
+    #[must_use]
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            Self::Established => "established",
+            Self::Saturated => "saturated",
+            Self::NoRoute => "no_route",
+            Self::NotAnEdge { .. } => "not_an_edge",
+        }
+    }
+}
+
+/// Search effort attached to adaptive admission events (a copy of the
+/// engine's [`shc_netsim::SearchStats`] in journal-owned form).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchTrace {
+    /// Which search ran.
+    pub strategy: RouteSearch,
+    /// Vertices expanded before the search concluded.
+    pub nodes_expanded: u32,
+    /// Peak frontier size.
+    pub frontier_peak: u32,
+}
+
+/// The journal's stable wire name for a search strategy.
+#[must_use]
+pub fn strategy_wire_name(s: RouteSearch) -> &'static str {
+    match s {
+        RouteSearch::Unidirectional => "uni",
+        RouteSearch::Bidirectional => "bidi",
+        RouteSearch::AStarCube => "astar",
+    }
+}
+
+/// Engine-side gauge values a driver passes to
+/// [`RunProbe::on_round_end`], recorded verbatim and cross-checked by
+/// the audit against the event-derived flow ledger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundEndInfo {
+    /// Active (admitted, unreleased) flows after the round.
+    pub active_flows: u64,
+    /// Links held by active flows after the round.
+    pub held_link_hops: u64,
+    /// Admission-queue depth after the round (0 for queueless drivers).
+    pub queue_depth: u64,
+}
+
+/// One journal event. Everything is integers over simulated time —
+/// see the [module docs](self) for the determinism contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// One admission decision (adaptive or fixed-path).
+    Request {
+        /// Source vertex.
+        src: Vertex,
+        /// Destination vertex.
+        dst: Vertex,
+        /// How the decision concluded.
+        decision: RequestDecision,
+        /// Route length when established.
+        hops: Option<u32>,
+        /// First link skipped for lack of capacity, when any.
+        rejecting_link: Option<LinkId>,
+        /// Search effort (adaptive requests only).
+        search: Option<SearchTrace>,
+    },
+    /// A flow was admitted into slab slot `flow`, holding `hops` links.
+    FlowEstablished {
+        /// Engine slab slot.
+        flow: u32,
+        /// Links held.
+        hops: u32,
+    },
+    /// The flow in slab slot `flow` released its `hops` links.
+    FlowReleased {
+        /// Engine slab slot.
+        flow: u32,
+        /// Links released.
+        hops: u32,
+    },
+    /// The service queued an arrival instead of admitting it.
+    FlowQueued {
+        /// Source vertex.
+        src: Vertex,
+        /// Destination vertex.
+        dst: Vertex,
+    },
+    /// A queued arrival was admitted after `waited` rounds.
+    QueueAdmit {
+        /// Rounds spent queued.
+        waited: u64,
+    },
+    /// A queued arrival timed out after `waited` rounds.
+    FlowTimeout {
+        /// Rounds spent queued.
+        waited: u64,
+    },
+    /// An arrival was rejected because the queue was full.
+    QueueOverflow,
+    /// Fault activation: the link `{u, v}` is dead for this run.
+    FaultLink {
+        /// Endpoint.
+        u: Vertex,
+        /// Endpoint.
+        v: Vertex,
+    },
+    /// Fault activation: vertex `v` is crashed for this run.
+    FaultNode {
+        /// Crashed vertex.
+        v: Vertex,
+    },
+    /// A mid-run dilation shift took effect.
+    DilationShift {
+        /// New per-link capacity.
+        dilation: u32,
+    },
+    /// End-of-round summary: the journal's own per-round admission
+    /// tallies plus the driver-supplied engine gauges.
+    RoundEnd {
+        /// Admission decisions this round (journal tally).
+        requests: u64,
+        /// … of which established.
+        established: u64,
+        /// … of which blocked.
+        blocked: u64,
+        /// Driver-supplied gauges, audit-checked against the ledger.
+        info: RoundEndInfo,
+    },
+}
+
+/// One stamped record: `(cell, round, seq)` + event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Driver-chosen cell id (catalog cell, replica index, …).
+    pub cell: u32,
+    /// Engine round index (0-based; pre-round events carry round 0).
+    pub round: u64,
+    /// Per-round event sequence number (0-based).
+    pub seq: u32,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Bounded deterministic event journal — see the [module docs](self).
+///
+/// Implements [`EngineProbe`] (attach with
+/// [`Engine::with_probe`](shc_netsim::Engine::with_probe)) and
+/// [`RunProbe`]; drivers push runtime-side events through
+/// [`Engine::probe_mut`](shc_netsim::Engine::probe_mut).
+#[derive(Clone, Debug)]
+pub struct TraceJournal {
+    cell: u32,
+    capacity: usize,
+    events: VecDeque<TraceRecord>,
+    dropped: u64,
+    round: u64,
+    seq: u32,
+    // Per-round admission tallies for the RoundEnd summary.
+    round_requests: u64,
+    round_established: u64,
+    round_blocked: u64,
+}
+
+impl TraceJournal {
+    /// Creates an empty journal for `cell` holding at most `capacity`
+    /// records (older records are dropped, with accounting, beyond it).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(cell: u32, capacity: usize) -> Self {
+        assert!(capacity >= 1, "a journal needs room for at least 1 event");
+        Self {
+            cell,
+            capacity,
+            events: VecDeque::new(),
+            dropped: 0,
+            round: 0,
+            seq: 0,
+            round_requests: 0,
+            round_established: 0,
+            round_blocked: 0,
+        }
+    }
+
+    /// The cell id this journal stamps.
+    #[must_use]
+    pub fn cell(&self) -> u32 {
+        self.cell
+    }
+
+    /// Records currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no records are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Records dropped because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates the retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.events.iter()
+    }
+
+    /// Stamps and appends one event, dropping the oldest record (with
+    /// accounting) when the ring is full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceRecord {
+            cell: self.cell,
+            round: self.round,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Moves the stamp to `round`, resetting the sequence counter.
+    /// Idempotent: re-announcing the current round (e.g. fault events
+    /// pushed at round 0 before the engine's first `begin_round` also
+    /// reports round 0) does not restart the sequence.
+    fn set_round(&mut self, round: u64) {
+        if round != self.round {
+            self.round = round;
+            self.seq = 0;
+            self.round_requests = 0;
+            self.round_established = 0;
+            self.round_blocked = 0;
+        }
+    }
+
+    /// Renders the journal as JSONL: one record per line in stamp order,
+    /// then one `journal_summary` line with retention/drop accounting.
+    /// Hand-rolled fixed-order integer fields — equal journals render to
+    /// identical bytes.
+    #[must_use]
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        self.render_jsonl_into(&mut out);
+        out
+    }
+
+    /// [`render_jsonl`](Self::render_jsonl) appending into `out` — the
+    /// form multi-cell exporters use to concatenate journals.
+    pub fn render_jsonl_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        for r in &self.events {
+            let _ = write!(
+                out,
+                "{{\"cell\":{},\"round\":{},\"seq\":{}",
+                r.cell, r.round, r.seq
+            );
+            match &r.event {
+                TraceEvent::Request {
+                    src,
+                    dst,
+                    decision,
+                    hops,
+                    rejecting_link,
+                    search,
+                } => {
+                    let _ = write!(
+                        out,
+                        ",\"type\":\"request\",\"src\":{src},\"dst\":{dst},\"decision\":\"{}\"",
+                        decision.wire_name()
+                    );
+                    if let RequestDecision::NotAnEdge { u, v } = decision {
+                        let _ = write!(out, ",\"bad_edge\":[{u},{v}]");
+                    }
+                    if let Some(h) = hops {
+                        let _ = write!(out, ",\"hops\":{h}");
+                    }
+                    if let Some(l) = rejecting_link {
+                        let _ = write!(out, ",\"rejecting_link\":{l}");
+                    }
+                    if let Some(s) = search {
+                        let _ = write!(
+                            out,
+                            ",\"search\":{{\"strategy\":\"{}\",\"expanded\":{},\"frontier_peak\":{}}}",
+                            strategy_wire_name(s.strategy),
+                            s.nodes_expanded,
+                            s.frontier_peak
+                        );
+                    }
+                }
+                TraceEvent::FlowEstablished { flow, hops } => {
+                    let _ = write!(
+                        out,
+                        ",\"type\":\"flow_established\",\"flow\":{flow},\"hops\":{hops}"
+                    );
+                }
+                TraceEvent::FlowReleased { flow, hops } => {
+                    let _ = write!(
+                        out,
+                        ",\"type\":\"flow_released\",\"flow\":{flow},\"hops\":{hops}"
+                    );
+                }
+                TraceEvent::FlowQueued { src, dst } => {
+                    let _ = write!(out, ",\"type\":\"flow_queued\",\"src\":{src},\"dst\":{dst}");
+                }
+                TraceEvent::QueueAdmit { waited } => {
+                    let _ = write!(out, ",\"type\":\"queue_admit\",\"waited\":{waited}");
+                }
+                TraceEvent::FlowTimeout { waited } => {
+                    let _ = write!(out, ",\"type\":\"flow_timeout\",\"waited\":{waited}");
+                }
+                TraceEvent::QueueOverflow => {
+                    let _ = write!(out, ",\"type\":\"queue_overflow\"");
+                }
+                TraceEvent::FaultLink { u, v } => {
+                    let _ = write!(out, ",\"type\":\"fault_link\",\"u\":{u},\"v\":{v}");
+                }
+                TraceEvent::FaultNode { v } => {
+                    let _ = write!(out, ",\"type\":\"fault_node\",\"v\":{v}");
+                }
+                TraceEvent::DilationShift { dilation } => {
+                    let _ = write!(out, ",\"type\":\"dilation_shift\",\"dilation\":{dilation}");
+                }
+                TraceEvent::RoundEnd {
+                    requests,
+                    established,
+                    blocked,
+                    info,
+                } => {
+                    let _ = write!(
+                        out,
+                        ",\"type\":\"round_end\",\"requests\":{requests},\"established\":{established},\"blocked\":{blocked},\"active_flows\":{},\"held_link_hops\":{},\"queue_depth\":{}",
+                        info.active_flows, info.held_link_hops, info.queue_depth
+                    );
+                }
+            }
+            out.push_str("}\n");
+        }
+        let _ = writeln!(
+            out,
+            "{{\"cell\":{},\"type\":\"journal_summary\",\"events\":{},\"dropped\":{}}}",
+            self.cell,
+            self.events.len(),
+            self.dropped
+        );
+    }
+}
+
+impl EngineProbe for TraceJournal {
+    fn on_round_begin(&mut self, round: u64) {
+        self.set_round(round);
+    }
+
+    fn on_request(&mut self, req: &RequestProbe<'_>) {
+        let decision = RequestDecision::from_outcome(req.hops, req.reason);
+        self.round_requests += 1;
+        if req.hops.is_some() {
+            self.round_established += 1;
+        } else {
+            self.round_blocked += 1;
+        }
+        let search = req.search.map(|s| SearchTrace {
+            strategy: s.strategy,
+            nodes_expanded: s.nodes_expanded,
+            frontier_peak: s.frontier_peak,
+        });
+        self.push(TraceEvent::Request {
+            src: req.src,
+            dst: req.dst,
+            decision,
+            hops: req.hops,
+            rejecting_link: req.rejecting_link,
+            search,
+        });
+    }
+
+    fn on_flow_established(&mut self, flow: u32, hops: u32) {
+        self.push(TraceEvent::FlowEstablished { flow, hops });
+    }
+
+    fn on_flow_released(&mut self, flow: u32, hops: u32) {
+        self.push(TraceEvent::FlowReleased { flow, hops });
+    }
+}
+
+/// Runtime-side probe extension: events the engine cannot see — service
+/// queueing decisions, fault activation, round summaries — pushed by the
+/// drivers through [`Engine::probe_mut`](shc_netsim::Engine::probe_mut).
+/// All methods default to no-ops, and [`NoProbe`] implements the trait
+/// empty, so untraced drivers monomorphize to the exact untraced code.
+pub trait RunProbe: EngineProbe {
+    /// The service queued an arrival instead of admitting it.
+    fn on_flow_queued(&mut self, src: Vertex, dst: Vertex) {
+        let _ = (src, dst);
+    }
+
+    /// A queued arrival was admitted after `waited` rounds.
+    fn on_queue_admit(&mut self, waited: u64) {
+        let _ = waited;
+    }
+
+    /// A queued arrival timed out after `waited` rounds.
+    fn on_flow_timeout(&mut self, waited: u64) {
+        let _ = waited;
+    }
+
+    /// An arrival was rejected because the queue was full.
+    fn on_queue_overflow(&mut self) {}
+
+    /// Fault activation: the link `{u, v}` is dead for this run.
+    fn on_fault_link(&mut self, u: Vertex, v: Vertex) {
+        let _ = (u, v);
+    }
+
+    /// Fault activation: vertex `v` is crashed for this run.
+    fn on_fault_node(&mut self, v: Vertex) {
+        let _ = v;
+    }
+
+    /// A mid-run dilation shift took effect.
+    fn on_dilation_shift(&mut self, dilation: u32) {
+        let _ = dilation;
+    }
+
+    /// End-of-round driver summary with engine gauge values.
+    fn on_round_end(&mut self, info: &RoundEndInfo) {
+        let _ = info;
+    }
+}
+
+impl RunProbe for NoProbe {}
+
+impl RunProbe for TraceJournal {
+    fn on_flow_queued(&mut self, src: Vertex, dst: Vertex) {
+        self.push(TraceEvent::FlowQueued { src, dst });
+    }
+
+    fn on_queue_admit(&mut self, waited: u64) {
+        self.push(TraceEvent::QueueAdmit { waited });
+    }
+
+    fn on_flow_timeout(&mut self, waited: u64) {
+        self.push(TraceEvent::FlowTimeout { waited });
+    }
+
+    fn on_queue_overflow(&mut self) {
+        self.push(TraceEvent::QueueOverflow);
+    }
+
+    fn on_fault_link(&mut self, u: Vertex, v: Vertex) {
+        self.push(TraceEvent::FaultLink { u, v });
+    }
+
+    fn on_fault_node(&mut self, v: Vertex) {
+        self.push(TraceEvent::FaultNode { v });
+    }
+
+    fn on_dilation_shift(&mut self, dilation: u32) {
+        self.push(TraceEvent::DilationShift { dilation });
+    }
+
+    fn on_round_end(&mut self, info: &RoundEndInfo) {
+        let summary = TraceEvent::RoundEnd {
+            requests: self.round_requests,
+            established: self.round_established,
+            blocked: self.round_blocked,
+            info: *info,
+        };
+        self.push(summary);
+    }
+}
+
+pub mod audit {
+    //! Trace-backed invariant checking: replay a journal and assert that
+    //! the event stream is internally conserved — stamps are monotone,
+    //! admission tallies balance, flow holds balance releases, and the
+    //! driver-reported occupancy gauges match the event-derived flow
+    //! ledger exactly. Run automatically by the `exp_*` binaries in
+    //! `--seed-check` mode.
+
+    use super::{RequestDecision, TraceEvent, TraceJournal};
+    use std::collections::HashMap;
+    use std::fmt;
+
+    /// Totals over a successfully audited journal (or set of journals).
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct AuditReport {
+        /// Records replayed.
+        pub events: u64,
+        /// Admission decisions seen.
+        pub requests: u64,
+        /// … of which established.
+        pub established: u64,
+        /// … of which blocked.
+        pub blocked: u64,
+        /// Flow admissions seen.
+        pub flows_opened: u64,
+        /// Flow releases seen.
+        pub flows_released: u64,
+        /// Round-end summaries cross-checked against the ledger.
+        pub rounds_checked: u64,
+    }
+
+    impl AuditReport {
+        /// Folds another report's totals into this one.
+        pub fn absorb(&mut self, other: &AuditReport) {
+            self.events += other.events;
+            self.requests += other.requests;
+            self.established += other.established;
+            self.blocked += other.blocked;
+            self.flows_opened += other.flows_opened;
+            self.flows_released += other.flows_released;
+            self.rounds_checked += other.rounds_checked;
+        }
+    }
+
+    /// An invariant violation, located by `(cell, round)`.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct AuditError {
+        /// Cell id of the offending journal.
+        pub cell: u32,
+        /// Round stamp where the violation was detected.
+        pub round: u64,
+        /// Human-readable description of the violated invariant.
+        pub message: String,
+    }
+
+    impl fmt::Display for AuditError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(
+                f,
+                "trace audit failed (cell {}, round {}): {}",
+                self.cell, self.round, self.message
+            )
+        }
+    }
+
+    impl std::error::Error for AuditError {}
+
+    /// Replays one journal and checks every invariant. Fails fast on a
+    /// journal with dropped records: conservation cannot be certified
+    /// from an incomplete stream.
+    ///
+    /// # Errors
+    /// Returns the first violated invariant with `(cell, round)` context.
+    pub fn audit_journal(journal: &TraceJournal) -> Result<AuditReport, AuditError> {
+        let cell = journal.cell();
+        let fail = |round: u64, message: String| AuditError {
+            cell,
+            round,
+            message,
+        };
+        if journal.dropped() > 0 {
+            return Err(fail(
+                0,
+                format!(
+                    "journal dropped {} records; audit needs a complete stream \
+                     (raise the journal capacity)",
+                    journal.dropped()
+                ),
+            ));
+        }
+        let mut report = AuditReport::default();
+        // Stamp monotonicity state.
+        let mut last: Option<(u64, u32)> = None;
+        // Per-round admission tallies recomputed from Request events.
+        let mut round_requests: u64 = 0;
+        let mut round_established: u64 = 0;
+        let mut round_blocked: u64 = 0;
+        let mut tally_round: u64 = 0;
+        // Flow ledger: open slab slot -> held hops.
+        let mut open_flows: HashMap<u32, u32> = HashMap::new();
+        let mut held_hops: u64 = 0;
+        // Queue ledger.
+        let mut queue_depth: i64 = 0;
+        for r in journal.records() {
+            report.events += 1;
+            if r.cell != cell {
+                return Err(fail(
+                    r.round,
+                    format!("record stamped cell {} inside journal {cell}", r.cell),
+                ));
+            }
+            match last {
+                Some((lr, ls)) => {
+                    let ok = r.round > lr || (r.round == lr && r.seq == ls + 1);
+                    if !ok {
+                        return Err(fail(
+                            r.round,
+                            format!(
+                                "stamp ({}, {}) does not advance ({lr}, {ls})",
+                                r.round, r.seq
+                            ),
+                        ));
+                    }
+                    if r.round > lr && r.seq != 0 {
+                        return Err(fail(
+                            r.round,
+                            format!("round opened at seq {} instead of 0", r.seq),
+                        ));
+                    }
+                }
+                None => {
+                    if r.seq != 0 {
+                        return Err(fail(
+                            r.round,
+                            format!("journal starts at seq {} instead of 0", r.seq),
+                        ));
+                    }
+                }
+            }
+            last = Some((r.round, r.seq));
+            if r.round != tally_round {
+                tally_round = r.round;
+                round_requests = 0;
+                round_established = 0;
+                round_blocked = 0;
+            }
+            match &r.event {
+                TraceEvent::Request { decision, hops, .. } => {
+                    report.requests += 1;
+                    round_requests += 1;
+                    match (decision, hops) {
+                        (RequestDecision::Established, Some(h)) => {
+                            if *h == 0 {
+                                return Err(fail(
+                                    r.round,
+                                    "established circuit with 0 hops".to_string(),
+                                ));
+                            }
+                            report.established += 1;
+                            round_established += 1;
+                        }
+                        (RequestDecision::Established, None) => {
+                            return Err(fail(
+                                r.round,
+                                "established decision without a hop count".to_string(),
+                            ));
+                        }
+                        (_, Some(_)) => {
+                            return Err(fail(
+                                r.round,
+                                "blocked decision carries a hop count".to_string(),
+                            ));
+                        }
+                        (_, None) => {
+                            report.blocked += 1;
+                            round_blocked += 1;
+                        }
+                    }
+                }
+                TraceEvent::FlowEstablished { flow, hops } => {
+                    if open_flows.insert(*flow, *hops).is_some() {
+                        return Err(fail(
+                            r.round,
+                            format!("flow slot {flow} opened while already open"),
+                        ));
+                    }
+                    held_hops += u64::from(*hops);
+                    report.flows_opened += 1;
+                }
+                TraceEvent::FlowReleased { flow, hops } => {
+                    match open_flows.remove(flow) {
+                        Some(h) if h == *hops => {}
+                        Some(h) => {
+                            return Err(fail(
+                                r.round,
+                                format!("flow slot {flow} released {hops} hops but held {h}"),
+                            ));
+                        }
+                        None => {
+                            return Err(fail(
+                                r.round,
+                                format!("flow slot {flow} released while not open"),
+                            ));
+                        }
+                    }
+                    held_hops -= u64::from(*hops);
+                    report.flows_released += 1;
+                }
+                TraceEvent::FlowQueued { .. } => queue_depth += 1,
+                TraceEvent::QueueAdmit { .. } | TraceEvent::FlowTimeout { .. } => {
+                    queue_depth -= 1;
+                    if queue_depth < 0 {
+                        return Err(fail(
+                            r.round,
+                            "queue drained below empty (admit/timeout without a queued arrival)"
+                                .to_string(),
+                        ));
+                    }
+                }
+                TraceEvent::QueueOverflow
+                | TraceEvent::FaultLink { .. }
+                | TraceEvent::FaultNode { .. }
+                | TraceEvent::DilationShift { .. } => {}
+                TraceEvent::RoundEnd {
+                    requests,
+                    established,
+                    blocked,
+                    info,
+                } => {
+                    if (*requests, *established, *blocked)
+                        != (round_requests, round_established, round_blocked)
+                    {
+                        return Err(fail(
+                            r.round,
+                            format!(
+                                "round summary ({requests} req / {established} est / \
+                                 {blocked} blk) != event tally ({round_requests} / \
+                                 {round_established} / {round_blocked})"
+                            ),
+                        ));
+                    }
+                    if *requests != *established + *blocked {
+                        return Err(fail(
+                            r.round,
+                            format!(
+                                "conservation violated: {requests} != {established} + {blocked}"
+                            ),
+                        ));
+                    }
+                    if info.active_flows != open_flows.len() as u64 {
+                        return Err(fail(
+                            r.round,
+                            format!(
+                                "driver reports {} active flows, ledger holds {}",
+                                info.active_flows,
+                                open_flows.len()
+                            ),
+                        ));
+                    }
+                    if info.held_link_hops != held_hops {
+                        return Err(fail(
+                            r.round,
+                            format!(
+                                "driver reports {} held link-hops, ledger holds {held_hops}",
+                                info.held_link_hops
+                            ),
+                        ));
+                    }
+                    let depth = u64::try_from(queue_depth).expect("non-negative queue depth");
+                    if info.queue_depth != depth {
+                        return Err(fail(
+                            r.round,
+                            format!(
+                                "driver reports queue depth {}, ledger holds {depth}",
+                                info.queue_depth
+                            ),
+                        ));
+                    }
+                    report.rounds_checked += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Audits a set of journals (one per cell), folding the totals.
+    ///
+    /// # Errors
+    /// Returns the first violated invariant across the set.
+    pub fn audit_journals(journals: &[TraceJournal]) -> Result<AuditReport, AuditError> {
+        let mut total = AuditReport::default();
+        for j in journals {
+            total.absorb(&audit_journal(j)?);
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::audit::{audit_journal, audit_journals};
+    use super::*;
+    use shc_graph::builders::{cycle, hypercube};
+    use shc_netsim::{Engine, MaterializedNet};
+
+    fn traced_ring_run() -> TraceJournal {
+        let net = MaterializedNet::new(cycle(6));
+        let mut sim = Engine::with_probe(&net, 1, TraceJournal::new(3, 4096));
+        sim.begin_round();
+        assert!(sim.request(0, 2, 4).is_established());
+        assert!(sim.request_path(&[3, 4]).is_established());
+        assert!(!sim.request_path(&[0, 1, 2]).is_established());
+        sim.begin_round();
+        assert!(sim.request(0, 3, 4).is_established());
+        let (_stats, journal) = sim.finish_with_probe();
+        journal
+    }
+
+    #[test]
+    fn journal_captures_admissions_with_stamps() {
+        let journal = traced_ring_run();
+        assert_eq!(journal.len(), 4);
+        assert_eq!(journal.dropped(), 0);
+        let stamps: Vec<(u64, u32)> = journal.records().map(|r| (r.round, r.seq)).collect();
+        assert_eq!(stamps, vec![(0, 0), (0, 1), (0, 2), (1, 0)]);
+        let report = audit_journal(&journal).expect("consistent");
+        assert_eq!(report.requests, 4);
+        assert_eq!(report.established, 3);
+        assert_eq!(report.blocked, 1);
+    }
+
+    #[test]
+    fn blocked_requests_name_the_rejecting_link() {
+        let journal = traced_ring_run();
+        let blocked: Vec<&TraceRecord> = journal
+            .records()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    TraceEvent::Request {
+                        decision: RequestDecision::Saturated,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(blocked.len(), 1);
+        let TraceEvent::Request {
+            rejecting_link,
+            hops,
+            search,
+            ..
+        } = &blocked[0].event
+        else {
+            unreachable!()
+        };
+        assert!(rejecting_link.is_some(), "saturated block names its link");
+        assert!(hops.is_none());
+        assert!(search.is_none(), "fixed-path requests run no search");
+    }
+
+    #[test]
+    fn adaptive_requests_carry_search_stats() {
+        let net = MaterializedNet::new(hypercube(4));
+        let mut sim = Engine::with_probe(&net, 1, TraceJournal::new(0, 64));
+        sim.begin_round();
+        assert!(sim.request(0, 15, 6).is_established());
+        let (_s, journal) = sim.finish_with_probe();
+        let TraceEvent::Request { search, .. } = &journal.records().next().unwrap().event else {
+            panic!("expected a request record");
+        };
+        let s = search.expect("adaptive request records search effort");
+        assert_eq!(s.strategy, RouteSearch::AStarCube);
+        assert!(s.nodes_expanded >= 1);
+        assert!(s.frontier_peak >= 1);
+    }
+
+    #[test]
+    fn ring_drops_oldest_with_accounting() {
+        let net = MaterializedNet::new(cycle(8));
+        let mut sim = Engine::with_probe(&net, 8, TraceJournal::new(0, 3));
+        sim.begin_round();
+        for i in 0..5u64 {
+            assert!(sim.request(i, i + 2, 4).is_established());
+        }
+        let (_s, journal) = sim.finish_with_probe();
+        assert_eq!(journal.len(), 3);
+        assert_eq!(journal.dropped(), 2);
+        // Oldest records went first: the retained stream starts at seq 2.
+        assert_eq!(journal.records().next().unwrap().seq, 2);
+        // An incomplete journal cannot be certified.
+        let err = audit_journal(&journal).unwrap_err();
+        assert!(err.message.contains("dropped"), "{err}");
+    }
+
+    #[test]
+    fn flow_lifecycle_balances_in_the_audit() {
+        let net = MaterializedNet::new(cycle(6));
+        let mut sim = Engine::with_probe(&net, 1, TraceJournal::new(1, 256));
+        sim.begin_round();
+        let shc_netsim::FlowOutcome::Established { flow, .. } = sim.request_flow(0, 2, 4) else {
+            panic!("clean ring blocked");
+        };
+        let info = RoundEndInfo {
+            active_flows: sim.active_flows() as u64,
+            held_link_hops: sim.held_link_hops(),
+            queue_depth: 0,
+        };
+        sim.probe_mut().on_round_end(&info);
+        sim.begin_round();
+        sim.release_flow(flow);
+        sim.probe_mut().on_round_end(&RoundEndInfo {
+            active_flows: 0,
+            held_link_hops: 0,
+            queue_depth: 0,
+        });
+        let (_s, journal) = sim.finish_with_probe();
+        let report = audit_journal(&journal).expect("balanced lifecycle");
+        assert_eq!(report.flows_opened, 1);
+        assert_eq!(report.flows_released, 1);
+        assert_eq!(report.rounds_checked, 2);
+    }
+
+    #[test]
+    fn audit_rejects_unbalanced_flows() {
+        let mut j = TraceJournal::new(0, 16);
+        j.push(TraceEvent::FlowReleased { flow: 7, hops: 2 });
+        let err = audit_journal(&j).unwrap_err();
+        assert!(err.message.contains("not open"), "{err}");
+
+        let mut j = TraceJournal::new(0, 16);
+        j.push(TraceEvent::FlowEstablished { flow: 0, hops: 2 });
+        j.push(TraceEvent::FlowReleased { flow: 0, hops: 3 });
+        let err = audit_journal(&j).unwrap_err();
+        assert!(err.message.contains("held 2"), "{err}");
+    }
+
+    #[test]
+    fn audit_rejects_gauge_mismatch() {
+        let mut j = TraceJournal::new(2, 16);
+        j.push(TraceEvent::FlowEstablished { flow: 0, hops: 3 });
+        j.on_round_end(&RoundEndInfo {
+            active_flows: 1,
+            held_link_hops: 99,
+            queue_depth: 0,
+        });
+        let err = audit_journal(&j).unwrap_err();
+        assert_eq!(err.cell, 2);
+        assert!(err.message.contains("held link-hops"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_render_is_deterministic_and_structured() {
+        let a = traced_ring_run().render_jsonl();
+        let b = traced_ring_run().render_jsonl();
+        assert_eq!(a, b, "same run ⇒ identical bytes");
+        assert_eq!(a.lines().count(), 5, "4 records + 1 summary");
+        assert!(a.contains("\"type\":\"request\""));
+        assert!(a.contains("\"decision\":\"established\""));
+        assert!(a.contains("\"decision\":\"saturated\""));
+        assert!(a.contains("\"rejecting_link\":"));
+        assert!(a.ends_with("\"events\":4,\"dropped\":0}\n"));
+        for line in a.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn pre_round_events_share_round_zero_without_stamp_clash() {
+        let net = MaterializedNet::new(cycle(4));
+        let mut sim = Engine::with_probe(&net, 1, TraceJournal::new(0, 64));
+        // Fault activation is announced before the first round opens.
+        sim.probe_mut().on_fault_link(0, 1);
+        sim.probe_mut().on_fault_node(3);
+        sim.begin_round();
+        assert!(sim.request_path(&[1, 2]).is_established());
+        let (_s, journal) = sim.finish_with_probe();
+        let stamps: Vec<(u64, u32)> = journal.records().map(|r| (r.round, r.seq)).collect();
+        assert_eq!(stamps, vec![(0, 0), (0, 1), (0, 2)]);
+        audit_journal(&journal).expect("idempotent round 0 announcement");
+    }
+
+    #[test]
+    fn multi_journal_audit_folds_totals() {
+        let j1 = traced_ring_run();
+        let j2 = traced_ring_run();
+        let total = audit_journals(&[j1, j2]).expect("both consistent");
+        assert_eq!(total.requests, 8);
+        assert_eq!(total.established, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 event")]
+    fn zero_capacity_journal_panics() {
+        let _ = TraceJournal::new(0, 0);
+    }
+}

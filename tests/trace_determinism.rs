@@ -1,0 +1,93 @@
+//! Tier-1 guard for the tracing layer's determinism contract: a
+//! [`TraceJournal`] is stamped with simulated time only (cell, round,
+//! seq), so the journals of a traced run — including their JSONL bytes —
+//! are identical for any worker-thread count, and the trace-backed
+//! invariant checker (`trace::audit`) certifies every journal the
+//! runtime produces. Companion to `runtime_determinism.rs`, which pins
+//! the same contract for the aggregate reports.
+
+use sparse_hypercube::prelude::*;
+use sparse_hypercube::runtime::trace::audit::audit_journals;
+use sparse_hypercube::runtime::DilationShift;
+
+/// Exercises every per-replica randomness source plus every traced
+/// event family: faults, dilation shift, admissions, search stats.
+fn monte_carlo_scenario() -> Scenario {
+    Scenario::new(
+        "tier1-trace",
+        TopologySpec::SparseBase { n: 7, m: 3 },
+        Workload::Broadcast { competing: 2 },
+    )
+    .originators(OriginatorPolicy::Random)
+    .faults(FaultSpec {
+        link_failures: 6,
+        node_crashes: 2,
+        dilation_shift: Some(DilationShift {
+            at_round: 3,
+            dilation: 2,
+        }),
+    })
+    .replications(24)
+    .seed(0x00D5_7E21)
+}
+
+/// Queue-heavy service cell: arrivals, holding, timeouts, overflows.
+fn service_cell() -> ServiceSpec {
+    ServiceSpec::new("tier1-trace-serve", TopologySpec::Hypercube { n: 4 })
+        .arrivals(ArrivalSpec::poisson(12.0))
+        .policy(AdmissionPolicy::QueueWithTimeout {
+            max_wait_rounds: 3,
+            capacity: 8,
+        })
+        .rounds(60)
+        .window_rounds(20)
+        .seed(0xABCD)
+}
+
+fn render(journals: &[TraceJournal]) -> String {
+    let mut out = String::new();
+    for j in journals {
+        j.render_jsonl_into(&mut out);
+    }
+    out
+}
+
+#[test]
+fn scenario_journals_are_byte_identical_across_worker_counts() {
+    let scenario = monte_carlo_scenario();
+    let (report_1, journals_1) = run_scenario_traced(&scenario, 1, 1 << 16);
+    let bytes_1 = render(&journals_1);
+    assert!(!bytes_1.is_empty());
+    for threads in [2, 4, 8] {
+        let (report_n, journals_n) = run_scenario_traced(&scenario, threads, 1 << 16);
+        assert_eq!(report_1, report_n, "reports diverged at {threads} threads");
+        assert_eq!(
+            bytes_1,
+            render(&journals_n),
+            "journals diverged at {threads} threads"
+        );
+    }
+    // Tracing is an observer: the report matches the probe-free run.
+    assert_eq!(report_1, run_scenario(&scenario, 2));
+}
+
+#[test]
+fn scenario_journals_pass_the_invariant_audit() {
+    let (report, journals) = run_scenario_traced(&monte_carlo_scenario(), 4, 1 << 16);
+    let audit = audit_journals(&journals).expect("journals replay clean");
+    assert_eq!(audit.established, report.total_established);
+    assert_eq!(audit.blocked, report.total_blocked);
+    assert_eq!(journals.len(), report.replications);
+}
+
+#[test]
+fn service_journal_is_deterministic_and_audits_clean() {
+    let spec = service_cell();
+    let (report_a, journal_a) = run_service_traced(&spec, 0, 1 << 18);
+    let (report_b, journal_b) = run_service_traced(&spec, 0, 1 << 18);
+    assert_eq!(report_a, report_b);
+    assert_eq!(journal_a.render_jsonl(), journal_b.render_jsonl());
+    assert_eq!(report_a, run_service(&spec), "tracing perturbed the run");
+    let audit = audit_journals(std::slice::from_ref(&journal_a)).expect("journal replays clean");
+    assert_eq!(audit.rounds_checked, 60);
+}
