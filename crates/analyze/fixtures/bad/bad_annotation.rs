@@ -1,0 +1,8 @@
+// Fixture: A1 must fire three times — unknown key, empty reason, and a
+// malformed annotation that never closes its key parenthesis.
+// analyze:allow(flux_capacitor): not a rule key
+// analyze:allow(wall_clock):
+// analyze:allow(wall_clock
+pub fn plain() -> u32 {
+    42
+}

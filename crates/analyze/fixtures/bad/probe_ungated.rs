@@ -1,0 +1,5 @@
+// Fixture: D3 must fire — the probe call is not under `if P::ENABLED`,
+// so a NoProbe build cannot dead-code-eliminate it.
+pub fn run<P: EngineProbe>(probe: &mut P, req: &Request) {
+    probe.on_request(req);
+}

@@ -1,0 +1,6 @@
+// Fixture: D4 must fire on every entropy-seeding entry point.
+use rand::rngs::StdRng;
+
+pub fn fresh() -> StdRng {
+    StdRng::from_entropy()
+}

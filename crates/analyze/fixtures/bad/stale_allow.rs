@@ -1,0 +1,6 @@
+// Fixture: A0 must fire — the allow below suppresses nothing (there is
+// no wall-clock use anywhere near it), so it has rotted.
+// analyze:allow(wall_clock): this reason refers to code that no longer exists
+pub fn plain() -> u32 {
+    42
+}

@@ -1,0 +1,11 @@
+// Fixture: D2 must fire — a HashMap iterated inside an export-relevant
+// file (the serde_json ident below marks it as one).
+use std::collections::HashMap;
+
+pub fn dump(rows: HashMap<String, u64>) -> String {
+    let mut lines = Vec::new();
+    for (k, v) in rows {
+        lines.push(format!("{k}={v}"));
+    }
+    serde_json::to_string(&lines).unwrap()
+}

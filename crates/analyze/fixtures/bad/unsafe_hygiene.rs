@@ -1,0 +1,7 @@
+// Fixture: U1 must fire twice when analyzed as a crate root — no
+// `#![forbid(unsafe_code)]` attribute, and an unjustified unsafe block
+// (nothing above it explains why the invariant holds).
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,7 @@
+// Fixture: D1 must fire on both the import and the call site.
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_micros() as u64
+}

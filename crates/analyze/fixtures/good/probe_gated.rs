@@ -1,0 +1,10 @@
+// Fixture: clean — both probe calls sit under `if P::ENABLED`, one of
+// them in a nested scope that inherits the gate.
+pub fn run<P: EngineProbe>(probe: &mut P, reqs: &[Request]) {
+    if P::ENABLED {
+        probe.on_round_start(reqs.len());
+        for req in reqs {
+            probe.on_request(req);
+        }
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: clean — seeds flow from a spec value, never from entropy.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn from_spec(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

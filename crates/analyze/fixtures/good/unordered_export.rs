@@ -1,0 +1,12 @@
+// Fixture: clean — the export path iterates a BTreeMap, which has a
+// deterministic order, so D2 stays quiet even though the file is
+// export-relevant (serde_json below).
+use std::collections::BTreeMap;
+
+pub fn dump(rows: BTreeMap<String, u64>) -> String {
+    let mut lines = Vec::new();
+    for (k, v) in rows {
+        lines.push(format!("{k}={v}"));
+    }
+    serde_json::to_string(&lines).unwrap()
+}

@@ -1,0 +1,7 @@
+// Fixture: clean as a crate root — the forbid attribute is present and
+// there is no unsafe code at all.
+#![forbid(unsafe_code)]
+
+pub fn peek(v: &[u8]) -> u8 {
+    v[0]
+}

@@ -1,0 +1,10 @@
+// Fixture: clean — the telemetry site carries a reasoned allow, so D1
+// stays quiet and the allow is counted as used (not stale).
+// analyze:allow(wall_clock): fixture telemetry site; value never enters a report
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    // analyze:allow(wall_clock): measurement is display-only
+    let t0 = Instant::now();
+    t0.elapsed().as_micros() as u64
+}

@@ -1,0 +1,426 @@
+//! A hand-rolled, comment- and string-aware Rust lexer.
+//!
+//! The build environment has no registry access, so `syn` is not an
+//! option; this lexer implements exactly the token model the rules in
+//! [`crate::rules`] need:
+//!
+//! * identifiers and keywords (both come out as [`TokKind::Ident`] —
+//!   rules match on text),
+//! * punctuation, with the handful of two/three-character operators
+//!   that matter for pattern matching (`::`, `->`, `=>`, `..`, …)
+//!   merged into single tokens,
+//! * literals (string / raw string / byte string / char / number)
+//!   reduced to opaque tokens so that a forbidden name inside a string
+//!   can never produce a finding,
+//! * comments, kept **separately** from the token stream with their
+//!   line spans, because the allow-annotation grammar and the
+//!   `// SAFETY:` convention live in comments.
+//!
+//! Every token records the 1-based source line it starts on; findings
+//! and annotation matching are line-oriented.
+
+/// Lexical class of a [`Token`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#type`, …).
+    Ident,
+    /// Punctuation; multi-character operators are merged (see module docs).
+    Punct,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// Numeric literal (`42`, `0x1f`, `1_000.5e3`, `3u64`).
+    Num,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One source token with its starting line (1-based).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token text. For literals this is the raw source slice.
+    pub text: String,
+    /// Lexical class.
+    pub kind: TokKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block), kept out of the token stream.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text including its `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equals `line` for `//`).
+    pub end_line: u32,
+}
+
+/// A fully lexed source file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Two/three-character operators merged into single punct tokens.
+/// Ordered longest-first so maximal munch is a prefix scan.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// constructs simply consume to end-of-file (the compiler, not the
+/// analyzer, owns syntax errors).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                text: chars[start..i].iter().collect(),
+                line,
+                end_line: line,
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1u32;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                text: chars[start..i].iter().collect(),
+                line: start_line,
+                end_line: line,
+            });
+            continue;
+        }
+        // Identifiers, raw identifiers, and string-prefix forms
+        // (r"", r#""#, b"", br"", c"", cr"", b'').
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_cont(chars[i]) {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            let next = chars.get(i).copied();
+            let prefix_raw = matches!(word.as_str(), "r" | "br" | "cr");
+            let prefix_plain = matches!(word.as_str(), "b" | "c");
+            if prefix_raw && matches!(next, Some('"') | Some('#')) {
+                // Raw (possibly byte/C) string: r##"…"##.
+                let lit_start = start;
+                let start_line = line;
+                let mut hashes = 0usize;
+                while i < n && chars[i] == '#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                if i < n && chars[i] == '"' {
+                    i += 1;
+                    'raw: while i < n {
+                        if chars[i] == '\n' {
+                            line += 1;
+                            i += 1;
+                            continue;
+                        }
+                        if chars[i] == '"' {
+                            let mut j = i + 1;
+                            let mut seen = 0usize;
+                            while j < n && chars[j] == '#' && seen < hashes {
+                                seen += 1;
+                                j += 1;
+                            }
+                            if seen == hashes {
+                                i = j;
+                                break 'raw;
+                            }
+                        }
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        text: chars[lit_start..i].iter().collect(),
+                        kind: TokKind::Str,
+                        line: start_line,
+                    });
+                    continue;
+                }
+                // `r#ident` raw identifier: fall through by re-lexing
+                // the identifier after the single `#`.
+                let id_start = i;
+                while i < n && is_ident_cont(chars[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    text: chars[id_start..i].iter().collect(),
+                    kind: TokKind::Ident,
+                    line,
+                });
+                continue;
+            }
+            if prefix_plain && next == Some('"') {
+                // b"…" / c"…": cooked string with escapes.
+                let start_line = line;
+                i += 1; // opening quote
+                consume_cooked_string(&chars, &mut i, &mut line, '"');
+                out.tokens.push(Token {
+                    text: chars[start..i].iter().collect(),
+                    kind: TokKind::Str,
+                    line: start_line,
+                });
+                continue;
+            }
+            if word == "b" && next == Some('\'') {
+                let start_line = line;
+                i += 1;
+                consume_cooked_string(&chars, &mut i, &mut line, '\'');
+                out.tokens.push(Token {
+                    text: chars[start..i].iter().collect(),
+                    kind: TokKind::Char,
+                    line: start_line,
+                });
+                continue;
+            }
+            out.tokens.push(Token {
+                text: word,
+                kind: TokKind::Ident,
+                line,
+            });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            consume_cooked_string(&chars, &mut i, &mut line, '"');
+            out.tokens.push(Token {
+                text: chars[start..i].iter().collect(),
+                kind: TokKind::Str,
+                line: start_line,
+            });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            // Lifetime: 'ident not closed by a quote.
+            if i + 1 < n && is_ident_start(chars[i + 1]) {
+                let mut j = i + 1;
+                while j < n && is_ident_cont(chars[j]) {
+                    j += 1;
+                }
+                if j >= n || chars[j] != '\'' {
+                    out.tokens.push(Token {
+                        text: chars[i..j].iter().collect(),
+                        kind: TokKind::Lifetime,
+                        line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            let start = i;
+            let start_line = line;
+            i += 1;
+            consume_cooked_string(&chars, &mut i, &mut line, '\'');
+            out.tokens.push(Token {
+                text: chars[start..i].iter().collect(),
+                kind: TokKind::Char,
+                line: start_line,
+            });
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n {
+                let d = chars[i];
+                if d.is_alphanumeric()
+                    || d == '_'
+                    || (d == '.'
+                        && i + 1 < n
+                        && chars[i + 1].is_ascii_digit()
+                        && chars[i - 1] != '.')
+                {
+                    i += 1;
+                } else if (d == '+' || d == '-')
+                    && matches!(chars[i - 1], 'e' | 'E')
+                    && chars[start] != '0'
+                {
+                    // Exponent sign (1e+3); hex 0xE+1 is an expression,
+                    // but hex literals start with 0.
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                text: chars[start..i].iter().collect(),
+                kind: TokKind::Num,
+                line,
+            });
+            continue;
+        }
+        // Punctuation with maximal munch over the merged-operator table.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            let oc: Vec<char> = op.chars().collect();
+            if i + oc.len() <= n && chars[i..i + oc.len()] == oc[..] {
+                out.tokens.push(Token {
+                    text: (*op).to_string(),
+                    kind: TokKind::Punct,
+                    line,
+                });
+                i += oc.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            out.tokens.push(Token {
+                text: c.to_string(),
+                kind: TokKind::Punct,
+                line,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Consumes a cooked (escape-aware) string/char body up to the closing
+/// `delim`, leaving `i` just past it. Counts newlines into `line`.
+fn consume_cooked_string(chars: &[char], i: &mut usize, line: &mut u32, delim: char) {
+    let n = chars.len();
+    while *i < n {
+        let c = chars[*i];
+        if c == '\\' {
+            *i += 2;
+            continue;
+        }
+        if c == '\n' {
+            *line += 1;
+        }
+        *i += 1;
+        if c == delim {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // Instant in a comment
+            /* SystemTime in /* a nested */ block */
+            let s = "Instant::now()";
+            let r = r#"SystemTime"#;
+            let real = Foo;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(ids.contains(&"Foo".to_string()));
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].text.contains("Instant"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lx = lex("fn f<'a>(x: &'a str) -> char { 'y' }");
+        let lifetimes: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "'y'"));
+    }
+
+    #[test]
+    fn pathsep_is_one_token_and_lines_track() {
+        let lx = lex("a::b\nc");
+        let texts: Vec<_> = lx.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["a", "::", "b", "c"]);
+        assert_eq!(lx.tokens[3].line, 2);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_numbers() {
+        let lx = lex("for i in 0..n {}");
+        let texts: Vec<_> = lx.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"..") && texts.contains(&"0") && texts.contains(&"n"));
+    }
+
+    #[test]
+    fn raw_identifier_lexes() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let lx = lex("/* a\nb\nc */ x");
+        assert_eq!(lx.comments[0].line, 1);
+        assert_eq!(lx.comments[0].end_line, 3);
+        assert_eq!(lx.tokens[0].line, 3);
+    }
+}

@@ -1,0 +1,94 @@
+//! CLI for `shc-analyze`. CI gate:
+//!
+//! ```text
+//! cargo run --release -p shc-analyze -- --deny-all --json analysis.json
+//! ```
+//!
+//! Exit codes: 0 clean (or advisory mode), 1 findings under
+//! `--deny-all`, 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "shc-analyze — determinism-contract static analysis (see docs/ANALYSIS.md)\n\
+     \n\
+     USAGE: shc-analyze [--root <dir>] [--deny-all] [--json <path>] [--dump-shim-api]\n\
+     \n\
+     --root <dir>      workspace root to scan (default: current directory)\n\
+     --deny-all        exit 1 if any finding survives (the CI gate)\n\
+     --json <path>     also write the findings artifact as JSON\n\
+     --dump-shim-api   print the canonical shims/README.md provenance block and exit\n\
+     --help            this text\n"
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny_all = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut dump_shim_api = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => {
+                    eprintln!("--root needs a value\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny-all" => deny_all = true,
+            "--json" => match args.next() {
+                Some(v) => json_path = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--json needs a value\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--dump-shim-api" => dump_shim_api = true,
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if dump_shim_api {
+        return match shc_analyze::shim_api::lex_shim_sources(&root) {
+            Ok(sources) => {
+                print!("{}", shc_analyze::shim_api::render_table(&sources));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("shc-analyze: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let analysis = match shc_analyze::analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("shc-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", analysis.render_human());
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, analysis.render_json()) {
+            eprintln!("shc-analyze: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if deny_all && !analysis.findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,224 @@
+//! Finding model and the two deterministic renderers (human, JSON).
+//!
+//! Ordering contract: findings are sorted by `(file, line, rule code,
+//! message)` before rendering, so equal trees produce byte-identical
+//! reports — the same property the trace journals pin, applied to the
+//! analyzer's own output.
+
+use std::fmt::Write as _;
+
+/// The machine-checked rules. `code()` is the short id used in reports;
+/// `key()` is the name the allow-annotation grammar uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// D1 — wall-clock types in deterministic code.
+    WallClock,
+    /// D2 — hash-ordered iteration in an export path.
+    UnorderedExport,
+    /// D3 — probe instrumentation not gated on `P::ENABLED`.
+    ProbeUngated,
+    /// D4 — entropy / OS seeding.
+    Rng,
+    /// U1 — unsafe hygiene (`forbid(unsafe_code)` + `// SAFETY:`).
+    Unsafe,
+    /// S1 — shim public surface vs the README provenance table.
+    ShimSurface,
+    /// An `analyze:allow` annotation that no longer suppresses anything.
+    StaleAllow,
+    /// A malformed `analyze:allow` annotation (unknown rule key or
+    /// missing reason).
+    BadAnnotation,
+}
+
+impl Rule {
+    /// Short report id (`D1`…`S1`, `A0`/`A1` for annotation hygiene).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::WallClock => "D1",
+            Rule::UnorderedExport => "D2",
+            Rule::ProbeUngated => "D3",
+            Rule::Rng => "D4",
+            Rule::Unsafe => "U1",
+            Rule::ShimSurface => "S1",
+            Rule::StaleAllow => "A0",
+            Rule::BadAnnotation => "A1",
+        }
+    }
+
+    /// Allow-annotation key (`// analyze:allow(<key>): reason`).
+    /// `StaleAllow`/`BadAnnotation` are meta-rules and cannot be
+    /// allowlisted; `ShimSurface`'s escape hatch is the table itself.
+    pub fn key(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall_clock",
+            Rule::UnorderedExport => "unordered_export",
+            Rule::ProbeUngated => "probe_ungated",
+            Rule::Rng => "rng",
+            Rule::Unsafe => "unsafe",
+            Rule::ShimSurface => "shim_surface",
+            Rule::StaleAllow => "stale_allow",
+            Rule::BadAnnotation => "bad_annotation",
+        }
+    }
+
+    /// The keys accepted inside an allow annotation.
+    pub fn allowable_keys() -> &'static [&'static str] {
+        &[
+            "wall_clock",
+            "unordered_export",
+            "probe_ungated",
+            "rng",
+            "unsafe",
+        ]
+    }
+}
+
+/// One violation (or annotation-hygiene problem) at a source location.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human explanation (stable text — part of the report contract).
+    pub message: String,
+}
+
+/// Analysis result over a whole tree.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Surviving findings, sorted (see module docs).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files lexed.
+    pub files_scanned: usize,
+    /// Number of allow annotations that suppressed a live finding.
+    pub allows_used: usize,
+}
+
+impl Analysis {
+    /// Sorts findings into the canonical report order.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, a.rule.code(), &a.message).cmp(&(
+                &b.file,
+                b.line,
+                b.rule.code(),
+                &b.message,
+            ))
+        });
+    }
+
+    /// Renders the human report. Deterministic; ends with a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{} {:<16} {}:{}  {}",
+                f.rule.code(),
+                f.rule.key(),
+                f.file,
+                f.line,
+                f.message
+            );
+        }
+        let _ = writeln!(
+            out,
+            "shc-analyze: {} finding(s) across {} file(s) scanned ({} allow annotation(s) in use)",
+            self.findings.len(),
+            self.files_scanned,
+            self.allows_used
+        );
+        out
+    }
+
+    /// Renders the JSON artifact (hand-rolled — the analyzer is
+    /// zero-dependency by design). Key order is fixed.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"allows_used\": {},", self.allows_used);
+        let _ = writeln!(out, "  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let comma = if i + 1 == self.findings.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"rule\": \"{}\", \"key\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}",
+                f.rule.code(),
+                f.rule.key(),
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.message),
+                comma
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (the only JSON this crate emits).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_order_is_canonical_and_render_is_deterministic() {
+        let mut a = Analysis {
+            findings: vec![
+                Finding {
+                    file: "b.rs".into(),
+                    line: 2,
+                    rule: Rule::Rng,
+                    message: "x".into(),
+                },
+                Finding {
+                    file: "a.rs".into(),
+                    line: 9,
+                    rule: Rule::WallClock,
+                    message: "y".into(),
+                },
+            ],
+            files_scanned: 2,
+            allows_used: 0,
+        };
+        a.sort();
+        assert_eq!(a.findings[0].file, "a.rs");
+        let h1 = a.render_human();
+        let j1 = a.render_json();
+        a.sort();
+        assert_eq!(h1, a.render_human());
+        assert_eq!(j1, a.render_json());
+        assert!(j1.contains("\"rule\": \"D4\""));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,610 @@
+//! The per-file rule engine: D1 wall-clock, D2 unordered export, D3
+//! probe gating, D4 rng discipline, U1 unsafe hygiene — plus the
+//! allow-annotation grammar that suppresses individual findings and the
+//! stale-allow meta-check that keeps every committed annotation honest.
+//!
+//! All checks are lexical. They see tokens and comments, never types,
+//! so each rule is a documented *heuristic* with deliberately
+//! conservative trigger patterns (see `docs/ANALYSIS.md` for the exact
+//! patterns and their known blind spots). The escape hatch for a false
+//! positive is always the same: an inline
+//! `// analyze:allow(<key>): <reason>` on (or directly above) the
+//! flagged line, which keeps the exception visible in every diff that
+//! touches it.
+
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::report::{Finding, Rule};
+
+/// Per-file context the scanner provides.
+#[derive(Clone, Copy, Debug)]
+pub struct FileCtx<'a> {
+    /// Repo-relative path with `/` separators.
+    pub rel_path: &'a str,
+    /// True for crate roots (`src/lib.rs`, `src/main.rs`,
+    /// `src/bin/*.rs`), where U1 demands `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+    /// True for files under a `tests/` directory (integration tests):
+    /// D3 is skipped there, as it is in `#[cfg(test)]` scopes.
+    pub in_tests_dir: bool,
+}
+
+/// Wall-clock types D1 bans outside annotated sites.
+const WALL_CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+
+/// Entropy-source names D4 bans outright (seeds must flow from specs).
+const ENTROPY_NAMES: &[&str] = &[
+    "from_entropy",
+    "thread_rng",
+    "OsRng",
+    "getrandom",
+    "RandomState",
+];
+
+/// Hash-collection type names D2 tracks bindings of.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Methods that surface iteration order on a hash collection.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Identifiers that mark a file as part of the JSON/journal/report
+/// export surface (D2's scope).
+const EXPORT_MARKERS: &[&str] = &["serde_json", "Serialize", "to_string_pretty"];
+
+/// One parsed `// analyze:allow(<key>): <reason>` annotation.
+#[derive(Clone, Debug)]
+struct Allow {
+    line: u32,
+    key: String,
+    used: bool,
+}
+
+/// Runs every per-file rule over one lexed file and applies the allow
+/// grammar. Returns surviving findings plus the number of annotations
+/// that suppressed something.
+pub fn analyze_file(ctx: &FileCtx<'_>, lexed: &Lexed) -> (Vec<Finding>, usize) {
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut allows = parse_allows(ctx, lexed, &mut raw);
+
+    check_wall_clock_and_rng(ctx, lexed, &mut raw);
+    check_unordered_export(ctx, lexed, &mut raw);
+    check_probe_gating_and_tests(ctx, lexed, &mut raw);
+    check_unsafe(ctx, lexed, &mut raw);
+
+    // Allow matching: an annotation on line L suppresses matching
+    // findings on line L (trailing comment) or line L + 1 (standalone
+    // comment directly above the site).
+    let mut kept: Vec<Finding> = Vec::new();
+    for f in raw {
+        let mut suppressed = false;
+        for a in allows.iter_mut() {
+            if a.key == f.rule.key() && (a.line == f.line || a.line + 1 == f.line) {
+                a.used = true;
+                suppressed = true;
+                break;
+            }
+        }
+        if !suppressed {
+            kept.push(f);
+        }
+    }
+    let used = allows.iter().filter(|a| a.used).count();
+    for a in &allows {
+        if !a.used {
+            kept.push(Finding {
+                file: ctx.rel_path.to_string(),
+                line: a.line,
+                rule: Rule::StaleAllow,
+                message: format!(
+                    "`analyze:allow({})` suppresses nothing — the finding it excused is gone; \
+                     delete the annotation",
+                    a.key
+                ),
+            });
+        }
+    }
+    (kept, used)
+}
+
+/// Parses allow annotations out of the comment stream; malformed ones
+/// become `BadAnnotation` findings immediately.
+fn parse_allows(ctx: &FileCtx<'_>, lexed: &Lexed, raw: &mut Vec<Finding>) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in &lexed.comments {
+        // The grammar lives in plain `//` comments only: doc comments
+        // (`///`, `//!`, `/** */`) merely *describe* annotations, so a
+        // rustdoc example of the grammar must never parse as one.
+        if c.text.starts_with("///") || c.text.starts_with("//!") || c.text.starts_with("/*") {
+            continue;
+        }
+        let Some(pos) = c.text.find("analyze:allow") else {
+            continue;
+        };
+        let rest = &c.text[pos + "analyze:allow".len()..];
+        let bad = |msg: &str| Finding {
+            file: ctx.rel_path.to_string(),
+            line: c.line,
+            rule: Rule::BadAnnotation,
+            message: msg.to_string(),
+        };
+        let Some(rest) = rest.strip_prefix('(') else {
+            raw.push(bad(
+                "malformed annotation: expected `analyze:allow(<key>): <reason>`",
+            ));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            raw.push(bad("malformed annotation: missing `)` after the rule key"));
+            continue;
+        };
+        let key = rest[..close].trim().to_string();
+        if !Rule::allowable_keys().contains(&key.as_str()) {
+            raw.push(bad(&format!(
+                "unknown allow key `{key}` (valid: {})",
+                Rule::allowable_keys().join(", ")
+            )));
+            continue;
+        }
+        let after = &rest[close + 1..];
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            raw.push(bad(&format!(
+                "allow annotation for `{key}` has no reason — the grammar is \
+                 `analyze:allow({key}): <non-empty reason>`"
+            )));
+            continue;
+        }
+        allows.push(Allow {
+            line: c.line,
+            key,
+            used: false,
+        });
+    }
+    allows
+}
+
+/// D1 + D4: forbidden names. D1 fires on `Instant`/`SystemTime` when
+/// used as a path head (`Instant::now()`) or imported in a `use`
+/// declaration — the import is the choke point, so a bare type mention
+/// in a signature inside an already-annotated file never double-fires.
+/// D4 fires on any entropy-source identifier.
+fn check_wall_clock_and_rng(ctx: &FileCtx<'_>, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    let mut in_use = false;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            if t.text == ";" {
+                in_use = false;
+            }
+            continue;
+        }
+        if t.text == "use" {
+            in_use = true;
+            continue;
+        }
+        if WALL_CLOCK_TYPES.contains(&t.text.as_str()) {
+            let path_head = toks.get(i + 1).is_some_and(|n| n.text == "::");
+            if in_use || path_head {
+                out.push(Finding {
+                    file: ctx.rel_path.to_string(),
+                    line: t.line,
+                    rule: Rule::WallClock,
+                    message: format!(
+                        "`{}` is wall clock — deterministic code must be stamped with \
+                         simulated time only (annotate telemetry/bench sites with \
+                         `analyze:allow(wall_clock)`)",
+                        t.text
+                    ),
+                });
+            }
+        }
+        if ENTROPY_NAMES.contains(&t.text.as_str()) {
+            out.push(Finding {
+                file: ctx.rel_path.to_string(),
+                line: t.line,
+                rule: Rule::Rng,
+                message: format!(
+                    "`{}` draws entropy from the environment — seeds must flow from \
+                     scenario/service specs",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// D2: in export-relevant files (any file naming `serde_json`,
+/// `Serialize`, `to_string_pretty`, or a `*jsonl*` identifier), find
+/// names bound to `HashMap`/`HashSet` and flag any iteration over them
+/// (`for _ in m`, `m.iter()`, `.keys()`, `.values()`, `.drain()`, …).
+/// Hash iteration order is seeded per-process, so anything it feeds
+/// into an exported artifact breaks byte-identical reports.
+fn check_unordered_export(ctx: &FileCtx<'_>, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    let export_relevant = toks.iter().any(|t| {
+        t.kind == TokKind::Ident
+            && (EXPORT_MARKERS.contains(&t.text.as_str()) || t.text.contains("jsonl"))
+    });
+    if !export_relevant {
+        return;
+    }
+    // Pass 1: names bound to a hash collection via `name: HashMap<…>`
+    // or `name = HashMap::new()` (full `std::collections::…` paths
+    // included — the back-walk skips `ident::` pairs).
+    let mut bound: Vec<String> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !HASH_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        let mut k = i;
+        while k >= 2 && toks[k - 1].text == "::" && toks[k - 2].kind == TokKind::Ident {
+            k -= 2;
+        }
+        if k >= 2 && (toks[k - 1].text == ":" || toks[k - 1].text == "=") {
+            let binder = &toks[k - 2];
+            if binder.kind == TokKind::Ident && !bound.contains(&binder.text) {
+                bound.push(binder.text.clone());
+            }
+        }
+    }
+    if bound.is_empty() {
+        return;
+    }
+    // Pass 2: iteration sites over bound names.
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `for x in name` (allowing `&`/`mut` between `in` and name).
+        if t.text == "in" {
+            let within_for = (i.saturating_sub(8)..i).any(|j| toks[j].text == "for");
+            if within_for {
+                let mut j = i + 1;
+                while j < toks.len() && (toks[j].text == "&" || toks[j].text == "mut") {
+                    j += 1;
+                }
+                if j < toks.len()
+                    && toks[j].kind == TokKind::Ident
+                    && bound.contains(&toks[j].text)
+                    && toks.get(j + 1).is_none_or(|n| n.text != ".")
+                {
+                    out.push(d2_finding(ctx, &toks[j]));
+                }
+            }
+        }
+        // `name.iter()` and friends.
+        if bound.contains(&t.text)
+            && toks.get(i + 1).is_some_and(|n| n.text == ".")
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| ITER_METHODS.contains(&n.text.as_str()))
+            && toks.get(i + 3).is_some_and(|n| n.text == "(")
+        {
+            out.push(d2_finding(ctx, t));
+        }
+    }
+}
+
+fn d2_finding(ctx: &FileCtx<'_>, t: &Token) -> Finding {
+    Finding {
+        file: ctx.rel_path.to_string(),
+        line: t.line,
+        rule: Rule::UnorderedExport,
+        message: format!(
+            "iterating hash-ordered `{}` in an export-relevant file — use \
+             `BTreeMap`/`BTreeSet` or sort before emitting",
+            t.text
+        ),
+    }
+}
+
+/// D3: every `…probe….on_*(…)` call must sit inside a scope whose `if`
+/// condition names `ENABLED` (the `P::ENABLED` const gate), so that
+/// `NoProbe` dead-code-eliminates the site. `#[cfg(test)]` scopes,
+/// `#[test]` functions, and files under `tests/` are exempt — tests
+/// drive probes directly on purpose.
+fn check_probe_gating_and_tests(ctx: &FileCtx<'_>, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    // Scope flags; index 0 is the implicit file scope.
+    let mut gated_stack: Vec<(bool, bool)> = vec![(false, ctx.in_tests_dir)];
+    // Token indices of `{` that open a gated / test scope.
+    let mut pending_gated: Vec<usize> = Vec::new();
+    let mut pending_test: Vec<usize> = Vec::new();
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "if" => {
+                // Find the block `{` at bracket depth 0; note whether the
+                // condition names ENABLED.
+                let mut depth = 0i32;
+                let mut has_enabled = false;
+                let mut j = i + 1;
+                while j < toks.len() {
+                    let u = &toks[j];
+                    match u.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => break,
+                        _ => {
+                            if u.kind == TokKind::Ident && u.text == "ENABLED" {
+                                has_enabled = true;
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                if j < toks.len() && has_enabled {
+                    pending_gated.push(j);
+                }
+            }
+            "#" => {
+                // Attribute: `#[…]` (or `#![…]`). If it names `test`,
+                // the next block scope opened by the annotated item is a
+                // test scope.
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|u| u.text == "!") {
+                    j += 1;
+                }
+                if toks.get(j).is_some_and(|u| u.text == "[") {
+                    let mut depth = 0i32;
+                    let mut names_test = false;
+                    while j < toks.len() {
+                        match toks[j].text.as_str() {
+                            "[" => depth += 1,
+                            "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            "test" if toks[j].kind == TokKind::Ident => names_test = true,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if names_test {
+                        // Find the item body: first `{` at depth 0 that is
+                        // not inside parens/brackets (skips further
+                        // attributes, signatures, where clauses).
+                        let mut depth = 0i32;
+                        let mut k = j + 1;
+                        while k < toks.len() {
+                            match toks[k].text.as_str() {
+                                "(" | "[" => depth += 1,
+                                ")" | "]" => depth -= 1,
+                                "{" if depth == 0 => {
+                                    pending_test.push(k);
+                                    break;
+                                }
+                                ";" if depth == 0 => break,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        i = j;
+                    }
+                }
+            }
+            "{" => {
+                let parent = *gated_stack.last().expect("scope stack never empty");
+                let gated = parent.0 || pending_gated.contains(&i);
+                let test = parent.1 || pending_test.contains(&i);
+                pending_gated.retain(|&p| p != i);
+                pending_test.retain(|&p| p != i);
+                gated_stack.push((gated, test));
+            }
+            "}" => {
+                if gated_stack.len() > 1 {
+                    gated_stack.pop();
+                }
+            }
+            _ => {
+                // Probe call site: `.on_xyz(` with a `probe`-named
+                // receiver within the preceding few tokens.
+                if t.kind == TokKind::Ident
+                    && t.text.starts_with("on_")
+                    && i >= 1
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(")
+                {
+                    let receiver_is_probe = (i.saturating_sub(8)..i).any(|j| {
+                        toks[j].kind == TokKind::Ident
+                            && toks[j].text.to_lowercase().contains("probe")
+                    });
+                    let (gated, test) = *gated_stack.last().expect("scope stack never empty");
+                    if receiver_is_probe && !gated && !test {
+                        out.push(Finding {
+                            file: ctx.rel_path.to_string(),
+                            line: t.line,
+                            rule: Rule::ProbeUngated,
+                            message: format!(
+                                "probe call `{}` is not inside an `if P::ENABLED` gate — \
+                                 `NoProbe` cannot dead-code-eliminate this site",
+                                t.text
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// U1: crate roots must carry `#![forbid(unsafe_code)]` (or at minimum
+/// `deny`), and any `unsafe` token anywhere needs a `// SAFETY:` comment
+/// within the three lines above it.
+fn check_unsafe(ctx: &FileCtx<'_>, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    if ctx.is_crate_root {
+        let has_forbid = toks.iter().enumerate().any(|(i, t)| {
+            t.kind == TokKind::Ident
+                && t.text == "unsafe_code"
+                && (i.saturating_sub(3)..i)
+                    .any(|j| toks[j].text == "forbid" || toks[j].text == "deny")
+        });
+        if !has_forbid {
+            out.push(Finding {
+                file: ctx.rel_path.to_string(),
+                line: 1,
+                rule: Rule::Unsafe,
+                message: "crate root missing `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
+    }
+    for t in toks {
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            let documented = lexed.comments.iter().any(|c| {
+                c.text.contains("SAFETY:") && c.end_line <= t.line && c.end_line + 3 >= t.line
+            });
+            if !documented {
+                out.push(Finding {
+                    file: ctx.rel_path.to_string(),
+                    line: t.line,
+                    rule: Rule::Unsafe,
+                    message: "`unsafe` without a `// SAFETY:` comment in the 3 lines above"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let ctx = FileCtx {
+            rel_path: "test.rs",
+            is_crate_root: false,
+            in_tests_dir: false,
+        };
+        analyze_file(&ctx, &lex(src)).0
+    }
+
+    #[test]
+    fn d1_fires_on_use_and_path_not_on_comment() {
+        let f = run("use std::time::Instant;\n// Instant\nfn f() { let t = Instant::now(); }");
+        assert_eq!(f.iter().filter(|f| f.rule == Rule::WallClock).count(), 2);
+    }
+
+    #[test]
+    fn allow_on_same_or_previous_line_suppresses_and_counts() {
+        let src = "// analyze:allow(wall_clock): telemetry only\nuse std::time::Instant;\n";
+        let ctx = FileCtx {
+            rel_path: "t.rs",
+            is_crate_root: false,
+            in_tests_dir: false,
+        };
+        let (f, used) = analyze_file(&ctx, &lex(src));
+        assert!(f.is_empty(), "unexpected: {f:?}");
+        assert_eq!(used, 1);
+    }
+
+    #[test]
+    fn stale_allow_is_a_finding() {
+        let f = run("// analyze:allow(wall_clock): nothing here\nfn f() {}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::StaleAllow);
+    }
+
+    #[test]
+    fn bad_annotation_key_and_missing_reason_are_findings() {
+        let f = run("// analyze:allow(wibble): x\nfn f() {}\n");
+        assert_eq!(f[0].rule, Rule::BadAnnotation);
+        let f = run("// analyze:allow(wall_clock)\nuse std::time::Instant;\n");
+        assert!(f.iter().any(|f| f.rule == Rule::BadAnnotation));
+    }
+
+    #[test]
+    fn d3_gated_ok_ungated_fires_test_scope_exempt() {
+        let gated = "fn f<P: Probe>(probe: &mut P) { if P::ENABLED { probe.on_event(1); } }";
+        assert!(run(gated).is_empty());
+        let ungated = "fn f<P: Probe>(probe: &mut P) { probe.on_event(1); }";
+        assert_eq!(run(ungated)[0].rule, Rule::ProbeUngated);
+        let chained = "fn f(sim: &mut S) { sim.probe_mut().on_round_end(&i); }";
+        assert_eq!(run(chained)[0].rule, Rule::ProbeUngated);
+        let test_mod = "#[cfg(test)]\nmod tests {\n fn t(probe: &mut P) { probe.on_event(1); }\n}";
+        assert!(run(test_mod).is_empty());
+    }
+
+    #[test]
+    fn d3_compound_condition_counts_as_gate() {
+        let src =
+            "fn f<P: Probe>(p: &mut P, n: u32) { if P::ENABLED && n > 0 { p.probe.on_x(n); } }";
+        assert!(run(src).is_empty());
+        // An `else` branch of a gated `if` is NOT gated.
+        let bad = "fn f<P: Probe>(probe: &mut P) { if P::ENABLED { } else { probe.on_x(1); } }";
+        assert_eq!(run(bad)[0].rule, Rule::ProbeUngated);
+    }
+
+    #[test]
+    fn d2_flags_iteration_only_in_export_files() {
+        let export = "use serde_json; fn f() { let m: HashMap<u32, u32> = HashMap::new(); \
+                      for (k, v) in &m { emit(k, v); } }";
+        let f = run(export);
+        assert_eq!(
+            f.iter().filter(|f| f.rule == Rule::UnorderedExport).count(),
+            1
+        );
+        // Same code without the export marker: out of D2 scope.
+        let plain = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); \
+                     for (k, v) in &m { emit(k, v); } }";
+        assert!(run(plain).is_empty());
+        // Membership-only use in an export file is fine.
+        let lookup = "use serde_json; fn f() { let m = HashMap::new(); m.insert(1, 2); \
+                      let _ = m.contains_key(&1); }";
+        assert!(run(lookup).is_empty());
+        // BTreeMap iteration is fine.
+        let btree = "use serde_json; fn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); \
+                     for (k, v) in &m { emit(k, v); } }";
+        assert!(run(btree).is_empty());
+    }
+
+    #[test]
+    fn d2_method_iteration_and_full_paths() {
+        let src = "use serde_json; fn f() { \
+                   let s: std::collections::HashSet<u32> = std::collections::HashSet::new(); \
+                   for x in s.iter() { emit(x); } }";
+        let f = run(src);
+        assert!(f.iter().any(|f| f.rule == Rule::UnorderedExport));
+    }
+
+    #[test]
+    fn d4_fires_on_entropy_names() {
+        let f = run("fn f() { let r = StdRng::from_entropy(); }");
+        assert_eq!(f[0].rule, Rule::Rng);
+    }
+
+    #[test]
+    fn u1_crate_root_and_safety_comments() {
+        let ctx = FileCtx {
+            rel_path: "src/lib.rs",
+            is_crate_root: true,
+            in_tests_dir: false,
+        };
+        let (f, _) = analyze_file(&ctx, &lex("pub fn f() {}"));
+        assert!(f.iter().any(|f| f.rule == Rule::Unsafe && f.line == 1));
+        let (f, _) = analyze_file(&ctx, &lex("#![forbid(unsafe_code)]\npub fn f() {}"));
+        assert!(f.is_empty());
+        // SAFETY comment within 3 lines above the unsafe token passes.
+        let good = "// SAFETY: ffi contract upheld by construction\nunsafe { party() }";
+        let bad = "unsafe { party() }";
+        assert!(run(good).is_empty());
+        assert_eq!(run(bad)[0].rule, Rule::Unsafe);
+    }
+}

@@ -1,0 +1,122 @@
+//! Workspace discovery and orchestration: walks the source tree in a
+//! deterministic (sorted) order, runs the per-file rules, then the
+//! workspace-level S1 shim audit, and folds everything into one sorted
+//! [`Analysis`].
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::lex;
+use crate::report::Analysis;
+use crate::rules::{analyze_file, FileCtx};
+use crate::shim_api;
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+/// Top-level roots scanned for `.rs` files.
+const SCAN_ROOTS: &[&str] = &["src", "tests", "examples", "crates", "shims"];
+
+/// Recursively collects `.rs` files under `dir` (sorted by path so the
+/// scan order — and therefore the report — is deterministic).
+pub fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().map(|s| s.to_string_lossy().into_owned());
+            if name.as_deref().is_some_and(|n| SKIP_DIRS.contains(&n)) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Repo-relative path with `/` separators (report/JSON stability across
+/// platforms).
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// True for files that are crate roots and therefore must carry
+/// `#![forbid(unsafe_code)]` (rule U1): every `src/lib.rs`,
+/// `src/main.rs`, and `src/bin/*.rs` in the tree.
+fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs"
+        || rel == "src/main.rs"
+        || rel.ends_with("/src/lib.rs")
+        || rel.ends_with("/src/main.rs")
+        || (rel.contains("/src/bin/") && rel.ends_with(".rs"))
+}
+
+/// True for integration-test files (D3 exempt — tests drive probes
+/// directly on purpose).
+fn in_tests_dir(rel: &str) -> bool {
+    rel.starts_with("tests/") || rel.contains("/tests/")
+}
+
+/// Analyzes the workspace rooted at `root`: every per-file rule over
+/// every discovered source file, plus the S1 shim audit.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        collect_rs_files(&root.join(sub), &mut files)?;
+    }
+    let mut analysis = Analysis::default();
+    for path in &files {
+        let text = std::fs::read_to_string(path)?;
+        let rel = rel_path(root, path);
+        let lexed = lex(&text);
+        let ctx = FileCtx {
+            rel_path: &rel,
+            is_crate_root: is_crate_root(&rel),
+            in_tests_dir: in_tests_dir(&rel),
+        };
+        let (findings, used) = analyze_file(&ctx, &lexed);
+        analysis.findings.extend(findings);
+        analysis.allows_used += used;
+        analysis.files_scanned += 1;
+    }
+    let shim_sources = shim_api::lex_shim_sources(root)?;
+    if !shim_sources.is_empty() {
+        let readme = std::fs::read_to_string(root.join("shims/README.md")).ok();
+        analysis
+            .findings
+            .extend(shim_api::audit_shims(readme.as_deref(), &shim_sources));
+    }
+    analysis.sort();
+    Ok(analysis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_root_detection() {
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(is_crate_root("crates/netsim/src/lib.rs"));
+        assert!(is_crate_root("crates/bench/src/bin/exp_perf.rs"));
+        assert!(!is_crate_root("crates/netsim/src/engine.rs"));
+        assert!(!is_crate_root("crates/netsim/tests/flows.rs"));
+    }
+
+    #[test]
+    fn tests_dir_detection() {
+        assert!(in_tests_dir("tests/smoke.rs"));
+        assert!(in_tests_dir("crates/netsim/tests/flows.rs"));
+        assert!(!in_tests_dir("crates/netsim/src/engine.rs"));
+    }
+}

@@ -1,0 +1,498 @@
+//! Rule S1: the shim-surface audit.
+//!
+//! The offline shims under `shims/` stand in for real registry crates;
+//! the whole swap-back story in `shims/README.md` depends on the README
+//! provenance table actually describing what each shim exposes. This
+//! module extracts every shim's *named public surface* from source and
+//! diffs it — in both directions — against the machine-readable table
+//! in the README (the fenced block whose info string is
+//! `analyze:shim-api`):
+//!
+//! * an exposed item missing from the table ⇒ undocumented surface
+//!   (silent drift from the real crate),
+//! * a table entry with no matching item ⇒ stale provenance.
+//!
+//! "Named public surface" means: `pub fn/struct/enum/union/trait/
+//! type/const/static/mod` items (including `pub fn` methods in inherent
+//! impls), the implicitly-public `fn`/`type`/`const` members declared
+//! directly inside a `pub trait` body, `pub use` re-export leaves, and
+//! `#[macro_export]` macros. `pub(crate)`-restricted items and
+//! `#[cfg(test)]` scopes are excluded. Item *names* are compared (not
+//! full paths or signatures) — coarse, but exactly the granularity of
+//! the README table, and regenerable with `shc-analyze --dump-shim-api`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use crate::lexer::{lex, Lexed, TokKind};
+use crate::report::{Finding, Rule};
+
+/// Item keywords whose following identifier is the item name.
+const NAMED_ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "union", "trait", "type", "const", "static", "mod",
+];
+
+/// Extracts the named public surface of one lexed source file.
+/// Returns `name -> first line it was declared on`.
+pub fn extract_surface(lexed: &Lexed) -> BTreeMap<String, u32> {
+    let toks = &lexed.tokens;
+    let mut out: BTreeMap<String, u32> = BTreeMap::new();
+    fn add(out: &mut BTreeMap<String, u32>, name: &str, line: u32) {
+        out.entry(name.to_string()).or_insert(line);
+    }
+
+    // Scope kinds for the brace walk.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Scope {
+        Normal,
+        PubTrait,
+        Test,
+    }
+    let mut stack: Vec<Scope> = vec![Scope::Normal];
+    let mut pending: Vec<(usize, Scope)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        let in_test = stack.contains(&Scope::Test);
+        match t.text.as_str() {
+            "#" => {
+                // `#[cfg(test)]` / `#[test]`: the next item body is a test
+                // scope. `#[macro_export]`: collect the macro name.
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|u| u.text == "!") {
+                    j += 1;
+                }
+                if toks.get(j).is_some_and(|u| u.text == "[") {
+                    let mut depth = 0i32;
+                    let mut names_test = false;
+                    let mut macro_export = false;
+                    while j < toks.len() {
+                        match toks[j].text.as_str() {
+                            "[" => depth += 1,
+                            "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            "test" => names_test = true,
+                            "macro_export" => macro_export = true,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if names_test || macro_export {
+                        let mut depth = 0i32;
+                        let mut k = j + 1;
+                        while k < toks.len() {
+                            match toks[k].text.as_str() {
+                                "(" | "[" => depth += 1,
+                                ")" | "]" => depth -= 1,
+                                "{" if depth == 0 => {
+                                    if names_test {
+                                        pending.push((k, Scope::Test));
+                                    }
+                                    break;
+                                }
+                                ";" if depth == 0 => break,
+                                _ => {
+                                    if macro_export
+                                        && !in_test
+                                        && toks[k].text == "macro_rules"
+                                        && toks.get(k + 1).is_some_and(|u| u.text == "!")
+                                    {
+                                        if let Some(name) = toks.get(k + 2) {
+                                            add(&mut out, &name.text, name.line);
+                                        }
+                                    }
+                                }
+                            }
+                            k += 1;
+                        }
+                        i = j;
+                    }
+                }
+            }
+            "pub" if !in_test => {
+                let mut j = i + 1;
+                // `pub(crate)` / `pub(super)` / `pub(in …)` are not
+                // public surface.
+                if toks.get(j).is_some_and(|u| u.text == "(") {
+                    i += 1;
+                    continue;
+                }
+                // Skip `unsafe`/`async`/`extern "C"` qualifiers.
+                while toks
+                    .get(j)
+                    .is_some_and(|u| matches!(u.text.as_str(), "unsafe" | "async" | "extern"))
+                    || toks.get(j).is_some_and(|u| u.kind == TokKind::Str)
+                {
+                    j += 1;
+                }
+                if let Some(kw) = toks.get(j) {
+                    if NAMED_ITEM_KEYWORDS.contains(&kw.text.as_str()) {
+                        // `pub trait Name` additionally marks its body so
+                        // implicitly-public members get collected.
+                        if let Some(name) = toks.get(j + 1) {
+                            if name.kind == TokKind::Ident {
+                                add(&mut out, &name.text, name.line);
+                            }
+                        }
+                        if kw.text == "trait" {
+                            let mut depth = 0i32;
+                            let mut k = j + 1;
+                            while k < toks.len() {
+                                match toks[k].text.as_str() {
+                                    "(" | "[" => depth += 1,
+                                    ")" | "]" => depth -= 1,
+                                    "{" if depth == 0 => {
+                                        pending.push((k, Scope::PubTrait));
+                                        break;
+                                    }
+                                    ";" if depth == 0 => break,
+                                    _ => {}
+                                }
+                                k += 1;
+                            }
+                        }
+                    } else if kw.text == "use" {
+                        collect_use_leaves(toks, j + 1, &mut |name, line| {
+                            out.entry(name.to_string()).or_insert(line);
+                        });
+                    }
+                }
+            }
+            "{" => {
+                let scope = pending
+                    .iter()
+                    .find(|(p, _)| *p == i)
+                    .map(|(_, s)| *s)
+                    .unwrap_or(Scope::Normal);
+                pending.retain(|(p, _)| *p != i);
+                stack.push(scope);
+            }
+            "}" if stack.len() > 1 => {
+                stack.pop();
+            }
+            // Implicitly-public members declared directly in a `pub
+            // trait` body (depth check: the innermost scope is the trait
+            // itself, not a default method body).
+            "fn" | "type" | "const"
+                if *stack.last().expect("stack nonempty") == Scope::PubTrait =>
+            {
+                if let Some(name) = toks.get(i + 1) {
+                    if name.kind == TokKind::Ident {
+                        out.entry(name.text.clone()).or_insert(name.line);
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Collects the leaf names of a `pub use` declaration starting at token
+/// index `start` (just past `use`): the last path segment, an `as`
+/// alias when present, every entry of a `{…}` group (non-nested groups
+/// cover the shims), or `*` for a glob.
+fn collect_use_leaves(toks: &[crate::lexer::Token], start: usize, add: &mut dyn FnMut(&str, u32)) {
+    let mut leaf: Option<(String, u32)> = None;
+    let mut j = start;
+    while j < toks.len() && toks[j].text != ";" {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "::" => {}
+            "as" => {
+                // Alias overrides the path leaf.
+                if let Some(alias) = toks.get(j + 1) {
+                    leaf = Some((alias.text.clone(), alias.line));
+                    j += 1;
+                }
+            }
+            // A `{` means the pending segment was a path prefix (`use a::{..}`,
+            // `use crate::{..}`), not an importable leaf — discard it.
+            "{" => leaf = None,
+            "," => {
+                if let Some((name, line)) = leaf.take() {
+                    add(&name, line);
+                }
+            }
+            "}" => {
+                if let Some((name, line)) = leaf.take() {
+                    add(&name, line);
+                }
+            }
+            "*" => leaf = Some(("*".to_string(), t.line)),
+            _ if t.kind == TokKind::Ident => leaf = Some((t.text.clone(), t.line)),
+            _ => {}
+        }
+        j += 1;
+    }
+    if let Some((name, line)) = leaf {
+        add(&name, line);
+    }
+}
+
+/// Parses the `analyze:shim-api` fenced block out of `shims/README.md`.
+/// Returns `crate -> (set of item names, line of the crate's row)`.
+/// A missing block is reported as a finding by [`audit_shims`].
+pub fn parse_provenance(md: &str) -> BTreeMap<String, (BTreeSet<String>, u32)> {
+    let mut out = BTreeMap::new();
+    let mut in_block = false;
+    for (idx, raw) in md.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = (idx + 1) as u32;
+        if line.starts_with("```") {
+            if in_block {
+                break;
+            }
+            in_block = line.trim_start_matches('`').trim() == "analyze:shim-api";
+            continue;
+        }
+        if !in_block || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((name, items)) = line.split_once(':') {
+            let entry = out
+                .entry(name.trim().to_string())
+                .or_insert_with(|| (BTreeSet::new(), lineno));
+            for item in items.split(',') {
+                let item = item.trim();
+                if !item.is_empty() {
+                    entry.0.insert(item.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the S1 audit over `<root>/shims`. `sources` maps each shim
+/// crate name to its lexed `src/*.rs` files with repo-relative paths.
+pub fn audit_shims(
+    readme: Option<&str>,
+    sources: &BTreeMap<String, Vec<(String, Lexed)>>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(readme) = readme else {
+        findings.push(Finding {
+            file: "shims/README.md".to_string(),
+            line: 1,
+            rule: Rule::ShimSurface,
+            message: "shims/README.md not found — rule S1 has no provenance table".to_string(),
+        });
+        return findings;
+    };
+    let table = parse_provenance(readme);
+    if table.is_empty() {
+        findings.push(Finding {
+            file: "shims/README.md".to_string(),
+            line: 1,
+            rule: Rule::ShimSurface,
+            message: "no `analyze:shim-api` fenced block in shims/README.md — record the \
+                      public surface of every shim (regenerate with --dump-shim-api)"
+                .to_string(),
+        });
+        return findings;
+    }
+    for (krate, files) in sources {
+        let mut surface: BTreeMap<String, (String, u32)> = BTreeMap::new();
+        for (rel, lexed) in files {
+            for (name, line) in extract_surface(lexed) {
+                surface.entry(name).or_insert((rel.clone(), line));
+            }
+        }
+        let (documented, table_line) = match table.get(krate) {
+            Some((set, line)) => (set.clone(), *line),
+            None => {
+                findings.push(Finding {
+                    file: "shims/README.md".to_string(),
+                    line: 1,
+                    rule: Rule::ShimSurface,
+                    message: format!(
+                        "shim crate `{krate}` has no row in the analyze:shim-api table"
+                    ),
+                });
+                continue;
+            }
+        };
+        for (name, (rel, line)) in &surface {
+            if !documented.contains(name) {
+                findings.push(Finding {
+                    file: rel.clone(),
+                    line: *line,
+                    rule: Rule::ShimSurface,
+                    message: format!(
+                        "public item `{name}` of shim `{krate}` is not recorded in the \
+                         shims/README.md provenance table"
+                    ),
+                });
+            }
+        }
+        for name in &documented {
+            if !surface.contains_key(name) {
+                findings.push(Finding {
+                    file: "shims/README.md".to_string(),
+                    line: table_line,
+                    rule: Rule::ShimSurface,
+                    message: format!(
+                        "provenance table records `{name}` for shim `{krate}` but the shim \
+                         exposes no such item (stale entry)"
+                    ),
+                });
+            }
+        }
+    }
+    for krate in table.keys() {
+        if !sources.contains_key(krate) {
+            findings.push(Finding {
+                file: "shims/README.md".to_string(),
+                line: table[krate].1,
+                rule: Rule::ShimSurface,
+                message: format!("provenance table row `{krate}` matches no crate under shims/"),
+            });
+        }
+    }
+    findings
+}
+
+/// Renders the canonical `analyze:shim-api` block for `--dump-shim-api`
+/// (paste into shims/README.md to re-bless the table).
+pub fn render_table(sources: &BTreeMap<String, Vec<(String, Lexed)>>) -> String {
+    let mut out = String::from("```analyze:shim-api\n");
+    for (krate, files) in sources {
+        let mut names: BTreeSet<String> = BTreeSet::new();
+        for (_, lexed) in files {
+            names.extend(extract_surface(lexed).into_keys());
+        }
+        let list: Vec<String> = names.into_iter().collect();
+        out.push_str(&format!("{krate}: {}\n", list.join(", ")));
+    }
+    out.push_str("```\n");
+    out
+}
+
+/// Lexes every `src/**/*.rs` of every shim under `<root>/shims`,
+/// keyed by crate (directory) name. Paths come back repo-relative.
+pub fn lex_shim_sources(root: &Path) -> std::io::Result<BTreeMap<String, Vec<(String, Lexed)>>> {
+    let mut out = BTreeMap::new();
+    let shims = root.join("shims");
+    if !shims.is_dir() {
+        return Ok(out);
+    }
+    let mut dirs: Vec<_> = std::fs::read_dir(&shims)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let name = dir
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src = dir.join("src");
+        let mut files = Vec::new();
+        let mut rs_files = Vec::new();
+        crate::scan::collect_rs_files(&src, &mut rs_files)?;
+        for path in rs_files {
+            let text = std::fs::read_to_string(&path)?;
+            let rel = crate::scan::rel_path(root, &path);
+            files.push((rel, lex(&text)));
+        }
+        if !files.is_empty() {
+            out.insert(name, files);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_items_traits_methods_and_reexports() {
+        let src = r#"
+            pub struct Foo;
+            pub(crate) struct Hidden;
+            pub trait Bar {
+                type Out;
+                const K: u32;
+                fn method(&self) -> u32 {
+                    fn local_helper() {}
+                    local_helper();
+                    0
+                }
+            }
+            impl Foo {
+                pub fn new() -> Self { Foo }
+                fn private(&self) {}
+            }
+            pub use other::{Alpha, beta as Gamma};
+            pub mod inner { pub fn nested() {} }
+            #[macro_export]
+            macro_rules! shout { () => {}; }
+            #[cfg(test)]
+            mod tests { pub fn invisible() {} }
+        "#;
+        let names: Vec<String> = extract_surface(&lex(src)).into_keys().collect();
+        for expected in [
+            "Foo", "Bar", "Out", "K", "method", "new", "Alpha", "Gamma", "inner", "nested", "shout",
+        ] {
+            assert!(
+                names.contains(&expected.to_string()),
+                "missing {expected}: {names:?}"
+            );
+        }
+        for absent in ["Hidden", "private", "local_helper", "invisible", "beta"] {
+            assert!(!names.contains(&absent.to_string()), "unexpected {absent}");
+        }
+    }
+
+    #[test]
+    fn provenance_roundtrip_and_both_diff_directions() {
+        let mut sources = BTreeMap::new();
+        sources.insert(
+            "mini".to_string(),
+            vec![(
+                "shims/mini/src/lib.rs".to_string(),
+                lex("pub fn visible() {}\npub struct Extra;"),
+            )],
+        );
+        let good = "x\n```analyze:shim-api\nmini: visible, Extra\n```\n";
+        assert!(audit_shims(Some(good), &sources).is_empty());
+        // Undocumented item.
+        let missing = "```analyze:shim-api\nmini: visible\n```\n";
+        let f = audit_shims(Some(missing), &sources);
+        assert!(f.iter().any(|f| f.message.contains("`Extra`")));
+        // Stale entry.
+        let stale = "```analyze:shim-api\nmini: visible, Extra, Ghost\n```\n";
+        let f = audit_shims(Some(stale), &sources);
+        assert!(f
+            .iter()
+            .any(|f| f.message.contains("`Ghost`") && f.message.contains("stale")));
+        // Unknown crate row + missing row.
+        let rows = "```analyze:shim-api\nother: thing\n```\n";
+        let f = audit_shims(Some(rows), &sources);
+        assert!(f.iter().any(|f| f.message.contains("no row")));
+        assert!(f.iter().any(|f| f.message.contains("matches no crate")));
+    }
+
+    #[test]
+    fn dump_matches_parse() {
+        let mut sources = BTreeMap::new();
+        sources.insert(
+            "mini".to_string(),
+            vec![(
+                "shims/mini/src/lib.rs".to_string(),
+                lex("pub fn a() {}\npub fn b() {}"),
+            )],
+        );
+        let table = render_table(&sources);
+        assert!(audit_shims(Some(&table), &sources).is_empty());
+    }
+}

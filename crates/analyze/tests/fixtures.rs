@@ -1,0 +1,106 @@
+//! Fixture-based proof that every rule catches its seeded violation and
+//! stays quiet on the corresponding clean variant. The fixtures live in
+//! `crates/analyze/fixtures/{bad,good}/` — a directory [`shc_analyze::scan`]
+//! skips, so the seeded violations can never leak into the workspace gate.
+
+use shc_analyze::rules::{analyze_file, FileCtx};
+use shc_analyze::{lexer, Finding};
+use std::path::Path;
+
+fn analyze_fixture(kind: &str, name: &str, is_crate_root: bool) -> (Vec<Finding>, usize) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(kind)
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    let rel = format!("fixtures/{kind}/{name}");
+    let ctx = FileCtx {
+        rel_path: &rel,
+        is_crate_root,
+        in_tests_dir: false,
+    };
+    analyze_file(&ctx, &lexer::lex(&src))
+}
+
+fn codes(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule.code()).collect()
+}
+
+#[test]
+fn d1_catches_wall_clock_import_and_call() {
+    let (findings, _) = analyze_fixture("bad", "wall_clock.rs", false);
+    assert_eq!(codes(&findings), ["D1", "D1"], "{findings:?}");
+}
+
+#[test]
+fn d1_quiet_when_allowed_and_allows_counted() {
+    let (findings, allows) = analyze_fixture("good", "wall_clock_allowed.rs", false);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(allows, 2, "both annotations must register as used");
+}
+
+#[test]
+fn d2_catches_hash_iteration_in_export_path() {
+    let (findings, _) = analyze_fixture("bad", "unordered_export.rs", false);
+    assert_eq!(codes(&findings), ["D2"], "{findings:?}");
+    assert!(findings[0].message.contains("rows"), "{findings:?}");
+}
+
+#[test]
+fn d2_quiet_on_btreemap_export() {
+    let (findings, _) = analyze_fixture("good", "unordered_export.rs", false);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d3_catches_ungated_probe_call() {
+    let (findings, _) = analyze_fixture("bad", "probe_ungated.rs", false);
+    assert_eq!(codes(&findings), ["D3"], "{findings:?}");
+    assert!(findings[0].message.contains("on_request"), "{findings:?}");
+}
+
+#[test]
+fn d3_quiet_when_gated_including_nested_scope() {
+    let (findings, _) = analyze_fixture("good", "probe_gated.rs", false);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d4_catches_entropy_seeding() {
+    let (findings, _) = analyze_fixture("bad", "rng.rs", false);
+    assert_eq!(codes(&findings), ["D4"], "{findings:?}");
+}
+
+#[test]
+fn d4_quiet_on_spec_seeding() {
+    let (findings, _) = analyze_fixture("good", "rng.rs", false);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn u1_catches_missing_forbid_and_uncommented_unsafe() {
+    let (findings, _) = analyze_fixture("bad", "unsafe_hygiene.rs", true);
+    let mut got = codes(&findings);
+    got.sort_unstable();
+    assert_eq!(got, ["U1", "U1"], "{findings:?}");
+}
+
+#[test]
+fn u1_quiet_on_forbidding_crate_root() {
+    let (findings, _) = analyze_fixture("good", "unsafe_hygiene.rs", true);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn a0_catches_stale_allow() {
+    let (findings, allows) = analyze_fixture("bad", "stale_allow.rs", false);
+    assert_eq!(codes(&findings), ["A0"], "{findings:?}");
+    assert_eq!(allows, 0, "a stale allow must not count as used");
+}
+
+#[test]
+fn a1_catches_malformed_annotations() {
+    let (findings, _) = analyze_fixture("bad", "bad_annotation.rs", false);
+    assert_eq!(codes(&findings), ["A1", "A1", "A1"], "{findings:?}");
+}

@@ -1,0 +1,18 @@
+//! Runs the analyzer over the live workspace tree, so plain `cargo test`
+//! enforces the determinism contract even before CI's explicit
+//! `--deny-all` step. A failure here lists the exact findings — fix the
+//! code or add a reasoned `// analyze:allow(<key>): …` at the site.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_deny_all() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let analysis = shc_analyze::analyze_workspace(&root).expect("workspace scan");
+    assert!(
+        analysis.findings.is_empty(),
+        "determinism-contract violations:\n{}",
+        analysis.render_human()
+    );
+    assert!(analysis.files_scanned > 100, "scan unexpectedly shallow");
+}

@@ -1,0 +1,64 @@
+//! S1 behaves as a two-way diff: undocumented surface growth AND stale
+//! provenance entries both fail, and the `--dump-shim-api` output is its
+//! own fixed point (rendering then parsing reproduces the surface).
+
+use shc_analyze::lexer::{lex, Lexed};
+use shc_analyze::shim_api::{audit_shims, parse_provenance, render_table};
+use std::collections::BTreeMap;
+
+fn sources(src: &str) -> BTreeMap<String, Vec<(String, Lexed)>> {
+    let mut out = BTreeMap::new();
+    out.insert(
+        "demo".to_string(),
+        vec![("shims/demo/src/lib.rs".to_string(), lex(src))],
+    );
+    out
+}
+
+const DEMO: &str = "pub struct Widget;\npub fn build() -> Widget { Widget }\n";
+
+#[test]
+fn missing_block_is_a_finding() {
+    let findings = audit_shims(Some("# shims\nno fenced block here\n"), &sources(DEMO));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(
+        findings[0].message.contains("analyze:shim-api"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn documented_surface_passes() {
+    let readme = "```analyze:shim-api\ndemo: Widget, build\n```\n";
+    let findings = audit_shims(Some(readme), &sources(DEMO));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn undocumented_item_fails() {
+    let readme = "```analyze:shim-api\ndemo: Widget\n```\n";
+    let findings = audit_shims(Some(readme), &sources(DEMO));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("build"), "{findings:?}");
+}
+
+#[test]
+fn stale_entry_fails() {
+    let readme = "```analyze:shim-api\ndemo: Widget, build, vanished\n```\n";
+    let findings = audit_shims(Some(readme), &sources(DEMO));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("vanished"), "{findings:?}");
+}
+
+#[test]
+fn rendered_table_is_a_fixed_point() {
+    let srcs = sources(DEMO);
+    let table = render_table(&srcs);
+    let parsed = parse_provenance(&table);
+    let demo = &parsed["demo"].0;
+    assert!(
+        demo.contains("Widget") && demo.contains("build"),
+        "{parsed:?}"
+    );
+    assert!(audit_shims(Some(&table), &srcs).is_empty());
+}

@@ -7,6 +7,8 @@
 //! * `--fast`        — reduced sweep sizes (debug-build friendly).
 //! * `--json PATH`   — also dump results as JSON.
 
+#![forbid(unsafe_code)]
+
 use shc_bench::{run_all, run_one, RunConfig};
 use std::io::Write as _;
 
@@ -42,6 +44,7 @@ fn main() {
         i += 1;
     }
 
+    // analyze:allow(wall_clock): whole-suite elapsed_ms banner only; never enters a result table
     let started = std::time::Instant::now();
     let results = if only.is_empty() {
         run_all(&cfg)

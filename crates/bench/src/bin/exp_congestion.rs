@@ -5,6 +5,8 @@
 //! Flags: `--n <dim>` (default 10), `--m <base>` (default 3),
 //! `--seed <u64>`, `--json PATH`.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use shc_broadcast::schemes::hypercube::hypercube_broadcast;

@@ -8,6 +8,8 @@
 //!
 //! Render with `dot -Tsvg out/figures/fig3_g42.dot -o fig3.svg`.
 
+#![forbid(unsafe_code)]
+
 use shc_bench::experiments::figures::g42_paper;
 use shc_broadcast::broadcast_scheme;
 use shc_graph::builders::theorem1_tree;

@@ -34,6 +34,8 @@
 //! with each other, so treat parallel-run throughput as a smoke signal;
 //! record trajectory numbers with `--threads 1`.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -45,6 +47,7 @@ use shc_netsim::{
 use shc_runtime::trace::audit::audit_journals;
 use shc_runtime::{TopologySpec, TraceJournal};
 use std::hint::black_box;
+// analyze:allow(wall_clock): throughput measurement harness; timings are segregated from the deterministic row sample
 use std::time::{Duration, Instant};
 
 /// One measured cell of the sweep.
@@ -95,6 +98,7 @@ fn measure<F: FnMut() -> SimStats>(target: Duration, mut routine: F) -> (SimStat
     let mut iters = 0u64;
     let mut batch = 1u64;
     while total < target && iters < 1_000_000 {
+        // analyze:allow(wall_clock): the measured quantity itself
         let start = Instant::now();
         for _ in 0..batch {
             black_box(routine());

@@ -17,6 +17,8 @@
 //!   with tracing on, journals must also match byte-for-byte and pass
 //!   the `trace::audit` invariant replay.
 
+#![forbid(unsafe_code)]
+
 use shc_runtime::trace::audit::audit_journals;
 use shc_runtime::{
     available_threads, builtin_catalog, run_scenario, run_scenario_traced, ScenarioReport,
@@ -162,6 +164,7 @@ fn main() {
     let mut journals: Vec<TraceJournal> = Vec::new();
     let mut determinism_ok = true;
     for scenario in &catalog {
+        // analyze:allow(wall_clock): per-scenario elapsed_ms banner only; never enters report JSON
         let started = std::time::Instant::now();
         let report = if trace_path.is_some() {
             let (report, js) = run_scenario_traced(scenario, threads, TRACE_CAPACITY);

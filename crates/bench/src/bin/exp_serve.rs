@@ -24,12 +24,15 @@
 //!   byte-identical reports *and* byte-identical trace journals, audit
 //!   the journals, then exit.
 
+#![forbid(unsafe_code)]
+
 use serde::Serialize;
 use shc_runtime::trace::audit::audit_journals;
 use shc_runtime::{
     builtin_service_catalog, run_indexed_timed, run_service, run_service_traced, Metrics,
     MetricsSnapshot, ServiceReport, ServiceSpec, TraceJournal,
 };
+// analyze:allow(wall_clock): sweep elapsed_ms + executor telemetry; excluded from the deterministic projection
 use std::time::Instant;
 
 /// Per-cell journal ring capacity: comfortably above the event volume of
@@ -206,6 +209,7 @@ fn main() {
         }
     );
 
+    // analyze:allow(wall_clock): wall elapsed_ms for the banner; the seed-check diffs a projection without it
     let start = Instant::now();
     let (reports, journals, telemetry) = if trace_path.is_some() {
         let (pairs, telemetry) = run_indexed_timed(cells.len(), threads, |i| {

@@ -435,7 +435,7 @@ mod tests {
     fn theorem1_tree_h6_center_and_leaf() {
         let t = theorem1_tree(6); // 190 vertices
         let o = GraphOracle::new(&t);
-        for source in [0 as Node, 1, (t.num_vertices() - 1) as Node] {
+        for source in [0, 1, (t.num_vertices() - 1) as Node] {
             let s = tree_line_broadcast(&t, source).unwrap();
             verify_minimum_time(&o, &s, 12).unwrap();
         }

@@ -415,7 +415,7 @@ mod tests {
     #[test]
     fn star_is_2mlbg() {
         let g = star(8);
-        for source in [0 as Node, 1, 7] {
+        for source in [0, 1, 7] {
             assert_found(&g, source, 2);
         }
     }

@@ -20,7 +20,7 @@ use crate::oracle::EdgeOracle;
 use serde::{Deserialize, Serialize};
 use shc_core::bounds::ceil_log2;
 use shc_graph::BitSet;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Why a schedule failed validation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -214,7 +214,11 @@ pub fn verify_schedule<G: EdgeOracle>(
                     k,
                 });
             }
-            let mut own_edges: HashSet<(Vertex, Vertex)> = HashSet::new();
+            // Ordered on purpose: this set is *iterated* below, and with
+            // several conflicting edges in one call the first
+            // `EdgeConflict` reported must not depend on hash order
+            // (rule D2 — `Violation` is serialized into reports).
+            let mut own_edges: BTreeSet<(Vertex, Vertex)> = BTreeSet::new();
             for (a, b) in call.edges() {
                 if !graph.has_edge(a, b) {
                     return Err(Violation::NotAnEdge {

@@ -30,7 +30,7 @@ pub fn greedy_dominating_set<G: GraphView>(g: &G) -> BitSet {
     let mut chosen = BitSet::new(n);
     let mut covered = BitSet::new(n);
     while !covered.is_full() {
-        let mut best = 0 as Node;
+        let mut best: Node = 0;
         let mut best_gain = 0usize;
         for u in 0..n as Node {
             let mut gain = usize::from(!covered.contains(u as usize));

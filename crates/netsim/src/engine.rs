@@ -749,6 +749,7 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
             rejecting_link: reason.and(self.probe_reject_link),
             search,
         };
+        // analyze:allow(probe_ungated): helper invoked from gated sites only — both callers sit under `if P::ENABLED`
         self.probe.on_request(&req);
     }
 

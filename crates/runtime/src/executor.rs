@@ -14,6 +14,7 @@
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::Mutex;
+// analyze:allow(wall_clock): executor telemetry is the one sanctioned wall-clock surface (docs/OBSERVABILITY.md); it never enters a journal
 use std::time::Instant;
 
 /// Worker threads to use when the caller passes `threads = 0`.
@@ -191,6 +192,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    // analyze:allow(wall_clock): run_indexed_timed telemetry, segregated from deterministic output
     let started = Instant::now();
     let threads = if threads == 0 {
         available_threads()
@@ -205,6 +207,7 @@ where
         let mut task_micros = Vec::with_capacity(tasks);
         let results = (0..tasks)
             .map(|t| {
+                // analyze:allow(wall_clock): per-task wall time for utilization reports
                 let t0 = Instant::now();
                 let r = f(t);
                 task_micros.push(elapsed_micros(t0));
@@ -253,6 +256,7 @@ where
                         TaskSource::Injector => stats.injector_batches += 1,
                         TaskSource::Stolen => stats.steals += 1,
                     }
+                    // analyze:allow(wall_clock): per-task wall time for utilization reports
                     let t0 = Instant::now();
                     let r = f(task);
                     let micros = elapsed_micros(t0);

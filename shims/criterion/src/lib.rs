@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+// analyze:allow(wall_clock): criterion is a wall-clock measurement harness; it never runs in a deterministic path
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard optimization barrier.
@@ -70,6 +71,7 @@ impl Bencher {
         let mut iters = 0u64;
         let mut batch = 1u64;
         while total < MEASURE_TARGET && iters < 1_000_000 {
+            // analyze:allow(wall_clock): the measured quantity itself
             let start = Instant::now();
             for _ in 0..batch {
                 black_box(routine());

@@ -36,6 +36,9 @@ pub trait Standard: Sized {
 macro_rules! impl_standard_int {
     ($($t:ty),*) => {$(
         impl Standard for $t {
+            // The cast truncates for every type in the list except u64
+            // itself, where it is trivially a no-op.
+            #[allow(trivial_numeric_casts)]
             fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
                 rng.next_u64() as $t
             }
@@ -69,6 +72,9 @@ pub trait SampleRange<T> {
 macro_rules! impl_sample_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for core::ops::Range<$t> {
+            // Casts widen/truncate for every type in the list except the
+            // u64 instantiation, where they are trivially no-ops.
+            #[allow(trivial_numeric_casts)]
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end as u64).wrapping_sub(self.start as u64);
@@ -76,6 +82,7 @@ macro_rules! impl_sample_range {
             }
         }
         impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[allow(trivial_numeric_casts)]
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");

@@ -222,6 +222,9 @@ impl Serialize for bool {
 macro_rules! impl_serialize_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
+            // The cast widens every type in the list except u64 itself,
+            // where it is trivially a no-op.
+            #[allow(trivial_numeric_casts)]
             fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
                 serializer.serialize_value(Value::UInt(*self as u64))
             }

@@ -6,6 +6,8 @@
 //! `#[derive(Serialize, Deserialize)]` site in this workspace. Anything
 //! else produces a `compile_error!` explaining the limitation.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives the serde shim's `Serialize` for a named-field struct.
