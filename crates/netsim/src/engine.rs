@@ -174,9 +174,13 @@ impl SimStats {
 
 /// Handle to a circuit held **across** rounds (a *flow*), returned by
 /// [`Engine::request_flow`] and consumed by [`Engine::release_flow`].
-/// Handles are engine-scoped slab indices: releasing a flow invalidates
-/// its handle (the slot is recycled for a later flow), and using a stale
-/// handle panics rather than silently touching the wrong circuit.
+/// Handles are engine-scoped, **generation-checked** slab indices: a slot
+/// is recycled for a later flow once its occupant ends, but every close
+/// (release, teardown, preemption, failed reroute) bumps the slot's
+/// generation, so a stale handle never aliases the slot's next occupant —
+/// it either panics (release/teardown paths) or reads as inactive
+/// ([`Engine::is_flow_active`]), never silently touches the wrong
+/// circuit.
 ///
 /// ```
 /// use shc_graph::builders::cycle;
@@ -194,12 +198,58 @@ impl SimStats {
 /// };
 /// sim.begin_round(); // the flow survives the round boundary …
 /// assert_eq!(sim.active_flows(), 1);
+/// assert!(sim.is_flow_active(flow));
 /// sim.release_flow(flow); // … until released
 /// assert_eq!(sim.active_flows(), 0);
+/// assert!(!sim.is_flow_active(flow), "the handle is now stale");
 /// assert!(sim.usage_snapshot().is_empty(), "no residual occupancy");
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct FlowId(u32);
+pub struct FlowId {
+    slot: u32,
+    gen: u32,
+}
+
+impl FlowId {
+    /// The slab slot behind this handle — the integer the trace layer
+    /// journals flow events under (slots recycle; the `(slot, open)`
+    /// ledger in `trace::audit` keeps reuse unambiguous).
+    #[must_use]
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+}
+
+/// Everything the engine keeps per active flow: the held route plus the
+/// endpoints, retained so a mid-run link failure can re-route the flow
+/// in place ([`Engine::reroute_flow`]).
+struct FlowRecord {
+    links: Vec<LinkId>,
+    src: Vertex,
+    dst: Vertex,
+}
+
+/// One slab slot: current generation + occupant (if any). The
+/// generation increments on every close, invalidating old handles.
+struct FlowSlot {
+    gen: u32,
+    record: Option<FlowRecord>,
+}
+
+/// Outcome of [`Engine::reroute_flow`]: the flow either holds a fresh
+/// route (same handle, possibly different length) or could not be
+/// re-placed and was torn down (handle now stale).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RerouteOutcome {
+    /// A replacement route was found; the flow (and its handle) lives on.
+    Rerouted {
+        /// Length of the new route in links.
+        hops: u32,
+    },
+    /// No replacement route existed within the length bound; the flow
+    /// was torn down and its handle invalidated.
+    TornDown(BlockReason),
+}
 
 /// Outcome of one flow request ([`Engine::request_flow`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -247,10 +297,17 @@ pub struct Engine<'a, T: NetTopology, P: EngineProbe = NoProbe> {
     /// Lazily sized on the first flow admission, so memoryless
     /// (round-by-round) workloads pay nothing for the flow layer.
     held: Vec<u32>,
-    /// Active-flow slab: slot `i` holds flow `i`'s link ids.
-    flow_slots: Vec<Option<Vec<LinkId>>>,
+    /// Active-flow slab: slot `i` holds flow `i`'s route + generation.
+    flow_slots: Vec<FlowSlot>,
     /// Recycled slab slots.
     free_flows: Vec<u32>,
+    /// Dynamic damage overlay: bitset over link ids of links failed
+    /// mid-run ([`fail_link`](Self::fail_link)) and not yet repaired.
+    /// Lazily allocated; consulted only while `dyn_faults > 0`, so
+    /// churn-free runs pay one integer test per link visit.
+    dyn_dead: Vec<u64>,
+    /// Links currently failed in the dynamic overlay.
+    dyn_faults: usize,
     /// Active flow count (slab slots currently occupied).
     active_flows: usize,
     /// Total links currently held by active flows (occupancy gauge).
@@ -341,6 +398,8 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
             held: Vec::new(),
             flow_slots: Vec::new(),
             free_flows: Vec::new(),
+            dyn_dead: Vec::new(),
+            dyn_faults: 0,
             active_flows: 0,
             held_link_hops: 0,
             path_ids: Vec::new(),
@@ -479,6 +538,93 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
         }
     }
 
+    /// Whether `id` is usable for routing right now: admitted by the
+    /// topology's own damage overlay **and** not failed in the engine's
+    /// dynamic overlay. Every search and path check goes through this;
+    /// the `dyn_faults == 0` fast path keeps churn-free runs at exactly
+    /// the static-overlay cost.
+    #[inline]
+    fn link_live(&self, id: LinkId) -> bool {
+        if self.net.link_blocked(id) {
+            return false;
+        }
+        if self.dyn_faults == 0 {
+            return true;
+        }
+        self.dyn_dead[(id >> 6) as usize] & (1u64 << (id & 63)) == 0
+    }
+
+    /// Fails the link `{u, v}` **while the simulation runs**: from this
+    /// instant no search or path check admits it. Occupancy already on
+    /// the link — held flows, this round's transients — is *not* touched;
+    /// the returned handles (flows whose route crosses the link, in
+    /// ascending slot order — deterministic) let the caller decide each
+    /// circuit's fate: [`teardown_flow`](Self::teardown_flow),
+    /// [`reroute_flow`](Self::reroute_flow), or deliberately carrying the
+    /// flow across the outage.
+    ///
+    /// # Panics
+    /// Panics if `{u, v}` is not a live edge (unknown, masked by the
+    /// topology's own overlay, or already failed dynamically) — callers
+    /// draw failures from a live-edge set, so a dead draw is a bug.
+    pub fn fail_link(&mut self, u: Vertex, v: Vertex) -> Vec<FlowId> {
+        let id = self
+            .net
+            .link_id(u, v)
+            .filter(|&id| !self.net.link_blocked(id))
+            .expect("fail_link on a non-edge or overlay-dead link");
+        if self.dyn_dead.is_empty() {
+            self.dyn_dead = vec![0u64; self.usage.len().div_ceil(64)];
+        }
+        let word = (id >> 6) as usize;
+        let bit = 1u64 << (id & 63);
+        assert_eq!(
+            self.dyn_dead[word] & bit,
+            0,
+            "fail_link on an already-failed link"
+        );
+        self.dyn_dead[word] |= bit;
+        self.dyn_faults += 1;
+        let mut affected = Vec::new();
+        for (slot, s) in self.flow_slots.iter().enumerate() {
+            if let Some(rec) = &s.record {
+                if rec.links.contains(&id) {
+                    affected.push(FlowId {
+                        slot: u32::try_from(slot).expect("flow count fits u32"),
+                        gen: s.gen,
+                    });
+                }
+            }
+        }
+        affected
+    }
+
+    /// Repairs a link failed by [`fail_link`](Self::fail_link): the
+    /// dynamic overlay sheds the damage bit incrementally (no re-freeze,
+    /// no scratch invalidation) and the link is routable from the next
+    /// search on. Held occupancy was never cleared by the failure, so no
+    /// state needs rebuilding.
+    ///
+    /// # Panics
+    /// Panics if `{u, v}` is not currently failed dynamically.
+    pub fn repair_link(&mut self, u: Vertex, v: Vertex) {
+        let id = self.net.link_id(u, v).expect("repair_link on a non-edge");
+        let word = (id >> 6) as usize;
+        let bit = 1u64 << (id & 63);
+        assert!(
+            !self.dyn_dead.is_empty() && self.dyn_dead[word] & bit != 0,
+            "repair_link on a link that is not failed"
+        );
+        self.dyn_dead[word] &= !bit;
+        self.dyn_faults -= 1;
+    }
+
+    /// Links currently failed in the dynamic overlay.
+    #[must_use]
+    pub fn failed_links(&self) -> usize {
+        self.dyn_faults
+    }
+
     /// Increments occupancy for one link; returns `false` (over capacity)
     /// without recording when the link is already saturated. A link joins
     /// the dirty list the first time its usage rises above the held base
@@ -510,9 +656,10 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
             self.path_ids.clear();
             for w in path.windows(2) {
                 // Live-edge test: an edge the topology's rule (or frozen
-                // table) admits and no damage overlay masks.
+                // table) admits and no damage overlay — static or
+                // dynamic — masks.
                 match self.net.link_id(w[0], w[1]) {
-                    Some(id) if !self.net.link_blocked(id) => self.path_ids.push(id),
+                    Some(id) if self.link_live(id) => self.path_ids.push(id),
                     _ => {
                         self.stats.blocked += 1;
                         break 'admit Outcome::Blocked(BlockReason::NotAnEdge((w[0], w[1])));
@@ -582,36 +729,75 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
             Outcome::Established(path) => {
                 // `establish_*` left the route's link ids in `path_ids`;
                 // promote them into the held base load.
-                if self.held.is_empty() {
-                    self.held = vec![0; self.usage.len()];
-                }
                 let links = self.path_ids.clone();
-                for &id in &links {
-                    self.held[id as usize] += 1;
-                }
                 let hops = u32::try_from(path.len() - 1).expect("route length fits u32");
-                self.held_link_hops += u64::from(hops);
-                self.active_flows += 1;
-                let slot = match self.free_flows.pop() {
-                    Some(s) => {
-                        self.flow_slots[s as usize] = Some(links);
-                        s
-                    }
-                    None => {
-                        self.flow_slots.push(Some(links));
-                        u32::try_from(self.flow_slots.len() - 1).expect("flow count fits u32")
-                    }
-                };
+                let (flow, _) = self.open_flow(FlowRecord { links, src, dst });
                 if P::ENABLED {
-                    self.probe.on_flow_established(slot, hops);
+                    self.probe.on_flow_established(flow.slot, hops);
                 }
-                FlowOutcome::Established {
-                    flow: FlowId(slot),
-                    hops,
-                }
+                FlowOutcome::Established { flow, hops }
             }
             Outcome::Blocked(reason) => FlowOutcome::Blocked(reason),
         }
+    }
+
+    /// Promotes `rec.links` into the held base load and slots the record
+    /// into the slab (recycling a free slot when one exists). Returns the
+    /// generation-stamped handle and the route length.
+    fn open_flow(&mut self, rec: FlowRecord) -> (FlowId, u32) {
+        if self.held.is_empty() {
+            self.held = vec![0; self.usage.len()];
+        }
+        for &id in &rec.links {
+            self.held[id as usize] += 1;
+        }
+        let hops = u32::try_from(rec.links.len()).expect("route length fits u32");
+        self.held_link_hops += u64::from(hops);
+        self.active_flows += 1;
+        let slot = match self.free_flows.pop() {
+            Some(s) => {
+                self.flow_slots[s as usize].record = Some(rec);
+                s
+            }
+            None => {
+                self.flow_slots.push(FlowSlot {
+                    gen: 0,
+                    record: Some(rec),
+                });
+                u32::try_from(self.flow_slots.len() - 1).expect("flow count fits u32")
+            }
+        };
+        let gen = self.flow_slots[slot as usize].gen;
+        (FlowId { slot, gen }, hops)
+    }
+
+    /// Shared close path for release / teardown / preemption: validates
+    /// the generation-stamped handle, sheds the route's held occupancy
+    /// **immediately**, recycles the slot, and bumps its generation so
+    /// the handle (and any copies of it) goes stale.
+    fn close_flow(&mut self, flow: FlowId, what: &str) -> FlowRecord {
+        let slot = self
+            .flow_slots
+            .get_mut(flow.slot as usize)
+            .filter(|s| s.gen == flow.gen);
+        let rec = match slot.and_then(|s| {
+            let rec = s.record.take();
+            if rec.is_some() {
+                s.gen += 1;
+            }
+            rec
+        }) {
+            Some(rec) => rec,
+            None => panic!("{what} of an unknown or already-released flow"),
+        };
+        for &id in &rec.links {
+            self.held[id as usize] -= 1;
+            self.usage[id as usize] -= 1;
+        }
+        self.held_link_hops -= rec.links.len() as u64;
+        self.active_flows -= 1;
+        self.free_flows.push(flow.slot);
+        rec
     }
 
     /// Releases an active flow: every link of its route sheds one held
@@ -622,22 +808,114 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
     /// # Panics
     /// Panics on a stale or already-released handle.
     pub fn release_flow(&mut self, flow: FlowId) {
-        let links = self
+        let rec = self.close_flow(flow, "release");
+        if P::ENABLED {
+            let hops = u32::try_from(rec.links.len()).expect("route length fits u32");
+            self.probe.on_flow_released(flow.slot, hops);
+        }
+    }
+
+    /// Tears down an active flow because a fault (not its own departure)
+    /// killed it — release mechanics, separate probe event, so traces and
+    /// audits distinguish a clean close from a casualty. Returns the
+    /// released route length.
+    ///
+    /// # Panics
+    /// Panics on a stale or already-released handle.
+    pub fn teardown_flow(&mut self, flow: FlowId) -> u32 {
+        let rec = self.close_flow(flow, "teardown");
+        let hops = u32::try_from(rec.links.len()).expect("route length fits u32");
+        if P::ENABLED {
+            self.probe.on_flow_torn_down(flow.slot, hops);
+        }
+        hops
+    }
+
+    /// Evicts an active flow to make room for a higher class — release
+    /// mechanics, separate probe event. Returns the released route
+    /// length.
+    ///
+    /// # Panics
+    /// Panics on a stale or already-released handle.
+    pub fn preempt_flow(&mut self, flow: FlowId) -> u32 {
+        let rec = self.close_flow(flow, "preemption");
+        let hops = u32::try_from(rec.links.len()).expect("route length fits u32");
+        if P::ENABLED {
+            self.probe.on_flow_preempted(flow.slot, hops);
+        }
+        hops
+    }
+
+    /// Re-routes an active flow in place: frees its current route, then
+    /// runs a normal adaptive [`request`](Self::request) between the
+    /// flow's recorded endpoints (the freed capacity — the surviving part
+    /// of the old route included — is available to the search). On
+    /// success the flow keeps its handle and holds the new route; on
+    /// failure it is torn down and the handle goes stale. Either way the
+    /// internal request is ordinary [`SimStats`] traffic (one established
+    /// or blocked circuit attempt).
+    ///
+    /// # Panics
+    /// Panics outside a round, or on a stale / already-released handle.
+    pub fn reroute_flow(&mut self, flow: FlowId, max_len: u32) -> RerouteOutcome {
+        assert!(self.round_open, "begin_round first");
+        let slot = self
             .flow_slots
-            .get_mut(flow.0 as usize)
-            .and_then(Option::take)
-            .expect("release of an unknown or already-released flow");
-        for &id in &links {
+            .get_mut(flow.slot as usize)
+            .filter(|s| s.gen == flow.gen);
+        let rec = match slot.and_then(|s| s.record.take()) {
+            Some(rec) => rec,
+            None => panic!("reroute of an unknown or already-released flow"),
+        };
+        // Shed the old route before searching: the replacement may keep
+        // any surviving links of the old one.
+        for &id in &rec.links {
             self.held[id as usize] -= 1;
             self.usage[id as usize] -= 1;
         }
-        self.held_link_hops -= links.len() as u64;
-        self.active_flows -= 1;
-        self.free_flows.push(flow.0);
-        if P::ENABLED {
-            let hops = u32::try_from(links.len()).expect("route length fits u32");
-            self.probe.on_flow_released(flow.0, hops);
+        let old_hops = u32::try_from(rec.links.len()).expect("route length fits u32");
+        self.held_link_hops -= u64::from(old_hops);
+        match self.request(rec.src, rec.dst, max_len) {
+            Outcome::Established(path) => {
+                let links = self.path_ids.clone();
+                for &id in &links {
+                    self.held[id as usize] += 1;
+                }
+                let new_hops = u32::try_from(path.len() - 1).expect("route length fits u32");
+                self.held_link_hops += u64::from(new_hops);
+                self.flow_slots[flow.slot as usize].record = Some(FlowRecord {
+                    links,
+                    src: rec.src,
+                    dst: rec.dst,
+                });
+                if P::ENABLED {
+                    self.probe.on_flow_rerouted(flow.slot, old_hops, new_hops);
+                }
+                RerouteOutcome::Rerouted { hops: new_hops }
+            }
+            Outcome::Blocked(reason) => {
+                self.flow_slots[flow.slot as usize].gen += 1;
+                self.active_flows -= 1;
+                self.free_flows.push(flow.slot);
+                if P::ENABLED {
+                    self.probe.on_flow_torn_down(flow.slot, old_hops);
+                }
+                RerouteOutcome::TornDown(reason)
+            }
         }
+    }
+
+    /// Whether `flow` still points at a live flow — `false` once the
+    /// handle's flow was released, torn down, preempted, or lost its
+    /// route in a failed reroute (stale handles never alias the slot's
+    /// next occupant: every close bumps the slot's generation). The
+    /// departure-scheduling seam: drivers holding future release
+    /// schedules check here instead of releasing blindly.
+    #[must_use]
+    pub fn is_flow_active(&self, flow: FlowId) -> bool {
+        self.flow_slots
+            .get(flow.slot as usize)
+            .is_some_and(|s| s.gen == flow.gen && s.record.is_some())
     }
 
     /// Number of currently active (admitted, unreleased) flows.
@@ -759,7 +1037,7 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
     fn first_saturated_link(&self, v: Vertex) -> Option<LinkId> {
         let mut hit = None;
         self.net.for_each_link(v, |_, id| {
-            if !self.net.link_blocked(id) && self.usage[id as usize] >= self.dilation {
+            if self.link_live(id) && self.usage[id as usize] >= self.dilation {
                 hit = Some(id);
                 return false;
             }
@@ -786,7 +1064,7 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
             }
             let mut found = false;
             net.for_each_link(u64::from(x), |y, id| {
-                if net.link_blocked(id) {
+                if !self.link_live(id) {
                     return true;
                 }
                 if y == dst {
@@ -835,7 +1113,7 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
         let mut any_live = false;
         let mut any_free = false;
         self.net.for_each_link(v, |_, id| {
-            if self.net.link_blocked(id) {
+            if !self.link_live(id) {
                 return true;
             }
             any_live = true;
@@ -901,7 +1179,7 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
             }
             let mut found = false;
             net.for_each_link(u64::from(x), |y, id| {
-                if net.link_blocked(id) {
+                if !self.link_live(id) {
                     return true;
                 }
                 if self.usage[id as usize] >= self.dilation {
@@ -1021,7 +1299,7 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
                         self.probe_expanded += 1;
                     }
                     net.for_each_link(u64::from(x), |y, id| {
-                        if net.link_blocked(id) {
+                        if !self.link_live(id) {
                             return true;
                         }
                         if self.usage[id as usize] >= self.dilation {
@@ -1065,7 +1343,7 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
                         self.probe_expanded += 1;
                     }
                     net.for_each_link(u64::from(x), |y, id| {
-                        if net.link_blocked(id) {
+                        if !self.link_live(id) {
                             return true;
                         }
                         if self.usage[id as usize] >= self.dilation {
@@ -1599,7 +1877,7 @@ mod tests {
     }
 
     #[test]
-    fn flow_slots_are_recycled() {
+    fn flow_slots_are_recycled_with_fresh_generations() {
         let net = MaterializedNet::new(star(5));
         let mut sim = Engine::new(&net, 2);
         sim.begin_round();
@@ -1610,8 +1888,143 @@ mod tests {
         let FlowOutcome::Established { flow: b, .. } = sim.request_flow(3, 4, 2) else {
             panic!()
         };
-        assert_eq!(a, b, "slab recycles the freed slot");
+        assert_eq!(a.slot(), b.slot(), "slab recycles the freed slot");
+        assert_ne!(a, b, "the recycled slot carries a new generation");
+        assert!(!sim.is_flow_active(a), "stale handle reads inactive");
+        assert!(sim.is_flow_active(b));
         assert_eq!(sim.active_flows(), 1);
+    }
+
+    #[test]
+    fn failed_link_rejects_new_circuits_until_repair() {
+        let net = MaterializedNet::new(cycle(4));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        let affected = sim.fail_link(0, 1);
+        assert!(affected.is_empty(), "no flows were up");
+        assert_eq!(sim.failed_links(), 1);
+        // Fixed paths treat the failed link as a dead edge …
+        assert_eq!(
+            sim.request_path(&[0, 1]),
+            Outcome::Blocked(BlockReason::NotAnEdge((0, 1)))
+        );
+        // … and adaptive search routes around it.
+        match sim.request(0, 1, 3) {
+            Outcome::Established(p) => assert_eq!(p, vec![0, 3, 2, 1]),
+            other => panic!("expected detour, got {other:?}"),
+        }
+        sim.repair_link(0, 1);
+        assert_eq!(sim.failed_links(), 0);
+        sim.begin_round();
+        match sim.request(0, 1, 3) {
+            Outcome::Established(p) => assert_eq!(p, vec![0, 1], "repaired direct link"),
+            other => panic!("repair did not restore the link: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fail_link_names_affected_flows_in_slot_order() {
+        let net = MaterializedNet::new(star(5));
+        let mut sim = Engine::new(&net, 3);
+        sim.begin_round();
+        // Three flows over the hub edge {0, 1}; one elsewhere.
+        let mut over: Vec<FlowId> = Vec::new();
+        for dst in [2u64, 3, 4] {
+            let FlowOutcome::Established { flow, .. } = sim.request_flow(1, dst, 2) else {
+                panic!("dilated star blocked")
+            };
+            over.push(flow);
+        }
+        let FlowOutcome::Established { flow: spare, .. } = sim.request_flow(2, 3, 2) else {
+            panic!("dilated star blocked")
+        };
+        let affected = sim.fail_link(0, 1);
+        assert_eq!(affected, over, "ascending slot order, casualties only");
+        assert!(!affected.contains(&spare));
+        // Teardown of the casualties frees their occupancy completely.
+        for f in affected {
+            sim.teardown_flow(f);
+        }
+        sim.release_flow(spare);
+        sim.begin_round();
+        assert!(sim.usage_snapshot().is_empty(), "residual occupancy");
+    }
+
+    #[test]
+    fn preempt_frees_capacity_for_the_next_request() {
+        let net = MaterializedNet::new(cycle(4));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        let FlowOutcome::Established { flow, .. } = sim.request_flow(0, 1, 1) else {
+            panic!("clean ring blocked")
+        };
+        // Direct link held and the detour blocked by a max_len of 1.
+        assert!(!sim.request_flow(0, 1, 1).is_established());
+        assert_eq!(sim.preempt_flow(flow), 1);
+        assert!(!sim.is_flow_active(flow));
+        assert!(sim.request_flow(0, 1, 1).is_established(), "evicted slot");
+    }
+
+    #[test]
+    fn reroute_moves_a_flow_off_a_failed_link() {
+        let net = MaterializedNet::new(cycle(4));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        let FlowOutcome::Established { flow, hops } = sim.request_flow(0, 1, 3) else {
+            panic!("clean ring blocked")
+        };
+        assert_eq!(hops, 1);
+        let affected = sim.fail_link(0, 1);
+        assert_eq!(affected, vec![flow]);
+        match sim.reroute_flow(flow, 3) {
+            RerouteOutcome::Rerouted { hops } => assert_eq!(hops, 3, "0-3-2-1 detour"),
+            other => panic!("expected reroute, got {other:?}"),
+        }
+        assert!(sim.is_flow_active(flow), "handle survives a reroute");
+        assert_eq!(sim.held_link_hops(), 3);
+        // The rerouted flow holds the whole detour: the ring is full.
+        assert!(!sim.request(2, 3, 3).is_established());
+        sim.release_flow(flow);
+        assert!(sim.usage_snapshot().is_empty(), "residual occupancy");
+    }
+
+    #[test]
+    fn failed_reroute_tears_the_flow_down() {
+        let net = MaterializedNet::new(cycle(4));
+        let mut sim = Engine::new(&net, 1);
+        sim.begin_round();
+        let FlowOutcome::Established { flow, .. } = sim.request_flow(0, 1, 3) else {
+            panic!("clean ring blocked")
+        };
+        sim.fail_link(0, 1)
+            .iter()
+            .for_each(|f| assert_eq!(*f, flow));
+        // Detour needs 3 hops; a budget of 1 cannot re-place the flow.
+        match sim.reroute_flow(flow, 1) {
+            RerouteOutcome::TornDown(BlockReason::NoRoute) => {}
+            other => panic!("expected teardown, got {other:?}"),
+        }
+        assert!(!sim.is_flow_active(flow));
+        assert_eq!(sim.active_flows(), 0);
+        assert_eq!(sim.held_link_hops(), 0);
+        assert!(sim.usage_snapshot().is_empty(), "residual occupancy");
+    }
+
+    #[test]
+    #[should_panic(expected = "already-failed")]
+    fn double_fail_panics() {
+        let net = MaterializedNet::new(cycle(4));
+        let mut sim = Engine::new(&net, 1);
+        sim.fail_link(0, 1);
+        sim.fail_link(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not failed")]
+    fn repair_of_live_link_panics() {
+        let net = MaterializedNet::new(cycle(4));
+        let mut sim = Engine::new(&net, 1);
+        sim.repair_link(0, 1);
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub mod probe;
 pub mod topology;
 pub mod traffic;
 
-pub use engine::{BlockReason, Engine, FlowId, FlowOutcome, Outcome, RouteSearch, SimStats};
+pub use engine::{
+    BlockReason, Engine, FlowId, FlowOutcome, Outcome, RerouteOutcome, RouteSearch, SimStats,
+};
 pub use links::{CubeLinks, LinkId, LinkIndex, LinkIndexError, LinkTable};
 pub use probe::{EngineProbe, NoProbe, RequestProbe, SearchStats};
 pub use topology::{FaultedNet, ImplicitCubeNet, MaterializedNet, NetTopology};

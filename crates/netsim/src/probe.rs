@@ -85,6 +85,25 @@ pub trait EngineProbe {
     fn on_flow_released(&mut self, flow: u32, hops: u32) {
         let _ = (flow, hops);
     }
+
+    /// The flow in slab slot `flow` was torn down by a fault (its `hops`
+    /// links were freed, but the closure was involuntary).
+    fn on_flow_torn_down(&mut self, flow: u32, hops: u32) {
+        let _ = (flow, hops);
+    }
+
+    /// The flow in slab slot `flow` was preempted by admission control
+    /// in favour of a higher-priority request; its `hops` links freed.
+    fn on_flow_preempted(&mut self, flow: u32, hops: u32) {
+        let _ = (flow, hops);
+    }
+
+    /// The flow in slab slot `flow` moved from an `old_hops`-link circuit
+    /// to a fresh `new_hops`-link circuit around damage; the slot (and
+    /// the caller's handle) stay valid.
+    fn on_flow_rerouted(&mut self, flow: u32, old_hops: u32, new_hops: u32) {
+        let _ = (flow, old_hops, new_hops);
+    }
 }
 
 /// The default, absent probe: `ENABLED = false` erases every

@@ -79,6 +79,7 @@ pub use scenario::{
 };
 pub use service::{
     builtin_service_catalog, run_service, run_service_probed, run_service_traced, AdmissionPolicy,
-    ArrivalSpec, DiurnalCurve, HoldingSpec, PopularitySpec, ServiceReport, ServiceSpec, WindowRow,
+    ArrivalSpec, ChurnSpec, ClosedLoopSpec, DiurnalCurve, FailoverPolicy, HoldingSpec,
+    PopularitySpec, QosSpec, ServiceReport, ServiceSpec, WindowRow,
 };
 pub use trace::{RoundEndInfo, RunProbe, TraceEvent, TraceJournal, TraceRecord};

@@ -34,12 +34,25 @@
 //!
 //! The loop body is the determinism-relevant part of the spec. Round `t`
 //! processes, in order: (1) [`begin_round`] (transients torn down, held
-//! flows keep their links); (2) departures scheduled for `t`, in
-//! admission order; (3) queued arrivals retried FIFO — timeouts counted
-//! as rejections, still-blocked entries re-queued in order; (4) fresh
-//! Poisson arrivals, each drawing a destination (popularity law) then a
-//! uniform source ≠ destination, admitted / queued / detoured / rejected
-//! per the policy; (5) end-of-round gauge + occupancy/blocking samples.
+//! flows keep their links); (2) dynamic churn when a [`ChurnSpec`] is
+//! set — repairs due at `t` first, then fresh link failures drawn from
+//! the cell's dedicated fault stream, each failure tearing down or
+//! rerouting the flows holding the link per [`FailoverPolicy`]; (3)
+//! departures scheduled for `t`, in admission order (handles invalidated
+//! by a teardown/preemption are skipped); (4) queued arrivals retried
+//! FIFO — timeouts counted as rejections, still-blocked entries
+//! re-queued in order; (5) closed-loop sources whose think/backoff timer
+//! expired at `t` (in source order), then fresh Poisson arrivals, each
+//! drawing a QoS tier (when a [`QosSpec`] is set), a destination
+//! (popularity law), and a uniform source ≠ destination, admitted /
+//! queued / detoured / rejected per the policy — a blocked **priority**
+//! arrival may first preempt best-effort flows, oldest first; (6)
+//! end-of-round gauge + occupancy/blocking samples.
+//!
+//! The fault stream is a *separate* RNG derived from `spec.seed`, so a
+//! cell with `churn: None` and one with a zero-rate [`ChurnSpec`] draw
+//! identical traffic and produce byte-identical reports — the
+//! metamorphic baseline `crates/runtime/tests/metamorphic.rs` pins.
 //!
 //! [`begin_round`]: shc_netsim::Engine::begin_round
 //! [`Engine::request_flow`]: shc_netsim::Engine::request_flow
@@ -79,7 +92,7 @@ use crate::scenario::{TopologySpec, Vertex};
 use crate::trace::{RoundEndInfo, RunProbe, TraceJournal};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use shc_netsim::{Engine, FlowId, FlowOutcome, NetTopology, NoProbe};
+use shc_netsim::{Engine, FlowId, FlowOutcome, NetTopology, NoProbe, RerouteOutcome};
 use std::collections::VecDeque;
 
 /// Open-loop arrival process: a Poisson round rate, optionally modulated
@@ -223,6 +236,63 @@ impl AdmissionPolicy {
     }
 }
 
+/// What happens to the flows holding a link when it fails.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailoverPolicy {
+    /// Tear the affected circuits down; the sessions are lost.
+    Teardown,
+    /// Try to re-place each affected circuit around the damage (same
+    /// endpoints, same length budget); circuits that cannot be re-placed
+    /// are torn down.
+    Reroute,
+}
+
+/// Dynamic link churn: links fail *under* live flows and (optionally)
+/// heal after a deterministic MTTR. All randomness rides a dedicated
+/// fault stream derived from the cell seed, so traffic draws are
+/// unchanged by the presence (or rate) of churn.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnSpec {
+    /// Mean link failures per round (λ of a per-round Poisson draw).
+    /// Each failure picks a uniformly random currently-live link.
+    pub fail_rate_per_round: f64,
+    /// Mean rounds until a failed link heals (geometric MTTR law);
+    /// `0` = links never heal (permanent damage).
+    pub mttr_mean_rounds: f64,
+    /// What happens to the flows holding a failed link.
+    pub on_fail: FailoverPolicy,
+}
+
+/// Two-tier QoS admission: each fresh open-loop arrival is drawn
+/// priority with probability `priority_share`; a blocked priority
+/// arrival may evict best-effort flows (oldest first) before giving up.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QosSpec {
+    /// Probability in `[0, 1]` that a fresh arrival is priority-tier.
+    pub priority_share: f64,
+    /// Most best-effort flows one priority arrival may preempt.
+    pub max_preemptions: u32,
+}
+
+/// Closed-loop sources riding next to the open-loop Poisson arrivals:
+/// each source holds one session at a time, thinks between sessions, and
+/// retries blocked attempts with bounded exponential backoff — the load
+/// *does* slow down when the network pushes back, unlike the open-loop
+/// stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClosedLoopSpec {
+    /// Number of sources.
+    pub sources: u32,
+    /// Mean think time between a departure and the next attempt
+    /// (geometric, rounds).
+    pub think_mean_rounds: f64,
+    /// Backoff after the first blocked attempt, in rounds (doubles per
+    /// consecutive failure).
+    pub backoff_base_rounds: u32,
+    /// Backoff ceiling, in rounds.
+    pub backoff_cap_rounds: u32,
+}
+
 /// One service cell: everything [`run_service`] needs to simulate a
 /// long-lived flow workload deterministically. Built with chained
 /// setters, like [`Scenario`](crate::Scenario).
@@ -252,6 +322,12 @@ pub struct ServiceSpec {
     pub window_rounds: usize,
     /// Base seed of the cell's single RNG stream.
     pub seed: u64,
+    /// Dynamic link churn (`None` = the static PR 6 regime).
+    pub churn: Option<ChurnSpec>,
+    /// Two-tier QoS admission (`None` = single class).
+    pub qos: Option<QosSpec>,
+    /// Closed-loop sources next to the open-loop stream (`None` = none).
+    pub closed_loop: Option<ClosedLoopSpec>,
 }
 
 impl ServiceSpec {
@@ -272,6 +348,9 @@ impl ServiceSpec {
             rounds: 200,
             window_rounds: 50,
             seed: 1,
+            churn: None,
+            qos: None,
+            closed_loop: None,
         }
     }
 
@@ -338,6 +417,27 @@ impl ServiceSpec {
         self
     }
 
+    /// Enables dynamic link churn.
+    #[must_use]
+    pub fn churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Enables two-tier QoS admission with preemption.
+    #[must_use]
+    pub fn qos(mut self, qos: QosSpec) -> Self {
+        self.qos = Some(qos);
+        self
+    }
+
+    /// Adds closed-loop retry-with-backoff sources.
+    #[must_use]
+    pub fn closed_loop(mut self, closed_loop: ClosedLoopSpec) -> Self {
+        self.closed_loop = Some(closed_loop);
+        self
+    }
+
     /// The effective route length budget (resolves `max_len == 0`).
     #[must_use]
     pub fn effective_max_len(&self) -> u32 {
@@ -382,6 +482,34 @@ impl ServiceSpec {
         if let AdmissionPolicy::QueueWithTimeout { capacity, .. } = self.policy {
             assert!(capacity >= 1, "queue capacity must be >= 1");
         }
+        if let Some(churn) = self.churn {
+            assert!(
+                churn.fail_rate_per_round.is_finite() && churn.fail_rate_per_round >= 0.0,
+                "fail rate must be finite and non-negative"
+            );
+            assert!(
+                churn.mttr_mean_rounds == 0.0
+                    || (churn.mttr_mean_rounds.is_finite() && churn.mttr_mean_rounds >= 1.0),
+                "MTTR mean must be 0 (permanent) or >= 1 round"
+            );
+        }
+        if let Some(qos) = self.qos {
+            assert!(
+                (0.0..=1.0).contains(&qos.priority_share),
+                "priority share must be in [0, 1]"
+            );
+        }
+        if let Some(cl) = self.closed_loop {
+            assert!(
+                cl.think_mean_rounds.is_finite() && cl.think_mean_rounds >= 1.0,
+                "think-time mean must be >= 1 round"
+            );
+            assert!(cl.backoff_base_rounds >= 1, "backoff base must be >= 1");
+            assert!(
+                cl.backoff_cap_rounds >= cl.backoff_base_rounds,
+                "backoff cap must be >= the base"
+            );
+        }
     }
 }
 
@@ -407,6 +535,15 @@ pub struct WindowRow {
     pub timeouts: u64,
     /// Flows released (holding time expired) during the window.
     pub released: u64,
+    /// Flows torn down by link faults during the window (includes
+    /// failed reroute attempts).
+    pub torn_down: u64,
+    /// Flows rerouted in place around a failed link during the window.
+    pub rerouted: u64,
+    /// Best-effort flows preempted by priority admissions in the window.
+    pub preempted: u64,
+    /// Links that failed during the window.
+    pub link_failures: u64,
     /// Active flows at the window's last round.
     pub active_flows_end: u64,
     /// Queue occupancy at the window's last round.
@@ -549,9 +686,18 @@ struct Instruments {
     c_timeout: CounterId,
     c_overflow: CounterId,
     c_released: CounterId,
+    c_torn: CounterId,
+    c_reroute: CounterId,
+    c_preempt: CounterId,
+    c_link_fail: CounterId,
+    c_link_repair: CounterId,
+    c_retry: CounterId,
+    c_arr_pri: CounterId,
+    c_adm_pri: CounterId,
     g_active: GaugeId,
     g_held: GaugeId,
     g_queue: GaugeId,
+    g_failed: GaugeId,
     h_latency: HistogramId,
     h_wait: HistogramId,
     h_occupancy: HistogramId,
@@ -569,9 +715,18 @@ impl Instruments {
             c_timeout: m.counter("flow_timeout_total"),
             c_overflow: m.counter("flow_queue_overflow_total"),
             c_released: m.counter("flow_released_total"),
+            c_torn: m.counter("flow_torn_down_total"),
+            c_reroute: m.counter("flow_rerouted_total"),
+            c_preempt: m.counter("flow_preempted_total"),
+            c_link_fail: m.counter("link_fail_total"),
+            c_link_repair: m.counter("link_repair_total"),
+            c_retry: m.counter("flow_retry_total"),
+            c_arr_pri: m.counter("flow_arrivals_priority_total"),
+            c_adm_pri: m.counter("flow_admitted_priority_total"),
             g_active: m.gauge("flows_active"),
             g_held: m.gauge("links_held"),
             g_queue: m.gauge("queue_depth"),
+            g_failed: m.gauge("links_failed"),
             h_latency: m.histogram("flow_path_hops", "hops", 64),
             h_wait: m.histogram("flow_queue_wait_rounds", "rounds", 256),
             h_occupancy: m.histogram("flows_active_per_round", "flows", 1 << 16),
@@ -612,36 +767,60 @@ struct Queued {
     src: Vertex,
     dst: Vertex,
     enqueued: usize,
+    priority: bool,
 }
 
-/// Shared admission bookkeeping: counters, latency/wait samples, and the
-/// departure draw (one spot in the RNG stream per admission).
+/// One closed-loop source: holds at most one session; `next_at` is the
+/// round of its next attempt (`usize::MAX` = parked forever, e.g. an
+/// infinite-holding session), `failures` counts consecutive blocked
+/// attempts for the backoff ladder.
+#[derive(Clone, Copy)]
+struct ClSource {
+    next_at: usize,
+    failures: u32,
+}
+
+/// Shared admission bookkeeping: counters, latency/wait samples, QoS
+/// tier accounting, and the departure draw (one spot in the RNG stream
+/// per admission). Returns the scheduled departure round, or `None` when
+/// the flow outlives the horizon (or never departs).
 #[allow(clippy::too_many_arguments)]
 fn admit(
     m: &mut Metrics,
     ins: &Instruments,
     wnd: &mut WindowHists,
     departures: &mut [Vec<FlowId>],
+    be_order: &mut VecDeque<FlowId>,
     rng: &mut StdRng,
-    holding: HoldingSpec,
+    spec: &ServiceSpec,
     t: usize,
     flow: FlowId,
     hops: u32,
     wait: u64,
-) {
+    priority: bool,
+) -> Option<usize> {
     m.inc(ins.c_admitted);
+    if priority {
+        m.inc(ins.c_adm_pri);
+    } else if spec.qos.is_some() {
+        // Preemption victims are best-effort flows, oldest admission
+        // first; the deque is lazily compacted when handles go stale.
+        be_order.push_back(flow);
+    }
     m.record(ins.h_latency, u64::from(hops));
     wnd.latency.record(u64::from(hops));
     m.record(ins.h_wait, wait);
     wnd.wait.record(wait);
-    if let HoldingSpec::Geometric { mean_rounds } = holding {
+    if let HoldingSpec::Geometric { mean_rounds } = spec.holding {
         let hold = sample_geometric(rng, mean_rounds);
         let depart = t.saturating_add(usize::try_from(hold).unwrap_or(usize::MAX));
         if depart < departures.len() {
             // Flows departing after the horizon simply stay active.
             departures[depart].push(flow);
+            return Some(depart);
         }
     }
+    None
 }
 
 /// Simulates one service cell to completion. Sequential and
@@ -694,9 +873,19 @@ pub fn run_service_probed<P: RunProbe>(spec: &ServiceSpec, probe: P) -> (Service
     let max_len = spec.effective_max_len();
     let mut engine = Engine::with_probe(&built, spec.dilation, probe);
     let mut rng = StdRng::seed_from_u64(spec.seed);
+    // The fault process rides its own stream *derived from* (not split
+    // off) the cell seed: traffic draws are byte-identical whether churn
+    // is absent, zero-rate, or heavy — the metamorphic baseline.
+    let mut fault_rng = StdRng::seed_from_u64(spec.seed ^ 0x9E37_79B9_7F4A_7C15);
     let zipf = match spec.popularity {
         PopularitySpec::Zipf { exponent } => Some(ZipfCdf::new(n, exponent)),
         PopularitySpec::Uniform => None,
+    };
+    // Currently-live links the failure draw samples from (churn only).
+    let mut live_edges: Vec<(Vertex, Vertex)> = if spec.churn.is_some() {
+        crate::faults::enumerate_edges(&built)
+    } else {
+        Vec::new()
     };
 
     let mut m = Metrics::new();
@@ -709,23 +898,101 @@ pub fn run_service_probed<P: RunProbe>(spec: &ServiceSpec, probe: P) -> (Service
     let mut base_rejected = 0u64;
     let mut base_timeouts = 0u64;
     let mut base_released = 0u64;
+    let mut base_torn = 0u64;
+    let mut base_reroute = 0u64;
+    let mut base_preempt = 0u64;
+    let mut base_link_fail = 0u64;
     let mut window_start = 0usize;
 
     let mut departures: Vec<Vec<FlowId>> = vec![Vec::new(); spec.rounds];
     let mut queue: VecDeque<Queued> = VecDeque::new();
+    // Repairs scheduled per round (churn with a healing MTTR only).
+    let mut repairs: Vec<Vec<(Vertex, Vertex)>> = if spec.churn.is_some() {
+        vec![Vec::new(); spec.rounds]
+    } else {
+        Vec::new()
+    };
+    // Best-effort flows in admission order — the preemption victim queue.
+    let mut be_order: VecDeque<FlowId> = VecDeque::new();
+    let mut sources: Vec<ClSource> = match spec.closed_loop {
+        Some(cl) => vec![
+            ClSource {
+                next_at: 0,
+                failures: 0,
+            };
+            usize::try_from(cl.sources).expect("source count fits usize")
+        ],
+        None => Vec::new(),
+    };
 
     for t in 0..spec.rounds {
         engine.begin_round();
         let mut blocked_round = 0u64;
 
-        // (2) Departures scheduled for this round, in admission order.
+        // (2) Dynamic churn: heal links due this round, then draw fresh
+        // failures and fail over the flows holding them.
+        if let Some(churn) = spec.churn {
+            let due = std::mem::take(&mut repairs[t]);
+            for (u, v) in due {
+                engine.repair_link(u, v);
+                live_edges.push((u, v));
+                m.inc(ins.c_link_repair);
+                if P::ENABLED {
+                    engine.probe_mut().on_link_repaired(u, v);
+                }
+            }
+            let fails = sample_poisson(&mut fault_rng, churn.fail_rate_per_round);
+            for _ in 0..fails {
+                if live_edges.is_empty() {
+                    break; // everything is already down
+                }
+                let idx = fault_rng.gen_range(0..live_edges.len() as u64);
+                let (u, v) = live_edges.swap_remove(usize::try_from(idx).expect("index fits"));
+                let affected = engine.fail_link(u, v);
+                m.inc(ins.c_link_fail);
+                if P::ENABLED {
+                    let count = u32::try_from(affected.len()).expect("affected count fits u32");
+                    engine.probe_mut().on_fault_under_load(u, v, count);
+                }
+                for flow in affected {
+                    match churn.on_fail {
+                        FailoverPolicy::Teardown => {
+                            engine.teardown_flow(flow);
+                            m.inc(ins.c_torn);
+                        }
+                        FailoverPolicy::Reroute => match engine.reroute_flow(flow, max_len) {
+                            RerouteOutcome::Rerouted { .. } => m.inc(ins.c_reroute),
+                            RerouteOutcome::TornDown(_) => m.inc(ins.c_torn),
+                        },
+                    }
+                }
+                if churn.mttr_mean_rounds > 0.0 {
+                    let heal = sample_geometric(&mut fault_rng, churn.mttr_mean_rounds);
+                    let at = t.saturating_add(usize::try_from(heal).unwrap_or(usize::MAX));
+                    if at < spec.rounds {
+                        repairs[at].push((u, v));
+                    }
+                    // Links healing after the horizon just stay down.
+                }
+            }
+            m.set(
+                ins.g_failed,
+                i64::try_from(engine.failed_links()).expect("gauge fits i64"),
+            );
+        }
+
+        // (3) Departures scheduled for this round, in admission order.
+        // A handle whose flow was torn down or preempted is stale — skip.
         let departing = std::mem::take(&mut departures[t]);
         for flow in departing {
+            if !engine.is_flow_active(flow) {
+                continue;
+            }
             engine.release_flow(flow);
             m.inc(ins.c_released);
         }
 
-        // (3) FIFO retry of queued arrivals; timeouts reject.
+        // (4) FIFO retry of queued arrivals; timeouts reject.
         if let AdmissionPolicy::QueueWithTimeout {
             max_wait_rounds, ..
         } = spec.policy
@@ -751,12 +1018,14 @@ pub fn run_service_probed<P: RunProbe>(spec: &ServiceSpec, probe: P) -> (Service
                             &ins,
                             &mut wnd,
                             &mut departures,
+                            &mut be_order,
                             &mut rng,
-                            spec.holding,
+                            spec,
                             t,
                             flow,
                             hops,
                             waited,
+                            q.priority,
                         );
                     }
                     FlowOutcome::Blocked(_) => {
@@ -767,10 +1036,80 @@ pub fn run_service_probed<P: RunProbe>(spec: &ServiceSpec, probe: P) -> (Service
             }
         }
 
-        // (4) Fresh open-loop arrivals.
+        // (5) Closed-loop sources whose timer expired, in source order.
+        if let Some(cl) = spec.closed_loop {
+            for s in &mut sources {
+                if t < s.next_at {
+                    continue;
+                }
+                m.inc(ins.c_arrivals);
+                if s.failures > 0 {
+                    m.inc(ins.c_retry);
+                }
+                let dst = match &zipf {
+                    Some(z) => z.sample(&mut rng),
+                    None => rng.gen_range(0..n),
+                };
+                let src = loop {
+                    let s = rng.gen_range(0..n);
+                    if s != dst {
+                        break s;
+                    }
+                };
+                match engine.request_flow(src, dst, max_len) {
+                    FlowOutcome::Established { flow, hops } => {
+                        s.failures = 0;
+                        let depart = admit(
+                            &mut m,
+                            &ins,
+                            &mut wnd,
+                            &mut departures,
+                            &mut be_order,
+                            &mut rng,
+                            spec,
+                            t,
+                            flow,
+                            hops,
+                            0,
+                            false,
+                        );
+                        s.next_at = match depart {
+                            Some(d) => {
+                                let think = sample_geometric(&mut rng, cl.think_mean_rounds);
+                                d.saturating_add(usize::try_from(think).unwrap_or(usize::MAX))
+                            }
+                            // The session outlives the horizon: parked.
+                            None => usize::MAX,
+                        };
+                    }
+                    FlowOutcome::Blocked(_) => {
+                        blocked_round += 1;
+                        m.inc(ins.c_rejected);
+                        s.failures += 1;
+                        let exp = s.failures.saturating_sub(1).min(16);
+                        let backoff = (u64::from(cl.backoff_base_rounds) << exp)
+                            .min(u64::from(cl.backoff_cap_rounds))
+                            .max(1);
+                        s.next_at =
+                            t.saturating_add(usize::try_from(backoff).unwrap_or(usize::MAX));
+                    }
+                }
+            }
+        }
+
+        // (5b) Fresh open-loop arrivals.
         let k = sample_poisson(&mut rng, spec.arrivals.rate_at(t));
         for _ in 0..k {
             m.inc(ins.c_arrivals);
+            // QoS tier draw: one uniform per arrival, only when tiers
+            // exist (single-class cells keep the PR 6 stream verbatim).
+            let priority = match spec.qos {
+                Some(q) => rng.gen::<f64>() < q.priority_share,
+                None => false,
+            };
+            if priority {
+                m.inc(ins.c_arr_pri);
+            }
             let dst = match &zipf {
                 Some(z) => z.sample(&mut rng),
                 None => rng.gen_range(0..n),
@@ -781,73 +1120,103 @@ pub fn run_service_probed<P: RunProbe>(spec: &ServiceSpec, probe: P) -> (Service
                     break s;
                 }
             };
-            match engine.request_flow(src, dst, max_len) {
+            let mut outcome = engine.request_flow(src, dst, max_len);
+            if matches!(outcome, FlowOutcome::Blocked(_)) {
+                // Every engine-level denial counts exactly once.
+                blocked_round += 1;
+                // A blocked priority arrival may evict best-effort
+                // flows, oldest admission first, then retry. Evictions
+                // stand even if every retry fails (the capacity may be
+                // pinned somewhere else on the route).
+                if let (true, Some(q)) = (priority, spec.qos) {
+                    for _ in 0..q.max_preemptions {
+                        let victim = loop {
+                            match be_order.pop_front() {
+                                Some(f) if engine.is_flow_active(f) => break Some(f),
+                                Some(_) => continue, // stale handle
+                                None => break None,
+                            }
+                        };
+                        let Some(victim) = victim else { break };
+                        engine.preempt_flow(victim);
+                        m.inc(ins.c_preempt);
+                        outcome = engine.request_flow(src, dst, max_len);
+                        match outcome {
+                            FlowOutcome::Established { .. } => break,
+                            FlowOutcome::Blocked(_) => blocked_round += 1,
+                        }
+                    }
+                }
+            }
+            match outcome {
                 FlowOutcome::Established { flow, hops } => {
                     admit(
                         &mut m,
                         &ins,
                         &mut wnd,
                         &mut departures,
+                        &mut be_order,
                         &mut rng,
-                        spec.holding,
+                        spec,
                         t,
                         flow,
                         hops,
                         0,
+                        priority,
                     );
                 }
-                FlowOutcome::Blocked(_) => {
-                    blocked_round += 1;
-                    match spec.policy {
-                        AdmissionPolicy::Reject => m.inc(ins.c_rejected),
-                        AdmissionPolicy::QueueWithTimeout { capacity, .. } => {
-                            if queue.len() < capacity {
-                                if P::ENABLED {
-                                    engine.probe_mut().on_flow_queued(src, dst);
-                                }
-                                queue.push_back(Queued {
-                                    src,
-                                    dst,
-                                    enqueued: t,
-                                });
-                                m.inc(ins.c_queued);
-                            } else {
-                                if P::ENABLED {
-                                    engine.probe_mut().on_queue_overflow();
-                                }
-                                m.inc(ins.c_overflow);
+                FlowOutcome::Blocked(_) => match spec.policy {
+                    AdmissionPolicy::Reject => m.inc(ins.c_rejected),
+                    AdmissionPolicy::QueueWithTimeout { capacity, .. } => {
+                        if queue.len() < capacity {
+                            if P::ENABLED {
+                                engine.probe_mut().on_flow_queued(src, dst);
+                            }
+                            queue.push_back(Queued {
+                                src,
+                                dst,
+                                enqueued: t,
+                                priority,
+                            });
+                            m.inc(ins.c_queued);
+                        } else {
+                            if P::ENABLED {
+                                engine.probe_mut().on_queue_overflow();
+                            }
+                            m.inc(ins.c_overflow);
+                            m.inc(ins.c_rejected);
+                        }
+                    }
+                    AdmissionPolicy::DegradeToDetour { extra_hops } => {
+                        match engine.request_flow(src, dst, max_len + extra_hops) {
+                            FlowOutcome::Established { flow, hops } => {
+                                m.inc(ins.c_detour);
+                                admit(
+                                    &mut m,
+                                    &ins,
+                                    &mut wnd,
+                                    &mut departures,
+                                    &mut be_order,
+                                    &mut rng,
+                                    spec,
+                                    t,
+                                    flow,
+                                    hops,
+                                    0,
+                                    priority,
+                                );
+                            }
+                            FlowOutcome::Blocked(_) => {
+                                blocked_round += 1;
                                 m.inc(ins.c_rejected);
                             }
                         }
-                        AdmissionPolicy::DegradeToDetour { extra_hops } => {
-                            match engine.request_flow(src, dst, max_len + extra_hops) {
-                                FlowOutcome::Established { flow, hops } => {
-                                    m.inc(ins.c_detour);
-                                    admit(
-                                        &mut m,
-                                        &ins,
-                                        &mut wnd,
-                                        &mut departures,
-                                        &mut rng,
-                                        spec.holding,
-                                        t,
-                                        flow,
-                                        hops,
-                                        0,
-                                    );
-                                }
-                                FlowOutcome::Blocked(_) => {
-                                    blocked_round += 1;
-                                    m.inc(ins.c_rejected);
-                                }
-                            }
-                        }
                     }
-                }
+                },
             }
         }
 
-        // (5) End-of-round samples.
+        // (6) End-of-round samples.
         let active = engine.active_flows() as u64;
         m.record(ins.h_occupancy, active);
         wnd.occupancy.record(active);
@@ -878,6 +1247,10 @@ pub fn run_service_probed<P: RunProbe>(spec: &ServiceSpec, probe: P) -> (Service
             let rejected = m.counter_value(ins.c_rejected);
             let timeouts = m.counter_value(ins.c_timeout);
             let released = m.counter_value(ins.c_released);
+            let torn = m.counter_value(ins.c_torn);
+            let reroute = m.counter_value(ins.c_reroute);
+            let preempt = m.counter_value(ins.c_preempt);
+            let link_fail = m.counter_value(ins.c_link_fail);
             windows.push(WindowRow {
                 window: windows.len(),
                 start_round: window_start,
@@ -887,6 +1260,10 @@ pub fn run_service_probed<P: RunProbe>(spec: &ServiceSpec, probe: P) -> (Service
                 rejected: rejected - base_rejected,
                 timeouts: timeouts - base_timeouts,
                 released: released - base_released,
+                torn_down: torn - base_torn,
+                rerouted: reroute - base_reroute,
+                preempted: preempt - base_preempt,
+                link_failures: link_fail - base_link_fail,
                 active_flows_end: active,
                 queue_depth_end: queue.len() as u64,
                 latency_hops: wnd.latency.summary(),
@@ -899,6 +1276,10 @@ pub fn run_service_probed<P: RunProbe>(spec: &ServiceSpec, probe: P) -> (Service
             base_rejected = rejected;
             base_timeouts = timeouts;
             base_released = released;
+            base_torn = torn;
+            base_reroute = reroute;
+            base_preempt = preempt;
+            base_link_fail = link_fail;
             window_start = t + 1;
             wnd.reset();
         }
@@ -984,6 +1365,68 @@ pub fn builtin_service_catalog(fast: bool) -> Vec<ServiceSpec> {
                 .rounds(rounds)
                 .window_rounds(window)
                 .seed(0xF1_0806),
+        );
+        // Churn phase 2 (PR 9): faults under held flows, reroute vs
+        // teardown failover, QoS preemption, closed-loop sources.
+        let fail_rate = if fast { 0.5 } else { 1.5 };
+        let name = format!("serve_{}_churn_teardown", topology.label());
+        cells.push(
+            ServiceSpec::new(&name, topology)
+                .arrivals(ArrivalSpec::poisson(rate))
+                .policy(AdmissionPolicy::Reject)
+                .churn(ChurnSpec {
+                    fail_rate_per_round: fail_rate,
+                    mttr_mean_rounds: 12.0,
+                    on_fail: FailoverPolicy::Teardown,
+                })
+                .rounds(rounds)
+                .window_rounds(window)
+                .seed(0xF1_0807),
+        );
+        let name = format!("serve_{}_churn_reroute", topology.label());
+        cells.push(
+            ServiceSpec::new(&name, topology)
+                .arrivals(ArrivalSpec::poisson(rate))
+                .policy(AdmissionPolicy::QueueWithTimeout {
+                    max_wait_rounds: 8,
+                    capacity: 256,
+                })
+                .churn(ChurnSpec {
+                    fail_rate_per_round: fail_rate,
+                    mttr_mean_rounds: 12.0,
+                    on_fail: FailoverPolicy::Reroute,
+                })
+                .rounds(rounds)
+                .window_rounds(window)
+                .seed(0xF1_0808),
+        );
+        let name = format!("serve_{}_qos", topology.label());
+        cells.push(
+            ServiceSpec::new(&name, topology)
+                .arrivals(ArrivalSpec::poisson(rate))
+                .policy(AdmissionPolicy::Reject)
+                .qos(QosSpec {
+                    priority_share: 0.25,
+                    max_preemptions: 2,
+                })
+                .rounds(rounds)
+                .window_rounds(window)
+                .seed(0xF1_0809),
+        );
+        let name = format!("serve_{}_closed_loop", topology.label());
+        cells.push(
+            ServiceSpec::new(&name, topology)
+                .arrivals(ArrivalSpec::poisson(rate))
+                .policy(AdmissionPolicy::Reject)
+                .closed_loop(ClosedLoopSpec {
+                    sources: if fast { 8 } else { 32 },
+                    think_mean_rounds: 4.0,
+                    backoff_base_rounds: 1,
+                    backoff_cap_rounds: 8,
+                })
+                .rounds(rounds)
+                .window_rounds(window)
+                .seed(0xF1_080A),
         );
     }
     cells
@@ -1206,6 +1649,160 @@ mod tests {
         // Under this overload the queue actually exercises all paths.
         assert!(counter(&report, "flow_queued_total") > 0);
         assert!(counter(&report, "flow_queue_overflow_total") > 0);
+    }
+
+    fn gauge(report: &ServiceReport, name: &str) -> i64 {
+        report
+            .totals
+            .gauges
+            .iter()
+            .find(|g| g.name == name)
+            .unwrap_or_else(|| panic!("gauge {name} missing"))
+            .value
+    }
+
+    #[test]
+    fn churn_conserves_the_flow_ledger_and_audits_clean() {
+        for on_fail in [FailoverPolicy::Teardown, FailoverPolicy::Reroute] {
+            let spec = base_spec(AdmissionPolicy::Reject)
+                .arrivals(ArrivalSpec::poisson(8.0))
+                .churn(ChurnSpec {
+                    fail_rate_per_round: 1.0,
+                    mttr_mean_rounds: 6.0,
+                    on_fail,
+                });
+            let (report, journal) = run_service_traced(&spec, 0, 1 << 18);
+            assert!(
+                counter(&report, "link_fail_total") > 0,
+                "churn never fired ({on_fail:?})"
+            );
+            match on_fail {
+                FailoverPolicy::Teardown => {
+                    assert!(counter(&report, "flow_torn_down_total") > 0);
+                    assert_eq!(counter(&report, "flow_rerouted_total"), 0);
+                }
+                FailoverPolicy::Reroute => {
+                    assert!(counter(&report, "flow_rerouted_total") > 0);
+                }
+            }
+            // Lifecycle: every admission ends released, torn down,
+            // preempted, or still active (reroutes keep flows active).
+            assert_eq!(
+                gauge(&report, "flows_active") as u64,
+                counter(&report, "flow_admitted_total")
+                    - counter(&report, "flow_released_total")
+                    - counter(&report, "flow_torn_down_total")
+                    - counter(&report, "flow_preempted_total"),
+                "{on_fail:?}"
+            );
+            // Arrival ledger still balances.
+            let queue_end = report.windows.last().unwrap().queue_depth_end;
+            assert_eq!(
+                counter(&report, "flow_arrivals_total"),
+                counter(&report, "flow_admitted_total")
+                    + counter(&report, "flow_rejected_total")
+                    + queue_end
+            );
+            // The trace stream is conserved through teardown/reroute.
+            let audit = crate::trace::audit::audit_journal(&journal)
+                .unwrap_or_else(|e| panic!("{on_fail:?}: {e}"));
+            assert_eq!(
+                audit.flows_torn_down,
+                counter(&report, "flow_torn_down_total")
+            );
+            assert_eq!(
+                audit.flows_rerouted,
+                counter(&report, "flow_rerouted_total")
+            );
+            assert_eq!(audit.links_failed, counter(&report, "link_fail_total"));
+            assert_eq!(audit.links_repaired, counter(&report, "link_repair_total"));
+            // Window deltas tile the totals.
+            let torn: u64 = report.windows.iter().map(|w| w.torn_down).sum();
+            assert_eq!(torn, counter(&report, "flow_torn_down_total"));
+            let fails: u64 = report.windows.iter().map(|w| w.link_failures).sum();
+            assert_eq!(fails, counter(&report, "link_fail_total"));
+        }
+    }
+
+    #[test]
+    fn qos_priority_preempts_best_effort() {
+        // Saturate a small ring-like cube so priority arrivals must evict.
+        let spec = ServiceSpec::new("qos", TopologySpec::Hypercube { n: 3 })
+            .arrivals(ArrivalSpec::poisson(12.0))
+            .holding(HoldingSpec::Geometric { mean_rounds: 20.0 })
+            .qos(QosSpec {
+                priority_share: 0.3,
+                max_preemptions: 2,
+            })
+            .rounds(60)
+            .window_rounds(20)
+            .seed(13);
+        let (report, journal) = run_service_traced(&spec, 0, 1 << 18);
+        assert!(
+            counter(&report, "flow_preempted_total") > 0,
+            "no preemption fired"
+        );
+        assert!(counter(&report, "flow_arrivals_priority_total") > 0);
+        assert!(
+            counter(&report, "flow_admitted_priority_total")
+                <= counter(&report, "flow_admitted_total")
+        );
+        assert!(
+            counter(&report, "flow_arrivals_priority_total")
+                <= counter(&report, "flow_arrivals_total")
+        );
+        assert_eq!(
+            gauge(&report, "flows_active") as u64,
+            counter(&report, "flow_admitted_total")
+                - counter(&report, "flow_released_total")
+                - counter(&report, "flow_torn_down_total")
+                - counter(&report, "flow_preempted_total"),
+        );
+        let audit = crate::trace::audit::audit_journal(&journal).expect("qos stream conserved");
+        assert_eq!(
+            audit.flows_preempted,
+            counter(&report, "flow_preempted_total")
+        );
+    }
+
+    #[test]
+    fn closed_loop_sources_back_off_and_retry() {
+        let spec = ServiceSpec::new("cl", TopologySpec::Hypercube { n: 3 })
+            .arrivals(ArrivalSpec::poisson(6.0))
+            .holding(HoldingSpec::Geometric { mean_rounds: 10.0 })
+            .closed_loop(ClosedLoopSpec {
+                sources: 6,
+                think_mean_rounds: 2.0,
+                backoff_base_rounds: 1,
+                backoff_cap_rounds: 4,
+            })
+            .rounds(80)
+            .window_rounds(40)
+            .seed(17);
+        let (report, journal) = run_service_traced(&spec, 0, 1 << 18);
+        // The sources congest the small cube enough to retry.
+        assert!(counter(&report, "flow_retry_total") > 0, "no retry fired");
+        let queue_end = report.windows.last().unwrap().queue_depth_end;
+        assert_eq!(
+            counter(&report, "flow_arrivals_total"),
+            counter(&report, "flow_admitted_total")
+                + counter(&report, "flow_rejected_total")
+                + queue_end
+        );
+        crate::trace::audit::audit_journal(&journal).expect("closed-loop stream conserved");
+    }
+
+    #[test]
+    fn full_catalog_cells_are_deterministic_and_audit_clean() {
+        for (i, spec) in builtin_service_catalog(true).iter().enumerate().skip(4) {
+            let cell = u32::try_from(i).unwrap();
+            let (a, ja) = run_service_traced(spec, cell, 1 << 18);
+            let (b, jb) = run_service_traced(spec, cell, 1 << 18);
+            assert_eq!(a, b, "{}", spec.name);
+            assert_eq!(ja.render_jsonl(), jb.render_jsonl(), "{}", spec.name);
+            crate::trace::audit::audit_journal(&ja)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
     }
 
     #[test]

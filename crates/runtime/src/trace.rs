@@ -159,6 +159,49 @@ pub enum TraceEvent {
         /// Links released.
         hops: u32,
     },
+    /// The flow in slab slot `flow` was torn down by a link fault,
+    /// freeing its `hops` links.
+    FlowTornDown {
+        /// Engine slab slot.
+        flow: u32,
+        /// Links freed.
+        hops: u32,
+    },
+    /// The flow in slab slot `flow` was preempted by a higher-priority
+    /// admission, freeing its `hops` links.
+    FlowPreempted {
+        /// Engine slab slot.
+        flow: u32,
+        /// Links freed.
+        hops: u32,
+    },
+    /// The flow in slab slot `flow` was rerouted around damage: its
+    /// `old_hops`-link circuit was replaced in place by `new_hops` links.
+    FlowRerouted {
+        /// Engine slab slot.
+        flow: u32,
+        /// Links held before the reroute.
+        old_hops: u32,
+        /// Links held after the reroute.
+        new_hops: u32,
+    },
+    /// Dynamic fault: the link `{u, v}` failed mid-run with `affected`
+    /// flows holding it (their teardown/reroute events follow).
+    LinkFailed {
+        /// Endpoint.
+        u: Vertex,
+        /// Endpoint.
+        v: Vertex,
+        /// Flows that were holding the link when it failed.
+        affected: u32,
+    },
+    /// Dynamic repair: the link `{u, v}` came back into service.
+    LinkRepaired {
+        /// Endpoint.
+        u: Vertex,
+        /// Endpoint.
+        v: Vertex,
+    },
     /// The service queued an arrival instead of admitting it.
     FlowQueued {
         /// Source vertex.
@@ -389,6 +432,37 @@ impl TraceJournal {
                         ",\"type\":\"flow_released\",\"flow\":{flow},\"hops\":{hops}"
                     );
                 }
+                TraceEvent::FlowTornDown { flow, hops } => {
+                    let _ = write!(
+                        out,
+                        ",\"type\":\"flow_torn_down\",\"flow\":{flow},\"hops\":{hops}"
+                    );
+                }
+                TraceEvent::FlowPreempted { flow, hops } => {
+                    let _ = write!(
+                        out,
+                        ",\"type\":\"flow_preempted\",\"flow\":{flow},\"hops\":{hops}"
+                    );
+                }
+                TraceEvent::FlowRerouted {
+                    flow,
+                    old_hops,
+                    new_hops,
+                } => {
+                    let _ = write!(
+                        out,
+                        ",\"type\":\"reroute\",\"flow\":{flow},\"old_hops\":{old_hops},\"new_hops\":{new_hops}"
+                    );
+                }
+                TraceEvent::LinkFailed { u, v, affected } => {
+                    let _ = write!(
+                        out,
+                        ",\"type\":\"fault_under_load\",\"u\":{u},\"v\":{v},\"affected\":{affected}"
+                    );
+                }
+                TraceEvent::LinkRepaired { u, v } => {
+                    let _ = write!(out, ",\"type\":\"repair\",\"u\":{u},\"v\":{v}");
+                }
                 TraceEvent::FlowQueued { src, dst } => {
                     let _ = write!(out, ",\"type\":\"flow_queued\",\"src\":{src},\"dst\":{dst}");
                 }
@@ -470,6 +544,22 @@ impl EngineProbe for TraceJournal {
     fn on_flow_released(&mut self, flow: u32, hops: u32) {
         self.push(TraceEvent::FlowReleased { flow, hops });
     }
+
+    fn on_flow_torn_down(&mut self, flow: u32, hops: u32) {
+        self.push(TraceEvent::FlowTornDown { flow, hops });
+    }
+
+    fn on_flow_preempted(&mut self, flow: u32, hops: u32) {
+        self.push(TraceEvent::FlowPreempted { flow, hops });
+    }
+
+    fn on_flow_rerouted(&mut self, flow: u32, old_hops: u32, new_hops: u32) {
+        self.push(TraceEvent::FlowRerouted {
+            flow,
+            old_hops,
+            new_hops,
+        });
+    }
 }
 
 /// Runtime-side probe extension: events the engine cannot see — service
@@ -504,6 +594,18 @@ pub trait RunProbe: EngineProbe {
     /// Fault activation: vertex `v` is crashed for this run.
     fn on_fault_node(&mut self, v: Vertex) {
         let _ = v;
+    }
+
+    /// Dynamic fault: the link `{u, v}` failed mid-run with `affected`
+    /// flows holding it. Pushed by the service driver *before* the
+    /// per-flow teardown/reroute events it triggers.
+    fn on_fault_under_load(&mut self, u: Vertex, v: Vertex, affected: u32) {
+        let _ = (u, v, affected);
+    }
+
+    /// Dynamic repair: the link `{u, v}` came back into service.
+    fn on_link_repaired(&mut self, u: Vertex, v: Vertex) {
+        let _ = (u, v);
     }
 
     /// A mid-run dilation shift took effect.
@@ -544,6 +646,14 @@ impl RunProbe for TraceJournal {
         self.push(TraceEvent::FaultNode { v });
     }
 
+    fn on_fault_under_load(&mut self, u: Vertex, v: Vertex, affected: u32) {
+        self.push(TraceEvent::LinkFailed { u, v, affected });
+    }
+
+    fn on_link_repaired(&mut self, u: Vertex, v: Vertex) {
+        self.push(TraceEvent::LinkRepaired { u, v });
+    }
+
     fn on_dilation_shift(&mut self, dilation: u32) {
         self.push(TraceEvent::DilationShift { dilation });
     }
@@ -568,7 +678,7 @@ pub mod audit {
     //! `--seed-check` mode.
 
     use super::{RequestDecision, TraceEvent, TraceJournal};
-    use std::collections::HashMap;
+    use std::collections::{HashMap, HashSet};
     use std::fmt;
 
     /// Totals over a successfully audited journal (or set of journals).
@@ -586,6 +696,16 @@ pub mod audit {
         pub flows_opened: u64,
         /// Flow releases seen.
         pub flows_released: u64,
+        /// Fault-triggered flow teardowns seen.
+        pub flows_torn_down: u64,
+        /// Admission-control preemptions seen.
+        pub flows_preempted: u64,
+        /// In-place reroutes seen.
+        pub flows_rerouted: u64,
+        /// Dynamic link failures seen.
+        pub links_failed: u64,
+        /// Dynamic link repairs seen.
+        pub links_repaired: u64,
         /// Round-end summaries cross-checked against the ledger.
         pub rounds_checked: u64,
     }
@@ -599,6 +719,11 @@ pub mod audit {
             self.blocked += other.blocked;
             self.flows_opened += other.flows_opened;
             self.flows_released += other.flows_released;
+            self.flows_torn_down += other.flows_torn_down;
+            self.flows_preempted += other.flows_preempted;
+            self.flows_rerouted += other.flows_rerouted;
+            self.links_failed += other.links_failed;
+            self.links_repaired += other.links_repaired;
             self.rounds_checked += other.rounds_checked;
         }
     }
@@ -662,6 +787,8 @@ pub mod audit {
         let mut held_hops: u64 = 0;
         // Queue ledger.
         let mut queue_depth: i64 = 0;
+        // Dynamic-fault ledger: currently-failed links, endpoint-normalized.
+        let mut failed_links: HashSet<(u64, u64)> = HashSet::new();
         for r in journal.records() {
             report.events += 1;
             if r.cell != cell {
@@ -748,24 +875,86 @@ pub mod audit {
                     held_hops += u64::from(*hops);
                     report.flows_opened += 1;
                 }
-                TraceEvent::FlowReleased { flow, hops } => {
+                TraceEvent::FlowReleased { flow, hops }
+                | TraceEvent::FlowTornDown { flow, hops }
+                | TraceEvent::FlowPreempted { flow, hops } => {
+                    let what = match &r.event {
+                        TraceEvent::FlowReleased { .. } => "released",
+                        TraceEvent::FlowTornDown { .. } => "torn down",
+                        _ => "preempted",
+                    };
                     match open_flows.remove(flow) {
                         Some(h) if h == *hops => {}
                         Some(h) => {
                             return Err(fail(
                                 r.round,
-                                format!("flow slot {flow} released {hops} hops but held {h}"),
+                                format!("flow slot {flow} {what} with {hops} hops but held {h}"),
                             ));
                         }
                         None => {
                             return Err(fail(
                                 r.round,
-                                format!("flow slot {flow} released while not open"),
+                                format!("flow slot {flow} {what} while not open"),
                             ));
                         }
                     }
                     held_hops -= u64::from(*hops);
-                    report.flows_released += 1;
+                    match &r.event {
+                        TraceEvent::FlowReleased { .. } => report.flows_released += 1,
+                        TraceEvent::FlowTornDown { .. } => report.flows_torn_down += 1,
+                        _ => report.flows_preempted += 1,
+                    }
+                }
+                TraceEvent::FlowRerouted {
+                    flow,
+                    old_hops,
+                    new_hops,
+                } => {
+                    if *new_hops == 0 {
+                        return Err(fail(
+                            r.round,
+                            format!("flow slot {flow} rerouted onto a 0-hop circuit"),
+                        ));
+                    }
+                    match open_flows.get_mut(flow) {
+                        Some(h) if *h == *old_hops => *h = *new_hops,
+                        Some(h) => {
+                            return Err(fail(
+                                r.round,
+                                format!(
+                                    "flow slot {flow} rerouted from {old_hops} hops but held {h}"
+                                ),
+                            ));
+                        }
+                        None => {
+                            return Err(fail(
+                                r.round,
+                                format!("flow slot {flow} rerouted while not open"),
+                            ));
+                        }
+                    }
+                    held_hops = held_hops - u64::from(*old_hops) + u64::from(*new_hops);
+                    report.flows_rerouted += 1;
+                }
+                TraceEvent::LinkFailed { u, v, .. } => {
+                    let key = (*u.min(v), *u.max(v));
+                    if !failed_links.insert(key) {
+                        return Err(fail(
+                            r.round,
+                            format!("link {{{u}, {v}}} failed while already failed"),
+                        ));
+                    }
+                    report.links_failed += 1;
+                }
+                TraceEvent::LinkRepaired { u, v } => {
+                    let key = (*u.min(v), *u.max(v));
+                    if !failed_links.remove(&key) {
+                        return Err(fail(
+                            r.round,
+                            format!("link {{{u}, {v}}} repaired while not failed"),
+                        ));
+                    }
+                    report.links_repaired += 1;
                 }
                 TraceEvent::FlowQueued { .. } => queue_depth += 1,
                 TraceEvent::QueueAdmit { .. } | TraceEvent::FlowTimeout { .. } => {
@@ -1007,6 +1196,174 @@ mod tests {
         });
         let err = audit_journal(&j).unwrap_err();
         assert_eq!(err.cell, 2);
+        assert!(err.message.contains("held link-hops"), "{err}");
+    }
+
+    /// An engine-backed churn run: a fault under a held flow that tears
+    /// it down, a fault under another flow that reroutes in place, a
+    /// preemption, and a repair — everything the churn service emits.
+    fn traced_churn_run() -> TraceJournal {
+        let net = MaterializedNet::new(cycle(6));
+        let mut sim = Engine::with_probe(&net, 1, TraceJournal::new(5, 4096));
+        sim.begin_round();
+        let shc_netsim::FlowOutcome::Established { .. } = sim.request_flow(0, 1, 5) else {
+            panic!("clean ring blocked");
+        };
+        let shc_netsim::FlowOutcome::Established { flow: movable, .. } = sim.request_flow(3, 4, 5)
+        else {
+            panic!("clean ring blocked");
+        };
+        sim.begin_round();
+        // Fault under `doomed`: announce, then tear down.
+        let affected = sim.fail_link(0, 1);
+        sim.probe_mut()
+            .on_fault_under_load(0, 1, u32::try_from(affected.len()).unwrap());
+        for f in affected {
+            sim.teardown_flow(f);
+        }
+        sim.begin_round();
+        // Heal the first link (a cycle minus two edges has no detour),
+        // then fault under `movable`: announce, reroute in place, and
+        // finally preempt the survivor.
+        sim.repair_link(0, 1);
+        sim.probe_mut().on_link_repaired(0, 1);
+        let affected = sim.fail_link(3, 4);
+        sim.probe_mut()
+            .on_fault_under_load(3, 4, u32::try_from(affected.len()).unwrap());
+        for f in affected {
+            assert!(matches!(
+                sim.reroute_flow(f, 5),
+                shc_netsim::RerouteOutcome::Rerouted { .. }
+            ));
+        }
+        sim.preempt_flow(movable);
+        let info = RoundEndInfo {
+            active_flows: sim.active_flows() as u64,
+            held_link_hops: sim.held_link_hops(),
+            queue_depth: 0,
+        };
+        sim.probe_mut().on_round_end(&info);
+        let (_s, journal) = sim.finish_with_probe();
+        journal
+    }
+
+    #[test]
+    fn churn_lifecycle_balances_in_the_audit() {
+        let journal = traced_churn_run();
+        let report = audit_journal(&journal).expect("churn stream conserved");
+        assert_eq!(report.flows_opened, 2);
+        assert_eq!(report.flows_torn_down, 1);
+        assert_eq!(report.flows_rerouted, 1);
+        assert_eq!(report.flows_preempted, 1);
+        assert_eq!(report.flows_released, 0);
+        assert_eq!(report.links_failed, 2);
+        assert_eq!(report.links_repaired, 1);
+        assert_eq!(report.rounds_checked, 1);
+        let jsonl = journal.render_jsonl();
+        for needle in [
+            "\"type\":\"fault_under_load\"",
+            "\"type\":\"repair\"",
+            "\"type\":\"flow_torn_down\"",
+            "\"type\":\"flow_preempted\"",
+            "\"type\":\"reroute\"",
+        ] {
+            assert!(jsonl.contains(needle), "missing {needle} in:\n{jsonl}");
+        }
+        // Same seedless deterministic run ⇒ identical bytes.
+        assert_eq!(jsonl, traced_churn_run().render_jsonl());
+    }
+
+    #[test]
+    fn audit_rejects_corrupted_churn_streams() {
+        // Teardown of a never-opened flow.
+        let mut j = TraceJournal::new(0, 16);
+        j.push(TraceEvent::FlowTornDown { flow: 4, hops: 2 });
+        let err = audit_journal(&j).unwrap_err();
+        assert!(err.message.contains("torn down while not open"), "{err}");
+
+        // Double release: released, then preempted again.
+        let mut j = TraceJournal::new(0, 16);
+        j.push(TraceEvent::FlowEstablished { flow: 0, hops: 2 });
+        j.push(TraceEvent::FlowReleased { flow: 0, hops: 2 });
+        j.push(TraceEvent::FlowPreempted { flow: 0, hops: 2 });
+        let err = audit_journal(&j).unwrap_err();
+        assert!(err.message.contains("preempted while not open"), "{err}");
+
+        // Reroute that misstates the old circuit length.
+        let mut j = TraceJournal::new(0, 16);
+        j.push(TraceEvent::FlowEstablished { flow: 1, hops: 3 });
+        j.push(TraceEvent::FlowRerouted {
+            flow: 1,
+            old_hops: 2,
+            new_hops: 4,
+        });
+        let err = audit_journal(&j).unwrap_err();
+        assert!(err.message.contains("held 3"), "{err}");
+
+        // Reroute of an unknown flow.
+        let mut j = TraceJournal::new(0, 16);
+        j.push(TraceEvent::FlowRerouted {
+            flow: 9,
+            old_hops: 1,
+            new_hops: 2,
+        });
+        let err = audit_journal(&j).unwrap_err();
+        assert!(err.message.contains("rerouted while not open"), "{err}");
+
+        // Double failure of one link (endpoint order normalized).
+        let mut j = TraceJournal::new(0, 16);
+        j.push(TraceEvent::LinkFailed {
+            u: 2,
+            v: 3,
+            affected: 0,
+        });
+        j.push(TraceEvent::LinkFailed {
+            u: 3,
+            v: 2,
+            affected: 0,
+        });
+        let err = audit_journal(&j).unwrap_err();
+        assert!(err.message.contains("already failed"), "{err}");
+
+        // Repair of a link that never failed.
+        let mut j = TraceJournal::new(0, 16);
+        j.push(TraceEvent::LinkRepaired { u: 0, v: 1 });
+        let err = audit_journal(&j).unwrap_err();
+        assert!(err.message.contains("repaired while not failed"), "{err}");
+    }
+
+    #[test]
+    fn reroute_updates_the_held_hops_ledger() {
+        // After a reroute the gauges must match the *new* circuit.
+        let mut j = TraceJournal::new(0, 16);
+        j.push(TraceEvent::FlowEstablished { flow: 0, hops: 1 });
+        j.push(TraceEvent::FlowRerouted {
+            flow: 0,
+            old_hops: 1,
+            new_hops: 3,
+        });
+        j.on_round_end(&RoundEndInfo {
+            active_flows: 1,
+            held_link_hops: 3,
+            queue_depth: 0,
+        });
+        let report = audit_journal(&j).expect("ledger tracks the new circuit");
+        assert_eq!(report.flows_rerouted, 1);
+
+        // A stale gauge (pre-reroute hops) is caught.
+        let mut j = TraceJournal::new(0, 16);
+        j.push(TraceEvent::FlowEstablished { flow: 0, hops: 1 });
+        j.push(TraceEvent::FlowRerouted {
+            flow: 0,
+            old_hops: 1,
+            new_hops: 3,
+        });
+        j.on_round_end(&RoundEndInfo {
+            active_flows: 1,
+            held_link_hops: 1,
+            queue_depth: 0,
+        });
+        let err = audit_journal(&j).unwrap_err();
         assert!(err.message.contains("held link-hops"), "{err}");
     }
 

@@ -1,0 +1,162 @@
+//! Metamorphic properties of the churn/QoS service layer: instead of
+//! asserting absolute numbers, these tests pin *relations between runs*
+//! whose specs differ in one controlled way. Every run is deterministic
+//! (pinned seeds), so each relation is a regression contract, not a
+//! statistical claim — the franken_node `perf/metamorphic_tests.rs`
+//! idiom applied to the flow service.
+//!
+//! Relations pinned here:
+//! 1. Adding faults never increases established throughput.
+//! 2. Repairing links sooner (a pointwise-earlier repair process, so the
+//!    repaired set at every round is a superset) never hurts throughput.
+//! 3. Raising the priority tier's share never lowers that tier's
+//!    admissions.
+//! 4. A zero-rate churn spec reproduces the churn-free baseline
+//!    byte-identically — faults ride a separate RNG stream derived from
+//!    the cell seed, so merely *enabling* the machinery changes nothing.
+
+use shc_runtime::{
+    run_service, run_service_traced, AdmissionPolicy, ArrivalSpec, ChurnSpec, FailoverPolicy,
+    HoldingSpec, QosSpec, ServiceReport, ServiceSpec, TopologySpec,
+};
+
+fn counter(report: &ServiceReport, name: &str) -> u64 {
+    report
+        .totals
+        .counters
+        .iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("counter {name} missing"))
+        .value
+}
+
+fn base_cell(seed: u64) -> ServiceSpec {
+    ServiceSpec::new("meta", TopologySpec::Hypercube { n: 4 })
+        .arrivals(ArrivalSpec::poisson(6.0))
+        .holding(HoldingSpec::Geometric { mean_rounds: 8.0 })
+        .policy(AdmissionPolicy::Reject)
+        .rounds(120)
+        .window_rounds(40)
+        .seed(seed)
+}
+
+fn churn(rate: f64, mttr: f64, on_fail: FailoverPolicy) -> ChurnSpec {
+    ChurnSpec {
+        fail_rate_per_round: rate,
+        mttr_mean_rounds: mttr,
+        on_fail,
+    }
+}
+
+/// Established throughput that survived: admissions whose session was
+/// not killed by a fault. Raw admissions are *not* monotone under
+/// faults — a teardown frees held capacity early, which can admit more
+/// later arrivals — but those extra admissions are bought with killed
+/// sessions, so net goodput only falls.
+fn goodput(report: &ServiceReport) -> u64 {
+    counter(report, "flow_admitted_total") - counter(report, "flow_torn_down_total")
+}
+
+/// Property 1 — faults only remove capacity: for any fault rate and either
+/// failover policy, the faulted run's goodput never exceeds the
+/// undamaged baseline (same traffic stream — the fault process rides a
+/// separate RNG).
+#[test]
+fn adding_faults_never_increases_throughput() {
+    for on_fail in [FailoverPolicy::Teardown, FailoverPolicy::Reroute] {
+        for seed in [3u64, 11, 42] {
+            let baseline = run_service(&base_cell(seed));
+            let base_good = goodput(&baseline);
+            for rate in [0.5, 1.5, 3.0] {
+                let faulted = run_service(&base_cell(seed).churn(churn(rate, 10.0, on_fail)));
+                let good = goodput(&faulted);
+                assert!(
+                    good <= base_good,
+                    "seed {seed} rate {rate} {on_fail:?}: faulted goodput {good} \
+                     > baseline {base_good}"
+                );
+            }
+        }
+    }
+}
+
+/// Property 2 — a smaller MTTR mean maps the same geometric draw to a
+/// pointwise-earlier heal (the inverse CDF is monotone in the mean), so
+/// the healed-links set at every round is a superset of the slow run's.
+/// Repairing more never hurts throughput.
+#[test]
+fn repairing_sooner_never_hurts_throughput() {
+    for seed in [3u64, 11, 42] {
+        for on_fail in [FailoverPolicy::Teardown, FailoverPolicy::Reroute] {
+            let slow = run_service(&base_cell(seed).churn(churn(1.5, 12.0, on_fail)));
+            let fast = run_service(&base_cell(seed).churn(churn(1.5, 2.0, on_fail)));
+            assert!(
+                goodput(&fast) >= goodput(&slow),
+                "seed {seed} {on_fail:?}: repairing sooner lost goodput \
+                 ({} fast vs {} slow)",
+                goodput(&fast),
+                goodput(&slow),
+            );
+        }
+    }
+}
+
+/// Property 3 — the tier draw compares one uniform against the share, so the
+/// priority arrivals at share p are a subset of those at share q > p —
+/// and preemption only ever works in the tier's favour. Raising the
+/// share never lowers the tier's admissions.
+#[test]
+fn raising_priority_share_never_lowers_priority_admits() {
+    for seed in [5u64, 23] {
+        let mut last = 0u64;
+        for share in [0.1, 0.3, 0.6] {
+            let report = run_service(
+                &base_cell(seed)
+                    .arrivals(ArrivalSpec::poisson(10.0))
+                    .holding(HoldingSpec::Geometric { mean_rounds: 16.0 })
+                    .qos(QosSpec {
+                        priority_share: share,
+                        max_preemptions: 2,
+                    }),
+            );
+            let pri = counter(&report, "flow_admitted_priority_total");
+            assert!(
+                pri >= last,
+                "seed {seed} share {share}: priority admits fell {last} -> {pri}"
+            );
+            last = pri;
+        }
+        assert!(last > 0, "seed {seed}: the priority tier never admitted");
+    }
+}
+
+/// Property 4 — zero-fault churn is byte-identical to no churn at all: reports and
+/// trace journals. This is the baseline anchor for every relation above
+/// — it proves enabling the churn machinery (spec present, rate 0)
+/// perturbs neither the traffic stream nor the event stream.
+#[test]
+fn zero_fault_churn_reproduces_the_baseline_byte_identically() {
+    for seed in [1u64, 9, 77] {
+        let plain = base_cell(seed).policy(AdmissionPolicy::QueueWithTimeout {
+            max_wait_rounds: 6,
+            capacity: 64,
+        });
+        let zeroed = plain
+            .clone()
+            .churn(churn(0.0, 8.0, FailoverPolicy::Reroute));
+        let (ra, ja) = run_service_traced(&plain, 0, 1 << 18);
+        let (rb, jb) = run_service_traced(&zeroed, 0, 1 << 18);
+        assert_eq!(
+            serde_json::to_string(&ra.windows).unwrap(),
+            serde_json::to_string(&rb.windows).unwrap(),
+            "seed {seed}: window rows diverged"
+        );
+        assert_eq!(ra.totals, rb.totals, "seed {seed}: metric totals diverged");
+        assert_eq!(ra.engine, rb.engine, "seed {seed}: engine totals diverged");
+        assert_eq!(
+            ja.render_jsonl(),
+            jb.render_jsonl(),
+            "seed {seed}: trace journals diverged"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Structured-input fuzzing of the service layer: a seeded generator
+//! draws random `ServiceSpec`s across the full configuration lattice —
+//! topology × arrivals × holding × popularity × admission policy ×
+//! churn × QoS × closed-loop sources — and every generated cell must
+//! run to completion (no panics), audit clean through `trace::audit`,
+//! and balance its flow and arrival ledgers exactly.
+//!
+//! This is fuzzing in the spec-space sense, not byte mutation: inputs
+//! are always *valid* specs, so any failure is an engine/service/trace
+//! bug, never a parser complaint. The generator RNG is pinned, so a
+//! failing cell reproduces from its printed index alone.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shc_runtime::trace::audit::audit_journal;
+use shc_runtime::{
+    run_service_traced, AdmissionPolicy, ArrivalSpec, ChurnSpec, ClosedLoopSpec, FailoverPolicy,
+    HoldingSpec, PopularitySpec, QosSpec, ServiceReport, ServiceSpec, TopologySpec,
+};
+
+fn counter(report: &ServiceReport, name: &str) -> u64 {
+    report
+        .totals
+        .counters
+        .iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("counter {name} missing"))
+        .value
+}
+
+fn gauge(report: &ServiceReport, name: &str) -> i64 {
+    report
+        .totals
+        .gauges
+        .iter()
+        .find(|g| g.name == name)
+        .unwrap_or_else(|| panic!("gauge {name} missing"))
+        .value
+}
+
+/// One uniform draw over the spec lattice. Every branch probability is
+/// chosen so churn/QoS/closed-loop each appear in a majority of cells
+/// while the all-`None` PR 6 shape still occurs.
+fn gen_spec(rng: &mut StdRng, idx: usize) -> ServiceSpec {
+    let topology = match rng.gen_range(0u32..3) {
+        0 => TopologySpec::Hypercube { n: 3 },
+        1 => TopologySpec::Hypercube { n: 4 },
+        _ => TopologySpec::SparseBase { n: 5, m: 2 },
+    };
+    let holding = if rng.gen_range(0u32..8) == 0 {
+        HoldingSpec::Infinite
+    } else {
+        HoldingSpec::Geometric {
+            mean_rounds: 2.0 + rng.gen::<f64>() * 12.0,
+        }
+    };
+    let popularity = if rng.gen_range(0u32..2) == 0 {
+        PopularitySpec::Uniform
+    } else {
+        PopularitySpec::Zipf {
+            exponent: rng.gen::<f64>() * 1.5,
+        }
+    };
+    let policy = if rng.gen_range(0u32..2) == 0 {
+        AdmissionPolicy::Reject
+    } else {
+        AdmissionPolicy::QueueWithTimeout {
+            max_wait_rounds: rng.gen_range(1u32..9),
+            capacity: rng.gen_range(4usize..65),
+        }
+    };
+    let rounds = [40usize, 80, 120][rng.gen_range(0usize..3)];
+    let mut spec = ServiceSpec::new(&format!("fuzz-{idx}"), topology)
+        .arrivals(ArrivalSpec::poisson(1.0 + rng.gen::<f64>() * 9.0))
+        .holding(holding)
+        .popularity(popularity)
+        .policy(policy)
+        .rounds(rounds)
+        .window_rounds(40)
+        .seed(rng.gen_range(1u64..1 << 48));
+    if rng.gen_range(0u32..4) != 0 {
+        let mttr_mean_rounds = if rng.gen_range(0u32..4) == 0 {
+            0.0 // permanent damage
+        } else {
+            1.0 + rng.gen::<f64>() * 11.0
+        };
+        spec = spec.churn(ChurnSpec {
+            fail_rate_per_round: rng.gen::<f64>() * 2.5,
+            mttr_mean_rounds,
+            on_fail: if rng.gen_range(0u32..2) == 0 {
+                FailoverPolicy::Teardown
+            } else {
+                FailoverPolicy::Reroute
+            },
+        });
+    }
+    if rng.gen_range(0u32..2) == 0 {
+        spec = spec.qos(QosSpec {
+            priority_share: rng.gen::<f64>(),
+            max_preemptions: rng.gen_range(1u32..4),
+        });
+    }
+    if rng.gen_range(0u32..2) == 0 {
+        let backoff_base_rounds = rng.gen_range(1u32..5);
+        spec = spec.closed_loop(ClosedLoopSpec {
+            sources: rng.gen_range(1u32..9),
+            think_mean_rounds: 1.0 + rng.gen::<f64>() * 5.0,
+            backoff_base_rounds,
+            backoff_cap_rounds: backoff_base_rounds + rng.gen_range(0u32..8),
+        });
+    }
+    spec
+}
+
+/// Runs one generated cell through the traced service and checks every
+/// ledger the layer promises to conserve, cross-checked against the
+/// journal's independent replay.
+fn check_cell(spec: &ServiceSpec, idx: usize) {
+    let (report, journal) = run_service_traced(spec, idx as u32, 1 << 18);
+    assert_eq!(journal.dropped(), 0, "cell {idx}: journal dropped records");
+
+    // Flow ledger: every admission ends released, torn down, preempted,
+    // or still active. Reroutes keep flows active, so they never enter.
+    let admitted = counter(&report, "flow_admitted_total");
+    let closed = counter(&report, "flow_released_total")
+        + counter(&report, "flow_torn_down_total")
+        + counter(&report, "flow_preempted_total");
+    assert_eq!(
+        gauge(&report, "flows_active"),
+        i64::try_from(admitted - closed).unwrap(),
+        "cell {idx}: flow ledger leaked"
+    );
+
+    // Arrival ledger: open-loop, retried closed-loop, and queued
+    // arrivals all end admitted, rejected, or still parked in the queue.
+    let queue_end = report.windows.last().map_or(0, |w| w.queue_depth_end);
+    assert_eq!(
+        counter(&report, "flow_arrivals_total"),
+        admitted + counter(&report, "flow_rejected_total") + queue_end,
+        "cell {idx}: arrival ledger leaked"
+    );
+
+    // Tier accounting can never exceed its parent stream.
+    assert!(counter(&report, "flow_admitted_priority_total") <= admitted);
+    assert!(
+        counter(&report, "flow_admitted_priority_total")
+            <= counter(&report, "flow_arrivals_priority_total"),
+        "cell {idx}: admitted more priority flows than arrived"
+    );
+
+    // The journal's replay must agree with the live counters.
+    let audit = audit_journal(&journal).unwrap_or_else(|e| panic!("cell {idx}: {e}"));
+    assert_eq!(audit.flows_opened, admitted, "cell {idx}");
+    assert_eq!(
+        audit.flows_released,
+        counter(&report, "flow_released_total"),
+        "cell {idx}"
+    );
+    assert_eq!(
+        audit.flows_torn_down,
+        counter(&report, "flow_torn_down_total"),
+        "cell {idx}"
+    );
+    assert_eq!(
+        audit.flows_preempted,
+        counter(&report, "flow_preempted_total"),
+        "cell {idx}"
+    );
+    assert_eq!(
+        audit.flows_rerouted,
+        counter(&report, "flow_rerouted_total"),
+        "cell {idx}"
+    );
+    assert_eq!(
+        audit.links_failed,
+        counter(&report, "link_fail_total"),
+        "cell {idx}"
+    );
+    assert_eq!(
+        audit.links_repaired,
+        counter(&report, "link_repair_total"),
+        "cell {idx}"
+    );
+}
+
+/// 48 random cells across two generator seeds: none may panic, drop
+/// trace records, violate a ledger, or fail the audit replay.
+#[test]
+fn generated_specs_run_audit_clean() {
+    for (stream, master) in [(0usize, 0xF1A5u64), (1, 0xDEC0DE)] {
+        let mut rng = StdRng::seed_from_u64(master);
+        for i in 0..24 {
+            let idx = stream * 24 + i;
+            let spec = gen_spec(&mut rng, idx);
+            check_cell(&spec, idx);
+        }
+    }
+}
+
+/// Every 6th generated cell re-runs: the report JSON and the trace
+/// journal bytes must be identical — fuzz inputs obey the same
+/// determinism contract as the curated catalog.
+#[test]
+fn generated_specs_are_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xF055);
+    for idx in 0..6 {
+        let spec = gen_spec(&mut rng, idx);
+        let (ra, ja) = run_service_traced(&spec, idx as u32, 1 << 18);
+        let (rb, jb) = run_service_traced(&spec, idx as u32, 1 << 18);
+        assert_eq!(
+            serde_json::to_string(&ra.windows).unwrap(),
+            serde_json::to_string(&rb.windows).unwrap(),
+            "cell {idx}: window rows diverged"
+        );
+        assert_eq!(ra.totals, rb.totals, "cell {idx}: metric totals diverged");
+        assert_eq!(
+            ja.render_jsonl(),
+            jb.render_jsonl(),
+            "cell {idx}: trace journals diverged"
+        );
+    }
+}

@@ -1,7 +1,9 @@
 //! Flow service tour: run the same long-lived session workload on the
 //! paper's sparse hypercube under all three admission policies and
 //! compare what each one trades — loss rate, queueing delay, and route
-//! stretch — window by window.
+//! stretch — window by window. A fourth cell replays the loss system
+//! under link churn with reroute failover and QoS preemption, showing
+//! the fault counters next to the clean-run numbers.
 //!
 //! ```sh
 //! cargo run --release --example serve -- 8 3
@@ -9,7 +11,9 @@
 //! (arguments: n, m; defaults 8, 3)
 
 use sparse_hypercube::prelude::*;
-use sparse_hypercube::runtime::service::{ArrivalSpec, HoldingSpec, PopularitySpec};
+use sparse_hypercube::runtime::service::{
+    ArrivalSpec, ChurnSpec, FailoverPolicy, HoldingSpec, PopularitySpec, QosSpec,
+};
 
 fn show(report: &ServiceReport) {
     let counter = |name: &str| {
@@ -40,6 +44,16 @@ fn show(report: &ServiceReport) {
         counter("flow_admitted_detour_total"),
         counter("flow_timeout_total"),
     );
+    if counter("link_fail_total") > 0 || counter("flow_preempted_total") > 0 {
+        println!(
+            "  churn: {} link failures / {} repairs   torn down {}   rerouted {}   preempted {}",
+            counter("link_fail_total"),
+            counter("link_repair_total"),
+            counter("flow_torn_down_total"),
+            counter("flow_rerouted_total"),
+            counter("flow_preempted_total"),
+        );
+    }
     println!("  window     admit  reject  p50/p99 hops  p50/p99 wait  mean occupancy");
     for w in &report.windows {
         println!(
@@ -96,6 +110,21 @@ fn main() {
             "degraded",
             AdmissionPolicy::DegradeToDetour { extra_hops: 3 },
         ),
+        // The loss system again, but links fail under held flows (mean
+        // repair 15 rounds, reroute failover) and a quarter of arrivals
+        // are priority-tier, allowed to evict two best-effort flows.
+        // The fault stream rides its own RNG, so these arrivals are the
+        // same ones the clean cells saw.
+        base("churned", AdmissionPolicy::Reject)
+            .churn(ChurnSpec {
+                fail_rate_per_round: 0.8,
+                mttr_mean_rounds: 15.0,
+                on_fail: FailoverPolicy::Reroute,
+            })
+            .qos(QosSpec {
+                priority_share: 0.25,
+                max_preemptions: 2,
+            }),
     ];
 
     // Cells fan out across cores; reports come back in cell order and
