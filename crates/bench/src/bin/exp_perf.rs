@@ -1,5 +1,6 @@
-//! Netsim engine throughput sweep: Q_n vs SQ_n under the three runtime
-//! workloads (broadcast replay, hot-spot, permutation), emitting a
+//! Netsim engine throughput sweep: Q_n vs SQ_n under the runtime
+//! workloads (broadcast replay, hot-spot, permutation, plus batched
+//! propose-then-commit variants of the adaptive rows), emitting a
 //! machine-readable `BENCH_netsim.json` so the perf trajectory has
 //! recorded points to compare refactors against.
 //!
@@ -17,14 +18,19 @@
 //!   pass `21` to opportunistically include the `n = 21` cells).
 //! * `--target-ms M` — measurement budget per cell (default 300).
 //! * `--threads T`   — worker threads for the cell sweep (0 = all cores).
+//! * `--intra W`     — intra-round propose workers for the batched rows
+//!   (default 4). The `*_batch` rows are measured at intra 1 **and** at
+//!   `W`, so the artifact carries the intra-cell thread-scaling pair;
+//!   the deterministic sample is identical at both by contract.
 //! * `--trace PATH`  — run one extra *untimed* traced pass per cell (a
 //!   `TraceJournal` engine probe; the timed loops stay probe-free) and
 //!   write all journals as JSONL after auditing them. See
 //!   `docs/OBSERVABILITY.md`.
 //! * `--seed-check`  — skip timing; assert 1-thread and T-thread runs
 //!   produce byte-identical deterministic output — including the trace
-//!   journals, which are also replayed through `trace::audit` — then
-//!   exit.
+//!   journals, which are also replayed through `trace::audit`, and the
+//!   batched rows, whose samples must match between 1 and `W`
+//!   intra-round propose workers — then exit.
 //!
 //! Measurement follows the criterion-shim pattern (one warmup, then
 //! geometric batch growth until the time budget is spent), but reports
@@ -41,11 +47,11 @@ use rand::SeedableRng;
 use serde::Serialize;
 use shc_broadcast::Schedule;
 use shc_netsim::{
-    random_permutation_round_with, replay_competing, replay_competing_probed, Engine, NetTopology,
-    SimStats,
+    random_permutation_round_with, replay_competing, replay_competing_probed, BatchRequest, Engine,
+    NetTopology, SimStats,
 };
 use shc_runtime::trace::audit::audit_journals;
-use shc_runtime::{TopologySpec, TraceJournal};
+use shc_runtime::{BatchAdmitter, TopologySpec, TraceJournal};
 use std::hint::black_box;
 // analyze:allow(wall_clock): throughput measurement harness; timings are segregated from the deterministic row sample
 use std::time::{Duration, Instant};
@@ -61,6 +67,9 @@ struct BenchRow {
     n: u32,
     /// Vertices in the topology.
     num_vertices: u64,
+    /// Intra-round propose workers (1 for the serial admission rows;
+    /// the `*_batch` rows appear once per measured worker count).
+    intra: usize,
     /// Simulated rounds per wall-clock second.
     rounds_per_sec: f64,
     /// Circuit requests (established + blocked) per wall-clock second.
@@ -82,6 +91,8 @@ struct BenchReport {
     fast: bool,
     /// Worker threads the cell sweep ran on (0 = all cores).
     threads: usize,
+    /// Intra-round propose workers the `*_batch` rows scaled up to.
+    intra: usize,
     /// Peak resident set size in kilobytes (`VmHWM`; 0 if unavailable).
     peak_rss_kb: u64,
     /// Measured cells.
@@ -115,6 +126,7 @@ fn row(
     workload: &str,
     n: u32,
     num_vertices: u64,
+    intra: usize,
     target: Duration,
     routine: impl FnMut() -> SimStats,
 ) -> BenchRow {
@@ -136,6 +148,7 @@ fn row(
         workload: workload.to_string(),
         n,
         num_vertices,
+        intra,
         rounds_per_sec: per_sec(rounds),
         requests_per_sec: per_sec(requests),
         iters,
@@ -160,7 +173,7 @@ fn peak_rss_kb() -> u64 {
 /// One parallel cell: builds the topology (freezing its link table once,
 /// shared by every engine constructed inside the timed loops), then runs
 /// the three runtime workloads over it.
-fn run_cell(spec: &TopologySpec, n: u32, target: Duration) -> Vec<BenchRow> {
+fn run_cell(spec: &TopologySpec, n: u32, target: Duration, intra: usize) -> Vec<BenchRow> {
     let topo = spec.build();
     let label = spec.label();
     let nv = topo.num_vertices();
@@ -168,9 +181,9 @@ fn run_cell(spec: &TopologySpec, n: u32, target: Duration) -> Vec<BenchRow> {
         .iter()
         .map(|&s| topo.schedule(s))
         .collect();
-    let mut rows = Vec::with_capacity(3);
+    let mut rows = Vec::with_capacity(7);
     // Broadcast: 4 competing minimum-time broadcasts share the network.
-    rows.push(row(&label, "broadcast_x4", n, nv, target, || {
+    rows.push(row(&label, "broadcast_x4", n, nv, 1, target, || {
         replay_competing(&topo, &schedules, 1)
     }));
     // Hot-spot: every sender wants vertex 0, adaptively routed. One
@@ -178,8 +191,16 @@ fn run_cell(spec: &TopologySpec, n: u32, target: Duration) -> Vec<BenchRow> {
     // times routing, not per-iteration construction — at n = 20 a fresh
     // engine is ~80 MB of allocation + zeroing per round.
     let senders: Vec<u64> = (1..nv.min(1025)).collect();
+    let hot_reqs: Vec<BatchRequest> = senders
+        .iter()
+        .map(|&s| BatchRequest {
+            src: s,
+            dst: 0,
+            max_len: n + 2,
+        })
+        .collect();
     let mut hot = Engine::new(&topo, 1);
-    rows.push(row(&label, "hot_spot", n, nv, target, move || {
+    rows.push(row(&label, "hot_spot", n, nv, 1, target, move || {
         hot.begin_round();
         for &s in &senders {
             let _ = hot.request(s, 0, n + 2);
@@ -191,15 +212,61 @@ fn run_cell(spec: &TopologySpec, n: u32, target: Duration) -> Vec<BenchRow> {
     let pairs = nv.min(2048) as usize;
     let mut rng = StdRng::seed_from_u64(0xBE9C);
     let mut perm = Engine::new(&topo, 1);
-    rows.push(row(&label, "permutation", n, nv, target, move || {
+    rows.push(row(&label, "permutation", n, nv, 1, target, move || {
         random_permutation_round_with(&mut perm, pairs, n + 2, &mut rng)
     }));
+    // Batched counterparts of the two adaptive rows, once per intra
+    // worker count: the same request stream admitted as one
+    // propose-then-commit batch per round. The deterministic sample is
+    // identical at every worker count by contract — only the throughput
+    // columns move, which is the intra-cell scaling the artifact records.
+    let intra_values: &[usize] = if intra > 1 { &[1, intra] } else { &[1] };
+    for &workers in intra_values {
+        let reqs = hot_reqs.clone();
+        let mut adm = BatchAdmitter::new(nv, workers);
+        let mut sim = Engine::new(&topo, 1);
+        rows.push(row(&label, "hot_spot_batch", n, nv, workers, target, move || {
+            sim.begin_round();
+            let _ = adm.admit_round(&mut sim, &reqs);
+            sim.take_stats()
+        }));
+    }
+    for &workers in intra_values {
+        let mut rng = StdRng::seed_from_u64(0xBE9C);
+        let mut adm = BatchAdmitter::new(nv, workers);
+        let mut sim = Engine::new(&topo, 1);
+        let mut reqs: Vec<BatchRequest> = Vec::with_capacity(pairs);
+        rows.push(row(&label, "permutation_batch", n, nv, workers, target, move || {
+            use rand::Rng;
+            reqs.clear();
+            let mut skipped = 0usize;
+            for _ in 0..pairs {
+                let src = rng.gen_range(0..nv);
+                let dst = rng.gen_range(0..nv);
+                if src == dst {
+                    skipped += 1;
+                    continue;
+                }
+                reqs.push(BatchRequest {
+                    src,
+                    dst,
+                    max_len: n + 2,
+                });
+            }
+            sim.begin_round();
+            let _ = adm.admit_round(&mut sim, &reqs);
+            let mut stats = sim.take_stats();
+            stats.requested = pairs;
+            stats.skipped = skipped;
+            stats
+        }));
+    }
     rows
 }
 
 /// Runs the whole sweep across cells on `threads` workers, returning
 /// rows in deterministic (dimension-major, spec-minor, workload) order.
-fn run_sweep(dims: &[u32], target: Duration, threads: usize) -> Vec<BenchRow> {
+fn run_sweep(dims: &[u32], target: Duration, threads: usize, intra: usize) -> Vec<BenchRow> {
     let cells: Vec<(u32, TopologySpec)> = dims
         .iter()
         .flat_map(|&n| {
@@ -209,7 +276,7 @@ fn run_sweep(dims: &[u32], target: Duration, threads: usize) -> Vec<BenchRow> {
             ]
         })
         .collect();
-    shc_runtime::map_cells(&cells, threads, |(n, spec)| run_cell(spec, *n, target))
+    shc_runtime::map_cells(&cells, threads, |(n, spec)| run_cell(spec, *n, target, intra))
         .into_iter()
         .flatten()
         .collect()
@@ -308,6 +375,7 @@ fn main() {
     let mut max_n: Option<u32> = None;
     let mut target_ms = 300u64;
     let mut threads = 0usize;
+    let mut intra = 4usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -348,6 +416,13 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--intra" => {
+                i += 1;
+                intra = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--intra needs a number");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -373,12 +448,35 @@ fn main() {
         } else {
             threads
         };
-        println!("exp_perf seed check: n in {dims:?}, untimed, 1 vs {many_threads} threads");
-        let one = det_json(&run_sweep(&dims, Duration::ZERO, 1));
-        let many = det_json(&run_sweep(&dims, Duration::ZERO, many_threads));
+        let check_intra = intra.max(2);
+        println!(
+            "exp_perf seed check: n in {dims:?}, untimed, 1 vs {many_threads} threads, \
+             batch rows at intra 1 vs {check_intra}"
+        );
+        let rows_one = run_sweep(&dims, Duration::ZERO, 1, check_intra);
+        let one = det_json(&rows_one);
+        let many = det_json(&run_sweep(&dims, Duration::ZERO, many_threads, check_intra));
         if one != many {
             eprintln!("seed check FAILED: 1-thread and {many_threads}-thread sweeps diverge");
             std::process::exit(1);
+        }
+        // Intra invariance of the batched rows: the deterministic sample
+        // of every `*_batch` row must be identical at 1 and check_intra
+        // propose workers.
+        for r in rows_one.iter().filter(|r| r.intra > 1) {
+            let serial = rows_one
+                .iter()
+                .find(|s| {
+                    s.intra == 1 && s.workload == r.workload && s.topology == r.topology && s.n == r.n
+                })
+                .expect("every batch row has an intra-1 twin");
+            if serial.sample != r.sample {
+                eprintln!(
+                    "seed check FAILED: {} {} n={} sample diverges between intra 1 and {}",
+                    r.topology, r.workload, r.n, r.intra
+                );
+                std::process::exit(1);
+            }
         }
         let j1 = run_sweep_traced(&dims, 1);
         let jn = run_sweep_traced(&dims, many_threads);
@@ -400,13 +498,13 @@ fn main() {
         }
         println!(
             "seed check OK: deterministic output and trace journals byte-identical \
-             across thread counts"
+             across thread counts and intra-round worker counts"
         );
         return;
     }
 
     println!(
-        "exp_perf sweep: n in {dims:?}, {} ms budget per cell, {} threads{}",
+        "exp_perf sweep: n in {dims:?}, {} ms budget per cell, {} threads, intra {intra}{}",
         target.as_millis(),
         if threads == 0 {
             "all".to_string()
@@ -438,13 +536,14 @@ fn main() {
         println!("trace journal written to {path}");
     }
 
-    let rows = run_sweep(&dims, target, threads);
+    let rows = run_sweep(&dims, target, threads, intra);
     for r in &rows {
         println!(
-            "{:<10} {:<14} n={:<2} {:>12.0} rounds/s {:>14.0} req/s   ({} iters, {:.0} ms)",
+            "{:<10} {:<18} n={:<2} intra={:<2} {:>12.0} rounds/s {:>14.0} req/s   ({} iters, {:.0} ms)",
             r.topology,
             r.workload,
             r.n,
+            r.intra,
             r.rounds_per_sec,
             r.requests_per_sec,
             r.iters,
@@ -456,6 +555,7 @@ fn main() {
         bench: "netsim_engine",
         fast,
         threads,
+        intra,
         peak_rss_kb: peak_rss_kb(),
         rows,
     };

@@ -7,13 +7,17 @@
 //! * `--only NAME`     — run a single scenario by name.
 //! * `--fast`          — reduced sizes (debug-build / CI friendly).
 //! * `--threads N`     — worker threads (default: all cores).
+//! * `--intra W`       — intra-round propose workers for batched
+//!   scenarios (default 1; non-batched scenarios ignore it).
 //! * `--json PATH`     — dump all reports as JSON.
 //! * `--trace PATH`    — attach a deterministic `TraceJournal` per
 //!   replica and write every journal as JSONL (scenarios in catalog
 //!   order, replicas in index order; the `cell` stamp is the replica
 //!   index within its scenario). Journals are audited before writing.
-//! * `--seed-check`    — re-run everything single-threaded and fail if
-//!   any aggregate differs (the determinism guarantee, end to end);
+//! * `--seed-check`    — re-run everything single-threaded **at one
+//!   intra-round worker** and fail if any aggregate differs (the
+//!   determinism guarantee, end to end — with `--intra 4` this pins
+//!   batched admission byte-identical between 1 and 4 propose workers);
 //!   with tracing on, journals must also match byte-for-byte and pass
 //!   the `trace::audit` invariant replay.
 
@@ -21,8 +25,8 @@
 
 use shc_runtime::trace::audit::audit_journals;
 use shc_runtime::{
-    available_threads, builtin_catalog, run_scenario, run_scenario_traced, ScenarioReport,
-    TraceJournal,
+    available_threads, builtin_catalog, run_scenario_intra, run_scenario_traced_intra,
+    ScenarioReport, TraceJournal,
 };
 
 /// Per-replica journal ring capacity; far above any catalog scenario's
@@ -64,6 +68,7 @@ fn main() {
     let mut list = false;
     let mut seed_check = false;
     let mut threads = 0usize; // 0 = all cores
+    let mut intra = 1usize;
     let mut only: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
@@ -77,6 +82,13 @@ fn main() {
                 i += 1;
                 threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--intra" => {
+                i += 1;
+                intra = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--intra needs a number");
                     std::process::exit(2);
                 });
             }
@@ -141,9 +153,10 @@ fn main() {
         threads
     };
     println!(
-        "scenario catalog ({} scenarios, {} worker threads{})",
+        "scenario catalog ({} scenarios, {} worker threads, {} intra propose workers{})",
         catalog.len(),
         workers,
+        intra.max(1),
         if fast { ", fast sizes" } else { "" }
     );
     println!(
@@ -167,9 +180,9 @@ fn main() {
         // analyze:allow(wall_clock): per-scenario elapsed_ms banner only; never enters report JSON
         let started = std::time::Instant::now();
         let report = if trace_path.is_some() {
-            let (report, js) = run_scenario_traced(scenario, threads, TRACE_CAPACITY);
+            let (report, js) = run_scenario_traced_intra(scenario, threads, TRACE_CAPACITY, intra);
             if seed_check {
-                let (single, js1) = run_scenario_traced(scenario, 1, TRACE_CAPACITY);
+                let (single, js1) = run_scenario_traced_intra(scenario, 1, TRACE_CAPACITY, 1);
                 if single != report {
                     eprintln!("DETERMINISM VIOLATION in `{}`", scenario.name);
                     determinism_ok = false;
@@ -192,9 +205,9 @@ fn main() {
             journals.extend(js);
             report
         } else {
-            let report = run_scenario(scenario, threads);
+            let report = run_scenario_intra(scenario, threads, intra);
             if seed_check {
-                let single = run_scenario(scenario, 1);
+                let single = run_scenario_intra(scenario, 1, 1);
                 if single != report {
                     eprintln!("DETERMINISM VIOLATION in `{}`", scenario.name);
                     determinism_ok = false;
@@ -232,7 +245,7 @@ fn main() {
         println!(
             "seed check: {}",
             if determinism_ok {
-                "1-thread == N-thread for every scenario"
+                "1-thread/1-intra == N-thread/W-intra for every scenario"
             } else {
                 "FAILED"
             }

@@ -17,20 +17,23 @@
 //! * `--fast`       — reduced sweep (CI sizes: `n = 6`, 120 rounds).
 //! * `--json PATH`  — output path (default `BENCH_serve.json`).
 //! * `--threads T`  — worker threads for the cell sweep (0 = all cores).
+//! * `--intra W`    — intra-round propose workers for the batched
+//!   admission cells (default 1; serial cells ignore it).
 //! * `--trace PATH` — attach a deterministic `TraceJournal` per cell and
 //!   write all journals as JSONL (cells in catalog order); the journals
 //!   are audited before writing. See `docs/OBSERVABILITY.md`.
-//! * `--seed-check` — assert 1-thread and T-thread runs produce
-//!   byte-identical reports *and* byte-identical trace journals, audit
-//!   the journals, then exit.
+//! * `--seed-check` — assert the 1-thread/1-intra and T-thread/W-intra
+//!   runs produce byte-identical reports *and* byte-identical trace
+//!   journals (with `--intra 4` this pins batched admission across
+//!   propose worker counts), audit the journals, then exit.
 
 #![forbid(unsafe_code)]
 
 use serde::Serialize;
 use shc_runtime::trace::audit::audit_journals;
 use shc_runtime::{
-    builtin_service_catalog, run_indexed_timed, run_service, run_service_traced, Metrics,
-    MetricsSnapshot, ServiceReport, ServiceSpec, TraceJournal,
+    builtin_service_catalog, run_indexed_timed, run_service_intra, run_service_traced_intra,
+    Metrics, MetricsSnapshot, ServiceReport, ServiceSpec, TraceJournal,
 };
 // analyze:allow(wall_clock): sweep elapsed_ms + executor telemetry; excluded from the deterministic projection
 use std::time::Instant;
@@ -49,6 +52,8 @@ struct ServeArtifact {
     fast: bool,
     /// Worker threads the sweep ran on (0 = all cores).
     threads: usize,
+    /// Intra-round propose workers for the batched admission cells.
+    intra: usize,
     /// Wall-clock milliseconds for the whole sweep (not deterministic;
     /// excluded from the seed-check projection).
     elapsed_ms: f64,
@@ -69,17 +74,18 @@ fn det_json(reports: &[ServiceReport]) -> String {
     serde_json::to_string_pretty(reports).expect("reports serialize")
 }
 
-fn run_sweep(cells: &[ServiceSpec], threads: usize) -> Vec<ServiceReport> {
-    shc_runtime::map_cells(cells, threads, run_service)
+fn run_sweep(cells: &[ServiceSpec], threads: usize, intra: usize) -> Vec<ServiceReport> {
+    shc_runtime::map_cells(cells, threads, |spec| run_service_intra(spec, intra))
 }
 
 fn run_sweep_traced(
     cells: &[ServiceSpec],
     threads: usize,
+    intra: usize,
 ) -> (Vec<ServiceReport>, Vec<TraceJournal>) {
     let (pairs, _) = run_indexed_timed(cells.len(), threads, |i| {
         let cell = u32::try_from(i).expect("cell index fits u32");
-        run_service_traced(&cells[i], cell, TRACE_CAPACITY)
+        run_service_traced_intra(&cells[i], cell, TRACE_CAPACITY, intra)
     });
     pairs.into_iter().unzip()
 }
@@ -109,6 +115,7 @@ fn main() {
     let mut json_path = String::from("BENCH_serve.json");
     let mut trace_path: Option<String> = None;
     let mut threads = 0usize;
+    let mut intra = 1usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -135,6 +142,13 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--intra" => {
+                i += 1;
+                intra = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--intra needs a number");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -151,18 +165,20 @@ fn main() {
         } else {
             threads
         };
+        let check_intra = intra.max(2);
         println!(
-            "exp_serve seed check: {} cells, 1 vs {many_threads} threads",
+            "exp_serve seed check: {} cells, 1 vs {many_threads} threads, \
+             batched cells at intra 1 vs {check_intra}",
             cells.len()
         );
-        let one = det_json(&run_sweep(&cells, 1));
-        let many = det_json(&run_sweep(&cells, many_threads));
+        let one = det_json(&run_sweep(&cells, 1, 1));
+        let many = det_json(&run_sweep(&cells, many_threads, check_intra));
         if one != many {
             eprintln!("seed check FAILED: 1-thread and {many_threads}-thread sweeps diverge");
             std::process::exit(1);
         }
-        let (traced_reports, j1) = run_sweep_traced(&cells, 1);
-        let (_, jn) = run_sweep_traced(&cells, many_threads);
+        let (traced_reports, j1) = run_sweep_traced(&cells, 1, 1);
+        let (_, jn) = run_sweep_traced(&cells, many_threads, check_intra);
         if det_json(&traced_reports) != one {
             eprintln!("seed check FAILED: attaching the trace probe perturbed the reports");
             std::process::exit(1);
@@ -188,7 +204,7 @@ fn main() {
         }
         println!(
             "seed check OK: service reports and trace journals byte-identical \
-             across thread counts"
+             across thread counts and intra-round worker counts"
         );
         return;
     }
@@ -214,13 +230,13 @@ fn main() {
     let (reports, journals, telemetry) = if trace_path.is_some() {
         let (pairs, telemetry) = run_indexed_timed(cells.len(), threads, |i| {
             let cell = u32::try_from(i).expect("cell index fits u32");
-            run_service_traced(&cells[i], cell, TRACE_CAPACITY)
+            run_service_traced_intra(&cells[i], cell, TRACE_CAPACITY, intra)
         });
         let (reports, journals): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
         (reports, Some(journals), telemetry)
     } else {
         let (reports, telemetry) =
-            run_indexed_timed(cells.len(), threads, |i| run_service(&cells[i]));
+            run_indexed_timed(cells.len(), threads, |i| run_service_intra(&cells[i], intra));
         (reports, None, telemetry)
     };
     let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -276,6 +292,7 @@ fn main() {
         bench: "flow_service",
         fast,
         threads,
+        intra,
         elapsed_ms,
         run_totals: fold_totals(&reports),
         executor: telemetry.utilization_report(),

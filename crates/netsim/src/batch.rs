@@ -1,0 +1,143 @@
+//! Propose-then-commit batched admission types.
+//!
+//! A round's request batch is admitted in two phases instead of
+//! one-at-a-time [`Engine::request`](crate::Engine::request) calls:
+//!
+//! 1. **Propose** — every pending request is routed by
+//!    [`Engine::propose`](crate::Engine::propose) against a *read-only*
+//!    view of the committed occupancy/fault state, using caller-owned
+//!    [`SearchScratch`](crate::SearchScratch). Proposals are pure
+//!    functions of `(committed state, request)`, so they can run on any
+//!    number of worker threads in any order — the result is the same
+//!    vector of [`Proposal`]s.
+//! 2. **Commit** — proposals are applied **serially, in request sequence
+//!    order**, by [`Engine::commit_proposal`](crate::Engine::commit_proposal).
+//!    A proposal whose route still has capacity is established; one that
+//!    was blocked at propose time stays blocked (capacity only shrinks
+//!    within a round, so a blocked propose is final); one whose route
+//!    lost capacity to an earlier-sequenced commit is a [`Conflict`]
+//!    (`CommitOutcome::Conflict`) and re-proposes against the *new*
+//!    committed state in the next wave.
+//!
+//! Waves repeat until no request is pending. Termination: within a wave
+//! commits run in sequence order, so the lowest-sequenced pending
+//! request proposes against exactly the state its commit validates it
+//! on — it either establishes or blocks finally, never conflicts. Every
+//! wave therefore concludes at least one request, bounding the wave
+//! count by the batch size (in practice a handful).
+//!
+//! Determinism: the committed outcome and every probe event depend only
+//! on the request sequence order and the committed state — never on the
+//! thread schedule of the propose phase — so reports *and byte-exact
+//! trace journals* are invariant under the worker count. The wave driver
+//! lives in `shc-runtime` (`BatchAdmitter`); this module is the engine
+//! seam it drives.
+
+use crate::engine::{BlockReason, RouteSearch};
+use crate::links::LinkId;
+use crate::topology::Vertex;
+
+/// One adaptive circuit request queued for batched admission — the
+/// arguments of [`Engine::request`](crate::Engine::request), reified so
+/// a round's batch can be partitioned across propose workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchRequest {
+    /// Source vertex.
+    pub src: Vertex,
+    /// Destination vertex.
+    pub dst: Vertex,
+    /// Maximum route length in links.
+    pub max_len: u32,
+}
+
+/// A routed-but-uncommitted admission: the outcome
+/// [`Engine::propose`](crate::Engine::propose) computed against the
+/// committed state it saw, plus the search-effort counters a probe
+/// would have recorded. Opaque outside the crate — feed it to
+/// [`Engine::commit_proposal`](crate::Engine::commit_proposal) (or the
+/// flow variant) in request sequence order.
+#[derive(Clone, Debug)]
+pub struct Proposal {
+    pub(crate) src: Vertex,
+    pub(crate) dst: Vertex,
+    /// `Some((path, link_ids))` when a route was found; `None` when the
+    /// propose-time search blocked (final — capacity only shrinks
+    /// within a round).
+    pub(crate) route: Option<(Vec<Vertex>, Vec<LinkId>)>,
+    /// Block reason when `route` is `None`.
+    pub(crate) reason: Option<BlockReason>,
+    /// Which search strategy routed (or failed to route) the proposal.
+    pub(crate) search: RouteSearch,
+    pub(crate) expanded: u32,
+    pub(crate) frontier_peak: u32,
+    pub(crate) reject_link: Option<LinkId>,
+}
+
+impl Proposal {
+    /// Whether the propose-phase search found a route (the commit may
+    /// still turn this into a [`CommitOutcome::Conflict`]).
+    #[must_use]
+    pub fn is_routed(&self) -> bool {
+        self.route.is_some()
+    }
+}
+
+/// What committing one proposal concluded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// The proposed route still had capacity on every link and is now
+    /// established (stats + probe accounted exactly as a serial
+    /// [`Engine::request`](crate::Engine::request) admission).
+    Established {
+        /// Route length in links.
+        hops: u32,
+    },
+    /// The proposal was blocked at propose time; the block is final and
+    /// is now accounted (stats + probe) exactly as a serial block.
+    Blocked(BlockReason),
+    /// An earlier-sequenced commit saturated a link on the proposed
+    /// route. Nothing was accounted — the request is still pending and
+    /// must re-propose against the new committed state in the next wave.
+    Conflict,
+}
+
+/// What committing one **flow** proposal concluded — [`CommitOutcome`]
+/// with the established arm carrying the flow handle, mirroring
+/// [`FlowOutcome`](crate::FlowOutcome).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlowCommitOutcome {
+    /// Admitted; the flow holds its links across rounds until released.
+    Established {
+        /// Handle for the eventual release.
+        flow: crate::FlowId,
+        /// Route length in links.
+        hops: u32,
+    },
+    /// Blocked at propose time (final, accounted).
+    Blocked(BlockReason),
+    /// Lost a link-capacity race to an earlier-sequenced commit; still
+    /// pending, re-propose next wave.
+    Conflict,
+}
+
+/// Final per-request outcome of a whole batched round — what the wave
+/// driver reports once every request concluded (conflicts are internal
+/// and never surface here).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// Established with this route length.
+    Established {
+        /// Route length in links.
+        hops: u32,
+    },
+    /// Finally blocked for this reason.
+    Blocked(BlockReason),
+}
+
+impl BatchOutcome {
+    /// `true` when established.
+    #[must_use]
+    pub fn is_established(&self) -> bool {
+        matches!(self, Self::Established { .. })
+    }
+}

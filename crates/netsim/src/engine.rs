@@ -33,11 +33,12 @@
 //! epoch-stamped visited/parent/distance scratch — one set per frontier
 //! direction — across requests.
 
+use crate::batch::{BatchRequest, CommitOutcome, FlowCommitOutcome, Proposal};
 use crate::links::{LinkId, LinkIndex};
 use crate::probe::{EngineProbe, NoProbe, RequestProbe, SearchStats};
+use crate::router::{search_route, RouteView, SearchOutcome, SearchScratch};
 use crate::topology::{NetTopology, Vertex};
-use shc_graph::cube::hamming_distance;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 /// Why a circuit was refused.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -312,39 +313,13 @@ pub struct Engine<'a, T: NetTopology, P: EngineProbe = NoProbe> {
     active_flows: usize,
     /// Total links currently held by active flows (occupancy gauge).
     held_link_hops: u64,
-    /// Scratch: link ids of the path under admission.
-    path_ids: Vec<LinkId>,
-    /// Scratch: forward visited stamp per vertex (`== epoch` means seen).
-    seen: Vec<u32>,
-    /// Scratch: forward predecessor vertex per vertex.
-    parent: Vec<u32>,
-    /// Scratch: link id used to reach each vertex (forward).
-    parent_link: Vec<LinkId>,
-    /// Scratch: forward depth / A* g-value per vertex.
-    dist: Vec<u32>,
-    /// Scratch: A* closed stamp per vertex (`== epoch` means expanded).
-    done: Vec<u32>,
-    /// Scratch: backward visited stamp per vertex (bidirectional BFS).
-    seen_b: Vec<u32>,
-    /// Scratch: backward predecessor vertex per vertex.
-    parent_b: Vec<u32>,
-    /// Scratch: link id used to reach each vertex (backward).
-    parent_link_b: Vec<LinkId>,
-    /// Scratch: backward depth per vertex.
-    dist_b: Vec<u32>,
-    /// Current search epoch (bumped per adaptive request).
-    epoch: u32,
-    /// Scratch: unidirectional BFS ring queue of `(vertex, depth)`; also
-    /// the A* bucket for the current f-value, as `(vertex, g)`.
-    queue: VecDeque<(u32, u32)>,
-    /// Scratch: A* bucket for f + 2 (f-parity is invariant on cube
-    /// labelings, so exactly two buckets are ever live).
-    queue_next: VecDeque<(u32, u32)>,
-    /// Scratch: bidirectional frontiers (current/next × forward/backward).
-    fr_f: Vec<u32>,
-    fr_f_next: Vec<u32>,
-    fr_b: Vec<u32>,
-    fr_b_next: Vec<u32>,
+    /// The engine's own epoch-stamped search scratch (visited/parent/
+    /// distance arrays, queues, frontiers, the link ids of the path
+    /// under admission, and the probe effort counters) — see
+    /// [`SearchScratch`]. Serial admission routes through this one;
+    /// batched admission ([`Engine::propose`]) routes through
+    /// caller-owned per-thread instances instead.
+    scratch: SearchScratch,
     /// Whether the topology's labeling admits the A* cube-metric path.
     use_cube_metric: bool,
     round_peak: u32,
@@ -355,12 +330,6 @@ pub struct Engine<'a, T: NetTopology, P: EngineProbe = NoProbe> {
     round_index: u64,
     /// Attached observability sink (zero-sized [`NoProbe`] by default).
     probe: P,
-    /// Probe scratch: vertices expanded by the current search.
-    probe_expanded: u32,
-    /// Probe scratch: peak frontier size of the current search.
-    probe_frontier_peak: u32,
-    /// Probe scratch: first link skipped for capacity this request.
-    probe_reject_link: Option<LinkId>,
 }
 
 impl<'a, T: NetTopology> Engine<'a, T> {
@@ -388,7 +357,6 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
     pub fn with_probe(net: &'a T, dilation: u32, probe: P) -> Self {
         assert!(dilation >= 1, "links need capacity >= 1");
         let index = net.link_index();
-        let n = usize::try_from(index.num_vertices()).expect("vertex count fits usize");
         let use_cube_metric = net.cube_labeled();
         Self {
             net,
@@ -402,23 +370,7 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
             dyn_faults: 0,
             active_flows: 0,
             held_link_hops: 0,
-            path_ids: Vec::new(),
-            seen: vec![0; n],
-            parent: vec![0; n],
-            parent_link: vec![0; n],
-            dist: vec![0; n],
-            done: vec![0; n],
-            seen_b: vec![0; n],
-            parent_b: vec![0; n],
-            parent_link_b: vec![0; n],
-            dist_b: vec![0; n],
-            epoch: 0,
-            queue: VecDeque::new(),
-            queue_next: VecDeque::new(),
-            fr_f: Vec::new(),
-            fr_f_next: Vec::new(),
-            fr_b: Vec::new(),
-            fr_b_next: Vec::new(),
+            scratch: SearchScratch::new(index.num_vertices()),
             use_cube_metric,
             index,
             round_peak: 0,
@@ -427,9 +379,6 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
             round_open: false,
             round_index: 0,
             probe,
-            probe_expanded: 0,
-            probe_frontier_peak: 0,
-            probe_reject_link: None,
         }
     }
 
@@ -516,11 +465,13 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
         }
     }
 
-    /// Commits the circuit whose link ids sit in `self.path_ids`
+    /// Commits the circuit whose link ids sit in `self.scratch.path_ids`
     /// (occupancy was already incremented by admission).
     fn commit(&mut self, hops: usize) {
-        for i in 0..self.path_ids.len() {
-            self.round_peak = self.round_peak.max(self.usage[self.path_ids[i] as usize]);
+        for i in 0..self.scratch.path_ids.len() {
+            self.round_peak = self
+                .round_peak
+                .max(self.usage[self.scratch.path_ids[i] as usize]);
         }
         self.stats.established += 1;
         self.stats.total_hops += hops;
@@ -650,16 +601,16 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
         assert!(self.round_open, "begin_round first");
         assert!(path.len() >= 2, "a circuit needs two endpoints");
         if P::ENABLED {
-            self.probe_reject_link = None;
+            self.scratch.reject_link = None;
         }
         let outcome = 'admit: {
-            self.path_ids.clear();
+            self.scratch.path_ids.clear();
             for w in path.windows(2) {
                 // Live-edge test: an edge the topology's rule (or frozen
                 // table) admits and no damage overlay — static or
                 // dynamic — masks.
                 match self.net.link_id(w[0], w[1]) {
-                    Some(id) if self.link_live(id) => self.path_ids.push(id),
+                    Some(id) if self.link_live(id) => self.scratch.path_ids.push(id),
                     _ => {
                         self.stats.blocked += 1;
                         break 'admit Outcome::Blocked(BlockReason::NotAnEdge((w[0], w[1])));
@@ -670,18 +621,18 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
             // counts toward capacity too; roll back on the first
             // saturated link.
             let mut blocked_at = None;
-            for k in 0..self.path_ids.len() {
-                if !self.try_occupy(self.path_ids[k]) {
+            for k in 0..self.scratch.path_ids.len() {
+                if !self.try_occupy(self.scratch.path_ids[k]) {
                     blocked_at = Some(k);
                     break;
                 }
             }
             if let Some(k) = blocked_at {
                 for i in 0..k {
-                    self.usage[self.path_ids[i] as usize] -= 1;
+                    self.usage[self.scratch.path_ids[i] as usize] -= 1;
                 }
                 if P::ENABLED {
-                    self.probe_reject_link = Some(self.path_ids[k]);
+                    self.scratch.reject_link = Some(self.scratch.path_ids[k]);
                 }
                 self.stats.blocked += 1;
                 break 'admit Outcome::Blocked(BlockReason::Saturated);
@@ -727,9 +678,9 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
     pub fn request_flow(&mut self, src: Vertex, dst: Vertex, max_len: u32) -> FlowOutcome {
         match self.request(src, dst, max_len) {
             Outcome::Established(path) => {
-                // `establish_*` left the route's link ids in `path_ids`;
+                // Admission left the route's link ids in the scratch;
                 // promote them into the held base load.
-                let links = self.path_ids.clone();
+                let links = self.scratch.path_ids.clone();
                 let hops = u32::try_from(path.len() - 1).expect("route length fits u32");
                 let (flow, _) = self.open_flow(FlowRecord { links, src, dst });
                 if P::ENABLED {
@@ -877,7 +828,7 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
         self.held_link_hops -= u64::from(old_hops);
         match self.request(rec.src, rec.dst, max_len) {
             Outcome::Established(path) => {
-                let links = self.path_ids.clone();
+                let links = self.scratch.path_ids.clone();
                 for &id in &links {
                     self.held[id as usize] += 1;
                 }
@@ -965,36 +916,41 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
             src < n && dst < n,
             "request endpoints ({src}, {dst}) out of range for {n} vertices"
         );
-        // All searches reuse the epoch-stamped scratch arrays (no
-        // per-request allocation in steady state).
-        if self.epoch == u32::MAX {
-            self.seen.fill(0);
-            self.seen_b.fill(0);
-            self.done.fill(0);
-            self.epoch = 0;
-        }
-        self.epoch += 1;
-        if P::ENABLED {
-            self.probe_expanded = 0;
-            self.probe_frontier_peak = 0;
-            self.probe_reject_link = None;
-        }
-        let outcome = match search {
-            RouteSearch::Unidirectional => self.search_unidirectional(src, dst, max_len),
-            RouteSearch::Bidirectional => self.search_bidirectional(src, dst, max_len),
-            RouteSearch::AStarCube => {
-                assert!(
-                    self.use_cube_metric,
-                    "A* cube-metric search on a topology without cube labels"
-                );
-                self.search_astar_cube(src, dst, max_len)
+        // The search itself lives in `router` and is a pure function of
+        // the view + scratch; this wrapper owns the effects (occupancy,
+        // stats, probe) so serial admission stays byte-identical to the
+        // pre-extraction engine.
+        let view = RouteView {
+            net: self.net,
+            usage: &self.usage,
+            dilation: self.dilation,
+            dyn_dead: &self.dyn_dead,
+            dyn_faults: self.dyn_faults,
+        };
+        let result = search_route::<T, P>(&view, &mut self.scratch, search, src, dst, max_len);
+        let outcome = match result {
+            SearchOutcome::Found(path) => {
+                // A BFS/A* path is simple, so each link appears once:
+                // capacity was already checked during the search and
+                // occupation cannot fail.
+                for i in 0..self.scratch.path_ids.len() {
+                    let id = self.scratch.path_ids[i];
+                    let occupied = self.try_occupy(id);
+                    debug_assert!(occupied, "search admitted a saturated link");
+                }
+                self.commit(path.len() - 1);
+                Outcome::Established(path)
+            }
+            SearchOutcome::Blocked(reason) => {
+                self.stats.blocked += 1;
+                Outcome::Blocked(reason)
             }
         };
         if P::ENABLED {
             let stats = SearchStats {
                 strategy: search,
-                nodes_expanded: self.probe_expanded,
-                frontier_peak: self.probe_frontier_peak,
+                nodes_expanded: self.scratch.expanded,
+                frontier_peak: self.scratch.frontier_peak,
             };
             self.emit_request(src, dst, &outcome, Some(stats));
         }
@@ -1024,428 +980,11 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
             reason,
             // The search scratch remembers any saturated link it skipped;
             // attribution only makes sense when the request was denied.
-            rejecting_link: reason.and(self.probe_reject_link),
+            rejecting_link: reason.and(self.scratch.reject_link),
             search,
         };
         // analyze:allow(probe_ungated): helper invoked from gated sites only — both callers sit under `if P::ENABLED`
         self.probe.on_request(&req);
-    }
-
-    /// First live-but-saturated link at `v` — probe attribution for the
-    /// `O(deg)` endpoint-guard rejections, which otherwise never name a
-    /// link. Only called with a probe attached.
-    fn first_saturated_link(&self, v: Vertex) -> Option<LinkId> {
-        let mut hit = None;
-        self.net.for_each_link(v, |_, id| {
-            if self.link_live(id) && self.usage[id as usize] >= self.dilation {
-                hit = Some(id);
-                return false;
-            }
-            true
-        });
-        hit
-    }
-
-    /// The legacy single-frontier BFS (pre-PR-4 `request`; exploration
-    /// order and block reasons kept verbatim, now walking neighbors
-    /// through the allocation-free `for_each_link`).
-    fn search_unidirectional(&mut self, src: Vertex, dst: Vertex, max_len: u32) -> Outcome {
-        self.queue.clear();
-        self.seen[src as usize] = self.epoch;
-        self.queue.push_back((src as u32, 0));
-        let mut any_route_capacity_blind = false;
-        let net = self.net;
-        while let Some((x, d)) = self.queue.pop_front() {
-            if d == max_len {
-                continue;
-            }
-            if P::ENABLED {
-                self.probe_expanded += 1;
-            }
-            let mut found = false;
-            net.for_each_link(u64::from(x), |y, id| {
-                if !self.link_live(id) {
-                    return true;
-                }
-                if y == dst {
-                    any_route_capacity_blind = true;
-                }
-                let yi = y as usize;
-                if self.seen[yi] == self.epoch {
-                    return true;
-                }
-                if self.usage[id as usize] >= self.dilation {
-                    if P::ENABLED && self.probe_reject_link.is_none() {
-                        self.probe_reject_link = Some(id);
-                    }
-                    return true;
-                }
-                self.seen[yi] = self.epoch;
-                self.parent[yi] = x;
-                self.parent_link[yi] = id;
-                if y == dst {
-                    found = true;
-                    return false;
-                }
-                self.queue.push_back((y as u32, d + 1));
-                true
-            });
-            if P::ENABLED {
-                self.probe_frontier_peak = self.probe_frontier_peak.max(self.queue.len() as u32);
-            }
-            if found {
-                return self.establish_found(src, dst);
-            }
-        }
-        self.stats.blocked += 1;
-        if any_route_capacity_blind {
-            Outcome::Blocked(BlockReason::Saturated)
-        } else {
-            Outcome::Blocked(BlockReason::NoRoute)
-        }
-    }
-
-    /// The O(deg) endpoint census behind the saturation guards: whether
-    /// `v` has any live (unblocked) link at all, and whether any live
-    /// link still has spare capacity. `(any_live, !any_free)` maps to
-    /// the [`BlockReason::Saturated`] / [`BlockReason::NoRoute`] split.
-    fn endpoint_link_census(&self, v: Vertex) -> (bool, bool) {
-        let mut any_live = false;
-        let mut any_free = false;
-        self.net.for_each_link(v, |_, id| {
-            if !self.link_live(id) {
-                return true;
-            }
-            any_live = true;
-            if self.usage[id as usize] < self.dilation {
-                any_free = true;
-                return false;
-            }
-            true
-        });
-        (any_live, any_free)
-    }
-
-    /// Distance-capped A\* on the cube metric. `h(v) = hamming(v, dst)`
-    /// is admissible and consistent on cube labelings (every hop moves
-    /// the Hamming distance by exactly ±1), so `f = g + h` is
-    /// nondecreasing along expansions and keeps its parity — a two-bucket
-    /// FIFO (`f` and `f + 2`) replaces a priority queue. Any neighbor of
-    /// `dst` has `h = 1`, so the first relaxation that touches `dst`
-    /// closes a shortest route and returns immediately.
-    fn search_astar_cube(&mut self, src: Vertex, dst: Vertex, max_len: u32) -> Outcome {
-        // Hot-spot guard: if every live link into `dst` is saturated no
-        // route can exist — reject in O(deg) instead of flooding.
-        let (any_live, any_free) = self.endpoint_link_census(dst);
-        let h0 = hamming_distance(src, dst);
-        if !any_free || h0 > max_len {
-            self.stats.blocked += 1;
-            let saturated = any_live && !any_free;
-            if P::ENABLED && saturated {
-                self.probe_reject_link = self.first_saturated_link(dst);
-            }
-            return Outcome::Blocked(if saturated {
-                BlockReason::Saturated
-            } else {
-                BlockReason::NoRoute
-            });
-        }
-        self.queue.clear();
-        self.queue_next.clear();
-        self.seen[src as usize] = self.epoch;
-        self.dist[src as usize] = 0;
-        self.queue.push_back((src as u32, 0));
-        let mut f = h0;
-        let mut capacity_skip = false;
-        let net = self.net;
-        loop {
-            let Some((x, g)) = self.queue.pop_front() else {
-                if self.queue_next.is_empty() || f + 2 > max_len {
-                    break;
-                }
-                f += 2;
-                std::mem::swap(&mut self.queue, &mut self.queue_next);
-                continue;
-            };
-            let xi = x as usize;
-            // Stale (since improved) or already expanded entries are
-            // skipped; first valid pop of a vertex has its optimal g.
-            if g != self.dist[xi] || self.done[xi] == self.epoch {
-                continue;
-            }
-            self.done[xi] = self.epoch;
-            if P::ENABLED {
-                self.probe_expanded += 1;
-            }
-            let mut found = false;
-            net.for_each_link(u64::from(x), |y, id| {
-                if !self.link_live(id) {
-                    return true;
-                }
-                if self.usage[id as usize] >= self.dilation {
-                    capacity_skip = true;
-                    if P::ENABLED && self.probe_reject_link.is_none() {
-                        self.probe_reject_link = Some(id);
-                    }
-                    return true;
-                }
-                if y == dst {
-                    // h(x) = 1, so this route has length f <= max_len and
-                    // no shorter one remains undiscovered.
-                    self.parent[y as usize] = x;
-                    self.parent_link[y as usize] = id;
-                    found = true;
-                    return false;
-                }
-                let g2 = g + 1;
-                let yi = y as usize;
-                if self.seen[yi] == self.epoch && g2 >= self.dist[yi] {
-                    return true;
-                }
-                let f2 = g2 + hamming_distance(y, dst);
-                if f2 > max_len {
-                    return true;
-                }
-                self.seen[yi] = self.epoch;
-                self.dist[yi] = g2;
-                self.parent[yi] = x;
-                self.parent_link[yi] = id;
-                if f2 == f {
-                    self.queue.push_back((y as u32, g2));
-                } else {
-                    debug_assert_eq!(f2, f + 2, "cube metric keeps f-parity");
-                    self.queue_next.push_back((y as u32, g2));
-                }
-                true
-            });
-            if P::ENABLED {
-                self.probe_frontier_peak = self
-                    .probe_frontier_peak
-                    .max((self.queue.len() + self.queue_next.len()) as u32);
-            }
-            if found {
-                return self.establish_found(src, dst);
-            }
-        }
-        self.stats.blocked += 1;
-        Outcome::Blocked(if capacity_skip {
-            BlockReason::Saturated
-        } else {
-            BlockReason::NoRoute
-        })
-    }
-
-    /// Bidirectional BFS: levels expand from whichever frontier is
-    /// smaller; a vertex discovered by both sides is a meeting candidate,
-    /// and once the combined expanded depth reaches the best candidate no
-    /// shorter route can exist. When either endpoint is walled in its
-    /// frontier empties immediately, so the saturated-hot-spot steady
-    /// state costs `O(deg)` instead of flooding the network.
-    fn search_bidirectional(&mut self, src: Vertex, dst: Vertex, max_len: u32) -> Outcome {
-        // Endpoint guards: a route needs a free link out of `src` and
-        // into `dst`; when either endpoint is walled in, reject in
-        // O(deg) with the same reason the full search would reach.
-        for &end in &[src, dst] {
-            let (any_live, any_free) = self.endpoint_link_census(end);
-            if !any_free {
-                self.stats.blocked += 1;
-                if P::ENABLED && any_live {
-                    self.probe_reject_link = self.first_saturated_link(end);
-                }
-                return Outcome::Blocked(if any_live {
-                    BlockReason::Saturated
-                } else {
-                    BlockReason::NoRoute
-                });
-            }
-        }
-        self.seen[src as usize] = self.epoch;
-        self.dist[src as usize] = 0;
-        self.seen_b[dst as usize] = self.epoch;
-        self.dist_b[dst as usize] = 0;
-        self.fr_f.clear();
-        self.fr_b.clear();
-        self.fr_f.push(src as u32);
-        self.fr_b.push(dst as u32);
-        let mut lvl_f = 0u32;
-        let mut lvl_b = 0u32;
-        let mut best = u32::MAX;
-        let mut meet = 0u32;
-        let mut capacity_skip = false;
-        let net = self.net;
-        loop {
-            let sum = lvl_f + lvl_b;
-            // Every route of length <= lvl_f + lvl_b has produced a
-            // meeting candidate by now, so `best <= sum` is optimal and
-            // `sum >= max_len` proves nothing shorter remains in bound.
-            if best <= sum || sum >= max_len {
-                break;
-            }
-            let forward = if self.fr_f.is_empty() {
-                if self.fr_b.is_empty() {
-                    break;
-                }
-                false
-            } else if self.fr_b.is_empty() {
-                true
-            } else {
-                self.fr_f.len() <= self.fr_b.len()
-            };
-            if forward {
-                self.fr_f_next.clear();
-                for i in 0..self.fr_f.len() {
-                    let x = self.fr_f[i];
-                    if P::ENABLED {
-                        self.probe_expanded += 1;
-                    }
-                    net.for_each_link(u64::from(x), |y, id| {
-                        if !self.link_live(id) {
-                            return true;
-                        }
-                        if self.usage[id as usize] >= self.dilation {
-                            capacity_skip = true;
-                            if P::ENABLED && self.probe_reject_link.is_none() {
-                                self.probe_reject_link = Some(id);
-                            }
-                            return true;
-                        }
-                        let yi = y as usize;
-                        if self.seen[yi] == self.epoch {
-                            return true;
-                        }
-                        self.seen[yi] = self.epoch;
-                        self.dist[yi] = lvl_f + 1;
-                        self.parent[yi] = x;
-                        self.parent_link[yi] = id;
-                        if self.seen_b[yi] == self.epoch {
-                            let total = lvl_f + 1 + self.dist_b[yi];
-                            if total < best {
-                                best = total;
-                                meet = y as u32;
-                            }
-                        }
-                        self.fr_f_next.push(y as u32);
-                        true
-                    });
-                }
-                lvl_f += 1;
-                std::mem::swap(&mut self.fr_f, &mut self.fr_f_next);
-                if P::ENABLED {
-                    self.probe_frontier_peak = self
-                        .probe_frontier_peak
-                        .max((self.fr_f.len() + self.fr_b.len()) as u32);
-                }
-            } else {
-                self.fr_b_next.clear();
-                for i in 0..self.fr_b.len() {
-                    let x = self.fr_b[i];
-                    if P::ENABLED {
-                        self.probe_expanded += 1;
-                    }
-                    net.for_each_link(u64::from(x), |y, id| {
-                        if !self.link_live(id) {
-                            return true;
-                        }
-                        if self.usage[id as usize] >= self.dilation {
-                            capacity_skip = true;
-                            if P::ENABLED && self.probe_reject_link.is_none() {
-                                self.probe_reject_link = Some(id);
-                            }
-                            return true;
-                        }
-                        let yi = y as usize;
-                        if self.seen_b[yi] == self.epoch {
-                            return true;
-                        }
-                        self.seen_b[yi] = self.epoch;
-                        self.dist_b[yi] = lvl_b + 1;
-                        self.parent_b[yi] = x;
-                        self.parent_link_b[yi] = id;
-                        if self.seen[yi] == self.epoch {
-                            let total = lvl_b + 1 + self.dist[yi];
-                            if total < best {
-                                best = total;
-                                meet = y as u32;
-                            }
-                        }
-                        self.fr_b_next.push(y as u32);
-                        true
-                    });
-                }
-                lvl_b += 1;
-                std::mem::swap(&mut self.fr_b, &mut self.fr_b_next);
-                if P::ENABLED {
-                    self.probe_frontier_peak = self
-                        .probe_frontier_peak
-                        .max((self.fr_f.len() + self.fr_b.len()) as u32);
-                }
-            }
-        }
-        if best <= max_len {
-            return self.establish_meeting(src, meet);
-        }
-        self.stats.blocked += 1;
-        Outcome::Blocked(if capacity_skip {
-            BlockReason::Saturated
-        } else {
-            BlockReason::NoRoute
-        })
-    }
-
-    /// Walks the parent chain from `dst` back to `src`, occupies the
-    /// links, and returns the established path.
-    fn establish_found(&mut self, src: Vertex, dst: Vertex) -> Outcome {
-        let mut path = vec![dst];
-        self.path_ids.clear();
-        let mut cur = dst as u32;
-        while u64::from(cur) != src {
-            self.path_ids.push(self.parent_link[cur as usize]);
-            cur = self.parent[cur as usize];
-            path.push(u64::from(cur));
-        }
-        path.reverse();
-        // A BFS path is simple, so each link appears once: capacity was
-        // already checked during the search and occupation cannot fail.
-        for i in 0..self.path_ids.len() {
-            let id = self.path_ids[i];
-            let occupied = self.try_occupy(id);
-            debug_assert!(occupied, "BFS admitted a saturated link");
-        }
-        self.commit(path.len() - 1);
-        Outcome::Established(path)
-    }
-
-    /// Splices the two halves of a bidirectional search at the meeting
-    /// vertex — the forward parent chain back to `src`, then the backward
-    /// parent chain down to `dst` (whose backward depth is 0) — occupies
-    /// the links, and returns the established path. The minimal meeting
-    /// candidate never revisits a vertex (a shared vertex would have been
-    /// a strictly smaller candidate recorded earlier), so the spliced
-    /// path is simple and occupation cannot fail.
-    fn establish_meeting(&mut self, src: Vertex, meet: u32) -> Outcome {
-        let mut path = Vec::new();
-        self.path_ids.clear();
-        let mut cur = meet;
-        while u64::from(cur) != src {
-            path.push(u64::from(cur));
-            self.path_ids.push(self.parent_link[cur as usize]);
-            cur = self.parent[cur as usize];
-        }
-        path.push(src);
-        path.reverse();
-        let mut cur = meet;
-        while self.dist_b[cur as usize] != 0 {
-            self.path_ids.push(self.parent_link_b[cur as usize]);
-            cur = self.parent_b[cur as usize];
-            path.push(u64::from(cur));
-        }
-        for i in 0..self.path_ids.len() {
-            let id = self.path_ids[i];
-            let occupied = self.try_occupy(id);
-            debug_assert!(occupied, "bidirectional BFS admitted a saturated link");
-        }
-        self.commit(path.len() - 1);
-        Outcome::Established(path)
     }
 
     /// Accumulated statistics (folds in the open round).
@@ -1471,25 +1010,214 @@ impl<'a, T: NetTopology, P: EngineProbe> Engine<'a, T, P> {
         std::mem::take(&mut self.stats)
     }
 
-    /// Current per-link usage snapshot (normalized edge → circuits),
-    /// reconstructed from the flat occupancy vector by walking the
-    /// topology (works identically over frozen-table and implicit
-    /// indexes). Diagnostic / cross-check API — not on the hot path.
-    #[must_use]
-    pub fn usage_snapshot(&self) -> HashMap<(Vertex, Vertex), u32> {
-        let mut map = HashMap::new();
+    /// Visits every link with nonzero occupancy as a normalized
+    /// `(u, v, circuits)` triple (`u < v`, ascending `u`), read straight
+    /// off the flat occupancy vector — the borrowed counterpart of
+    /// [`usage_snapshot`](Self::usage_snapshot) for assertion loops that
+    /// don't want an owned map rebuilt per call.
+    pub fn for_each_usage(&self, mut f: impl FnMut(Vertex, Vertex, u32)) {
         for u in 0..self.index.num_vertices() {
             self.net.for_each_link(u, |v, id| {
                 if v > u {
                     let load = self.usage[id as usize];
                     if load > 0 {
-                        map.insert((u, v), load);
+                        f(u, v, load);
                     }
                 }
                 true
             });
         }
+    }
+
+    /// Current per-link usage snapshot (normalized edge → circuits),
+    /// reconstructed from the flat occupancy vector by walking the
+    /// topology (works identically over frozen-table and implicit
+    /// indexes). Diagnostic / cross-check API — not on the hot path;
+    /// callers that only iterate should prefer the borrowed
+    /// [`for_each_usage`](Self::for_each_usage).
+    #[must_use]
+    pub fn usage_snapshot(&self) -> HashMap<(Vertex, Vertex), u32> {
+        let mut map = HashMap::new();
+        self.for_each_usage(|u, v, load| {
+            map.insert((u, v), load);
+        });
         map
+    }
+
+    /// **Propose phase** of batched admission: routes `req` against the
+    /// committed occupancy/fault state exactly as
+    /// [`request`](Self::request) would (same auto-dispatched search,
+    /// same block reasons) but **commits nothing** — no occupancy, no
+    /// stats, no probe events. Takes `&self` plus caller-owned
+    /// [`SearchScratch`], so any number of propose calls may run
+    /// concurrently on worker threads against one shared engine
+    /// reference; the result is a pure function of `(committed state,
+    /// request)`, independent of thread schedule.
+    ///
+    /// # Panics
+    /// Panics if called outside a round, if `req.src == req.dst`, or if
+    /// either endpoint is out of range (as [`request`](Self::request)).
+    #[must_use]
+    pub fn propose(&self, scratch: &mut SearchScratch, req: &BatchRequest) -> Proposal {
+        assert!(self.round_open, "begin_round first");
+        assert_ne!(req.src, req.dst, "self-circuit");
+        let n = self.index.num_vertices();
+        assert!(
+            req.src < n && req.dst < n,
+            "request endpoints ({}, {}) out of range for {n} vertices",
+            req.src,
+            req.dst
+        );
+        let search = if self.use_cube_metric {
+            RouteSearch::AStarCube
+        } else {
+            RouteSearch::Bidirectional
+        };
+        let view = RouteView {
+            net: self.net,
+            usage: &self.usage,
+            dilation: self.dilation,
+            dyn_dead: &self.dyn_dead,
+            dyn_faults: self.dyn_faults,
+        };
+        let result = search_route::<T, P>(&view, scratch, search, req.src, req.dst, req.max_len);
+        let (route, reason) = match result {
+            SearchOutcome::Found(path) => (Some((path, scratch.path_ids.clone())), None),
+            SearchOutcome::Blocked(reason) => (None, Some(reason)),
+        };
+        Proposal {
+            src: req.src,
+            dst: req.dst,
+            route,
+            reason,
+            search,
+            expanded: scratch.expanded,
+            frontier_peak: scratch.frontier_peak,
+            reject_link: scratch.reject_link,
+        }
+    }
+
+    /// **Commit phase** of batched admission. Must be called serially,
+    /// in request sequence order, for every proposal of a wave:
+    ///
+    /// * a proposal blocked at propose time is accounted (stats + probe)
+    ///   exactly like a serial blocked [`request`](Self::request) — the
+    ///   block is final because capacity only shrinks within a round;
+    /// * a routed proposal whose links all still have capacity occupies
+    ///   them and is accounted exactly like a serial admission;
+    /// * a routed proposal that lost capacity to an earlier-sequenced
+    ///   commit rolls back cleanly, fires
+    ///   [`on_batch_conflict`](EngineProbe::on_batch_conflict) (stamped
+    ///   with `wave`), and returns [`CommitOutcome::Conflict`] — the
+    ///   request stays pending and re-proposes next wave.
+    ///
+    /// # Panics
+    /// Panics if called outside a round.
+    pub fn commit_proposal(&mut self, wave: u32, prop: &Proposal) -> CommitOutcome {
+        assert!(self.round_open, "begin_round first");
+        let Some((path, links)) = &prop.route else {
+            let reason = prop
+                .reason
+                .clone()
+                .expect("unrouted proposal carries a block reason");
+            self.stats.blocked += 1;
+            if P::ENABLED {
+                self.emit_proposal(prop, None);
+            }
+            return CommitOutcome::Blocked(reason);
+        };
+        // Tentatively occupy in route order; an earlier commit this
+        // round may have saturated any link, so occupation can fail
+        // here (unlike serial admission, where the search just checked).
+        let mut blocked_at = None;
+        for (k, &id) in links.iter().enumerate() {
+            if !self.try_occupy(id) {
+                blocked_at = Some(k);
+                break;
+            }
+        }
+        if let Some(k) = blocked_at {
+            for &id in &links[..k] {
+                self.usage[id as usize] -= 1;
+            }
+            if P::ENABLED {
+                self.probe.on_batch_conflict(wave, prop.src, prop.dst);
+            }
+            return CommitOutcome::Conflict;
+        }
+        for &id in links {
+            self.round_peak = self.round_peak.max(self.usage[id as usize]);
+        }
+        let hops = path.len() - 1;
+        debug_assert_eq!(hops, links.len());
+        self.stats.established += 1;
+        self.stats.total_hops += hops;
+        self.round_max_hops = self.round_max_hops.max(hops as u64);
+        let hops = u32::try_from(hops).expect("route length fits u32");
+        if P::ENABLED {
+            self.emit_proposal(prop, Some(hops));
+        }
+        CommitOutcome::Established { hops }
+    }
+
+    /// [`commit_proposal`](Self::commit_proposal) for **flow** requests:
+    /// an established commit additionally promotes the route into the
+    /// held base load and returns the generation-checked handle, with
+    /// stats and probe events identical to a serial
+    /// [`request_flow`](Self::request_flow) admission.
+    ///
+    /// # Panics
+    /// Panics if called outside a round.
+    pub fn commit_proposal_flow(&mut self, wave: u32, prop: &Proposal) -> FlowCommitOutcome {
+        match self.commit_proposal(wave, prop) {
+            CommitOutcome::Conflict => FlowCommitOutcome::Conflict,
+            CommitOutcome::Blocked(reason) => FlowCommitOutcome::Blocked(reason),
+            CommitOutcome::Established { hops } => {
+                let links = prop
+                    .route
+                    .as_ref()
+                    .expect("established proposal has a route")
+                    .1
+                    .clone();
+                let (flow, _) = self.open_flow(FlowRecord {
+                    links,
+                    src: prop.src,
+                    dst: prop.dst,
+                });
+                if P::ENABLED {
+                    self.probe.on_flow_established(flow.slot, hops);
+                }
+                FlowCommitOutcome::Established { flow, hops }
+            }
+        }
+    }
+
+    /// Builds and fires the [`RequestProbe`] for one concluded batched
+    /// commit — the proposal carries the search-effort counters its
+    /// propose-phase scratch recorded, so the emitted event is
+    /// byte-identical to the serial engine's (only reached when
+    /// `P::ENABLED`).
+    fn emit_proposal(&mut self, prop: &Proposal, hops: Option<u32>) {
+        let reason = if hops.is_some() {
+            None
+        } else {
+            prop.reason.as_ref()
+        };
+        let req = RequestProbe {
+            src: prop.src,
+            dst: prop.dst,
+            hops,
+            reason,
+            // Attribution only makes sense when the request was denied.
+            rejecting_link: reason.and(prop.reject_link),
+            search: Some(SearchStats {
+                strategy: prop.search,
+                nodes_expanded: prop.expanded,
+                frontier_peak: prop.frontier_peak,
+            }),
+        };
+        // analyze:allow(probe_ungated): helper invoked from gated sites only — both commit callers sit under `if P::ENABLED`
+        self.probe.on_request(&req);
     }
 }
 

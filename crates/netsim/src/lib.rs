@@ -22,6 +22,13 @@
 //!   mid-run dilation shifts, and **flows** — circuits held across
 //!   rounds ([`Engine::request_flow`] / [`Engine::release_flow`]), the
 //!   substrate of the `shc-runtime` service layer.
+//! * [`router`] — the three route searches as pure functions over a
+//!   read-only state view with caller-owned epoch-stamped
+//!   [`SearchScratch`] — the seam both serial admission and the batch
+//!   propose phase route through.
+//! * [`batch`] — propose-then-commit batched admission: parallel
+//!   routing against committed state, serial conflict-resolving commits
+//!   in request sequence order, deterministic at any worker count.
 //! * [`traffic`] — schedule replay, competing broadcasts, permutations.
 //! * [`probe`] — zero-cost [`EngineProbe`] hooks: per-decision admission,
 //!   flow-lifecycle, and search-effort events for the `shc-runtime`
@@ -48,15 +55,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod engine;
 pub mod links;
 pub mod probe;
+pub mod router;
 pub mod topology;
 pub mod traffic;
 
+pub use batch::{BatchOutcome, BatchRequest, CommitOutcome, FlowCommitOutcome, Proposal};
 pub use engine::{
     BlockReason, Engine, FlowId, FlowOutcome, Outcome, RerouteOutcome, RouteSearch, SimStats,
 };
+pub use router::SearchScratch;
 pub use links::{CubeLinks, LinkId, LinkIndex, LinkIndexError, LinkTable};
 pub use probe::{EngineProbe, NoProbe, RequestProbe, SearchStats};
 pub use topology::{FaultedNet, ImplicitCubeNet, MaterializedNet, NetTopology};

@@ -104,6 +104,16 @@ pub trait EngineProbe {
     fn on_flow_rerouted(&mut self, flow: u32, old_hops: u32, new_hops: u32) {
         let _ = (flow, old_hops, new_hops);
     }
+
+    /// Batched admission only: the proposal for `src → dst` lost a
+    /// link-capacity conflict against an earlier-sequenced commit in
+    /// re-route wave `wave` (0 is the initial propose pass). The request
+    /// is **not** concluded — it re-routes in the next wave — so this
+    /// event changes no request/established/blocked tally; a concluding
+    /// [`on_request`](Self::on_request) always follows in a later wave.
+    fn on_batch_conflict(&mut self, wave: u32, src: Vertex, dst: Vertex) {
+        let _ = (wave, src, dst);
+    }
 }
 
 /// The default, absent probe: `ENABLED = false` erases every

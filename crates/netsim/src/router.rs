@@ -1,0 +1,643 @@
+//! The route searches, factored out of [`Engine`](crate::Engine) so they
+//! can run against a **read-only view** of the occupancy/fault state with
+//! **externally owned scratch**.
+//!
+//! This split is what makes propose-then-commit batched admission
+//! (`crate::batch`) possible: N worker threads each hold their own
+//! [`SearchScratch`] and route concurrently against one shared
+//! [`RouteView`] snapshot, while the serial engine keeps one scratch
+//! inline and behaves byte-for-byte as before the extraction. A search
+//! here is a *pure function* of `(view, request)` — it never occupies
+//! links, never touches statistics, and never fires a probe; the caller
+//! (serial admission or the batch commit phase) owns those effects.
+//!
+//! All three [`RouteSearch`] strategies live here, exploration order
+//! preserved verbatim from the pre-extraction engine, including the
+//! epoch-stamped scratch discipline (stamp arrays are never cleared in
+//! steady state; the epoch wraps safely by zero-filling).
+
+use crate::engine::{BlockReason, RouteSearch};
+use crate::links::LinkId;
+use crate::probe::EngineProbe;
+use crate::topology::{NetTopology, Vertex};
+use shc_graph::cube::hamming_distance;
+use std::collections::VecDeque;
+
+/// Per-thread, epoch-stamped search state: visited/parent/distance arrays
+/// (one set per frontier direction), the ring queues and frontier vectors,
+/// the link ids of the last found route, and the probe counters of the
+/// last search. One instance serves any number of sequential searches
+/// without allocating in steady state; concurrent searches each need
+/// their own instance (the batch layer keeps one per worker).
+pub struct SearchScratch {
+    /// Forward visited stamp per vertex (`== epoch` means seen).
+    seen: Vec<u32>,
+    /// Forward predecessor vertex per vertex.
+    parent: Vec<u32>,
+    /// Link id used to reach each vertex (forward).
+    parent_link: Vec<LinkId>,
+    /// Forward depth / A* g-value per vertex.
+    dist: Vec<u32>,
+    /// A* closed stamp per vertex (`== epoch` means expanded).
+    done: Vec<u32>,
+    /// Backward visited stamp per vertex (bidirectional BFS).
+    seen_b: Vec<u32>,
+    /// Backward predecessor vertex per vertex.
+    parent_b: Vec<u32>,
+    /// Link id used to reach each vertex (backward).
+    parent_link_b: Vec<LinkId>,
+    /// Backward depth per vertex.
+    dist_b: Vec<u32>,
+    /// Current search epoch (bumped per request by
+    /// [`begin_request`](Self::begin_request)).
+    epoch: u32,
+    /// Unidirectional BFS ring queue of `(vertex, depth)`; also the A*
+    /// bucket for the current f-value, as `(vertex, g)`.
+    queue: VecDeque<(u32, u32)>,
+    /// A* bucket for f + 2 (f-parity is invariant on cube labelings, so
+    /// exactly two buckets are ever live).
+    queue_next: VecDeque<(u32, u32)>,
+    /// Bidirectional frontiers (current/next × forward/backward).
+    fr_f: Vec<u32>,
+    fr_f_next: Vec<u32>,
+    fr_b: Vec<u32>,
+    fr_b_next: Vec<u32>,
+    /// Link ids of the route found by the last successful search, in the
+    /// order the path reconstruction walked them.
+    pub(crate) path_ids: Vec<LinkId>,
+    /// Probe counter: vertices expanded by the last search.
+    pub(crate) expanded: u32,
+    /// Probe counter: peak frontier size of the last search.
+    pub(crate) frontier_peak: u32,
+    /// Probe attribution: first link skipped for capacity, if any.
+    pub(crate) reject_link: Option<LinkId>,
+}
+
+impl SearchScratch {
+    /// Creates scratch sized for a topology with `num_vertices` vertices
+    /// (as reported by the engine's link index).
+    ///
+    /// # Panics
+    /// Panics if the vertex count does not fit `usize`.
+    #[must_use]
+    pub fn new(num_vertices: u64) -> Self {
+        let n = usize::try_from(num_vertices).expect("vertex count fits usize");
+        Self {
+            seen: vec![0; n],
+            parent: vec![0; n],
+            parent_link: vec![0; n],
+            dist: vec![0; n],
+            done: vec![0; n],
+            seen_b: vec![0; n],
+            parent_b: vec![0; n],
+            parent_link_b: vec![0; n],
+            dist_b: vec![0; n],
+            epoch: 0,
+            queue: VecDeque::new(),
+            queue_next: VecDeque::new(),
+            fr_f: Vec::new(),
+            fr_f_next: Vec::new(),
+            fr_b: Vec::new(),
+            fr_b_next: Vec::new(),
+            path_ids: Vec::new(),
+            expanded: 0,
+            frontier_peak: 0,
+            reject_link: None,
+        }
+    }
+
+    /// Opens a new search: bumps the epoch (zero-filling the stamp arrays
+    /// on wraparound, the only non-O(1) path) and resets the per-request
+    /// probe counters.
+    pub(crate) fn begin_request(&mut self) {
+        if self.epoch == u32::MAX {
+            self.seen.fill(0);
+            self.seen_b.fill(0);
+            self.done.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.expanded = 0;
+        self.frontier_peak = 0;
+        self.reject_link = None;
+    }
+}
+
+/// A read-only snapshot of everything a search consults: the topology,
+/// the flat per-link occupancy, the capacity, and the dynamic fault
+/// overlay. Borrowing (never copying) the engine's state keeps a view
+/// free to construct per request — and lets many views alias one engine
+/// concurrently during a batch propose phase.
+pub(crate) struct RouteView<'v, T: NetTopology> {
+    pub net: &'v T,
+    pub usage: &'v [u32],
+    pub dilation: u32,
+    pub dyn_dead: &'v [u64],
+    pub dyn_faults: usize,
+}
+
+impl<T: NetTopology> RouteView<'_, T> {
+    /// Whether `id` is usable for routing right now: admitted by the
+    /// topology's own damage overlay **and** not failed in the dynamic
+    /// overlay (the `dyn_faults == 0` fast path keeps churn-free runs at
+    /// exactly the static-overlay cost).
+    #[inline]
+    pub fn link_live(&self, id: LinkId) -> bool {
+        if self.net.link_blocked(id) {
+            return false;
+        }
+        if self.dyn_faults == 0 {
+            return true;
+        }
+        self.dyn_dead[(id >> 6) as usize] & (1u64 << (id & 63)) == 0
+    }
+
+    /// The O(deg) endpoint census behind the saturation guards: whether
+    /// `v` has any live (unblocked) link at all, and whether any live
+    /// link still has spare capacity. `(any_live, !any_free)` maps to
+    /// the [`BlockReason::Saturated`] / [`BlockReason::NoRoute`] split.
+    pub fn endpoint_link_census(&self, v: Vertex) -> (bool, bool) {
+        let mut any_live = false;
+        let mut any_free = false;
+        self.net.for_each_link(v, |_, id| {
+            if !self.link_live(id) {
+                return true;
+            }
+            any_live = true;
+            if self.usage[id as usize] < self.dilation {
+                any_free = true;
+                return false;
+            }
+            true
+        });
+        (any_live, any_free)
+    }
+
+    /// First live-but-saturated link at `v` — probe attribution for the
+    /// `O(deg)` endpoint-guard rejections, which otherwise never name a
+    /// link. Only called with a probe attached.
+    pub fn first_saturated_link(&self, v: Vertex) -> Option<LinkId> {
+        let mut hit = None;
+        self.net.for_each_link(v, |_, id| {
+            if self.link_live(id) && self.usage[id as usize] >= self.dilation {
+                hit = Some(id);
+                return false;
+            }
+            true
+        });
+        hit
+    }
+}
+
+/// What a search concluded. On `Found` the route's link ids were left in
+/// `scratch.path_ids` (reconstruction order) — **nothing was occupied**;
+/// the caller validates capacity again when it commits.
+pub(crate) enum SearchOutcome {
+    /// A shortest available route; vertices in path order.
+    Found(Vec<Vertex>),
+    /// No route under the current occupancy, with the reason the serial
+    /// engine would have reported.
+    Blocked(BlockReason),
+}
+
+/// Runs one search strategy against `view` using `scratch`, after
+/// opening a fresh request epoch. The phantom probe parameter `P` gates
+/// the effort counters exactly as in the serial engine: with
+/// `P::ENABLED == false` every counter update compiles out.
+///
+/// # Panics
+/// Panics if [`RouteSearch::AStarCube`] is requested on a topology that
+/// is not [`NetTopology::cube_labeled`] (same contract as the engine).
+pub(crate) fn search_route<T: NetTopology, P: EngineProbe>(
+    view: &RouteView<'_, T>,
+    scratch: &mut SearchScratch,
+    search: RouteSearch,
+    src: Vertex,
+    dst: Vertex,
+    max_len: u32,
+) -> SearchOutcome {
+    scratch.begin_request();
+    match search {
+        RouteSearch::Unidirectional => search_unidirectional::<T, P>(view, scratch, src, dst, max_len),
+        RouteSearch::Bidirectional => search_bidirectional::<T, P>(view, scratch, src, dst, max_len),
+        RouteSearch::AStarCube => {
+            assert!(
+                view.net.cube_labeled(),
+                "A* cube-metric search on a topology without cube labels"
+            );
+            search_astar_cube::<T, P>(view, scratch, src, dst, max_len)
+        }
+    }
+}
+
+/// The legacy single-frontier BFS (pre-PR-4 `request`; exploration
+/// order and block reasons kept verbatim, now walking neighbors
+/// through the allocation-free `for_each_link`).
+fn search_unidirectional<T: NetTopology, P: EngineProbe>(
+    view: &RouteView<'_, T>,
+    scratch: &mut SearchScratch,
+    src: Vertex,
+    dst: Vertex,
+    max_len: u32,
+) -> SearchOutcome {
+    scratch.queue.clear();
+    scratch.seen[src as usize] = scratch.epoch;
+    scratch.queue.push_back((src as u32, 0));
+    let mut any_route_capacity_blind = false;
+    let net = view.net;
+    while let Some((x, d)) = scratch.queue.pop_front() {
+        if d == max_len {
+            continue;
+        }
+        if P::ENABLED {
+            scratch.expanded += 1;
+        }
+        let mut found = false;
+        let epoch = scratch.epoch;
+        let seen = &mut scratch.seen;
+        let parent = &mut scratch.parent;
+        let parent_link = &mut scratch.parent_link;
+        let queue = &mut scratch.queue;
+        let reject_link = &mut scratch.reject_link;
+        net.for_each_link(u64::from(x), |y, id| {
+            if !view.link_live(id) {
+                return true;
+            }
+            if y == dst {
+                any_route_capacity_blind = true;
+            }
+            let yi = y as usize;
+            if seen[yi] == epoch {
+                return true;
+            }
+            if view.usage[id as usize] >= view.dilation {
+                if P::ENABLED && reject_link.is_none() {
+                    *reject_link = Some(id);
+                }
+                return true;
+            }
+            seen[yi] = epoch;
+            parent[yi] = x;
+            parent_link[yi] = id;
+            if y == dst {
+                found = true;
+                return false;
+            }
+            queue.push_back((y as u32, d + 1));
+            true
+        });
+        if P::ENABLED {
+            scratch.frontier_peak = scratch.frontier_peak.max(scratch.queue.len() as u32);
+        }
+        if found {
+            return reconstruct_found(scratch, src, dst);
+        }
+    }
+    if any_route_capacity_blind {
+        SearchOutcome::Blocked(BlockReason::Saturated)
+    } else {
+        SearchOutcome::Blocked(BlockReason::NoRoute)
+    }
+}
+
+/// Distance-capped A\* on the cube metric. `h(v) = hamming(v, dst)`
+/// is admissible and consistent on cube labelings (every hop moves
+/// the Hamming distance by exactly ±1), so `f = g + h` is
+/// nondecreasing along expansions and keeps its parity — a two-bucket
+/// FIFO (`f` and `f + 2`) replaces a priority queue. Any neighbor of
+/// `dst` has `h = 1`, so the first relaxation that touches `dst`
+/// closes a shortest route and returns immediately.
+fn search_astar_cube<T: NetTopology, P: EngineProbe>(
+    view: &RouteView<'_, T>,
+    scratch: &mut SearchScratch,
+    src: Vertex,
+    dst: Vertex,
+    max_len: u32,
+) -> SearchOutcome {
+    // Hot-spot guard: if every live link into `dst` is saturated no
+    // route can exist — reject in O(deg) instead of flooding.
+    let (any_live, any_free) = view.endpoint_link_census(dst);
+    let h0 = hamming_distance(src, dst);
+    if !any_free || h0 > max_len {
+        let saturated = any_live && !any_free;
+        if P::ENABLED && saturated {
+            scratch.reject_link = view.first_saturated_link(dst);
+        }
+        return SearchOutcome::Blocked(if saturated {
+            BlockReason::Saturated
+        } else {
+            BlockReason::NoRoute
+        });
+    }
+    scratch.queue.clear();
+    scratch.queue_next.clear();
+    scratch.seen[src as usize] = scratch.epoch;
+    scratch.dist[src as usize] = 0;
+    scratch.queue.push_back((src as u32, 0));
+    let mut f = h0;
+    let mut capacity_skip = false;
+    let net = view.net;
+    loop {
+        let Some((x, g)) = scratch.queue.pop_front() else {
+            if scratch.queue_next.is_empty() || f + 2 > max_len {
+                break;
+            }
+            f += 2;
+            std::mem::swap(&mut scratch.queue, &mut scratch.queue_next);
+            continue;
+        };
+        let xi = x as usize;
+        // Stale (since improved) or already expanded entries are
+        // skipped; first valid pop of a vertex has its optimal g.
+        if g != scratch.dist[xi] || scratch.done[xi] == scratch.epoch {
+            continue;
+        }
+        scratch.done[xi] = scratch.epoch;
+        if P::ENABLED {
+            scratch.expanded += 1;
+        }
+        let mut found = false;
+        let epoch = scratch.epoch;
+        let seen = &mut scratch.seen;
+        let dist = &mut scratch.dist;
+        let parent = &mut scratch.parent;
+        let parent_link = &mut scratch.parent_link;
+        let queue = &mut scratch.queue;
+        let queue_next = &mut scratch.queue_next;
+        let reject_link = &mut scratch.reject_link;
+        net.for_each_link(u64::from(x), |y, id| {
+            if !view.link_live(id) {
+                return true;
+            }
+            if view.usage[id as usize] >= view.dilation {
+                capacity_skip = true;
+                if P::ENABLED && reject_link.is_none() {
+                    *reject_link = Some(id);
+                }
+                return true;
+            }
+            if y == dst {
+                // h(x) = 1, so this route has length f <= max_len and
+                // no shorter one remains undiscovered.
+                parent[y as usize] = x;
+                parent_link[y as usize] = id;
+                found = true;
+                return false;
+            }
+            let g2 = g + 1;
+            let yi = y as usize;
+            if seen[yi] == epoch && g2 >= dist[yi] {
+                return true;
+            }
+            let f2 = g2 + hamming_distance(y, dst);
+            if f2 > max_len {
+                return true;
+            }
+            seen[yi] = epoch;
+            dist[yi] = g2;
+            parent[yi] = x;
+            parent_link[yi] = id;
+            if f2 == f {
+                queue.push_back((y as u32, g2));
+            } else {
+                debug_assert_eq!(f2, f + 2, "cube metric keeps f-parity");
+                queue_next.push_back((y as u32, g2));
+            }
+            true
+        });
+        if P::ENABLED {
+            scratch.frontier_peak = scratch
+                .frontier_peak
+                .max((scratch.queue.len() + scratch.queue_next.len()) as u32);
+        }
+        if found {
+            return reconstruct_found(scratch, src, dst);
+        }
+    }
+    SearchOutcome::Blocked(if capacity_skip {
+        BlockReason::Saturated
+    } else {
+        BlockReason::NoRoute
+    })
+}
+
+/// Bidirectional BFS: levels expand from whichever frontier is
+/// smaller; a vertex discovered by both sides is a meeting candidate,
+/// and once the combined expanded depth reaches the best candidate no
+/// shorter route can exist. When either endpoint is walled in its
+/// frontier empties immediately, so the saturated-hot-spot steady
+/// state costs `O(deg)` instead of flooding the network.
+fn search_bidirectional<T: NetTopology, P: EngineProbe>(
+    view: &RouteView<'_, T>,
+    scratch: &mut SearchScratch,
+    src: Vertex,
+    dst: Vertex,
+    max_len: u32,
+) -> SearchOutcome {
+    // Endpoint guards: a route needs a free link out of `src` and
+    // into `dst`; when either endpoint is walled in, reject in
+    // O(deg) with the same reason the full search would reach.
+    for &end in &[src, dst] {
+        let (any_live, any_free) = view.endpoint_link_census(end);
+        if !any_free {
+            if P::ENABLED && any_live {
+                scratch.reject_link = view.first_saturated_link(end);
+            }
+            return SearchOutcome::Blocked(if any_live {
+                BlockReason::Saturated
+            } else {
+                BlockReason::NoRoute
+            });
+        }
+    }
+    scratch.seen[src as usize] = scratch.epoch;
+    scratch.dist[src as usize] = 0;
+    scratch.seen_b[dst as usize] = scratch.epoch;
+    scratch.dist_b[dst as usize] = 0;
+    scratch.fr_f.clear();
+    scratch.fr_b.clear();
+    scratch.fr_f.push(src as u32);
+    scratch.fr_b.push(dst as u32);
+    let mut lvl_f = 0u32;
+    let mut lvl_b = 0u32;
+    let mut best = u32::MAX;
+    let mut meet = 0u32;
+    let mut capacity_skip = false;
+    let net = view.net;
+    loop {
+        let sum = lvl_f + lvl_b;
+        // Every route of length <= lvl_f + lvl_b has produced a
+        // meeting candidate by now, so `best <= sum` is optimal and
+        // `sum >= max_len` proves nothing shorter remains in bound.
+        if best <= sum || sum >= max_len {
+            break;
+        }
+        let forward = if scratch.fr_f.is_empty() {
+            if scratch.fr_b.is_empty() {
+                break;
+            }
+            false
+        } else if scratch.fr_b.is_empty() {
+            true
+        } else {
+            scratch.fr_f.len() <= scratch.fr_b.len()
+        };
+        if forward {
+            scratch.fr_f_next.clear();
+            for i in 0..scratch.fr_f.len() {
+                let x = scratch.fr_f[i];
+                if P::ENABLED {
+                    scratch.expanded += 1;
+                }
+                let epoch = scratch.epoch;
+                let seen = &mut scratch.seen;
+                let dist = &mut scratch.dist;
+                let parent = &mut scratch.parent;
+                let parent_link = &mut scratch.parent_link;
+                let seen_b = &scratch.seen_b;
+                let dist_b = &scratch.dist_b;
+                let fr_f_next = &mut scratch.fr_f_next;
+                let reject_link = &mut scratch.reject_link;
+                net.for_each_link(u64::from(x), |y, id| {
+                    if !view.link_live(id) {
+                        return true;
+                    }
+                    if view.usage[id as usize] >= view.dilation {
+                        capacity_skip = true;
+                        if P::ENABLED && reject_link.is_none() {
+                            *reject_link = Some(id);
+                        }
+                        return true;
+                    }
+                    let yi = y as usize;
+                    if seen[yi] == epoch {
+                        return true;
+                    }
+                    seen[yi] = epoch;
+                    dist[yi] = lvl_f + 1;
+                    parent[yi] = x;
+                    parent_link[yi] = id;
+                    if seen_b[yi] == epoch {
+                        let total = lvl_f + 1 + dist_b[yi];
+                        if total < best {
+                            best = total;
+                            meet = y as u32;
+                        }
+                    }
+                    fr_f_next.push(y as u32);
+                    true
+                });
+            }
+            lvl_f += 1;
+            std::mem::swap(&mut scratch.fr_f, &mut scratch.fr_f_next);
+            if P::ENABLED {
+                scratch.frontier_peak = scratch
+                    .frontier_peak
+                    .max((scratch.fr_f.len() + scratch.fr_b.len()) as u32);
+            }
+        } else {
+            scratch.fr_b_next.clear();
+            for i in 0..scratch.fr_b.len() {
+                let x = scratch.fr_b[i];
+                if P::ENABLED {
+                    scratch.expanded += 1;
+                }
+                let epoch = scratch.epoch;
+                let seen = &scratch.seen;
+                let dist = &scratch.dist;
+                let seen_b = &mut scratch.seen_b;
+                let dist_b = &mut scratch.dist_b;
+                let parent_b = &mut scratch.parent_b;
+                let parent_link_b = &mut scratch.parent_link_b;
+                let fr_b_next = &mut scratch.fr_b_next;
+                let reject_link = &mut scratch.reject_link;
+                net.for_each_link(u64::from(x), |y, id| {
+                    if !view.link_live(id) {
+                        return true;
+                    }
+                    if view.usage[id as usize] >= view.dilation {
+                        capacity_skip = true;
+                        if P::ENABLED && reject_link.is_none() {
+                            *reject_link = Some(id);
+                        }
+                        return true;
+                    }
+                    let yi = y as usize;
+                    if seen_b[yi] == epoch {
+                        return true;
+                    }
+                    seen_b[yi] = epoch;
+                    dist_b[yi] = lvl_b + 1;
+                    parent_b[yi] = x;
+                    parent_link_b[yi] = id;
+                    if seen[yi] == epoch {
+                        let total = lvl_b + 1 + dist[yi];
+                        if total < best {
+                            best = total;
+                            meet = y as u32;
+                        }
+                    }
+                    fr_b_next.push(y as u32);
+                    true
+                });
+            }
+            lvl_b += 1;
+            std::mem::swap(&mut scratch.fr_b, &mut scratch.fr_b_next);
+            if P::ENABLED {
+                scratch.frontier_peak = scratch
+                    .frontier_peak
+                    .max((scratch.fr_f.len() + scratch.fr_b.len()) as u32);
+            }
+        }
+    }
+    if best <= max_len {
+        return reconstruct_meeting(scratch, src, meet);
+    }
+    SearchOutcome::Blocked(if capacity_skip {
+        BlockReason::Saturated
+    } else {
+        BlockReason::NoRoute
+    })
+}
+
+/// Walks the parent chain from `dst` back to `src`, leaves the route's
+/// link ids in `scratch.path_ids`, and returns the path — without
+/// occupying anything (that is the caller's commit step).
+fn reconstruct_found(scratch: &mut SearchScratch, src: Vertex, dst: Vertex) -> SearchOutcome {
+    let mut path = vec![dst];
+    scratch.path_ids.clear();
+    let mut cur = dst as u32;
+    while u64::from(cur) != src {
+        scratch.path_ids.push(scratch.parent_link[cur as usize]);
+        cur = scratch.parent[cur as usize];
+        path.push(u64::from(cur));
+    }
+    path.reverse();
+    SearchOutcome::Found(path)
+}
+
+/// Splices the two halves of a bidirectional search at the meeting
+/// vertex — the forward parent chain back to `src`, then the backward
+/// parent chain down to `dst` (whose backward depth is 0) — leaving the
+/// link ids in `scratch.path_ids`. The minimal meeting candidate never
+/// revisits a vertex (a shared vertex would have been a strictly smaller
+/// candidate recorded earlier), so the spliced path is simple.
+fn reconstruct_meeting(scratch: &mut SearchScratch, src: Vertex, meet: u32) -> SearchOutcome {
+    let mut path = Vec::new();
+    scratch.path_ids.clear();
+    let mut cur = meet;
+    while u64::from(cur) != src {
+        path.push(u64::from(cur));
+        scratch.path_ids.push(scratch.parent_link[cur as usize]);
+        cur = scratch.parent[cur as usize];
+    }
+    path.push(src);
+    path.reverse();
+    let mut cur = meet;
+    while scratch.dist_b[cur as usize] != 0 {
+        scratch.path_ids.push(scratch.parent_link_b[cur as usize]);
+        cur = scratch.parent_b[cur as usize];
+        path.push(u64::from(cur));
+    }
+    SearchOutcome::Found(path)
+}

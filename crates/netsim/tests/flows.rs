@@ -6,13 +6,22 @@
 use proptest::prelude::*;
 use shc_graph::builders::hypercube;
 use shc_graph::AdjGraph;
-use shc_netsim::{Engine, FlowId, FlowOutcome, MaterializedNet, NetTopology, Outcome};
+use shc_netsim::{Engine, EngineProbe, FlowId, FlowOutcome, MaterializedNet, NetTopology, Outcome};
 
 const DIM: u32 = 4;
 const MAX_LEN: u32 = 10;
 
 fn net() -> MaterializedNet<AdjGraph> {
     MaterializedNet::new(hypercube(DIM))
+}
+
+/// Occupied links as ordered `(u, v, load)` triples via the borrowed
+/// `for_each_usage` visitor — the topology walk is deterministic, so two
+/// engines over the same net compare as plain vectors.
+fn usage_vec<T: NetTopology, P: EngineProbe>(sim: &Engine<'_, T, P>) -> Vec<(u64, u64, u32)> {
+    let mut v = Vec::new();
+    sim.for_each_usage(|u, w, load| v.push((u, w, load)));
+    v
 }
 
 fn pairs(reqs: &[(u64, u64)]) -> impl Iterator<Item = (u64, u64)> + '_ {
@@ -64,7 +73,7 @@ proptest! {
         }
         prop_assert_eq!(flows.active_flows(), 0);
         prop_assert_eq!(flows.held_link_hops(), 0);
-        prop_assert!(flows.usage_snapshot().is_empty());
+        prop_assert!(usage_vec(&flows).is_empty());
         // The stats fold is identical to the byte.
         let a = format!("{:?}", memoryless.finish());
         let b = format!("{:?}", flows.finish());
@@ -106,7 +115,7 @@ proptest! {
             }
             // Identical per-link loads, including across the round
             // boundary that tears transients down but keeps flows up.
-            prop_assert_eq!(flows.usage_snapshot(), replay.usage_snapshot());
+            prop_assert_eq!(usage_vec(&flows), usage_vec(&replay));
         }
         prop_assert_eq!(flows.active_flows(), routes.len());
     }
@@ -144,7 +153,7 @@ proptest! {
             sim.release_flow(flow);
         }
         prop_assert_eq!(sim.active_flows(), 0);
-        prop_assert!(sim.usage_snapshot().is_empty(), "residual occupancy");
+        prop_assert!(usage_vec(&sim).is_empty(), "residual occupancy");
 
         // Probe: saturate toward the hot spot from every vertex.
         let mut fresh = Engine::new(&topo, dilation);
@@ -158,6 +167,6 @@ proptest! {
                 src
             );
         }
-        prop_assert_eq!(sim.usage_snapshot(), fresh.usage_snapshot());
+        prop_assert_eq!(usage_vec(&sim), usage_vec(&fresh));
     }
 }

@@ -9,10 +9,20 @@ use shc_core::SparseHypercube;
 use shc_graph::builders::hypercube;
 use shc_graph::AdjGraph;
 use shc_netsim::{
-    Engine, FaultedNet, ImplicitCubeNet, MaterializedNet, NetTopology, Outcome, RouteSearch,
-    SimStats,
+    Engine, EngineProbe, FaultedNet, ImplicitCubeNet, MaterializedNet, NetTopology, Outcome,
+    RouteSearch, SimStats,
 };
 use std::collections::{HashMap, VecDeque};
+
+/// Occupied links as sorted `(u, v, load)` triples via the borrowed
+/// `for_each_usage` visitor. Sorted because the two substrates under
+/// comparison may walk neighbors in different orders.
+fn usage_sorted<T: NetTopology, P: EngineProbe>(sim: &Engine<'_, T, P>) -> Vec<(u64, u64, u32)> {
+    let mut v = Vec::new();
+    sim.for_each_usage(|u, w, load| v.push((u, w, load)));
+    v.sort_unstable();
+    v
+}
 
 /// Reference link-load accounting: the pre-refactor engine, verbatim —
 /// occupancy in a `HashMap<(Vertex, Vertex), u32>` keyed by normalized
@@ -452,8 +462,8 @@ fn assert_substrates_identical<A: NetTopology, B: NetTopology>(
             }
             Op::NextRound => {
                 prop_assert_eq!(
-                    &ea.usage_snapshot(),
-                    &eb.usage_snapshot(),
+                    usage_sorted(&ea),
+                    usage_sorted(&eb),
                     "round snapshot diverged"
                 );
                 ea.begin_round();
@@ -466,8 +476,8 @@ fn assert_substrates_identical<A: NetTopology, B: NetTopology>(
         }
     }
     prop_assert_eq!(
-        &ea.usage_snapshot(),
-        &eb.usage_snapshot(),
+        usage_sorted(&ea),
+        usage_sorted(&eb),
         "final snapshot diverged"
     );
     prop_assert_eq!(ea.finish(), eb.finish(), "stats diverged");
@@ -544,7 +554,7 @@ proptest! {
                 let _ = sim.request(src, dst, 4);
             }
         }
-        for &load in sim.usage_snapshot().values() {
+        for &(_, _, load) in &usage_sorted(&sim) {
             prop_assert!(load <= dilation, "link over capacity");
         }
         let stats = sim.finish();

@@ -103,6 +103,34 @@ pub fn builtin_catalog(fast: bool) -> Vec<Scenario> {
         )
         .replications(reps / 2)
         .seed(CATALOG_SEED + 3),
+        // 7. Bit-reversal permutation through the propose-then-commit
+        //    batch pipeline: the classic adversarial pattern for
+        //    dimension-ordered cube routing, admitted round-by-round as
+        //    one batch per round (parallel propose, serial commit).
+        Scenario::new(
+            "bit-reversal-batched",
+            TopologySpec::SparseBase { n, m },
+            Workload::BitReversal {
+                rounds: if fast { 4 } else { 8 },
+                max_len: 2 * n,
+            },
+        )
+        .batched(true)
+        .replications(reps / 8)
+        .seed(CATALOG_SEED + 5),
+        // 8. Transpose permutation, batched, on the dense baseline — the
+        //    other canonical adversary, for sparse-vs-Q_n contrast.
+        Scenario::new(
+            "transpose-batched",
+            TopologySpec::Hypercube { n },
+            Workload::Transpose {
+                rounds: if fast { 4 } else { 8 },
+                max_len: 2 * n,
+            },
+        )
+        .batched(true)
+        .replications(reps / 8)
+        .seed(CATALOG_SEED + 6),
     ]
 }
 

@@ -95,6 +95,53 @@ where
     run_indexed(cells.len(), threads, |i| f(&cells[i]))
 }
 
+/// Splits `0..total` into one contiguous chunk per worker state and runs
+/// `f(&mut states[i], chunk_i)` on scoped threads — the **intra-cell**
+/// task-splitting primitive the batched admission propose phase rides on
+/// (cell-level fan-out keeps using [`run_indexed`]'s work stealing).
+///
+/// Unlike [`run_indexed`] each worker owns a mutable state for its whole
+/// chunk (per-thread search scratch), and chunks are **contiguous and
+/// deterministic**: worker `i` gets `[i·⌈total/w⌉, (i+1)·⌈total/w⌉)`
+/// clamped to `total`, where `w = min(states.len(), total)`. Results come
+/// back in chunk order, so a caller that concatenates them sees items in
+/// index order no matter how many workers ran — with pure-per-item `f`,
+/// output is worker-count-invariant by construction.
+///
+/// With one state (or one item) everything runs inline on the caller's
+/// thread — no scope, no spawn — which keeps the `states.len() == 1`
+/// configuration byte-identical to never having called an executor.
+///
+/// # Panics
+/// Panics if `states` is empty, or propagates a worker panic.
+pub fn run_chunked<S, R, F>(total: usize, states: &mut [S], f: F) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+    F: Fn(&mut S, std::ops::Range<usize>) -> R + Sync,
+{
+    assert!(!states.is_empty(), "run_chunked needs a worker state");
+    let workers = states.len().min(total.max(1));
+    if workers <= 1 {
+        return vec![f(&mut states[0], 0..total)];
+    }
+    let chunk = total.div_ceil(workers);
+    let f = &f;
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (i, state) in states[..workers].iter_mut().enumerate() {
+            let lo = (i * chunk).min(total);
+            let hi = ((i + 1) * chunk).min(total);
+            handles.push(scope.spawn(move |_| f(state, lo..hi)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chunk worker panicked"))
+            .collect()
+    })
+    .expect("executor worker panicked")
+}
+
 /// Per-worker wall-clock counters from one [`run_indexed_timed`] call.
 ///
 /// **Wall-clock side**: unlike results (and trace journals), these

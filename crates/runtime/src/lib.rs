@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 pub mod aggregate;
+pub mod batch;
 pub mod catalog;
 pub mod executor;
 pub mod faults;
@@ -64,21 +65,27 @@ pub mod service;
 pub mod trace;
 
 pub use aggregate::MetricSummary;
+pub use batch::{BatchAdmitter, BatchRoundReport};
 pub use catalog::builtin_catalog;
 pub use executor::{
-    available_threads, map_cells, run_indexed, run_indexed_timed, ExecutorTelemetry, WorkerStats,
+    available_threads, map_cells, run_chunked, run_indexed, run_indexed_timed, ExecutorTelemetry,
+    WorkerStats,
 };
 pub use faults::FaultPlan;
 pub use metrics::{
     BucketCount, CounterId, GaugeId, Histogram, HistogramId, Metrics, MetricsSnapshot,
 };
-pub use runner::{run_scenario, run_scenario_traced, MetricRow, ReplicaOutcome, ScenarioReport};
+pub use runner::{
+    run_scenario, run_scenario_intra, run_scenario_traced, run_scenario_traced_intra, MetricRow,
+    ReplicaOutcome, ScenarioReport,
+};
 pub use scenario::{
     BuiltTopology, DilationShift, FaultSpec, OriginatorPolicy, Scenario, TopologyKind,
     TopologySpec, Workload,
 };
 pub use service::{
-    builtin_service_catalog, run_service, run_service_probed, run_service_traced, AdmissionPolicy,
+    builtin_service_catalog, run_service, run_service_intra, run_service_probed,
+    run_service_probed_intra, run_service_traced, run_service_traced_intra, AdmissionPolicy,
     ArrivalSpec, ChurnSpec, ClosedLoopSpec, DiurnalCurve, FailoverPolicy, HoldingSpec,
     PopularitySpec, QosSpec, ServiceReport, ServiceSpec, WindowRow,
 };

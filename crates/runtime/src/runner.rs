@@ -7,6 +7,7 @@
 //! replica order — so a report is bit-identical across worker counts.
 
 use crate::aggregate::MetricSummary;
+use crate::batch::BatchAdmitter;
 use crate::executor;
 use crate::faults::FaultPlan;
 use crate::scenario::{BuiltTopology, OriginatorPolicy, Scenario, Vertex, Workload};
@@ -16,7 +17,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use shc_broadcast::{replay_degraded, Schedule};
-use shc_netsim::{replay_competing_probed, Engine, NetTopology, NoProbe};
+use shc_netsim::{replay_competing_probed, BatchRequest, Engine, NetTopology, NoProbe};
 use std::collections::BTreeSet;
 
 /// Integer counters from one replica. Everything downstream (summaries,
@@ -106,22 +107,35 @@ impl ScenarioReport {
 /// replicas into a report.
 #[must_use]
 pub fn run_scenario(scenario: &Scenario, threads: usize) -> ScenarioReport {
+    run_scenario_intra(scenario, threads, 1)
+}
+
+/// [`run_scenario`] with `intra` propose workers inside each replica's
+/// batched rounds (only meaningful for [`Scenario::batch`] scenarios —
+/// serial admission ignores it). The report is byte-identical for any
+/// `(threads, intra)` combination: replicas split across `threads`, and
+/// batched rounds split their propose phase across `intra`, but every
+/// committed outcome is ordered by request sequence number alone.
+#[must_use]
+pub fn run_scenario_intra(scenario: &Scenario, threads: usize, intra: usize) -> ScenarioReport {
     let topo = scenario.topology.build();
     fold_report(
         scenario,
         &topo,
-        &run_replica_outcomes(scenario, &topo, threads),
+        &run_replica_outcomes(scenario, &topo, threads, intra),
     )
 }
 
 /// Runs every replica of `scenario` against a pre-built topology and
 /// returns the raw outcomes in replica order (the cross-check hook for
-/// the legacy single-thread experiment paths).
+/// the legacy single-thread experiment paths). `intra` is the per-round
+/// propose worker count for batched scenarios.
 #[must_use]
 pub fn run_replica_outcomes(
     scenario: &Scenario,
     topo: &BuiltTopology,
     threads: usize,
+    intra: usize,
 ) -> Vec<ReplicaOutcome> {
     // Pre-split one stream per replica up front (sequential, cheap) so
     // replica streams are independent of executor scheduling.
@@ -135,7 +149,7 @@ pub fn run_replica_outcomes(
         Vec::new()
     };
     executor::run_indexed(scenario.replications, threads, |r| {
-        run_replica(scenario, topo, &edges, r, rngs[r].clone(), NoProbe).0
+        run_replica(scenario, topo, &edges, r, rngs[r].clone(), NoProbe, intra).0
     })
 }
 
@@ -155,6 +169,23 @@ pub fn run_scenario_traced(
     threads: usize,
     capacity: usize,
 ) -> (ScenarioReport, Vec<TraceJournal>) {
+    run_scenario_traced_intra(scenario, threads, capacity, 1)
+}
+
+/// [`run_scenario_traced`] with `intra` propose workers inside each
+/// replica's batched rounds. Journals — including batch-conflict events,
+/// which are stamped in commit order — are byte-identical for any
+/// `(threads, intra)` combination.
+///
+/// # Panics
+/// Panics as [`run_scenario_traced`].
+#[must_use]
+pub fn run_scenario_traced_intra(
+    scenario: &Scenario,
+    threads: usize,
+    capacity: usize,
+    intra: usize,
+) -> (ScenarioReport, Vec<TraceJournal>) {
     let topo = scenario.topology.build();
     let mut base = StdRng::seed_from_u64(scenario.seed);
     let rngs: Vec<StdRng> = (0..scenario.replications).map(|_| base.split()).collect();
@@ -165,7 +196,7 @@ pub fn run_scenario_traced(
     };
     let results = executor::run_indexed(scenario.replications, threads, |r| {
         let journal = TraceJournal::new(u32::try_from(r).expect("replica fits u32"), capacity);
-        run_replica(scenario, &topo, &edges, r, rngs[r].clone(), journal)
+        run_replica(scenario, &topo, &edges, r, rngs[r].clone(), journal, intra)
     });
     let (outcomes, journals): (Vec<_>, Vec<_>) = results.into_iter().unzip();
     (fold_report(scenario, &topo, &outcomes), journals)
@@ -185,15 +216,41 @@ fn emit_fault_plan<P: RunProbe>(probe: &mut P, plan: &FaultPlan) {
     }
 }
 
+/// Admits one round's worth of requests: through the propose-then-commit
+/// batch pipeline when an admitter is handed in, serially otherwise. The
+/// request list is identical either way, so the two modes consume the
+/// same RNG draws.
+fn drive_requests<T, P>(
+    sim: &mut Engine<'_, T, P>,
+    admitter: Option<&mut BatchAdmitter>,
+    reqs: &[BatchRequest],
+) where
+    T: NetTopology + Sync,
+    P: RunProbe + Sync,
+{
+    match admitter {
+        Some(adm) => {
+            let _ = adm.admit_round(sim, reqs);
+        }
+        None => {
+            for r in reqs {
+                let _ = sim.request(r.src, r.dst, r.max_len);
+            }
+        }
+    }
+}
+
 /// Executes one replica with an attached probe. With [`NoProbe`] every
-/// instrumentation branch compiles out.
-fn run_replica<P: RunProbe>(
+/// instrumentation branch compiles out. `intra` is the propose worker
+/// count for batched rounds (serial admission ignores it).
+fn run_replica<P: RunProbe + Sync>(
     scenario: &Scenario,
     topo: &BuiltTopology,
     edges: &[(Vertex, Vertex)],
     replica: usize,
     mut rng: StdRng,
     mut probe: P,
+    intra: usize,
 ) -> (ReplicaOutcome, P) {
     let n = topo.num_vertices();
     let originator = match scenario.originators {
@@ -262,12 +319,19 @@ fn run_replica<P: RunProbe>(
                 .filter(|&v| v != target && !plan.crashed.contains(&v))
                 .collect();
             let (chosen, _) = pool.partial_shuffle(&mut rng, senders);
+            let reqs: Vec<BatchRequest> = chosen
+                .iter()
+                .map(|&src| BatchRequest {
+                    src,
+                    dst: target,
+                    max_len,
+                })
+                .collect();
+            let mut admitter = scenario.batch.then(|| BatchAdmitter::new(n, intra));
             let mut sim = Engine::with_probe(&net, scenario.dilation, probe);
             apply_dilation_shift(scenario, &mut sim, 0);
             sim.begin_round();
-            for &src in chosen.iter() {
-                let _ = sim.request(src, target, max_len);
-            }
+            drive_requests(&mut sim, admitter.as_mut(), &reqs);
             if P::ENABLED {
                 emit_round_end(&mut sim, 0);
             }
@@ -287,21 +351,71 @@ fn run_replica<P: RunProbe>(
             emit_fault_plan(&mut probe, &plan);
             let net = plan.overlay(topo);
             let alive: Vec<Vertex> = (0..n).filter(|v| !plan.crashed.contains(v)).collect();
+            let mut admitter = scenario.batch.then(|| BatchAdmitter::new(n, intra));
             let mut sim = Engine::with_probe(&net, scenario.dilation, probe);
             for t in 0..rounds {
                 apply_dilation_shift(scenario, &mut sim, t);
                 sim.begin_round();
                 // Fewer than two live vertices ⇒ no drawable pair; the
                 // rounds still tick so the metric stays meaningful.
+                let mut reqs = Vec::with_capacity(pairs);
                 if alive.len() >= 2 {
                     for _ in 0..pairs {
                         let src = alive[rng.gen_range(0..alive.len())];
                         let dst = alive[rng.gen_range(0..alive.len())];
                         if src != dst {
-                            let _ = sim.request(src, dst, max_len);
+                            reqs.push(BatchRequest { src, dst, max_len });
                         }
                     }
                 }
+                drive_requests(&mut sim, admitter.as_mut(), &reqs);
+                if P::ENABLED {
+                    emit_round_end(&mut sim, 0);
+                }
+            }
+            let (stats, p) = sim.finish_with_probe();
+            probe = p;
+            record_stats(&mut outcome, stats);
+            outcome.informed = outcome.established;
+            outcome.dead_links = plan.dead_links.len() as u64;
+            outcome.crashed_nodes = plan.crashed.len() as u64;
+        }
+        Workload::BitReversal { rounds, max_len } | Workload::Transpose { rounds, max_len } => {
+            assert!(
+                n.is_power_of_two(),
+                "adversarial permutations address vertices by n-bit index"
+            );
+            let bits = n.trailing_zeros();
+            let dst_of = |v: Vertex| -> Vertex {
+                match scenario.workload {
+                    Workload::BitReversal { .. } => v.reverse_bits() >> (64 - bits),
+                    _ => {
+                        // Rotate the n-bit index by floor(n/2) bits.
+                        let h = bits / 2;
+                        if h == 0 {
+                            v
+                        } else {
+                            ((v << h) | (v >> (bits - h))) & (n - 1)
+                        }
+                    }
+                }
+            };
+            let plan = FaultPlan::sample(&scenario.faults, edges, n, &[], &mut rng);
+            emit_fault_plan(&mut probe, &plan);
+            let net = plan.overlay(topo);
+            // The full permutation, fixed points skipped — no RNG at all.
+            let reqs: Vec<BatchRequest> = (0..n)
+                .filter_map(|src| {
+                    let dst = if bits == 0 { src } else { dst_of(src) };
+                    (dst != src).then_some(BatchRequest { src, dst, max_len })
+                })
+                .collect();
+            let mut admitter = scenario.batch.then(|| BatchAdmitter::new(n, intra));
+            let mut sim = Engine::with_probe(&net, scenario.dilation, probe);
+            for t in 0..rounds {
+                apply_dilation_shift(scenario, &mut sim, t);
+                sim.begin_round();
+                drive_requests(&mut sim, admitter.as_mut(), &reqs);
                 if P::ENABLED {
                     emit_round_end(&mut sim, 0);
                 }

@@ -200,6 +200,27 @@ pub enum Workload {
         /// Adaptive-routing length bound.
         max_len: u32,
     },
+    /// Bit-reversal permutation: every vertex requests a circuit to the
+    /// bit-reversal of its `n`-bit index, `rounds` times (fixed points
+    /// skipped). A classic adversarial pattern for dimension-ordered
+    /// cubes — long paths, heavy link reuse. Deterministic: no RNG
+    /// draws at all. Requires a power-of-two vertex count.
+    BitReversal {
+        /// Rounds to simulate.
+        rounds: usize,
+        /// Adaptive-routing length bound.
+        max_len: u32,
+    },
+    /// Transpose permutation: every vertex requests a circuit to its
+    /// `n`-bit index rotated by `n/2` bits (matrix-transpose traffic),
+    /// `rounds` times, fixed points skipped. Deterministic, adversarial
+    /// for cube routing. Requires a power-of-two vertex count.
+    Transpose {
+        /// Rounds to simulate.
+        rounds: usize,
+        /// Adaptive-routing length bound.
+        max_len: u32,
+    },
 }
 
 impl Workload {
@@ -214,6 +235,8 @@ impl Workload {
             Workload::Permutation { rounds, pairs, .. } => {
                 format!("permutation {rounds}x{pairs}")
             }
+            Workload::BitReversal { rounds, .. } => format!("bit-reversal x{rounds}"),
+            Workload::Transpose { rounds, .. } => format!("transpose x{rounds}"),
         }
     }
 }
@@ -285,6 +308,11 @@ pub struct Scenario {
     pub replications: usize,
     /// Base seed; replica `r` runs on the `r`-th split of this stream.
     pub seed: u64,
+    /// Admit each round through the propose-then-commit batch pipeline
+    /// instead of one-at-a-time serial requests. Outcomes are
+    /// deterministic at any intra-round worker count; broadcast
+    /// workloads (fixed-path replay) ignore this flag.
+    pub batch: bool,
 }
 
 impl Scenario {
@@ -301,6 +329,7 @@ impl Scenario {
             dilation: 1,
             replications: 1,
             seed: 0,
+            batch: false,
         }
     }
 
@@ -340,6 +369,14 @@ impl Scenario {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Routes each round through propose-then-commit batched admission
+    /// (see [`crate::batch`]) instead of serial requests.
+    #[must_use]
+    pub fn batched(mut self, batch: bool) -> Self {
+        self.batch = batch;
         self
     }
 }

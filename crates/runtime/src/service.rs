@@ -87,12 +87,13 @@
 //! ```
 
 use crate::aggregate::MetricSummary;
+use crate::batch::BatchAdmitter;
 use crate::metrics::{CounterId, GaugeId, Histogram, HistogramId, Metrics, MetricsSnapshot};
 use crate::scenario::{TopologySpec, Vertex};
 use crate::trace::{RoundEndInfo, RunProbe, TraceJournal};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use shc_netsim::{Engine, FlowId, FlowOutcome, NetTopology, NoProbe, RerouteOutcome};
+use shc_netsim::{BatchRequest, Engine, FlowId, FlowOutcome, NetTopology, NoProbe, RerouteOutcome};
 use std::collections::VecDeque;
 
 /// Open-loop arrival process: a Poisson round rate, optionally modulated
@@ -328,6 +329,14 @@ pub struct ServiceSpec {
     pub qos: Option<QosSpec>,
     /// Closed-loop sources next to the open-loop stream (`None` = none).
     pub closed_loop: Option<ClosedLoopSpec>,
+    /// Route each round's fresh open-loop arrivals through the
+    /// propose-then-commit batch pipeline (see [`crate::batch`]) instead
+    /// of one-at-a-time serial requests. Phase 5b then runs in three
+    /// sub-phases — serial intent draws, one batched `admit_round_flows`,
+    /// serial per-outcome bookkeeping in sequence order — and its RNG
+    /// order differs from serial mode (all intent draws precede every
+    /// holding-time draw). Deterministic at any intra worker count.
+    pub batch_admission: bool,
 }
 
 impl ServiceSpec {
@@ -351,6 +360,7 @@ impl ServiceSpec {
             churn: None,
             qos: None,
             closed_loop: None,
+            batch_admission: false,
         }
     }
 
@@ -435,6 +445,14 @@ impl ServiceSpec {
     #[must_use]
     pub fn closed_loop(mut self, closed_loop: ClosedLoopSpec) -> Self {
         self.closed_loop = Some(closed_loop);
+        self
+    }
+
+    /// Routes fresh open-loop arrivals through propose-then-commit
+    /// batched admission (see [`ServiceSpec::batch_admission`]).
+    #[must_use]
+    pub fn batch_admission(mut self, batch_admission: bool) -> Self {
+        self.batch_admission = batch_admission;
         self
     }
 
@@ -837,6 +855,19 @@ pub fn run_service(spec: &ServiceSpec) -> ServiceReport {
     run_service_probed(spec, NoProbe).0
 }
 
+/// [`run_service`] with `intra` propose workers inside each batched
+/// round (only meaningful for [`ServiceSpec::batch_admission`] cells —
+/// serial admission ignores it). The report is byte-identical for any
+/// `intra`: committed outcomes are ordered by arrival sequence number,
+/// never by the propose-phase thread schedule.
+///
+/// # Panics
+/// Panics as [`run_service`].
+#[must_use]
+pub fn run_service_intra(spec: &ServiceSpec, intra: usize) -> ServiceReport {
+    run_service_probed_intra(spec, NoProbe, intra).0
+}
+
 /// [`run_service`] with a deterministic trace attached: simulates the
 /// cell with a [`TraceJournal`] probe (identified as `cell`, ring
 /// capacity `capacity` events) and returns the report together with the
@@ -855,6 +886,22 @@ pub fn run_service_traced(
     run_service_probed(spec, TraceJournal::new(cell, capacity))
 }
 
+/// [`run_service_traced`] with `intra` propose workers inside each
+/// batched round. The journal — batch-conflict events included, stamped
+/// in commit order — is byte-identical for any `intra`.
+///
+/// # Panics
+/// Panics as [`run_service_traced`].
+#[must_use]
+pub fn run_service_traced_intra(
+    spec: &ServiceSpec,
+    cell: u32,
+    capacity: usize,
+    intra: usize,
+) -> (ServiceReport, TraceJournal) {
+    run_service_probed_intra(spec, TraceJournal::new(cell, capacity), intra)
+}
+
 /// Generic core of [`run_service`]: simulates one cell with an attached
 /// [`RunProbe`], returning the report and the probe. With [`NoProbe`]
 /// every probe call compiles out (`P::ENABLED == false`), so the
@@ -865,7 +912,120 @@ pub fn run_service_traced(
 /// geometric mean < 1, diurnal amplitude outside `[0, 1]`, zero queue
 /// capacity).
 #[must_use]
-pub fn run_service_probed<P: RunProbe>(spec: &ServiceSpec, probe: P) -> (ServiceReport, P) {
+pub fn run_service_probed<P: RunProbe + Sync>(spec: &ServiceSpec, probe: P) -> (ServiceReport, P) {
+    run_service_probed_intra(spec, probe, 1)
+}
+
+/// Concludes one fresh open-loop arrival given its first-attempt
+/// outcome: counts the denial, runs QoS preemption retries, then the
+/// admission-policy fallback. Shared verbatim by serial admission
+/// (outcome = `request_flow`) and batched admission (outcome = the
+/// committed batch outcome), so the two modes treat a blocked arrival
+/// identically from this point on.
+#[allow(clippy::too_many_arguments)]
+fn conclude_arrival<P: RunProbe>(
+    engine: &mut Engine<'_, crate::scenario::BuiltTopology, P>,
+    m: &mut Metrics,
+    ins: &Instruments,
+    wnd: &mut WindowHists,
+    departures: &mut [Vec<FlowId>],
+    be_order: &mut VecDeque<FlowId>,
+    queue: &mut VecDeque<Queued>,
+    rng: &mut StdRng,
+    spec: &ServiceSpec,
+    t: usize,
+    max_len: u32,
+    src: Vertex,
+    dst: Vertex,
+    priority: bool,
+    mut outcome: FlowOutcome,
+    blocked_round: &mut u64,
+) {
+    if matches!(outcome, FlowOutcome::Blocked(_)) {
+        // Every engine-level denial counts exactly once.
+        *blocked_round += 1;
+        // A blocked priority arrival may evict best-effort
+        // flows, oldest admission first, then retry. Evictions
+        // stand even if every retry fails (the capacity may be
+        // pinned somewhere else on the route).
+        if let (true, Some(q)) = (priority, spec.qos) {
+            for _ in 0..q.max_preemptions {
+                let victim = loop {
+                    match be_order.pop_front() {
+                        Some(f) if engine.is_flow_active(f) => break Some(f),
+                        Some(_) => continue, // stale handle
+                        None => break None,
+                    }
+                };
+                let Some(victim) = victim else { break };
+                engine.preempt_flow(victim);
+                m.inc(ins.c_preempt);
+                outcome = engine.request_flow(src, dst, max_len);
+                match outcome {
+                    FlowOutcome::Established { .. } => break,
+                    FlowOutcome::Blocked(_) => *blocked_round += 1,
+                }
+            }
+        }
+    }
+    match outcome {
+        FlowOutcome::Established { flow, hops } => {
+            admit(
+                m, ins, wnd, departures, be_order, rng, spec, t, flow, hops, 0, priority,
+            );
+        }
+        FlowOutcome::Blocked(_) => match spec.policy {
+            AdmissionPolicy::Reject => m.inc(ins.c_rejected),
+            AdmissionPolicy::QueueWithTimeout { capacity, .. } => {
+                if queue.len() < capacity {
+                    if P::ENABLED {
+                        engine.probe_mut().on_flow_queued(src, dst);
+                    }
+                    queue.push_back(Queued {
+                        src,
+                        dst,
+                        enqueued: t,
+                        priority,
+                    });
+                    m.inc(ins.c_queued);
+                } else {
+                    if P::ENABLED {
+                        engine.probe_mut().on_queue_overflow();
+                    }
+                    m.inc(ins.c_overflow);
+                    m.inc(ins.c_rejected);
+                }
+            }
+            AdmissionPolicy::DegradeToDetour { extra_hops } => {
+                match engine.request_flow(src, dst, max_len + extra_hops) {
+                    FlowOutcome::Established { flow, hops } => {
+                        m.inc(ins.c_detour);
+                        admit(
+                            m, ins, wnd, departures, be_order, rng, spec, t, flow, hops, 0,
+                            priority,
+                        );
+                    }
+                    FlowOutcome::Blocked(_) => {
+                        *blocked_round += 1;
+                        m.inc(ins.c_rejected);
+                    }
+                }
+            }
+        },
+    }
+}
+
+/// [`run_service_probed`] with `intra` propose workers inside each
+/// batched round (see [`run_service_intra`]).
+///
+/// # Panics
+/// Panics as [`run_service_probed`].
+#[must_use]
+pub fn run_service_probed_intra<P: RunProbe + Sync>(
+    spec: &ServiceSpec,
+    probe: P,
+    intra: usize,
+) -> (ServiceReport, P) {
     spec.validate();
     let built = spec.topology.build();
     let n = NetTopology::num_vertices(&built);
@@ -924,6 +1084,10 @@ pub fn run_service_probed<P: RunProbe>(spec: &ServiceSpec, probe: P) -> (Service
         ],
         None => Vec::new(),
     };
+    // Batched admission: one scratch pool reused across every round.
+    let mut admitter = spec
+        .batch_admission
+        .then(|| BatchAdmitter::new(n, intra));
 
     for t in 0..spec.rounds {
         engine.begin_round();
@@ -1097,122 +1261,102 @@ pub fn run_service_probed<P: RunProbe>(spec: &ServiceSpec, probe: P) -> (Service
             }
         }
 
-        // (5b) Fresh open-loop arrivals.
+        // (5b) Fresh open-loop arrivals. Serial mode draws and admits
+        // each arrival in turn (the PR 6 stream, verbatim). Batched mode
+        // runs three sub-phases: serial intent draws, one batched
+        // propose/commit over all intents, then serial per-outcome
+        // bookkeeping in sequence order — a different (documented) RNG
+        // order, deterministic at any intra worker count.
         let k = sample_poisson(&mut rng, spec.arrivals.rate_at(t));
-        for _ in 0..k {
-            m.inc(ins.c_arrivals);
-            // QoS tier draw: one uniform per arrival, only when tiers
-            // exist (single-class cells keep the PR 6 stream verbatim).
-            let priority = match spec.qos {
-                Some(q) => rng.gen::<f64>() < q.priority_share,
-                None => false,
-            };
-            if priority {
-                m.inc(ins.c_arr_pri);
+        if let Some(adm) = admitter.as_mut() {
+            let mut intents = Vec::with_capacity(usize::try_from(k).unwrap_or(0));
+            for _ in 0..k {
+                m.inc(ins.c_arrivals);
+                let priority = match spec.qos {
+                    Some(q) => rng.gen::<f64>() < q.priority_share,
+                    None => false,
+                };
+                if priority {
+                    m.inc(ins.c_arr_pri);
+                }
+                let dst = match &zipf {
+                    Some(z) => z.sample(&mut rng),
+                    None => rng.gen_range(0..n),
+                };
+                let src = loop {
+                    let s = rng.gen_range(0..n);
+                    if s != dst {
+                        break s;
+                    }
+                };
+                intents.push((src, dst, priority));
             }
-            let dst = match &zipf {
-                Some(z) => z.sample(&mut rng),
-                None => rng.gen_range(0..n),
-            };
-            let src = loop {
-                let s = rng.gen_range(0..n);
-                if s != dst {
-                    break s;
-                }
-            };
-            let mut outcome = engine.request_flow(src, dst, max_len);
-            if matches!(outcome, FlowOutcome::Blocked(_)) {
-                // Every engine-level denial counts exactly once.
-                blocked_round += 1;
-                // A blocked priority arrival may evict best-effort
-                // flows, oldest admission first, then retry. Evictions
-                // stand even if every retry fails (the capacity may be
-                // pinned somewhere else on the route).
-                if let (true, Some(q)) = (priority, spec.qos) {
-                    for _ in 0..q.max_preemptions {
-                        let victim = loop {
-                            match be_order.pop_front() {
-                                Some(f) if engine.is_flow_active(f) => break Some(f),
-                                Some(_) => continue, // stale handle
-                                None => break None,
-                            }
-                        };
-                        let Some(victim) = victim else { break };
-                        engine.preempt_flow(victim);
-                        m.inc(ins.c_preempt);
-                        outcome = engine.request_flow(src, dst, max_len);
-                        match outcome {
-                            FlowOutcome::Established { .. } => break,
-                            FlowOutcome::Blocked(_) => blocked_round += 1,
-                        }
-                    }
-                }
+            let reqs: Vec<BatchRequest> = intents
+                .iter()
+                .map(|&(src, dst, _)| BatchRequest { src, dst, max_len })
+                .collect();
+            let (batch_outcomes, _conflicts) = adm.admit_round_flows(&mut engine, &reqs);
+            for (&(src, dst, priority), outcome) in intents.iter().zip(batch_outcomes) {
+                conclude_arrival(
+                    &mut engine,
+                    &mut m,
+                    &ins,
+                    &mut wnd,
+                    &mut departures,
+                    &mut be_order,
+                    &mut queue,
+                    &mut rng,
+                    spec,
+                    t,
+                    max_len,
+                    src,
+                    dst,
+                    priority,
+                    outcome,
+                    &mut blocked_round,
+                );
             }
-            match outcome {
-                FlowOutcome::Established { flow, hops } => {
-                    admit(
-                        &mut m,
-                        &ins,
-                        &mut wnd,
-                        &mut departures,
-                        &mut be_order,
-                        &mut rng,
-                        spec,
-                        t,
-                        flow,
-                        hops,
-                        0,
-                        priority,
-                    );
+        } else {
+            for _ in 0..k {
+                m.inc(ins.c_arrivals);
+                // QoS tier draw: one uniform per arrival, only when tiers
+                // exist (single-class cells keep the PR 6 stream verbatim).
+                let priority = match spec.qos {
+                    Some(q) => rng.gen::<f64>() < q.priority_share,
+                    None => false,
+                };
+                if priority {
+                    m.inc(ins.c_arr_pri);
                 }
-                FlowOutcome::Blocked(_) => match spec.policy {
-                    AdmissionPolicy::Reject => m.inc(ins.c_rejected),
-                    AdmissionPolicy::QueueWithTimeout { capacity, .. } => {
-                        if queue.len() < capacity {
-                            if P::ENABLED {
-                                engine.probe_mut().on_flow_queued(src, dst);
-                            }
-                            queue.push_back(Queued {
-                                src,
-                                dst,
-                                enqueued: t,
-                                priority,
-                            });
-                            m.inc(ins.c_queued);
-                        } else {
-                            if P::ENABLED {
-                                engine.probe_mut().on_queue_overflow();
-                            }
-                            m.inc(ins.c_overflow);
-                            m.inc(ins.c_rejected);
-                        }
+                let dst = match &zipf {
+                    Some(z) => z.sample(&mut rng),
+                    None => rng.gen_range(0..n),
+                };
+                let src = loop {
+                    let s = rng.gen_range(0..n);
+                    if s != dst {
+                        break s;
                     }
-                    AdmissionPolicy::DegradeToDetour { extra_hops } => {
-                        match engine.request_flow(src, dst, max_len + extra_hops) {
-                            FlowOutcome::Established { flow, hops } => {
-                                m.inc(ins.c_detour);
-                                admit(
-                                    &mut m,
-                                    &ins,
-                                    &mut wnd,
-                                    &mut departures,
-                                    &mut be_order,
-                                    &mut rng,
-                                    spec,
-                                    t,
-                                    flow,
-                                    hops,
-                                    0,
-                                    priority,
-                                );
-                            }
-                            FlowOutcome::Blocked(_) => {
-                                blocked_round += 1;
-                                m.inc(ins.c_rejected);
-                            }
-                        }
-                    }
-                },
+                };
+                let outcome = engine.request_flow(src, dst, max_len);
+                conclude_arrival(
+                    &mut engine,
+                    &mut m,
+                    &ins,
+                    &mut wnd,
+                    &mut departures,
+                    &mut be_order,
+                    &mut queue,
+                    &mut rng,
+                    spec,
+                    t,
+                    max_len,
+                    src,
+                    dst,
+                    priority,
+                    outcome,
+                    &mut blocked_round,
+                );
             }
         }
 
@@ -1427,6 +1571,19 @@ pub fn builtin_service_catalog(fast: bool) -> Vec<ServiceSpec> {
                 .rounds(rounds)
                 .window_rounds(window)
                 .seed(0xF1_080A),
+        );
+        // Batched admission (this PR): the same open-loop load, with
+        // each round's fresh arrivals routed through propose-then-commit
+        // batched admission — byte-identical at any intra worker count.
+        let name = format!("serve_{}_batched", topology.label());
+        cells.push(
+            ServiceSpec::new(&name, topology)
+                .arrivals(ArrivalSpec::poisson(rate))
+                .policy(AdmissionPolicy::Reject)
+                .batch_admission(true)
+                .rounds(rounds)
+                .window_rounds(window)
+                .seed(0xF1_080B),
         );
     }
     cells

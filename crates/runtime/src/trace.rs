@@ -145,6 +145,21 @@ pub enum TraceEvent {
         /// Search effort (adaptive requests only).
         search: Option<SearchTrace>,
     },
+    /// Batched admission: the proposal for `src → dst` lost a
+    /// link-capacity conflict against an earlier-sequenced commit in
+    /// re-route wave `wave`. The request is not concluded — it changes
+    /// no admission tally, and a concluding [`Request`](Self::Request)
+    /// event for the same pair follows in a later wave. Stamped with
+    /// the commit order (not thread order), so journals stay
+    /// byte-identical at any propose worker count.
+    BatchConflict {
+        /// Re-route wave (0 is the initial propose pass).
+        wave: u32,
+        /// Source vertex.
+        src: Vertex,
+        /// Destination vertex.
+        dst: Vertex,
+    },
     /// A flow was admitted into slab slot `flow`, holding `hops` links.
     FlowEstablished {
         /// Engine slab slot.
@@ -420,6 +435,12 @@ impl TraceJournal {
                         );
                     }
                 }
+                TraceEvent::BatchConflict { wave, src, dst } => {
+                    let _ = write!(
+                        out,
+                        ",\"type\":\"batch_conflict\",\"wave\":{wave},\"src\":{src},\"dst\":{dst}"
+                    );
+                }
                 TraceEvent::FlowEstablished { flow, hops } => {
                     let _ = write!(
                         out,
@@ -559,6 +580,10 @@ impl EngineProbe for TraceJournal {
             old_hops,
             new_hops,
         });
+    }
+
+    fn on_batch_conflict(&mut self, wave: u32, src: Vertex, dst: Vertex) {
+        self.push(TraceEvent::BatchConflict { wave, src, dst });
     }
 }
 
@@ -702,6 +727,10 @@ pub mod audit {
         pub flows_preempted: u64,
         /// In-place reroutes seen.
         pub flows_rerouted: u64,
+        /// Batched-admission capacity conflicts seen (neutral: a
+        /// conflicted request is still pending and concludes — and is
+        /// tallied — in a later wave's `Request` event).
+        pub batch_conflicts: u64,
         /// Dynamic link failures seen.
         pub links_failed: u64,
         /// Dynamic link repairs seen.
@@ -722,6 +751,7 @@ pub mod audit {
             self.flows_torn_down += other.flows_torn_down;
             self.flows_preempted += other.flows_preempted;
             self.flows_rerouted += other.flows_rerouted;
+            self.batch_conflicts += other.batch_conflicts;
             self.links_failed += other.links_failed;
             self.links_repaired += other.links_repaired;
             self.rounds_checked += other.rounds_checked;
@@ -967,6 +997,10 @@ pub mod audit {
                         ));
                     }
                 }
+                // Neutral for every ledger: a conflicted proposal is
+                // still pending, so it must not count as a request —
+                // its concluding Request event arrives in a later wave.
+                TraceEvent::BatchConflict { .. } => report.batch_conflicts += 1,
                 TraceEvent::QueueOverflow
                 | TraceEvent::FaultLink { .. }
                 | TraceEvent::FaultNode { .. }

@@ -1,0 +1,159 @@
+//! Property tests for the [`BatchAdmitter`] wave driver, pinning the
+//! three contracts the propose-then-commit pipeline ships on:
+//!
+//! 1. **Batch size 1 ≡ serial** — admitting each request as its own
+//!    batch reproduces the serial `request` engine byte for byte:
+//!    outcomes, stats, and the rendered trace-journal JSONL.
+//! 2. **Intra invariance** — a whole-round batch admitted with 1 propose
+//!    worker and with 4 produces identical reports and byte-identical
+//!    journals (the determinism contract `--intra` rides on).
+//! 3. **Metamorphic conflict-free relation** — when the wave driver
+//!    reports zero conflicts, batching a round is invisible: outcomes
+//!    and stats equal the serial engine's.
+
+use proptest::prelude::*;
+use shc_netsim::{BatchOutcome, BatchRequest, Engine, NetTopology, Outcome};
+use shc_runtime::{BatchAdmitter, TopologySpec, TraceJournal};
+
+const DILATION_RANGE: std::ops::Range<u32> = 1..3;
+
+fn topo() -> (shc_runtime::BuiltTopology, u64) {
+    let built = TopologySpec::SparseBase { n: 5, m: 2 }.build();
+    let n = NetTopology::num_vertices(&built);
+    (built, n)
+}
+
+/// Raw `(src, dst)` pairs per round → valid requests, self-loops
+/// dropped, endpoints reduced modulo the vertex count.
+fn rounds_of(n: u64, raw: &[Vec<(u64, u64)>]) -> Vec<Vec<BatchRequest>> {
+    raw.iter()
+        .map(|round| {
+            round
+                .iter()
+                .map(|&(s, d)| (s % n, d % n))
+                .filter(|&(s, d)| s != d)
+                .map(|(src, dst)| BatchRequest {
+                    src,
+                    dst,
+                    max_len: 12,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn arb_rounds() -> impl Strategy<Value = Vec<Vec<(u64, u64)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u64..256, 0u64..256), 0..12),
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Batch size 1 ≡ serial, journal bytes included: each request
+    /// admitted as its own single-element batch fires exactly the probe
+    /// events a serial `request` fires, in the same order.
+    #[test]
+    fn batch_size_one_equals_serial_with_journals(raw in arb_rounds(), dilation in DILATION_RANGE) {
+        let (built, n) = topo();
+        let mut serial = Engine::with_probe(&built, dilation, TraceJournal::new(0, 1 << 14));
+        let mut batched = Engine::with_probe(&built, dilation, TraceJournal::new(0, 1 << 14));
+        let mut admitter = BatchAdmitter::new(n, 1);
+        for round in rounds_of(n, &raw) {
+            serial.begin_round();
+            batched.begin_round();
+            for req in &round {
+                let a = serial.request(req.src, req.dst, req.max_len);
+                let report = admitter.admit_round(&mut batched, std::slice::from_ref(req));
+                prop_assert_eq!(report.conflicts, 0, "a singleton batch cannot conflict");
+                match (&a, &report.outcomes[0]) {
+                    (Outcome::Established(path), BatchOutcome::Established { hops }) => {
+                        prop_assert_eq!(path.len() as u32 - 1, *hops);
+                    }
+                    (Outcome::Blocked(ra), BatchOutcome::Blocked(rb)) => {
+                        prop_assert_eq!(ra, rb);
+                    }
+                    (a, b) => prop_assert!(false, "diverged: {a:?} vs {b:?}"),
+                }
+            }
+        }
+        let (stats_a, journal_a) = serial.finish_with_probe();
+        let (stats_b, journal_b) = batched.finish_with_probe();
+        prop_assert_eq!(stats_a, stats_b, "stats diverged");
+        prop_assert_eq!(
+            journal_a.render_jsonl(),
+            journal_b.render_jsonl(),
+            "journal bytes diverged"
+        );
+    }
+
+    /// Intra invariance: the same whole-round batches admitted with 1
+    /// and 4 propose workers produce identical round reports, stats, and
+    /// byte-identical journals.
+    #[test]
+    fn whole_batch_is_intra_invariant(raw in arb_rounds(), dilation in DILATION_RANGE) {
+        let (built, n) = topo();
+        let rounds = rounds_of(n, &raw);
+        let run = |intra: usize| {
+            let mut sim = Engine::with_probe(&built, dilation, TraceJournal::new(0, 1 << 14));
+            let mut admitter = BatchAdmitter::new(n, intra);
+            let mut reports = Vec::new();
+            for round in &rounds {
+                sim.begin_round();
+                reports.push(admitter.admit_round(&mut sim, round));
+            }
+            let (stats, journal) = sim.finish_with_probe();
+            (reports, stats, journal.render_jsonl())
+        };
+        let (reports_1, stats_1, jsonl_1) = run(1);
+        let (reports_4, stats_4, jsonl_4) = run(4);
+        prop_assert_eq!(reports_1, reports_4, "round reports diverged across intra");
+        prop_assert_eq!(stats_1, stats_4, "stats diverged across intra");
+        prop_assert_eq!(jsonl_1, jsonl_4, "journal bytes diverged across intra");
+    }
+
+    /// Metamorphic conflict-free relation: whenever the wave driver
+    /// reports zero conflicts for every round, batching changed nothing —
+    /// outcomes and stats equal the serial engine's. (Singleton batches
+    /// are the degenerate case; this pins arbitrary batch sizes.)
+    #[test]
+    fn conflict_free_batches_match_serial(raw in arb_rounds(), dilation in DILATION_RANGE) {
+        let (built, n) = topo();
+        let rounds = rounds_of(n, &raw);
+        let mut serial = Engine::new(&built, dilation);
+        let mut batched = Engine::new(&built, dilation);
+        let mut admitter = BatchAdmitter::new(n, 2);
+        let mut any_conflict = false;
+        for round in &rounds {
+            serial.begin_round();
+            batched.begin_round();
+            let serial_outcomes: Vec<Outcome> = round
+                .iter()
+                .map(|r| serial.request(r.src, r.dst, r.max_len))
+                .collect();
+            let report = admitter.admit_round(&mut batched, round);
+            prop_assert_eq!(report.outcomes.len(), round.len());
+            prop_assert!(u64::from(report.waves) <= round.len().max(1) as u64);
+            if report.conflicts > 0 {
+                any_conflict = true;
+                continue;
+            }
+            for (a, b) in serial_outcomes.iter().zip(&report.outcomes) {
+                match (a, b) {
+                    (Outcome::Established(path), BatchOutcome::Established { hops }) => {
+                        prop_assert_eq!(path.len() as u32 - 1, *hops);
+                    }
+                    (Outcome::Blocked(ra), BatchOutcome::Blocked(rb)) => {
+                        prop_assert_eq!(ra, rb);
+                    }
+                    (a, b) => prop_assert!(false, "diverged: {a:?} vs {b:?}"),
+                }
+            }
+        }
+        if !any_conflict {
+            prop_assert_eq!(serial.finish(), batched.finish(), "stats diverged");
+        }
+    }
+}

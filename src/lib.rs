@@ -62,8 +62,10 @@ pub mod prelude {
         replay_competing, replay_schedule, Engine, FaultedNet, FlowId, FlowOutcome, MaterializedNet,
     };
     pub use shc_runtime::{
-        builtin_catalog, builtin_service_catalog, run_scenario, run_scenario_traced, run_service,
-        run_service_traced, AdmissionPolicy, ArrivalSpec, FaultSpec, Metrics, OriginatorPolicy,
-        Scenario, ScenarioReport, ServiceReport, ServiceSpec, TopologySpec, TraceJournal, Workload,
+        builtin_catalog, builtin_service_catalog, run_scenario, run_scenario_intra,
+        run_scenario_traced, run_scenario_traced_intra, run_service, run_service_intra,
+        run_service_traced, run_service_traced_intra, AdmissionPolicy, ArrivalSpec, BatchAdmitter,
+        FaultSpec, Metrics, OriginatorPolicy, Scenario, ScenarioReport, ServiceReport, ServiceSpec,
+        TopologySpec, TraceJournal, Workload,
     };
 }

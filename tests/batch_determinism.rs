@@ -1,0 +1,126 @@
+//! Tier-1 guard for the propose-then-commit batch pipeline's
+//! determinism contract: a batched scenario or service cell produces the
+//! same report — and byte-identical trace journals — no matter how many
+//! intra-round propose workers route the batches, stacked on top of the
+//! existing inter-replica worker-count invariance. Companion to
+//! `runtime_determinism.rs` / `trace_determinism.rs`, which pin the same
+//! contract for the serial admission paths.
+
+use sparse_hypercube::prelude::*;
+use sparse_hypercube::runtime::trace::audit::audit_journals;
+use sparse_hypercube::runtime::{
+    run_scenario_intra, run_scenario_traced_intra, run_service_intra, run_service_traced_intra,
+};
+
+/// The built-in batched permutation cells (bit-reversal + transpose),
+/// fast-sized.
+fn batched_scenarios() -> Vec<Scenario> {
+    let cells: Vec<Scenario> = builtin_catalog(true)
+        .into_iter()
+        .filter(|s| s.batch)
+        .collect();
+    assert_eq!(cells.len(), 2, "catalog ships two batched cells");
+    cells
+}
+
+/// The built-in batched service cells, fast-sized.
+fn batched_service_cells() -> Vec<ServiceSpec> {
+    let cells: Vec<ServiceSpec> = builtin_service_catalog(true)
+        .into_iter()
+        .filter(|s| s.batch_admission)
+        .collect();
+    assert!(!cells.is_empty(), "catalog ships batched service cells");
+    cells
+}
+
+#[test]
+fn batched_scenario_reports_are_intra_invariant() {
+    for scenario in batched_scenarios() {
+        let single = run_scenario_intra(&scenario, 1, 1);
+        let json_single = serde_json::to_string_pretty(&single).unwrap();
+        for (threads, intra) in [(1, 4), (4, 1), (4, 4)] {
+            let parallel = run_scenario_intra(&scenario, threads, intra);
+            assert_eq!(
+                single, parallel,
+                "{}: report diverged at threads={threads} intra={intra}",
+                scenario.name
+            );
+            assert_eq!(
+                json_single,
+                serde_json::to_string_pretty(&parallel).unwrap(),
+                "{}: JSON bytes diverged at threads={threads} intra={intra}",
+                scenario.name
+            );
+        }
+        // Batched permutation rounds conclude every non-fixed-point
+        // request, one way or the other.
+        assert!(single.total_established > 0, "{}", scenario.name);
+    }
+}
+
+#[test]
+fn batched_scenario_journals_are_intra_invariant_and_audit_clean() {
+    for scenario in batched_scenarios() {
+        let scenario = scenario.replications(4);
+        let (report_1, journals_1) = run_scenario_traced_intra(&scenario, 1, 1 << 16, 1);
+        let mut bytes_1 = String::new();
+        for j in &journals_1 {
+            j.render_jsonl_into(&mut bytes_1);
+        }
+        assert!(!bytes_1.is_empty());
+        let (report_4, journals_4) = run_scenario_traced_intra(&scenario, 2, 1 << 16, 4);
+        let mut bytes_4 = String::new();
+        for j in &journals_4 {
+            j.render_jsonl_into(&mut bytes_4);
+        }
+        assert_eq!(report_1, report_4, "{}: traced reports diverged", scenario.name);
+        assert_eq!(bytes_1, bytes_4, "{}: journal bytes diverged", scenario.name);
+        // Tracing is an observer, and the journals replay clean.
+        assert_eq!(report_1, run_scenario_intra(&scenario, 2, 4));
+        let audit = audit_journals(&journals_1).expect("journals replay clean");
+        assert_eq!(audit.established, report_1.total_established);
+        assert_eq!(audit.blocked, report_1.total_blocked);
+    }
+}
+
+#[test]
+fn batched_service_cells_are_intra_invariant() {
+    for spec in batched_service_cells() {
+        let single = run_service_intra(&spec, 1);
+        let json_single = serde_json::to_string_pretty(&single).unwrap();
+        for intra in [2, 4] {
+            let parallel = run_service_intra(&spec, intra);
+            assert_eq!(
+                single, parallel,
+                "{}: report diverged at intra={intra}",
+                spec.name
+            );
+            assert_eq!(
+                json_single,
+                serde_json::to_string_pretty(&parallel).unwrap(),
+                "{}: JSON bytes diverged at intra={intra}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_service_journals_are_intra_invariant_and_audit_clean() {
+    let spec = batched_service_cells().remove(0);
+    let (report_1, journal_1) = run_service_traced_intra(&spec, 0, 1 << 18, 1);
+    let (report_4, journal_4) = run_service_traced_intra(&spec, 0, 1 << 18, 4);
+    assert_eq!(report_1, report_4, "traced reports diverged across intra");
+    assert_eq!(
+        journal_1.render_jsonl(),
+        journal_4.render_jsonl(),
+        "journal bytes diverged across intra"
+    );
+    assert_eq!(
+        report_1,
+        run_service_intra(&spec, 4),
+        "tracing perturbed the run"
+    );
+    let audit = audit_journals(std::slice::from_ref(&journal_1)).expect("journal replays clean");
+    assert_eq!(audit.rounds_checked as usize, spec.rounds);
+}
